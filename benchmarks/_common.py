@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment writes the table/series it regenerates to
+``benchmarks/results/<experiment>.txt`` (and EXPERIMENTS.md records the
+captured values), so the harness leaves an auditable artifact even when
+pytest captures stdout.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist (and echo) one experiment's regenerated table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{name}]\n{text}")
+
+
+def once(benchmark, fn):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

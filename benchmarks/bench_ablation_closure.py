@@ -1,0 +1,100 @@
+"""E13 (ablation) — the §3 transitive-closure design choice.
+
+The paper remarks that cycle checking is cheap "if the cycle-checking
+algorithm keeps track of the transitive closure of the graph", and that
+removal then reduces to deleting the node from the closure.  This ablation
+quantifies the choice: arc-insertion + cycle-pretest throughput with the
+maintained closure (`ClosureGraph`) versus per-query DFS on a plain
+`DiGraph`, as the graph grows.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from _common import once, write_result
+
+from repro.analysis.report import ascii_table
+from repro.graphs.closure import ClosureGraph
+from repro.graphs.cycles import would_close_cycle
+from repro.graphs.digraph import DiGraph
+
+
+def _random_dag_arcs(n_nodes: int, n_arcs: int, seed: int):
+    rng = random.Random(seed)
+    arcs = []
+    while len(arcs) < n_arcs:
+        a, b = rng.randrange(n_nodes), rng.randrange(n_nodes)
+        if a < b:
+            arcs.append((a, b))
+    return arcs
+
+
+def _probe_pairs(n_nodes: int, count: int, seed: int):
+    rng = random.Random(seed + 1)
+    return [
+        (rng.randrange(n_nodes), rng.randrange(n_nodes)) for _ in range(count)
+    ]
+
+
+def _experiment():
+    rows = []
+    for n_nodes in (50, 100, 200, 400):
+        arcs = _random_dag_arcs(n_nodes, n_nodes * 3, seed=n_nodes)
+        probes = _probe_pairs(n_nodes, 2000, seed=n_nodes)
+
+        closure = ClosureGraph()
+        for node in range(n_nodes):
+            closure.add_node(node)
+        t0 = time.perf_counter()
+        for tail, head in arcs:
+            if not closure.would_close_cycle(tail, head):
+                closure.add_arc(tail, head)
+        build_closure = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        hits_closure = sum(
+            closure.would_close_cycle(tail, head) for tail, head in probes
+        )
+        query_closure = time.perf_counter() - t0
+
+        plain = DiGraph()
+        for node in range(n_nodes):
+            plain.add_node(node)
+        t0 = time.perf_counter()
+        for tail, head in arcs:
+            if not would_close_cycle(plain, tail, head):
+                plain.add_arc(tail, head)
+        build_plain = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        hits_plain = sum(
+            would_close_cycle(plain, tail, head) for tail, head in probes
+        )
+        query_plain = time.perf_counter() - t0
+
+        assert hits_closure == hits_plain  # both answer identically
+        rows.append(
+            [
+                n_nodes,
+                f"{build_closure * 1e3:.1f}",
+                f"{build_plain * 1e3:.1f}",
+                f"{query_closure * 1e3:.1f}",
+                f"{query_plain * 1e3:.1f}",
+                f"{query_plain / max(query_closure, 1e-9):.1f}x",
+            ]
+        )
+    return rows
+
+
+def bench_closure_ablation(benchmark):
+    rows = once(benchmark, _experiment)
+    # Shape: closure queries beat DFS queries by a growing factor.
+    speedups = [float(row[5][:-1]) for row in rows]
+    assert speedups[-1] > 3
+    table = ascii_table(
+        ["nodes", "build+check ms (closure)", "build+check ms (DFS)",
+         "2k queries ms (closure)", "2k queries ms (DFS)", "query speedup"],
+        rows,
+        title="E13: maintained transitive closure vs per-query DFS",
+    )
+    write_result("E13_ablation_closure", table)

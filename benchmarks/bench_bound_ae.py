@@ -1,0 +1,70 @@
+"""E8 — the §4 bound: irreducible graphs hold ≤ a·e completed transactions.
+
+Regenerates: a sweep over multiprogramming level (a) and entity count (e);
+for each cell, streams are run with the eager-C1 policy to irreducibility
+and the peak retained-completed count is compared to a·e.  Also verifies
+the witness-pair disjointness argument underlying the bound.
+"""
+
+from __future__ import annotations
+
+from _common import once, write_result
+
+from repro.analysis.report import ascii_table
+from repro.core.bounds import (
+    irreducible_bound,
+    is_irreducible,
+    verify_witness_disjointness,
+)
+from repro.core.policies import EagerC1Policy
+from repro.scheduler.conflict import ConflictGraphScheduler
+from repro.workloads.generator import WorkloadConfig, basic_stream
+
+
+def _sweep():
+    rows = []
+    policy = EagerC1Policy()
+    for mpl in (2, 3, 4):
+        for entities in (3, 5, 8):
+            peak = 0
+            bound = irreducible_bound(mpl, entities)
+            for seed in range(6):
+                config = WorkloadConfig(
+                    n_transactions=25,
+                    n_entities=entities,
+                    max_accesses=min(3, entities),
+                    multiprogramming=mpl,
+                    write_fraction=0.5,
+                    zipf_s=0.5,
+                    seed=seed,
+                )
+                scheduler = ConflictGraphScheduler()
+                for step in basic_stream(config):
+                    scheduler.feed(step)
+                    policy.apply(scheduler)
+                    retained = len(scheduler.graph.completed_transactions())
+                    peak = max(peak, retained)
+                assert is_irreducible(scheduler.graph)
+                verify_witness_disjointness(scheduler.graph)
+            rows.append([mpl, entities, bound, peak, peak <= bound])
+    return rows
+
+
+def bench_bound_sweep(benchmark):
+    rows = once(benchmark, _sweep)
+    assert all(row[4] for row in rows)
+    table = ascii_table(
+        ["a (MPL)", "e (entities)", "a·e bound", "peak retained", "bound holds"],
+        rows,
+        title="E8: irreducible-graph size vs the a·e bound (eager-C1, 6 seeds)",
+    )
+    write_result("E8_bound_ae", table)
+
+
+def bench_witness_disjointness_latency(benchmark):
+    config = WorkloadConfig(
+        n_transactions=40, n_entities=8, multiprogramming=6, seed=21
+    )
+    scheduler = ConflictGraphScheduler()
+    scheduler.feed_many(basic_stream(config))
+    benchmark(verify_witness_disjointness, scheduler.graph)

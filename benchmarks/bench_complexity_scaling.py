@@ -1,0 +1,119 @@
+"""E11 — complexity claims: C1/C2/C4 polynomial, C3/optimal exponential.
+
+Regenerates: latency-vs-size curves for each condition checker.  Expected
+shape: C1, C2 and C4 grow smoothly (low-order polynomial) with graph size;
+the C3 enumeration and the exact optimizer blow up exponentially in their
+respective hardness parameters (actives / candidates).
+"""
+
+from __future__ import annotations
+
+import time
+
+from _common import once, write_result
+
+from repro.analysis.report import ascii_table
+from repro.core.conditions import can_delete
+from repro.core.multiwrite_conditions import can_delete_multiwrite
+from repro.core.predeclared_conditions import can_delete_predeclared
+from repro.core.set_conditions import can_delete_set
+from repro.model.status import AccessMode, TxnState
+from repro.core.reduced_graph import ReducedGraph
+from repro.scheduler.conflict import ConflictGraphScheduler
+from repro.scheduler.predeclared import PredeclaredScheduler
+from repro.workloads.generator import (
+    WorkloadConfig,
+    basic_stream,
+    predeclared_stream,
+)
+
+
+def _time(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best * 1e3  # milliseconds
+
+
+def _polynomial_rows():
+    rows = []
+    for n in (20, 40, 80, 160):
+        config = WorkloadConfig(
+            n_transactions=n, n_entities=12, multiprogramming=6,
+            write_fraction=0.5, seed=n,
+        )
+        scheduler = ConflictGraphScheduler()
+        scheduler.feed_many(basic_stream(config))
+        graph = scheduler.graph
+        completed = sorted(graph.completed_transactions())
+        target = completed[-1]
+        subset = completed[: min(10, len(completed))]
+        c1_ms = _time(lambda: can_delete(graph, target))
+        c2_ms = _time(lambda: can_delete_set(graph, subset))
+
+        pconfig = WorkloadConfig(
+            n_transactions=n, n_entities=12, multiprogramming=6,
+            write_fraction=0.5, seed=n + 1,
+        )
+        pre = PredeclaredScheduler()
+        pre.feed_many(predeclared_stream(pconfig))
+        ptarget = sorted(pre.graph.completed_transactions())[-1]
+        c4_ms = _time(lambda: can_delete_predeclared(pre.graph, ptarget))
+        rows.append([n, len(graph), f"{c1_ms:.3f}", f"{c2_ms:.3f}", f"{c4_ms:.3f}"])
+    return rows
+
+
+def _exponential_rows():
+    """C3 latency vs #actives on a star-shaped multiwrite graph.
+
+    The instance is built to *satisfy* C3 (a committed witness W writing
+    the same entity hangs off every active), so the checker must examine
+    every abort set before answering — the full 2^a enumeration.
+    """
+    rows = []
+    for actives in (4, 6, 8, 10, 12):
+        graph = ReducedGraph()
+        graph.add_transaction("T", TxnState.COMMITTED)
+        graph.record_access("T", "x", AccessMode.WRITE)
+        graph.add_transaction("W", TxnState.COMMITTED)
+        graph.record_access("W", "x", AccessMode.WRITE)
+        for i in range(actives):
+            name = f"A{i}"
+            graph.add_transaction(name)
+            graph.record_access(name, f"p{i}", AccessMode.WRITE)
+            graph.add_arc(name, "T")
+            graph.add_arc(name, "W")
+        assert can_delete_multiwrite(graph, "T", max_actives=16)
+        ms = _time(lambda: can_delete_multiwrite(graph, "T", max_actives=16),
+                   repeats=3)
+        rows.append([actives, 2 ** actives, f"{ms:.2f}"])
+    return rows
+
+
+def bench_polynomial_conditions(benchmark):
+    rows = once(benchmark, _polynomial_rows)
+    # Smooth growth: the largest instance is not absurdly slower than the
+    # smallest (a loose polynomial sanity bound, robust to CI noise).
+    smallest, largest = float(rows[0][2]), float(rows[-1][2])
+    assert largest < max(smallest, 0.01) * 2000
+    table = ascii_table(
+        ["txns fed", "graph nodes", "C1 ms", "C2(10) ms", "C4 ms"],
+        rows,
+        title="E11a: polynomial condition checkers vs instance size",
+    )
+    write_result("E11a_poly_scaling", table)
+
+
+def bench_exponential_c3(benchmark):
+    rows = once(benchmark, _exponential_rows)
+    times = [float(row[2]) for row in rows]
+    # Exponential shape: the 12-active case dwarfs the 4-active case.
+    assert times[-1] > times[0] * 8
+    table = ascii_table(
+        ["actives", "abort sets", "C3 ms"],
+        rows,
+        title="E11b: C3 enumeration vs number of active transactions",
+    )
+    write_result("E11b_c3_scaling", table)

@@ -1,0 +1,97 @@
+"""E3 — Corollary 1 + Lemma 1: the easy sufficient conditions.
+
+Regenerates: containment counts over random graphs — Lemma 1 ⊆ C1,
+noncurrent ⊆ C1, and strictness of both inclusions; plus the Corollary 1
+set-deletion claim ("in fact we can remove all of them").
+"""
+
+from __future__ import annotations
+
+from _common import once, write_result
+
+from repro.analysis.report import ascii_table
+from repro.core.conditions import (
+    can_delete,
+    has_no_active_predecessors,
+    noncurrent_transactions,
+)
+from repro.core.set_conditions import can_delete_set
+from repro.scheduler.conflict import ConflictGraphScheduler
+from repro.workloads.generator import WorkloadConfig, basic_stream
+
+
+def _experiment(n_seeds: int = 40):
+    stats = {
+        "completed": 0,
+        "lemma1": 0,
+        "noncurrent": 0,
+        "c1": 0,
+        "lemma1_implies_c1": True,
+        "noncurrent_implies_c1": True,
+        "noncurrent_set_always_c2": True,
+        "c1_strictly_wider": 0,
+    }
+    for seed in range(n_seeds):
+        config = WorkloadConfig(
+            n_transactions=10,
+            n_entities=4,
+            multiprogramming=4,
+            write_fraction=0.6,
+            seed=seed,
+        )
+        stream = list(basic_stream(config))
+        scheduler = ConflictGraphScheduler()
+        # Mid-stream snapshot: deletion is only interesting while some
+        # transactions are still active.
+        scheduler.feed_many(stream[: (7 * len(stream)) // 10])
+        graph, currency = scheduler.graph, scheduler.currency
+        noncurrent = noncurrent_transactions(currency, graph)
+        if not can_delete_set(graph, noncurrent):
+            stats["noncurrent_set_always_c2"] = False
+        for txn in graph.completed_transactions():
+            stats["completed"] += 1
+            l1 = has_no_active_predecessors(graph, txn)
+            nc = txn in noncurrent
+            c1 = can_delete(graph, txn)
+            stats["lemma1"] += l1
+            stats["noncurrent"] += nc
+            stats["c1"] += c1
+            if l1 and not c1:
+                stats["lemma1_implies_c1"] = False
+            if nc and not c1:
+                stats["noncurrent_implies_c1"] = False
+            if c1 and not (l1 or nc):
+                stats["c1_strictly_wider"] += 1
+    return stats
+
+
+def bench_cor1_containments(benchmark):
+    stats = once(benchmark, _experiment)
+    assert stats["lemma1_implies_c1"]
+    assert stats["noncurrent_implies_c1"]
+    assert stats["noncurrent_set_always_c2"]
+    assert stats["c1_strictly_wider"] > 0  # C1 is genuinely stronger
+    rows = [
+        ["completed transactions examined", stats["completed"]],
+        ["deletable by Lemma 1", stats["lemma1"]],
+        ["deletable by Corollary 1 (noncurrent)", stats["noncurrent"]],
+        ["deletable by C1", stats["c1"]],
+        ["Lemma 1 ⊆ C1", stats["lemma1_implies_c1"]],
+        ["noncurrent ⊆ C1", stats["noncurrent_implies_c1"]],
+        ["'remove all noncurrent' always C2-safe", stats["noncurrent_set_always_c2"]],
+        ["C1-only deletions (neither easy test fires)", stats["c1_strictly_wider"]],
+    ]
+    write_result(
+        "E3_cor1_noncurrent",
+        ascii_table(["quantity", "value"], rows,
+                    title="E3: Lemma 1 / Corollary 1 vs C1, 40 random graphs"),
+    )
+
+
+def bench_noncurrent_latency(benchmark):
+    config = WorkloadConfig(
+        n_transactions=80, n_entities=12, multiprogramming=8, seed=5
+    )
+    scheduler = ConflictGraphScheduler()
+    scheduler.feed_many(basic_stream(config))
+    benchmark(noncurrent_transactions, scheduler.currency, scheduler.graph)

@@ -1,0 +1,65 @@
+"""E1 — Figure 1 / Example 1: the paper's worked deletion example.
+
+Regenerates: the Fig. 1 conflict graph; the C1 verdicts for T2 and T3; the
+mutual-exclusion of their joint deletion; the maximum safe deletion set.
+Paper's claims (§3, §4): both deletable alone, not together; after
+deleting T3 the noncurrent T2 is locked in.
+"""
+
+from __future__ import annotations
+
+from _common import once, write_result
+
+from repro.analysis.report import ascii_table
+from repro.core.conditions import can_delete, has_no_active_predecessors
+from repro.core.optimal import maximum_safe_deletion_set
+from repro.core.set_conditions import can_delete_set
+from repro.scheduler.conflict import ConflictGraphScheduler
+from repro.workloads.traces import example1_graph, example1_schedule
+
+
+def _experiment():
+    graph = example1_graph()
+    scheduler = ConflictGraphScheduler()
+    scheduler.feed_many(example1_schedule())
+    rows = [
+        ["arcs", sorted(graph.arcs())],
+        ["Lemma1(T2)", has_no_active_predecessors(graph, "T2")],
+        ["C1(T2)", can_delete(graph, "T2")],
+        ["C1(T3)", can_delete(graph, "T3")],
+        ["noncurrent(T2)", not scheduler.currency.is_current("T2")],
+        ["noncurrent(T3)", not scheduler.currency.is_current("T3")],
+        ["C2({T2,T3})", can_delete_set(graph, {"T2", "T3"})],
+        ["C1(T2) after delete T3", can_delete(graph.reduced_by(["T3"]), "T2")],
+        ["max safe set size", len(maximum_safe_deletion_set(graph))],
+    ]
+    return graph, rows
+
+
+def bench_fig1_regeneration(benchmark):
+    graph, rows = once(benchmark, _experiment)
+    # Paper-vs-measured shape assertions.
+    assert set(graph.arcs()) == {("T1", "T2"), ("T1", "T3"), ("T2", "T3")}
+    verdicts = dict((r[0], r[1]) for r in rows)
+    assert verdicts["C1(T2)"] and verdicts["C1(T3)"]
+    assert not verdicts["C2({T2,T3})"]
+    assert not verdicts["C1(T2) after delete T3"]
+    assert verdicts["noncurrent(T2)"] and not verdicts["noncurrent(T3)"]
+    assert not verdicts["Lemma1(T2)"]
+    assert verdicts["max safe set size"] == 1
+    write_result(
+        "E1_fig1_example1",
+        ascii_table(["quantity", "value"], rows, title="E1: Fig.1 / Example 1"),
+    )
+
+
+def bench_fig1_graph_construction(benchmark):
+    """Micro-benchmark: building the Fig. 1 graph through Rules 1-3."""
+
+    def build():
+        scheduler = ConflictGraphScheduler()
+        scheduler.feed_many(example1_schedule())
+        return scheduler.graph
+
+    graph = benchmark(build)
+    assert len(graph) == 3

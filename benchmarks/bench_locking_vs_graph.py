@@ -1,0 +1,103 @@
+"""E10 — §1's contrast: locking closes at commit; graph schedulers cannot.
+
+Regenerates: one workload through strict 2PL and through the conflict-graph
+scheduler (with and without deletion).  Expected shape: 2PL retains zero
+committed state but delays/aborts more; the conflict scheduler accepts at
+least as many steps but retains completed transactions unless a condition
+prunes them.
+"""
+
+from __future__ import annotations
+
+from _common import once, write_result
+
+from repro.analysis.report import ascii_table
+from repro.analysis.runner import run_with_policy
+from repro.core.policies import EagerC1Policy, NeverDeletePolicy
+from repro.scheduler.conflict import ConflictGraphScheduler
+from repro.scheduler.locking import StrictTwoPhaseLocking
+from repro.workloads.generator import WorkloadConfig, basic_stream
+
+CONFIG = WorkloadConfig(
+    n_transactions=80,
+    n_entities=8,
+    multiprogramming=6,
+    write_fraction=0.5,
+    zipf_s=0.8,
+    seed=13,
+)
+
+
+def _experiment():
+    stream = basic_stream(CONFIG)
+    rows = []
+
+    locking = StrictTwoPhaseLocking()
+    m = run_with_policy(locking, stream, audit_csr=True)
+    rows.append(
+        ["strict 2PL", m.accepted_steps, m.delayed_steps,
+         m.aborted_transactions, m.committed_transactions,
+         len(locking.retained_transactions())]
+    )
+
+    bare = ConflictGraphScheduler()
+    m = run_with_policy(bare, stream, NeverDeletePolicy(), audit_csr=True)
+    rows.append(
+        ["conflict graph (never)", m.accepted_steps, m.delayed_steps,
+         m.aborted_transactions, m.committed_transactions,
+         len(bare.graph.completed_transactions())]
+    )
+
+    pruned = ConflictGraphScheduler()
+    m = run_with_policy(pruned, stream, EagerC1Policy(), audit_csr=True)
+    rows.append(
+        ["conflict graph (eager-C1)", m.accepted_steps, m.delayed_steps,
+         m.aborted_transactions, m.committed_transactions,
+         len(pruned.graph.completed_transactions())]
+    )
+    return rows
+
+
+def bench_locking_vs_graph(benchmark):
+    rows = once(benchmark, _experiment)
+    by_name = {row[0]: row for row in rows}
+    # 2PL closes at commit: zero retained committed state.
+    assert by_name["strict 2PL"][5] == 0
+    # Never-delete hoards; eager-C1 retains (much) less.
+    assert by_name["conflict graph (never)"][5] > by_name[
+        "conflict graph (eager-C1)"
+    ][5]
+    # Locking is the only one that delays.
+    assert by_name["strict 2PL"][2] > 0
+    assert by_name["conflict graph (never)"][2] == 0
+    table = ascii_table(
+        ["scheduler", "accepted", "delayed", "aborted txns",
+         "committed", "retained completed"],
+        rows,
+        title="E10: locking vs conflict-graph scheduling (same stream)",
+    )
+    write_result("E10_locking_vs_graph", table)
+
+
+def bench_2pl_throughput(benchmark):
+    stream = list(basic_stream(CONFIG))
+
+    def run():
+        scheduler = StrictTwoPhaseLocking()
+        scheduler.feed_many(stream)
+        return scheduler
+
+    scheduler = benchmark(run)
+    assert scheduler.committed_transactions()
+
+
+def bench_conflict_graph_throughput(benchmark):
+    stream = list(basic_stream(CONFIG))
+
+    def run():
+        scheduler = ConflictGraphScheduler()
+        scheduler.feed_many(stream)
+        return scheduler
+
+    scheduler = benchmark(run)
+    assert scheduler.graph.completed_transactions()

@@ -1,0 +1,87 @@
+"""E9 — §1's motivation: "we cannot keep transactions indefinitely".
+
+Regenerates: graph-size-over-time series and summary rows for the five
+deletion policies on one long stream.  Expected shape: never-delete grows
+linearly with committed transactions; Lemma 1 and noncurrent prune
+partially; eager-C1 stays bounded (by a·e); optimal ≤ greedy retention.
+"""
+
+from __future__ import annotations
+
+from _common import once, write_result
+
+from repro.analysis.report import ascii_table, format_series, rows_from_summaries
+from repro.analysis.runner import run_with_policy
+from repro.core.policies import (
+    EagerC1Policy,
+    Lemma1Policy,
+    NeverDeletePolicy,
+    NoncurrentPolicy,
+    OptimalPolicy,
+)
+from repro.scheduler.conflict import ConflictGraphScheduler
+from repro.workloads.generator import WorkloadConfig, basic_stream
+
+POLICIES = [
+    NeverDeletePolicy(),
+    Lemma1Policy(),
+    NoncurrentPolicy(),
+    EagerC1Policy(),
+    OptimalPolicy(max_candidates=26),
+]
+
+CONFIG = WorkloadConfig(
+    n_transactions=120,
+    n_entities=10,
+    multiprogramming=5,
+    write_fraction=0.5,
+    zipf_s=0.7,
+    seed=31,
+)
+
+
+def _experiment():
+    stream = basic_stream(CONFIG)
+    summaries, series = [], {}
+    for policy in POLICIES:
+        metrics = run_with_policy(
+            ConflictGraphScheduler(), stream, policy, audit_csr=True
+        )
+        summaries.append(metrics.summary())
+        series[policy.name] = metrics.series("retained_completed")
+    return summaries, series
+
+
+def bench_policy_growth(benchmark):
+    summaries, series = once(benchmark, _experiment)
+    peaks = {s["policy"]: s["peak_retained"] for s in summaries}
+    finals = {s["policy"]: s["final_graph"] for s in summaries}
+    # Shape: the motivating hierarchy.
+    assert peaks["never"] > peaks["noncurrent"] >= peaks["eager-c1"]
+    assert peaks["never"] > peaks["lemma1"] >= peaks["eager-c1"]
+    assert peaks["optimal"] <= peaks["never"]
+    assert finals["never"] >= 100  # unbounded growth made visible
+    assert peaks["eager-c1"] <= 5 * 10  # the a·e ceiling
+    columns = [
+        "policy", "deleted_txns", "peak_retained", "mean_graph", "final_graph",
+    ]
+    lines = [
+        ascii_table(
+            columns,
+            rows_from_summaries(summaries, columns),
+            title="E9: deletion policies on a 120-transaction stream",
+        ),
+        "",
+    ]
+    for name, values in series.items():
+        lines.append(format_series(f"{name:11s}", values))
+    write_result("E9_policies_growth", "\n".join(lines))
+
+
+def bench_eager_c1_policy_step(benchmark):
+    """Micro-benchmark: one policy application on a warm graph."""
+    stream = basic_stream(CONFIG)
+    scheduler = ConflictGraphScheduler()
+    scheduler.feed_many(list(stream)[: len(stream) // 2])
+    policy = EagerC1Policy()
+    benchmark(policy.select, scheduler)

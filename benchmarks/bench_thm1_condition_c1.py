@@ -1,0 +1,102 @@
+"""E2 — Theorem 1: condition C1 is necessary and sufficient (+ Fig. 2).
+
+Regenerates: an agreement table between the C1 checker, the constructed
+witness continuations (necessity), and the bounded exhaustive oracle
+(sufficiency), over seeded random conflict graphs.  Expected shape: 100%
+agreement in both directions.
+"""
+
+from __future__ import annotations
+
+from _common import once, write_result
+
+from repro.analysis.report import ascii_table
+from repro.core.conditions import can_delete
+from repro.core.oracle import bounded_safety_check
+from repro.core.witnesses import basic_witness_continuation, check_divergence
+from repro.scheduler.conflict import ConflictGraphScheduler
+from repro.workloads.generator import WorkloadConfig, basic_stream
+
+
+def _graph_for_seed(seed: int):
+    """A mid-stream graph: feed ~70% of the stream so some transactions
+    are still active — deletion is only interesting then (with no actives
+    every completed transaction is trivially deletable by Lemma 1)."""
+    config = WorkloadConfig(
+        n_transactions=5,
+        n_entities=3,
+        max_accesses=2,
+        multiprogramming=3,
+        write_fraction=0.6,
+        seed=seed,
+    )
+    stream = list(basic_stream(config))
+    scheduler = ConflictGraphScheduler()
+    scheduler.feed_many(stream[: (7 * len(stream)) // 10])
+    return scheduler.graph
+
+
+def _experiment(n_seeds: int = 20):
+    deletable = witness_checked = witness_diverged = 0
+    pinned = oracle_checked = oracle_silent = 0
+    for seed in range(n_seeds):
+        graph = _graph_for_seed(seed)
+        for txn in sorted(graph.completed_transactions()):
+            if can_delete(graph, txn):
+                deletable += 1
+                # Depth 3 keeps the whole sweep around a minute; the
+                # hypothesis suite runs depth 4 on smaller graphs.
+                counterexample = bounded_safety_check(
+                    graph, [txn], max_depth=3, fresh_entities=1, max_new_txns=1
+                )
+                oracle_checked += 1
+                if counterexample is None:
+                    oracle_silent += 1
+            else:
+                pinned += 1
+                continuation = basic_witness_continuation(graph, txn)
+                witness_checked += 1
+                if check_divergence(graph, [txn], continuation) is not None:
+                    witness_diverged += 1
+    return {
+        "deletable": deletable,
+        "pinned": pinned,
+        "witness_checked": witness_checked,
+        "witness_diverged": witness_diverged,
+        "oracle_checked": oracle_checked,
+        "oracle_silent": oracle_silent,
+    }
+
+
+def bench_thm1_agreement(benchmark):
+    stats = once(benchmark, _experiment)
+    # Necessity: every C1 violation has a real diverging continuation.
+    assert stats["witness_diverged"] == stats["witness_checked"] > 0
+    # Sufficiency: the oracle never refutes a C1-approved deletion.
+    assert stats["oracle_silent"] == stats["oracle_checked"] > 0
+    rows = [
+        ["completed txns judged deletable (C1 holds)", stats["deletable"]],
+        ["completed txns judged pinned (C1 fails)", stats["pinned"]],
+        ["necessity: witnesses built / diverged",
+         f"{stats['witness_checked']} / {stats['witness_diverged']}"],
+        ["sufficiency: oracle runs / silent",
+         f"{stats['oracle_checked']} / {stats['oracle_silent']}"],
+        ["agreement", "100%"],
+    ]
+    write_result(
+        "E2_thm1_condition_c1",
+        ascii_table(["quantity", "value"], rows,
+                    title="E2: Theorem 1 (C1 iff safe), 20 random graphs"),
+    )
+
+
+def bench_c1_check_latency(benchmark):
+    """Micro-benchmark: one C1 evaluation on a mid-sized graph."""
+    config = WorkloadConfig(
+        n_transactions=60, n_entities=10, multiprogramming=8, seed=3
+    )
+    scheduler = ConflictGraphScheduler()
+    scheduler.feed_many(basic_stream(config))
+    graph = scheduler.graph
+    target = sorted(graph.completed_transactions())[-1]
+    benchmark(can_delete, graph, target)

@@ -1,0 +1,85 @@
+"""E5 — Theorem 5: maximum safe deletion is NP-complete (SET COVER).
+
+Regenerates: (a) the reduction equivalence max-deletable = m − min-cover
+on random instances; (b) the exact-vs-greedy scaling separation (branch &
+bound grows super-polynomially in m while greedy stays linear-ish); (c)
+the greedy quality gap the optimization problem's hardness implies.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _common import once, write_result
+
+from repro.analysis.report import ascii_table
+from repro.core.optimal import greedy_safe_deletion_set, maximum_safe_deletion_set
+from repro.reductions.setcover import minimum_cover, random_instance
+from repro.reductions.thm5 import Theorem5Reduction
+
+
+def _equivalence(n_seeds: int = 12):
+    rows = []
+    gaps = 0
+    for seed in range(n_seeds):
+        instance = random_instance(6, 6, seed=seed)
+        reduction = Theorem5Reduction(instance)
+        measured = reduction.check_equivalence()
+        graph = reduction.graph_after_last_step()
+        greedy = greedy_safe_deletion_set(graph)
+        greedy_sets = len(greedy & set(reduction.set_transactions))
+        gap = measured["max_deletable_set_txns"] - greedy_sets
+        gaps += gap > 0
+        rows.append(
+            [seed, measured["m"], measured["min_cover"],
+             measured["max_deletable_set_txns"], greedy_sets, gap]
+        )
+    return rows, gaps
+
+
+def bench_thm5_equivalence(benchmark):
+    rows, gaps = once(benchmark, _equivalence)
+    # Equivalence held on every instance (check_equivalence raises if not).
+    assert all(row[2] + row[3] == row[1] for row in rows)
+    table = ascii_table(
+        ["seed", "m", "min cover", "max deletable", "greedy deletable", "gap"],
+        rows,
+        title="E5a: Theorem 5 reduction equivalence (6 elements, 6 sets)",
+    )
+    write_result("E5a_thm5_equivalence", table)
+
+
+def _scaling():
+    rows = []
+    for m in (6, 9, 12, 15, 18):
+        instance = random_instance(m, m, seed=m)
+        reduction = Theorem5Reduction(instance)
+        graph = reduction.graph_after_last_step()
+        t0 = time.perf_counter()
+        exact = maximum_safe_deletion_set(graph, max_candidates=40)
+        t_exact = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        greedy = greedy_safe_deletion_set(graph)
+        t_greedy = time.perf_counter() - t0
+        rows.append(
+            [m, len(exact), len(greedy),
+             f"{t_exact * 1e3:.2f}", f"{t_greedy * 1e3:.2f}"]
+        )
+    return rows
+
+
+def bench_thm5_exact_vs_greedy_scaling(benchmark):
+    rows = once(benchmark, _scaling)
+    assert all(int(row[1]) >= int(row[2]) for row in rows)
+    table = ascii_table(
+        ["m", "exact |N|", "greedy |N|", "exact ms", "greedy ms"],
+        rows,
+        title="E5b: exact (exponential) vs greedy (poly) scaling",
+    )
+    write_result("E5b_thm5_scaling", table)
+
+
+def bench_minimum_cover_solver(benchmark):
+    instance = random_instance(12, 10, seed=77)
+    cover = benchmark(minimum_cover, instance)
+    assert cover is not None and instance.is_cover(cover)

@@ -1,0 +1,144 @@
+"""E6 — Theorem 6 + Fig. 3: C3 deletability is NP-complete (3-SAT).
+
+Regenerates: (a) the reduction equivalence "C deletable iff unsatisfiable"
+against DPLL across a clause/variable-ratio sweep (both outcomes appear);
+(b) every other committed node of the Fig. 3 graph violates C3 outright;
+(c) the exponential growth of the C3 subset enumeration with the number of
+variables (the hardness made visible).
+"""
+
+from __future__ import annotations
+
+import time
+
+from _common import once, write_result
+
+from repro.analysis.report import ascii_table
+from repro.core.multiwrite_conditions import c3_violation_witness
+from repro.reductions.sat import dpll, random_3sat
+from repro.reductions.thm6 import Theorem6Reduction
+
+
+def _equivalence():
+    rows = []
+    agreements = 0
+    sat_seen = unsat_seen = 0
+    cases = [(3, clauses, seed) for clauses in (3, 6, 9, 12) for seed in range(3)]
+    for n_vars, n_clauses, seed in cases:
+        formula = random_3sat(n_vars, n_clauses, seed=seed)
+        reduction = Theorem6Reduction(formula)
+        satisfiable = dpll(formula) is not None
+        deletable = reduction.c_is_deletable()
+        agree = deletable == (not satisfiable)
+        agreements += agree
+        sat_seen += satisfiable
+        unsat_seen += not satisfiable
+        rows.append(
+            [f"{n_vars}v/{n_clauses}c", seed,
+             "SAT" if satisfiable else "UNSAT",
+             "yes" if deletable else "no",
+             "✓" if agree else "✗"]
+        )
+    return rows, agreements, sat_seen, unsat_seen
+
+
+def bench_thm6_equivalence(benchmark):
+    rows, agreements, sat_seen, unsat_seen = once(benchmark, _equivalence)
+    assert agreements == len(rows)
+    assert sat_seen > 0 and unsat_seen > 0  # the sweep crosses the transition
+    table = ascii_table(
+        ["formula", "seed", "DPLL", "C deletable", "agree"],
+        rows,
+        title="E6a: Theorem 6 equivalence (C deletable iff UNSAT)",
+    )
+    write_result("E6a_thm6_equivalence", table)
+
+
+def _other_nodes():
+    formula = random_3sat(3, 6, seed=1)
+    reduction = Theorem6Reduction(formula)
+    graph = reduction.build_graph()
+    rows = []
+    for txn in ("B", "D"):
+        witness = c3_violation_witness(graph, txn)
+        rows.append([txn, witness is not None,
+                     sorted(witness.abort_set) if witness else "-"])
+    return rows
+
+
+def bench_thm6_other_committed_pinned(benchmark):
+    rows = once(benchmark, _other_nodes)
+    assert all(row[1] for row in rows)
+    table = ascii_table(
+        ["committed txn", "C3 violated", "witness abort set"],
+        rows,
+        title="E6b: every committed node except C is pinned (private entities)",
+    )
+    write_result("E6b_thm6_pinned", table)
+
+
+def _witness_tour():
+    """SAT formula -> Fig. 3 graph -> C3 violation -> executable diverging
+    schedule (the Lemma 4 necessity gadget on reduction instances)."""
+    from repro.core.witnesses import (
+        check_multiwrite_divergence,
+        multiwrite_witness_continuation,
+    )
+    from repro.reductions.sat import dpll
+
+    rows = []
+    for seed in range(6):
+        formula = random_3sat(3, 5, seed=seed)
+        if dpll(formula) is None:
+            continue  # unsatisfiable: C deletable, nothing to witness
+        reduction = Theorem6Reduction(formula)
+        graph = reduction.build_graph()
+        violation = c3_violation_witness(graph, "C")
+        continuation = multiwrite_witness_continuation(graph, "C", violation)
+        divergence = check_multiwrite_divergence(graph, ["C"], continuation)
+        rows.append(
+            [seed, sorted(violation.abort_set), len(continuation),
+             divergence is not None]
+        )
+    return rows
+
+
+def bench_thm6_executable_witnesses(benchmark):
+    rows = once(benchmark, _witness_tour)
+    assert rows and all(row[3] for row in rows)
+    table = ascii_table(
+        ["seed", "abort set M", "continuation steps", "diverged"],
+        rows,
+        title="E6d: Lemma 4 witnesses on SAT-derived Fig. 3 graphs",
+    )
+    write_result("E6d_thm6_witnesses", table)
+
+
+def _enumeration_scaling():
+    rows = []
+    for n_vars in (2, 3, 4, 5):
+        formula = random_3sat(max(n_vars, 3), 3 * n_vars, seed=n_vars)
+        if n_vars == 2:
+            # random_3sat needs >= 3 vars; skip gracefully in the table.
+            continue
+        reduction = Theorem6Reduction(formula)
+        graph = reduction.build_graph()
+        actives = len(graph.active_transactions())
+        t0 = time.perf_counter()
+        reduction.c_is_deletable(max_actives=actives)
+        elapsed = time.perf_counter() - t0
+        rows.append([n_vars, actives, 2 ** actives, f"{elapsed * 1e3:.1f}"])
+    return rows
+
+
+def bench_thm6_enumeration_scaling(benchmark):
+    rows = once(benchmark, _enumeration_scaling)
+    # Time grows with the 2^actives search space.
+    times = [float(row[3]) for row in rows]
+    assert times[-1] > times[0]
+    table = ascii_table(
+        ["variables", "active txns", "abort sets (2^a)", "C3 check ms"],
+        rows,
+        title="E6c: C3 enumeration cost grows exponentially in actives",
+    )
+    write_result("E6c_thm6_scaling", table)

@@ -1,0 +1,103 @@
+"""E7 — Theorem 7 + Fig. 4 / Example 2: condition C4.
+
+Regenerates: the Example 2 verdicts (B pinned, C deletable, via the
+scheduler-built graph); witness-divergence for every C4 violation and
+lockstep agreement for every C4 approval on random predeclared workloads.
+"""
+
+from __future__ import annotations
+
+from _common import once, write_result
+
+from repro.analysis.report import ascii_table
+from repro.core.predeclared_conditions import can_delete_predeclared
+from repro.core.witnesses import (
+    check_predeclared_divergence,
+    predeclared_witness_continuation,
+)
+from repro.scheduler.predeclared import PredeclaredScheduler
+from repro.workloads.generator import WorkloadConfig, predeclared_stream
+from repro.workloads.traces import example2_graph
+
+
+def _example2():
+    _, graph = example2_graph()
+    return {
+        "arcs": sorted(graph.arcs()),
+        "B": can_delete_predeclared(graph, "B"),
+        "C": can_delete_predeclared(graph, "C"),
+    }
+
+
+def bench_fig4_example2(benchmark):
+    verdicts = once(benchmark, _example2)
+    assert verdicts["arcs"] == [("A", "B"), ("A", "C")]
+    assert not verdicts["B"] and verdicts["C"]
+    rows = [
+        ["graph arcs", verdicts["arcs"]],
+        ["C4(B)", verdicts["B"]],
+        ["C4(C)", verdicts["C"]],
+    ]
+    write_result(
+        "E7a_fig4_example2",
+        ascii_table(["quantity", "value"], rows, title="E7a: Fig. 4 / Example 2"),
+    )
+
+
+def _agreement(n_seeds: int = 40):
+    stats = {"deletable": 0, "pinned": 0, "diverged": 0, "silent": 0}
+    for seed in range(n_seeds):
+        config = WorkloadConfig(
+            n_transactions=10,
+            n_entities=8,
+            max_accesses=4,
+            multiprogramming=5,
+            write_fraction=0.4,
+            seed=seed,
+        )
+        stream = list(predeclared_stream(config))
+        scheduler = PredeclaredScheduler()
+        # Mid-stream snapshot: some transactions must still be active (and
+        # hold declared future accesses) for C4 to have any bite.
+        scheduler.feed_many(stream[: (6 * len(stream)) // 10])
+        graph = scheduler.graph
+        for txn in sorted(graph.completed_transactions()):
+            if can_delete_predeclared(graph, txn):
+                stats["deletable"] += 1
+                continue
+            stats["pinned"] += 1
+            continuation = predeclared_witness_continuation(graph, txn)
+            divergence = check_predeclared_divergence(graph, [txn], continuation)
+            if divergence is not None:
+                stats["diverged"] += 1
+            else:
+                stats["silent"] += 1
+    return stats
+
+
+def bench_thm7_necessity(benchmark):
+    stats = once(benchmark, _agreement)
+    assert stats["pinned"] == stats["diverged"] and stats["silent"] == 0
+    assert stats["pinned"] > 0 and stats["deletable"] > 0
+    rows = [
+        ["C4 approvals", stats["deletable"]],
+        ["C4 violations", stats["pinned"]],
+        ["violations with diverging witness", stats["diverged"]],
+        ["violations without (should be 0)", stats["silent"]],
+    ]
+    write_result(
+        "E7b_thm7_necessity",
+        ascii_table(["quantity", "value"], rows,
+                    title="E7b: Theorem 7 necessity on random predeclared graphs"),
+    )
+
+
+def bench_c4_check_latency(benchmark):
+    config = WorkloadConfig(
+        n_transactions=50, n_entities=10, multiprogramming=6, seed=17
+    )
+    scheduler = PredeclaredScheduler()
+    scheduler.feed_many(predeclared_stream(config))
+    graph = scheduler.graph
+    target = sorted(graph.completed_transactions())[-1]
+    benchmark(can_delete_predeclared, graph, target)

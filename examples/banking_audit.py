@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Banking workload: online transaction GC under long-running audits.
+
+The §1 motivation in miniature.  Short transfers/deposits stream through a
+conflict-graph scheduler while periodic read-only audit transactions scan
+many accounts.  While an audit is active it is a tight predecessor of every
+transfer that overwrote a balance it read, pinning those transfers in the
+graph; the deletion policies differ sharply in how much they can forget.
+
+Run:  python examples/banking_audit.py
+"""
+
+from repro import (
+    BankingConfig,
+    ConflictGraphScheduler,
+    EagerC1Policy,
+    Lemma1Policy,
+    NeverDeletePolicy,
+    NoncurrentPolicy,
+    ascii_table,
+    banking_stream,
+    run_with_policy,
+)
+from repro.analysis.report import format_series, rows_from_summaries
+
+
+def main() -> None:
+    config = BankingConfig(
+        n_accounts=12,
+        n_transfers=80,
+        audit_every=12,
+        audit_span=8,
+        zipf_s=0.9,
+        multiprogramming=6,
+        seed=2024,
+    )
+    stream = banking_stream(config)
+    print(f"banking stream: {len(stream)} steps, "
+          f"{len(stream.transactions())} transactions "
+          f"({sum(1 for t in stream.transactions() if t.startswith('AUDIT'))} audits)")
+
+    policies = [
+        NeverDeletePolicy(),
+        Lemma1Policy(),
+        NoncurrentPolicy(),
+        EagerC1Policy(),
+    ]
+    summaries = []
+    series = {}
+    for policy in policies:
+        metrics = run_with_policy(
+            ConflictGraphScheduler(), stream, policy, audit_csr=True
+        )
+        summaries.append(metrics.summary())
+        series[policy.name] = metrics.series("graph_size")
+
+    columns = [
+        "policy", "accepted", "aborted_txns", "deleted_txns",
+        "peak_graph", "mean_graph", "final_graph",
+    ]
+    print()
+    print(ascii_table(columns, rows_from_summaries(summaries, columns),
+                      title="-- policy comparison (audited: all runs CSR) --"))
+
+    print("\n-- graph size over time -------------------------------------")
+    for name, values in series.items():
+        print(format_series(f"{name:11s}", values))
+
+    print(
+        "\nReading: 'never' grows with every committed transfer; 'lemma1'"
+        "\nand 'noncurrent' flush between audits but stall while one is"
+        "\nlive; 'eager-c1' (the paper's necessary-and-sufficient test)"
+        "\nprunes everything the audits do not genuinely pin."
+    )
+
+
+if __name__ == "__main__":
+    main()

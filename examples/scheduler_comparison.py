@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Four concurrency-control strategies on one workload.
+
+Runs the same interleaved basic-model stream through:
+
+* strict two-phase locking (closes transactions at commit — §1's baseline),
+* the optimistic certifier (graph of completed transactions only),
+* the preventive conflict-graph scheduler with no deletion,
+* the preventive scheduler with the eager-C1 policy.
+
+and prints acceptance/abort/retention statistics.  The punchline is the
+paper's: locking forgets at commit but blocks and aborts more; the
+conflict-graph scheduler accepts every CSR interleaving but must retain
+completed transactions — unless the deletion conditions prune them.
+
+Run:  python examples/scheduler_comparison.py
+"""
+
+from repro import (
+    Certifier,
+    ConflictGraphScheduler,
+    EagerC1Policy,
+    NeverDeletePolicy,
+    StrictTwoPhaseLocking,
+    WorkloadConfig,
+    ascii_table,
+    basic_stream,
+    run_with_policy,
+)
+
+
+def main() -> None:
+    config = WorkloadConfig(
+        n_transactions=60,
+        n_entities=8,
+        multiprogramming=6,
+        write_fraction=0.5,
+        zipf_s=0.6,
+        seed=7,
+    )
+    stream = basic_stream(config)
+    print(f"workload: {len(stream)} steps, {config.n_transactions} transactions, "
+          f"{config.n_entities} entities, MPL={config.multiprogramming}")
+
+    runs = []
+    locking = StrictTwoPhaseLocking()
+    metrics = run_with_policy(locking, stream, audit_csr=True)
+    runs.append(("strict 2PL", metrics, 0))
+
+    certifier = Certifier()
+    metrics = run_with_policy(certifier, stream, audit_csr=True)
+    runs.append(("certifier (no GC)", metrics, len(certifier.graph)))
+
+    nodelete = ConflictGraphScheduler()
+    metrics = run_with_policy(nodelete, stream, NeverDeletePolicy(), audit_csr=True)
+    runs.append(("conflict graph (never delete)", metrics, len(nodelete.graph)))
+
+    pruned = ConflictGraphScheduler()
+    metrics = run_with_policy(pruned, stream, EagerC1Policy(), audit_csr=True)
+    runs.append(("conflict graph + eager-C1", metrics, len(pruned.graph)))
+
+    rows = []
+    for label, m, retained in runs:
+        rows.append([
+            label,
+            m.accepted_steps,
+            m.delayed_steps,
+            m.aborted_transactions,
+            m.committed_transactions,
+            m.peak_graph_size,
+            retained,
+        ])
+    print()
+    print(ascii_table(
+        ["scheduler", "accepted", "delayed", "aborts", "commits",
+         "peak graph", "final retained"],
+        rows,
+        title="-- all accepted subschedules audited conflict-serializable --",
+    ))
+
+    print(
+        "\nReading: 2PL retains nothing (closes at commit) but delays and"
+        "\ndeadlock-aborts; the certifier and the bare conflict-graph"
+        "\nscheduler accept more interleavings but hoard completed"
+        "\ntransactions; eager-C1 keeps the graph as small as safety allows."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The primary metadata lives in ``pyproject.toml``.  This file exists so the
+package remains installable in fully offline environments whose setuptools
+predates vendored wheel support (``pip install -e .`` needs the ``wheel``
+package for PEP 660 builds; ``python setup.py develop`` does not).
+"""
+
+from setuptools import setup
+
+setup()

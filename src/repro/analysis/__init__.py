@@ -1,0 +1,40 @@
+"""Offline analysis and the experiment runner.
+
+* :mod:`repro.analysis.serializability` — offline conflict-serializability
+  checking of accepted schedules (the ground truth every scheduler run is
+  audited against), equivalent serial orders, and a brute-force
+  view-serializability test for tiny schedules;
+* :mod:`repro.analysis.metrics` — per-run counters and time series (graph
+  size, retained completed transactions, aborts, deletions);
+* :mod:`repro.analysis.runner` — drive a step stream through a scheduler
+  with a deletion policy attached, sampling metrics;
+* :mod:`repro.analysis.report` — ASCII tables and series rendering used by
+  the benchmark harness.
+"""
+
+from repro.analysis.serializability import (
+    conflict_graph_of,
+    equivalent_serial_order,
+    is_conflict_serializable,
+    is_view_serializable,
+)
+from repro.analysis.metrics import RunMetrics, Sample
+from repro.analysis.runner import run_with_policy
+from repro.analysis.report import ascii_table, format_series
+from repro.analysis.validation import validate_reduced_graph
+from repro.analysis.visualize import render_ascii, render_dot
+
+__all__ = [
+    "conflict_graph_of",
+    "equivalent_serial_order",
+    "is_conflict_serializable",
+    "is_view_serializable",
+    "RunMetrics",
+    "Sample",
+    "run_with_policy",
+    "ascii_table",
+    "format_series",
+    "validate_reduced_graph",
+    "render_ascii",
+    "render_dot",
+]

@@ -1,0 +1,82 @@
+"""Run metrics: counters and time series for scheduler + policy runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Sample", "RunMetrics"]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One observation after processing a step (and applying the policy).
+
+    ``graph_size`` counts nodes in the scheduler's (possibly reduced)
+    graph; ``retained_completed`` counts the completed ones — the quantity
+    the deletion conditions exist to bound.
+    """
+
+    step_index: int
+    graph_size: int
+    retained_completed: int
+    arcs: int
+    active: int
+
+
+@dataclass
+class RunMetrics:
+    """Counters + series for one run."""
+
+    policy: str = "never"
+    scheduler: str = ""
+    samples: List[Sample] = field(default_factory=list)
+    accepted_steps: int = 0
+    rejected_steps: int = 0
+    delayed_steps: int = 0
+    ignored_steps: int = 0
+    aborted_transactions: int = 0
+    committed_transactions: int = 0
+    deleted_transactions: int = 0
+    policy_invocations: int = 0
+
+    def record_sample(self, sample: Sample) -> None:
+        self.samples.append(sample)
+
+    @property
+    def peak_graph_size(self) -> int:
+        return max((s.graph_size for s in self.samples), default=0)
+
+    @property
+    def peak_retained_completed(self) -> int:
+        return max((s.retained_completed for s in self.samples), default=0)
+
+    @property
+    def final_graph_size(self) -> int:
+        return self.samples[-1].graph_size if self.samples else 0
+
+    @property
+    def mean_graph_size(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.graph_size for s in self.samples) / len(self.samples)
+
+    def summary(self) -> Dict[str, object]:
+        """One table row for reports."""
+        return {
+            "policy": self.policy,
+            "scheduler": self.scheduler,
+            "accepted": self.accepted_steps,
+            "rejected": self.rejected_steps,
+            "delayed": self.delayed_steps,
+            "aborted_txns": self.aborted_transactions,
+            "committed_txns": self.committed_transactions,
+            "deleted_txns": self.deleted_transactions,
+            "peak_graph": self.peak_graph_size,
+            "peak_retained": self.peak_retained_completed,
+            "mean_graph": round(self.mean_graph_size, 2),
+            "final_graph": self.final_graph_size,
+        }
+
+    def series(self, attribute: str = "graph_size") -> List[int]:
+        return [getattr(sample, attribute) for sample in self.samples]

@@ -1,0 +1,84 @@
+"""ASCII reporting for the benchmark harness.
+
+The benchmarks print the tables and series they regenerate (EXPERIMENTS.md
+records the captured output); these helpers keep that formatting in one
+place and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+__all__ = ["ascii_table", "format_series", "rows_from_summaries"]
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Monospace table with a header rule.
+
+    >>> print(ascii_table(["a", "b"], [[1, 22], [333, 4]]))
+    a   | b
+    ----+---
+    1   | 22
+    333 | 4
+    """
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        " | ".join(header.ljust(width) for header, width in zip(headers, widths)).rstrip()
+    )
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in materialized:
+        lines.append(
+            " | ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    label: str,
+    values: Sequence[float],
+    width: int = 60,
+) -> str:
+    """A labelled sparkline-ish rendering of a numeric series.
+
+    Uses block characters scaled to the series maximum, plus min/max
+    annotations — readable in any terminal, grep-able in CI logs.
+    """
+    if not values:
+        return f"{label}: (empty)"
+    blocks = " ▁▂▃▄▅▆▇█"
+    peak = max(values) or 1
+    if len(values) > width:
+        # Downsample by taking the max of each bucket (peaks matter here).
+        bucket = len(values) / width
+        sampled = [
+            max(values[int(i * bucket) : max(int((i + 1) * bucket), int(i * bucket) + 1)])
+            for i in range(width)
+        ]
+    else:
+        sampled = list(values)
+    body = "".join(
+        blocks[min(int(value / peak * (len(blocks) - 1) + 0.5), len(blocks) - 1)]
+        for value in sampled
+    )
+    return f"{label}: [{body}] min={min(values)} max={peak}"
+
+
+def rows_from_summaries(
+    summaries: Iterable[Mapping[str, object]],
+    columns: Sequence[str],
+) -> List[List[object]]:
+    """Project summary dicts onto a column list (missing keys -> '')."""
+    return [
+        [summary.get(column, "") for column in columns] for summary in summaries
+    ]

@@ -1,0 +1,89 @@
+"""Drive a step stream through a scheduler with a deletion policy.
+
+This is the paper's §4 scheduling loop made concrete: *"when a new
+transaction step arrives, the function F is applied to the current graph
+giving a new graph G; then the set of nodes P(G) is removed."*  The runner
+additionally samples metrics after every (step, deletion) pair and can
+audit the final accepted subschedule for conflict serializability.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.analysis.metrics import RunMetrics, Sample
+from repro.analysis.serializability import is_conflict_serializable
+from repro.core.policies import DeletionPolicy, NeverDeletePolicy
+from repro.errors import SchedulerError
+from repro.model.schedule import Schedule
+from repro.model.steps import Step
+from repro.scheduler.base import SchedulerBase
+from repro.scheduler.events import Decision
+
+__all__ = ["run_with_policy"]
+
+
+def run_with_policy(
+    scheduler: SchedulerBase,
+    steps: Iterable[Step],
+    policy: Optional[DeletionPolicy] = None,
+    sample_every: int = 1,
+    audit_csr: bool = False,
+) -> RunMetrics:
+    """Feed *steps* to *scheduler*, applying *policy* after every step.
+
+    Parameters
+    ----------
+    scheduler:
+        A fresh scheduler instance (it is mutated).
+    steps:
+        The arriving step stream.
+    policy:
+        Deletion policy; default keeps everything.
+    sample_every:
+        Record a metrics sample every N steps (1 = always).
+    audit_csr:
+        After the run, assert the accepted subschedule is conflict
+        serializable (raises :class:`SchedulerError` otherwise) — the
+        Theorem 2 correctness audit.
+
+    Returns the populated :class:`~repro.analysis.metrics.RunMetrics`.
+    """
+    chosen_policy = policy if policy is not None else NeverDeletePolicy()
+    metrics = RunMetrics(
+        policy=chosen_policy.name, scheduler=type(scheduler).__name__
+    )
+    for index, step in enumerate(steps):
+        result = scheduler.feed(step)
+        if result.decision is Decision.ACCEPTED:
+            metrics.accepted_steps += 1
+        elif result.decision is Decision.REJECTED:
+            metrics.rejected_steps += 1
+        elif result.decision is Decision.DELAYED:
+            metrics.delayed_steps += 1
+        else:
+            metrics.ignored_steps += 1
+        metrics.aborted_transactions += len(result.aborted)
+        metrics.committed_transactions += len(result.committed)
+        deleted = chosen_policy.apply(scheduler)
+        metrics.deleted_transactions += len(deleted)
+        metrics.policy_invocations += 1
+        if index % sample_every == 0:
+            graph = scheduler.graph
+            metrics.record_sample(
+                Sample(
+                    step_index=index,
+                    graph_size=len(graph),
+                    retained_completed=len(graph.completed_transactions()),
+                    arcs=graph.arc_count(),
+                    active=len(graph.active_transactions()),
+                )
+            )
+    if audit_csr:
+        accepted = scheduler.accepted_subschedule()
+        if not is_conflict_serializable(accepted):
+            raise SchedulerError(
+                "accepted subschedule is not conflict serializable: "
+                f"{accepted}"
+            )
+    return metrics

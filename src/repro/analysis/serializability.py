@@ -1,0 +1,162 @@
+"""Offline serializability checking.
+
+These functions look at a *finished* schedule (no scheduler in the loop)
+and decide correctness after the fact.  They are the audit layer: every
+integration test runs a scheduler, takes its accepted subschedule, and
+asserts conflict serializability here — with an implementation that shares
+no code with the schedulers (it builds its conflict graph from raw step
+pairs, not through Rules 1-3).
+
+Also provided: a brute-force **view** serializability test for very small
+schedules.  Conflict serializability implies view serializability; the
+paper leans on CSR because VSR testing is NP-complete, and the tests
+exercise exactly that inclusion.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ModelError
+from repro.graphs.cycles import has_cycle, topological_order
+from repro.graphs.digraph import DiGraph
+from repro.model.entities import Entity
+from repro.model.schedule import Schedule
+from repro.model.status import AccessMode
+from repro.model.steps import (
+    Begin,
+    BeginDeclared,
+    Finish,
+    Read,
+    Step,
+    TxnId,
+    Write,
+    WriteItem,
+)
+
+__all__ = [
+    "conflict_graph_of",
+    "is_conflict_serializable",
+    "equivalent_serial_order",
+    "is_view_serializable",
+]
+
+# (position, txn, entity, mode) — the flattened access list of a schedule.
+_Access = Tuple[int, TxnId, Entity, AccessMode]
+
+
+def _accesses(schedule: Schedule | Sequence[Step]) -> List[_Access]:
+    accesses: List[_Access] = []
+    for position, step in enumerate(schedule):
+        if isinstance(step, Read):
+            accesses.append((position, step.txn, step.entity, AccessMode.READ))
+        elif isinstance(step, Write):
+            for entity in sorted(step.entities):
+                accesses.append((position, step.txn, entity, AccessMode.WRITE))
+        elif isinstance(step, WriteItem):
+            accesses.append((position, step.txn, step.entity, AccessMode.WRITE))
+        elif isinstance(step, (Begin, BeginDeclared, Finish)):
+            continue
+        else:
+            raise ModelError(f"unknown step kind {type(step).__name__}")
+    return accesses
+
+
+def conflict_graph_of(schedule: Schedule | Sequence[Step]) -> DiGraph:
+    """The conflict graph of a schedule, from first principles.
+
+    Nodes: every transaction with a step in the schedule (BEGIN included).
+    Arc ``Ti -> Tj`` iff some access of ``Ti`` precedes a conflicting
+    access of ``Tj``.
+    """
+    graph = DiGraph()
+    for step in schedule:
+        graph.add_node(step.txn)
+    accesses = _accesses(schedule)
+    for i, (_, txn_a, entity_a, mode_a) in enumerate(accesses):
+        for _, txn_b, entity_b, mode_b in accesses[i + 1 :]:
+            if txn_a == txn_b or entity_a != entity_b:
+                continue
+            if mode_a.is_write or mode_b.is_write:
+                if not graph.has_arc(txn_a, txn_b):
+                    graph.add_arc(txn_a, txn_b)
+    return graph
+
+
+def is_conflict_serializable(schedule: Schedule | Sequence[Step]) -> bool:
+    """Acyclicity of the conflict graph [EGLT]."""
+    return not has_cycle(conflict_graph_of(schedule))
+
+
+def equivalent_serial_order(
+    schedule: Schedule | Sequence[Step],
+) -> Optional[List[TxnId]]:
+    """A serial order conflict-equivalent to the schedule, or ``None``."""
+    graph = conflict_graph_of(schedule)
+    if has_cycle(graph):
+        return None
+    return topological_order(graph)
+
+
+# ---------------------------------------------------------------------------
+# View serializability (brute force, tiny schedules only)
+# ---------------------------------------------------------------------------
+
+
+def _view_profile(
+    accesses: List[_Access],
+) -> Tuple[Dict[Tuple[int, Entity], Optional[TxnId]], Dict[Entity, Optional[TxnId]]]:
+    """Reads-from map (per read occurrence) and final writers.
+
+    Read occurrences are keyed by (ordinal within its transaction+entity,
+    entity) pairs so schedules with repeated reads compare correctly.
+    """
+    last_writer: Dict[Entity, Optional[TxnId]] = {}
+    reads_from: Dict[Tuple[TxnId, Entity, int], Optional[TxnId]] = {}
+    read_counts: Dict[Tuple[TxnId, Entity], int] = {}
+    for _pos, txn, entity, mode in accesses:
+        if mode.is_write:
+            last_writer[entity] = txn
+        else:
+            ordinal = read_counts.get((txn, entity), 0)
+            read_counts[(txn, entity)] = ordinal + 1
+            reads_from[(txn, entity, ordinal)] = last_writer.get(entity)
+    finals = dict(last_writer)
+    return reads_from, finals  # type: ignore[return-value]
+
+
+def _serial_accesses(
+    schedule: Schedule | Sequence[Step], order: Sequence[TxnId]
+) -> List[_Access]:
+    per_txn: Dict[TxnId, List[_Access]] = {}
+    for access in _accesses(schedule):
+        per_txn.setdefault(access[1], []).append(access)
+    result: List[_Access] = []
+    for txn in order:
+        result.extend(per_txn.get(txn, ()))
+    return result
+
+
+def is_view_serializable(
+    schedule: Schedule | Sequence[Step],
+    max_transactions: int = 8,
+) -> bool:
+    """Brute-force view serializability (permutations of transactions).
+
+    View equivalence = identical reads-from relation for every read, and
+    identical final writer per entity.  NP-complete in general; guarded by
+    ``max_transactions``.
+    """
+    steps = list(schedule)
+    txns = sorted({step.txn for step in steps})
+    if len(txns) > max_transactions:
+        raise ModelError(
+            f"view-serializability brute force over {len(txns)}! orders "
+            f"refused (max_transactions={max_transactions})"
+        )
+    target = _view_profile(_accesses(steps))
+    for order in itertools.permutations(txns):
+        if _view_profile(_serial_accesses(steps, order)) == target:
+            return True
+    return False

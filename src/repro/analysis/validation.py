@@ -1,0 +1,90 @@
+"""Structural validation of reduced graphs (§4, properties (1)-(3)).
+
+A graph maintained by a scheduler + deletion policy must remain a *reduced
+graph of p*: (1) acyclic; (2) its nodes are transactions of the schedule,
+including **all** active ones; (3) whenever two present transactions
+executed conflicting steps, an arc records their order (extra arcs from
+removals are fine).  :func:`validate_reduced_graph` checks all three
+against the accepted schedule and raises :class:`GraphError` on the first
+violation — the invariant harness used by the integration tests after
+policy-driven deletions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.reduced_graph import ReducedGraph
+from repro.errors import GraphError
+from repro.graphs.cycles import has_cycle
+from repro.model.entities import Entity
+from repro.model.schedule import Schedule
+from repro.model.status import AccessMode
+from repro.model.steps import Read, Write, WriteItem
+
+__all__ = ["validate_reduced_graph"]
+
+
+def _executed_accesses(
+    schedule: Schedule,
+) -> List[Tuple[int, str, Entity, AccessMode]]:
+    accesses: List[Tuple[int, str, Entity, AccessMode]] = []
+    for position, step in enumerate(schedule):
+        if isinstance(step, Read):
+            accesses.append((position, step.txn, step.entity, AccessMode.READ))
+        elif isinstance(step, Write):
+            for entity in sorted(step.entities):
+                accesses.append((position, step.txn, entity, AccessMode.WRITE))
+        elif isinstance(step, WriteItem):
+            accesses.append((position, step.txn, step.entity, AccessMode.WRITE))
+    return accesses
+
+
+def validate_reduced_graph(
+    graph: ReducedGraph,
+    accepted: Schedule,
+) -> None:
+    """Assert properties (1)-(3) of §4 for *graph* against *accepted*.
+
+    *accepted* must be the accepted subschedule of the run that produced
+    the graph (delayed-model schedulers should pass their executed
+    schedule).  Raises :class:`GraphError` on the first violation.
+    """
+    # (1) acyclic.
+    if has_cycle(graph.as_digraph()):
+        raise GraphError("reduced graph contains a cycle")
+    # (2) nodes ⊆ schedule's transactions, and every active one present.
+    schedule_txns = accepted.transactions()
+    for txn in graph.nodes():
+        if txn not in schedule_txns:
+            raise GraphError(f"graph node {txn!r} never appeared in the schedule")
+    present_actives = graph.active_transactions()
+    live = accepted.active_transactions() - graph.aborted_transactions()
+    missing = live - set(graph.nodes())
+    if missing:
+        raise GraphError(
+            f"active transactions missing from the graph: {sorted(missing)}"
+        )
+    if any(graph.state(txn).is_aborted for txn in graph.nodes()):
+        raise GraphError("aborted transaction still present in the graph")
+    del present_actives
+    # (3) every executed conflict between present transactions has an arc
+    # in execution order.
+    accesses = _executed_accesses(accepted)
+    present = graph.nodes()
+    for i, (_, txn_a, entity_a, mode_a) in enumerate(accesses):
+        if txn_a not in present:
+            continue
+        for _, txn_b, entity_b, mode_b in accesses[i + 1 :]:
+            if (
+                txn_b not in present
+                or txn_a == txn_b
+                or entity_a != entity_b
+                or not (mode_a.is_write or mode_b.is_write)
+            ):
+                continue
+            if not graph.has_arc(txn_a, txn_b):
+                raise GraphError(
+                    f"conflict {txn_a}:{mode_a}/{txn_b}:{mode_b} on "
+                    f"{entity_a!r} has no arc {txn_a} -> {txn_b}"
+                )

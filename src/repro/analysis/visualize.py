@@ -1,0 +1,96 @@
+"""Rendering reduced graphs for humans.
+
+Two renderers:
+
+* :func:`render_ascii` — a compact terminal view: one line per transaction
+  with its state letter (A/F/C), strongest accesses, declared futures, and
+  outgoing arcs;
+* :func:`render_dot` — Graphviz with the paper's visual conventions:
+  active transactions as double circles, F nodes dashed, committed solid;
+  write-read dependency arcs dashed (as in Fig. 3).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.reduced_graph import ReducedGraph
+from repro.model.status import TxnState
+
+__all__ = ["render_ascii", "render_dot"]
+
+
+def _access_summary(graph: ReducedGraph, txn: str) -> str:
+    info = graph.info(txn)
+    parts = [
+        f"{mode.name[0].lower()}{entity}"
+        for entity, mode in sorted(info.accesses.items())
+    ]
+    if info.future:
+        parts.extend(
+            f"{mode.name[0].lower()}{entity}?"
+            for entity, mode in sorted(info.future.items())
+        )
+    return ",".join(parts) or "-"
+
+
+def render_ascii(graph: ReducedGraph, title: str = "") -> str:
+    """One line per transaction: ``state txn [accesses] -> successors``.
+
+    Declared-but-unexecuted accesses carry a trailing ``?``.
+
+    >>> from repro.workloads.traces import example1_graph
+    >>> print(render_ascii(example1_graph()))  # doctest: +NORMALIZE_WHITESPACE
+    [A] T1 (rx) -> T2, T3
+    [C] T2 (wx) -> T3
+    [C] T3 (wx) ->
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for txn in sorted(graph.nodes()):
+        info = graph.info(txn)
+        successors = ", ".join(sorted(graph.successors(txn)))
+        lines.append(
+            f"[{info.state.paper_letter}] {txn} "
+            f"({_access_summary(graph, txn)}) -> {successors}".rstrip()
+        )
+    if graph.deleted_transactions():
+        lines.append(f"(deleted: {', '.join(sorted(graph.deleted_transactions()))})")
+    if graph.aborted_transactions():
+        lines.append(f"(aborted: {', '.join(sorted(graph.aborted_transactions()))})")
+    return "\n".join(lines)
+
+
+_STATE_STYLE = {
+    TxnState.ACTIVE: 'shape=doublecircle, style=""',
+    TxnState.FINISHED: 'shape=circle, style=dashed',
+    TxnState.COMMITTED: 'shape=circle, style=solid',
+    TxnState.ABORTED: 'shape=circle, style=dotted',
+}
+
+
+def render_dot(graph: ReducedGraph, name: str = "RG") -> str:
+    """Graphviz source with Fig. 3's conventions.
+
+    Dependency arcs (head reads from tail — the multiwrite model's
+    ``reads_from``) render dashed, ordinary conflict arcs solid.
+    """
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for txn in sorted(graph.nodes()):
+        info = graph.info(txn)
+        style = _STATE_STYLE[info.state]
+        label = f"{txn}\\n{_access_summary(graph, txn)}"
+        lines.append(f'  "{txn}" [{style}, label="{label}"];')
+    dependency_arcs = {
+        (writer, reader)
+        for reader in graph.nodes()
+        for writer in graph.info(reader).reads_from
+    }
+    for tail, head in sorted(graph.arcs()):
+        if (tail, head) in dependency_arcs:
+            lines.append(f'  "{tail}" -> "{head}" [style=dashed];')
+        else:
+            lines.append(f'  "{tail}" -> "{head}";')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    The Example 1 walkthrough (graph, conditions, witness divergence).
+``run``
+    Stream a generated workload through a chosen scheduler + policy and
+    print the metrics table and graph-size series.
+``compare``
+    All applicable policies on one workload, one table.
+``dump``
+    Run a workload and print the final reduced graph (ascii, dot, or json).
+
+Every command is seeded and deterministic; ``--help`` on each shows its
+knobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.report import ascii_table, format_series, rows_from_summaries
+from repro.analysis.runner import run_with_policy
+from repro.analysis.visualize import render_ascii, render_dot
+from repro.core.policies import (
+    DeletionPolicy,
+    EagerC1Policy,
+    EagerC3Policy,
+    EagerC4Policy,
+    Lemma1Policy,
+    NeverDeletePolicy,
+    NoncurrentPolicy,
+    OptimalPolicy,
+)
+from repro.io import graph_to_json
+from repro.scheduler.certifier import Certifier
+from repro.scheduler.conflict import ConflictGraphScheduler
+from repro.scheduler.locking import StrictTwoPhaseLocking
+from repro.scheduler.multiwrite import MultiwriteScheduler
+from repro.scheduler.predeclared import PredeclaredScheduler
+from repro.workloads.generator import (
+    WorkloadConfig,
+    basic_stream,
+    multiwrite_stream,
+    predeclared_stream,
+)
+
+__all__ = ["main"]
+
+_SCHEDULERS: Dict[str, Callable] = {
+    "conflict": ConflictGraphScheduler,
+    "certifier": Certifier,
+    "2pl": StrictTwoPhaseLocking,
+    "multiwrite": MultiwriteScheduler,
+    "predeclared": PredeclaredScheduler,
+}
+
+_POLICIES: Dict[str, Callable[[], DeletionPolicy]] = {
+    "never": NeverDeletePolicy,
+    "lemma1": Lemma1Policy,
+    "noncurrent": NoncurrentPolicy,
+    "eager-c1": EagerC1Policy,
+    "optimal": OptimalPolicy,
+    "eager-c3": EagerC3Policy,
+    "eager-c4": EagerC4Policy,
+}
+
+_STREAMS = {
+    "conflict": basic_stream,
+    "certifier": basic_stream,
+    "2pl": basic_stream,
+    "multiwrite": multiwrite_stream,
+    "predeclared": predeclared_stream,
+}
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--transactions", type=int, default=40)
+    parser.add_argument("--entities", type=int, default=10)
+    parser.add_argument("--mpl", type=int, default=5,
+                        help="multiprogramming level")
+    parser.add_argument("--write-fraction", type=float, default=0.4)
+    parser.add_argument("--zipf", type=float, default=0.0,
+                        help="entity skew (0 = uniform)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _config(args: argparse.Namespace) -> WorkloadConfig:
+    return WorkloadConfig(
+        n_transactions=args.transactions,
+        n_entities=args.entities,
+        multiprogramming=args.mpl,
+        write_fraction=args.write_fraction,
+        zipf_s=args.zipf,
+        max_accesses=min(4, args.entities),
+        seed=args.seed,
+    )
+
+
+def _demo(_args: argparse.Namespace) -> int:
+    """Inline Example 1 walkthrough (no dependency on examples/)."""
+    from repro.core.conditions import can_delete
+    from repro.core.set_conditions import can_delete_set
+    from repro.core.witnesses import basic_witness_continuation, check_divergence
+    from repro.workloads.traces import example1_graph
+
+    graph = example1_graph()
+    print(render_ascii(graph, title="Example 1 (Fig. 1):"))
+    print(f"\nC1(T2) = {can_delete(graph, 'T2')}")
+    print(f"C1(T3) = {can_delete(graph, 'T3')}")
+    print(f"C2({{T2, T3}}) = {can_delete_set(graph, {'T2', 'T3'})}")
+    reduced = graph.reduced_by(["T3"])
+    print(f"after deleting T3: C1(T2) = {can_delete(reduced, 'T2')}")
+    continuation = basic_witness_continuation(reduced, "T2")
+    print("witness:", " ".join(str(s) for s in continuation))
+    print(check_divergence(reduced, ["T2"], continuation))
+    return 0
+
+
+def _run(args: argparse.Namespace) -> int:
+    scheduler = _SCHEDULERS[args.scheduler]()
+    stream = _STREAMS[args.scheduler](_config(args))
+    policy = _POLICIES[args.policy]()
+    metrics = run_with_policy(scheduler, stream, policy, audit_csr=not args.no_audit)
+    columns = list(metrics.summary())
+    print(ascii_table(columns, [list(metrics.summary().values())]))
+    print(format_series("graph size", metrics.series("graph_size")))
+    return 0
+
+
+def _compare(args: argparse.Namespace) -> int:
+    config = _config(args)
+    stream = basic_stream(config)
+    names = ["never", "lemma1", "noncurrent", "eager-c1"]
+    summaries = []
+    for name in names:
+        metrics = run_with_policy(
+            ConflictGraphScheduler(), stream, _POLICIES[name](), audit_csr=True
+        )
+        summaries.append(metrics.summary())
+    columns = ["policy", "accepted", "aborted_txns", "deleted_txns",
+               "peak_graph", "mean_graph", "final_graph"]
+    print(ascii_table(columns, rows_from_summaries(summaries, columns),
+                      title="policy comparison (conflict-graph scheduler)"))
+    return 0
+
+
+def _dump(args: argparse.Namespace) -> int:
+    scheduler = _SCHEDULERS[args.scheduler]()
+    stream = _STREAMS[args.scheduler](_config(args))
+    policy = _POLICIES[args.policy]()
+    run_with_policy(scheduler, stream, policy)
+    graph = scheduler.graph
+    if args.format == "ascii":
+        print(render_ascii(graph, title=f"final reduced graph ({args.scheduler})"))
+    elif args.format == "dot":
+        print(render_dot(graph))
+    else:
+        print(graph_to_json(graph))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Deleting Completed Transactions — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="Example 1 walkthrough").set_defaults(fn=_demo)
+
+    run_parser = sub.add_parser("run", help="one scheduler + policy run")
+    run_parser.add_argument("--scheduler", choices=sorted(_SCHEDULERS),
+                            default="conflict")
+    run_parser.add_argument("--policy", choices=sorted(_POLICIES),
+                            default="eager-c1")
+    run_parser.add_argument("--no-audit", action="store_true",
+                            help="skip the offline CSR audit")
+    _add_workload_args(run_parser)
+    run_parser.set_defaults(fn=_run)
+
+    compare_parser = sub.add_parser("compare", help="policies side by side")
+    _add_workload_args(compare_parser)
+    compare_parser.set_defaults(fn=_compare)
+
+    dump_parser = sub.add_parser("dump", help="print the final reduced graph")
+    dump_parser.add_argument("--scheduler", choices=sorted(_SCHEDULERS),
+                             default="conflict")
+    dump_parser.add_argument("--policy", choices=sorted(_POLICIES),
+                             default="never")
+    dump_parser.add_argument("--format", choices=["ascii", "dot", "json"],
+                             default="ascii")
+    _add_workload_args(dump_parser)
+    dump_parser.set_defaults(fn=_dump)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Deletion theory: the paper's primary contribution.
+
+* :mod:`repro.core.reduced_graph` — reduced graphs of a schedule (§4):
+  conflict graphs enriched with per-transaction payloads, the removal
+  operation ``D(G, N)``, and abort semantics;
+* :mod:`repro.core.conditions` — Lemma 1, condition C1 (Theorem 1),
+  noncurrency (Corollary 1);
+* :mod:`repro.core.set_conditions` — condition C2 (Theorem 4) for set
+  deletions;
+* :mod:`repro.core.multiwrite_conditions` — condition C3 (Lemma 4 /
+  Theorem 6) for the multiple-write-step model;
+* :mod:`repro.core.predeclared_conditions` — condition C4 (Theorem 7) for
+  predeclared transactions;
+* :mod:`repro.core.policies` — deletion policies (Theorem 2 framework);
+* :mod:`repro.core.optimal` — the Theorem 5 optimization problem: exact and
+  greedy maximum safe deletion sets;
+* :mod:`repro.core.witnesses` — constructive unsafety witnesses from the
+  necessity proofs;
+* :mod:`repro.core.oracle` — bounded exhaustive lockstep safety oracle;
+* :mod:`repro.core.bounds` — the §4 ``a·e`` bound on irreducible graphs.
+"""
+
+from repro.core.reduced_graph import ReducedGraph, TxnInfo
+from repro.core.conditions import (
+    can_delete,
+    c1_violations,
+    has_no_active_predecessors,
+    is_noncurrent,
+)
+from repro.core.set_conditions import can_delete_set, c2_violations
+from repro.core.multiwrite_conditions import (
+    can_delete_multiwrite,
+    c3_violation_witness,
+)
+from repro.core.predeclared_conditions import (
+    can_delete_predeclared,
+    c4_violations,
+)
+from repro.core.policies import (
+    DeletionPolicy,
+    EagerC1Policy,
+    Lemma1Policy,
+    NeverDeletePolicy,
+    NoncurrentPolicy,
+    OptimalPolicy,
+)
+from repro.core.optimal import (
+    greedy_safe_deletion_set,
+    maximum_safe_deletion_set,
+)
+from repro.core.bounds import irreducible_bound, witness_map
+
+__all__ = [
+    "ReducedGraph",
+    "TxnInfo",
+    "can_delete",
+    "c1_violations",
+    "has_no_active_predecessors",
+    "is_noncurrent",
+    "can_delete_set",
+    "c2_violations",
+    "can_delete_multiwrite",
+    "c3_violation_witness",
+    "can_delete_predeclared",
+    "c4_violations",
+    "DeletionPolicy",
+    "NeverDeletePolicy",
+    "Lemma1Policy",
+    "NoncurrentPolicy",
+    "EagerC1Policy",
+    "OptimalPolicy",
+    "greedy_safe_deletion_set",
+    "maximum_safe_deletion_set",
+    "irreducible_bound",
+    "witness_map",
+]

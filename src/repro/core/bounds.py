@@ -1,0 +1,84 @@
+"""The §4 size bound on irreducible graphs.
+
+End of §4: *"if the number of active transactions and the size of the
+database are bounded, then any irreducible graph (graph from which no
+transaction can be removed) has also bounded size ... if the number of
+active transactions is a and the number of entities is e, an irreducible
+graph can have no more than a·e completed transactions."*
+
+The argument: associate with every completed ``Ti`` in an irreducible graph
+its nonempty set of C1-refuting witness pairs ``(Tj, x)``; no two completed
+transactions can share a pair (the stronger accessor of ``x`` would
+otherwise witness for the weaker), so the pairs injectively map completed
+transactions into ``actives × entities``.
+
+This module computes witness-pair maps, checks the disjointness invariant,
+and exposes the bound itself for the E8 experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.core.conditions import C1Violation, c1_violations
+from repro.core.reduced_graph import ReducedGraph
+from repro.errors import DeletionError
+from repro.model.entities import Entity
+from repro.model.steps import TxnId
+
+__all__ = [
+    "irreducible_bound",
+    "is_irreducible",
+    "witness_map",
+    "verify_witness_disjointness",
+]
+
+
+def irreducible_bound(active_count: int, entity_count: int) -> int:
+    """The maximum number of completed transactions an irreducible graph
+    can hold: ``a · e``."""
+    return active_count * entity_count
+
+
+def is_irreducible(graph: ReducedGraph) -> bool:
+    """No completed transaction satisfies C1."""
+    return all(
+        c1_violations(graph, txn, first_only=True)
+        for txn in graph.completed_transactions()
+    )
+
+
+def witness_map(
+    graph: ReducedGraph,
+) -> Dict[TxnId, FrozenSet[Tuple[TxnId, Entity]]]:
+    """For each completed transaction, its set of C1-refuting pairs.
+
+    An empty set means the transaction is deletable (and the graph is not
+    irreducible).
+    """
+    result: Dict[TxnId, FrozenSet[Tuple[TxnId, Entity]]] = {}
+    for txn in sorted(graph.completed_transactions()):
+        violations = c1_violations(graph, txn)
+        result[txn] = frozenset(
+            (violation.active_pred, violation.entity) for violation in violations
+        )
+    return result
+
+
+def verify_witness_disjointness(graph: ReducedGraph) -> None:
+    """Assert the §4 argument on *graph*: witness-pair sets of distinct
+    completed transactions are pairwise disjoint.
+
+    Raises :class:`DeletionError` with the offending pair if the invariant
+    fails (which would falsify the a·e bound argument).
+    """
+    owners: Dict[Tuple[TxnId, Entity], TxnId] = {}
+    for txn, pairs in witness_map(graph).items():
+        for pair in pairs:
+            previous = owners.get(pair)
+            if previous is not None and previous != txn:
+                raise DeletionError(
+                    f"witness pair {pair!r} shared by completed "
+                    f"transactions {previous!r} and {txn!r}"
+                )
+            owners[pair] = txn

@@ -1,0 +1,188 @@
+"""Condition C3 — deletion safety in the multiple-write-step model (§5).
+
+With multiple write steps, transactions read dirty data and may be forced
+to abort later (cascading aborts), so whether a committed ``Ti`` is still
+needed depends on *which active transactions might abort*:
+
+    (C3) For each set ``M`` of active transactions, for each entity ``x``
+    accessed by ``Ti``: if ``G − M⁺`` has an FC-path from an active
+    transaction ``Tj`` to ``Ti``, then it also has a path from ``Tj`` to
+    some other transaction ``Tk`` that accesses ``x`` at least as strongly
+    as ``Ti``.
+
+``M⁺`` is ``M`` plus every transaction that (transitively) depends on a
+member — aborting ``M`` wipes out exactly ``M⁺``.  The second path may use
+nodes of any type; Lemma 4 proves C3 necessary and sufficient for the safe
+deletion of a *committed* transaction, and Theorem 6 proves that deciding
+its failure is NP-complete (so this checker enumerates subsets ``M``,
+exponential in the number of active transactions — with pruning, and a
+guard against accidentally feeding it a huge graph).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.reduced_graph import ReducedGraph
+from repro.errors import DeletionError, NotCompletedError, UnknownTransactionError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.paths import has_restricted_path, reachable_from
+from repro.model.entities import Entity
+from repro.model.status import AccessMode, TxnState
+from repro.model.steps import TxnId
+
+__all__ = [
+    "C3Violation",
+    "can_delete_multiwrite",
+    "c3_violation_witness",
+    "dependents_closure",
+]
+
+
+@dataclass(frozen=True)
+class C3Violation:
+    """A witness refuting C3: aborting ``abort_set`` (whose closure is
+    ``abort_closure``) leaves an FC-path from ``active_pred`` to the
+    candidate but no second path to a strong-enough ``Tk`` for ``entity``."""
+
+    candidate: TxnId
+    abort_set: FrozenSet[TxnId]
+    abort_closure: FrozenSet[TxnId]
+    active_pred: TxnId
+    entity: Entity
+    required_mode: AccessMode
+
+    def __str__(self) -> str:
+        aborts = ", ".join(sorted(self.abort_set)) or "∅"
+        return (
+            f"C3 violated for {self.candidate}: abort M={{{aborts}}} leaves "
+            f"an FC-path {self.active_pred} ->* {self.candidate} with no "
+            f"witness path for {self.entity!r} (>= {self.required_mode})"
+        )
+
+
+def dependents_closure(
+    graph: ReducedGraph, aborted: Iterable[TxnId]
+) -> FrozenSet[TxnId]:
+    """``M⁺``: the aborted set plus everything transitively reading from it.
+
+    Dependencies are the ``reads_from`` edges recorded by the multiwrite
+    scheduler (``t.reads_from ∋ u`` means *t read a value u wrote before u
+    committed*).
+    """
+    reverse: Dict[TxnId, Set[TxnId]] = {}
+    for node in graph:
+        for target in graph.info(node).reads_from:
+            reverse.setdefault(target, set()).add(node)
+    closure: Set[TxnId] = set(aborted)
+    stack = list(closure)
+    while stack:
+        node = stack.pop()
+        for dependent in reverse.get(node, ()):
+            if dependent not in closure:
+                closure.add(dependent)
+                stack.append(dependent)
+    return frozenset(closure)
+
+
+def _check_condition_for_subgraph(
+    graph: ReducedGraph,
+    surviving: DiGraph,
+    candidate: TxnId,
+    accesses: Dict[Entity, AccessMode],
+) -> Optional[Tuple[TxnId, Entity]]:
+    """Check C3's inner implication on ``G − M⁺`` (= *surviving*).
+
+    Returns a refuting (Tj, x) pair or ``None`` if the implication holds
+    for this abort choice.
+    """
+    is_completed = (
+        lambda node: graph.info(node).state.is_completed
+    )  # F or C: the FC-path predicate
+    actives_alive = [
+        node
+        for node in surviving
+        if node != candidate and graph.state(node).is_active
+    ]
+    for pred in sorted(actives_alive):
+        if not has_restricted_path(surviving, pred, candidate, via=is_completed):
+            continue
+        # Second path: plain reachability, any node types.
+        reachable = reachable_from(surviving, pred)
+        for entity in sorted(accesses):
+            required = accesses[entity]
+            witnessed = any(
+                other != candidate
+                and graph.info(other).accesses_at_least(entity, required)
+                for other in reachable
+            )
+            if not witnessed:
+                return (pred, entity)
+    return None
+
+
+def c3_violation_witness(
+    graph: ReducedGraph,
+    candidate: TxnId,
+    max_actives: int = 20,
+) -> Optional[C3Violation]:
+    """Search all abort sets ``M`` for a C3 violation (``None`` = safe).
+
+    Only *committed* transactions are deletable in the multiwrite model
+    (F transactions may still abort); passing an F/active candidate raises.
+
+    The search enumerates subsets of the active transactions in increasing
+    size, so the returned witness has a minimal abort set.  ``max_actives``
+    guards against accidental exponential blow-ups (Theorem 6 says there is
+    no general shortcut).
+    """
+    if candidate not in graph:
+        raise UnknownTransactionError(candidate)
+    state = graph.state(candidate)
+    if state is not TxnState.COMMITTED:
+        raise NotCompletedError(candidate, state)
+    actives = sorted(graph.active_transactions())
+    if len(actives) > max_actives:
+        raise DeletionError(
+            f"C3 check needs 2^{len(actives)} abort-set evaluations; "
+            f"max_actives={max_actives} (raise it explicitly if intended)"
+        )
+    accesses = dict(graph.info(candidate).accesses)
+    if not accesses:
+        return None
+    base = graph.as_digraph()
+    for size in range(len(actives) + 1):
+        for abort_set in itertools.combinations(actives, size):
+            closure = dependents_closure(graph, abort_set)
+            if candidate in closure:
+                # A committed transaction never depends on an active one;
+                # reaching here would mean corrupted reads_from data.
+                raise DeletionError(
+                    f"committed {candidate!r} depends on active transactions"
+                )
+            surviving = base.subgraph_without(closure)
+            refuted = _check_condition_for_subgraph(
+                graph, surviving, candidate, accesses
+            )
+            if refuted is not None:
+                pred, entity = refuted
+                return C3Violation(
+                    candidate=candidate,
+                    abort_set=frozenset(abort_set),
+                    abort_closure=closure,
+                    active_pred=pred,
+                    entity=entity,
+                    required_mode=accesses[entity],
+                )
+    return None
+
+
+def can_delete_multiwrite(
+    graph: ReducedGraph,
+    candidate: TxnId,
+    max_actives: int = 20,
+) -> bool:
+    """Lemma 4: is deleting the committed *candidate* safe (C3 holds)?"""
+    return c3_violation_witness(graph, candidate, max_actives) is None

@@ -1,0 +1,276 @@
+"""The Theorem 5 optimization problem: maximum safe deletion sets.
+
+Let ``M`` be the set of completed transactions satisfying C1.  Every safely
+deletable set is a subset of ``M`` (Theorem 3), and a subset ``N ⊆ M`` is
+safe iff condition C2 holds (Theorem 4) — equivalently, in the *demand /
+witness* view used here:
+
+* each candidate ``Ti`` carries **demands**, one per (active tight
+  predecessor ``Tj``, accessed entity ``x``) pair;
+* the **witness set** of a demand is the set of completed tight successors
+  of ``Tj`` (≠ ``Ti``) accessing ``x`` at least as strongly as ``Ti``;
+* ``N`` is safe iff every demand of every member keeps at least one
+  witness **outside** ``N``.
+
+Demands with a witness that is not itself a candidate are auto-satisfied
+(that witness can never be deleted), so only witnesses inside ``M`` are
+tracked.  Finding the maximum safe ``N`` is NP-complete (Theorem 5, by
+reduction from SET COVER — see :mod:`repro.reductions.thm5`); this module
+provides:
+
+* :func:`maximum_safe_deletion_set` — exact branch-and-bound over
+  delete/keep decisions with witness counting;
+* :func:`greedy_safe_deletion_set` — the linear-time greedy baseline
+  (equivalent to repeatedly deleting any transaction that C1 admits in the
+  current reduced graph, per Theorem 4's proof).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.conditions import c1_violations
+from repro.core.reduced_graph import ReducedGraph
+from repro.errors import DeletionError
+from repro.model.entities import Entity
+from repro.model.status import AccessMode
+from repro.model.steps import TxnId
+
+__all__ = [
+    "DeletionDemands",
+    "compute_demands",
+    "greedy_safe_deletion_set",
+    "maximum_safe_deletion_set",
+]
+
+
+@dataclass
+class DeletionDemands:
+    """The demand/witness structure of a reduced graph.
+
+    Attributes
+    ----------
+    candidates:
+        ``M`` — completed transactions satisfying C1 (the only possible
+        members of a safe deletion set).
+    demands:
+        Per candidate, the list of witness sets **restricted to
+        candidates** for each demand that is not auto-satisfied by a
+        non-candidate witness.  An entry may be an empty tuple only for
+        non-candidates (those are excluded from ``candidates``).
+    """
+
+    candidates: Tuple[TxnId, ...]
+    demands: Dict[TxnId, Tuple[FrozenSet[TxnId], ...]] = field(default_factory=dict)
+
+    def is_safe(self, subset: Iterable[TxnId]) -> bool:
+        """C2 restated: every demand of every member keeps an outside
+        witness."""
+        chosen = frozenset(subset)
+        unknown = chosen - frozenset(self.candidates)
+        if unknown:
+            return False  # includes a transaction C1 already rejects
+        for member in chosen:
+            for witnesses in self.demands.get(member, ()):
+                if witnesses <= chosen:
+                    return False
+        return True
+
+
+def compute_demands(graph: ReducedGraph) -> DeletionDemands:
+    """Build the demand/witness structure for *graph*.
+
+    Witness sets are intersected with ``M``; demands already satisfied by a
+    permanent (non-candidate) witness are dropped.  Candidates with an
+    unsatisfiable demand (no witness at all) fail C1 and are excluded.
+    """
+    completed = sorted(graph.completed_transactions())
+    # First pass: which completed transactions satisfy C1 at all?
+    candidates = [
+        txn for txn in completed if not c1_violations(graph, txn, first_only=True)
+    ]
+    candidate_set = frozenset(candidates)
+    demands: Dict[TxnId, Tuple[FrozenSet[TxnId], ...]] = {}
+    successor_cache: Dict[TxnId, FrozenSet[TxnId]] = {}
+    for member in candidates:
+        accesses = graph.info(member).accesses
+        member_demands: List[FrozenSet[TxnId]] = []
+        for pred in sorted(graph.active_tight_predecessors(member)):
+            if pred not in successor_cache:
+                successor_cache[pred] = graph.completed_tight_successors(pred)
+            pool = successor_cache[pred] - {member}
+            for entity in sorted(accesses):
+                required = accesses[entity]
+                witnesses = frozenset(
+                    witness
+                    for witness in pool
+                    if graph.info(witness).accesses_at_least(entity, required)
+                )
+                if not witnesses:
+                    raise DeletionError(
+                        f"demand of C1-approved candidate {member!r} has no "
+                        "witnesses; C1 computation is inconsistent"
+                    )
+                if witnesses - candidate_set:
+                    continue  # permanently witnessed; no constraint
+                member_demands.append(witnesses)
+        demands[member] = tuple(member_demands)
+    return DeletionDemands(tuple(candidates), demands)
+
+
+def greedy_safe_deletion_set(
+    graph: ReducedGraph,
+    priority: Optional[Sequence[TxnId]] = None,
+) -> FrozenSet[TxnId]:
+    """A maximal (not maximum) safe deletion set, greedily.
+
+    Candidates are tried in *priority* order (default: sorted ids); each is
+    added if every demand — its own and the already-chosen members' — still
+    keeps a witness outside the set.  The result always satisfies C2.
+    """
+    structure = compute_demands(graph)
+    order = list(priority) if priority is not None else list(structure.candidates)
+    candidate_set = frozenset(structure.candidates)
+    chosen: set[TxnId] = set()
+    # Demand records: [owner, witnesses, witnesses-still-outside-chosen].
+    records: List[list] = []
+    demands_of: Dict[TxnId, List[list]] = {}
+    witness_in: Dict[TxnId, List[list]] = {}
+    for owner, owner_demands in structure.demands.items():
+        for witnesses in owner_demands:
+            record = [owner, witnesses, len(witnesses)]
+            records.append(record)
+            demands_of.setdefault(owner, []).append(record)
+            for witness in witnesses:
+                witness_in.setdefault(witness, []).append(record)
+
+    def can_choose(txn: TxnId) -> bool:
+        # Every own demand needs a witness outside the (grown) chosen set;
+        # txn never witnesses its own demands, so "count >= 1" suffices.
+        if any(record[2] == 0 for record in demands_of.get(txn, ())):
+            return False
+        # Choosing txn must not strip the last outside witness from a
+        # demand of an already-chosen member.
+        return not any(
+            record[0] in chosen and record[2] == 1
+            for record in witness_in.get(txn, ())
+        )
+
+    for txn in order:
+        if txn not in candidate_set or txn in chosen:
+            continue
+        if not can_choose(txn):
+            continue
+        chosen.add(txn)
+        for record in witness_in.get(txn, ()):
+            record[2] -= 1
+    result = frozenset(chosen)
+    assert structure.is_safe(result)
+    return result
+
+
+def maximum_safe_deletion_set(
+    graph: ReducedGraph,
+    max_candidates: int = 30,
+) -> FrozenSet[TxnId]:
+    """The exact maximum safe deletion set (NP-complete; Theorem 5).
+
+    Branch and bound over delete/keep decisions per candidate.  State per
+    demand: how many of its witnesses are still deletable-or-undecided
+    ("available"); deleting the last available witness of a demand whose
+    owner is already deleted fails the branch.  A simple upper bound
+    (deleted so far + undecided remaining) prunes the search.
+
+    ``max_candidates`` guards against accidental exponential runs.
+    """
+    structure = compute_demands(graph)
+    candidates = list(structure.candidates)
+    if len(candidates) > max_candidates:
+        raise DeletionError(
+            f"exact search over {len(candidates)} candidates exceeds "
+            f"max_candidates={max_candidates} (raise it explicitly, or use "
+            "greedy_safe_deletion_set)"
+        )
+    # Demand records: (owner, witness frozenset).  Indexed both ways.
+    records: List[Tuple[TxnId, FrozenSet[TxnId]]] = []
+    for owner, owner_demands in structure.demands.items():
+        for witnesses in owner_demands:
+            records.append((owner, witnesses))
+    demands_of: Dict[TxnId, List[int]] = {txn: [] for txn in candidates}
+    witness_in: Dict[TxnId, List[int]] = {txn: [] for txn in candidates}
+    for index, (owner, witnesses) in enumerate(records):
+        demands_of[owner].append(index)
+        for witness in witnesses:
+            witness_in[witness].append(index)
+
+    kept_count = [0] * len(records)  # witnesses decided "keep"
+    deleted_w = [0] * len(records)  # witnesses decided "delete"
+    witness_total = [len(witnesses) for _owner, witnesses in records]
+    decided: Dict[TxnId, bool] = {}  # txn -> deleted?
+    best: set[TxnId] = set()
+    current: set[TxnId] = set()
+
+    def demand_can_still_be_met(index: int) -> bool:
+        # kept >= 1, or some witness undecided.
+        if kept_count[index] > 0:
+            return True
+        return deleted_w[index] < witness_total[index]
+
+    def owner_active(index: int) -> bool:
+        owner = records[index][0]
+        return decided.get(owner, False)
+
+    def try_assign(txn: TxnId, delete: bool) -> bool:
+        """Apply a decision; returns False (and rolls back) on conflict."""
+        decided[txn] = delete
+        if delete:
+            current.add(txn)
+            for index in witness_in[txn]:
+                deleted_w[index] += 1
+            # Own demands must still be satisfiable; demands of deleted
+            # owners that lost their last witness fail.
+            for index in demands_of[txn]:
+                if not demand_can_still_be_met(index):
+                    undo_assign(txn, delete)
+                    return False
+            for index in witness_in[txn]:
+                if owner_active(index) and not demand_can_still_be_met(index):
+                    undo_assign(txn, delete)
+                    return False
+        else:
+            for index in witness_in[txn]:
+                kept_count[index] += 1
+        return True
+
+    def undo_assign(txn: TxnId, delete: bool) -> None:
+        del decided[txn]
+        if delete:
+            current.discard(txn)
+            for index in witness_in[txn]:
+                deleted_w[index] -= 1
+        else:
+            for index in witness_in[txn]:
+                kept_count[index] -= 1
+
+    def dfs(position: int) -> None:
+        nonlocal best
+        if len(current) + (len(candidates) - position) <= len(best):
+            return  # cannot beat the incumbent
+        if position == len(candidates):
+            if len(current) > len(best):
+                best = set(current)
+            return
+        txn = candidates[position]
+        # Try deleting first (maximization heuristic), then keeping.
+        if try_assign(txn, True):
+            dfs(position + 1)
+            undo_assign(txn, True)
+        try_assign(txn, False)
+        dfs(position + 1)
+        undo_assign(txn, False)
+
+    dfs(0)
+    result = frozenset(best)
+    assert structure.is_safe(result)
+    return result

@@ -1,0 +1,135 @@
+"""Bounded exhaustive safety oracle.
+
+Safety of deleting ``N`` from ``G`` quantifies over *all* continuations:
+
+    for all continuations r, F(D(G, N), r) acyclic ⇒ F(G, r) acyclic.
+
+That quantifier is not directly executable, but two facts make a bounded
+search a meaningful oracle:
+
+* (Lemma 2/3) a *shortest* violating continuation keeps both schedulers in
+  identical states until its last step, so a lockstep run that stops at the
+  first decision mismatch is sound;
+* (Theorem 1, necessity) when a violation exists at all, one exists of a
+  very particular small shape — at most ``|actives| · 3 + 1`` steps over
+  the accessed entities plus one fresh entity and one fresh transaction.
+
+:func:`bounded_safety_check` therefore enumerates every continuation over
+that action universe up to a depth limit, running the original and reduced
+schedulers in lockstep, and returns the first diverging continuation found
+(or ``None``).  It is independent of the C1/C2 implementations — it knows
+nothing about tight paths — which is what makes it a genuine cross-check
+for Theorems 1 and 4 (experiments E2 and E4).
+
+Cost is exponential in the depth; keep the graphs tiny (the tests use ≤ 4
+transactions and ≤ 3 entities).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.reduced_graph import ReducedGraph
+from repro.model.entities import Entity, EntityUniverse
+from repro.model.status import AccessMode
+from repro.model.steps import Begin, Read, Step, TxnId, Write
+from repro.scheduler.conflict import ConflictGraphScheduler
+from repro.scheduler.events import Decision
+
+__all__ = ["bounded_safety_check", "oracle_universe"]
+
+
+def oracle_universe(graph: ReducedGraph, fresh_entities: int = 1) -> List[Entity]:
+    """The entity universe a bounded search explores: everything accessed
+    by a node of *graph*, plus ``fresh_entities`` new names."""
+    universe = EntityUniverse(
+        entity
+        for txn in graph
+        for entity in graph.info(txn).accesses
+    )
+    extra = [universe.fresh() for _ in range(fresh_entities)]
+    return sorted(set(universe) - set(extra)) + extra
+
+
+def _possible_steps(
+    scheduler: ConflictGraphScheduler,
+    entities: Sequence[Entity],
+    new_txn_budget: int,
+    next_new_id: int,
+) -> List[Tuple[Step, int, int]]:
+    """All actions available from the current lockstep state.
+
+    Each item is ``(step, new_txn_budget_after, next_new_id_after)``.
+    Actions: any active transaction reads any entity, or completes with a
+    single-entity (or empty) final write; plus starting one more fresh
+    transaction while the budget lasts.
+    """
+    actions: List[Tuple[Step, int, int]] = []
+    actives = sorted(scheduler.graph.active_transactions())
+    for txn in actives:
+        for entity in entities:
+            actions.append((Read(txn, entity), new_txn_budget, next_new_id))
+            actions.append(
+                (Write(txn, frozenset({entity})), new_txn_budget, next_new_id)
+            )
+        actions.append((Write(txn, frozenset()), new_txn_budget, next_new_id))
+    if new_txn_budget > 0:
+        txn = f"_N{next_new_id}"
+        actions.append((Begin(txn), new_txn_budget - 1, next_new_id + 1))
+    return actions
+
+
+def bounded_safety_check(
+    graph: ReducedGraph,
+    deleted: Iterable[TxnId],
+    max_depth: int = 6,
+    fresh_entities: int = 1,
+    max_new_txns: int = 1,
+) -> Optional[List[Step]]:
+    """Search for a continuation proving ``D(graph, deleted)`` unsafe.
+
+    Returns the diverging continuation (last step included) or ``None`` if
+    none exists within the bounds.  ``None`` is *evidence*, not proof, of
+    safety; a returned continuation is a hard counterexample (the reduced
+    scheduler accepted a step the original rejects).
+    """
+    deleted = list(deleted)
+    entities = oracle_universe(graph, fresh_entities)
+
+    def search(
+        original: ConflictGraphScheduler,
+        reduced: ConflictGraphScheduler,
+        prefix: List[Step],
+        budget: int,
+        next_id: int,
+    ) -> Optional[List[Step]]:
+        if len(prefix) >= max_depth:
+            return None
+        for step, budget_after, next_after in _possible_steps(
+            original, entities, budget, next_id
+        ):
+            o_clone = ConflictGraphScheduler(original.graph.copy())
+            r_clone = ConflictGraphScheduler(reduced.graph.copy())
+            o_result = o_clone.feed(step)
+            r_result = r_clone.feed(step)
+            if o_result.decision is not r_result.decision:
+                if (
+                    r_result.decision is Decision.ACCEPTED
+                    and o_result.decision is Decision.REJECTED
+                ):
+                    return prefix + [step]
+                # The reverse direction contradicts Lemma 2's path argument.
+                raise AssertionError(
+                    "reduced scheduler rejected a step the original "
+                    f"accepts: {step} after {prefix}"
+                )
+            deeper = search(
+                o_clone, r_clone, prefix + [step], budget_after, next_after
+            )
+            if deeper is not None:
+                return deeper
+        return None
+
+    original = ConflictGraphScheduler(graph.copy())
+    reduced = ConflictGraphScheduler(graph.reduced_by(deleted))
+    return search(original, reduced, [], max_new_txns, 0)

@@ -1,0 +1,212 @@
+"""Deletion policies — the Theorem 2 framework.
+
+A *deletion policy* is "an algorithm which given reduced graph G (the
+current graph) outputs a set of (completed) nodes to be deleted" (§4); the
+scheduling loop applies the scheduler's transition function ``F`` to each
+arriving step and then removes ``P(G)``.  Theorem 2: the combined algorithm
+accepts exactly the CSR schedules **iff** every deletion the policy performs
+is safe.
+
+Every policy here performs only safe deletions (each class documents why),
+so by Theorem 2 they are all *correct*; they differ in how much they prune
+and at what cost:
+
+============================  ==========================  ====================
+policy                        criterion                   cost per invocation
+============================  ==========================  ====================
+:class:`NeverDeletePolicy`    nothing                     O(1)
+:class:`Lemma1Policy`         no active predecessors      O(V·E) reachability
+:class:`NoncurrentPolicy`     Corollary 1 noncurrency     O(V) set lookups
+:class:`EagerC1Policy`        maximal greedy C2 subset    poly (demands)
+:class:`OptimalPolicy`        maximum C2 subset           exponential (Thm 5)
+:class:`EagerC4Policy`        repeated C4 (predeclared)   poly
+:class:`EagerC3Policy`        repeated C3 (multiwrite)    exp. in #active
+============================  ==========================  ====================
+
+Policies are stateless and reusable; :meth:`DeletionPolicy.select` takes
+the scheduler (for its graph *and* its currency tracker) and returns the
+set of ids to remove — the runner then calls
+``scheduler.delete_transactions(...)``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Optional, Sequence
+
+from repro.core.conditions import (
+    can_delete,
+    has_no_active_predecessors,
+    noncurrent_transactions,
+)
+from repro.core.multiwrite_conditions import can_delete_multiwrite
+from repro.core.optimal import greedy_safe_deletion_set, maximum_safe_deletion_set
+from repro.core.predeclared_conditions import can_delete_predeclared
+from repro.model.status import TxnState
+from repro.model.steps import TxnId
+
+__all__ = [
+    "DeletionPolicy",
+    "NeverDeletePolicy",
+    "Lemma1Policy",
+    "NoncurrentPolicy",
+    "EagerC1Policy",
+    "OptimalPolicy",
+    "EagerC4Policy",
+    "EagerC3Policy",
+]
+
+
+class DeletionPolicy(ABC):
+    """Base class: decide which completed transactions to forget."""
+
+    #: Short name used in reports and benchmark tables.
+    name: str = "abstract"
+
+    @abstractmethod
+    def select(self, scheduler) -> FrozenSet[TxnId]:
+        """The set of transactions to delete from ``scheduler.graph`` now."""
+
+    def apply(self, scheduler) -> FrozenSet[TxnId]:
+        """Select and immediately delete; returns what was removed."""
+        chosen = self.select(scheduler)
+        scheduler.delete_transactions(sorted(chosen))
+        return chosen
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class NeverDeletePolicy(DeletionPolicy):
+    """Keep everything — the degenerate policy whose unbounded graph growth
+    motivates the paper (§1: "we cannot keep transactions indefinitely")."""
+
+    name = "never"
+
+    def select(self, scheduler) -> FrozenSet[TxnId]:
+        return frozenset()
+
+
+class Lemma1Policy(DeletionPolicy):
+    """Delete completed transactions with no active predecessors.
+
+    Safe in *every* model: such a transaction has no active (tight or
+    otherwise) predecessor, so conditions C1, C3 and C4 all hold vacuously,
+    and no two members interact (nothing in the set has demands at all), so
+    the set deletion satisfies C2.  In the multiwrite model only committed
+    members are selected (an F transaction may still abort and must keep
+    its identity for the cascade).
+    """
+
+    name = "lemma1"
+
+    def select(self, scheduler) -> FrozenSet[TxnId]:
+        graph = scheduler.graph
+        eligible = []
+        for txn in graph.completed_transactions():
+            info = graph.info(txn)
+            if info.state is TxnState.FINISHED:
+                continue  # multiwrite F transactions are not deletable
+            if has_no_active_predecessors(graph, txn):
+                eligible.append(txn)
+        return frozenset(eligible)
+
+
+class NoncurrentPolicy(DeletionPolicy):
+    """Delete every noncurrent completed transaction (Corollary 1).
+
+    Safety sketch (formalized in the test suite by checking C2 on every
+    selection): for each accessed entity ``x`` of a noncurrent ``Ti``, the
+    *current last writer* ``W_x`` of ``x`` is completed, never itself
+    noncurrent while it remains last writer (so it is still in the graph),
+    and sits at the head of an arc ``Ti -> W_x``; hence every active tight
+    predecessor of ``Ti`` has the tight successor ``W_x ∉ N`` accessing
+    ``x`` maximally.  Requires the *basic* model: currency is tracked from
+    accepted atomic final writes, which aborts can never retract.
+    """
+
+    name = "noncurrent"
+
+    def select(self, scheduler) -> FrozenSet[TxnId]:
+        return noncurrent_transactions(scheduler.currency, scheduler.graph)
+
+
+class EagerC1Policy(DeletionPolicy):
+    """Delete a maximal greedy C2-safe subset every time (basic model)."""
+
+    name = "eager-c1"
+
+    def __init__(self, priority: Optional[Sequence[TxnId]] = None) -> None:
+        self._priority = priority
+
+    def select(self, scheduler) -> FrozenSet[TxnId]:
+        return greedy_safe_deletion_set(scheduler.graph, self._priority)
+
+
+class OptimalPolicy(DeletionPolicy):
+    """Delete a *maximum* safe subset (exact, exponential — Theorem 5).
+
+    Practical only on small graphs; exists so experiments can measure how
+    much the greedy policy leaves on the table.
+    """
+
+    name = "optimal"
+
+    def __init__(self, max_candidates: int = 30) -> None:
+        self._max_candidates = max_candidates
+
+    def select(self, scheduler) -> FrozenSet[TxnId]:
+        return maximum_safe_deletion_set(
+            scheduler.graph, max_candidates=self._max_candidates
+        )
+
+
+class EagerC4Policy(DeletionPolicy):
+    """Repeatedly delete any transaction C4 admits (predeclared model).
+
+    Theorem 2 covers sequences of single safe deletions, so the selection
+    is computed by simulation on a copy: delete one admissible transaction,
+    re-evaluate, repeat to a fixed point.
+    """
+
+    name = "eager-c4"
+
+    def select(self, scheduler) -> FrozenSet[TxnId]:
+        trial = scheduler.graph.copy()
+        chosen: set[TxnId] = set()
+        progress = True
+        while progress:
+            progress = False
+            for txn in sorted(trial.completed_transactions()):
+                if can_delete_predeclared(trial, txn):
+                    trial.delete(txn)
+                    chosen.add(txn)
+                    progress = True
+        return frozenset(chosen)
+
+
+class EagerC3Policy(DeletionPolicy):
+    """Repeatedly delete any committed transaction C3 admits (multiwrite).
+
+    Each C3 test enumerates abort sets — exponential in the number of
+    active transactions (Theorem 6 says that is unavoidable in general);
+    ``max_actives`` bounds the damage.
+    """
+
+    name = "eager-c3"
+
+    def __init__(self, max_actives: int = 12) -> None:
+        self._max_actives = max_actives
+
+    def select(self, scheduler) -> FrozenSet[TxnId]:
+        trial = scheduler.graph.copy()
+        chosen: set[TxnId] = set()
+        progress = True
+        while progress:
+            progress = False
+            for txn in sorted(trial.committed_transactions()):
+                if can_delete_multiwrite(trial, txn, max_actives=self._max_actives):
+                    trial.delete(txn)
+                    chosen.add(txn)
+                    progress = True
+        return frozenset(chosen)

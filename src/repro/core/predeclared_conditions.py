@@ -1,0 +1,189 @@
+"""Condition C4 — deletion safety with predeclared transactions (§5).
+
+With declarations, the scheduler inserts arcs at the *first* of two
+conflicting steps, so a completed transaction's vulnerability window is
+different — and, remarkably, some *active* transactions already "behave as
+completed" (they can never acquire new immediate predecessors, because any
+newcomer would first be ordered behind their successors):
+
+    (C4) For all active predecessors ``Tj`` of ``Ti`` and for all entities
+    ``x`` accessed by ``Ti``, either
+
+    1. ``Tj`` has another successor ``Tk (≠ Ti, Tj)`` which has accessed
+       ``x`` at least as strongly as ``Ti``, or
+    2. every entity ``y`` that ``Tj`` will access in the future has
+       already been accessed at least as strongly by some successor
+       ``Tl (≠ Ti)`` of ``Tj``.
+
+(The second clause — the part "omitted from a preliminary version of this
+paper that appeared in the PODS 86 conference" — is what Example 2's ``C``
+needs to be deletable.)  Predecessor/successor here are *plain*
+reachability, not tight paths.  "At least as strongly" in clause 2 compares
+against ``Tj``'s **declared future mode** on ``y``: a successor that read
+``y`` blocks future writers of ``y`` from sneaking in before ``Tj``'s
+declared read, but only a successor that *wrote* ``y`` blocks future
+readers from preceding ``Tj``'s declared write (see the Theorem 7 proof:
+``Tl``'s executed step must conflict with any step conflicting with
+``Tj``'s future step).
+
+Theorem 7 proves C4 necessary and sufficient, in the multiwrite model too;
+it is testable in polynomial time.
+
+One refinement over the paper's literal statement (discovered by this
+reproduction's randomized lockstep search and verified both ways): clause 1
+must also accept ``Tj``'s **own executed access** of ``x`` as the witness.
+With declarations, ``Tj`` can never later perform a surprise conflicting
+step on ``x`` (the induced arc would contradict ``Tj ->* Ti``), so its past
+access permanently orders every future conflictor behind it — exactly what
+a witness provides.  The paper's own necessity gadget fails to produce a
+diverging continuation in these cases, confirming the deletion is safe.
+(In the basic model C1 rightly excludes ``Tj``: there, futures are unknown
+and ``Tj`` itself may perform the conflicting step, which never conflicts
+with ``Tj``.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.core.conditions import _require_completed
+from repro.core.reduced_graph import ReducedGraph
+from repro.model.entities import Entity
+from repro.model.status import AccessMode
+from repro.model.steps import TxnId
+
+__all__ = [
+    "C4Violation",
+    "can_delete_predeclared",
+    "c4_violations",
+    "behaves_as_completed",
+]
+
+
+@dataclass(frozen=True)
+class C4Violation:
+    """A (predecessor, entity) pair for which both clauses of C4 fail.
+
+    ``uncovered_future`` names one future access of the predecessor that no
+    successor covers (the entity ``y`` a diverging continuation would
+    exploit, per the necessity proof).
+    """
+
+    candidate: TxnId
+    active_pred: TxnId
+    entity: Entity
+    required_mode: AccessMode
+    uncovered_future: Entity
+
+    def __str__(self) -> str:
+        return (
+            f"C4 violated for {self.candidate}: active predecessor "
+            f"{self.active_pred} lacks both a witness for {self.entity!r} "
+            f"(clause 1) and coverage of its future access of "
+            f"{self.uncovered_future!r} (clause 2)"
+        )
+
+
+def _clause2_uncovered(
+    graph: ReducedGraph,
+    pred: TxnId,
+    exclude: TxnId,
+) -> Optional[Entity]:
+    """First future access of *pred* not covered by a successor ≠ exclude;
+    ``None`` means clause 2 holds (pred behaves as completed w.r.t. the
+    deletion of *exclude*)."""
+    future = graph.info(pred).future or {}
+    if not future:
+        return None
+    successors = graph.descendants(pred) - {exclude}
+    for entity in sorted(future):
+        future_mode = future[entity]
+        covered = any(
+            graph.info(successor).accesses_at_least(entity, future_mode)
+            for successor in successors
+        )
+        if not covered:
+            return entity
+    return None
+
+
+def behaves_as_completed(graph: ReducedGraph, pred: TxnId, exclude: TxnId) -> bool:
+    """Clause 2 of C4: will *pred* never acquire new immediate
+    predecessors (ignoring *exclude*, the deletion candidate)?
+
+    True when every declared-but-unexecuted access of *pred* is already
+    dominated by an executed access of one of its successors: any new
+    transaction conflicting with *pred*'s future is ordered behind that
+    successor first, hence behind *pred*.
+    """
+    return _clause2_uncovered(graph, pred, exclude) is None
+
+
+def c4_violations(
+    graph: ReducedGraph,
+    candidate: TxnId,
+    first_only: bool = False,
+) -> List[C4Violation]:
+    """All (predecessor, entity) pairs refuting C4 (empty = deletable)."""
+    _require_completed(graph, candidate)
+    violations: List[C4Violation] = []
+    accesses = graph.info(candidate).accesses
+    active_preds = sorted(
+        pred
+        for pred in graph.ancestors(candidate)
+        if graph.state(pred).is_active
+    )
+    for pred in active_preds:
+        uncovered = _clause2_uncovered(graph, pred, candidate)
+        if uncovered is None:
+            continue  # clause 2 holds for every entity x
+        # Clause 1 witnesses: successors of Tj — and Tj itself.  The paper
+        # states "another successor Tk (≠ Ti, Tj)", but Tj's own *executed*
+        # access of x protects just as well: any new transaction whose step
+        # conflicts with Ti's access of x also conflicts with Tj's, so the
+        # arc Tj -> Tn orders it behind Tj directly and every cycle the
+        # original graph would catch survives in the reduced one.  (Tj
+        # cannot have a *declared future* conflicting access of x — that
+        # arc would run Ti -> Tj, contradicting Tj ->* Ti acyclicity — so
+        # unlike the basic model, Tj can never spring a surprise step on
+        # x.)  Without this refinement the Theorem 7 necessity gadget
+        # fails to diverge exactly in these cases, as our randomized
+        # lockstep search discovered; see DESIGN.md §3.
+        witnesses = (graph.descendants(pred) | {pred}) - {candidate}
+        for entity in sorted(accesses):
+            required = accesses[entity]
+            clause1 = any(
+                graph.info(witness).accesses_at_least(entity, required)
+                for witness in witnesses
+            )
+            if not clause1:
+                violations.append(
+                    C4Violation(candidate, pred, entity, required, uncovered)
+                )
+                if first_only:
+                    return violations
+    return violations
+
+
+def can_delete_predeclared(graph: ReducedGraph, candidate: TxnId) -> bool:
+    """Condition C4 (Theorem 7): is the single deletion of *candidate*
+    safe under the predeclared scheduler?
+
+    >>> from repro.model.status import AccessMode as M, TxnState
+    >>> g = ReducedGraph()  # Example 2 / Fig. 4
+    >>> g.add_transaction("A", declared={"u": M.READ, "z": M.READ,
+    ...                                  "y": M.READ})
+    >>> g.add_transaction("B"); g.add_transaction("C")
+    >>> for t, e, m in [("A", "u", M.READ), ("A", "z", M.READ),
+    ...                 ("B", "y", M.READ), ("B", "u", M.WRITE),
+    ...                 ("C", "x", M.WRITE), ("C", "z", M.WRITE)]:
+    ...     g.record_access(t, e, m)
+    >>> g.consume_future("A", "u", M.READ); g.consume_future("A", "z", M.READ)
+    >>> g.add_arc("A", "B"); g.add_arc("A", "C")
+    >>> g.set_state("B", TxnState.COMMITTED)
+    >>> g.set_state("C", TxnState.COMMITTED)
+    >>> can_delete_predeclared(g, "B"), can_delete_predeclared(g, "C")
+    (False, True)
+    """
+    return not c4_violations(graph, candidate, first_only=True)

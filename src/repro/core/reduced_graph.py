@@ -1,0 +1,387 @@
+"""Reduced graphs of a schedule (§3-§4).
+
+A *reduced graph* of a schedule ``p`` (§4) is any graph ``G`` such that:
+
+1. ``G`` is acyclic;
+2. its nodes are transactions of ``p``, including **all** active ones;
+3. whenever two transactions present in ``G`` executed conflicting steps,
+   an arc records their order — plus possibly extra arcs connecting
+   non-conflicting transactions, inherited from earlier removals.
+
+The conflict graph ``CG(p)`` is the reduced graph with no removals
+performed.  :class:`ReducedGraph` couples the arc structure (a
+:class:`~repro.graphs.closure.ClosureGraph`, so cycle pre-tests are O(1) and
+removal really is "deleting the node from the transitive closure" as the
+paper observes) with per-transaction payloads (:class:`TxnInfo`): lifecycle
+state, strongest executed access per entity, declared future accesses
+(predeclared model), and direct read-from dependencies (multiwrite model).
+
+Two distinct node-removal operations exist, and conflating them is the
+classic implementation bug this library is careful about:
+
+* :meth:`ReducedGraph.abort` — the transaction aborted: node and incident
+  arcs vanish, **paths through it are lost** (they never corresponded to
+  committed behavior);
+* :meth:`ReducedGraph.delete` — deliberate removal ``D(G, Ti)`` of a
+  completed transaction: the node is contracted, every immediate
+  predecessor gains an arc to every immediate successor, **paths survive**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
+
+from repro.errors import (
+    NotCompletedError,
+    TransactionStateError,
+    UnknownTransactionError,
+)
+from repro.graphs.closure import ClosureGraph
+from repro.graphs.digraph import DiGraph
+from repro.graphs.paths import restricted_predecessors, restricted_successors
+from repro.model.entities import Entity
+from repro.model.status import AccessMode, TxnState, at_least_as_strong
+from repro.model.steps import TxnId
+
+__all__ = ["TxnInfo", "ReducedGraph"]
+
+
+@dataclass
+class TxnInfo:
+    """Payload the scheduler keeps per transaction node.
+
+    ``accesses`` maps each entity to the strongest access the transaction
+    has *executed* on it.  ``future`` is only populated for predeclared
+    transactions: the strongest access still to come per entity (entries
+    disappear as the declared steps execute).  ``reads_from`` records the
+    direct dependencies of the multiwrite model ("A read an entity written
+    by B before B committed").
+    """
+
+    txn: TxnId
+    state: TxnState = TxnState.ACTIVE
+    accesses: Dict[Entity, AccessMode] = field(default_factory=dict)
+    future: Optional[Dict[Entity, AccessMode]] = None
+    reads_from: set = field(default_factory=set)
+
+    def strongest(self, entity: Entity) -> Optional[AccessMode]:
+        """Strongest executed access of *entity*, or ``None``."""
+        return self.accesses.get(entity)
+
+    def accesses_at_least(self, entity: Entity, reference: AccessMode) -> bool:
+        """Has this transaction accessed *entity* at least as strongly as
+        *reference*?  (The comparison of conditions C1-C4.)"""
+        mode = self.accesses.get(entity)
+        return mode is not None and at_least_as_strong(mode, reference)
+
+    def record(self, entity: Entity, mode: AccessMode) -> None:
+        current = self.accesses.get(entity)
+        if current is None or mode > current:
+            self.accesses[entity] = mode
+
+    def copy(self) -> "TxnInfo":
+        return TxnInfo(
+            txn=self.txn,
+            state=self.state,
+            accesses=dict(self.accesses),
+            future=None if self.future is None else dict(self.future),
+            reads_from=set(self.reads_from),
+        )
+
+
+class ReducedGraph:
+    """Arc structure + payloads; the object every condition inspects.
+
+    >>> g = ReducedGraph()
+    >>> g.add_transaction("T1")
+    >>> g.add_transaction("T2")
+    >>> g.record_access("T1", "x", AccessMode.READ)
+    >>> g.record_access("T2", "x", AccessMode.WRITE)
+    >>> g.add_arc("T1", "T2")
+    >>> g.set_state("T2", TxnState.COMMITTED)
+    >>> sorted(g.active_transactions())
+    ['T1']
+    >>> g.delete("T2")
+    >>> "T2" in g
+    False
+    """
+
+    def __init__(self) -> None:
+        self._closure = ClosureGraph()
+        self._info: Dict[TxnId, TxnInfo] = {}
+        self._deleted: set[TxnId] = set()
+        self._aborted: set[TxnId] = set()
+
+    # -- membership and payloads -------------------------------------------
+
+    def __contains__(self, txn: object) -> bool:
+        return txn in self._info
+
+    def __len__(self) -> int:
+        return len(self._info)
+
+    def __iter__(self) -> Iterator[TxnId]:
+        return iter(self._info)
+
+    def nodes(self) -> FrozenSet[TxnId]:
+        return frozenset(self._info)
+
+    def info(self, txn: TxnId) -> TxnInfo:
+        try:
+            return self._info[txn]
+        except KeyError:
+            raise UnknownTransactionError(txn) from None
+
+    def state(self, txn: TxnId) -> TxnState:
+        return self.info(txn).state
+
+    def add_transaction(
+        self,
+        txn: TxnId,
+        state: TxnState = TxnState.ACTIVE,
+        declared: Optional[Dict[Entity, AccessMode]] = None,
+    ) -> None:
+        """Insert a node (Rule 1).  Re-adding an existing id is an error —
+        transaction ids are unique for the lifetime of a schedule."""
+        if txn in self._info:
+            raise TransactionStateError(f"transaction {txn!r} already present")
+        if txn in self._deleted or txn in self._aborted:
+            raise TransactionStateError(
+                f"transaction id {txn!r} was already used and removed"
+            )
+        self._closure.add_node(txn)
+        self._info[txn] = TxnInfo(
+            txn=txn,
+            state=state,
+            future=None if declared is None else dict(declared),
+        )
+
+    def set_state(self, txn: TxnId, state: TxnState) -> None:
+        self.info(txn).state = state
+
+    def record_access(self, txn: TxnId, entity: Entity, mode: AccessMode) -> None:
+        """Merge an executed access into the payload (strongest wins)."""
+        self.info(txn).record(entity, mode)
+
+    def consume_future(self, txn: TxnId, entity: Entity, mode: AccessMode) -> None:
+        """Predeclared bookkeeping: an executed step uses up (part of) the
+        declared future access of *entity*.
+
+        We keep the declaration conservative: once a step of strength equal
+        to the declared strongest mode has executed, the entity's future
+        entry is dropped; weaker executed steps leave the declaration in
+        place (the strong access is still to come).
+        """
+        future = self.info(txn).future
+        if future is None:
+            return
+        declared = future.get(entity)
+        if declared is not None and mode >= declared:
+            del future[entity]
+
+    def clear_future(self, txn: TxnId) -> None:
+        """Completion: no declared steps remain."""
+        info = self.info(txn)
+        if info.future is not None:
+            info.future = {}
+
+    # -- arc structure -------------------------------------------------------
+
+    def add_arc(self, tail: TxnId, head: TxnId) -> None:
+        if tail not in self._info:
+            raise UnknownTransactionError(tail)
+        if head not in self._info:
+            raise UnknownTransactionError(head)
+        if self._closure.has_arc(tail, head):
+            return
+        self._closure.add_arc(tail, head)
+
+    def has_arc(self, tail: TxnId, head: TxnId) -> bool:
+        return self._closure.has_arc(tail, head)
+
+    def arcs(self) -> Iterator[Tuple[TxnId, TxnId]]:
+        return self._closure.arcs()
+
+    def arc_count(self) -> int:
+        return self._closure.arc_count()
+
+    def successors(self, txn: TxnId) -> FrozenSet[TxnId]:
+        return self._closure.successors(txn)
+
+    def predecessors(self, txn: TxnId) -> FrozenSet[TxnId]:
+        return self._closure.predecessors(txn)
+
+    def reaches(self, source: TxnId, target: TxnId) -> bool:
+        return self._closure.reaches(source, target)
+
+    def ancestors(self, txn: TxnId) -> FrozenSet[TxnId]:
+        """All (not just tight) predecessors — nodes with a path into txn."""
+        return self._closure.ancestors(txn)
+
+    def descendants(self, txn: TxnId) -> FrozenSet[TxnId]:
+        """All (not just tight) successors."""
+        return self._closure.descendants(txn)
+
+    def would_close_cycle(self, tail: TxnId, head: TxnId) -> bool:
+        return self._closure.would_close_cycle(tail, head)
+
+    def would_arcs_close_cycle(self, arcs: Iterable[Tuple[TxnId, TxnId]]) -> bool:
+        """Would atomically inserting all *arcs* close a cycle?
+
+        All arcs of one scheduler step share their head (basic/multiwrite
+        rules) or their tail (predeclared rules), so pairwise O(1) closure
+        tests suffice: a mixed-head *and* mixed-tail step never occurs.
+        """
+        return any(self.would_close_cycle(tail, head) for tail, head in arcs)
+
+    def as_digraph(self) -> DiGraph:
+        """A mutable snapshot of the arc structure (for oracles/analysis)."""
+        return self._closure.as_digraph()
+
+    # -- transaction classification -------------------------------------------
+
+    def active_transactions(self) -> FrozenSet[TxnId]:
+        return frozenset(
+            txn for txn, info in self._info.items() if info.state.is_active
+        )
+
+    def completed_transactions(self) -> FrozenSet[TxnId]:
+        """Type F and C transactions (all completed ones)."""
+        return frozenset(
+            txn for txn, info in self._info.items() if info.state.is_completed
+        )
+
+    def committed_transactions(self) -> FrozenSet[TxnId]:
+        return frozenset(
+            txn
+            for txn, info in self._info.items()
+            if info.state is TxnState.COMMITTED
+        )
+
+    def is_completed(self, txn: TxnId) -> bool:
+        return self.info(txn).state.is_completed
+
+    def deleted_transactions(self) -> FrozenSet[TxnId]:
+        """Ids removed by :meth:`delete` so far (bookkeeping only)."""
+        return frozenset(self._deleted)
+
+    def aborted_transactions(self) -> FrozenSet[TxnId]:
+        return frozenset(self._aborted)
+
+    # -- entity-indexed queries ------------------------------------------------
+
+    def accessors_of(
+        self,
+        entity: Entity,
+        at_least: AccessMode = AccessMode.READ,
+    ) -> FrozenSet[TxnId]:
+        """Transactions in the graph whose strongest executed access of
+        *entity* is ≥ ``at_least``."""
+        return frozenset(
+            txn
+            for txn, info in self._info.items()
+            if info.accesses_at_least(entity, at_least)
+        )
+
+    def writers_of(self, entity: Entity) -> FrozenSet[TxnId]:
+        return self.accessors_of(entity, AccessMode.WRITE)
+
+    # -- tight / FC path queries -------------------------------------------------
+
+    def _completed_predicate(self):
+        info = self._info
+        return lambda node: info[node].state.is_completed
+
+    def tight_predecessors(self, txn: TxnId) -> FrozenSet[TxnId]:
+        """Nodes with a path into *txn* through completed intermediates.
+
+        §3: "Transaction Ti is a tight predecessor of Tj if there is a path
+        from Ti to Tj that uses only completed transactions as intermediate
+        nodes."  In the multiwrite model completed = type F or C, so this
+        doubles as the FC-path predecessor set.
+        """
+        return restricted_predecessors(
+            self._closure.as_digraph(), txn, self._completed_predicate()
+        )
+
+    def tight_successors(self, txn: TxnId) -> FrozenSet[TxnId]:
+        return restricted_successors(
+            self._closure.as_digraph(), txn, self._completed_predicate()
+        )
+
+    def active_tight_predecessors(self, txn: TxnId) -> FrozenSet[TxnId]:
+        """The actives among the tight predecessors — C1's quantifier."""
+        return frozenset(
+            node
+            for node in self.tight_predecessors(txn)
+            if self._info[node].state.is_active
+        )
+
+    def completed_tight_successors(self, txn: TxnId) -> FrozenSet[TxnId]:
+        return frozenset(
+            node
+            for node in self.tight_successors(txn)
+            if self._info[node].state.is_completed
+        )
+
+    # -- node removal ---------------------------------------------------------
+
+    def abort(self, txn: TxnId) -> None:
+        """Remove an aborted transaction: node + incident arcs, no bypass."""
+        if txn not in self._info:
+            raise UnknownTransactionError(txn)
+        self._closure.remove_node_abort(txn)
+        del self._info[txn]
+        self._aborted.add(txn)
+
+    def delete(self, txn: TxnId) -> None:
+        """The removal operation ``D(G, txn)`` (§3): contract the node.
+
+        Only completed transactions may be removed; in the multiwrite model
+        the conditions further restrict deletion to *committed* ones, which
+        the condition layer (not this structural method) enforces.
+        """
+        info = self.info(txn)
+        if not info.state.is_completed:
+            raise NotCompletedError(txn, info.state)
+        self._closure.contract(txn)
+        del self._info[txn]
+        self._deleted.add(txn)
+
+    def delete_set(self, txns: Iterable[TxnId]) -> None:
+        """``D(G, N)``; §4: "the order of deletion of nodes in N is
+        immaterial"."""
+        for txn in list(txns):
+            self.delete(txn)
+
+    # -- copying ---------------------------------------------------------------
+
+    def copy(self) -> "ReducedGraph":
+        clone = ReducedGraph()
+        digraph = self._closure.as_digraph()
+        for txn in digraph.nodes():
+            clone._closure.add_node(txn)
+        # Arc insertion order does not matter for an acyclic graph.
+        for tail, head in digraph.arcs():
+            clone._closure.add_arc(tail, head)
+        clone._info = {txn: info.copy() for txn, info in self._info.items()}
+        clone._deleted = set(self._deleted)
+        clone._aborted = set(self._aborted)
+        return clone
+
+    def reduced_by(self, txns: Iterable[TxnId]) -> "ReducedGraph":
+        """A copy with ``D(G, N)`` applied — the original is untouched."""
+        clone = self.copy()
+        clone.delete_set(txns)
+        return clone
+
+    def __repr__(self) -> str:
+        states = {
+            "A": len(self.active_transactions()),
+            "F/C": len(self.completed_transactions()),
+        }
+        return (
+            f"ReducedGraph(nodes={len(self)}, arcs={self.arc_count()}, "
+            f"active={states['A']}, completed={states['F/C']})"
+        )

@@ -1,0 +1,110 @@
+"""Set-deletion condition C2 (Theorem 4).
+
+Deleting a whole set ``N`` of completed transactions from a reduced graph
+``G`` is safe **iff**:
+
+    (C2) for every ``Ti`` in ``N``, for every active tight predecessor
+    ``Tj`` of ``Ti``, and for every entity ``x`` accessed by ``Ti``, there
+    is a completed tight successor of ``Tj`` **not in N** that accesses
+    ``x`` at least as strongly as ``Ti``.
+
+The only difference from applying C1 member-by-member is the *not in N*:
+members of ``N`` cannot witness for each other.  This is what makes
+Example 1 tick — ``T2`` and ``T3`` each satisfy C1 (each can witness for
+the other) but ``{T2, T3}`` violates C2 (nobody outside is left to
+witness).
+
+Theorem 4's proof also shows: the deletion of ``N`` is safe iff deleting
+its members one at a time (in any order) keeps each step C1-safe with
+respect to the then-current reduced graph — a fact the property-based tests
+exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.core.conditions import _require_completed
+from repro.core.reduced_graph import ReducedGraph
+from repro.model.entities import Entity
+from repro.model.status import AccessMode
+from repro.model.steps import TxnId
+
+__all__ = ["C2Violation", "can_delete_set", "c2_violations"]
+
+
+@dataclass(frozen=True)
+class C2Violation:
+    """A triple (member, active tight predecessor, entity) refuting C2."""
+
+    member: TxnId
+    active_pred: TxnId
+    entity: Entity
+    required_mode: AccessMode
+
+    def __str__(self) -> str:
+        return (
+            f"C2 violated for {self.member} in N: predecessor "
+            f"{self.active_pred} has no completed tight successor outside N "
+            f"accessing {self.entity!r} >= {self.required_mode}"
+        )
+
+
+def c2_violations(
+    graph: ReducedGraph,
+    candidates: Iterable[TxnId],
+    first_only: bool = False,
+) -> List[C2Violation]:
+    """All refuting triples for deleting the set *candidates* (empty = safe).
+
+    Completed tight successor sets are computed once per distinct active
+    tight predecessor — they do not depend on the member being checked.
+    """
+    members = frozenset(candidates)
+    for member in members:
+        _require_completed(graph, member)
+    violations: List[C2Violation] = []
+    successors_cache: Dict[TxnId, FrozenSet[TxnId]] = {}
+    for member in sorted(members):
+        accesses = graph.info(member).accesses
+        if not accesses:
+            continue
+        for pred in sorted(graph.active_tight_predecessors(member)):
+            if pred not in successors_cache:
+                successors_cache[pred] = graph.completed_tight_successors(pred)
+            witnesses = successors_cache[pred] - members
+            for entity in sorted(accesses):
+                required = accesses[entity]
+                covered = any(
+                    graph.info(witness).accesses_at_least(entity, required)
+                    for witness in witnesses
+                )
+                if not covered:
+                    violations.append(
+                        C2Violation(member, pred, entity, required)
+                    )
+                    if first_only:
+                        return violations
+    return violations
+
+
+def can_delete_set(graph: ReducedGraph, candidates: Iterable[TxnId]) -> bool:
+    """Condition C2 (Theorem 4): is deleting the whole set safe?
+
+    >>> from repro.model.status import AccessMode, TxnState
+    >>> g = ReducedGraph()
+    >>> for t in ("T1", "T2", "T3"):
+    ...     g.add_transaction(t)
+    >>> for t in ("T1", "T2", "T3"):
+    ...     g.record_access(t, "x",
+    ...                     AccessMode.READ if t == "T1" else AccessMode.WRITE)
+    >>> g.add_arc("T1", "T2"); g.add_arc("T2", "T3")
+    >>> g.set_state("T2", TxnState.COMMITTED)
+    >>> g.set_state("T3", TxnState.COMMITTED)
+    >>> can_delete_set(g, {"T2"}), can_delete_set(g, {"T3"})  # Example 1
+    (True, True)
+    >>> can_delete_set(g, {"T2", "T3"})
+    False
+    """
+    return not c2_violations(graph, candidates, first_only=True)

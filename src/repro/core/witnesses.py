@@ -1,0 +1,343 @@
+"""Constructive unsafety witnesses — the necessity proofs, executable.
+
+Theorem 1's necessity direction does not merely assert that a C1-violating
+deletion is unsafe; it *constructs* a continuation on which the reduced and
+the original scheduler diverge.  This module implements those constructions
+so the test suite and the benchmarks can run them:
+
+* :func:`basic_witness_continuation` — the §3 gadget: all active
+  transactions except the violating predecessor ``Tj`` read a fresh entity
+  ``y``; a new transaction writes ``y``; the others then try to write ``y``
+  and abort; finally ``Tj`` performs the one conflicting step on ``x`` that
+  closes a cycle through ``Ti`` in the conflict graph but not in the
+  reduced graph.
+
+* :func:`predeclared_witness_continuation` — the Theorem 7 gadget:
+  complete every active non-successor of ``Tj`` in topological order, then
+  run a fresh two-step transaction touching ``x`` and the uncovered future
+  entity ``y`` in the weakest conflicting modes; the original scheduler
+  must delay its second step, the reduced one lets it through.
+
+* :func:`check_divergence` / :func:`check_predeclared_divergence` — run
+  original and reduced schedulers in lockstep over a continuation and
+  report the first step where their decisions differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.conditions import C1Violation, c1_violations
+from repro.core.predeclared_conditions import C4Violation, c4_violations
+from repro.core.reduced_graph import ReducedGraph
+from repro.errors import DeletionError
+from repro.graphs.cycles import topological_order
+from repro.model.entities import EntityUniverse
+from repro.model.status import AccessMode
+from repro.model.steps import (
+    Begin,
+    BeginDeclared,
+    Finish,
+    Read,
+    Step,
+    TxnId,
+    Write,
+    WriteItem,
+)
+from repro.scheduler.conflict import ConflictGraphScheduler
+from repro.scheduler.events import Decision
+from repro.scheduler.predeclared import PredeclaredScheduler
+
+__all__ = [
+    "Divergence",
+    "basic_witness_continuation",
+    "multiwrite_witness_continuation",
+    "predeclared_witness_continuation",
+    "check_divergence",
+    "check_multiwrite_divergence",
+    "check_predeclared_divergence",
+]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """First step where the original and reduced schedulers disagree."""
+
+    step: Step
+    original_decision: Decision
+    reduced_decision: Decision
+
+    def __str__(self) -> str:
+        return (
+            f"divergence at {self.step}: original={self.original_decision}, "
+            f"reduced={self.reduced_decision}"
+        )
+
+
+def _fresh_universe(graph: ReducedGraph) -> EntityUniverse:
+    entities: set[str] = set()
+    for txn in graph:
+        info = graph.info(txn)
+        entities.update(info.accesses)
+        if info.future:
+            entities.update(info.future)
+    return EntityUniverse(entities)
+
+
+def _fresh_txn_id(graph: ReducedGraph, prefix: str = "_W") -> TxnId:
+    counter = 0
+    existing = set(graph.nodes()) | graph.deleted_transactions() | graph.aborted_transactions()
+    while f"{prefix}{counter}" in existing:
+        counter += 1
+    return f"{prefix}{counter}"
+
+
+def basic_witness_continuation(
+    graph: ReducedGraph,
+    candidate: TxnId,
+    violation: Optional[C1Violation] = None,
+) -> List[Step]:
+    """The Theorem 1 necessity continuation ``r = s·t`` for *candidate*.
+
+    If *violation* is not given, the first C1 violation is used; raises
+    :class:`DeletionError` when C1 actually holds (no witness exists —
+    that is the sufficiency direction).
+    """
+    if violation is None:
+        found = c1_violations(graph, candidate, first_only=True)
+        if not found:
+            raise DeletionError(
+                f"{candidate!r} satisfies C1; no unsafety witness exists"
+            )
+        violation = found[0]
+    pred = violation.active_pred
+    entity = violation.entity
+    mode = violation.required_mode
+    universe = _fresh_universe(graph)
+    y = universe.fresh()
+    steps: List[Step] = []
+    other_actives = sorted(graph.active_transactions() - {pred})
+    # s: abort every active transaction except Tj via the fresh entity y.
+    for txn in other_actives:
+        steps.append(Read(txn, y))
+    if other_actives:
+        helper = _fresh_txn_id(graph)
+        steps.append(Begin(helper))
+        steps.append(Write(helper, frozenset({y})))
+        for txn in other_actives:
+            steps.append(Write(txn, frozenset({y})))
+    # t: the one conflicting step on x.  "If Ti reads but does not write x
+    # then Tj writes x; if Ti writes x then Tj reads x."
+    if mode is AccessMode.WRITE:
+        steps.append(Read(pred, entity))
+    else:
+        steps.append(Write(pred, frozenset({entity})))
+    return steps
+
+
+def check_divergence(
+    graph: ReducedGraph,
+    deleted: Sequence[TxnId],
+    continuation: Sequence[Step],
+) -> Optional[Divergence]:
+    """Run original-vs-reduced conflict schedulers in lockstep.
+
+    The original scheduler starts from a copy of *graph*; the reduced one
+    from ``D(graph, deleted)``.  Both are fed *continuation* until the
+    first decision mismatch, which is returned (``None`` if they agree
+    throughout).  By Lemma 2, stopping at the first disagreement is
+    exactly right: up to that point the two runs are in identical abort
+    states.
+    """
+    original = ConflictGraphScheduler(graph.copy())
+    reduced = ConflictGraphScheduler(graph.reduced_by(deleted))
+    for step in continuation:
+        result_original = original.feed(step)
+        result_reduced = reduced.feed(step)
+        if result_original.decision is not result_reduced.decision:
+            return Divergence(
+                step, result_original.decision, result_reduced.decision
+            )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Multiwrite model (Lemma 4)
+# ---------------------------------------------------------------------------
+
+
+def multiwrite_witness_continuation(
+    graph: ReducedGraph,
+    candidate: TxnId,
+    violation=None,
+) -> List[Step]:
+    """The Lemma 4 necessity continuation for the multiwrite model.
+
+    The proof is "similar to the proof of Theorem 1", with the abort set
+    made real: a C3 violation names a set ``M`` of active transactions
+    whose abort (cascading to ``M⁺``) leaves an FC-path from ``Tj`` to the
+    candidate but no witness path.  The continuation:
+
+    1. aborts every member of ``M`` via the fresh-entity gadget (each
+       reads ``y``, a helper writes ``y``, each then writes ``y``, closing
+       a 2-cycle), letting the cascade remove ``M⁺``;
+    2. has ``Tj`` perform the one access of ``x`` that conflicts with the
+       candidate's — closing a cycle through the candidate in the
+       original graph while the reduced graph, lacking both the candidate
+       and any witness, accepts.
+    """
+    from repro.core.multiwrite_conditions import c3_violation_witness
+
+    if violation is None:
+        violation = c3_violation_witness(graph, candidate)
+        if violation is None:
+            raise DeletionError(
+                f"{candidate!r} satisfies C3; no unsafety witness exists"
+            )
+    pred = violation.active_pred
+    entity = violation.entity
+    mode = violation.required_mode
+    universe = _fresh_universe(graph)
+    y = universe.fresh()
+    steps: List[Step] = []
+    doomed = sorted(violation.abort_set)
+    for txn in doomed:
+        steps.append(Read(txn, y))
+    if doomed:
+        helper = _fresh_txn_id(graph, prefix="_H")
+        steps.append(Begin(helper))
+        steps.append(WriteItem(helper, y))
+        for txn in doomed:
+            steps.append(WriteItem(txn, y))
+    if mode is AccessMode.WRITE:
+        steps.append(Read(pred, entity))
+    else:
+        steps.append(WriteItem(pred, entity))
+    return steps
+
+
+def check_multiwrite_divergence(
+    graph: ReducedGraph,
+    deleted: Sequence[TxnId],
+    continuation: Sequence[Step],
+) -> Optional[Divergence]:
+    """Lockstep original-vs-reduced run for the multiwrite scheduler."""
+    from repro.scheduler.multiwrite import MultiwriteScheduler
+
+    original = MultiwriteScheduler(graph.copy())
+    reduced = MultiwriteScheduler(graph.reduced_by(deleted))
+    for step in continuation:
+        result_original = original.feed(step)
+        result_reduced = reduced.feed(step)
+        if result_original.decision is not result_reduced.decision:
+            return Divergence(
+                step, result_original.decision, result_reduced.decision
+            )
+        if set(result_original.aborted) != set(result_reduced.aborted):
+            return Divergence(
+                step, result_original.decision, result_reduced.decision
+            )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Predeclared model (Theorem 7)
+# ---------------------------------------------------------------------------
+
+
+def predeclared_witness_continuation(
+    graph: ReducedGraph,
+    candidate: TxnId,
+    violation: Optional[C4Violation] = None,
+) -> List[Step]:
+    """The Theorem 7 necessity continuation for *candidate*.
+
+    Phase 1 completes every active transaction that is **not** a successor
+    of the violating predecessor ``Tj`` (serially, in a topological order
+    of the current graph); phase 2 starts a fresh transaction accessing
+    ``x`` and then the uncovered future entity ``y``, each in the weakest
+    mode conflicting with, respectively, the candidate's access of ``x``
+    and ``Tj``'s declared future access of ``y``.
+    """
+    if violation is None:
+        found = c4_violations(graph, candidate, first_only=True)
+        if not found:
+            raise DeletionError(
+                f"{candidate!r} satisfies C4; no unsafety witness exists"
+            )
+        violation = found[0]
+    pred = violation.active_pred
+    entity = violation.entity
+    y = violation.uncovered_future
+    steps: List[Step] = []
+    successors = graph.descendants(pred)
+    non_successors = [
+        txn
+        for txn in graph.active_transactions()
+        if txn not in successors and txn != pred
+    ]
+    order = topological_order(graph.as_digraph())
+    rank = {txn: index for index, txn in enumerate(order)}
+    for txn in sorted(non_successors, key=rank.__getitem__):
+        future = graph.info(txn).future or {}
+        for future_entity in sorted(future):
+            future_mode = future[future_entity]
+            if future_mode.is_write:
+                steps.append(WriteItem(txn, future_entity))
+            else:
+                steps.append(Read(txn, future_entity))
+        steps.append(Finish(txn))
+    # The fresh two-step transaction Tn.
+    candidate_mode = violation.required_mode
+    pred_future = graph.info(pred).future or {}
+    y_mode = pred_future.get(y)
+    if y_mode is None:
+        raise DeletionError(
+            f"C4 violation names uncovered future {y!r} which {pred!r} no "
+            "longer declares"
+        )
+    # Weakest conflicting mode: against a WRITE a READ conflicts; against a
+    # READ only a WRITE does.
+    tn_x_mode = AccessMode.READ if candidate_mode.is_write else AccessMode.WRITE
+    tn_y_mode = AccessMode.READ if y_mode.is_write else AccessMode.WRITE
+    tn = _fresh_txn_id(graph, prefix="_Tn")
+    if entity == y:
+        # One entity plays both roles; declare the stronger conflicting mode.
+        declared = {entity: max(tn_x_mode, tn_y_mode)}
+        steps.append(BeginDeclared(tn, declared))
+        steps.append(
+            WriteItem(tn, entity)
+            if declared[entity].is_write
+            else Read(tn, entity)
+        )
+    else:
+        declared = {entity: tn_x_mode, y: tn_y_mode}
+        steps.append(BeginDeclared(tn, declared))
+        steps.append(
+            WriteItem(tn, entity) if tn_x_mode.is_write else Read(tn, entity)
+        )
+        steps.append(WriteItem(tn, y) if tn_y_mode.is_write else Read(tn, y))
+    return steps
+
+
+def check_predeclared_divergence(
+    graph: ReducedGraph,
+    deleted: Sequence[TxnId],
+    continuation: Sequence[Step],
+) -> Optional[Divergence]:
+    """Lockstep original-vs-reduced run for the predeclared scheduler.
+
+    Divergence here means one scheduler delays a step the other executes
+    (the predeclared scheduler never rejects).
+    """
+    original = PredeclaredScheduler(graph.copy())
+    reduced = PredeclaredScheduler(graph.reduced_by(deleted))
+    for step in continuation:
+        result_original = original.feed(step)
+        result_reduced = reduced.feed(step)
+        if result_original.decision is not result_reduced.decision:
+            return Divergence(
+                step, result_original.decision, result_reduced.decision
+            )
+    return None

@@ -1,0 +1,141 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still being able to distinguish model violations
+(malformed transactions or schedules) from scheduler-level rejections and
+deletion-safety violations.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "UnknownTransactionError",
+    "UnknownEntityError",
+    "InvalidStepError",
+    "TransactionStateError",
+    "SchedulerError",
+    "GraphError",
+    "NodeNotFoundError",
+    "ArcNotFoundError",
+    "CycleError",
+    "DeletionError",
+    "UnsafeDeletionError",
+    "NotCompletedError",
+    "WorkloadError",
+    "ReductionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ModelError(ReproError):
+    """A transaction, step, or schedule violates the model of Section 2/5."""
+
+
+class UnknownTransactionError(ModelError, KeyError):
+    """An operation referenced a transaction id that is not known."""
+
+    def __init__(self, txn_id: object) -> None:
+        super().__init__(f"unknown transaction: {txn_id!r}")
+        self.txn_id = txn_id
+
+
+class UnknownEntityError(ModelError, KeyError):
+    """An operation referenced an entity outside the database universe."""
+
+    def __init__(self, entity: object) -> None:
+        super().__init__(f"unknown entity: {entity!r}")
+        self.entity = entity
+
+
+class InvalidStepError(ModelError):
+    """A step is malformed or arrives out of protocol order.
+
+    Examples: a read after the final atomic write in the basic model, a step
+    of a transaction that never issued BEGIN, a predeclared transaction
+    executing a step it did not declare.
+    """
+
+
+class TransactionStateError(ModelError):
+    """A transaction is in the wrong state for the requested operation.
+
+    For instance asking to delete an *active* transaction, or committing a
+    multiwrite transaction that still depends on active transactions.
+    """
+
+
+class SchedulerError(ReproError):
+    """The scheduler was driven incorrectly (not a model violation)."""
+
+
+class GraphError(ReproError):
+    """Base class for graph-kernel errors."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A graph operation referenced a node that is not present."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node not in graph: {node!r}")
+        self.node = node
+
+
+class ArcNotFoundError(GraphError, KeyError):
+    """A graph operation referenced an arc that is not present."""
+
+    def __init__(self, tail: object, head: object) -> None:
+        super().__init__(f"arc not in graph: {tail!r} -> {head!r}")
+        self.tail = tail
+        self.head = head
+
+
+class CycleError(GraphError):
+    """An operation would create, or requires the absence of, a cycle."""
+
+
+class DeletionError(ReproError):
+    """Base class for deletion-theory errors (Sections 3-5)."""
+
+
+class UnsafeDeletionError(DeletionError):
+    """A deletion was requested that the governing condition rejects.
+
+    Raised by the safe wrappers (``ReducedGraph.delete_checked`` and the
+    policies) when asked to remove a transaction whose removal would let the
+    reduced scheduler accept a non-CSR schedule.
+    """
+
+    def __init__(self, txn_id: object, reason: str = "") -> None:
+        message = f"unsafe to delete transaction {txn_id!r}"
+        if reason:
+            message = f"{message}: {reason}"
+        super().__init__(message)
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class NotCompletedError(DeletionError, TransactionStateError):
+    """Only completed (or committed, in the multiwrite model) transactions
+    may be removed from the graph."""
+
+    def __init__(self, txn_id: object, state: object) -> None:
+        super().__init__(
+            f"transaction {txn_id!r} is {state!r}; only completed "
+            "transactions can be deleted"
+        )
+        self.txn_id = txn_id
+        self.state = state
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured with invalid parameters."""
+
+
+class ReductionError(ReproError):
+    """An NP-completeness reduction received a malformed instance."""

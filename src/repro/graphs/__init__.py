@@ -1,0 +1,51 @@
+"""Directed-graph kernel used by every scheduler and by the deletion theory.
+
+Implemented from scratch (no networkx dependency in library code; networkx
+is used only by the test suite as an independent cross-check):
+
+* :mod:`repro.graphs.digraph` — :class:`DiGraph`, adjacency-set digraph with
+  node contraction (the paper's removal operation ``D(G, Ti)``: delete the
+  node, bypass predecessors to successors);
+* :mod:`repro.graphs.paths` — reachability with *intermediate-node
+  predicates* (tight paths, FC-paths) and restricted successor/predecessor
+  set computation;
+* :mod:`repro.graphs.cycles` — cycle tests (would an arc close a cycle?),
+  topological sorting, and full cycle extraction for diagnostics;
+* :mod:`repro.graphs.closure` — :class:`ClosureGraph`, a digraph that
+  maintains its transitive closure incrementally, mirroring the paper's
+  remark that with a maintained closure "removing a transaction is
+  equivalent to simply deleting the corresponding node and incident edges
+  from the transitive closure".
+"""
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.closure import ClosureGraph
+from repro.graphs.cycles import (
+    find_cycle,
+    has_cycle,
+    topological_order,
+    would_close_cycle,
+)
+from repro.graphs.paths import (
+    has_path,
+    has_restricted_path,
+    reachable_from,
+    reachable_to,
+    restricted_successors,
+    restricted_predecessors,
+)
+
+__all__ = [
+    "DiGraph",
+    "ClosureGraph",
+    "has_cycle",
+    "find_cycle",
+    "topological_order",
+    "would_close_cycle",
+    "has_path",
+    "has_restricted_path",
+    "reachable_from",
+    "reachable_to",
+    "restricted_successors",
+    "restricted_predecessors",
+]

@@ -1,0 +1,229 @@
+"""A digraph that maintains its transitive closure incrementally.
+
+Motivation (§3): *"If the cycle-checking algorithm keeps track of the
+transitive closure of the graph (to facilitate testing whether a new arc can
+be inserted), then removing a transaction is equivalent to simply deleting
+the corresponding node and incident edges from the transitive closure."*
+
+:class:`ClosureGraph` stores, besides the ordinary arcs, the full
+reachability relation, updated on every arc/node change:
+
+* ``add_arc(u, v)`` — O(|affected pairs|) propagation: every ancestor of
+  ``u`` (plus ``u``) reaches every descendant of ``v`` (plus ``v``);
+* ``would_close_cycle(u, v)`` — O(1): just test ``reaches(v, u)``;
+* ``contract(node)`` — O(degree) in the *closure*: per the paper, simply
+  drop the node's row and column; the bypass arcs of ``D(G, node)`` change
+  no reachability between remaining nodes, so the stored closure is already
+  the closure of the contracted graph.  (This equivalence is asserted by the
+  property tests against a recomputed closure.)
+
+Arc *removal* is intentionally unsupported — decremental closure is a much
+harder problem, and the schedulers never remove single arcs: they only abort
+(remove node) or contract (remove node).  Node removal by abort conservatively
+recomputes the closure rows affected, which is the documented cost of aborts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Set, Tuple
+
+from repro.errors import CycleError, GraphError, NodeNotFoundError
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["ClosureGraph"]
+
+Node = Hashable
+
+
+class ClosureGraph:
+    """Directed acyclic graph + maintained transitive closure.
+
+    The graph must stay acyclic: :meth:`add_arc` raises
+    :class:`CycleError` if the arc would close a cycle (callers are expected
+    to consult :meth:`would_close_cycle` first, as the schedulers do).
+
+    >>> g = ClosureGraph()
+    >>> for n in "abc": g.add_node(n)
+    >>> g.add_arc("a", "b"); g.add_arc("b", "c")
+    >>> g.reaches("a", "c")
+    True
+    >>> g.would_close_cycle("c", "a")
+    True
+    >>> g.contract("b")
+    >>> g.reaches("a", "c"), g.has_arc("a", "c")
+    (True, True)
+    """
+
+    __slots__ = ("_graph", "_desc", "_anc")
+
+    def __init__(self) -> None:
+        self._graph = DiGraph()
+        # _desc[u]: nodes reachable from u by a nonempty path.
+        self._desc: Dict[Node, Set[Node]] = {}
+        # _anc[u]: nodes that reach u by a nonempty path.
+        self._anc: Dict[Node, Set[Node]] = {}
+
+    # -- plain graph façade --------------------------------------------------
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._graph
+
+    def __len__(self) -> int:
+        return len(self._graph)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._graph)
+
+    def nodes(self) -> FrozenSet[Node]:
+        return self._graph.nodes()
+
+    def arcs(self) -> Iterator[Tuple[Node, Node]]:
+        return self._graph.arcs()
+
+    def arc_count(self) -> int:
+        return self._graph.arc_count()
+
+    def has_arc(self, tail: Node, head: Node) -> bool:
+        return self._graph.has_arc(tail, head)
+
+    def successors(self, node: Node) -> FrozenSet[Node]:
+        return self._graph.successors(node)
+
+    def predecessors(self, node: Node) -> FrozenSet[Node]:
+        return self._graph.predecessors(node)
+
+    def as_digraph(self) -> DiGraph:
+        """A mutable copy of the underlying arc structure."""
+        return self._graph.copy()
+
+    # -- closure queries -----------------------------------------------------
+
+    def reaches(self, source: Node, target: Node) -> bool:
+        """``True`` iff a nonempty path ``source ->* target`` exists."""
+        if source not in self._desc:
+            raise NodeNotFoundError(source)
+        if target not in self._desc:
+            raise NodeNotFoundError(target)
+        return target in self._desc[source]
+
+    def descendants(self, node: Node) -> FrozenSet[Node]:
+        if node not in self._desc:
+            raise NodeNotFoundError(node)
+        return frozenset(self._desc[node])
+
+    def ancestors(self, node: Node) -> FrozenSet[Node]:
+        if node not in self._anc:
+            raise NodeNotFoundError(node)
+        return frozenset(self._anc[node])
+
+    def would_close_cycle(self, tail: Node, head: Node) -> bool:
+        """O(1) cycle pre-test for arc ``tail -> head``."""
+        if tail == head:
+            return True
+        return self.reaches(head, tail)
+
+    # -- mutations -----------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        if node in self._graph:
+            return
+        self._graph.add_node(node)
+        self._desc[node] = set()
+        self._anc[node] = set()
+
+    def add_arc(self, tail: Node, head: Node) -> None:
+        """Insert ``tail -> head``; raises :class:`CycleError` on a cycle."""
+        if tail not in self._graph:
+            raise NodeNotFoundError(tail)
+        if head not in self._graph:
+            raise NodeNotFoundError(head)
+        if tail == head:
+            raise GraphError(f"self-loop rejected: {tail!r}")
+        if self.reaches(head, tail):
+            raise CycleError(f"arc {tail!r} -> {head!r} would close a cycle")
+        self._graph.add_arc(tail, head)
+        if head in self._desc[tail]:
+            return  # reachability unchanged
+        # Every ancestor-or-self of tail now reaches every descendant-or-self
+        # of head.
+        sources = self._anc[tail] | {tail}
+        targets = self._desc[head] | {head}
+        for source in sources:
+            self._desc[source].update(targets)
+        for target in targets:
+            self._anc[target].update(sources)
+
+    def contract(self, node: Node) -> None:
+        """Remove a node the paper's way: drop it from graph *and* closure.
+
+        Adds the bypass arcs (predecessor -> successor) in the arc structure
+        so the plain graph equals ``D(G, node)``; the closure needs only
+        row/column deletion because bypass arcs preserve reachability.
+        """
+        if node not in self._graph:
+            raise NodeNotFoundError(node)
+        self._graph.contract(node)
+        del self._desc[node]
+        del self._anc[node]
+        for descendants in self._desc.values():
+            descendants.discard(node)
+        for ancestors in self._anc.values():
+            ancestors.discard(node)
+
+    def remove_node_abort(self, node: Node) -> None:
+        """Remove a node with *abort* semantics (no bypass arcs).
+
+        Reachability through the node is genuinely lost, so the affected
+        closure entries are recomputed.  Cost: a BFS per affected source —
+        acceptable because aborts are rare relative to arc insertions.
+        """
+        if node not in self._graph:
+            raise NodeNotFoundError(node)
+        affected_sources = set(self._anc[node])
+        self._graph.remove_node(node)
+        del self._desc[node]
+        del self._anc[node]
+        for descendants in self._desc.values():
+            descendants.discard(node)
+        for ancestors in self._anc.values():
+            ancestors.discard(node)
+        # Recompute descendant sets of every former ancestor (their old sets
+        # may contain nodes reachable only through the removed node), then
+        # rebuild the ancestor index for consistency.
+        for source in affected_sources:
+            self._desc[source] = self._bfs_descendants(source)
+        for target in self._anc:
+            self._anc[target] = {
+                source for source in self._desc if target in self._desc[source]
+            }
+
+    def _bfs_descendants(self, source: Node) -> Set[Node]:
+        seen: Set[Node] = set()
+        frontier = list(self._graph.successors(source))
+        seen.update(frontier)
+        while frontier:
+            node = frontier.pop()
+            for nxt in self._graph.successors(node):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+    def check_invariants(self) -> None:
+        """Assert closure == recomputed closure (test helper)."""
+        for node in self._graph:
+            actual = self._bfs_descendants(node)
+            if actual != self._desc[node]:
+                raise GraphError(
+                    f"closure drift at {node!r}: stored {sorted(map(repr, self._desc[node]))}, "
+                    f"actual {sorted(map(repr, actual))}"
+                )
+        for node in self._graph:
+            expected_anc = {
+                other for other in self._graph if node in self._desc[other]
+            }
+            if expected_anc != self._anc[node]:
+                raise GraphError(f"ancestor index drift at {node!r}")
+
+    def __repr__(self) -> str:
+        return f"ClosureGraph(nodes={len(self)}, arcs={self.arc_count()})"

@@ -1,0 +1,234 @@
+"""A small, fast adjacency-set directed graph.
+
+Design notes
+------------
+* Nodes are arbitrary hashable objects (the schedulers use transaction ids).
+* Arc insertion/removal, successor/predecessor queries are O(1) expected.
+* :meth:`DiGraph.contract` implements the paper's removal operation: the
+  reduced graph ``D(G, Ti)`` *"is G with node Ti deleted and arcs to and
+  from it replaced by arcs from all its immediate predecessors to all its
+  immediate successors"* (§3).  Aborts, in contrast, use plain
+  :meth:`remove_node` — an aborted transaction's paths are genuinely lost.
+* No self-loops: the conflict relation is between *different* transactions,
+  and contraction never introduces a self-loop unless the node lay on a
+  cycle — which the scheduler's invariant (the graph is always acyclic)
+  rules out; :meth:`contract` therefore raises if it would create one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Set, Tuple
+
+from repro.errors import CycleError, GraphError, NodeNotFoundError
+
+__all__ = ["DiGraph"]
+
+Node = Hashable
+
+
+class DiGraph:
+    """Mutable directed graph with O(1) arc operations and contraction.
+
+    >>> g = DiGraph()
+    >>> g.add_node("a"); g.add_node("b"); g.add_arc("a", "b")
+    >>> g.has_arc("a", "b")
+    True
+    >>> sorted(g.successors("a"))
+    ['b']
+    >>> g.add_node("c"); g.add_arc("b", "c")
+    >>> g.contract("b")
+    >>> g.has_arc("a", "c")
+    True
+    >>> "b" in g
+    False
+    """
+
+    __slots__ = ("_succ", "_pred")
+
+    def __init__(self, arcs: Iterable[Tuple[Node, Node]] = ()) -> None:
+        self._succ: Dict[Node, Set[Node]] = {}
+        self._pred: Dict[Node, Set[Node]] = {}
+        for tail, head in arcs:
+            self.add_node(tail)
+            self.add_node(head)
+            self.add_arc(tail, head)
+
+    # -- node operations ---------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Insert *node*; a no-op if already present."""
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+
+    def remove_node(self, node: Node) -> None:
+        """Delete *node* and all incident arcs (no bypass arcs).
+
+        This is the *abort* semantics: "the transaction aborts and is
+        removed from the graph" — paths through it are lost.
+        """
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+        for head in self._succ[node]:
+            self._pred[head].discard(node)
+        for tail in self._pred[node]:
+            self._succ[tail].discard(node)
+        del self._succ[node]
+        del self._pred[node]
+
+    def contract(self, node: Node) -> None:
+        """Delete *node*, bypassing each predecessor to each successor.
+
+        Implements ``D(G, node)`` of §3/§4.  Raises :class:`CycleError` if
+        the node lies on a cycle (bypass would then need a self-loop), which
+        cannot happen for the always-acyclic scheduler graphs.
+        """
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+        predecessors = self._pred[node] - {node}
+        successors = self._succ[node] - {node}
+        if self._succ[node] & self._pred[node]:
+            raise CycleError(
+                f"cannot contract {node!r}: it lies on a 2-cycle"
+            )
+        if node in self._succ[node]:
+            raise CycleError(f"cannot contract {node!r}: it has a self-loop")
+        self.remove_node(node)
+        for tail in predecessors:
+            for head in successors:
+                if tail != head:
+                    self._succ[tail].add(head)
+                    self._pred[head].add(tail)
+                else:
+                    raise CycleError(
+                        f"contracting {node!r} would create a self-loop on {tail!r}"
+                    )
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    def nodes(self) -> FrozenSet[Node]:
+        return frozenset(self._succ)
+
+    # -- arc operations ----------------------------------------------------
+
+    def add_arc(self, tail: Node, head: Node) -> None:
+        """Insert arc ``tail -> head``; both nodes must exist.
+
+        Self-loops are rejected: conflicts hold between *different*
+        transactions.
+        """
+        if tail not in self._succ:
+            raise NodeNotFoundError(tail)
+        if head not in self._succ:
+            raise NodeNotFoundError(head)
+        if tail == head:
+            raise GraphError(f"self-loop rejected: {tail!r}")
+        self._succ[tail].add(head)
+        self._pred[head].add(tail)
+
+    def remove_arc(self, tail: Node, head: Node) -> None:
+        if tail not in self._succ or head not in self._succ[tail]:
+            from repro.errors import ArcNotFoundError
+
+            raise ArcNotFoundError(tail, head)
+        self._succ[tail].discard(head)
+        self._pred[head].discard(tail)
+
+    def has_arc(self, tail: Node, head: Node) -> bool:
+        return tail in self._succ and head in self._succ[tail]
+
+    def arcs(self) -> Iterator[Tuple[Node, Node]]:
+        for tail, heads in self._succ.items():
+            for head in heads:
+                yield (tail, head)
+
+    def arc_count(self) -> int:
+        return sum(len(heads) for heads in self._succ.values())
+
+    # -- neighborhood queries ----------------------------------------------
+
+    def successors(self, node: Node) -> FrozenSet[Node]:
+        """Immediate successors of *node*."""
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+        return frozenset(self._succ[node])
+
+    def predecessors(self, node: Node) -> FrozenSet[Node]:
+        """Immediate predecessors of *node*."""
+        if node not in self._pred:
+            raise NodeNotFoundError(node)
+        return frozenset(self._pred[node])
+
+    def out_degree(self, node: Node) -> int:
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+        return len(self._succ[node])
+
+    def in_degree(self, node: Node) -> int:
+        if node not in self._pred:
+            raise NodeNotFoundError(node)
+        return len(self._pred[node])
+
+    # -- whole-graph helpers -------------------------------------------------
+
+    def copy(self) -> "DiGraph":
+        """An independent deep copy (nodes are shared, sets are not)."""
+        clone = DiGraph()
+        clone._succ = {node: set(heads) for node, heads in self._succ.items()}
+        clone._pred = {node: set(tails) for node, tails in self._pred.items()}
+        return clone
+
+    def subgraph_without(self, removed: Iterable[Node]) -> "DiGraph":
+        """The induced subgraph after plain-deleting *removed* (no bypass).
+
+        Used for ``G - M+`` in condition C3 (§5): aborting the set deletes
+        the nodes and their incident arcs.
+        """
+        gone = set(removed)
+        clone = DiGraph()
+        for node in self._succ:
+            if node not in gone:
+                clone.add_node(node)
+        for tail, heads in self._succ.items():
+            if tail in gone:
+                continue
+            for head in heads:
+                if head not in gone:
+                    clone.add_arc(tail, head)
+        return clone
+
+    def reversed(self) -> "DiGraph":
+        """A copy with every arc reversed."""
+        clone = DiGraph()
+        for node in self._succ:
+            clone.add_node(node)
+        for tail, head in self.arcs():
+            clone.add_arc(head, tail)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return self._succ == other._succ
+
+    def __repr__(self) -> str:
+        return (
+            f"DiGraph(nodes={len(self._succ)}, arcs={self.arc_count()})"
+        )
+
+    def to_dot(self, label: str = "G") -> str:
+        """A Graphviz rendering, for debugging and the examples."""
+        lines = [f"digraph {label} {{"]
+        for node in sorted(self._succ, key=repr):
+            lines.append(f'  "{node}";')
+        for tail, head in sorted(self.arcs(), key=repr):
+            lines.append(f'  "{tail}" -> "{head}";')
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,220 @@
+"""Reachability with intermediate-node predicates.
+
+The deletion conditions never ask for plain reachability alone; they ask for
+paths whose *intermediate* nodes satisfy a property while the endpoints are
+exempt:
+
+* **tight paths** (§3): intermediates all *completed* — "Transaction Ti is a
+  tight predecessor of Tj ... if there is a path from Ti to Tj that uses
+  only completed transactions as intermediate nodes";
+* **FC-paths** (§5): intermediates of type F or C — "a path all of whose
+  intermediate nodes have completed".
+
+These helpers implement BFS over a :class:`~repro.graphs.digraph.DiGraph`
+where expansion continues only through nodes passing ``via``; endpoints are
+always allowed.  A single-arc path has no intermediates, so it trivially
+satisfies any predicate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, FrozenSet, Hashable, Iterable, List, Optional
+
+from repro.errors import NodeNotFoundError
+from repro.graphs.digraph import DiGraph
+
+__all__ = [
+    "has_path",
+    "has_restricted_path",
+    "find_restricted_path",
+    "reachable_from",
+    "reachable_to",
+    "restricted_successors",
+    "restricted_predecessors",
+]
+
+Node = Hashable
+NodePredicate = Callable[[Node], bool]
+
+
+def _check_node(graph: DiGraph, node: Node) -> None:
+    if node not in graph:
+        raise NodeNotFoundError(node)
+
+
+def has_path(graph: DiGraph, source: Node, target: Node) -> bool:
+    """Plain reachability ``source ->* target`` (trivially true if equal)."""
+    _check_node(graph, source)
+    _check_node(graph, target)
+    if source == target:
+        return True
+    return target in reachable_from(graph, source)
+
+
+def reachable_from(graph: DiGraph, source: Node) -> FrozenSet[Node]:
+    """All nodes reachable from *source* by a nonempty path, plus none of
+    ``{source}`` unless it lies on a cycle through itself (impossible in the
+    acyclic scheduler graphs, but handled anyway)."""
+    _check_node(graph, source)
+    seen: set[Node] = set()
+    frontier = deque(graph.successors(source))
+    seen.update(frontier)
+    while frontier:
+        node = frontier.popleft()
+        for nxt in graph.successors(node):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return frozenset(seen)
+
+
+def reachable_to(graph: DiGraph, target: Node) -> FrozenSet[Node]:
+    """All nodes with a nonempty path into *target* (the predecessor set)."""
+    _check_node(graph, target)
+    seen: set[Node] = set()
+    frontier = deque(graph.predecessors(target))
+    seen.update(frontier)
+    while frontier:
+        node = frontier.popleft()
+        for nxt in graph.predecessors(node):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return frozenset(seen)
+
+
+def has_restricted_path(
+    graph: DiGraph,
+    source: Node,
+    target: Node,
+    via: NodePredicate,
+) -> bool:
+    """Is there a path ``source ->* target`` whose *intermediate* nodes all
+    satisfy ``via``?
+
+    Endpoints are exempt from the predicate.  A direct arc always counts.
+
+    >>> g = DiGraph([("a", "m"), ("m", "b"), ("a", "b")])
+    >>> has_restricted_path(g, "a", "b", via=lambda n: False)
+    True
+    >>> g2 = DiGraph([("a", "m"), ("m", "b")])
+    >>> has_restricted_path(g2, "a", "b", via=lambda n: n == "m")
+    True
+    >>> has_restricted_path(g2, "a", "b", via=lambda n: False)
+    False
+    """
+    _check_node(graph, source)
+    _check_node(graph, target)
+    if graph.has_arc(source, target):
+        return True
+    # BFS through admissible intermediates only.
+    seen: set[Node] = set()
+    frontier: deque[Node] = deque(
+        node for node in graph.successors(source) if node != target and via(node)
+    )
+    seen.update(frontier)
+    while frontier:
+        node = frontier.popleft()
+        for nxt in graph.successors(node):
+            if nxt == target:
+                return True
+            if nxt not in seen and via(nxt):
+                seen.add(nxt)
+                frontier.append(nxt)
+    return False
+
+
+def find_restricted_path(
+    graph: DiGraph,
+    source: Node,
+    target: Node,
+    via: NodePredicate,
+) -> Optional[List[Node]]:
+    """Like :func:`has_restricted_path` but returns one witness path
+    (``[source, ..., target]``) or ``None``.  Used in diagnostics and in the
+    witness-continuation constructions."""
+    _check_node(graph, source)
+    _check_node(graph, target)
+    if graph.has_arc(source, target):
+        return [source, target]
+    parent: dict[Node, Node] = {}
+    frontier: deque[Node] = deque()
+    for node in graph.successors(source):
+        if node != target and via(node) and node not in parent:
+            parent[node] = source
+            frontier.append(node)
+    while frontier:
+        node = frontier.popleft()
+        for nxt in graph.successors(node):
+            if nxt == target:
+                path = [target, node]
+                while path[-1] != source:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path
+            if nxt not in parent and nxt != source and via(nxt):
+                parent[nxt] = node
+                frontier.append(nxt)
+    return None
+
+
+def restricted_successors(
+    graph: DiGraph,
+    source: Node,
+    via: NodePredicate,
+) -> FrozenSet[Node]:
+    """All nodes reachable from *source* via admissible intermediates.
+
+    This is the set of **tight successors** when ``via`` tests completion:
+    every returned node `t` has a path ``source ->* t`` whose intermediates
+    satisfy ``via`` (`t` itself need not).
+    """
+    _check_node(graph, source)
+    result: set[Node] = set()
+    # Nodes through which we may continue expanding.
+    expandable: deque[Node] = deque()
+    for node in graph.successors(source):
+        result.add(node)
+        if via(node):
+            expandable.append(node)
+    expanded: set[Node] = set(expandable)
+    while expandable:
+        node = expandable.popleft()
+        for nxt in graph.successors(node):
+            result.add(nxt)
+            if via(nxt) and nxt not in expanded:
+                expanded.add(nxt)
+                expandable.append(nxt)
+    result.discard(source)
+    return frozenset(result)
+
+
+def restricted_predecessors(
+    graph: DiGraph,
+    target: Node,
+    via: NodePredicate,
+) -> FrozenSet[Node]:
+    """All nodes with a path into *target* via admissible intermediates.
+
+    The set of **tight predecessors** of *target* when ``via`` tests
+    completion; condition C1 quantifies over the *active* members of this
+    set.
+    """
+    _check_node(graph, target)
+    result: set[Node] = set()
+    expandable: deque[Node] = deque()
+    for node in graph.predecessors(target):
+        result.add(node)
+        if via(node):
+            expandable.append(node)
+    expanded: set[Node] = set(expandable)
+    while expandable:
+        node = expandable.popleft()
+        for nxt in graph.predecessors(node):
+            result.add(nxt)
+            if via(nxt) and nxt not in expanded:
+                expanded.add(nxt)
+                expandable.append(nxt)
+    result.discard(target)
+    return frozenset(result)

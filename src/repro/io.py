@@ -1,0 +1,159 @@
+"""Serialization: reduced graphs and schedules to/from JSON.
+
+For debugging sessions, regression fixtures, and crash post-mortems: dump
+the scheduler's current reduced graph (arc structure + payloads + deletion
+bookkeeping) or a step stream, reload them bit-identically later.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.core.reduced_graph import ReducedGraph
+from repro.errors import ModelError
+from repro.model.schedule import Schedule
+from repro.model.status import AccessMode, TxnState
+from repro.model.steps import (
+    Begin,
+    BeginDeclared,
+    Finish,
+    Read,
+    Step,
+    Write,
+    WriteItem,
+)
+
+__all__ = [
+    "graph_to_dict",
+    "graph_from_dict",
+    "graph_to_json",
+    "graph_from_json",
+    "schedule_to_list",
+    "schedule_from_list",
+]
+
+_FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: ReducedGraph) -> Dict[str, Any]:
+    """A JSON-ready dict capturing the whole reduced graph."""
+    nodes = []
+    for txn in sorted(graph.nodes()):
+        info = graph.info(txn)
+        nodes.append(
+            {
+                "txn": txn,
+                "state": info.state.value,
+                "accesses": {
+                    entity: mode.name for entity, mode in sorted(info.accesses.items())
+                },
+                "future": (
+                    None
+                    if info.future is None
+                    else {e: m.name for e, m in sorted(info.future.items())}
+                ),
+                "reads_from": sorted(info.reads_from),
+            }
+        )
+    return {
+        "format": _FORMAT_VERSION,
+        "nodes": nodes,
+        "arcs": sorted(graph.arcs()),
+        "deleted": sorted(graph.deleted_transactions()),
+        "aborted": sorted(graph.aborted_transactions()),
+    }
+
+
+def graph_from_dict(payload: Dict[str, Any]) -> ReducedGraph:
+    """Inverse of :func:`graph_to_dict`."""
+    if payload.get("format") != _FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported graph format {payload.get('format')!r}"
+        )
+    graph = ReducedGraph()
+    for node in payload["nodes"]:
+        future = node.get("future")
+        graph.add_transaction(
+            node["txn"],
+            TxnState(node["state"]),
+            declared=(
+                None
+                if future is None
+                else {e: AccessMode[m] for e, m in future.items()}
+            ),
+        )
+        for entity, mode in node["accesses"].items():
+            graph.record_access(node["txn"], entity, AccessMode[mode])
+        graph.info(node["txn"]).reads_from.update(node.get("reads_from", ()))
+    for tail, head in payload["arcs"]:
+        graph.add_arc(tail, head)
+    # Deletion/abort bookkeeping: restore so id-reuse protection survives
+    # a round trip.
+    graph._deleted.update(payload.get("deleted", ()))
+    graph._aborted.update(payload.get("aborted", ()))
+    return graph
+
+
+def graph_to_json(graph: ReducedGraph, indent: int = 2) -> str:
+    return json.dumps(graph_to_dict(graph), indent=indent, sort_keys=True)
+
+
+def graph_from_json(text: str) -> ReducedGraph:
+    return graph_from_dict(json.loads(text))
+
+
+# ---------------------------------------------------------------------------
+# Schedules
+# ---------------------------------------------------------------------------
+
+_STEP_ENCODERS = {
+    Begin: lambda s: {"kind": "begin", "txn": s.txn},
+    BeginDeclared: lambda s: {
+        "kind": "begin_declared",
+        "txn": s.txn,
+        "declared": {e: m.name for e, m in sorted(s.declared.items())},
+    },
+    Read: lambda s: {"kind": "read", "txn": s.txn, "entity": s.entity},
+    Write: lambda s: {"kind": "write", "txn": s.txn, "entities": sorted(s.entities)},
+    WriteItem: lambda s: {"kind": "write_item", "txn": s.txn, "entity": s.entity},
+    Finish: lambda s: {"kind": "finish", "txn": s.txn},
+}
+
+
+def schedule_to_list(schedule: Schedule) -> List[Dict[str, Any]]:
+    """Encode every step as a small dict."""
+    encoded = []
+    for step in schedule:
+        encoder = _STEP_ENCODERS.get(type(step))
+        if encoder is None:
+            raise ModelError(f"cannot encode step kind {type(step).__name__}")
+        encoded.append(encoder(step))
+    return encoded
+
+
+def schedule_from_list(items: List[Dict[str, Any]]) -> Schedule:
+    """Inverse of :func:`schedule_to_list`."""
+    steps: List[Step] = []
+    for item in items:
+        kind = item.get("kind")
+        if kind == "begin":
+            steps.append(Begin(item["txn"]))
+        elif kind == "begin_declared":
+            steps.append(
+                BeginDeclared(
+                    item["txn"],
+                    {e: AccessMode[m] for e, m in item["declared"].items()},
+                )
+            )
+        elif kind == "read":
+            steps.append(Read(item["txn"], item["entity"]))
+        elif kind == "write":
+            steps.append(Write(item["txn"], frozenset(item["entities"])))
+        elif kind == "write_item":
+            steps.append(WriteItem(item["txn"], item["entity"]))
+        elif kind == "finish":
+            steps.append(Finish(item["txn"]))
+        else:
+            raise ModelError(f"unknown step kind {kind!r}")
+    return Schedule(tuple(steps))

@@ -1,0 +1,135 @@
+"""The reduced scheduler, packaged: scheduler + deletion policy + audit.
+
+§4 defines the combined algorithm: *"A deletion policy together with F
+(Rules 1-3) specify the behavior of the scheduling algorithm ... when a new
+transaction step arrives, the function F is applied to the current graph
+giving a new graph G; then the set of nodes P(G) is removed."*
+
+:class:`GarbageCollectedScheduler` is that loop as a single adoptable
+object: feed steps, deletions happen automatically, statistics accumulate,
+and (optionally) every policy selection is re-checked against condition C2
+before it is applied — a belt-and-braces mode for policies you do not
+trust yet (Theorem 2: one unsafe deletion is enough to break correctness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.policies import DeletionPolicy, NeverDeletePolicy
+from repro.core.set_conditions import can_delete_set
+from repro.errors import UnsafeDeletionError
+from repro.model.steps import Step, TxnId
+from repro.scheduler.base import SchedulerBase
+from repro.scheduler.events import StepResult
+
+__all__ = ["GarbageCollectedScheduler", "GcStats"]
+
+
+@dataclass
+class GcStats:
+    """Running totals for one garbage-collected scheduler."""
+
+    steps_fed: int = 0
+    deletions: int = 0
+    policy_invocations: int = 0
+    peak_graph_size: int = 0
+    peak_retained_completed: int = 0
+    deleted_ids: List[TxnId] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "steps_fed": self.steps_fed,
+            "deletions": self.deletions,
+            "policy_invocations": self.policy_invocations,
+            "peak_graph_size": self.peak_graph_size,
+            "peak_retained_completed": self.peak_retained_completed,
+        }
+
+
+class GarbageCollectedScheduler:
+    """A scheduler with a deletion policy wired into its step loop.
+
+    Parameters
+    ----------
+    scheduler:
+        Any :class:`~repro.scheduler.base.SchedulerBase` instance (it is
+        owned and mutated by this object from now on).
+    policy:
+        The deletion policy; defaults to keeping everything.
+    verify_c2:
+        When true, every policy selection is checked against condition C2
+        before deletion and an :class:`UnsafeDeletionError` is raised on a
+        violation.  C2 governs the basic model; leave this off for
+        multiwrite/predeclared schedulers, whose policies check C3/C4
+        internally.
+
+    >>> from repro.scheduler.conflict import ConflictGraphScheduler
+    >>> from repro.core.policies import EagerC1Policy
+    >>> from repro.workloads.traces import example1_schedule
+    >>> gc = GarbageCollectedScheduler(ConflictGraphScheduler(),
+    ...                                EagerC1Policy(), verify_c2=True)
+    >>> _ = gc.feed_many(example1_schedule())
+    >>> len(gc.graph) < 3   # something was safely forgotten along the way
+    True
+    """
+
+    def __init__(
+        self,
+        scheduler: SchedulerBase,
+        policy: Optional[DeletionPolicy] = None,
+        verify_c2: bool = False,
+    ) -> None:
+        self.scheduler = scheduler
+        self.policy = policy if policy is not None else NeverDeletePolicy()
+        self.verify_c2 = verify_c2
+        self.stats = GcStats()
+
+    # -- the §4 loop -------------------------------------------------------------
+
+    def feed(self, step: Step) -> StepResult:
+        """Apply F to the current graph, then remove P(G)."""
+        result = self.scheduler.feed(step)
+        self.stats.steps_fed += 1
+        chosen = self.policy.select(self.scheduler)
+        self.stats.policy_invocations += 1
+        if chosen:
+            if self.verify_c2 and not can_delete_set(self.scheduler.graph, chosen):
+                raise UnsafeDeletionError(
+                    tuple(sorted(chosen)),
+                    f"policy {self.policy.name!r} selected a C2-violating set",
+                )
+            ordered = sorted(chosen)
+            self.scheduler.delete_transactions(ordered)
+            self.stats.deletions += len(ordered)
+            self.stats.deleted_ids.extend(ordered)
+        graph = self.scheduler.graph
+        self.stats.peak_graph_size = max(self.stats.peak_graph_size, len(graph))
+        self.stats.peak_retained_completed = max(
+            self.stats.peak_retained_completed,
+            len(graph.completed_transactions()),
+        )
+        return result
+
+    def feed_many(self, steps: Iterable[Step]) -> List[StepResult]:
+        return [self.feed(step) for step in steps]
+
+    # -- façade ---------------------------------------------------------------------
+
+    @property
+    def graph(self):
+        return self.scheduler.graph
+
+    @property
+    def aborted(self):
+        return self.scheduler.aborted
+
+    def accepted_subschedule(self):
+        return self.scheduler.accepted_subschedule()
+
+    def __repr__(self) -> str:
+        return (
+            f"GarbageCollectedScheduler({type(self.scheduler).__name__}, "
+            f"policy={self.policy.name!r}, deletions={self.stats.deletions})"
+        )

@@ -1,0 +1,58 @@
+"""Transaction and schedule model (Section 2 and Section 5 of the paper).
+
+This package defines the vocabulary shared by every scheduler variant:
+
+* :mod:`repro.model.entities` — database entities and the entity universe;
+* :mod:`repro.model.status` — transaction states (active / completed for the
+  basic model; A / F / C for the multiple-write-step model) and the
+  read < write access-strength order;
+* :mod:`repro.model.steps` — the step algebra (BEGIN, READ, the atomic final
+  WRITE of the basic model, the per-step WRITE and FINISH of the multiwrite
+  model, and declared BEGINs for predeclared transactions);
+* :mod:`repro.model.transactions` — transaction *specifications*: complete
+  step sequences used by workload generators and by the offline checkers;
+* :mod:`repro.model.schedule` — schedules (interleaved step sequences),
+  projections, accepted subschedules, and serial schedules.
+"""
+
+from repro.model.entities import Entity, EntityUniverse
+from repro.model.status import AccessMode, TxnState, at_least_as_strong
+from repro.model.steps import (
+    Begin,
+    BeginDeclared,
+    Finish,
+    Read,
+    Step,
+    Write,
+    WriteItem,
+    conflicting_modes,
+    steps_conflict,
+)
+from repro.model.transactions import (
+    MultiwriteTransactionSpec,
+    PredeclaredTransactionSpec,
+    TransactionSpec,
+)
+from repro.model.schedule import Schedule, serial_schedule
+
+__all__ = [
+    "Entity",
+    "EntityUniverse",
+    "AccessMode",
+    "TxnState",
+    "at_least_as_strong",
+    "Step",
+    "Begin",
+    "BeginDeclared",
+    "Read",
+    "Write",
+    "WriteItem",
+    "Finish",
+    "conflicting_modes",
+    "steps_conflict",
+    "TransactionSpec",
+    "MultiwriteTransactionSpec",
+    "PredeclaredTransactionSpec",
+    "Schedule",
+    "serial_schedule",
+]

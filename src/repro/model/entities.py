@@ -1,0 +1,100 @@
+"""Entities and the database universe.
+
+The paper's model (Section 2): *"A database is a set of entities."*  An
+entity is identified by a hashable name; we use plain strings so traces read
+like the paper's examples (``"x"``, ``"y"``, ``"z1"``).
+
+:class:`EntityUniverse` is a small helper owned by workload generators and
+the bounded safety oracle: it hands out fresh entities (guaranteed not to
+collide with any entity seen so far), which both the Theorem 1 necessity
+gadget (the fresh entity ``y``) and the oracle's action enumeration need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import WorkloadError
+
+__all__ = ["Entity", "EntityUniverse"]
+
+# An entity is any hashable name; strings by convention.  Kept as a type
+# alias (not a wrapper class) so user code and the paper's examples can spell
+# entities as plain strings.
+Entity = str
+
+
+class EntityUniverse:
+    """A growable set of entities with fresh-name generation.
+
+    Parameters
+    ----------
+    initial:
+        Entities known from the start (the database of the schedule so far).
+    fresh_prefix:
+        Prefix used when minting fresh entities.  A fresh entity is
+        guaranteed to differ from every entity currently in the universe.
+
+    Examples
+    --------
+    >>> uni = EntityUniverse(["x", "y"])
+    >>> sorted(uni)
+    ['x', 'y']
+    >>> uni.fresh()
+    '_fresh0'
+    >>> uni.fresh()
+    '_fresh1'
+    >>> "x" in uni
+    True
+    """
+
+    def __init__(
+        self,
+        initial: Iterable[Entity] = (),
+        fresh_prefix: str = "_fresh",
+    ) -> None:
+        if not fresh_prefix:
+            raise WorkloadError("fresh_prefix must be a non-empty string")
+        self._entities: set[Entity] = set(initial)
+        self._fresh_prefix = fresh_prefix
+        self._fresh_counter = 0
+
+    def __contains__(self, entity: object) -> bool:
+        return entity in self._entities
+
+    def __iter__(self) -> Iterator[Entity]:
+        return iter(self._entities)
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    def __repr__(self) -> str:
+        names = ", ".join(sorted(self._entities)[:6])
+        suffix = ", ..." if len(self._entities) > 6 else ""
+        return f"EntityUniverse({{{names}{suffix}}})"
+
+    def add(self, entity: Entity) -> None:
+        """Record *entity* as part of the universe."""
+        self._entities.add(entity)
+
+    def update(self, entities: Iterable[Entity]) -> None:
+        """Record every entity in *entities*."""
+        self._entities.update(entities)
+
+    def fresh(self) -> Entity:
+        """Mint an entity not currently in the universe and add it.
+
+        Used by the Theorem 1 necessity construction ("let y be any entity
+        other than x") and by the bounded oracle, which must offer
+        continuations touching entities never accessed before.
+        """
+        while True:
+            candidate = f"{self._fresh_prefix}{self._fresh_counter}"
+            self._fresh_counter += 1
+            if candidate not in self._entities:
+                self._entities.add(candidate)
+                return candidate
+
+    def snapshot(self) -> frozenset[Entity]:
+        """An immutable copy of the current entity set."""
+        return frozenset(self._entities)

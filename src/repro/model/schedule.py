@@ -1,0 +1,245 @@
+"""Schedules: interleaved step sequences.
+
+§2: *"A schedule of a set τ of transactions is an execution of the
+transactions of τ in a (possibly) interleaved fashion. A schedule is serial
+if there is no interleaving."*  And, for step streams seen by an online
+scheduler: *"The sequence s of steps that have arrived up to a certain time
+may contain steps of transactions which have in the meantime aborted and may
+not contain all the steps of some transactions ... Still, we will use the
+term 'schedule' also for s.  The accepted subschedule of s is its projection
+on the nonaborted transactions."*
+
+:class:`Schedule` is an immutable sequence of steps with the projection and
+bookkeeping helpers the analysis layer needs; it performs *no* concurrency
+control itself.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.errors import InvalidStepError
+from repro.model.entities import Entity
+from repro.model.steps import (
+    Begin,
+    BeginDeclared,
+    Finish,
+    Read,
+    Step,
+    TxnId,
+    Write,
+    WriteItem,
+    accessed_entities,
+)
+
+__all__ = ["Schedule", "serial_schedule", "interleave"]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An ordered sequence of steps of (possibly interleaved) transactions.
+
+    >>> from repro.model.steps import Begin, Read, Write
+    >>> s = Schedule([
+    ...     Begin("T1"), Read("T1", "x"),
+    ...     Begin("T2"), Read("T2", "x"), Write("T2", {"x"}),
+    ...     Write("T1", set()),
+    ... ])
+    >>> sorted(s.transactions())
+    ['T1', 'T2']
+    >>> s.is_serial()  # T2 runs inside T1: interleaved
+    False
+    >>> len(s.projection({"T2"}))
+    3
+    """
+
+    steps: Tuple[Step, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "steps", tuple(self.steps))
+
+    # -- sequence protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[Step]:
+        return iter(self.steps)
+
+    def __getitem__(self, index: int) -> Step:
+        return self.steps[index]
+
+    def __add__(self, other: "Schedule | Iterable[Step]") -> "Schedule":
+        other_steps = other.steps if isinstance(other, Schedule) else tuple(other)
+        return Schedule(self.steps + tuple(other_steps))
+
+    def __str__(self) -> str:
+        return " ".join(str(step) for step in self.steps)
+
+    # -- queries -----------------------------------------------------------
+
+    def transactions(self) -> FrozenSet[TxnId]:
+        """Ids of every transaction with at least one step here."""
+        return frozenset(step.txn for step in self.steps)
+
+    def entities(self) -> FrozenSet[Entity]:
+        """Every entity actually accessed by some step."""
+        touched: Set[Entity] = set()
+        for step in self.steps:
+            touched.update(accessed_entities(step))
+        return frozenset(touched)
+
+    def steps_of(self, txn: TxnId) -> Tuple[Step, ...]:
+        """The subsequence of steps issued by *txn*."""
+        return tuple(step for step in self.steps if step.txn == txn)
+
+    def projection(self, txns: Iterable[TxnId]) -> "Schedule":
+        """The subsequence consisting of steps of the given transactions.
+
+        The *accepted subschedule* of a raw step stream is
+        ``stream.projection(non_aborted_ids)``.
+        """
+        keep = frozenset(txns)
+        return Schedule(tuple(step for step in self.steps if step.txn in keep))
+
+    def accepted_subschedule(self, aborted: Iterable[TxnId]) -> "Schedule":
+        """Projection onto the transactions *not* in *aborted* (§2)."""
+        gone = frozenset(aborted)
+        return Schedule(tuple(step for step in self.steps if step.txn not in gone))
+
+    def is_serial(self) -> bool:
+        """``True`` iff no two transactions interleave.
+
+        A schedule is serial when, for every transaction, its steps form a
+        contiguous block.
+        """
+        seen_closed: Set[TxnId] = set()
+        current: TxnId | None = None
+        for step in self.steps:
+            if step.txn == current:
+                continue
+            if step.txn in seen_closed:
+                return False
+            if current is not None:
+                seen_closed.add(current)
+            current = step.txn
+        return True
+
+    def completed_transactions(self) -> FrozenSet[TxnId]:
+        """Transactions that issued their completing step here.
+
+        Completion is the final atomic :class:`Write` in the basic model and
+        :class:`Finish` in the multiwrite/predeclared models.
+        """
+        done: Set[TxnId] = set()
+        for step in self.steps:
+            if isinstance(step, (Write, Finish)):
+                done.add(step.txn)
+        return frozenset(done)
+
+    def active_transactions(self) -> FrozenSet[TxnId]:
+        """Transactions begun here but not completed."""
+        begun: Set[TxnId] = set()
+        for step in self.steps:
+            if isinstance(step, (Begin, BeginDeclared)):
+                begun.add(step.txn)
+        return frozenset(begun - self.completed_transactions())
+
+    def validate_basic_model(self) -> None:
+        """Check the basic-model protocol for every transaction.
+
+        Every transaction must BEGIN before other steps, reads precede the
+        final atomic write, nothing follows the final write.  Raises
+        :class:`InvalidStepError` on the first violation.
+        """
+        begun: Set[TxnId] = set()
+        written: Set[TxnId] = set()
+        for step in self.steps:
+            txn = step.txn
+            if isinstance(step, Begin):
+                if txn in begun:
+                    raise InvalidStepError(f"duplicate BEGIN for {txn!r}")
+                begun.add(txn)
+                continue
+            if isinstance(step, (BeginDeclared, WriteItem, Finish)):
+                raise InvalidStepError(
+                    f"step {step} is not a basic-model step"
+                )
+            if txn not in begun:
+                raise InvalidStepError(f"step {step} precedes BEGIN of {txn!r}")
+            if txn in written:
+                raise InvalidStepError(f"step {step} follows the final write of {txn!r}")
+            if isinstance(step, Write):
+                written.add(txn)
+
+    def counts(self) -> Dict[str, int]:
+        """Step-kind histogram; handy in reports and tests."""
+        histogram: Dict[str, int] = {}
+        for step in self.steps:
+            key = type(step).__name__
+            histogram[key] = histogram.get(key, 0) + 1
+        return histogram
+
+
+def serial_schedule(specs: Sequence[object]) -> Schedule:
+    """Concatenate the full step sequences of *specs* in the given order.
+
+    Accepts any spec object exposing ``steps()`` (all three spec classes).
+
+    >>> from repro.model.transactions import TransactionSpec
+    >>> s = serial_schedule([TransactionSpec("T1", ("x",), frozenset({"y"}))])
+    >>> str(s)
+    'begin(T1) rx(T1) w{y}(T1)'
+    """
+    steps: List[Step] = []
+    for spec in specs:
+        steps.extend(spec.steps())  # type: ignore[attr-defined]
+    return Schedule(tuple(steps))
+
+
+def interleave(
+    specs: Sequence[object],
+    seed: int = 0,
+    max_concurrent: int | None = None,
+) -> Schedule:
+    """Randomly interleave the step sequences of *specs* into one schedule.
+
+    The relative order of each transaction's own steps is preserved; at each
+    point one of the currently admissible transactions is chosen uniformly
+    (seeded, hence deterministic).  ``max_concurrent`` caps the
+    multiprogramming level: a transaction's BEGIN is withheld while that
+    many others are in flight.
+
+    This is a *workload* interleaving — it models arrival order, not
+    acceptance; feed the result to a scheduler to get the accepted
+    subschedule.
+    """
+    rng = random.Random(seed)
+    queues: List[List[Step]] = [list(spec.steps()) for spec in specs]  # type: ignore[attr-defined]
+    started: Set[int] = set()
+    finished: Set[int] = set()
+    out: List[Step] = []
+    while len(finished) < len(queues):
+        candidates = []
+        in_flight = len(started) - len(
+            {i for i in started if not queues[i]}
+        )
+        for index, queue in enumerate(queues):
+            if not queue:
+                continue
+            is_begin = index not in started
+            if is_begin and max_concurrent is not None and in_flight >= max_concurrent:
+                continue
+            candidates.append(index)
+        if not candidates:
+            # Every remaining transaction is blocked on the concurrency cap,
+            # which can only happen transiently; admit one arbitrarily.
+            candidates = [index for index, queue in enumerate(queues) if queue]
+        choice = rng.choice(candidates)
+        started.add(choice)
+        out.append(queues[choice].pop(0))
+        if not queues[choice]:
+            finished.add(choice)
+    return Schedule(tuple(out))

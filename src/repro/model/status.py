@@ -1,0 +1,110 @@
+"""Transaction states and access strength.
+
+Two orthogonal enumerations drive the whole deletion theory:
+
+* :class:`AccessMode` — how strongly a transaction touched an entity.  The
+  paper (Section 3): *"We say also that a write access of an entity by a
+  transaction is stronger than a read access."*  The conditions C1-C4 all
+  compare accesses with "at least as strongly", which is exactly the total
+  order ``READ < WRITE``.
+
+* :class:`TxnState` — the lifecycle of a transaction.  The basic model of
+  Section 2 needs only ACTIVE / COMPLETED / ABORTED.  The multiple-write-step
+  model of Section 5 refines COMPLETED into F (finished but not committed:
+  still depends on active transactions, may yet abort) and C (committed).
+  We use one enum for all models; the basic model simply never produces
+  FINISHED, because its transactions "may commit upon completion".
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["AccessMode", "TxnState", "at_least_as_strong"]
+
+
+class AccessMode(enum.IntEnum):
+    """Strength of an access; comparable (``READ < WRITE``)."""
+
+    READ = 1
+    WRITE = 2
+
+    def __str__(self) -> str:  # "read x" / "write x" in rendered traces
+        return self.name.lower()
+
+    @property
+    def is_write(self) -> bool:
+        return self is AccessMode.WRITE
+
+
+def at_least_as_strong(mode: AccessMode, reference: AccessMode) -> bool:
+    """``True`` iff *mode* accesses at least as strongly as *reference*.
+
+    The comparison used throughout conditions C1 (Theorem 1), C2
+    (Theorem 4), C3 (Lemma 4) and C4 (Theorem 7).
+
+    >>> at_least_as_strong(AccessMode.WRITE, AccessMode.READ)
+    True
+    >>> at_least_as_strong(AccessMode.READ, AccessMode.WRITE)
+    False
+    >>> at_least_as_strong(AccessMode.READ, AccessMode.READ)
+    True
+    """
+    return mode >= reference
+
+
+class TxnState(enum.Enum):
+    """Lifecycle of a transaction as seen by a scheduler.
+
+    Transitions in the basic model (atomic final write)::
+
+        ACTIVE --final write accepted--> COMPLETED
+        ACTIVE --cycle on some step----> ABORTED
+
+    Transitions in the multiwrite model (Section 5)::
+
+        ACTIVE --FINISH--> FINISHED --all dependencies committed--> COMMITTED
+        ACTIVE/FINISHED --cycle or cascading abort--> ABORTED
+
+    The paper's type letters: A = ACTIVE, F = FINISHED, C = COMMITTED.
+    """
+
+    ACTIVE = "active"
+    FINISHED = "finished"  # type F: done issuing steps, not yet committed
+    COMMITTED = "committed"  # type C
+    ABORTED = "aborted"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def is_completed(self) -> bool:
+        """Completed in the sense of Sections 3-4: done issuing steps.
+
+        In the basic model a transaction completes with its final write and
+        can commit immediately, so COMPLETED == COMMITTED there; we represent
+        basic-model completion with :attr:`COMMITTED`.  In the multiwrite
+        model both F and C count as completed ("an FC-path is a path all of
+        whose intermediate nodes have completed (are of type F or C)").
+        """
+        return self in (TxnState.FINISHED, TxnState.COMMITTED)
+
+    @property
+    def is_active(self) -> bool:
+        return self is TxnState.ACTIVE
+
+    @property
+    def is_aborted(self) -> bool:
+        return self is TxnState.ABORTED
+
+    @property
+    def paper_letter(self) -> str:
+        """The single-letter type used by Section 5 (A/F/C); aborted
+        transactions are not in the graph and have no letter."""
+        letters = {
+            TxnState.ACTIVE: "A",
+            TxnState.FINISHED: "F",
+            TxnState.COMMITTED: "C",
+            TxnState.ABORTED: "-",
+        }
+        return letters[self]

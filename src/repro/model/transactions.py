@@ -1,0 +1,250 @@
+"""Transaction *specifications*.
+
+A specification is the complete, intended step sequence of one transaction
+— what the program *would* do if never aborted.  Workload generators emit
+specifications; drivers interleave them into schedules; schedulers see only
+the resulting step stream (assumption 2 of §2: the scheduler does not know
+an active transaction's future — except in the predeclared variant, whose
+specs carry their declaration).
+
+Three spec classes mirror the paper's three models:
+
+* :class:`TransactionSpec` — basic model: reads then one atomic final write.
+* :class:`MultiwriteTransactionSpec` — §5 multiwrite model: arbitrary
+  read/write interleavings closed by FINISH.
+* :class:`PredeclaredTransactionSpec` — §5 predeclared model: declaration
+  plus the per-step sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, Mapping, Sequence, Tuple
+
+from repro.errors import InvalidStepError
+from repro.model.entities import Entity
+from repro.model.status import AccessMode
+from repro.model.steps import (
+    Begin,
+    BeginDeclared,
+    Finish,
+    Read,
+    Step,
+    TxnId,
+    Write,
+    WriteItem,
+)
+
+__all__ = [
+    "TransactionSpec",
+    "MultiwriteTransactionSpec",
+    "PredeclaredTransactionSpec",
+]
+
+
+@dataclass(frozen=True)
+class TransactionSpec:
+    """A basic-model transaction: a sequence of reads, then one final
+    atomic write (possibly of no entities, for read-only transactions).
+
+    >>> spec = TransactionSpec("T1", reads=("x", "y"), writes=frozenset({"z"}))
+    >>> [str(s) for s in spec.steps()]
+    ['begin(T1)', 'rx(T1)', 'ry(T1)', 'w{z}(T1)']
+    >>> spec.access_mode("z")
+    <AccessMode.WRITE: 2>
+    """
+
+    txn: TxnId
+    reads: Tuple[Entity, ...] = ()
+    writes: FrozenSet[Entity] = frozenset()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "reads", tuple(self.reads))
+        object.__setattr__(self, "writes", frozenset(self.writes))
+
+    def steps(self) -> Tuple[Step, ...]:
+        """The full intended step sequence, BEGIN included."""
+        parts: list[Step] = [Begin(self.txn)]
+        parts.extend(Read(self.txn, entity) for entity in self.reads)
+        parts.append(Write(self.txn, self.writes))
+        return tuple(parts)
+
+    @property
+    def read_set(self) -> FrozenSet[Entity]:
+        return frozenset(self.reads)
+
+    @property
+    def accessed(self) -> FrozenSet[Entity]:
+        return self.read_set | self.writes
+
+    def access_mode(self, entity: Entity) -> AccessMode | None:
+        """Strongest intended access of *entity*, or ``None`` if untouched."""
+        if entity in self.writes:
+            return AccessMode.WRITE
+        if entity in self.read_set:
+            return AccessMode.READ
+        return None
+
+    def __len__(self) -> int:
+        return 2 + len(self.reads)  # BEGIN + reads + final write
+
+
+@dataclass(frozen=True)
+class MultiwriteTransactionSpec:
+    """A §5 multiwrite transaction: interleaved reads and per-entity writes.
+
+    ``operations`` is the ordered body between BEGIN and FINISH, each item a
+    ``(mode, entity)`` pair.
+
+    >>> spec = MultiwriteTransactionSpec(
+    ...     "T1",
+    ...     operations=((AccessMode.READ, "x"), (AccessMode.WRITE, "y"),
+    ...                 (AccessMode.READ, "z")),
+    ... )
+    >>> [str(s) for s in spec.steps()]
+    ['begin(T1)', 'rx(T1)', 'wy(T1)', 'rz(T1)', 'finish(T1)']
+    """
+
+    txn: TxnId
+    operations: Tuple[Tuple[AccessMode, Entity], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operations", tuple(self.operations))
+        for mode, _entity in self.operations:
+            if not isinstance(mode, AccessMode):
+                raise InvalidStepError(f"operation mode must be AccessMode, got {mode!r}")
+
+    def steps(self) -> Tuple[Step, ...]:
+        parts: list[Step] = [Begin(self.txn)]
+        for mode, entity in self.operations:
+            if mode.is_write:
+                parts.append(WriteItem(self.txn, entity))
+            else:
+                parts.append(Read(self.txn, entity))
+        parts.append(Finish(self.txn))
+        return tuple(parts)
+
+    @property
+    def accessed(self) -> FrozenSet[Entity]:
+        return frozenset(entity for _mode, entity in self.operations)
+
+    def access_mode(self, entity: Entity) -> AccessMode | None:
+        strongest: AccessMode | None = None
+        for mode, touched in self.operations:
+            if touched != entity:
+                continue
+            if strongest is None or mode > strongest:
+                strongest = mode
+        return strongest
+
+    def __len__(self) -> int:
+        return 2 + len(self.operations)
+
+
+@dataclass(frozen=True)
+class PredeclaredTransactionSpec:
+    """A predeclared transaction: declaration up front, then the body.
+
+    A transaction "predeclares the entities it is going to read and write"
+    (§5): the declaration maps each entity it will touch to the mode it will
+    use.  To keep the scheduler's will-access-in-the-future bookkeeping
+    exact, each entity appears **exactly once** in the body, with its
+    declared mode — the representation the read-set/write-set declaration
+    of the paper induces (every worked example in the paper also touches
+    each entity once per transaction).  Duplicate entities raise
+    :class:`InvalidStepError`.
+
+    >>> spec = PredeclaredTransactionSpec(
+    ...     "T1",
+    ...     operations=((AccessMode.READ, "u"), (AccessMode.READ, "z")),
+    ... )
+    >>> sorted(spec.declared.items())
+    [('u', <AccessMode.READ: 1>), ('z', <AccessMode.READ: 1>)]
+    """
+
+    txn: TxnId
+    operations: Tuple[Tuple[AccessMode, Entity], ...] = ()
+    declared: Mapping[Entity, AccessMode] = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operations", tuple(self.operations))
+        declared: Dict[Entity, AccessMode] = {}
+        for mode, entity in self.operations:
+            if not isinstance(mode, AccessMode):
+                raise InvalidStepError(f"operation mode must be AccessMode, got {mode!r}")
+            if entity in declared:
+                raise InvalidStepError(
+                    f"predeclared transaction {self.txn!r} accesses "
+                    f"{entity!r} twice; declare one access per entity"
+                )
+            declared[entity] = mode
+        object.__setattr__(self, "declared", declared)
+
+    def __hash__(self) -> int:
+        return hash((self.txn, self.operations))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PredeclaredTransactionSpec):
+            return NotImplemented
+        return self.txn == other.txn and self.operations == other.operations
+
+    def steps(self) -> Tuple[Step, ...]:
+        """BEGIN (with declaration), the body, and FINISH."""
+        parts: list[Step] = [BeginDeclared(self.txn, dict(self.declared))]
+        for mode, entity in self.operations:
+            if mode.is_write:
+                parts.append(WriteItem(self.txn, entity))
+            else:
+                parts.append(Read(self.txn, entity))
+        parts.append(Finish(self.txn))
+        return tuple(parts)
+
+    @property
+    def accessed(self) -> FrozenSet[Entity]:
+        return frozenset(self.declared)
+
+    def access_mode(self, entity: Entity) -> AccessMode | None:
+        return self.declared.get(entity)
+
+    def body(self) -> Iterator[Step]:
+        """The executable steps (no BEGIN / FINISH)."""
+        for mode, entity in self.operations:
+            if mode.is_write:
+                yield WriteItem(self.txn, entity)
+            else:
+                yield Read(self.txn, entity)
+
+    def __len__(self) -> int:
+        return 2 + len(self.operations)
+
+
+def basic_spec_from_steps(steps: Sequence[Step]) -> TransactionSpec:
+    """Rebuild a :class:`TransactionSpec` from a raw basic-model step list.
+
+    Validates the basic-model protocol: BEGIN first, then reads, then exactly
+    one final atomic write.  Raises :class:`InvalidStepError` otherwise.
+    """
+    if not steps:
+        raise InvalidStepError("empty step sequence")
+    begin = steps[0]
+    if not isinstance(begin, Begin):
+        raise InvalidStepError(f"first step must be BEGIN, got {begin}")
+    txn = begin.txn
+    reads: list[Entity] = []
+    writes: FrozenSet[Entity] | None = None
+    for step in steps[1:]:
+        if step.txn != txn:
+            raise InvalidStepError(
+                f"step {step} belongs to {step.txn!r}, expected {txn!r}"
+            )
+        if writes is not None:
+            raise InvalidStepError(f"step {step} follows the final write")
+        if isinstance(step, Read):
+            reads.append(step.entity)
+        elif isinstance(step, Write):
+            writes = step.entities
+        else:
+            raise InvalidStepError(f"step kind {type(step).__name__} is not basic-model")
+    if writes is None:
+        raise InvalidStepError(f"transaction {txn!r} never issued its final write")
+    return TransactionSpec(txn, tuple(reads), writes)

@@ -1,0 +1,29 @@
+"""NP-completeness machinery for Theorems 5 and 6.
+
+* :mod:`repro.reductions.setcover` — SET COVER instances with exact
+  (branch & bound) and greedy solvers;
+* :mod:`repro.reductions.thm5` — Theorem 5's reduction: a set-cover
+  instance becomes a basic-model schedule whose maximum safe deletion set
+  has size ``m − (minimum cover size)``;
+* :mod:`repro.reductions.sat` — CNF formulas, a DPLL solver, and random
+  3-SAT generation;
+* :mod:`repro.reductions.thm6` — Theorem 6's reduction: a 3-CNF formula
+  becomes the Fig. 3 conflict graph in which the committed transaction
+  ``C`` is safely deletable **iff** the formula is unsatisfiable.
+"""
+
+from repro.reductions.setcover import SetCoverInstance, greedy_cover, minimum_cover
+from repro.reductions.sat import CnfFormula, dpll, random_3sat
+from repro.reductions.thm5 import Theorem5Reduction
+from repro.reductions.thm6 import Theorem6Reduction
+
+__all__ = [
+    "SetCoverInstance",
+    "greedy_cover",
+    "minimum_cover",
+    "CnfFormula",
+    "dpll",
+    "random_3sat",
+    "Theorem5Reduction",
+    "Theorem6Reduction",
+]

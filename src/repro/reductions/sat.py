@@ -1,0 +1,168 @@
+"""CNF formulas, a DPLL solver, and random 3-SAT generation.
+
+The solver is the independent ground truth for the Theorem 6 experiment:
+the reduction says the committed transaction ``C`` of the Fig. 3 graph is
+deletable iff the formula is **un**satisfiable, and DPLL decides
+satisfiability without ever touching a conflict graph.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import ReductionError
+
+__all__ = ["CnfFormula", "dpll", "random_3sat"]
+
+Literal = int  # positive = variable, negative = negated variable
+Clause = Tuple[Literal, ...]
+Assignment = Dict[int, bool]
+
+
+@dataclass(frozen=True)
+class CnfFormula:
+    """A CNF formula over variables ``1..n_vars``.
+
+    >>> f = CnfFormula(2, ((1, 2), (-1, 2), (1, -2)))
+    >>> f.evaluate({1: True, 2: True})
+    True
+    >>> f.evaluate({1: False, 2: False})
+    False
+    """
+
+    n_vars: int
+    clauses: Tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "clauses", tuple(tuple(clause) for clause in self.clauses)
+        )
+        for clause in self.clauses:
+            if not clause:
+                raise ReductionError("empty clause: formula trivially unsat")
+            for literal in clause:
+                if literal == 0 or abs(literal) > self.n_vars:
+                    raise ReductionError(f"literal {literal} out of range")
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        for clause in self.clauses:
+            if not any(
+                assignment.get(abs(lit), False) == (lit > 0) for lit in clause
+            ):
+                return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+
+def _simplify(
+    clauses: List[FrozenSet[Literal]], literal: Literal
+) -> Optional[List[FrozenSet[Literal]]]:
+    """Assign *literal* true; ``None`` signals an empty (false) clause."""
+    result: List[FrozenSet[Literal]] = []
+    for clause in clauses:
+        if literal in clause:
+            continue  # satisfied
+        if -literal in clause:
+            reduced = clause - {-literal}
+            if not reduced:
+                return None
+            result.append(reduced)
+        else:
+            result.append(clause)
+    return result
+
+
+def dpll(formula: CnfFormula) -> Optional[Assignment]:
+    """A satisfying assignment, or ``None`` if unsatisfiable.
+
+    Classic DPLL: unit propagation, pure-literal elimination, then
+    branching on the most frequent variable.  Complete (total) assignments
+    are returned so :meth:`CnfFormula.evaluate` can verify them directly.
+    """
+    assignment: Assignment = {}
+
+    def solve(clauses: List[FrozenSet[Literal]], partial: Assignment) -> Optional[Assignment]:
+        # Unit propagation.
+        while True:
+            units = [next(iter(c)) for c in clauses if len(c) == 1]
+            if not units:
+                break
+            for literal in units:
+                if partial.get(abs(literal)) == (literal < 0):
+                    return None  # conflicting units
+                partial[abs(literal)] = literal > 0
+                simplified = _simplify(clauses, literal)
+                if simplified is None:
+                    return None
+                clauses = simplified
+        # Pure literals.
+        polarity: Dict[int, set] = {}
+        for clause in clauses:
+            for literal in clause:
+                polarity.setdefault(abs(literal), set()).add(literal > 0)
+        pures = [
+            (var if True in pols else -var)
+            for var, pols in polarity.items()
+            if len(pols) == 1
+        ]
+        for literal in pures:
+            partial[abs(literal)] = literal > 0
+            simplified = _simplify(clauses, literal)
+            if simplified is None:
+                return None
+            clauses = simplified
+        if not clauses:
+            return partial
+        # Branch on the most frequent variable.
+        counts: Dict[int, int] = {}
+        for clause in clauses:
+            for literal in clause:
+                counts[abs(literal)] = counts.get(abs(literal), 0) + 1
+        variable = max(sorted(counts), key=counts.__getitem__)
+        for literal in (variable, -variable):
+            simplified = _simplify(clauses, literal)
+            if simplified is None:
+                continue
+            attempt = dict(partial)
+            attempt[variable] = literal > 0
+            solution = solve(simplified, attempt)
+            if solution is not None:
+                return solution
+        return None
+
+    clauses = [frozenset(clause) for clause in formula.clauses]
+    solution = solve(clauses, assignment)
+    if solution is None:
+        return None
+    # Total assignment: default unconstrained variables to False.
+    for variable in range(1, formula.n_vars + 1):
+        solution.setdefault(variable, False)
+    assert formula.evaluate(solution)
+    return solution
+
+
+def random_3sat(
+    n_vars: int,
+    n_clauses: int,
+    seed: int = 0,
+) -> CnfFormula:
+    """A seeded random 3-CNF (three *distinct* variables per clause).
+
+    Around the phase transition (``n_clauses ≈ 4.27 · n_vars``) instances
+    are hardest; the E6 experiment sweeps the ratio to show both outcomes.
+    """
+    if n_vars < 3:
+        raise ReductionError("random 3-SAT needs at least 3 variables")
+    rng = random.Random(seed)
+    clauses: List[Clause] = []
+    for _ in range(n_clauses):
+        variables = rng.sample(range(1, n_vars + 1), 3)
+        clause = tuple(
+            var if rng.random() < 0.5 else -var for var in variables
+        )
+        clauses.append(clause)
+    return CnfFormula(n_vars, tuple(clauses))

@@ -1,0 +1,162 @@
+"""SET COVER instances and solvers.
+
+The paper (§4): *"We are given a family F of subsets S1, ..., Sm of a set
+X = {x1, ..., xn}, and a number k.  A cover of X is a collection of sets
+whose union is X.  The set cover problem is to determine if F contains a
+cover of size at most k.  This is a well-known NP-complete problem [GJ]."*
+
+Both solvers are independent of the deletion machinery, so the Theorem 5
+equivalence test is a genuine cross-check:
+
+* :func:`minimum_cover` — exact branch and bound (choose-an-uncovered-
+  element branching, greedy upper bound, simple lower bound);
+* :func:`greedy_cover` — the classical ln(n)-approximation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import ReductionError
+
+__all__ = [
+    "SetCoverInstance",
+    "greedy_cover",
+    "minimum_cover",
+    "random_instance",
+]
+
+
+@dataclass(frozen=True)
+class SetCoverInstance:
+    """A family of subsets over a finite universe.
+
+    >>> inst = SetCoverInstance(frozenset({1, 2, 3}),
+    ...                         (frozenset({1, 2}), frozenset({2, 3}),
+    ...                          frozenset({3})))
+    >>> inst.is_cover([0, 1])
+    True
+    >>> inst.is_cover([0, 2])
+    True
+    >>> inst.is_cover([2])
+    False
+    """
+
+    universe: FrozenSet[object]
+    subsets: Tuple[FrozenSet[object], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "universe", frozenset(self.universe))
+        object.__setattr__(
+            self, "subsets", tuple(frozenset(s) for s in self.subsets)
+        )
+        for index, subset in enumerate(self.subsets):
+            extra = subset - self.universe
+            if extra:
+                raise ReductionError(
+                    f"subset {index} contains non-universe elements {sorted(map(repr, extra))}"
+                )
+
+    @property
+    def coverable(self) -> bool:
+        covered: set = set()
+        for subset in self.subsets:
+            covered |= subset
+        return covered >= self.universe
+
+    def is_cover(self, indices: Sequence[int]) -> bool:
+        covered: set = set()
+        for index in indices:
+            covered |= self.subsets[index]
+        return covered >= self.universe
+
+    def __len__(self) -> int:
+        return len(self.subsets)
+
+
+def greedy_cover(instance: SetCoverInstance) -> Optional[List[int]]:
+    """Greedy cover: repeatedly take the subset covering most uncovered
+    elements.  Returns ``None`` when the family cannot cover the universe."""
+    if not instance.coverable:
+        return None
+    uncovered = set(instance.universe)
+    chosen: List[int] = []
+    while uncovered:
+        best_index = max(
+            range(len(instance.subsets)),
+            key=lambda i: (len(instance.subsets[i] & uncovered), -i),
+        )
+        gain = instance.subsets[best_index] & uncovered
+        if not gain:
+            return None  # unreachable given the coverable pre-check
+        chosen.append(best_index)
+        uncovered -= gain
+    return chosen
+
+
+def minimum_cover(instance: SetCoverInstance) -> Optional[List[int]]:
+    """An exact minimum cover (branch and bound), or ``None`` if no cover
+    exists.
+
+    Branches on the subsets containing a fixed uncovered element (any cover
+    must pick one of them), with the greedy solution as the incumbent.
+    """
+    greedy = greedy_cover(instance)
+    if greedy is None:
+        return None
+    best: List[int] = list(greedy)
+    element_to_subsets: dict = {}
+    for index, subset in enumerate(instance.subsets):
+        for element in subset:
+            element_to_subsets.setdefault(element, []).append(index)
+
+    def search(uncovered: set, chosen: List[int]) -> None:
+        nonlocal best
+        if not uncovered:
+            if len(chosen) < len(best):
+                best = list(chosen)
+            return
+        if len(chosen) + 1 >= len(best):
+            return  # even one more set cannot beat the incumbent
+        # Branch on the uncovered element with fewest candidate subsets.
+        element = min(uncovered, key=lambda e: (len(element_to_subsets[e]), repr(e)))
+        for index in element_to_subsets[element]:
+            gain = instance.subsets[index] & uncovered
+            chosen.append(index)
+            search(uncovered - gain, chosen)
+            chosen.pop()
+
+    search(set(instance.universe), [])
+    return best
+
+
+def random_instance(
+    n_elements: int,
+    n_subsets: int,
+    seed: int = 0,
+    min_size: int = 1,
+    max_size: Optional[int] = None,
+    ensure_coverable: bool = True,
+) -> SetCoverInstance:
+    """A seeded random instance over ``{0, ..., n_elements-1}``.
+
+    With ``ensure_coverable`` the generator patches uncovered elements into
+    random subsets so a cover always exists (what Theorem 5's schedule
+    construction expects of a meaningful instance).
+    """
+    if n_elements <= 0 or n_subsets <= 0:
+        raise ReductionError("instance dimensions must be positive")
+    rng = random.Random(seed)
+    cap = max_size if max_size is not None else max(min_size, n_elements // 2 or 1)
+    universe = frozenset(range(n_elements))
+    subsets: List[set] = []
+    for _ in range(n_subsets):
+        size = rng.randint(min_size, max(cap, min_size))
+        subsets.append(set(rng.sample(range(n_elements), min(size, n_elements))))
+    if ensure_coverable:
+        covered = set().union(*subsets) if subsets else set()
+        for element in universe - covered:
+            subsets[rng.randrange(n_subsets)].add(element)
+    return SetCoverInstance(universe, tuple(frozenset(s) for s in subsets))

@@ -1,0 +1,172 @@
+"""Theorem 5's reduction: SET COVER → maximum safe deletion.
+
+The construction (§4, proof of Theorem 5), for an instance with sets
+``S1..Sm`` over ``X = {x1..xn}``:
+
+* entities: the elements ``x1..xn``, plus ``y`` and ``z1..zm``;
+* ``T0`` begins and reads ``y`` and every element of ``X`` (and stays
+  active);
+* ``Ti`` (1 ≤ i ≤ m) reads ``zi`` and finally writes the elements of
+  ``Si``, completing — serially, in index order;
+* ``T(m+1)`` reads ``z1..zm`` and finally writes ``y``, completing.
+
+Properties reproduced by the E5 experiment:
+
+1. before ``T(m+1)``'s final write **no** transaction is deletable (each
+   ``Ti``'s read of ``zi`` has no completed witness);
+2. after it, ``Ti`` satisfies C1 iff ``F − {Si}`` still covers ``X``, and a
+   subset ``N ⊆ {T1..Tm}`` is safely deletable iff the *kept* sets form a
+   cover — hence ``max |N| = m − (minimum cover size)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.optimal import maximum_safe_deletion_set
+from repro.core.reduced_graph import ReducedGraph
+from repro.errors import ReductionError
+from repro.model.steps import Begin, Read, Step, TxnId, Write
+from repro.reductions.setcover import SetCoverInstance, minimum_cover
+from repro.scheduler.conflict import ConflictGraphScheduler
+
+__all__ = ["Theorem5Reduction"]
+
+
+def _element_entity(element: object) -> str:
+    return f"x:{element}"
+
+
+@dataclass
+class Theorem5Reduction:
+    """Build and interrogate the Theorem 5 schedule for one instance.
+
+    >>> inst = SetCoverInstance(frozenset({1, 2}),
+    ...                         (frozenset({1}), frozenset({2}),
+    ...                          frozenset({1, 2})))
+    >>> red = Theorem5Reduction(inst)
+    >>> len(red.full_schedule())  # T0: 4 steps; T1-T3: 3 each; closer: 5
+    18
+    >>> red.set_transactions
+    ('T1', 'T2', 'T3')
+    """
+
+    instance: SetCoverInstance
+
+    def __post_init__(self) -> None:
+        if not self.instance.coverable:
+            raise ReductionError(
+                "Theorem 5 reduction expects a coverable instance (the "
+                "reduction is trivial otherwise: nothing is deletable)"
+            )
+
+    # -- naming ------------------------------------------------------------------
+
+    @property
+    def reader_transaction(self) -> TxnId:
+        return "T0"
+
+    @property
+    def set_transactions(self) -> Tuple[TxnId, ...]:
+        return tuple(f"T{i + 1}" for i in range(len(self.instance.subsets)))
+
+    @property
+    def closer_transaction(self) -> TxnId:
+        return f"T{len(self.instance.subsets) + 1}"
+
+    def subset_of(self, txn: TxnId) -> FrozenSet[object]:
+        index = int(txn[1:]) - 1
+        return self.instance.subsets[index]
+
+    # -- schedule construction -------------------------------------------------------
+
+    def prefix_schedule(self) -> List[Step]:
+        """Everything up to (excluding) the closer's final write."""
+        steps: List[Step] = [Begin(self.reader_transaction)]
+        steps.append(Read(self.reader_transaction, "y"))
+        for element in sorted(self.instance.universe, key=repr):
+            steps.append(Read(self.reader_transaction, _element_entity(element)))
+        for index, txn in enumerate(self.set_transactions):
+            steps.append(Begin(txn))
+            steps.append(Read(txn, f"z{index + 1}"))
+            steps.append(
+                Write(
+                    txn,
+                    frozenset(
+                        _element_entity(element)
+                        for element in self.instance.subsets[index]
+                    ),
+                )
+            )
+        closer = self.closer_transaction
+        steps.append(Begin(closer))
+        for index in range(len(self.instance.subsets)):
+            steps.append(Read(closer, f"z{index + 1}"))
+        return steps
+
+    def last_step(self) -> Step:
+        return Write(self.closer_transaction, frozenset({"y"}))
+
+    def full_schedule(self) -> List[Step]:
+        return self.prefix_schedule() + [self.last_step()]
+
+    # -- graphs -----------------------------------------------------------------------
+
+    def graph_before_last_step(self) -> ReducedGraph:
+        scheduler = ConflictGraphScheduler()
+        for result in scheduler.feed_many(self.prefix_schedule()):
+            if not result.accepted:
+                raise ReductionError(f"prefix step rejected: {result}")
+        return scheduler.graph
+
+    def graph_after_last_step(self) -> ReducedGraph:
+        scheduler = ConflictGraphScheduler()
+        for result in scheduler.feed_many(self.full_schedule()):
+            if not result.accepted:
+                raise ReductionError(f"step rejected: {result}")
+        return scheduler.graph
+
+    # -- the equivalence ------------------------------------------------------------------
+
+    def deletion_set_to_kept_indices(self, deleted: FrozenSet[TxnId]) -> List[int]:
+        """Indices of the sets whose transactions were *kept*."""
+        return [
+            index
+            for index, txn in enumerate(self.set_transactions)
+            if txn not in deleted
+        ]
+
+    def maximum_deletable(self, max_candidates: int = 30) -> FrozenSet[TxnId]:
+        return maximum_safe_deletion_set(
+            self.graph_after_last_step(), max_candidates=max_candidates
+        )
+
+    def check_equivalence(self, max_candidates: int = 30) -> Dict[str, int]:
+        """Exact cross-check: ``m − max|N| == minimum cover size``.
+
+        Returns the measured numbers; raises on mismatch.
+        """
+        cover = minimum_cover(self.instance)
+        assert cover is not None  # coverable was checked in __post_init__
+        deleted = self.maximum_deletable(max_candidates=max_candidates)
+        set_txns = frozenset(self.set_transactions)
+        deleted_set_txns = deleted & set_txns
+        kept = self.deletion_set_to_kept_indices(deleted)
+        measured = {
+            "m": len(self.instance.subsets),
+            "min_cover": len(cover),
+            "max_deletable_set_txns": len(deleted_set_txns),
+            "kept": len(kept),
+        }
+        if not self.instance.is_cover(kept):
+            raise ReductionError(
+                f"kept sets {kept} do not cover the universe; "
+                f"Theorem 5 equivalence violated ({measured})"
+            )
+        if len(kept) != len(cover):
+            raise ReductionError(
+                f"kept {len(kept)} sets but minimum cover is {len(cover)}; "
+                f"Theorem 5 equivalence violated ({measured})"
+            )
+        return measured

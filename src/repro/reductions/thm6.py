@@ -1,0 +1,252 @@
+"""Theorem 6's reduction: 3-SAT → C3 deletability (the Fig. 3 graph).
+
+For a 3-CNF formula with variables ``x1..xn`` and clauses ``c1..cm``, the
+construction builds a multiwrite-model conflict graph with:
+
+* two type-F transactions ``xi``, ``x̄i`` and two type-A transactions
+  ``Ai``, ``Āi`` per variable;
+* three type-F transactions ``cj1, cj2, cj3`` per clause (one per
+  literal);
+* an active ``A`` and committed ``B``, ``C``, ``D``.
+
+Write-write arcs (each labeled by a private entity of the arc):
+``xi, x̄i → xi+1, x̄i+1``; ``A → x1, x̄1``; ``xn, x̄n → B``; ``B → C``;
+``Ai, Āi → D``; clause paths ``A → cj1 → cj2 → cj3 → D``.
+
+Write-read arcs (the *dependencies*): ``Ai → xi``, ``Āi → x̄i``, and
+``Ai → cjk`` when the k-th literal of ``cj`` is ``xi`` (``Āi → cjk`` when
+it is ``¬xi``) — so a literal node depends on the active node that makes
+its literal **true**.
+
+Every transaction except ``C`` writes a private entity; ``C`` reads an
+entity ``y`` that only ``D`` also reads.  Then (proof of Theorem 6):
+**every committed transaction except ``C`` violates C3 outright, and the
+deletion of ``C`` is safe iff the formula is unsatisfiable** — aborting the
+actives ``M`` named by a satisfying assignment kills every clause path
+from ``A`` to ``D`` while the variable chain to ``C`` survives.
+
+The class also emits a real multiwrite schedule realizing the graph
+(executing the transactions serially in topological order) so the
+reduction can be validated against the actual scheduler, not just a
+hand-built graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.multiwrite_conditions import c3_violation_witness
+from repro.core.reduced_graph import ReducedGraph
+from repro.errors import ReductionError
+from repro.graphs.cycles import topological_order
+from repro.graphs.digraph import DiGraph
+from repro.model.status import AccessMode, TxnState
+from repro.model.steps import Begin, Finish, Read, Step, TxnId, WriteItem
+from repro.reductions.sat import Assignment, CnfFormula
+
+__all__ = ["Theorem6Reduction"]
+
+
+@dataclass
+class Theorem6Reduction:
+    """Build the Fig. 3 graph (and a realizing schedule) for a formula."""
+
+    formula: CnfFormula
+    # arc -> labeling entity; populated during construction.
+    _arc_entities: Dict[Tuple[TxnId, TxnId], str] = field(default_factory=dict)
+    _ww_arcs: List[Tuple[TxnId, TxnId]] = field(default_factory=list)
+    _wr_arcs: List[Tuple[TxnId, TxnId]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for clause in self.formula.clauses:
+            if len(clause) != 3:
+                raise ReductionError(
+                    "Theorem 6 reduction expects exactly 3 literals per clause"
+                )
+        self._ww_arcs = list(self._write_write_arcs())
+        self._wr_arcs = list(self._write_read_arcs())
+        for tail, head in self._ww_arcs + self._wr_arcs:
+            self._arc_entities[(tail, head)] = f"e[{tail}->{head}]"
+
+    # -- node naming --------------------------------------------------------------
+
+    @staticmethod
+    def pos_node(i: int) -> TxnId:
+        return f"x{i}"
+
+    @staticmethod
+    def neg_node(i: int) -> TxnId:
+        return f"~x{i}"
+
+    @staticmethod
+    def pos_active(i: int) -> TxnId:
+        return f"A{i}"
+
+    @staticmethod
+    def neg_active(i: int) -> TxnId:
+        return f"~A{i}"
+
+    @staticmethod
+    def clause_node(j: int, k: int) -> TxnId:
+        return f"c{j}.{k}"
+
+    def literal_nodes(self) -> List[TxnId]:
+        names = []
+        for i in range(1, self.formula.n_vars + 1):
+            names.extend([self.pos_node(i), self.neg_node(i)])
+        for j in range(1, len(self.formula.clauses) + 1):
+            names.extend(self.clause_node(j, k) for k in (1, 2, 3))
+        return names
+
+    def active_nodes(self) -> List[TxnId]:
+        names = ["A"]
+        for i in range(1, self.formula.n_vars + 1):
+            names.extend([self.pos_active(i), self.neg_active(i)])
+        return names
+
+    # -- arcs ----------------------------------------------------------------------
+
+    def _write_write_arcs(self) -> List[Tuple[TxnId, TxnId]]:
+        arcs: List[Tuple[TxnId, TxnId]] = []
+        n = self.formula.n_vars
+        for i in range(1, n):
+            for tail in (self.pos_node(i), self.neg_node(i)):
+                for head in (self.pos_node(i + 1), self.neg_node(i + 1)):
+                    arcs.append((tail, head))
+        arcs.append(("A", self.pos_node(1)))
+        arcs.append(("A", self.neg_node(1)))
+        arcs.append((self.pos_node(n), "B"))
+        arcs.append((self.neg_node(n), "B"))
+        arcs.append(("B", "C"))
+        for i in range(1, n + 1):
+            arcs.append((self.pos_active(i), "D"))
+            arcs.append((self.neg_active(i), "D"))
+        for j in range(1, len(self.formula.clauses) + 1):
+            arcs.append(("A", self.clause_node(j, 1)))
+            arcs.append((self.clause_node(j, 1), self.clause_node(j, 2)))
+            arcs.append((self.clause_node(j, 2), self.clause_node(j, 3)))
+            arcs.append((self.clause_node(j, 3), "D"))
+        return arcs
+
+    def _write_read_arcs(self) -> List[Tuple[TxnId, TxnId]]:
+        arcs: List[Tuple[TxnId, TxnId]] = []
+        for i in range(1, self.formula.n_vars + 1):
+            arcs.append((self.pos_active(i), self.pos_node(i)))
+            arcs.append((self.neg_active(i), self.neg_node(i)))
+        for j, clause in enumerate(self.formula.clauses, start=1):
+            for k, literal in enumerate(clause, start=1):
+                variable = abs(literal)
+                tail = (
+                    self.pos_active(variable)
+                    if literal > 0
+                    else self.neg_active(variable)
+                )
+                arcs.append((tail, self.clause_node(j, k)))
+        return arcs
+
+    # -- direct graph construction -----------------------------------------------------
+
+    def build_graph(self) -> ReducedGraph:
+        """The Fig. 3 graph as a :class:`ReducedGraph` with A/F/C states,
+        access records, and dependencies."""
+        graph = ReducedGraph()
+        f_nodes = self.literal_nodes()
+        a_nodes = self.active_nodes()
+        for node in a_nodes:
+            graph.add_transaction(node, TxnState.ACTIVE)
+        for node in f_nodes:
+            graph.add_transaction(node, TxnState.FINISHED)
+        for node in ("B", "C", "D"):
+            graph.add_transaction(node, TxnState.COMMITTED)
+        # Arc labels: tail writes; head writes (ww) or reads (wr).
+        for tail, head in self._ww_arcs:
+            entity = self._arc_entities[(tail, head)]
+            graph.record_access(tail, entity, AccessMode.WRITE)
+            graph.record_access(head, entity, AccessMode.WRITE)
+            graph.add_arc(tail, head)
+        for tail, head in self._wr_arcs:
+            entity = self._arc_entities[(tail, head)]
+            graph.record_access(tail, entity, AccessMode.WRITE)
+            graph.record_access(head, entity, AccessMode.READ)
+            graph.add_arc(tail, head)
+            graph.info(head).reads_from.add(tail)  # tail is active: dirty read
+        # Private entities for everyone but C; the shared read-only y.
+        for node in a_nodes + f_nodes + ["B", "D"]:
+            graph.record_access(node, f"priv[{node}]", AccessMode.WRITE)
+        graph.record_access("C", "y", AccessMode.READ)
+        graph.record_access("D", "y", AccessMode.READ)
+        return graph
+
+    # -- schedule realization ------------------------------------------------------------
+
+    def realizing_schedule(self) -> List[Step]:
+        """A multiwrite schedule whose conflict graph is the Fig. 3 graph.
+
+        Transactions run serially in a topological order of the arc
+        structure; F nodes FINISH (they depend on actives so they stay
+        uncommitted), B, C, D FINISH and commit, actives never finish.
+        """
+        arc_graph = DiGraph()
+        nodes = self.active_nodes() + self.literal_nodes() + ["B", "C", "D"]
+        for node in nodes:
+            arc_graph.add_node(node)
+        for tail, head in self._ww_arcs + self._wr_arcs:
+            if not arc_graph.has_arc(tail, head):
+                arc_graph.add_arc(tail, head)
+        order = topological_order(arc_graph, tie_break=nodes)
+
+        reads: Dict[TxnId, List[str]] = {node: [] for node in nodes}
+        writes: Dict[TxnId, List[str]] = {node: [] for node in nodes}
+        for tail, head in self._ww_arcs:
+            entity = self._arc_entities[(tail, head)]
+            writes[tail].append(entity)
+            writes[head].append(entity)
+        for tail, head in self._wr_arcs:
+            entity = self._arc_entities[(tail, head)]
+            writes[tail].append(entity)
+            reads[head].append(entity)
+        for node in nodes:
+            if node != "C":
+                writes[node].append(f"priv[{node}]")
+        reads["C"].append("y")
+        reads["D"].append("y")
+
+        active = set(self.active_nodes())
+        steps: List[Step] = []
+        for node in order:
+            steps.append(Begin(node))
+            for entity in sorted(set(reads[node])):
+                steps.append(Read(node, entity))
+            for entity in sorted(set(writes[node])):
+                steps.append(WriteItem(node, entity))
+            if node not in active:
+                steps.append(Finish(node))
+        return steps
+
+    # -- the equivalence -----------------------------------------------------------------
+
+    def assignment_to_abort_set(self, assignment: Assignment) -> FrozenSet[TxnId]:
+        """The abort set ``M`` a satisfying assignment induces:
+        ``Ai`` for true variables, ``Āi`` for false ones."""
+        chosen: Set[TxnId] = set()
+        for variable in range(1, self.formula.n_vars + 1):
+            if assignment.get(variable, False):
+                chosen.add(self.pos_active(variable))
+            else:
+                chosen.add(self.neg_active(variable))
+        return frozenset(chosen)
+
+    def abort_set_to_assignment(self, abort_set: FrozenSet[TxnId]) -> Assignment:
+        """The assignment an abort set induces (Theorem 6's converse):
+        ``xi`` true iff ``Ai ∈ M``."""
+        return {
+            variable: self.pos_active(variable) in abort_set
+            for variable in range(1, self.formula.n_vars + 1)
+        }
+
+    def c_is_deletable(self, max_actives: int = 32) -> bool:
+        """Check C3 for ``C`` on the constructed graph (exponential)."""
+        graph = self.build_graph()
+        witness = c3_violation_witness(graph, "C", max_actives=max_actives)
+        return witness is None

@@ -1,0 +1,37 @@
+"""Scheduler implementations.
+
+Five schedulers share one driving protocol (:class:`SchedulerBase`): feed
+steps one at a time, get a :class:`StepResult` back.
+
+* :class:`ConflictGraphScheduler` — the paper's basic preventive scheduler
+  (§2, Rules 1-3): atomic-final-write transactions, abort on cycle;
+* :class:`Certifier` — the optimistic variant sketched in §2: active
+  transactions run free, a certification phase adds them to the graph of
+  completed transactions or aborts them;
+* :class:`StrictTwoPhaseLocking` — the §1 baseline: pure locking, blocking
+  on conflicts, waits-for deadlock detection, transactions closed at commit;
+* :class:`MultiwriteScheduler` — §5's multiple-write-step model: dirty
+  reads, A/F/C states, commit dependencies, cascading aborts;
+* :class:`PredeclaredScheduler` — §5's predeclared model (Rules 1'-3'):
+  arcs inserted at the first of two conflicting steps, delays instead of
+  aborts, provably deadlock-free.
+"""
+
+from repro.scheduler.events import Decision, StepResult
+from repro.scheduler.base import SchedulerBase
+from repro.scheduler.conflict import ConflictGraphScheduler
+from repro.scheduler.certifier import Certifier
+from repro.scheduler.locking import StrictTwoPhaseLocking
+from repro.scheduler.multiwrite import MultiwriteScheduler
+from repro.scheduler.predeclared import PredeclaredScheduler
+
+__all__ = [
+    "Decision",
+    "StepResult",
+    "SchedulerBase",
+    "ConflictGraphScheduler",
+    "Certifier",
+    "StrictTwoPhaseLocking",
+    "MultiwriteScheduler",
+    "PredeclaredScheduler",
+]

@@ -1,0 +1,136 @@
+"""Common scheduler machinery.
+
+:class:`SchedulerBase` owns the bookkeeping every variant shares:
+
+* the raw input stream (every step ever fed, accepted or not) — the
+  paper's schedule ``s``;
+* the accepted subschedule (projection on non-aborted transactions);
+* per-entity *currency* tracking — for each entity, who wrote the current
+  value and who has read it since: the input to Corollary 1's
+  noncurrency test.  Currency is a property of the accepted history, **not**
+  of the (possibly reduced) graph, which is why it lives here and not in
+  :class:`~repro.core.reduced_graph.ReducedGraph`.
+
+Concrete schedulers implement ``_process(step)`` and call the protected
+recording helpers.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.reduced_graph import ReducedGraph
+from repro.errors import SchedulerError
+from repro.model.schedule import Schedule
+from repro.model.steps import Step, TxnId
+from repro.scheduler.events import Decision, StepResult
+from repro.tracking import CurrencyTracker
+
+__all__ = ["SchedulerBase", "CurrencyTracker"]
+
+
+class SchedulerBase(ABC):
+    """Shared driving protocol; subclasses implement :meth:`_process`."""
+
+    def __init__(self, graph: Optional[ReducedGraph] = None) -> None:
+        # The graph may be seeded (the oracle starts schedulers from G and
+        # from D(G, N)); by default it starts empty, like CG(λ) = E.
+        self.graph: ReducedGraph = graph if graph is not None else ReducedGraph()
+        self.currency = CurrencyTracker()
+        self._input_log: List[Step] = []
+        self._results: List[StepResult] = []
+        self._aborted: Set[TxnId] = set()
+
+    # -- driving --------------------------------------------------------------
+
+    def feed(self, step: Step) -> StepResult:
+        """Process one step and record the outcome.
+
+        Steps of transactions that already aborted are IGNORED without
+        touching the variant's rules (§2: the arriving stream may contain
+        steps of meanwhile-aborted transactions).
+        """
+        self._input_log.append(step)
+        if step.txn in self._aborted:
+            result = StepResult(step, Decision.IGNORED)
+        else:
+            result = self._process(step)
+        self._results.append(result)
+        self._aborted.update(result.aborted)
+        return result
+
+    def feed_many(self, steps: Iterable[Step]) -> List[StepResult]:
+        return [self.feed(step) for step in steps]
+
+    def run(self, schedule: Schedule | Iterable[Step]) -> List[StepResult]:
+        """Feed a whole schedule; alias of :meth:`feed_many`."""
+        return self.feed_many(schedule)
+
+    @abstractmethod
+    def _process(self, step: Step) -> StepResult:
+        """Apply the variant's rules to one step."""
+
+    # -- views ------------------------------------------------------------------
+
+    @property
+    def input_schedule(self) -> Schedule:
+        """Every step ever fed — the paper's raw stream ``s``."""
+        return Schedule(tuple(self._input_log))
+
+    @property
+    def results(self) -> Tuple[StepResult, ...]:
+        return tuple(self._results)
+
+    @property
+    def aborted(self) -> FrozenSet[TxnId]:
+        return frozenset(self._aborted)
+
+    def accepted_subschedule(self) -> Schedule:
+        """Projection of the input on non-aborted transactions (§2).
+
+        Note: delayed steps (predeclared/locking) appear in the accepted
+        subschedule only once they actually execute; subclasses that delay
+        override :meth:`executed_schedule` to expose execution order, and
+        this method delegates to it.
+        """
+        return self.executed_schedule().accepted_subschedule(self._aborted)
+
+    def executed_schedule(self) -> Schedule:
+        """Steps in the order they *executed*.
+
+        For non-delaying schedulers this is the accepted prefix order of the
+        input; delaying schedulers override it.
+        """
+        executed = [
+            result.step
+            for result in self._results
+            if result.decision is Decision.ACCEPTED
+        ]
+        return Schedule(tuple(executed))
+
+    def delete_transaction(self, txn: TxnId) -> None:
+        """Apply ``D(G, txn)`` to the live graph.
+
+        Structural operation only — callers (deletion policies, the runner)
+        are responsible for checking the governing safety condition first.
+        """
+        self.graph.delete(txn)
+
+    def delete_transactions(self, txns: Iterable[TxnId]) -> None:
+        for txn in txns:
+            self.delete_transaction(txn)
+
+    # -- shared helpers for subclasses -------------------------------------------
+
+    def _require_known_active(self, txn: TxnId) -> None:
+        if txn not in self.graph:
+            raise SchedulerError(
+                f"step of unknown transaction {txn!r} (no BEGIN seen, or it "
+                "already aborted/completed)"
+            )
+        if not self.graph.state(txn).is_active:
+            raise SchedulerError(
+                f"step of non-active transaction {txn!r} "
+                f"({self.graph.state(txn)})"
+            )

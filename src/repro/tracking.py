@@ -1,0 +1,73 @@
+"""History-level tracking shared by schedulers and deletion conditions.
+
+:class:`CurrencyTracker` lives outside both the scheduler and the core
+packages because both need it: schedulers update it as steps execute, and
+Corollary 1's noncurrency test (:mod:`repro.core.conditions`) reads it.
+Currency is a property of the accepted schedule, **not** of the (possibly
+reduced) conflict graph — §4 warns that after deletions the graph alone can
+no longer support Corollary 1 (Example 1: after deleting ``T3``, the
+noncurrent ``T2`` must not be removed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+from repro.model.entities import Entity
+from repro.model.steps import TxnId
+
+__all__ = ["CurrencyTracker"]
+
+
+@dataclass
+class CurrencyTracker:
+    """Who touched the *current* value of each entity.
+
+    Corollary 1: a completed transaction is **current** if it has read or
+    written the current value of some entity (the entity has not been
+    subsequently overwritten).  We maintain, per entity, the last writer
+    and the readers since that write; a transaction is current iff it
+    appears in some entity's current set.
+
+    >>> tracker = CurrencyTracker()
+    >>> tracker.on_write("T1", "x"); tracker.on_read("T2", "x")
+    >>> sorted(tracker.current_transactions())
+    ['T1', 'T2']
+    >>> tracker.on_write("T3", "x")   # overwrites: T1, T2 lose currency
+    >>> sorted(tracker.current_transactions())
+    ['T3']
+    """
+
+    last_writer: Dict[Entity, TxnId] = field(default_factory=dict)
+    readers_since_write: Dict[Entity, Set[TxnId]] = field(default_factory=dict)
+
+    def on_read(self, txn: TxnId, entity: Entity) -> None:
+        self.readers_since_write.setdefault(entity, set()).add(txn)
+
+    def on_write(self, txn: TxnId, entity: Entity) -> None:
+        self.last_writer[entity] = txn
+        self.readers_since_write[entity] = set()
+
+    def forget(self, txn: TxnId) -> None:
+        """Erase an aborted transaction from the current sets.
+
+        In the basic model an aborted transaction never *wrote* anything
+        (its final write was the rejected step), so only its reads need
+        removal; the writer cleanup handles the multiwrite model, where an
+        aborted transaction's installed values are undone.
+        """
+        for entity in list(self.last_writer):
+            if self.last_writer[entity] == txn:
+                del self.last_writer[entity]
+        for readers in self.readers_since_write.values():
+            readers.discard(txn)
+
+    def current_transactions(self) -> FrozenSet[TxnId]:
+        current: Set[TxnId] = set(self.last_writer.values())
+        for readers in self.readers_since_write.values():
+            current.update(readers)
+        return frozenset(current)
+
+    def is_current(self, txn: TxnId) -> bool:
+        return txn in self.current_transactions()

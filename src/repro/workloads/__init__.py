@@ -1,0 +1,48 @@
+"""Workload generation: seeded streams for every scheduler variant.
+
+* :mod:`repro.workloads.zipf` — Zipf-skewed entity sampling (hotspots);
+* :mod:`repro.workloads.generator` — random transaction specs and
+  interleaved step streams for the basic, multiwrite, and predeclared
+  models;
+* :mod:`repro.workloads.traces` — the paper's worked examples as exact
+  step sequences (Example 1 / Fig. 1, Example 2 / Fig. 4, and the
+  Lemma 1 / Corollary 1 illustrations);
+* :mod:`repro.workloads.banking` — a small domain workload (accounts,
+  transfers, audits) used by the examples and the policy benchmarks.
+"""
+
+from repro.workloads.zipf import ZipfSampler
+from repro.workloads.generator import (
+    WorkloadConfig,
+    basic_specs,
+    basic_stream,
+    multiwrite_specs,
+    multiwrite_stream,
+    predeclared_specs,
+    predeclared_stream,
+)
+from repro.workloads.traces import (
+    example1_schedule,
+    example1_graph,
+    example2_steps,
+    example2_graph,
+)
+from repro.workloads.banking import BankingConfig, banking_specs, banking_stream
+
+__all__ = [
+    "ZipfSampler",
+    "WorkloadConfig",
+    "basic_specs",
+    "basic_stream",
+    "multiwrite_specs",
+    "multiwrite_stream",
+    "predeclared_specs",
+    "predeclared_stream",
+    "example1_schedule",
+    "example1_graph",
+    "example2_steps",
+    "example2_graph",
+    "BankingConfig",
+    "banking_specs",
+    "banking_stream",
+]

@@ -1,0 +1,94 @@
+"""A banking workload: transfers, deposits, and audits.
+
+The motivating §1 scenario in miniature: short update transactions
+(transfers read two account balances and write them back; deposits touch
+one) interleaved with occasional long-running read-only audits that scan
+many accounts.  The audits are what make transaction deletion interesting:
+while an audit is active it is a *tight predecessor* of every transfer that
+overwrote a balance it read, pinning those transfers in the graph until a
+condition (C1 / noncurrency) releases them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import WorkloadError
+from repro.model.schedule import Schedule, interleave
+from repro.model.transactions import TransactionSpec
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = ["BankingConfig", "banking_specs", "banking_stream"]
+
+
+@dataclass(frozen=True)
+class BankingConfig:
+    """Knobs for the banking generator.
+
+    ``audit_every`` inserts one full-scan audit after that many update
+    transactions (0 disables audits); ``audit_span`` is how many accounts
+    an audit reads.
+    """
+
+    n_accounts: int = 16
+    n_transfers: int = 40
+    deposit_fraction: float = 0.3
+    audit_every: int = 10
+    audit_span: int = 8
+    zipf_s: float = 0.8
+    multiprogramming: int = 5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_accounts < 2:
+            raise WorkloadError("need at least two accounts to transfer")
+        if not (0 <= self.deposit_fraction <= 1):
+            raise WorkloadError("deposit_fraction must lie in [0, 1]")
+        if self.audit_span > self.n_accounts:
+            raise WorkloadError("audit_span exceeds the number of accounts")
+
+
+def _account(rank: int) -> str:
+    return f"acct{rank}"
+
+
+def banking_specs(config: BankingConfig) -> List[TransactionSpec]:
+    """Transfers/deposits (read-then-write) plus periodic audit scans."""
+    rng = random.Random(config.seed)
+    sampler = ZipfSampler(config.n_accounts, config.zipf_s, seed=config.seed + 1)
+    specs: List[TransactionSpec] = []
+    audits = 0
+    for index in range(config.n_transfers):
+        name = f"U{index + 1}"
+        if rng.random() < config.deposit_fraction:
+            account = _account(sampler.sample())
+            specs.append(
+                TransactionSpec(name, (account,), frozenset({account}))
+            )
+        else:
+            src, dst = (_account(rank) for rank in sampler.sample_distinct(2))
+            specs.append(
+                TransactionSpec(name, (src, dst), frozenset({src, dst}))
+            )
+        if config.audit_every and (index + 1) % config.audit_every == 0:
+            audits += 1
+            span = sampler.sample_distinct(config.audit_span)
+            specs.append(
+                TransactionSpec(
+                    f"AUDIT{audits}",
+                    tuple(_account(rank) for rank in span),
+                    frozenset(),
+                )
+            )
+    return specs
+
+
+def banking_stream(config: BankingConfig) -> Schedule:
+    """The interleaved banking step stream."""
+    return interleave(
+        banking_specs(config),
+        seed=config.seed + 2,
+        max_concurrent=config.multiprogramming,
+    )

@@ -1,0 +1,152 @@
+"""Random transaction specs and interleaved step streams.
+
+One :class:`WorkloadConfig` drives all three models so experiments can run
+*the same* logical workload through different schedulers.  All generation
+is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.model.schedule import Schedule, interleave
+from repro.model.status import AccessMode
+from repro.model.transactions import (
+    MultiwriteTransactionSpec,
+    PredeclaredTransactionSpec,
+    TransactionSpec,
+)
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = [
+    "WorkloadConfig",
+    "basic_specs",
+    "basic_stream",
+    "multiwrite_specs",
+    "multiwrite_stream",
+    "predeclared_specs",
+    "predeclared_stream",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters shared by every generator.
+
+    ``write_fraction`` is the probability that a touched entity is written
+    (rest are read); ``zipf_s = 0`` means uniform entity choice.
+    ``multiprogramming`` caps how many transactions are in flight at once
+    in the interleaved stream — the paper's parameter ``a`` in the ``a·e``
+    bound.
+    """
+
+    n_transactions: int = 20
+    n_entities: int = 10
+    min_accesses: int = 1
+    max_accesses: int = 4
+    write_fraction: float = 0.4
+    zipf_s: float = 0.0
+    multiprogramming: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_transactions <= 0 or self.n_entities <= 0:
+            raise WorkloadError("transactions and entities must be positive")
+        if not (0 <= self.write_fraction <= 1):
+            raise WorkloadError("write_fraction must lie in [0, 1]")
+        if self.min_accesses < 1 or self.max_accesses < self.min_accesses:
+            raise WorkloadError("need 1 <= min_accesses <= max_accesses")
+        if self.max_accesses > self.n_entities:
+            raise WorkloadError(
+                "max_accesses cannot exceed the number of entities "
+                "(transactions touch distinct entities)"
+            )
+        if self.multiprogramming < 1:
+            raise WorkloadError("multiprogramming must be >= 1")
+
+
+def _entity_name(rank: int) -> str:
+    return f"e{rank}"
+
+
+def _draw_accesses(
+    config: WorkloadConfig,
+    rng: random.Random,
+    sampler: ZipfSampler,
+) -> List[Tuple[AccessMode, str]]:
+    count = rng.randint(config.min_accesses, config.max_accesses)
+    ranks = sampler.sample_distinct(count)
+    accesses: List[Tuple[AccessMode, str]] = []
+    for rank in ranks:
+        mode = (
+            AccessMode.WRITE
+            if rng.random() < config.write_fraction
+            else AccessMode.READ
+        )
+        accesses.append((mode, _entity_name(rank)))
+    rng.shuffle(accesses)
+    return accesses
+
+
+def basic_specs(config: WorkloadConfig) -> List[TransactionSpec]:
+    """Basic-model specs: the drawn writes all land in the final atomic
+    write; the reads come first (the model's required shape)."""
+    rng = random.Random(config.seed)
+    sampler = ZipfSampler(config.n_entities, config.zipf_s, seed=config.seed + 1)
+    specs: List[TransactionSpec] = []
+    for index in range(config.n_transactions):
+        accesses = _draw_accesses(config, rng, sampler)
+        reads = tuple(e for mode, e in accesses if not mode.is_write)
+        writes = frozenset(e for mode, e in accesses if mode.is_write)
+        specs.append(TransactionSpec(f"T{index + 1}", reads, writes))
+    return specs
+
+
+def multiwrite_specs(config: WorkloadConfig) -> List[MultiwriteTransactionSpec]:
+    rng = random.Random(config.seed)
+    sampler = ZipfSampler(config.n_entities, config.zipf_s, seed=config.seed + 1)
+    return [
+        MultiwriteTransactionSpec(
+            f"T{index + 1}", tuple(_draw_accesses(config, rng, sampler))
+        )
+        for index in range(config.n_transactions)
+    ]
+
+
+def predeclared_specs(config: WorkloadConfig) -> List[PredeclaredTransactionSpec]:
+    rng = random.Random(config.seed)
+    sampler = ZipfSampler(config.n_entities, config.zipf_s, seed=config.seed + 1)
+    return [
+        PredeclaredTransactionSpec(
+            f"T{index + 1}", tuple(_draw_accesses(config, rng, sampler))
+        )
+        for index in range(config.n_transactions)
+    ]
+
+
+def basic_stream(config: WorkloadConfig) -> Schedule:
+    """An interleaved basic-model step stream."""
+    return interleave(
+        basic_specs(config),
+        seed=config.seed + 2,
+        max_concurrent=config.multiprogramming,
+    )
+
+
+def multiwrite_stream(config: WorkloadConfig) -> Schedule:
+    return interleave(
+        multiwrite_specs(config),
+        seed=config.seed + 2,
+        max_concurrent=config.multiprogramming,
+    )
+
+
+def predeclared_stream(config: WorkloadConfig) -> Schedule:
+    return interleave(
+        predeclared_specs(config),
+        seed=config.seed + 2,
+        max_concurrent=config.multiprogramming,
+    )

@@ -1,0 +1,138 @@
+"""The paper's worked examples as exact step sequences.
+
+These are the fixtures for experiments E1 (Fig. 1 / Example 1) and E7
+(Fig. 4 / Example 2) and for the unit tests that pin the library to the
+paper's own analysis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.reduced_graph import ReducedGraph
+from repro.model.schedule import Schedule
+from repro.model.status import AccessMode
+from repro.model.steps import (
+    Begin,
+    BeginDeclared,
+    Finish,
+    Read,
+    Step,
+    Write,
+    WriteItem,
+)
+from repro.scheduler.conflict import ConflictGraphScheduler
+from repro.scheduler.predeclared import PredeclaredScheduler
+
+__all__ = [
+    "example1_schedule",
+    "example1_graph",
+    "example2_steps",
+    "example2_graph",
+    "lemma1_schedule",
+    "corollary1_schedule",
+]
+
+
+def example1_schedule() -> Schedule:
+    """Example 1 (§3, Fig. 1).
+
+    *"Transaction T1 first reads (among other things) entity x.
+    Subsequently, before T1 terminates, in a serial order T2 and T3 read
+    and write x and complete."*  T1 is still active at the end; the
+    conflict graph is ``T1 → T2 → T3`` plus ``T1 → T3``.
+    """
+    return Schedule(
+        (
+            Begin("T1"),
+            Read("T1", "x"),
+            Begin("T2"),
+            Read("T2", "x"),
+            Write("T2", frozenset({"x"})),
+            Begin("T3"),
+            Read("T3", "x"),
+            Write("T3", frozenset({"x"})),
+        )
+    )
+
+
+def example1_graph() -> ReducedGraph:
+    """The conflict graph of Example 1, built by the actual scheduler."""
+    scheduler = ConflictGraphScheduler()
+    for result in scheduler.feed_many(example1_schedule()):
+        assert result.accepted, f"Example 1 step rejected: {result}"
+    return scheduler.graph
+
+
+def example2_steps() -> List[Step]:
+    """Example 2 (§5, Fig. 4), predeclared model.
+
+    *"First A reads entities u, z; then B reads y, writes u and completes;
+    then C writes x and z and completes.  Transaction A is still active
+    with one remaining step which reads y."*  The graph is ``A → B`` and
+    ``A → C``; B fails C4 but C satisfies it.
+    """
+    return [
+        BeginDeclared(
+            "A",
+            {"u": AccessMode.READ, "z": AccessMode.READ, "y": AccessMode.READ},
+        ),
+        Read("A", "u"),
+        Read("A", "z"),
+        BeginDeclared("B", {"y": AccessMode.READ, "u": AccessMode.WRITE}),
+        Read("B", "y"),
+        WriteItem("B", "u"),
+        Finish("B"),
+        BeginDeclared("C", {"x": AccessMode.WRITE, "z": AccessMode.WRITE}),
+        WriteItem("C", "x"),
+        WriteItem("C", "z"),
+        Finish("C"),
+    ]
+
+
+def example2_graph() -> Tuple[PredeclaredScheduler, ReducedGraph]:
+    """Example 2 run through the predeclared scheduler; every step must
+    execute without delay."""
+    scheduler = PredeclaredScheduler()
+    for result in scheduler.feed_many(example2_steps()):
+        assert result.accepted, f"Example 2 step delayed/rejected: {result}"
+    return scheduler, scheduler.graph
+
+
+def lemma1_schedule() -> Schedule:
+    """A completed transaction with no active predecessors (Lemma 1).
+
+    T1 runs alone and completes; T2 begins afterwards and reads what T1
+    wrote, so T1 ← active predecessor? No: the arc runs T1 → T2.  T1 has
+    no active predecessors and is deletable forever.
+    """
+    return Schedule(
+        (
+            Begin("T1"),
+            Read("T1", "a"),
+            Write("T1", frozenset({"b"})),
+            Begin("T2"),
+            Read("T2", "b"),
+        )
+    )
+
+
+def corollary1_schedule() -> Schedule:
+    """A noncurrent completed transaction (Corollary 1).
+
+    T2 reads and overwrites everything T1 touched while T1's reader is
+    still active: T1 becomes noncurrent (both its entities overwritten)
+    but *current* T2 must stay.
+    """
+    return Schedule(
+        (
+            Begin("T0"),
+            Read("T0", "a"),
+            Begin("T1"),
+            Read("T1", "a"),
+            Write("T1", frozenset({"b"})),
+            Begin("T2"),
+            Read("T2", "b"),
+            Write("T2", frozenset({"a", "b"})),
+        )
+    )

@@ -1,0 +1,252 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.reduced_graph import ReducedGraph
+from repro.model.status import AccessMode, TxnState
+from repro.model.steps import Begin, Read, Step, Write
+from repro.scheduler.conflict import ConflictGraphScheduler
+from repro.workloads.traces import example1_graph
+
+# ---------------------------------------------------------------------------
+# Fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def fig1_graph() -> ReducedGraph:
+    """The Example 1 / Fig. 1 conflict graph (T1 active; T2, T3 done)."""
+    return example1_graph()
+
+
+@pytest.fixture
+def empty_graph() -> ReducedGraph:
+    return ReducedGraph()
+
+
+# ---------------------------------------------------------------------------
+# Programmatic graph builder (for condition unit tests)
+# ---------------------------------------------------------------------------
+
+
+def build_graph(
+    nodes: dict,
+    arcs: List[Tuple[str, str]],
+    accesses: List[Tuple[str, str, AccessMode]],
+    futures: Optional[dict] = None,
+    reads_from: Optional[List[Tuple[str, str]]] = None,
+) -> ReducedGraph:
+    """Construct a ReducedGraph directly.
+
+    ``nodes`` maps txn id -> TxnState (or "A"/"F"/"C" letters);
+    ``accesses`` lists (txn, entity, mode); ``futures`` maps txn ->
+    {entity: mode} declared-future dicts; ``reads_from`` lists
+    (reader, writer) dependencies.
+    """
+    letter_states = {
+        "A": TxnState.ACTIVE,
+        "F": TxnState.FINISHED,
+        "C": TxnState.COMMITTED,
+    }
+    graph = ReducedGraph()
+    futures = futures or {}
+    for txn, state in nodes.items():
+        resolved = letter_states.get(state, state)
+        graph.add_transaction(txn, resolved, declared=futures.get(txn))
+    for tail, head in arcs:
+        graph.add_arc(tail, head)
+    for txn, entity, mode in accesses:
+        graph.record_access(txn, entity, mode)
+    for reader, writer in reads_from or []:
+        graph.info(reader).reads_from.add(writer)
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+ENTITY_POOL = ["x", "y", "z", "w"]
+TXN_POOL = [f"T{i}" for i in range(1, 7)]
+
+
+@st.composite
+def basic_step_streams(
+    draw,
+    max_txns: int = 4,
+    max_entities: int = 3,
+    max_steps: int = 14,
+) -> List[Step]:
+    """A protocol-respecting random basic-model step stream.
+
+    Transactions BEGIN, read entities, and complete with a single final
+    write (possibly empty).  Hypothesis controls every choice, so failures
+    shrink to minimal streams.
+    """
+    entities = ENTITY_POOL[:max_entities]
+    steps: List[Step] = []
+    next_txn = 0
+    active: List[str] = []
+    n_steps = draw(st.integers(min_value=1, max_value=max_steps))
+    for _ in range(n_steps):
+        choices = []
+        if next_txn < max_txns:
+            choices.append("begin")
+        if active:
+            choices.extend(["read", "write"])
+        if not choices:
+            break
+        action = draw(st.sampled_from(choices))
+        if action == "begin":
+            txn = TXN_POOL[next_txn]
+            next_txn += 1
+            active.append(txn)
+            steps.append(Begin(txn))
+        elif action == "read":
+            txn = draw(st.sampled_from(active))
+            entity = draw(st.sampled_from(entities))
+            steps.append(Read(txn, entity))
+        else:
+            txn = draw(st.sampled_from(active))
+            size = draw(st.integers(min_value=0, max_value=min(2, len(entities))))
+            written = draw(
+                st.lists(
+                    st.sampled_from(entities),
+                    min_size=size,
+                    max_size=size,
+                    unique=True,
+                )
+            )
+            steps.append(Write(txn, frozenset(written)))
+            active.remove(txn)
+    return steps
+
+
+def graph_from_stream(steps: List[Step]) -> ReducedGraph:
+    """Feed a stream to a fresh conflict scheduler; return its graph."""
+    scheduler = ConflictGraphScheduler()
+    scheduler.feed_many(steps)
+    return scheduler.graph
+
+
+@st.composite
+def multiwrite_step_streams(
+    draw,
+    max_txns: int = 4,
+    max_entities: int = 3,
+    max_steps: int = 16,
+) -> List[Step]:
+    """A protocol-respecting random multiwrite-model step stream."""
+    from repro.model.steps import Finish, WriteItem
+
+    entities = ENTITY_POOL[:max_entities]
+    steps: List[Step] = []
+    next_txn = 0
+    active: List[str] = []
+    n_steps = draw(st.integers(min_value=1, max_value=max_steps))
+    for _ in range(n_steps):
+        choices = []
+        if next_txn < max_txns:
+            choices.append("begin")
+        if active:
+            choices.extend(["read", "write", "finish"])
+        if not choices:
+            break
+        action = draw(st.sampled_from(choices))
+        if action == "begin":
+            txn = TXN_POOL[next_txn]
+            next_txn += 1
+            active.append(txn)
+            steps.append(Begin(txn))
+        elif action == "finish":
+            txn = draw(st.sampled_from(active))
+            steps.append(Finish(txn))
+            active.remove(txn)
+        else:
+            txn = draw(st.sampled_from(active))
+            entity = draw(st.sampled_from(entities))
+            if action == "read":
+                steps.append(Read(txn, entity))
+            else:
+                steps.append(WriteItem(txn, entity))
+    return steps
+
+
+@st.composite
+def predeclared_step_streams(
+    draw,
+    max_txns: int = 4,
+    max_entities: int = 4,
+    max_steps: int = 18,
+) -> List[Step]:
+    """A protocol-respecting random predeclared step stream.
+
+    Each transaction declares 1-3 distinct (entity, mode) accesses at
+    BEGIN, then executes them in a drawn order, then finishes.  The drawn
+    interleaving is arbitrary; the scheduler may delay steps.
+    """
+    from repro.model.status import AccessMode
+    from repro.model.steps import BeginDeclared, Finish, WriteItem
+
+    entities = ENTITY_POOL[:max_entities]
+    steps: List[Step] = []
+    next_txn = 0
+    # txn -> remaining (entity, mode) ops; None means FINISH already queued.
+    remaining: dict = {}
+    n_steps = draw(st.integers(min_value=1, max_value=max_steps))
+    for _ in range(n_steps):
+        choices = []
+        if next_txn < max_txns:
+            choices.append("begin")
+        runnable = [t for t, ops in remaining.items() if ops is not None]
+        if runnable:
+            choices.append("step")
+        if not choices:
+            break
+        action = draw(st.sampled_from(choices))
+        if action == "begin":
+            txn = TXN_POOL[next_txn]
+            next_txn += 1
+            count = draw(st.integers(min_value=1, max_value=min(3, len(entities))))
+            chosen = draw(
+                st.lists(
+                    st.sampled_from(entities),
+                    min_size=count,
+                    max_size=count,
+                    unique=True,
+                )
+            )
+            ops = []
+            declared = {}
+            for entity in chosen:
+                mode = draw(st.sampled_from([AccessMode.READ, AccessMode.WRITE]))
+                ops.append((mode, entity))
+                declared[entity] = mode
+            remaining[txn] = ops
+            steps.append(BeginDeclared(txn, declared))
+        else:
+            txn = draw(st.sampled_from(runnable))
+            ops = remaining[txn]
+            if not ops:
+                steps.append(Finish(txn))
+                remaining[txn] = None
+                continue
+            index = draw(st.integers(min_value=0, max_value=len(ops) - 1))
+            mode, entity = ops.pop(index)
+            if mode is AccessMode.WRITE:
+                steps.append(WriteItem(txn, entity))
+            else:
+                steps.append(Read(txn, entity))
+    return steps
+
+
+@st.composite
+def conflict_graphs(draw, **kwargs) -> ReducedGraph:
+    """Random *reachable* conflict graphs (built by the real scheduler)."""
+    steps = draw(basic_step_streams(**kwargs))
+    return graph_from_stream(steps)

@@ -1,0 +1,198 @@
+"""Tests for offline serializability, metrics, runner, and reporting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.metrics import RunMetrics, Sample
+from repro.analysis.report import ascii_table, format_series, rows_from_summaries
+from repro.analysis.runner import run_with_policy
+from repro.analysis.serializability import (
+    conflict_graph_of,
+    equivalent_serial_order,
+    is_conflict_serializable,
+    is_view_serializable,
+)
+from repro.core.policies import EagerC1Policy
+from repro.errors import ModelError, SchedulerError
+from repro.model.schedule import Schedule
+from repro.model.steps import Begin, Finish, Read, Write, WriteItem
+from repro.scheduler.conflict import ConflictGraphScheduler
+from repro.workloads.generator import WorkloadConfig, basic_stream
+
+from tests.conftest import basic_step_streams
+
+
+def _csr_schedule() -> Schedule:
+    return Schedule(
+        (
+            Begin("T1"), Read("T1", "x"), Write("T1", frozenset({"y"})),
+            Begin("T2"), Read("T2", "y"), Write("T2", frozenset()),
+        )
+    )
+
+
+def _non_csr_schedule() -> Schedule:
+    return Schedule(
+        (
+            Begin("T1"), Read("T1", "x"),
+            Begin("T2"), Read("T2", "x"),
+            Write("T2", frozenset({"x"})),   # T1 -> T2
+            Write("T1", frozenset({"x"})),   # T2 -> T1
+        )
+    )
+
+
+class TestConflictGraphOf:
+    def test_arcs_follow_order(self):
+        graph = conflict_graph_of(_csr_schedule())
+        assert graph.has_arc("T1", "T2")
+        assert not graph.has_arc("T2", "T1")
+
+    def test_detects_cycle(self):
+        assert not is_conflict_serializable(_non_csr_schedule())
+        assert is_conflict_serializable(_csr_schedule())
+
+    def test_serial_order_extraction(self):
+        order = equivalent_serial_order(_csr_schedule())
+        assert order is not None
+        assert order.index("T1") < order.index("T2")
+        assert equivalent_serial_order(_non_csr_schedule()) is None
+
+    def test_multiwrite_steps_supported(self):
+        sched = Schedule(
+            (
+                Begin("A"), WriteItem("A", "x"),
+                Begin("B"), Read("B", "x"), Finish("B"), Finish("A"),
+            )
+        )
+        graph = conflict_graph_of(sched)
+        assert graph.has_arc("A", "B")
+
+    def test_serial_schedules_always_csr(self):
+        sched = Schedule(
+            (
+                Begin("T1"), Read("T1", "x"), Write("T1", frozenset({"x"})),
+                Begin("T2"), Read("T2", "x"), Write("T2", frozenset({"x"})),
+            )
+        )
+        assert is_conflict_serializable(sched)
+
+
+class TestViewSerializability:
+    def test_csr_implies_vsr(self):
+        assert is_view_serializable(_csr_schedule())
+
+    def test_non_serializable(self):
+        assert not is_view_serializable(_non_csr_schedule())
+
+    def test_guard(self):
+        steps = []
+        for i in range(9):
+            steps += [Begin(f"T{i}"), Write(f"T{i}", frozenset())]
+        with pytest.raises(ModelError):
+            is_view_serializable(Schedule(tuple(steps)))
+
+    @given(basic_step_streams(max_txns=4, max_entities=2, max_steps=10))
+    @settings(max_examples=40, deadline=None)
+    def test_csr_subset_of_vsr(self, steps):
+        sched = Schedule(tuple(steps))
+        if is_conflict_serializable(sched):
+            assert is_view_serializable(sched)
+
+
+class TestRunner:
+    def test_metrics_counts(self):
+        config = WorkloadConfig(n_transactions=10, n_entities=5, seed=1)
+        metrics = run_with_policy(
+            ConflictGraphScheduler(), basic_stream(config), EagerC1Policy()
+        )
+        total = (
+            metrics.accepted_steps
+            + metrics.rejected_steps
+            + metrics.delayed_steps
+            + metrics.ignored_steps
+        )
+        assert total == len(basic_stream(config))
+        assert metrics.policy == "eager-c1"
+        assert metrics.samples
+
+    def test_audit_flags_bad_scheduler(self):
+        class BrokenScheduler(ConflictGraphScheduler):
+            def _process(self, step):
+                # Accept everything: no concurrency control at all.
+                from repro.model.status import AccessMode, TxnState
+                from repro.model.steps import Begin as B, Read as R, Write as W
+                from repro.scheduler.events import Decision, StepResult
+
+                if isinstance(step, B):
+                    self.graph.add_transaction(step.txn)
+                elif isinstance(step, R):
+                    self.graph.record_access(step.txn, step.entity, AccessMode.READ)
+                elif isinstance(step, W):
+                    for entity in step.entities:
+                        self.graph.record_access(step.txn, entity, AccessMode.WRITE)
+                    self.graph.set_state(step.txn, TxnState.COMMITTED)
+                return StepResult(step, Decision.ACCEPTED)
+
+        with pytest.raises(SchedulerError):
+            run_with_policy(
+                BrokenScheduler(), _non_csr_schedule(), audit_csr=True
+            )
+
+    def test_sampling_interval(self):
+        config = WorkloadConfig(n_transactions=10, n_entities=5, seed=1)
+        stream = basic_stream(config)
+        metrics = run_with_policy(
+            ConflictGraphScheduler(), stream, sample_every=5
+        )
+        assert len(metrics.samples) == (len(stream) + 4) // 5
+
+
+class TestMetrics:
+    def test_summary_and_series(self):
+        metrics = RunMetrics(policy="p", scheduler="s")
+        metrics.record_sample(Sample(0, 3, 1, 2, 2))
+        metrics.record_sample(Sample(1, 5, 2, 4, 3))
+        assert metrics.peak_graph_size == 5
+        assert metrics.final_graph_size == 5
+        assert metrics.mean_graph_size == 4.0
+        assert metrics.series("retained_completed") == [1, 2]
+        summary = metrics.summary()
+        assert summary["policy"] == "p" and summary["peak_graph"] == 5
+
+    def test_empty_metrics(self):
+        metrics = RunMetrics()
+        assert metrics.peak_graph_size == 0
+        assert metrics.mean_graph_size == 0.0
+
+
+class TestReport:
+    def test_ascii_table_alignment(self):
+        table = ascii_table(["name", "v"], [["aa", 1], ["b", 22]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+
+    def test_ascii_table_title(self):
+        assert ascii_table(["a"], [[1]], title="T").splitlines()[0] == "T"
+
+    def test_format_series(self):
+        rendering = format_series("g", [0, 1, 2, 3])
+        assert rendering.startswith("g: [")
+        assert "max=3" in rendering
+
+    def test_format_series_empty(self):
+        assert "(empty)" in format_series("g", [])
+
+    def test_format_series_downsamples(self):
+        rendering = format_series("g", list(range(500)), width=40)
+        body = rendering.split("[")[1].split("]")[0]
+        assert len(body) == 40
+
+    def test_rows_from_summaries(self):
+        rows = rows_from_summaries(
+            [{"a": 1, "b": 2}, {"a": 3}], columns=["a", "b"]
+        )
+        assert rows == [[1, 2], [3, ""]]

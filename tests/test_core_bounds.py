@@ -1,0 +1,85 @@
+"""Tests for the §4 a·e bound on irreducible graphs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.bounds import (
+    irreducible_bound,
+    is_irreducible,
+    verify_witness_disjointness,
+    witness_map,
+)
+from repro.core.optimal import greedy_safe_deletion_set
+from repro.model.status import AccessMode as M
+
+from tests.conftest import basic_step_streams, build_graph, graph_from_stream
+
+
+class TestBoundArithmetic:
+    def test_bound_value(self):
+        assert irreducible_bound(3, 7) == 21
+        assert irreducible_bound(0, 10) == 0
+
+
+class TestIrreducibility:
+    def test_fig1_reducible(self, fig1_graph):
+        assert not is_irreducible(fig1_graph)
+
+    def test_after_greedy_irreducible(self, fig1_graph):
+        graph = fig1_graph.copy()
+        graph.delete_set(greedy_safe_deletion_set(graph))
+        assert is_irreducible(graph)
+
+    def test_empty_graph_irreducible(self, empty_graph):
+        assert is_irreducible(empty_graph)  # vacuously
+
+    def test_single_violating_txn(self):
+        graph = build_graph(
+            {"A": "A", "T": "C"},
+            [("A", "T")],
+            [("T", "x", M.WRITE)],
+        )
+        assert is_irreducible(graph)
+
+
+class TestWitnessMap:
+    def test_deletable_txn_has_empty_pairs(self, fig1_graph):
+        pairs = witness_map(fig1_graph)
+        assert pairs["T2"] == frozenset()
+        assert pairs["T3"] == frozenset()
+
+    def test_violating_txn_names_pairs(self, fig1_graph):
+        reduced = fig1_graph.reduced_by(["T3"])
+        pairs = witness_map(reduced)
+        assert pairs["T2"] == frozenset({("T1", "x")})
+
+    def test_disjointness_on_fig1(self, fig1_graph):
+        verify_witness_disjointness(fig1_graph)
+
+    @given(basic_step_streams(max_txns=5, max_entities=3, max_steps=16))
+    @settings(max_examples=80, deadline=None)
+    def test_disjointness_universal(self, steps):
+        """The §4 argument: no two completed transactions share a witness
+        pair — on arbitrary reachable conflict graphs."""
+        graph = graph_from_stream(steps)
+        verify_witness_disjointness(graph)
+
+    @given(basic_step_streams(max_txns=5, max_entities=3, max_steps=16))
+    @settings(max_examples=80, deadline=None)
+    def test_bound_holds_after_reduction(self, steps):
+        """Greedy-reduce to irreducibility; completed count ≤ a·e."""
+        graph = graph_from_stream(steps)
+        graph.delete_set(greedy_safe_deletion_set(graph))
+        assert is_irreducible(graph)
+        actives = len(graph.active_transactions())
+        entities = len(
+            {
+                entity
+                for txn in graph
+                for entity in graph.info(txn).accesses
+            }
+        )
+        completed = len(graph.completed_transactions())
+        assert completed <= irreducible_bound(max(actives, 1), max(entities, 1))

@@ -1,0 +1,245 @@
+"""Randomized sufficiency checks for C3 and C4.
+
+The necessity directions of Lemma 4 and Theorem 7 are covered by the
+reduction tests (Theorem 6 ↔ DPLL) and the constructed witnesses.  This
+suite attacks the *sufficiency* directions: whenever C3/C4 approves a
+deletion, original and reduced schedulers must behave identically on
+random adversarial continuations (steps of surviving actives plus fresh
+transactions).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multiwrite_conditions import can_delete_multiwrite
+from repro.core.predeclared_conditions import can_delete_predeclared
+from repro.core.reduced_graph import ReducedGraph
+from repro.model.status import AccessMode, TxnState
+from repro.model.steps import Begin, BeginDeclared, Finish, Read, Step, WriteItem
+from repro.scheduler.events import Decision
+from repro.scheduler.multiwrite import MultiwriteScheduler
+from repro.scheduler.predeclared import PredeclaredScheduler
+
+from tests.conftest import multiwrite_step_streams, predeclared_step_streams
+
+
+def _entities_of(graph: ReducedGraph) -> list:
+    entities = set()
+    for txn in graph:
+        info = graph.info(txn)
+        entities.update(info.accesses)
+        if info.future:
+            entities.update(info.future)
+    return sorted(entities) or ["x"]
+
+
+def _random_multiwrite_continuation(
+    graph: ReducedGraph, seed: int, length: int = 10
+) -> list:
+    """Steps of surviving actives + up to two fresh transactions."""
+    rng = random.Random(seed)
+    entities = _entities_of(graph) + ["_fresh"]
+    actives = sorted(graph.active_transactions())
+    live = list(actives)
+    fresh_budget = 2
+    steps: list = []
+    for _ in range(length):
+        choices = ["access"] if live else []
+        if fresh_budget:
+            choices.append("begin")
+        if live:
+            choices.append("finish")
+        if not choices:
+            break
+        action = rng.choice(choices)
+        if action == "begin":
+            name = f"_N{fresh_budget}"
+            fresh_budget -= 1
+            live.append(name)
+            steps.append(Begin(name))
+        elif action == "finish":
+            txn = rng.choice(live)
+            live.remove(txn)
+            steps.append(Finish(txn))
+        else:
+            txn = rng.choice(live)
+            entity = rng.choice(entities)
+            if rng.random() < 0.5:
+                steps.append(Read(txn, entity))
+            else:
+                steps.append(WriteItem(txn, entity))
+    return steps
+
+
+def _lockstep_multiwrite(graph: ReducedGraph, deleted, continuation) -> bool:
+    """True iff original and reduced multiwrite schedulers agree on every
+    decision (and abort the same transactions) along the continuation."""
+    original = MultiwriteScheduler(graph.copy())
+    reduced = MultiwriteScheduler(graph.reduced_by(deleted))
+    for step in continuation:
+        result_o = original.feed(step)
+        result_r = reduced.feed(step)
+        if result_o.decision is not result_r.decision:
+            return False
+        if set(result_o.aborted) != set(result_r.aborted):
+            return False
+    return True
+
+
+class TestC3Sufficiency:
+    @given(
+        multiwrite_step_streams(max_txns=4, max_entities=3, max_steps=14),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_c3_approved_deletions_never_diverge(self, steps, cont_seed):
+        scheduler = MultiwriteScheduler()
+        scheduler.feed_many(steps)
+        graph = scheduler.graph
+        committed = sorted(graph.committed_transactions())
+        if len(graph.active_transactions()) > 8:
+            return
+        for txn in committed:
+            if not can_delete_multiwrite(graph, txn, max_actives=10):
+                continue
+            continuation = _random_multiwrite_continuation(graph, cont_seed)
+            assert _lockstep_multiwrite(graph, [txn], continuation), (
+                f"C3 approved {txn} but schedulers diverged; "
+                f"prefix={steps}, continuation={continuation}"
+            )
+
+    @given(
+        multiwrite_step_streams(max_txns=4, max_entities=3, max_steps=14),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_repeated_c3_deletions_never_diverge(self, steps, cont_seed):
+        """Sequential C3-approved deletions (the EagerC3 policy's moves)
+        stay lockstep-equivalent as a set."""
+        scheduler = MultiwriteScheduler()
+        scheduler.feed_many(steps)
+        graph = scheduler.graph
+        if len(graph.active_transactions()) > 8:
+            return
+        trial = graph.copy()
+        chosen: list = []
+        for txn in sorted(graph.committed_transactions()):
+            if txn in trial and can_delete_multiwrite(trial, txn, max_actives=10):
+                trial.delete(txn)
+                chosen.append(txn)
+        if not chosen:
+            return
+        continuation = _random_multiwrite_continuation(graph, cont_seed)
+        assert _lockstep_multiwrite(graph, chosen, continuation)
+
+
+def _random_predeclared_continuation(
+    graph: ReducedGraph, seed: int, length: int = 10
+) -> list:
+    """Finish existing actives' declared work (in random interleaving) and
+    inject up to two fresh declared transactions."""
+    rng = random.Random(seed)
+    entities = _entities_of(graph) + ["_fresh"]
+    pending: dict = {}
+    for txn in sorted(graph.active_transactions()):
+        future = graph.info(txn).future or {}
+        ops = [(mode, entity) for entity, mode in sorted(future.items())]
+        rng.shuffle(ops)
+        pending[txn] = ops
+    fresh_budget = 2
+    steps: list = []
+    for _ in range(length):
+        runnable = [t for t, ops in pending.items() if ops is not None]
+        choices = []
+        if fresh_budget:
+            choices.append("begin")
+        if runnable:
+            choices.append("step")
+        if not choices:
+            break
+        if rng.choice(choices) == "begin":
+            name = f"_N{fresh_budget}"
+            fresh_budget -= 1
+            count = rng.randint(1, 2)
+            chosen = rng.sample(entities, min(count, len(entities)))
+            declared = {
+                entity: rng.choice([AccessMode.READ, AccessMode.WRITE])
+                for entity in chosen
+            }
+            pending[name] = [(mode, entity) for entity, mode in sorted(declared.items())]
+            rng.shuffle(pending[name])
+            steps.append(BeginDeclared(name, declared))
+        else:
+            txn = rng.choice(runnable)
+            ops = pending[txn]
+            if not ops:
+                steps.append(Finish(txn))
+                pending[txn] = None
+                continue
+            mode, entity = ops.pop()
+            if mode.is_write:
+                steps.append(WriteItem(txn, entity))
+            else:
+                steps.append(Read(txn, entity))
+    return steps
+
+
+def _lockstep_predeclared(graph: ReducedGraph, deleted, continuation) -> bool:
+    original = PredeclaredScheduler(graph.copy())
+    reduced = PredeclaredScheduler(graph.reduced_by(deleted))
+    for step in continuation:
+        result_o = original.feed(step)
+        result_r = reduced.feed(step)
+        if result_o.decision is not result_r.decision:
+            return False
+        if [str(s) for s in result_o.released] != [str(s) for s in result_r.released]:
+            return False
+    return True
+
+
+class TestC4Sufficiency:
+    @given(
+        predeclared_step_streams(max_txns=4, max_entities=4, max_steps=16),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_c4_approved_deletions_never_diverge(self, steps, cont_seed):
+        scheduler = PredeclaredScheduler()
+        scheduler.feed_many(steps)
+        graph = scheduler.graph
+        for txn in sorted(graph.completed_transactions()):
+            if not can_delete_predeclared(graph, txn):
+                continue
+            continuation = _random_predeclared_continuation(graph, cont_seed)
+            assert _lockstep_predeclared(graph, [txn], continuation), (
+                f"C4 approved {txn} but schedulers diverged; "
+                f"prefix={steps}, continuation={continuation}"
+            )
+
+    @given(
+        predeclared_step_streams(max_txns=4, max_entities=4, max_steps=16),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_repeated_c4_deletions_never_diverge(self, steps, cont_seed):
+        scheduler = PredeclaredScheduler()
+        scheduler.feed_many(steps)
+        graph = scheduler.graph
+        trial = graph.copy()
+        chosen: list = []
+        progress = True
+        while progress:
+            progress = False
+            for txn in sorted(trial.completed_transactions()):
+                if can_delete_predeclared(trial, txn):
+                    trial.delete(txn)
+                    chosen.append(txn)
+                    progress = True
+        if not chosen:
+            return
+        continuation = _random_predeclared_continuation(graph, cont_seed)
+        assert _lockstep_predeclared(graph, chosen, continuation)

@@ -1,0 +1,175 @@
+"""Tests for C1 (Theorem 1), Lemma 1, and Corollary 1 on fixed graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conditions import (
+    c1_violations,
+    can_delete,
+    has_no_active_predecessors,
+    is_noncurrent,
+    noncurrent_transactions,
+)
+from repro.errors import NotCompletedError, UnknownTransactionError
+from repro.model.status import AccessMode as M
+from repro.model.steps import Begin, Read, Write
+from repro.scheduler.conflict import ConflictGraphScheduler
+from repro.workloads.traces import corollary1_schedule, lemma1_schedule
+
+from tests.conftest import build_graph
+
+
+class TestExample1:
+    """The paper's own analysis of Fig. 1, exactly."""
+
+    def test_both_satisfy_c1(self, fig1_graph):
+        assert can_delete(fig1_graph, "T2")
+        assert can_delete(fig1_graph, "T3")
+
+    def test_t1_not_deletable(self, fig1_graph):
+        with pytest.raises(NotCompletedError):
+            can_delete(fig1_graph, "T1")
+
+    def test_after_deleting_t3_t2_locked(self, fig1_graph):
+        reduced = fig1_graph.reduced_by(["T3"])
+        assert not can_delete(reduced, "T2")
+
+    def test_after_deleting_t2_t3_locked(self, fig1_graph):
+        reduced = fig1_graph.reduced_by(["T2"])
+        assert not can_delete(reduced, "T3")
+
+    def test_violation_details(self, fig1_graph):
+        reduced = fig1_graph.reduced_by(["T3"])
+        violations = c1_violations(reduced, "T2")
+        assert len(violations) == 1
+        violation = violations[0]
+        assert violation.active_pred == "T1"
+        assert violation.entity == "x"
+        assert violation.required_mode is M.WRITE
+
+
+class TestC1EdgeCases:
+    def test_unknown_candidate(self, empty_graph):
+        with pytest.raises(UnknownTransactionError):
+            can_delete(empty_graph, "ghost")
+
+    def test_no_accesses_vacuously_deletable(self):
+        graph = build_graph(
+            {"A": "A", "T": "C"}, [("A", "T")], []
+        )
+        assert can_delete(graph, "T")
+
+    def test_no_active_predecessors_deletable(self):
+        graph = build_graph(
+            {"T": "C", "Later": "A"},
+            [("T", "Later")],
+            [("T", "x", M.WRITE)],
+        )
+        assert can_delete(graph, "T")
+
+    def test_witness_must_match_strength(self):
+        # Active -> Ti(writes x); witness only reads x: insufficient.
+        graph = build_graph(
+            {"A": "A", "Ti": "C", "Tk": "C"},
+            [("A", "Ti"), ("A", "Tk")],
+            [("Ti", "x", M.WRITE), ("Tk", "x", M.READ)],
+        )
+        assert not can_delete(graph, "Ti")
+
+    def test_write_witness_covers_read_access(self):
+        graph = build_graph(
+            {"A": "A", "Ti": "C", "Tk": "C"},
+            [("A", "Ti"), ("A", "Tk")],
+            [("Ti", "x", M.READ), ("Tk", "x", M.WRITE)],
+        )
+        assert can_delete(graph, "Ti")
+
+    def test_witness_path_may_pass_through_candidate(self):
+        # A -> Ti -> Tk: the only path to the witness goes through Ti
+        # itself; deletion bypasses it, so the witness still counts.
+        graph = build_graph(
+            {"A": "A", "Ti": "C", "Tk": "C"},
+            [("A", "Ti"), ("Ti", "Tk")],
+            [("Ti", "x", M.WRITE), ("Tk", "x", M.WRITE)],
+        )
+        assert can_delete(graph, "Ti")
+
+    def test_tightness_blocks_paths_through_actives(self):
+        # A1 -> A2(active) -> Ti: A1 is NOT a tight predecessor.
+        graph = build_graph(
+            {"A1": "A", "A2": "A", "Ti": "C"},
+            [("A1", "A2"), ("A2", "Ti")],
+            [("Ti", "x", M.WRITE)],
+        )
+        # A2 is a tight (direct) predecessor with no witness: violated.
+        violations = c1_violations(graph, "Ti")
+        assert {v.active_pred for v in violations} == {"A2"}
+
+    def test_multiple_entities_all_need_witnesses(self):
+        graph = build_graph(
+            {"A": "A", "Ti": "C", "Tk": "C"},
+            [("A", "Ti"), ("A", "Tk")],
+            [
+                ("Ti", "x", M.WRITE),
+                ("Ti", "y", M.READ),
+                ("Tk", "x", M.WRITE),
+            ],
+        )
+        violations = c1_violations(graph, "Ti")
+        assert [(v.entity, v.required_mode) for v in violations] == [("y", M.READ)]
+
+    def test_first_only_short_circuits(self):
+        graph = build_graph(
+            {"A": "A", "Ti": "C"},
+            [("A", "Ti")],
+            [("Ti", "x", M.WRITE), ("Ti", "y", M.WRITE)],
+        )
+        assert len(c1_violations(graph, "Ti", first_only=True)) == 1
+        assert len(c1_violations(graph, "Ti")) == 2
+
+
+class TestLemma1:
+    def test_trace(self):
+        scheduler = ConflictGraphScheduler()
+        scheduler.feed_many(lemma1_schedule())
+        graph = scheduler.graph
+        assert has_no_active_predecessors(graph, "T1")
+        assert can_delete(graph, "T1")
+
+    def test_lemma1_implies_c1(self, fig1_graph):
+        # Lemma 1 is sufficient: wherever it holds, C1 holds.
+        for txn in fig1_graph.completed_transactions():
+            if has_no_active_predecessors(fig1_graph, txn):
+                assert can_delete(fig1_graph, txn)
+
+    def test_lemma1_is_not_necessary(self, fig1_graph):
+        # Example 1's T2 has an active predecessor yet satisfies C1.
+        assert not has_no_active_predecessors(fig1_graph, "T2")
+        assert can_delete(fig1_graph, "T2")
+
+
+class TestCorollary1:
+    def test_trace(self):
+        scheduler = ConflictGraphScheduler()
+        scheduler.feed_many(corollary1_schedule())
+        graph, currency = scheduler.graph, scheduler.currency
+        assert is_noncurrent(currency, graph, "T1")
+        assert not is_noncurrent(currency, graph, "T2")
+        assert noncurrent_transactions(currency, graph) == frozenset({"T1"})
+
+    def test_noncurrent_implies_c1_on_conflict_graphs(self):
+        scheduler = ConflictGraphScheduler()
+        scheduler.feed_many(corollary1_schedule())
+        for txn in noncurrent_transactions(scheduler.currency, scheduler.graph):
+            assert can_delete(scheduler.graph, txn)
+
+    def test_fig1_currency(self, fig1_graph):
+        # Example 1's text: "transaction T3 is current, but T2 is not".
+        scheduler = ConflictGraphScheduler()
+        from repro.workloads.traces import example1_schedule
+
+        scheduler.feed_many(example1_schedule())
+        currency = scheduler.currency
+        assert currency.is_current("T3")
+        assert not currency.is_current("T2")

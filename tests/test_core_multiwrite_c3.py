@@ -1,0 +1,176 @@
+"""Tests for condition C3 (multiwrite model, Lemma 4 / Theorem 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.multiwrite_conditions import (
+    c3_violation_witness,
+    can_delete_multiwrite,
+    dependents_closure,
+)
+from repro.errors import DeletionError, NotCompletedError
+from repro.model.status import AccessMode as M
+from repro.model.steps import Begin, Finish, Read, WriteItem
+from repro.scheduler.multiwrite import MultiwriteScheduler
+
+from tests.conftest import build_graph
+
+
+class TestDependentsClosure:
+    def test_direct_and_transitive(self):
+        graph = build_graph(
+            {"A": "A", "F1": "F", "F2": "F"},
+            [],
+            [],
+            reads_from=[("F1", "A"), ("F2", "F1")],
+        )
+        closure = dependents_closure(graph, ["A"])
+        assert closure == frozenset({"A", "F1", "F2"})
+
+    def test_empty(self):
+        graph = build_graph({"A": "A"}, [], [])
+        assert dependents_closure(graph, []) == frozenset()
+
+
+class TestC3Fixed:
+    def test_only_committed_candidates(self):
+        graph = build_graph({"F1": "F"}, [], [])
+        with pytest.raises(NotCompletedError):
+            can_delete_multiwrite(graph, "F1")
+
+    def test_max_actives_guard(self):
+        nodes = {f"A{i}": "A" for i in range(25)}
+        nodes["T"] = "C"
+        graph = build_graph(nodes, [], [("T", "x", M.WRITE)])
+        with pytest.raises(DeletionError):
+            can_delete_multiwrite(graph, "T", max_actives=20)
+
+    def test_no_active_predecessors_safe(self):
+        graph = build_graph(
+            {"T": "C", "A": "A"},
+            [("T", "A")],
+            [("T", "x", M.WRITE)],
+        )
+        assert can_delete_multiwrite(graph, "T")
+
+    def test_basic_violation_at_empty_m(self):
+        graph = build_graph(
+            {"A": "A", "T": "C"},
+            [("A", "T")],
+            [("T", "x", M.WRITE)],
+        )
+        witness = c3_violation_witness(graph, "T")
+        assert witness is not None
+        assert witness.abort_set == frozenset()
+        assert witness.active_pred == "A"
+        assert witness.entity == "x"
+
+    def test_witness_covered_by_second_path(self):
+        graph = build_graph(
+            {"A": "A", "T": "C", "W": "C"},
+            [("A", "T"), ("A", "W")],
+            [("T", "x", M.WRITE), ("W", "x", M.WRITE)],
+        )
+        assert can_delete_multiwrite(graph, "T")
+
+    def test_active_only_witness_route_fails_under_abort(self):
+        # Witness W reachable only through the active Mid: aborting Mid
+        # strands the witness while the FC-path to T survives — C3's ∀M
+        # quantifier catches exactly this.
+        graph = build_graph(
+            {"A": "A", "Mid": "A", "T": "C", "W": "C"},
+            [("A", "T"), ("A", "Mid"), ("Mid", "W")],
+            [("T", "x", M.WRITE), ("W", "x", M.WRITE)],
+        )
+        witness = c3_violation_witness(graph, "T")
+        assert witness is not None
+        assert witness.abort_set == frozenset({"Mid"})
+
+    def test_second_path_may_use_active_nodes(self):
+        # "The nodes of the second path may be of any type, even active":
+        # routing the witness through the active Mid is fine as long as
+        # every abort set that kills the route also kills the FC-path to
+        # the candidate.  Here Dep (F) reads from Mid, so aborting Mid
+        # cascades to Dep and severs A's FC-path to T as well.
+        graph = build_graph(
+            {"A": "A", "Mid": "A", "Dep": "F", "T": "C", "W": "C"},
+            [("A", "Dep"), ("Dep", "T"), ("A", "Mid"), ("Mid", "W")],
+            [("T", "x", M.WRITE), ("W", "x", M.WRITE)],
+            reads_from=[("Dep", "Mid")],
+        )
+        assert can_delete_multiwrite(graph, "T")
+
+    def test_abort_can_expose_violation(self):
+        """The witness path dies with an abort set while the FC-path to the
+        candidate survives: the quantifier over M is essential."""
+        graph = build_graph(
+            {"A": "A", "Brittle": "F", "T": "C", "W": "C"},
+            [("A", "T"), ("A", "Brittle"), ("Brittle", "W")],
+            [("T", "x", M.WRITE), ("W", "x", M.WRITE)],
+            reads_from=[("Brittle", "A2")],
+        )
+        # Brittle depends on a second active A2; aborting A2 removes
+        # Brittle (and the only route to W), but A's path to T remains.
+        graph.add_transaction("A2")
+        witness = c3_violation_witness(graph, "T")
+        assert witness is not None
+        assert witness.abort_set == frozenset({"A2"})
+        assert "Brittle" in witness.abort_closure
+
+    def test_fc_path_requires_completed_intermediates(self):
+        # A -> Mid(active) -> T: not an FC-path, so no demand at all.
+        graph = build_graph(
+            {"A": "A", "Mid": "A", "T": "C"},
+            [("A", "Mid"), ("Mid", "T")],
+            [("T", "x", M.WRITE)],
+        )
+        # Mid itself is an active with a direct arc (trivially FC) though!
+        witness = c3_violation_witness(graph, "T")
+        assert witness is not None
+        assert witness.active_pred == "Mid"
+
+    def test_candidate_with_no_accesses(self):
+        graph = build_graph({"A": "A", "T": "C"}, [("A", "T")], [])
+        assert can_delete_multiwrite(graph, "T")
+
+
+class TestC3ThroughScheduler:
+    def test_committed_chain_end_to_end(self):
+        scheduler = MultiwriteScheduler()
+        scheduler.feed_many(
+            [
+                Begin("W1"),
+                WriteItem("W1", "x"),
+                Finish("W1"),  # commits
+                Begin("A"),
+                Read("A", "x"),
+                Begin("W2"),
+                WriteItem("W2", "x"),
+                Finish("W2"),
+            ]
+        )
+        graph = scheduler.graph
+        # A read x then W2 overwrote it: arc A -> W2; W1 -> A; W1 -> W2.
+        assert graph.has_arc("A", "W2")
+        # W1: active tight pred? A is not a predecessor of W1.
+        assert can_delete_multiwrite(graph, "W1")
+        # W2 writes x and its active tight predecessor A has no other
+        # completed successor accessing x: not deletable.
+        assert not can_delete_multiwrite(graph, "W2")
+
+    def test_f_transactions_block_nothing_but_are_not_candidates(self):
+        scheduler = MultiwriteScheduler()
+        scheduler.feed_many(
+            [
+                Begin("B"),
+                WriteItem("B", "x"),
+                Begin("F1"),
+                Read("F1", "x"),
+                Finish("F1"),  # F: depends on B
+            ]
+        )
+        graph = scheduler.graph
+        assert graph.state("F1").paper_letter == "F"
+        with pytest.raises(NotCompletedError):
+            can_delete_multiwrite(graph, "F1")

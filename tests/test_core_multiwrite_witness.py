@@ -1,0 +1,123 @@
+"""Lemma 4 necessity, executable: multiwrite witness continuations.
+
+Every C3 violation must yield a continuation on which original and reduced
+multiwrite schedulers diverge — including the violations produced by the
+Theorem 6 3-SAT reduction, whose abort sets encode satisfying assignments.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.multiwrite_conditions import (
+    c3_violation_witness,
+    can_delete_multiwrite,
+)
+from repro.core.witnesses import (
+    check_multiwrite_divergence,
+    multiwrite_witness_continuation,
+)
+from repro.errors import DeletionError
+from repro.model.status import AccessMode as M
+from repro.reductions.sat import CnfFormula, dpll, random_3sat
+from repro.reductions.thm6 import Theorem6Reduction
+from repro.scheduler.multiwrite import MultiwriteScheduler
+
+from tests.conftest import build_graph, multiwrite_step_streams
+
+
+class TestGadgetMechanics:
+    def _pinned_graph(self):
+        return build_graph(
+            {"A": "A", "T": "C"},
+            [("A", "T")],
+            [("T", "x", M.WRITE)],
+        )
+
+    def test_empty_abort_set_witness(self):
+        graph = self._pinned_graph()
+        continuation = multiwrite_witness_continuation(graph, "T")
+        # M = ∅: no abort gadget, just the closing access by A.
+        assert len(continuation) == 1
+        divergence = check_multiwrite_divergence(graph, ["T"], continuation)
+        assert divergence is not None
+
+    def test_refused_when_c3_holds(self):
+        graph = build_graph(
+            {"A": "A", "T": "C", "W": "C"},
+            [("A", "T"), ("A", "W")],
+            [("T", "x", M.WRITE), ("W", "x", M.WRITE)],
+        )
+        with pytest.raises(DeletionError):
+            multiwrite_witness_continuation(graph, "T")
+
+    def test_abort_gadget_kills_exactly_m_plus(self):
+        # Witness W reachable only through active Mid: the violation needs
+        # M = {Mid}; the gadget must abort Mid (and nothing else relevant).
+        graph = build_graph(
+            {"A": "A", "Mid": "A", "T": "C", "W": "C"},
+            [("A", "T"), ("A", "Mid"), ("Mid", "W")],
+            [("T", "x", M.WRITE), ("W", "x", M.WRITE)],
+        )
+        violation = c3_violation_witness(graph, "T")
+        assert violation.abort_set == frozenset({"Mid"})
+        continuation = multiwrite_witness_continuation(graph, "T", violation)
+        divergence = check_multiwrite_divergence(graph, ["T"], continuation)
+        assert divergence is not None
+        assert divergence.step == continuation[-1]
+
+    def test_read_direction(self):
+        # Candidate only READ x: the closing step must WRITE x.
+        graph = build_graph(
+            {"A": "A", "T": "C"},
+            [("A", "T")],
+            [("T", "x", M.READ)],
+        )
+        continuation = multiwrite_witness_continuation(graph, "T")
+        from repro.model.steps import WriteItem
+
+        assert isinstance(continuation[-1], WriteItem)
+        assert check_multiwrite_divergence(graph, ["T"], continuation) is not None
+
+
+class TestRandomizedNecessity:
+    @given(multiwrite_step_streams(max_txns=4, max_entities=3, max_steps=16))
+    @settings(max_examples=60, deadline=None)
+    def test_every_violation_has_diverging_continuation(self, steps):
+        scheduler = MultiwriteScheduler()
+        scheduler.feed_many(steps)
+        graph = scheduler.graph
+        if len(graph.active_transactions()) > 8:
+            return
+        for txn in sorted(graph.committed_transactions()):
+            violation = c3_violation_witness(graph, txn, max_actives=10)
+            if violation is None:
+                continue
+            continuation = multiwrite_witness_continuation(graph, txn, violation)
+            divergence = check_multiwrite_divergence(graph, [txn], continuation)
+            assert divergence is not None, (
+                f"C3 rejected {txn} (violation {violation}) but the gadget "
+                f"found no divergence; steps={steps}"
+            )
+
+
+class TestTheorem6Witnesses:
+    """The grand tour: SAT formula -> Fig. 3 graph -> C3 violation ->
+    executable diverging schedule."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sat_instances_yield_executable_counterexamples(self, seed):
+        formula = random_3sat(3, 5, seed=seed)
+        if dpll(formula) is None:
+            pytest.skip("unsatisfiable draw: C is deletable, no witness")
+        reduction = Theorem6Reduction(formula)
+        graph = reduction.build_graph()
+        violation = c3_violation_witness(graph, "C")
+        assert violation is not None
+        continuation = multiwrite_witness_continuation(graph, "C", violation)
+        divergence = check_multiwrite_divergence(graph, ["C"], continuation)
+        assert divergence is not None
+        # The diverging step is the closing access of y by the active A.
+        assert divergence.step == continuation[-1]
+        assert divergence.step.txn == violation.active_pred

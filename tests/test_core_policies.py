@@ -1,0 +1,167 @@
+"""Tests for deletion policies — the Theorem 2 framework.
+
+Each policy's selections must be C2-safe at every invocation (that is the
+theorem's characterization of correctness), and the reduced scheduler must
+keep accepting exactly CSR schedules.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.runner import run_with_policy
+from repro.analysis.serializability import is_conflict_serializable
+from repro.core.policies import (
+    EagerC1Policy,
+    EagerC3Policy,
+    EagerC4Policy,
+    Lemma1Policy,
+    NeverDeletePolicy,
+    NoncurrentPolicy,
+    OptimalPolicy,
+)
+from repro.core.set_conditions import can_delete_set
+from repro.scheduler.conflict import ConflictGraphScheduler
+from repro.scheduler.multiwrite import MultiwriteScheduler
+from repro.scheduler.predeclared import PredeclaredScheduler
+from repro.workloads.generator import (
+    WorkloadConfig,
+    basic_stream,
+    multiwrite_stream,
+    predeclared_stream,
+)
+
+from tests.conftest import basic_step_streams
+
+BASIC_POLICIES = [
+    NeverDeletePolicy(),
+    Lemma1Policy(),
+    NoncurrentPolicy(),
+    EagerC1Policy(),
+    OptimalPolicy(max_candidates=20),
+]
+
+
+class TestPolicySafetyAudits:
+    """Every selection a policy makes must satisfy C2 *at that moment*."""
+
+    @pytest.mark.parametrize(
+        "policy", BASIC_POLICIES, ids=lambda p: p.name
+    )
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_selection_is_c2_safe_every_step(self, policy, seed):
+        config = WorkloadConfig(
+            n_transactions=18,
+            n_entities=5,
+            multiprogramming=4,
+            write_fraction=0.5,
+            seed=seed,
+        )
+        scheduler = ConflictGraphScheduler()
+        for step in basic_stream(config):
+            scheduler.feed(step)
+            chosen = policy.select(scheduler)
+            assert can_delete_set(scheduler.graph, chosen), (
+                f"{policy.name} chose unsafe set {sorted(chosen)}"
+            )
+            scheduler.delete_transactions(sorted(chosen))
+
+    @pytest.mark.parametrize(
+        "policy", BASIC_POLICIES, ids=lambda p: p.name
+    )
+    def test_accepted_schedule_stays_csr(self, policy):
+        config = WorkloadConfig(
+            n_transactions=25, n_entities=5, multiprogramming=5, seed=11
+        )
+        metrics = run_with_policy(
+            ConflictGraphScheduler(), basic_stream(config), policy, audit_csr=True
+        )
+        assert metrics.accepted_steps > 0
+
+
+class TestPolicyOrdering:
+    """More aggressive policies retain no more than weaker ones."""
+
+    def test_retention_hierarchy(self):
+        config = WorkloadConfig(
+            n_transactions=30, n_entities=6, multiprogramming=4, seed=5
+        )
+        peaks = {}
+        for policy in BASIC_POLICIES:
+            metrics = run_with_policy(
+                ConflictGraphScheduler(), basic_stream(config), policy
+            )
+            peaks[policy.name] = metrics.peak_retained_completed
+        assert peaks["eager-c1"] <= peaks["noncurrent"] <= peaks["never"]
+        assert peaks["eager-c1"] <= peaks["lemma1"] <= peaks["never"]
+        assert peaks["optimal"] <= peaks["never"]
+
+    def test_never_policy_retains_all_completed(self):
+        config = WorkloadConfig(n_transactions=15, n_entities=6, seed=3)
+        scheduler = ConflictGraphScheduler()
+        metrics = run_with_policy(
+            scheduler, basic_stream(config), NeverDeletePolicy()
+        )
+        assert metrics.deleted_transactions == 0
+        completed = len(scheduler.graph.completed_transactions())
+        aborted = len(scheduler.aborted)
+        assert completed + aborted == 15
+
+
+class TestReducedVsFullSchedulerEquivalence:
+    """Theorem 2's 'if' direction, observed: with a safe policy, the
+    reduced scheduler makes identical decisions to the full one."""
+
+    @pytest.mark.parametrize("policy_factory", [EagerC1Policy, NoncurrentPolicy,
+                                                Lemma1Policy])
+    @pytest.mark.parametrize("seed", [0, 7, 13])
+    def test_decision_streams_identical(self, policy_factory, seed):
+        config = WorkloadConfig(
+            n_transactions=20,
+            n_entities=4,
+            multiprogramming=4,
+            write_fraction=0.6,
+            seed=seed,
+        )
+        full = ConflictGraphScheduler()
+        reduced = ConflictGraphScheduler()
+        policy = policy_factory()
+        for step in basic_stream(config):
+            full_result = full.feed(step)
+            reduced_result = reduced.feed(step)
+            assert full_result.decision is reduced_result.decision, (
+                f"divergence at {step} under {policy.name}"
+            )
+            policy.apply(reduced)
+
+
+class TestModelSpecificPolicies:
+    def test_eager_c4_on_predeclared_stream(self):
+        config = WorkloadConfig(
+            n_transactions=15, n_entities=6, multiprogramming=3, seed=2
+        )
+        metrics = run_with_policy(
+            PredeclaredScheduler(),
+            predeclared_stream(config),
+            EagerC4Policy(),
+            audit_csr=True,
+        )
+        assert metrics.deleted_transactions > 0
+
+    def test_eager_c3_on_multiwrite_stream(self):
+        config = WorkloadConfig(
+            n_transactions=12, n_entities=5, multiprogramming=3, seed=2
+        )
+        metrics = run_with_policy(
+            MultiwriteScheduler(),
+            multiwrite_stream(config),
+            EagerC3Policy(max_actives=10),
+            audit_csr=True,
+        )
+        assert metrics.deleted_transactions > 0
+
+    def test_policies_expose_names(self):
+        names = {policy.name for policy in BASIC_POLICIES}
+        assert names == {"never", "lemma1", "noncurrent", "eager-c1", "optimal"}

@@ -1,0 +1,216 @@
+"""Tests for condition C4 (predeclared model, Theorem 7 + Example 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.predeclared_conditions import (
+    behaves_as_completed,
+    c4_violations,
+    can_delete_predeclared,
+)
+from repro.core.witnesses import (
+    check_predeclared_divergence,
+    predeclared_witness_continuation,
+)
+from repro.errors import DeletionError
+from repro.model.status import AccessMode as M
+from repro.workloads.traces import example2_graph
+
+from tests.conftest import build_graph
+
+
+class TestExample2:
+    """The paper's Fig. 4 analysis, via the real predeclared scheduler."""
+
+    def test_graph_shape(self):
+        _, graph = example2_graph()
+        assert set(graph.arcs()) == {("A", "B"), ("A", "C")}
+        assert graph.info("A").future == {"y": M.READ}
+
+    def test_b_not_deletable(self):
+        _, graph = example2_graph()
+        assert not can_delete_predeclared(graph, "B")
+
+    def test_c_deletable(self):
+        _, graph = example2_graph()
+        assert can_delete_predeclared(graph, "C")
+
+    def test_clause2_reasoning(self):
+        """B covers A's future read of y, so A behaves as completed when C
+        is the candidate — but not when B is (B is excluded as witness)."""
+        _, graph = example2_graph()
+        assert behaves_as_completed(graph, "A", exclude="C")
+        assert not behaves_as_completed(graph, "A", exclude="B")
+
+    def test_violation_names_the_uncovered_future(self):
+        _, graph = example2_graph()
+        violations = c4_violations(graph, "B")
+        assert violations
+        assert violations[0].active_pred == "A"
+        assert violations[0].uncovered_future == "y"
+
+    def test_witness_continuation_diverges_for_b(self):
+        _, graph = example2_graph()
+        continuation = predeclared_witness_continuation(graph, "B")
+        divergence = check_predeclared_divergence(graph, ["B"], continuation)
+        assert divergence is not None
+
+    def test_witness_refused_for_c(self):
+        _, graph = example2_graph()
+        with pytest.raises(DeletionError):
+            predeclared_witness_continuation(graph, "C")
+
+    def test_c_deletion_keeps_schedulers_in_step(self):
+        """Delete C, then run the Theorem 7 gadget for B's violation shape
+        anyway — original and reduced must agree on every step since C's
+        deletion is safe."""
+        _, graph = example2_graph()
+        continuation = predeclared_witness_continuation(
+            graph, "B"
+        )  # a stressful continuation
+        divergence = check_predeclared_divergence(graph, ["C"], continuation)
+        assert divergence is None
+
+
+class TestC4Clauses:
+    def test_clause1_witness_suffices(self):
+        # Tj -> Ti, Tj -> Tk; Tk accessed x as strongly: clause 1.
+        graph = build_graph(
+            {"Tj": "A", "Ti": "C", "Tk": "C"},
+            [("Tj", "Ti"), ("Tj", "Tk")],
+            [("Ti", "x", M.WRITE), ("Tk", "x", M.WRITE)],
+            futures={"Tj": {"q": M.WRITE}},
+        )
+        assert can_delete_predeclared(graph, "Ti")
+
+    def test_clause1_respects_strength(self):
+        graph = build_graph(
+            {"Tj": "A", "Ti": "C", "Tk": "C"},
+            [("Tj", "Ti"), ("Tj", "Tk")],
+            [("Ti", "x", M.WRITE), ("Tk", "x", M.READ)],
+            futures={"Tj": {"q": M.WRITE}},
+        )
+        assert not can_delete_predeclared(graph, "Ti")
+
+    def test_clause2_strength_read_future_covered_by_read(self):
+        # Tj will READ y; successor Tl READ y already: covered.
+        graph = build_graph(
+            {"Tj": "A", "Ti": "C", "Tl": "C"},
+            [("Tj", "Ti"), ("Tj", "Tl")],
+            [("Ti", "x", M.WRITE), ("Tl", "y", M.READ)],
+            futures={"Tj": {"y": M.READ}},
+        )
+        assert can_delete_predeclared(graph, "Ti")
+
+    def test_clause2_strength_write_future_needs_write(self):
+        # Tj will WRITE y; successor only READ y: NOT covered.
+        graph = build_graph(
+            {"Tj": "A", "Ti": "C", "Tl": "C"},
+            [("Tj", "Ti"), ("Tj", "Tl")],
+            [("Ti", "x", M.WRITE), ("Tl", "y", M.READ)],
+            futures={"Tj": {"y": M.WRITE}},
+        )
+        assert not can_delete_predeclared(graph, "Ti")
+
+    def test_clause2_write_future_covered_by_write(self):
+        graph = build_graph(
+            {"Tj": "A", "Ti": "C", "Tl": "C"},
+            [("Tj", "Ti"), ("Tj", "Tl")],
+            [("Ti", "x", M.WRITE), ("Tl", "y", M.WRITE)],
+            futures={"Tj": {"y": M.WRITE}},
+        )
+        assert can_delete_predeclared(graph, "Ti")
+
+    def test_candidate_excluded_as_clause2_coverer(self):
+        # Only Ti itself covers Tj's future: clause 2 must fail.
+        graph = build_graph(
+            {"Tj": "A", "Ti": "C"},
+            [("Tj", "Ti")],
+            [("Ti", "x", M.WRITE), ("Ti", "y", M.READ)],
+            futures={"Tj": {"y": M.READ}},
+        )
+        assert not can_delete_predeclared(graph, "Ti")
+
+    def test_predecessors_are_plain_not_tight(self):
+        # Tj -> Mid(active) -> Ti: in C1 Mid breaks tightness; C4 uses
+        # plain predecessors so Tj still matters.
+        graph = build_graph(
+            {"Tj": "A", "Mid": "A", "Ti": "C"},
+            [("Tj", "Mid"), ("Mid", "Ti")],
+            [("Ti", "x", M.WRITE)],
+            futures={"Tj": {"q": M.WRITE}, "Mid": {"r": M.WRITE}},
+        )
+        violations = c4_violations(graph, "Ti")
+        assert {v.active_pred for v in violations} == {"Tj", "Mid"}
+
+    def test_no_active_predecessors(self):
+        graph = build_graph(
+            {"Ti": "C", "Later": "A"},
+            [("Ti", "Later")],
+            [("Ti", "x", M.WRITE)],
+            futures={"Later": {"x": M.WRITE}},
+        )
+        assert can_delete_predeclared(graph, "Ti")
+
+    def test_completed_predecessor_irrelevant(self):
+        graph = build_graph(
+            {"Done": "C", "Ti": "C"},
+            [("Done", "Ti")],
+            [("Ti", "x", M.WRITE)],
+        )
+        assert can_delete_predeclared(graph, "Ti")
+
+
+class TestC4Clause1Refinement:
+    """Tj's own executed access of x witnesses for Ti (DESIGN.md §3).
+
+    Regression for the case our lockstep search discovered: the literal
+    paper condition pins Ti, yet no continuation can distinguish the
+    reduced from the original scheduler.
+    """
+
+    def _graph(self):
+        # Tj (active) wrote x and will write q; Ti (committed) wrote x.
+        # No successor of Tj other than Ti accessed x — the literal clause
+        # 1 fails — but Tj's own write of x is the permanent shield.
+        return build_graph(
+            {"Tj": "A", "Ti": "C"},
+            [("Tj", "Ti")],
+            [("Tj", "x", M.WRITE), ("Ti", "x", M.WRITE)],
+            futures={"Tj": {"q": M.WRITE}},
+        )
+
+    def test_refined_c4_accepts(self):
+        assert can_delete_predeclared(self._graph(), "Ti")
+
+    def test_no_witness_continuation_exists(self):
+        with pytest.raises(DeletionError):
+            predeclared_witness_continuation(self._graph(), "Ti")
+
+    def test_lockstep_agreement_on_the_papers_gadget_shape(self):
+        """Drive the very continuation the paper's gadget would build
+        (fresh Tn reading x then the uncovered q) — both schedulers must
+        behave identically after deleting Ti."""
+        from repro.model.steps import BeginDeclared, Read, WriteItem
+
+        graph = self._graph()
+        continuation = [
+            BeginDeclared("_Tn", {"x": M.READ, "q": M.READ}),
+            Read("_Tn", "x"),
+            Read("_Tn", "q"),
+        ]
+        assert check_predeclared_divergence(graph, ["Ti"], continuation) is None
+
+    def test_weaker_own_access_does_not_witness(self):
+        # Tj only READ x while Ti WROTE it: the shield is too weak; a new
+        # reader of x conflicts with Ti but not with Tj.
+        graph = build_graph(
+            {"Tj": "A", "Ti": "C"},
+            [("Tj", "Ti")],
+            [("Tj", "x", M.READ), ("Ti", "x", M.WRITE)],
+            futures={"Tj": {"q": M.WRITE}},
+        )
+        assert not can_delete_predeclared(graph, "Ti")
+        continuation = predeclared_witness_continuation(graph, "Ti")
+        assert check_predeclared_divergence(graph, ["Ti"], continuation) is not None

@@ -1,0 +1,175 @@
+"""Unit tests for ReducedGraph: payloads, D(G,N), abort-vs-delete."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reduced_graph import ReducedGraph, TxnInfo
+from repro.errors import (
+    NotCompletedError,
+    TransactionStateError,
+    UnknownTransactionError,
+)
+from repro.model.status import AccessMode, TxnState
+
+
+def _three_chain() -> ReducedGraph:
+    graph = ReducedGraph()
+    for txn in ("T1", "T2", "T3"):
+        graph.add_transaction(txn)
+    graph.add_arc("T1", "T2")
+    graph.add_arc("T2", "T3")
+    graph.set_state("T2", TxnState.COMMITTED)
+    graph.set_state("T3", TxnState.COMMITTED)
+    return graph
+
+
+class TestPayloads:
+    def test_record_access_strongest_wins(self):
+        graph = ReducedGraph()
+        graph.add_transaction("T1")
+        graph.record_access("T1", "x", AccessMode.READ)
+        graph.record_access("T1", "x", AccessMode.WRITE)
+        graph.record_access("T1", "x", AccessMode.READ)  # cannot downgrade
+        assert graph.info("T1").strongest("x") is AccessMode.WRITE
+
+    def test_accesses_at_least(self):
+        info = TxnInfo("T1", accesses={"x": AccessMode.READ})
+        assert info.accesses_at_least("x", AccessMode.READ)
+        assert not info.accesses_at_least("x", AccessMode.WRITE)
+        assert not info.accesses_at_least("y", AccessMode.READ)
+
+    def test_duplicate_transaction_rejected(self):
+        graph = ReducedGraph()
+        graph.add_transaction("T1")
+        with pytest.raises(TransactionStateError):
+            graph.add_transaction("T1")
+
+    def test_reused_id_after_delete_rejected(self):
+        graph = _three_chain()
+        graph.delete("T3")
+        with pytest.raises(TransactionStateError):
+            graph.add_transaction("T3")
+
+    def test_unknown_transaction(self):
+        with pytest.raises(UnknownTransactionError):
+            ReducedGraph().info("ghost")
+
+    def test_accessors_of(self):
+        graph = ReducedGraph()
+        for txn, mode in [("R", AccessMode.READ), ("W", AccessMode.WRITE)]:
+            graph.add_transaction(txn)
+            graph.record_access(txn, "x", mode)
+        assert graph.accessors_of("x") == frozenset({"R", "W"})
+        assert graph.writers_of("x") == frozenset({"W"})
+
+
+class TestFutureBookkeeping:
+    def test_consume_future_drops_at_declared_strength(self):
+        graph = ReducedGraph()
+        graph.add_transaction("T1", declared={"x": AccessMode.WRITE})
+        graph.consume_future("T1", "x", AccessMode.READ)
+        assert graph.info("T1").future == {"x": AccessMode.WRITE}
+        graph.consume_future("T1", "x", AccessMode.WRITE)
+        assert graph.info("T1").future == {}
+
+    def test_clear_future(self):
+        graph = ReducedGraph()
+        graph.add_transaction("T1", declared={"x": AccessMode.READ})
+        graph.clear_future("T1")
+        assert graph.info("T1").future == {}
+
+    def test_non_predeclared_future_is_none(self):
+        graph = ReducedGraph()
+        graph.add_transaction("T1")
+        assert graph.info("T1").future is None
+
+
+class TestDeleteVsAbort:
+    def test_delete_contracts(self):
+        graph = _three_chain()
+        graph.delete("T2")
+        assert graph.has_arc("T1", "T3")
+        assert "T2" in graph.deleted_transactions()
+
+    def test_abort_loses_paths(self):
+        graph = _three_chain()
+        graph.set_state("T2", TxnState.ACTIVE)
+        graph.abort("T2")
+        assert not graph.reaches("T1", "T3")
+        assert "T2" in graph.aborted_transactions()
+
+    def test_delete_active_rejected(self):
+        graph = _three_chain()
+        with pytest.raises(NotCompletedError):
+            graph.delete("T1")
+
+    def test_delete_set_order_immaterial(self):
+        a = _three_chain()
+        b = _three_chain()
+        a.delete_set(["T2", "T3"])
+        b.delete_set(["T3", "T2"])
+        assert a.nodes() == b.nodes()
+        assert set(a.arcs()) == set(b.arcs())
+
+    def test_reduced_by_leaves_original_untouched(self):
+        graph = _three_chain()
+        reduced = graph.reduced_by(["T2"])
+        assert "T2" in graph
+        assert "T2" not in reduced
+        assert reduced.has_arc("T1", "T3")
+
+
+class TestTightPaths:
+    def _graph(self) -> ReducedGraph:
+        # T1(A) -> T2(C) -> T3(C); T1 -> T4(A) -> T5(C)
+        graph = ReducedGraph()
+        states = {
+            "T1": TxnState.ACTIVE,
+            "T2": TxnState.COMMITTED,
+            "T3": TxnState.COMMITTED,
+            "T4": TxnState.ACTIVE,
+            "T5": TxnState.COMMITTED,
+        }
+        for txn, state in states.items():
+            graph.add_transaction(txn, state)
+        for tail, head in [("T1", "T2"), ("T2", "T3"), ("T1", "T4"), ("T4", "T5")]:
+            graph.add_arc(tail, head)
+        return graph
+
+    def test_tight_successors_pass_completed_only(self):
+        graph = self._graph()
+        # From T1: T2 (direct), T3 (via completed T2), T4 (direct),
+        # T5 blocked (via active T4).
+        assert graph.tight_successors("T1") == frozenset({"T2", "T3", "T4"})
+
+    def test_completed_tight_successors(self):
+        graph = self._graph()
+        assert graph.completed_tight_successors("T1") == frozenset({"T2", "T3"})
+
+    def test_active_tight_predecessors(self):
+        graph = self._graph()
+        assert graph.active_tight_predecessors("T3") == frozenset({"T1"})
+        assert graph.active_tight_predecessors("T5") == frozenset({"T4"})
+
+    def test_finished_counts_as_completed_for_tightness(self):
+        graph = self._graph()
+        graph.set_state("T2", TxnState.FINISHED)
+        assert "T3" in graph.tight_successors("T1")
+
+
+class TestCopy:
+    def test_copy_is_deep(self):
+        graph = _three_chain()
+        graph.record_access("T1", "x", AccessMode.READ)
+        clone = graph.copy()
+        clone.record_access("T1", "y", AccessMode.WRITE)
+        clone.add_transaction("T9")
+        assert "y" not in graph.info("T1").accesses
+        assert "T9" not in graph
+
+    def test_copy_preserves_bookkeeping(self):
+        graph = _three_chain()
+        graph.delete("T3")
+        clone = graph.copy()
+        assert clone.deleted_transactions() == frozenset({"T3"})

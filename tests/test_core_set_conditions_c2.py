@@ -1,0 +1,108 @@
+"""Tests for C2 (Theorem 4): set deletions and the sequential equivalence."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conditions import can_delete
+from repro.core.set_conditions import c2_violations, can_delete_set
+from repro.model.status import AccessMode as M
+
+from tests.conftest import basic_step_streams, build_graph, graph_from_stream
+
+
+class TestExample1Sets:
+    def test_singletons_safe(self, fig1_graph):
+        assert can_delete_set(fig1_graph, {"T2"})
+        assert can_delete_set(fig1_graph, {"T3"})
+
+    def test_pair_unsafe(self, fig1_graph):
+        assert not can_delete_set(fig1_graph, {"T2", "T3"})
+
+    def test_empty_set_always_safe(self, fig1_graph):
+        assert can_delete_set(fig1_graph, set())
+
+    def test_violation_blames_a_member(self, fig1_graph):
+        violations = c2_violations(fig1_graph, {"T2", "T3"})
+        assert violations
+        assert all(v.member in {"T2", "T3"} for v in violations)
+        assert all(v.active_pred == "T1" for v in violations)
+
+
+class TestWitnessExclusion:
+    def test_members_cannot_witness_each_other(self):
+        # Two candidates each with the *other* as sole witness.
+        graph = build_graph(
+            {"A": "A", "P": "C", "Q": "C"},
+            [("A", "P"), ("A", "Q")],
+            [("P", "x", M.WRITE), ("Q", "x", M.WRITE)],
+        )
+        assert can_delete_set(graph, {"P"})
+        assert can_delete_set(graph, {"Q"})
+        assert not can_delete_set(graph, {"P", "Q"})
+
+    def test_outside_witness_unlocks_pair(self):
+        graph = build_graph(
+            {"A": "A", "P": "C", "Q": "C", "W": "C"},
+            [("A", "P"), ("A", "Q"), ("A", "W")],
+            [
+                ("P", "x", M.WRITE),
+                ("Q", "x", M.WRITE),
+                ("W", "x", M.WRITE),
+            ],
+        )
+        assert can_delete_set(graph, {"P", "Q"})
+        assert not can_delete_set(graph, {"P", "Q", "W"})
+
+
+class TestSequentialEquivalence:
+    """Theorem 4's proof: N is safe iff deleting members one at a time is
+    C1-safe at every intermediate graph, in any order."""
+
+    @given(basic_step_streams(max_txns=4, max_entities=3, max_steps=12),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_c2_iff_every_order_sequentially_safe(self, steps, rng):
+        graph = graph_from_stream(steps)
+        completed = sorted(graph.completed_transactions())
+        if not completed:
+            return
+        candidates = [t for t in completed if rng.random() < 0.6]
+        if not candidates:
+            return
+        set_safe = can_delete_set(graph, candidates)
+        order = list(candidates)
+        rng.shuffle(order)
+        sequential_safe = True
+        trial = graph.copy()
+        for txn in order:
+            if not can_delete(trial, txn):
+                sequential_safe = False
+                break
+            trial.delete(txn)
+        assert set_safe == sequential_safe
+
+    @given(basic_step_streams(max_txns=4, max_entities=3, max_steps=12))
+    @settings(max_examples=40, deadline=None)
+    def test_c2_monotone_under_subset(self, steps):
+        """Any subset of a C2-safe set is C2-safe (fewer demands, more
+        witnesses)."""
+        graph = graph_from_stream(steps)
+        completed = sorted(graph.completed_transactions())
+        if len(completed) < 2:
+            return
+        if can_delete_set(graph, completed):
+            for txn in completed:
+                smaller = [t for t in completed if t != txn]
+                assert can_delete_set(graph, smaller)
+
+    def test_order_does_not_matter_for_safety(self, fig1_graph):
+        # {T2} then {T3} fails in both orders (the second deletion is the
+        # unsafe one regardless of which goes first).
+        for first, second in (("T2", "T3"), ("T3", "T2")):
+            trial = fig1_graph.copy()
+            assert can_delete(trial, first)
+            trial.delete(first)
+            assert not can_delete(trial, second)

@@ -1,0 +1,153 @@
+"""The Theorem 1 agreement suite: C1 vs constructed witnesses vs the
+bounded oracle.
+
+These tests validate the *iff* of Theorem 1 empirically, in both
+directions, against machinery that shares no code with the C1 checker:
+
+* **necessity**: whenever C1 fails, the paper's constructed continuation
+  makes the reduced scheduler accept a step the original rejects;
+* **sufficiency**: whenever C1 holds, the bounded exhaustive oracle finds
+  no diverging continuation.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conditions import c1_violations, can_delete
+from repro.core.oracle import bounded_safety_check, oracle_universe
+from repro.core.set_conditions import can_delete_set
+from repro.core.witnesses import (
+    basic_witness_continuation,
+    check_divergence,
+)
+from repro.errors import DeletionError
+from repro.model.steps import Begin, Read, Write
+from repro.scheduler.conflict import ConflictGraphScheduler
+
+from tests.conftest import basic_step_streams, graph_from_stream
+
+
+class TestWitnessConstruction:
+    def test_example1_witness_diverges(self, fig1_graph):
+        reduced = fig1_graph.reduced_by(["T3"])
+        continuation = basic_witness_continuation(reduced, "T2")
+        divergence = check_divergence(reduced, ["T2"], continuation)
+        assert divergence is not None
+        assert divergence.step == continuation[-1]
+
+    def test_witness_refused_when_c1_holds(self, fig1_graph):
+        with pytest.raises(DeletionError):
+            basic_witness_continuation(fig1_graph, "T2")
+
+    def test_witness_with_multiple_actives_aborts_others(self, fig1_graph):
+        # Add a second active transaction that must be killed by the gadget.
+        graph = fig1_graph.copy()
+        graph.add_transaction("T9")
+        from repro.model.status import AccessMode
+
+        graph.record_access("T9", "x", AccessMode.READ)
+        graph.add_arc("T9", "T3")
+        reduced = graph.reduced_by(["T3"])
+        continuation = basic_witness_continuation(reduced, "T2")
+        # The gadget reads+writes a fresh entity with a helper transaction.
+        kinds = [type(s).__name__ for s in continuation]
+        assert "Begin" in kinds  # the helper Tw
+        divergence = check_divergence(reduced, ["T2"], continuation)
+        assert divergence is not None
+
+    def test_read_violation_direction(self):
+        """Candidate READ x: the final step has the predecessor WRITE x."""
+        scheduler = ConflictGraphScheduler()
+        scheduler.feed_many(
+            [
+                Begin("T1"),
+                Read("T1", "y"),
+                Begin("T2"),
+                Read("T2", "x"),
+                Write("T2", frozenset({"y"})),  # arc T1 -> T2
+            ]
+        )
+        graph = scheduler.graph
+        violations = c1_violations(graph, "T2")
+        assert violations and violations[0].entity == "x"
+        assert violations[0].required_mode.name == "READ"
+        continuation = basic_witness_continuation(graph, "T2")
+        final = continuation[-1]
+        assert isinstance(final, Write) and final.entities == frozenset({"x"})
+        assert check_divergence(graph, ["T2"], continuation) is not None
+
+
+class TestOracle:
+    def test_oracle_universe_includes_fresh(self, fig1_graph):
+        entities = oracle_universe(fig1_graph, fresh_entities=2)
+        assert "x" in entities
+        assert len([e for e in entities if e.startswith("_fresh")]) == 2
+
+    def test_safe_deletion_silent(self, fig1_graph):
+        assert bounded_safety_check(fig1_graph, ["T2"], max_depth=4) is None
+        assert bounded_safety_check(fig1_graph, ["T3"], max_depth=4) is None
+
+    def test_unsafe_pair_found(self, fig1_graph):
+        counterexample = bounded_safety_check(
+            fig1_graph, ["T2", "T3"], max_depth=3
+        )
+        assert counterexample is not None
+
+    def test_counterexample_replays(self, fig1_graph):
+        counterexample = bounded_safety_check(fig1_graph, ["T2", "T3"], max_depth=3)
+        divergence = check_divergence(fig1_graph, ["T2", "T3"], counterexample)
+        assert divergence is not None
+        assert divergence.step == counterexample[-1]
+
+
+class TestTheorem1Agreement:
+    """Randomized both-directions agreement: the headline E2 property."""
+
+    @given(basic_step_streams(max_txns=4, max_entities=2, max_steps=10))
+    @settings(max_examples=50, deadline=None)
+    def test_c1_violation_implies_witness_divergence(self, steps):
+        graph = graph_from_stream(steps)
+        for txn in sorted(graph.completed_transactions()):
+            if can_delete(graph, txn):
+                continue
+            continuation = basic_witness_continuation(graph, txn)
+            divergence = check_divergence(graph, [txn], continuation)
+            assert divergence is not None, (
+                f"C1 rejected {txn} but the paper's witness found no "
+                f"divergence; steps={steps}"
+            )
+
+    @given(basic_step_streams(max_txns=3, max_entities=2, max_steps=8))
+    @settings(max_examples=25, deadline=None)
+    def test_c1_holds_implies_bounded_oracle_silent(self, steps):
+        graph = graph_from_stream(steps)
+        for txn in sorted(graph.completed_transactions()):
+            if not can_delete(graph, txn):
+                continue
+            counterexample = bounded_safety_check(
+                graph, [txn], max_depth=4, fresh_entities=1, max_new_txns=1
+            )
+            assert counterexample is None, (
+                f"C1 accepted {txn} but the oracle refutes it with "
+                f"{counterexample}; steps={steps}"
+            )
+
+    @given(basic_step_streams(max_txns=3, max_entities=2, max_steps=8))
+    @settings(max_examples=15, deadline=None)
+    def test_c2_sets_agree_with_oracle(self, steps):
+        graph = graph_from_stream(steps)
+        completed = sorted(graph.completed_transactions())
+        if not (2 <= len(completed) <= 3):
+            return
+        safe = can_delete_set(graph, completed)
+        counterexample = bounded_safety_check(
+            graph, completed, max_depth=4, fresh_entities=1, max_new_txns=1
+        )
+        if safe:
+            assert counterexample is None
+        # When unsafe the bounded oracle *may* need deeper search, so only
+        # the safe direction is asserted here; the unsafe direction is
+        # covered by the witness construction tests above.

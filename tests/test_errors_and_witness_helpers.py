@@ -1,0 +1,110 @@
+"""Coverage for the exception hierarchy and witness-construction helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reduced_graph import ReducedGraph
+from repro.core.witnesses import (
+    Divergence,
+    _fresh_txn_id,
+    _fresh_universe,
+)
+from repro.errors import (
+    ArcNotFoundError,
+    CycleError,
+    DeletionError,
+    GraphError,
+    InvalidStepError,
+    ModelError,
+    NodeNotFoundError,
+    NotCompletedError,
+    ReductionError,
+    ReproError,
+    SchedulerError,
+    TransactionStateError,
+    UnknownEntityError,
+    UnknownTransactionError,
+    UnsafeDeletionError,
+    WorkloadError,
+)
+from repro.model.status import AccessMode, TxnState
+from repro.model.steps import Read
+from repro.scheduler.events import Decision
+
+
+class TestErrorHierarchy:
+    ALL = [
+        ModelError("m"),
+        UnknownTransactionError("t"),
+        UnknownEntityError("e"),
+        InvalidStepError("s"),
+        TransactionStateError("ts"),
+        SchedulerError("sch"),
+        GraphError("g"),
+        NodeNotFoundError("n"),
+        ArcNotFoundError("a", "b"),
+        CycleError("c"),
+        DeletionError("d"),
+        UnsafeDeletionError("t", "because"),
+        NotCompletedError("t", TxnState.ACTIVE),
+        WorkloadError("w"),
+        ReductionError("r"),
+    ]
+
+    def test_everything_is_a_repro_error(self):
+        for exc in self.ALL:
+            assert isinstance(exc, ReproError)
+
+    def test_lookup_errors_are_key_errors(self):
+        assert isinstance(UnknownTransactionError("t"), KeyError)
+        assert isinstance(NodeNotFoundError("n"), KeyError)
+        assert isinstance(ArcNotFoundError("a", "b"), KeyError)
+
+    def test_messages_carry_context(self):
+        exc = UnsafeDeletionError("T9", "demo")
+        assert "T9" in str(exc) and "demo" in str(exc)
+        assert exc.txn_id == "T9"
+        arc = ArcNotFoundError("a", "b")
+        assert arc.tail == "a" and arc.head == "b"
+        nce = NotCompletedError("T1", TxnState.ACTIVE)
+        assert nce.state is TxnState.ACTIVE
+
+    def test_not_completed_is_both_families(self):
+        exc = NotCompletedError("T1", TxnState.ACTIVE)
+        assert isinstance(exc, DeletionError)
+        assert isinstance(exc, TransactionStateError)
+
+    def test_single_except_clause_catches_all(self):
+        caught = 0
+        for exc in self.ALL:
+            try:
+                raise exc
+            except ReproError:
+                caught += 1
+        assert caught == len(self.ALL)
+
+
+class TestWitnessHelpers:
+    def test_fresh_universe_collects_accesses_and_futures(self):
+        graph = ReducedGraph()
+        graph.add_transaction("T1", declared={"fut": AccessMode.READ})
+        graph.record_access("T1", "x", AccessMode.WRITE)
+        universe = _fresh_universe(graph)
+        assert "x" in universe and "fut" in universe
+        assert universe.fresh() not in {"x", "fut"}
+
+    def test_fresh_txn_id_avoids_everything(self):
+        graph = ReducedGraph()
+        graph.add_transaction("_W0", TxnState.COMMITTED)
+        graph.add_transaction("_W1", TxnState.COMMITTED)
+        graph.delete("_W1")  # deleted ids must also be avoided
+        fresh = _fresh_txn_id(graph)
+        assert fresh not in {"_W0", "_W1"}
+        assert fresh.startswith("_W")
+
+    def test_divergence_rendering(self):
+        div = Divergence(Read("T1", "x"), Decision.REJECTED, Decision.ACCEPTED)
+        text = str(div)
+        assert "rx(T1)" in text
+        assert "rejected" in text and "accepted" in text

@@ -1,0 +1,186 @@
+"""Failure injection and hostile-input tests.
+
+Abort storms, duplicate ids, out-of-protocol steps, empty structures,
+deleted-twice transactions — the library must fail loudly with typed
+errors, never corrupt its graphs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conditions import can_delete
+from repro.core.reduced_graph import ReducedGraph
+from repro.core.set_conditions import can_delete_set
+from repro.errors import (
+    NotCompletedError,
+    ReproError,
+    SchedulerError,
+    TransactionStateError,
+    UnknownTransactionError,
+)
+from repro.model.status import AccessMode, TxnState
+from repro.model.steps import Begin, Finish, Read, Write, WriteItem
+from repro.scheduler.conflict import ConflictGraphScheduler
+from repro.scheduler.multiwrite import MultiwriteScheduler
+from repro.workloads.generator import WorkloadConfig, basic_stream
+
+
+class TestAbortStorm:
+    def test_every_transaction_aborts_graph_empties(self):
+        """Pairs of transactions kill each other; the graph must end empty
+        and every abort must be accounted for."""
+        scheduler = ConflictGraphScheduler()
+        aborted = 0
+        for i in range(0, 10, 2):
+            a, b = f"T{i}", f"T{i+1}"
+            results = scheduler.feed_many(
+                [
+                    Begin(a),
+                    Read(a, "x"),
+                    Begin(b),
+                    Read(b, "x"),
+                    Write(b, frozenset({"x"})),  # a -> b
+                    Write(a, frozenset({"x"})),  # cycle: a aborts
+                ]
+            )
+            aborted += sum(len(r.aborted) for r in results)
+        assert aborted == 5
+        # Survivors are the 5 committed writers.
+        assert len(scheduler.graph.completed_transactions()) == 5
+        assert len(scheduler.graph.active_transactions()) == 0
+
+    def test_graph_invariants_after_storm(self):
+        scheduler = ConflictGraphScheduler()
+        config = WorkloadConfig(
+            n_transactions=30,
+            n_entities=3,
+            max_accesses=3,
+            multiprogramming=6,
+            write_fraction=0.8,
+            seed=13,
+        )
+        scheduler.feed_many(basic_stream(config))
+        # Internal closure must still be consistent.
+        scheduler.graph._closure.check_invariants()
+
+    def test_cascading_abort_storm_multiwrite(self):
+        scheduler = MultiwriteScheduler()
+        # B writes; chain of readers piles on; then B aborts via a cycle.
+        steps = [Begin("B"), WriteItem("B", "x")]
+        for i in range(5):
+            steps += [Begin(f"R{i}"), Read(f"R{i}", "x" if i == 0 else f"v{i-1}"),
+                      WriteItem(f"R{i}", f"v{i}")]
+        steps += [
+            Begin("Z"),
+            Read("Z", "q"),
+            Read("B", "w"),
+            WriteItem("Z", "w"),  # B -> Z
+            WriteItem("B", "q"),  # Z -> B: cycle, abort B + dependents
+        ]
+        results = scheduler.feed_many(steps)
+        final = results[-1]
+        assert final.rejected
+        assert "B" in final.aborted and "R0" in final.aborted
+        scheduler.graph._closure.check_invariants()
+
+
+class TestHostileDriving:
+    def test_duplicate_begin(self):
+        scheduler = ConflictGraphScheduler()
+        scheduler.feed(Begin("T1"))
+        with pytest.raises(TransactionStateError):
+            scheduler.feed(Begin("T1"))
+
+    def test_step_of_never_begun_txn(self):
+        scheduler = ConflictGraphScheduler()
+        with pytest.raises(SchedulerError):
+            scheduler.feed(Read("ghost", "x"))
+
+    def test_step_after_commit(self):
+        scheduler = ConflictGraphScheduler()
+        scheduler.feed_many([Begin("T1"), Write("T1", frozenset())])
+        with pytest.raises(SchedulerError):
+            scheduler.feed(Read("T1", "x"))
+
+    def test_finish_twice_multiwrite(self):
+        scheduler = MultiwriteScheduler()
+        scheduler.feed_many([Begin("T1"), Finish("T1")])
+        with pytest.raises(SchedulerError):
+            scheduler.feed(Finish("T1"))
+
+    def test_id_reuse_after_abort_is_ignored_not_corrupting(self):
+        scheduler = ConflictGraphScheduler()
+        scheduler.feed_many(
+            [
+                Begin("T1"),
+                Read("T1", "x"),
+                Begin("T2"),
+                Read("T2", "x"),
+                Write("T2", frozenset({"x"})),
+                Write("T1", frozenset({"x"})),  # T1 aborts
+            ]
+        )
+        result = scheduler.feed(Begin("T1"))  # reuse of a dead id
+        assert result.decision.value == "ignored"
+        assert "T1" not in scheduler.graph
+
+
+class TestDeletionMisuse:
+    def test_delete_unknown(self):
+        with pytest.raises(UnknownTransactionError):
+            ReducedGraph().delete("nope")
+
+    def test_delete_active(self):
+        graph = ReducedGraph()
+        graph.add_transaction("T1")
+        with pytest.raises(NotCompletedError):
+            graph.delete("T1")
+
+    def test_delete_twice(self):
+        graph = ReducedGraph()
+        graph.add_transaction("T1", TxnState.COMMITTED)
+        graph.delete("T1")
+        with pytest.raises(UnknownTransactionError):
+            graph.delete("T1")
+
+    def test_condition_on_deleted_candidate(self):
+        graph = ReducedGraph()
+        graph.add_transaction("T1", TxnState.COMMITTED)
+        graph.delete("T1")
+        with pytest.raises(UnknownTransactionError):
+            can_delete(graph, "T1")
+
+    def test_c2_with_unknown_member(self):
+        graph = ReducedGraph()
+        graph.add_transaction("T1", TxnState.COMMITTED)
+        with pytest.raises(UnknownTransactionError):
+            can_delete_set(graph, {"T1", "ghost"})
+
+    def test_all_errors_are_repro_errors(self):
+        for exc in (
+            UnknownTransactionError("x"),
+            NotCompletedError("x", TxnState.ACTIVE),
+            TransactionStateError("boom"),
+            SchedulerError("boom"),
+        ):
+            assert isinstance(exc, ReproError)
+
+
+class TestEmptyStructures:
+    def test_empty_graph_queries(self):
+        graph = ReducedGraph()
+        assert graph.nodes() == frozenset()
+        assert graph.active_transactions() == frozenset()
+        assert graph.arc_count() == 0
+
+    def test_scheduler_with_no_input(self):
+        scheduler = ConflictGraphScheduler()
+        assert scheduler.accepted_subschedule().steps == ()
+        assert scheduler.aborted == frozenset()
+
+    def test_write_of_nothing(self):
+        scheduler = ConflictGraphScheduler()
+        results = scheduler.feed_many([Begin("T1"), Write("T1", frozenset())])
+        assert results[-1].accepted
+        assert scheduler.graph.info("T1").accesses == {}

@@ -1,0 +1,150 @@
+"""Tests for the incrementally maintained transitive closure.
+
+The load-bearing claim (§3): with a maintained closure, the removal
+operation D(G, T) is just "delete the node from the closure".  The property
+tests drive random DAG mutations and assert the stored closure equals a
+recomputed one after every operation.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CycleError, GraphError, NodeNotFoundError
+from repro.graphs.closure import ClosureGraph
+from repro.graphs.digraph import DiGraph
+
+
+def _chain(n: int) -> ClosureGraph:
+    graph = ClosureGraph()
+    for i in range(n):
+        graph.add_node(i)
+    for i in range(n - 1):
+        graph.add_arc(i, i + 1)
+    return graph
+
+
+class TestClosureBasics:
+    def test_reaches_transitively(self):
+        graph = _chain(5)
+        assert graph.reaches(0, 4)
+        assert not graph.reaches(4, 0)
+        assert not graph.reaches(0, 0)  # nonempty paths only in a DAG
+
+    def test_descendants_ancestors(self):
+        graph = _chain(4)
+        assert graph.descendants(1) == frozenset({2, 3})
+        assert graph.ancestors(2) == frozenset({0, 1})
+
+    def test_would_close_cycle(self):
+        graph = _chain(3)
+        assert graph.would_close_cycle(2, 0)
+        assert graph.would_close_cycle(1, 1)
+        assert not graph.would_close_cycle(0, 2)
+
+    def test_add_arc_rejects_cycle(self):
+        graph = _chain(3)
+        with pytest.raises(CycleError):
+            graph.add_arc(2, 0)
+
+    def test_add_arc_rejects_self_loop(self):
+        graph = _chain(1)
+        with pytest.raises(GraphError):
+            graph.add_arc(0, 0)
+
+    def test_duplicate_arc_noop(self):
+        graph = _chain(2)
+        graph.add_arc(0, 1)
+        assert graph.arc_count() == 1
+
+    def test_missing_nodes(self):
+        graph = ClosureGraph()
+        with pytest.raises(NodeNotFoundError):
+            graph.reaches("a", "b")
+        graph.add_node("a")
+        with pytest.raises(NodeNotFoundError):
+            graph.add_arc("a", "b")
+
+
+class TestContractVsAbort:
+    def test_contract_preserves_paths(self):
+        graph = _chain(3)
+        graph.contract(1)
+        assert graph.reaches(0, 2)
+        assert graph.has_arc(0, 2)  # bypass arc materialized
+
+    def test_abort_loses_paths(self):
+        graph = _chain(3)
+        graph.remove_node_abort(1)
+        assert not graph.reaches(0, 2)
+        assert not graph.has_arc(0, 2)
+
+    def test_contract_then_invariants(self):
+        graph = _chain(6)
+        graph.add_node("side")
+        graph.add_arc(2, "side")
+        graph.contract(2)
+        graph.check_invariants()
+        assert graph.reaches(0, "side")
+
+    def test_abort_then_invariants(self):
+        graph = _chain(6)
+        graph.remove_node_abort(3)
+        graph.check_invariants()
+        assert graph.reaches(0, 2)
+        assert not graph.reaches(0, 4)
+
+    def test_closure_equals_contracted_digraph_closure(self):
+        """The §3 claim: dropping the node from the closure == closure of
+        the contracted graph."""
+        graph = ClosureGraph()
+        arcs = [("a", "m"), ("m", "b"), ("c", "m"), ("m", "d"), ("a", "d")]
+        for node in "ambcd":
+            graph.add_node(node)
+        for tail, head in arcs:
+            graph.add_arc(tail, head)
+        digraph = graph.as_digraph()
+        digraph.contract("m")
+        graph.contract("m")
+        nxg = nx.DiGraph(list(digraph.arcs()))
+        nxg.add_nodes_from(digraph.nodes())
+        for u in digraph.nodes():
+            expected = {v for v in digraph.nodes() if v != u and nx.has_path(nxg, u, v)}
+            assert graph.descendants(u) == frozenset(expected)
+
+
+# Operation stream: add arcs among 8 nodes (i<j keeps it acyclic), with
+# interleaved contractions/aborts.
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("arc"), st.integers(0, 7), st.integers(0, 7)).filter(
+            lambda t: t[1] < t[2]
+        ),
+        st.tuples(st.just("contract"), st.integers(0, 7), st.none()),
+        st.tuples(st.just("abort"), st.integers(0, 7), st.none()),
+    ),
+    max_size=16,
+)
+
+
+class TestClosureProperties:
+    @given(_ops)
+    @settings(max_examples=80, deadline=None)
+    def test_invariants_hold_under_random_mutation(self, ops):
+        graph = ClosureGraph()
+        for i in range(8):
+            graph.add_node(i)
+        for op, a, b in ops:
+            if op == "arc":
+                if a in graph and b in graph and not graph.would_close_cycle(a, b):
+                    graph.add_arc(a, b)
+            elif op == "contract":
+                if a in graph:
+                    graph.contract(a)
+            else:
+                if a in graph:
+                    graph.remove_node_abort(a)
+        graph.check_invariants()

@@ -1,0 +1,124 @@
+"""Tests for cycle detection and topological sorting."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CycleError
+from repro.graphs.cycles import (
+    find_cycle,
+    has_cycle,
+    topological_order,
+    would_arcs_close_cycle,
+    would_close_cycle,
+)
+from repro.graphs.digraph import DiGraph
+
+
+class TestHasCycle:
+    def test_empty(self):
+        assert not has_cycle(DiGraph())
+
+    def test_dag(self):
+        assert not has_cycle(DiGraph([("a", "b"), ("b", "c"), ("a", "c")]))
+
+    def test_two_cycle(self):
+        assert has_cycle(DiGraph([("a", "b"), ("b", "a")]))
+
+    def test_long_cycle(self):
+        arcs = [(i, (i + 1) % 5) for i in range(5)]
+        assert has_cycle(DiGraph(arcs))
+
+    def test_cycle_in_one_component(self):
+        graph = DiGraph([("a", "b"), ("x", "y"), ("y", "x")])
+        assert has_cycle(graph)
+
+
+class TestFindCycle:
+    def test_none_for_dag(self):
+        assert find_cycle(DiGraph([("a", "b")])) is None
+
+    def test_returns_closed_walk(self):
+        graph = DiGraph([("a", "b"), ("b", "c"), ("c", "a")])
+        cycle = find_cycle(graph)
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        for tail, head in zip(cycle, cycle[1:]):
+            assert graph.has_arc(tail, head)
+
+
+class TestTopologicalOrder:
+    def test_respects_arcs(self):
+        graph = DiGraph([("a", "b"), ("b", "c"), ("a", "c")])
+        order = topological_order(graph)
+        position = {node: i for i, node in enumerate(order)}
+        for tail, head in graph.arcs():
+            assert position[tail] < position[head]
+
+    def test_raises_on_cycle(self):
+        with pytest.raises(CycleError):
+            topological_order(DiGraph([("a", "b"), ("b", "a")]))
+
+    def test_tie_break(self):
+        graph = DiGraph()
+        for node in ("p", "q", "r"):
+            graph.add_node(node)
+        assert topological_order(graph, tie_break=["r", "q", "p"]) == ["r", "q", "p"]
+
+    def test_deterministic_without_tie_break(self):
+        graph = DiGraph()
+        for node in ("b", "a", "c"):
+            graph.add_node(node)
+        assert topological_order(graph) == topological_order(graph)
+
+
+class TestWouldCloseCycle:
+    def test_self_loop(self):
+        graph = DiGraph()
+        graph.add_node("a")
+        assert would_close_cycle(graph, "a", "a")
+
+    def test_back_arc(self):
+        graph = DiGraph([("a", "b"), ("b", "c")])
+        assert would_close_cycle(graph, "c", "a")
+        assert not would_close_cycle(graph, "a", "c")
+
+    def test_multiple_arcs_same_head(self):
+        graph = DiGraph([("a", "b")])
+        graph.add_node("c")
+        # (b -> c) and (a -> c): no cycle.
+        assert not would_arcs_close_cycle(graph, [("b", "c"), ("a", "c")])
+        # (b -> a) closes a cycle whatever else is inserted with it.
+        assert would_arcs_close_cycle(graph, [("b", "a")])
+
+    def test_mixed_heads_trial_insertion(self):
+        graph = DiGraph([("a", "b")])
+        graph.add_node("c")
+        # c -> a and b -> c together close a cycle even though neither does
+        # alone.
+        assert would_arcs_close_cycle(graph, [("c", "a"), ("b", "c")])
+        assert not would_arcs_close_cycle(graph, [("c", "a")])
+
+
+_dag_arcs = st.lists(
+    st.tuples(st.integers(0, 7), st.integers(0, 7)).filter(lambda p: p[0] != p[1]),
+    max_size=18,
+)
+
+
+class TestAgainstNetworkx:
+    @given(_dag_arcs)
+    @settings(max_examples=100, deadline=None)
+    def test_has_cycle_matches_networkx(self, arcs):
+        graph = DiGraph()
+        for i in range(8):
+            graph.add_node(i)
+        for tail, head in arcs:
+            graph.add_arc(tail, head)
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(8))
+        nxg.add_edges_from(arcs)
+        assert has_cycle(graph) == (not nx.is_directed_acyclic_graph(nxg))

@@ -1,0 +1,183 @@
+"""Unit and property tests for the DiGraph kernel (incl. contraction)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ArcNotFoundError, CycleError, GraphError, NodeNotFoundError
+from repro.graphs.digraph import DiGraph
+
+
+def _chain(n: int) -> DiGraph:
+    graph = DiGraph()
+    for i in range(n):
+        graph.add_node(i)
+    for i in range(n - 1):
+        graph.add_arc(i, i + 1)
+    return graph
+
+
+class TestBasicOperations:
+    def test_add_and_membership(self):
+        graph = DiGraph()
+        graph.add_node("a")
+        assert "a" in graph
+        assert "b" not in graph
+        assert len(graph) == 1
+
+    def test_add_node_idempotent(self):
+        graph = DiGraph()
+        graph.add_node("a")
+        graph.add_node("a")
+        assert len(graph) == 1
+
+    def test_arc_requires_nodes(self):
+        graph = DiGraph()
+        graph.add_node("a")
+        with pytest.raises(NodeNotFoundError):
+            graph.add_arc("a", "b")
+        with pytest.raises(NodeNotFoundError):
+            graph.add_arc("b", "a")
+
+    def test_self_loop_rejected(self):
+        graph = DiGraph()
+        graph.add_node("a")
+        with pytest.raises(GraphError):
+            graph.add_arc("a", "a")
+
+    def test_remove_arc(self):
+        graph = DiGraph([("a", "b")])
+        graph.remove_arc("a", "b")
+        assert not graph.has_arc("a", "b")
+        with pytest.raises(ArcNotFoundError):
+            graph.remove_arc("a", "b")
+
+    def test_successors_predecessors(self):
+        graph = DiGraph([("a", "b"), ("a", "c"), ("b", "c")])
+        assert graph.successors("a") == frozenset({"b", "c"})
+        assert graph.predecessors("c") == frozenset({"a", "b"})
+        assert graph.out_degree("a") == 2
+        assert graph.in_degree("c") == 2
+
+    def test_remove_node_drops_incident_arcs(self):
+        graph = DiGraph([("a", "b"), ("b", "c")])
+        graph.remove_node("b")
+        assert "b" not in graph
+        assert graph.arc_count() == 0
+
+    def test_remove_missing_node(self):
+        with pytest.raises(NodeNotFoundError):
+            DiGraph().remove_node("ghost")
+
+    def test_arcs_iteration(self):
+        graph = DiGraph([("a", "b"), ("b", "c")])
+        assert sorted(graph.arcs()) == [("a", "b"), ("b", "c")]
+
+
+class TestContraction:
+    def test_bypass_arcs_created(self):
+        graph = DiGraph([("a", "m"), ("m", "b"), ("m", "c")])
+        graph.contract("m")
+        assert graph.has_arc("a", "b")
+        assert graph.has_arc("a", "c")
+        assert "m" not in graph
+
+    def test_contract_isolated_node(self):
+        graph = DiGraph()
+        graph.add_node("m")
+        graph.contract("m")
+        assert len(graph) == 0
+
+    def test_contract_source_only(self):
+        graph = DiGraph([("m", "a"), ("m", "b")])
+        graph.contract("m")
+        assert graph.arc_count() == 0
+
+    def test_contract_preserves_existing_arcs(self):
+        graph = DiGraph([("a", "m"), ("m", "b"), ("a", "b"), ("c", "d")])
+        graph.contract("m")
+        assert graph.has_arc("a", "b")
+        assert graph.has_arc("c", "d")
+
+    def test_contract_missing_node(self):
+        with pytest.raises(NodeNotFoundError):
+            DiGraph().contract("ghost")
+
+    def test_contraction_preserves_reachability(self):
+        # a -> m -> b -> m is impossible (acyclic), so test a diamond.
+        graph = DiGraph([("s", "m"), ("m", "t"), ("s", "u"), ("u", "t")])
+        graph.contract("m")
+        nxg = nx.DiGraph(list(graph.arcs()))
+        assert nx.has_path(nxg, "s", "t")
+
+
+class TestSubgraphAndCopy:
+    def test_copy_independent(self):
+        graph = DiGraph([("a", "b")])
+        clone = graph.copy()
+        clone.add_node("c")
+        clone.add_arc("b", "c")
+        assert "c" not in graph
+        assert graph.arc_count() == 1
+
+    def test_subgraph_without(self):
+        graph = DiGraph([("a", "b"), ("b", "c"), ("a", "c")])
+        sub = graph.subgraph_without({"b"})
+        assert sub.nodes() == frozenset({"a", "c"})
+        assert sub.has_arc("a", "c")
+        assert not any("b" in arc for arc in sub.arcs())
+
+    def test_reversed(self):
+        graph = DiGraph([("a", "b")])
+        rev = graph.reversed()
+        assert rev.has_arc("b", "a")
+        assert not rev.has_arc("a", "b")
+
+    def test_equality(self):
+        assert DiGraph([("a", "b")]) == DiGraph([("a", "b")])
+        assert DiGraph([("a", "b")]) != DiGraph([("b", "a")])
+
+    def test_to_dot_mentions_every_arc(self):
+        dot = DiGraph([("a", "b")]).to_dot()
+        assert '"a" -> "b";' in dot
+
+
+# Random DAG arcs: pairs (i, j) with i < j guarantee acyclicity.
+_dag_arcs = st.lists(
+    st.tuples(st.integers(0, 8), st.integers(0, 8)).filter(lambda p: p[0] < p[1]),
+    max_size=20,
+)
+
+
+class TestContractionProperties:
+    @given(_dag_arcs, st.integers(0, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_contraction_matches_networkx_reachability(self, arcs, victim):
+        graph = DiGraph()
+        for i in range(9):
+            graph.add_node(i)
+        for tail, head in arcs:
+            graph.add_arc(tail, head)
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(9))
+        nxg.add_edges_from(arcs)
+        before = {
+            (u, v)
+            for u in nxg
+            for v in nxg
+            if u != v and u != victim and v != victim and nx.has_path(nxg, u, v)
+        }
+        graph.contract(victim)
+        contracted = nx.DiGraph()
+        contracted.add_nodes_from(graph.nodes())
+        contracted.add_edges_from(graph.arcs())
+        after = {
+            (u, v)
+            for u in contracted
+            for v in contracted
+            if u != v and nx.has_path(contracted, u, v)
+        }
+        assert before == after

@@ -1,0 +1,114 @@
+"""Tests for restricted-path queries (tight / FC paths)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.paths import (
+    find_restricted_path,
+    has_path,
+    has_restricted_path,
+    reachable_from,
+    reachable_to,
+    restricted_predecessors,
+    restricted_successors,
+)
+
+
+def _graph() -> DiGraph:
+    #   a -> f1 -> b        (f1 admissible)
+    #   a -> g  -> c        (g inadmissible)
+    #   a -> d              (direct arc)
+    return DiGraph(
+        [("a", "f1"), ("f1", "b"), ("a", "g"), ("g", "c"), ("a", "d")]
+    )
+
+
+ADMISSIBLE = {"f1", "b", "d"}
+
+
+def via(node) -> bool:
+    return node in ADMISSIBLE
+
+
+class TestPlainReachability:
+    def test_reachable_from(self):
+        assert reachable_from(_graph(), "a") == frozenset({"f1", "b", "g", "c", "d"})
+
+    def test_reachable_to(self):
+        assert reachable_to(_graph(), "b") == frozenset({"a", "f1"})
+
+    def test_has_path(self):
+        graph = _graph()
+        assert has_path(graph, "a", "c")
+        assert not has_path(graph, "b", "a")
+        assert has_path(graph, "a", "a")  # trivially
+
+    def test_missing_node(self):
+        with pytest.raises(NodeNotFoundError):
+            has_path(_graph(), "a", "zzz")
+        with pytest.raises(NodeNotFoundError):
+            reachable_from(_graph(), "zzz")
+
+
+class TestRestrictedPaths:
+    def test_direct_arc_always_allowed(self):
+        assert has_restricted_path(_graph(), "a", "d", via=lambda n: False)
+
+    def test_path_through_admissible_intermediate(self):
+        assert has_restricted_path(_graph(), "a", "b", via=via)
+
+    def test_path_blocked_by_inadmissible_intermediate(self):
+        assert not has_restricted_path(_graph(), "a", "c", via=via)
+
+    def test_endpoints_exempt_from_predicate(self):
+        # 'a' and 'c' both inadmissible, but 'c' is reached via 'g' only.
+        graph = DiGraph([("a", "f1"), ("f1", "c")])
+        assert has_restricted_path(graph, "a", "c", via=lambda n: n == "f1")
+
+    def test_no_empty_path(self):
+        # source == target needs a genuine cycle, absent in a DAG.
+        assert not has_restricted_path(_graph(), "a", "a", via=via)
+
+    def test_find_restricted_path_returns_witness(self):
+        path = find_restricted_path(_graph(), "a", "b", via=via)
+        assert path == ["a", "f1", "b"]
+
+    def test_find_restricted_path_none(self):
+        assert find_restricted_path(_graph(), "a", "c", via=via) is None
+
+    def test_find_direct(self):
+        assert find_restricted_path(_graph(), "a", "d", via=lambda n: False) == [
+            "a",
+            "d",
+        ]
+
+
+class TestRestrictedNeighborhoods:
+    def test_restricted_successors(self):
+        # From a: f1 (direct), b (via f1), g (direct), d (direct);
+        # c unreachable because g is inadmissible.
+        assert restricted_successors(_graph(), "a", via=via) == frozenset(
+            {"f1", "b", "g", "d"}
+        )
+
+    def test_restricted_predecessors(self):
+        assert restricted_predecessors(_graph(), "b", via=via) == frozenset(
+            {"f1", "a"}
+        )
+
+    def test_restricted_predecessors_blocked(self):
+        assert restricted_predecessors(_graph(), "c", via=via) == frozenset({"g"})
+
+    def test_frontier_nodes_included_but_not_expanded(self):
+        # d -> e with d inadmissible: e's predecessors stop at d.
+        graph = DiGraph([("a", "d"), ("d", "e")])
+        preds = restricted_predecessors(graph, "e", via=lambda n: False)
+        assert preds == frozenset({"d"})
+
+    def test_long_chain_of_admissible(self):
+        graph = DiGraph([(i, i + 1) for i in range(6)])
+        succ = restricted_successors(graph, 0, via=lambda n: True)
+        assert succ == frozenset(range(1, 7))

@@ -1,0 +1,75 @@
+"""Tests for entities, the universe, access modes, and txn states."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.model.entities import EntityUniverse
+from repro.model.status import AccessMode, TxnState, at_least_as_strong
+
+
+class TestEntityUniverse:
+    def test_contains_and_len(self):
+        uni = EntityUniverse(["x", "y"])
+        assert "x" in uni and "y" in uni
+        assert len(uni) == 2
+
+    def test_fresh_never_collides(self):
+        uni = EntityUniverse(["_fresh0", "_fresh1"])
+        fresh = uni.fresh()
+        assert fresh not in {"_fresh0", "_fresh1"}
+        assert fresh in uni
+
+    def test_fresh_distinct(self):
+        uni = EntityUniverse()
+        assert uni.fresh() != uni.fresh()
+
+    def test_update_and_snapshot(self):
+        uni = EntityUniverse()
+        uni.update(["a", "b"])
+        snap = uni.snapshot()
+        uni.add("c")
+        assert snap == frozenset({"a", "b"})
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(WorkloadError):
+            EntityUniverse(fresh_prefix="")
+
+
+class TestAccessMode:
+    def test_order(self):
+        assert AccessMode.READ < AccessMode.WRITE
+
+    def test_at_least_as_strong(self):
+        assert at_least_as_strong(AccessMode.WRITE, AccessMode.READ)
+        assert at_least_as_strong(AccessMode.WRITE, AccessMode.WRITE)
+        assert at_least_as_strong(AccessMode.READ, AccessMode.READ)
+        assert not at_least_as_strong(AccessMode.READ, AccessMode.WRITE)
+
+    def test_is_write(self):
+        assert AccessMode.WRITE.is_write
+        assert not AccessMode.READ.is_write
+
+    def test_str(self):
+        assert str(AccessMode.READ) == "read"
+        assert str(AccessMode.WRITE) == "write"
+
+
+class TestTxnState:
+    def test_completed_covers_f_and_c(self):
+        assert TxnState.FINISHED.is_completed
+        assert TxnState.COMMITTED.is_completed
+        assert not TxnState.ACTIVE.is_completed
+        assert not TxnState.ABORTED.is_completed
+
+    def test_active_aborted_flags(self):
+        assert TxnState.ACTIVE.is_active
+        assert TxnState.ABORTED.is_aborted
+        assert not TxnState.COMMITTED.is_active
+
+    def test_paper_letters(self):
+        assert TxnState.ACTIVE.paper_letter == "A"
+        assert TxnState.FINISHED.paper_letter == "F"
+        assert TxnState.COMMITTED.paper_letter == "C"
+        assert TxnState.ABORTED.paper_letter == "-"

@@ -1,0 +1,147 @@
+"""Unit and property tests for schedules."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidStepError
+from repro.model.schedule import Schedule, interleave, serial_schedule
+from repro.model.steps import Begin, Finish, Read, Write, WriteItem
+from repro.model.transactions import TransactionSpec
+
+from tests.conftest import basic_step_streams
+
+
+def _toy() -> Schedule:
+    return Schedule(
+        (
+            Begin("T1"),
+            Read("T1", "x"),
+            Begin("T2"),
+            Read("T2", "y"),
+            Write("T2", frozenset({"x"})),
+            Write("T1", frozenset()),
+        )
+    )
+
+
+class TestScheduleQueries:
+    def test_transactions(self):
+        assert _toy().transactions() == frozenset({"T1", "T2"})
+
+    def test_entities(self):
+        assert _toy().entities() == frozenset({"x", "y"})
+
+    def test_steps_of(self):
+        assert len(_toy().steps_of("T1")) == 3
+
+    def test_projection_preserves_order(self):
+        proj = _toy().projection({"T2"})
+        assert [type(s).__name__ for s in proj] == ["Begin", "Read", "Write"]
+
+    def test_accepted_subschedule(self):
+        accepted = _toy().accepted_subschedule({"T1"})
+        assert accepted.transactions() == frozenset({"T2"})
+
+    def test_completed_and_active(self):
+        sched = Schedule((Begin("T1"), Read("T1", "x"), Begin("T2"),
+                          Write("T2", frozenset())))
+        assert sched.completed_transactions() == frozenset({"T2"})
+        assert sched.active_transactions() == frozenset({"T1"})
+
+    def test_counts(self):
+        assert _toy().counts() == {"Begin": 2, "Read": 2, "Write": 2}
+
+    def test_concatenation(self):
+        combined = _toy() + [Begin("T3")]
+        assert len(combined) == len(_toy()) + 1
+
+
+class TestSerial:
+    def test_serial_schedule_is_serial(self):
+        specs = [
+            TransactionSpec("T1", ("x",), frozenset({"y"})),
+            TransactionSpec("T2", ("y",), frozenset()),
+        ]
+        assert serial_schedule(specs).is_serial()
+
+    def test_interleaved_not_serial(self):
+        assert not _toy().is_serial()
+
+    def test_single_transaction_serial(self):
+        sched = Schedule((Begin("T1"), Read("T1", "x"), Write("T1", frozenset())))
+        assert sched.is_serial()
+
+    def test_empty_schedule_serial(self):
+        assert Schedule().is_serial()
+
+
+class TestValidateBasicModel:
+    def test_valid(self):
+        _toy().validate_basic_model()
+
+    def test_duplicate_begin(self):
+        with pytest.raises(InvalidStepError):
+            Schedule((Begin("T1"), Begin("T1"))).validate_basic_model()
+
+    def test_step_before_begin(self):
+        with pytest.raises(InvalidStepError):
+            Schedule((Read("T1", "x"),)).validate_basic_model()
+
+    def test_step_after_final_write(self):
+        with pytest.raises(InvalidStepError):
+            Schedule(
+                (Begin("T1"), Write("T1", frozenset()), Read("T1", "x"))
+            ).validate_basic_model()
+
+    def test_multiwrite_steps_rejected(self):
+        with pytest.raises(InvalidStepError):
+            Schedule((Begin("T1"), WriteItem("T1", "x"))).validate_basic_model()
+        with pytest.raises(InvalidStepError):
+            Schedule((Begin("T1"), Finish("T1"))).validate_basic_model()
+
+
+class TestInterleave:
+    def _specs(self):
+        return [
+            TransactionSpec("T1", ("a",), frozenset({"b"})),
+            TransactionSpec("T2", ("b",), frozenset({"a"})),
+            TransactionSpec("T3", ("a", "b"), frozenset()),
+        ]
+
+    def test_deterministic(self):
+        assert interleave(self._specs(), seed=5) == interleave(self._specs(), seed=5)
+
+    def test_all_steps_present(self):
+        sched = interleave(self._specs(), seed=1)
+        assert len(sched) == sum(len(spec) for spec in self._specs())
+
+    def test_per_transaction_order_preserved(self):
+        sched = interleave(self._specs(), seed=3)
+        for spec in self._specs():
+            assert sched.steps_of(spec.txn) == spec.steps()
+
+    def test_max_concurrent_one_is_serial(self):
+        sched = interleave(self._specs(), seed=2, max_concurrent=1)
+        assert sched.is_serial()
+
+    def test_different_seeds_differ_somewhere(self):
+        outcomes = {interleave(self._specs(), seed=s).steps for s in range(8)}
+        assert len(outcomes) > 1
+
+
+class TestStreamStrategyProperties:
+    @given(basic_step_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_generated_streams_respect_the_protocol(self, steps):
+        Schedule(tuple(steps)).validate_basic_model()
+
+    @given(basic_step_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_projection_union_is_identity(self, steps):
+        sched = Schedule(tuple(steps))
+        txns = sorted(sched.transactions())
+        merged = sched.projection(txns)
+        assert merged == sched

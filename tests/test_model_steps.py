@@ -1,0 +1,119 @@
+"""Unit tests for the step algebra (repro.model.steps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidStepError
+from repro.model.status import AccessMode
+from repro.model.steps import (
+    Begin,
+    BeginDeclared,
+    Finish,
+    Read,
+    Write,
+    WriteItem,
+    accessed_entities,
+    conflicting_modes,
+    reads_then_final_write,
+    steps_conflict,
+)
+
+
+class TestConflictingModes:
+    def test_write_write_conflicts(self):
+        assert conflicting_modes(AccessMode.WRITE, AccessMode.WRITE)
+
+    def test_read_write_conflicts_both_ways(self):
+        assert conflicting_modes(AccessMode.READ, AccessMode.WRITE)
+        assert conflicting_modes(AccessMode.WRITE, AccessMode.READ)
+
+    def test_read_read_does_not_conflict(self):
+        assert not conflicting_modes(AccessMode.READ, AccessMode.READ)
+
+
+class TestStepsConflict:
+    def test_same_transaction_never_conflicts(self):
+        assert not steps_conflict(Read("T1", "x"), Write("T1", {"x"}))
+        assert not steps_conflict(WriteItem("T1", "x"), WriteItem("T1", "x"))
+
+    def test_different_entities_do_not_conflict(self):
+        assert not steps_conflict(Read("T1", "x"), Write("T2", {"y"}))
+
+    def test_read_write_same_entity(self):
+        assert steps_conflict(Read("T1", "x"), Write("T2", {"x"}))
+        assert steps_conflict(Write("T2", {"x"}), Read("T1", "x"))
+
+    def test_write_item_vs_atomic_write(self):
+        assert steps_conflict(WriteItem("T1", "x"), Write("T2", {"x", "y"}))
+
+    def test_read_read_no_conflict(self):
+        assert not steps_conflict(Read("T1", "x"), Read("T2", "x"))
+
+    def test_begin_and_finish_conflict_with_nothing(self):
+        assert not steps_conflict(Begin("T1"), Write("T2", {"x"}))
+        assert not steps_conflict(Finish("T1"), WriteItem("T2", "x"))
+
+    def test_multi_entity_write_overlap(self):
+        assert steps_conflict(Write("T1", {"a", "b"}), Write("T2", {"b", "c"}))
+        assert not steps_conflict(Write("T1", {"a"}), Write("T2", {"b"}))
+
+
+class TestAccessedEntities:
+    def test_read(self):
+        assert accessed_entities(Read("T1", "x")) == frozenset({"x"})
+
+    def test_atomic_write(self):
+        assert accessed_entities(Write("T1", {"a", "b"})) == frozenset({"a", "b"})
+
+    def test_empty_write(self):
+        assert accessed_entities(Write("T1", set())) == frozenset()
+
+    def test_begin_and_finish_access_nothing(self):
+        assert accessed_entities(Begin("T1")) == frozenset()
+        assert accessed_entities(Finish("T1")) == frozenset()
+
+    def test_declared_future_accesses_not_counted(self):
+        step = BeginDeclared("T1", {"x": AccessMode.WRITE})
+        assert accessed_entities(step) == frozenset()
+
+
+class TestStepValueSemantics:
+    def test_write_entities_frozen(self):
+        step = Write("T1", {"a"})
+        assert isinstance(step.entities, frozenset)
+
+    def test_equality_and_hash(self):
+        assert Read("T1", "x") == Read("T1", "x")
+        assert hash(Write("T1", {"a", "b"})) == hash(Write("T1", {"b", "a"}))
+
+    def test_begin_declared_equality(self):
+        a = BeginDeclared("T1", {"x": AccessMode.READ})
+        b = BeginDeclared("T1", {"x": AccessMode.READ})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_begin_declared_inequality(self):
+        a = BeginDeclared("T1", {"x": AccessMode.READ})
+        b = BeginDeclared("T1", {"x": AccessMode.WRITE})
+        assert a != b
+
+    def test_str_renderings(self):
+        assert str(Read("T1", "x")) == "rx(T1)"
+        assert str(Write("T1", {"x"})) == "w{x}(T1)"
+        assert str(WriteItem("T1", "x")) == "wx(T1)"
+        assert str(Begin("T1")) == "begin(T1)"
+        assert str(Finish("T1")) == "finish(T1)"
+
+
+class TestReadsThenFinalWrite:
+    def test_shape(self):
+        steps = reads_then_final_write("T9", ["a", "b"], ["c"])
+        assert isinstance(steps[0], Begin)
+        assert all(isinstance(s, Read) for s in steps[1:-1])
+        assert isinstance(steps[-1], Write)
+
+    def test_empty_transaction(self):
+        steps = reads_then_final_write("T9", [], [])
+        assert len(steps) == 2
+        assert steps[-1].entities == frozenset()

@@ -1,0 +1,119 @@
+"""Unit tests for transaction specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidStepError
+from repro.model.status import AccessMode
+from repro.model.steps import Begin, Finish, Read, Write, WriteItem
+from repro.model.transactions import (
+    MultiwriteTransactionSpec,
+    PredeclaredTransactionSpec,
+    TransactionSpec,
+    basic_spec_from_steps,
+)
+
+
+class TestTransactionSpec:
+    def test_steps_shape(self):
+        spec = TransactionSpec("T1", ("x", "y"), frozenset({"z"}))
+        steps = spec.steps()
+        assert steps[0] == Begin("T1")
+        assert steps[1:-1] == (Read("T1", "x"), Read("T1", "y"))
+        assert steps[-1] == Write("T1", frozenset({"z"}))
+
+    def test_read_only_transaction(self):
+        spec = TransactionSpec("T1", ("x",), frozenset())
+        assert spec.steps()[-1] == Write("T1", frozenset())
+
+    def test_access_mode(self):
+        spec = TransactionSpec("T1", ("x",), frozenset({"x", "y"}))
+        assert spec.access_mode("x") is AccessMode.WRITE  # write dominates
+        assert spec.access_mode("y") is AccessMode.WRITE
+        assert spec.access_mode("z") is None
+
+    def test_accessed_union(self):
+        spec = TransactionSpec("T1", ("a",), frozenset({"b"}))
+        assert spec.accessed == frozenset({"a", "b"})
+
+    def test_len(self):
+        spec = TransactionSpec("T1", ("a", "b"), frozenset({"c"}))
+        assert len(spec) == 4
+
+
+class TestMultiwriteSpec:
+    def test_steps_shape(self):
+        spec = MultiwriteTransactionSpec(
+            "T1",
+            ((AccessMode.READ, "x"), (AccessMode.WRITE, "y"), (AccessMode.READ, "x")),
+        )
+        steps = spec.steps()
+        assert steps[0] == Begin("T1")
+        assert steps[1] == Read("T1", "x")
+        assert steps[2] == WriteItem("T1", "y")
+        assert steps[-1] == Finish("T1")
+
+    def test_repeated_entity_allowed(self):
+        spec = MultiwriteTransactionSpec(
+            "T1", ((AccessMode.READ, "x"), (AccessMode.WRITE, "x"))
+        )
+        assert spec.access_mode("x") is AccessMode.WRITE
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(InvalidStepError):
+            MultiwriteTransactionSpec("T1", (("write", "x"),))
+
+
+class TestPredeclaredSpec:
+    def test_declaration_derived(self):
+        spec = PredeclaredTransactionSpec(
+            "T1", ((AccessMode.READ, "u"), (AccessMode.WRITE, "v"))
+        )
+        assert spec.declared == {"u": AccessMode.READ, "v": AccessMode.WRITE}
+
+    def test_duplicate_entity_rejected(self):
+        with pytest.raises(InvalidStepError):
+            PredeclaredTransactionSpec(
+                "T1", ((AccessMode.READ, "x"), (AccessMode.WRITE, "x"))
+            )
+
+    def test_steps_carry_declaration(self):
+        spec = PredeclaredTransactionSpec("T1", ((AccessMode.WRITE, "x"),))
+        begin = spec.steps()[0]
+        assert begin.declared == {"x": AccessMode.WRITE}
+        assert spec.steps()[-1] == Finish("T1")
+
+    def test_body_iterates_executable_steps(self):
+        spec = PredeclaredTransactionSpec(
+            "T1", ((AccessMode.READ, "a"), (AccessMode.WRITE, "b"))
+        )
+        assert list(spec.body()) == [Read("T1", "a"), WriteItem("T1", "b")]
+
+
+class TestBasicSpecFromSteps:
+    def test_round_trip(self):
+        spec = TransactionSpec("T1", ("x",), frozenset({"y"}))
+        assert basic_spec_from_steps(spec.steps()) == spec
+
+    def test_missing_begin(self):
+        with pytest.raises(InvalidStepError):
+            basic_spec_from_steps([Read("T1", "x")])
+
+    def test_step_after_final_write(self):
+        with pytest.raises(InvalidStepError):
+            basic_spec_from_steps(
+                [Begin("T1"), Write("T1", frozenset()), Read("T1", "x")]
+            )
+
+    def test_foreign_step_rejected(self):
+        with pytest.raises(InvalidStepError):
+            basic_spec_from_steps([Begin("T1"), Read("T2", "x")])
+
+    def test_missing_final_write(self):
+        with pytest.raises(InvalidStepError):
+            basic_spec_from_steps([Begin("T1"), Read("T1", "x")])
+
+    def test_multiwrite_step_rejected(self):
+        with pytest.raises(InvalidStepError):
+            basic_spec_from_steps([Begin("T1"), WriteItem("T1", "x")])

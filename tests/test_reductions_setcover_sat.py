@@ -1,0 +1,133 @@
+"""Tests for the independent solvers: set cover and DPLL."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReductionError
+from repro.reductions.sat import CnfFormula, dpll, random_3sat
+from repro.reductions.setcover import (
+    SetCoverInstance,
+    greedy_cover,
+    minimum_cover,
+    random_instance,
+)
+
+
+class TestSetCoverInstance:
+    def test_is_cover(self):
+        inst = SetCoverInstance(
+            frozenset({1, 2, 3}),
+            (frozenset({1}), frozenset({2, 3}), frozenset({1, 3})),
+        )
+        assert inst.is_cover([0, 1])
+        assert not inst.is_cover([0, 2])
+        assert inst.coverable
+
+    def test_foreign_elements_rejected(self):
+        with pytest.raises(ReductionError):
+            SetCoverInstance(frozenset({1}), (frozenset({2}),))
+
+    def test_uncoverable(self):
+        inst = SetCoverInstance(frozenset({1, 2}), (frozenset({1}),))
+        assert not inst.coverable
+        assert greedy_cover(inst) is None
+        assert minimum_cover(inst) is None
+
+
+class TestSolvers:
+    def test_greedy_returns_a_cover(self):
+        inst = random_instance(10, 6, seed=4)
+        cover = greedy_cover(inst)
+        assert cover is not None
+        assert inst.is_cover(cover)
+
+    def test_minimum_is_a_cover(self):
+        inst = random_instance(10, 6, seed=4)
+        cover = minimum_cover(inst)
+        assert cover is not None
+        assert inst.is_cover(cover)
+
+    def test_minimum_not_larger_than_greedy(self):
+        for seed in range(6):
+            inst = random_instance(9, 7, seed=seed)
+            assert len(minimum_cover(inst)) <= len(greedy_cover(inst))
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_minimum_matches_brute_force(self, seed):
+        inst = random_instance(6, 5, seed=seed)
+        exact = minimum_cover(inst)
+        brute = None
+        for size in range(1, len(inst.subsets) + 1):
+            for combo in itertools.combinations(range(len(inst.subsets)), size):
+                if inst.is_cover(combo):
+                    brute = size
+                    break
+            if brute is not None:
+                break
+        assert exact is not None and len(exact) == brute
+
+
+class TestCnf:
+    def test_evaluate(self):
+        formula = CnfFormula(2, ((1, -2), (-1, 2)))
+        assert formula.evaluate({1: True, 2: True})
+        assert not formula.evaluate({1: True, 2: False})
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ReductionError):
+            CnfFormula(1, ((),))
+
+    def test_out_of_range_literal(self):
+        with pytest.raises(ReductionError):
+            CnfFormula(1, ((2,),))
+        with pytest.raises(ReductionError):
+            CnfFormula(1, ((0,),))
+
+
+class TestDpll:
+    def test_satisfiable(self):
+        formula = CnfFormula(3, ((1, 2, 3), (-1, 2, 3)))
+        model = dpll(formula)
+        assert model is not None
+        assert formula.evaluate(model)
+
+    def test_unsatisfiable_complete_cube(self):
+        clauses = tuple(
+            tuple(v if bits & (1 << i) else -v for i, v in enumerate((1, 2, 3)))
+            for bits in range(8)
+        )
+        assert dpll(CnfFormula(3, clauses)) is None
+
+    def test_unit_propagation_conflict(self):
+        formula = CnfFormula(2, ((1,), (-1,)))
+        assert dpll(formula) is None
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=30, deadline=None)
+    def test_dpll_matches_brute_force(self, seed):
+        formula = random_3sat(4, 10, seed=seed)
+        brute = any(
+            formula.evaluate(
+                {v: bool(bits & (1 << (v - 1))) for v in range(1, 5)}
+            )
+            for bits in range(16)
+        )
+        assert (dpll(formula) is not None) == brute
+
+    def test_random_3sat_shape(self):
+        formula = random_3sat(5, 7, seed=1)
+        assert formula.n_vars == 5
+        assert len(formula) == 7
+        for clause in formula.clauses:
+            assert len(clause) == 3
+            assert len({abs(lit) for lit in clause}) == 3
+
+    def test_random_3sat_needs_three_vars(self):
+        with pytest.raises(ReductionError):
+            random_3sat(2, 3)

@@ -1,0 +1,139 @@
+"""The Theorem 5 and Theorem 6 reduction equivalences, end to end."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conditions import can_delete
+from repro.core.multiwrite_conditions import c3_violation_witness
+from repro.core.set_conditions import can_delete_set
+from repro.errors import ReductionError
+from repro.reductions.sat import CnfFormula, dpll, random_3sat
+from repro.reductions.setcover import SetCoverInstance, minimum_cover, random_instance
+from repro.reductions.thm5 import Theorem5Reduction
+from repro.reductions.thm6 import Theorem6Reduction
+from repro.scheduler.multiwrite import MultiwriteScheduler
+
+
+class TestTheorem5Structure:
+    def _reduction(self):
+        instance = SetCoverInstance(
+            frozenset({1, 2, 3}),
+            (frozenset({1, 2}), frozenset({2, 3}), frozenset({1}), frozenset({3})),
+        )
+        return Theorem5Reduction(instance)
+
+    def test_uncoverable_rejected(self):
+        with pytest.raises(ReductionError):
+            Theorem5Reduction(
+                SetCoverInstance(frozenset({1, 2}), (frozenset({1}),))
+            )
+
+    def test_nothing_deletable_before_last_step(self):
+        red = self._reduction()
+        graph = red.graph_before_last_step()
+        for txn in graph.completed_transactions():
+            assert not can_delete(graph, txn), f"{txn} deletable too early"
+
+    def test_set_txns_deletable_after_last_step_iff_remaining_cover(self):
+        red = self._reduction()
+        graph = red.graph_after_last_step()
+        # S3 = {1}: removing it leaves {1,2},{2,3},{3} which still covers.
+        assert can_delete(graph, "T3")
+        # The closer transaction violates C1 (its write of y is uncovered).
+        assert not can_delete(graph, red.closer_transaction)
+
+    def test_arcs_from_reader_to_all(self):
+        red = self._reduction()
+        graph = red.graph_after_last_step()
+        for txn in red.set_transactions:
+            assert graph.has_arc("T0", txn)
+        assert graph.has_arc("T0", red.closer_transaction)
+
+    def test_deletable_subset_iff_kept_is_cover(self):
+        red = self._reduction()
+        graph = red.graph_after_last_step()
+        import itertools
+
+        m = len(red.instance.subsets)
+        for mask in range(2**m):
+            chosen = [
+                red.set_transactions[i] for i in range(m) if mask & (1 << i)
+            ]
+            kept = [i for i in range(m) if not (mask & (1 << i))]
+            assert can_delete_set(graph, chosen) == red.instance.is_cover(kept)
+
+
+class TestTheorem5Equivalence:
+    @given(st.integers(0, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_max_deletable_equals_m_minus_min_cover(self, seed):
+        instance = random_instance(5, 5, seed=seed)
+        red = Theorem5Reduction(instance)
+        measured = red.check_equivalence()
+        assert measured["max_deletable_set_txns"] == measured["m"] - measured[
+            "min_cover"
+        ]
+
+
+class TestTheorem6Structure:
+    def _formula(self):
+        return CnfFormula(3, ((1, -2, 3), (-1, 2, -3)))
+
+    def test_graph_realizable_by_scheduler(self):
+        """The hand-built Fig. 3 graph matches the graph the multiwrite
+        scheduler constructs from the realizing schedule."""
+        red = Theorem6Reduction(self._formula())
+        direct = red.build_graph()
+        scheduler = MultiwriteScheduler()
+        for result in scheduler.feed_many(red.realizing_schedule()):
+            assert not result.rejected, f"realizing schedule rejected: {result}"
+        built = scheduler.graph
+        assert built.nodes() == direct.nodes()
+        assert set(built.arcs()) == set(direct.arcs())
+        for txn in direct.nodes():
+            assert built.state(txn) == direct.state(txn), txn
+            assert built.info(txn).accesses == direct.info(txn).accesses
+            assert built.info(txn).reads_from == direct.info(txn).reads_from
+
+    def test_every_committed_except_c_violates_c3(self):
+        red = Theorem6Reduction(self._formula())
+        graph = red.build_graph()
+        for txn in ("B", "D"):
+            assert c3_violation_witness(graph, txn) is not None
+
+    def test_clause_arity_enforced(self):
+        with pytest.raises(ReductionError):
+            Theorem6Reduction(CnfFormula(2, ((1, 2),)))
+
+    def test_assignment_round_trip(self):
+        red = Theorem6Reduction(self._formula())
+        assignment = {1: True, 2: False, 3: True}
+        abort_set = red.assignment_to_abort_set(assignment)
+        assert red.abort_set_to_assignment(abort_set) == assignment
+
+
+class TestTheorem6Equivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_c_deletable_iff_unsat(self, seed):
+        # Over-constrained ratio so both outcomes appear across seeds.
+        formula = random_3sat(3, 9, seed=seed)
+        red = Theorem6Reduction(formula)
+        satisfiable = dpll(formula) is not None
+        assert red.c_is_deletable() == (not satisfiable), (
+            f"seed={seed} satisfiable={satisfiable}"
+        )
+
+    def test_satisfying_assignment_is_a_c3_witness(self):
+        formula = CnfFormula(3, ((1, 2, 3),))
+        model = dpll(formula)
+        assert model is not None
+        red = Theorem6Reduction(formula)
+        graph = red.build_graph()
+        witness = c3_violation_witness(graph, "C")
+        assert witness is not None
+        # The discovered abort set induces a satisfying assignment.
+        induced = red.abort_set_to_assignment(witness.abort_set)
+        assert formula.evaluate(induced)

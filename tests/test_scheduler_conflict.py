@@ -1,0 +1,239 @@
+"""Unit tests for the basic conflict-graph scheduler (Rules 1-3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidStepError, SchedulerError
+from repro.model.status import AccessMode, TxnState
+from repro.model.steps import Begin, Finish, Read, Write, WriteItem
+from repro.scheduler.conflict import ConflictGraphScheduler
+from repro.scheduler.events import Decision
+
+
+def run(steps):
+    scheduler = ConflictGraphScheduler()
+    results = scheduler.feed_many(steps)
+    return scheduler, results
+
+
+class TestRule1:
+    def test_begin_adds_node(self):
+        scheduler, results = run([Begin("T1")])
+        assert results[0].accepted
+        assert "T1" in scheduler.graph
+        assert scheduler.graph.state("T1") is TxnState.ACTIVE
+
+    def test_duplicate_begin_rejected(self):
+        scheduler = ConflictGraphScheduler()
+        scheduler.feed(Begin("T1"))
+        with pytest.raises(Exception):
+            scheduler.feed(Begin("T1"))
+
+
+class TestRule2:
+    def test_read_draws_arcs_from_writers(self):
+        scheduler, results = run(
+            [
+                Begin("T1"),
+                Write("T1", {"x"}),
+                Begin("T2"),
+                Read("T2", "x"),
+            ]
+        )
+        assert results[-1].arcs_added == (("T1", "T2"),)
+        assert scheduler.graph.has_arc("T1", "T2")
+
+    def test_read_ignores_pure_readers(self):
+        scheduler, results = run(
+            [Begin("T1"), Read("T1", "x"), Begin("T2"), Read("T2", "x")]
+        )
+        assert results[-1].arcs_added == ()
+
+    def test_read_records_access(self):
+        scheduler, _ = run([Begin("T1"), Read("T1", "x")])
+        assert scheduler.graph.info("T1").accesses == {"x": AccessMode.READ}
+
+    def test_read_by_unknown_transaction(self):
+        scheduler = ConflictGraphScheduler()
+        with pytest.raises(SchedulerError):
+            scheduler.feed(Read("T1", "x"))
+
+
+class TestRule3:
+    def test_write_draws_arcs_from_all_accessors(self):
+        scheduler, results = run(
+            [
+                Begin("T1"),
+                Read("T1", "x"),
+                Begin("T2"),
+                Write("T2", {"x"}),
+            ]
+        )
+        assert results[-1].arcs_added == (("T1", "T2"),)
+
+    def test_write_completes_and_commits(self):
+        scheduler, results = run([Begin("T1"), Write("T1", {"x"})])
+        assert scheduler.graph.state("T1") is TxnState.COMMITTED
+        assert results[-1].committed == ("T1",)
+
+    def test_multi_entity_write_single_arc_per_peer(self):
+        scheduler, results = run(
+            [
+                Begin("T1"),
+                Read("T1", "x"),
+                Read("T1", "y"),
+                Begin("T2"),
+                Write("T2", {"x", "y"}),
+            ]
+        )
+        assert results[-1].arcs_added == (("T1", "T2"),)
+
+    def test_empty_write_completes_read_only_txn(self):
+        scheduler, results = run([Begin("T1"), Read("T1", "x"), Write("T1", set())])
+        assert results[-1].accepted
+        assert scheduler.graph.state("T1") is TxnState.COMMITTED
+
+
+class TestCycleRejection:
+    def test_two_transaction_cycle(self):
+        scheduler, results = run(
+            [
+                Begin("T1"),
+                Read("T1", "x"),
+                Begin("T2"),
+                Read("T2", "x"),
+                Write("T2", {"x"}),  # arc T1 -> T2
+                Write("T1", {"x"}),  # would add T2 -> T1: cycle
+            ]
+        )
+        assert results[-1].decision is Decision.REJECTED
+        assert results[-1].aborted == ("T1",)
+        assert "T1" not in scheduler.graph
+        assert scheduler.aborted == frozenset({"T1"})
+
+    def test_aborted_node_loses_paths(self):
+        scheduler, _ = run(
+            [
+                Begin("T1"),
+                Read("T1", "x"),
+                Begin("T2"),
+                Read("T2", "x"),
+                Write("T2", {"x"}),
+                Write("T1", {"x"}),  # T1 aborts
+            ]
+        )
+        # T2's node survives; T1's arcs are gone.
+        assert scheduler.graph.predecessors("T2") == frozenset()
+
+    def test_read_can_also_abort(self):
+        scheduler, results = run(
+            [
+                Begin("T1"),
+                Read("T1", "x"),
+                Begin("T2"),
+                Read("T2", "y"),
+                Write("T2", {"x"}),  # T1 -> T2
+                Begin("T3"),
+                Read("T3", "y"),
+                Write("T3", {"y"}),  # T2 -> T3 (T2 read y first)
+                Read("T1", "y"),  # writer T3 -> T1 closes T1->T2->T3->T1
+            ]
+        )
+        assert results[-1].decision is Decision.REJECTED
+        assert results[-1].aborted == ("T1",)
+
+    def test_steps_of_aborted_transaction_ignored(self):
+        scheduler, results = run(
+            [
+                Begin("T1"),
+                Read("T1", "x"),
+                Begin("T2"),
+                Read("T2", "x"),
+                Write("T2", {"x"}),
+                Write("T1", {"x"}),  # T1 aborts
+                Read("T1", "y"),  # arrives late: ignored
+            ]
+        )
+        assert results[-1].decision is Decision.IGNORED
+
+    def test_ignored_steps_do_not_touch_graph(self):
+        scheduler, _ = run(
+            [
+                Begin("T1"),
+                Read("T1", "x"),
+                Begin("T2"),
+                Read("T2", "x"),
+                Write("T2", {"x"}),
+                Write("T1", {"x"}),
+                Read("T1", "y"),
+            ]
+        )
+        assert "T1" not in scheduler.graph
+
+
+class TestAcceptedSubschedule:
+    def test_projection_excludes_aborted(self):
+        scheduler, _ = run(
+            [
+                Begin("T1"),
+                Read("T1", "x"),
+                Begin("T2"),
+                Read("T2", "x"),
+                Write("T2", {"x"}),
+                Write("T1", {"x"}),
+            ]
+        )
+        accepted = scheduler.accepted_subschedule()
+        assert accepted.transactions() == frozenset({"T2"})
+
+    def test_input_schedule_keeps_everything(self):
+        scheduler, _ = run([Begin("T1"), Write("T1", set())])
+        assert len(scheduler.input_schedule) == 2
+
+
+class TestModelPolicing:
+    def test_multiwrite_step_rejected(self):
+        scheduler = ConflictGraphScheduler()
+        scheduler.feed(Begin("T1"))
+        with pytest.raises(InvalidStepError):
+            scheduler.feed(WriteItem("T1", "x"))
+
+    def test_finish_step_rejected(self):
+        scheduler = ConflictGraphScheduler()
+        scheduler.feed(Begin("T1"))
+        with pytest.raises(InvalidStepError):
+            scheduler.feed(Finish("T1"))
+
+    def test_step_after_completion_rejected(self):
+        scheduler = ConflictGraphScheduler()
+        scheduler.feed(Begin("T1"))
+        scheduler.feed(Write("T1", set()))
+        with pytest.raises(SchedulerError):
+            scheduler.feed(Read("T1", "x"))
+
+
+class TestCurrencyTracking:
+    def test_last_writer_wins(self):
+        scheduler, _ = run(
+            [
+                Begin("T1"),
+                Write("T1", {"x"}),
+                Begin("T2"),
+                Write("T2", {"x"}),
+            ]
+        )
+        assert scheduler.currency.last_writer["x"] == "T2"
+        assert not scheduler.currency.is_current("T1")
+
+    def test_readers_since_write_reset(self):
+        scheduler, _ = run(
+            [
+                Begin("T1"),
+                Read("T1", "x"),
+                Begin("T2"),
+                Write("T2", {"x"}),
+            ]
+        )
+        assert scheduler.currency.readers_since_write["x"] == set()
+        assert scheduler.currency.is_current("T2")

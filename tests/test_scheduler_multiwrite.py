@@ -1,0 +1,211 @@
+"""Unit tests for the multiple-write-step scheduler (§5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidStepError
+from repro.model.status import TxnState
+from repro.model.steps import Begin, Finish, Read, Write, WriteItem
+from repro.scheduler.events import Decision
+from repro.scheduler.multiwrite import MultiwriteScheduler
+
+
+def run(steps):
+    scheduler = MultiwriteScheduler()
+    results = scheduler.feed_many(steps)
+    return scheduler, results
+
+
+class TestArcs:
+    def test_read_after_write(self):
+        scheduler, results = run(
+            [Begin("B"), WriteItem("B", "x"), Begin("A"), Read("A", "x")]
+        )
+        assert results[-1].arcs_added == (("B", "A"),)
+
+    def test_write_after_read_and_write(self):
+        scheduler, results = run(
+            [
+                Begin("R"),
+                Read("R", "x"),
+                Begin("W"),
+                WriteItem("W", "x"),
+                Begin("V"),
+                WriteItem("V", "x"),
+            ]
+        )
+        arcs = set(results[-1].arcs_added)
+        assert arcs == {("R", "V"), ("W", "V")}
+
+    def test_cycle_rejected(self):
+        scheduler, results = run(
+            [
+                Begin("A"),
+                Read("A", "x"),
+                Begin("B"),
+                WriteItem("B", "x"),  # A -> B
+                Read("B", "y"),
+                WriteItem("A", "y"),  # B -> A: cycle
+            ]
+        )
+        assert results[-1].decision is Decision.REJECTED
+        assert "A" in results[-1].aborted
+
+
+class TestDependencies:
+    def test_dirty_read_creates_dependency(self):
+        scheduler, _ = run(
+            [Begin("B"), WriteItem("B", "x"), Begin("A"), Read("A", "x")]
+        )
+        assert scheduler.graph.info("A").reads_from == {"B"}
+
+    def test_read_from_committed_writer_no_dependency(self):
+        scheduler, _ = run(
+            [
+                Begin("B"),
+                WriteItem("B", "x"),
+                Finish("B"),  # commits immediately: no deps
+                Begin("A"),
+                Read("A", "x"),
+            ]
+        )
+        assert scheduler.graph.info("A").reads_from == set()
+
+    def test_transitive_dependencies(self):
+        scheduler, _ = run(
+            [
+                Begin("C"),
+                WriteItem("C", "x"),
+                Begin("B"),
+                Read("B", "x"),
+                WriteItem("B", "y"),
+                Begin("A"),
+                Read("A", "y"),
+            ]
+        )
+        assert scheduler.transitive_dependencies("A") == frozenset({"B", "C"})
+
+
+class TestCommitProtocol:
+    def test_finish_without_dependencies_commits(self):
+        scheduler, results = run([Begin("T"), WriteItem("T", "x"), Finish("T")])
+        assert scheduler.graph.state("T") is TxnState.COMMITTED
+        assert results[-1].committed == ("T",)
+
+    def test_finish_with_active_dependency_stays_f(self):
+        scheduler, _ = run(
+            [
+                Begin("B"),
+                WriteItem("B", "x"),
+                Begin("A"),
+                Read("A", "x"),
+                Finish("A"),
+            ]
+        )
+        assert scheduler.graph.state("A") is TxnState.FINISHED
+
+    def test_commit_cascades_when_dependency_commits(self):
+        scheduler, results = run(
+            [
+                Begin("B"),
+                WriteItem("B", "x"),
+                Begin("A"),
+                Read("A", "x"),
+                Finish("A"),
+                Finish("B"),
+            ]
+        )
+        assert set(results[-1].committed) == {"A", "B"}
+        assert scheduler.graph.state("A") is TxnState.COMMITTED
+
+    def test_chain_of_commits(self):
+        scheduler, results = run(
+            [
+                Begin("C"),
+                WriteItem("C", "x"),
+                Begin("B"),
+                Read("B", "x"),
+                WriteItem("B", "y"),
+                Begin("A"),
+                Read("A", "y"),
+                Finish("A"),
+                Finish("B"),
+                Finish("C"),
+            ]
+        )
+        assert set(results[-1].committed) == {"A", "B", "C"}
+
+
+class TestCascadingAborts:
+    def test_abort_cascades_to_dependents(self):
+        scheduler, results = run(
+            [
+                Begin("B"),
+                WriteItem("B", "x"),
+                Begin("A"),
+                Read("A", "x"),  # A depends on B
+                Begin("Z"),
+                Read("Z", "y"),
+                WriteItem("B", "z"),  # harmless
+                Read("B", "w"),
+                # Force B into a cycle: Z reads y, B writes y after B -> Z?
+                WriteItem("Z", "w"),  # B read w: arc B -> Z
+                WriteItem("B", "y"),  # Z read y: arc Z -> B: cycle -> abort B
+            ]
+        )
+        assert results[-1].decision is Decision.REJECTED
+        assert set(results[-1].aborted) == {"A", "B"}
+        assert "A" not in scheduler.graph
+
+    def test_finished_dependent_aborts_too(self):
+        scheduler, results = run(
+            [
+                Begin("B"),
+                WriteItem("B", "x"),
+                Begin("A"),
+                Read("A", "x"),
+                Finish("A"),  # A is F, still depends on B
+                Begin("Z"),
+                Read("Z", "y"),
+                Read("B", "w"),
+                WriteItem("Z", "w"),  # B -> Z
+                WriteItem("B", "y"),  # Z -> B: cycle -> abort B, cascade A
+            ]
+        )
+        assert set(results[-1].aborted) == {"A", "B"}
+
+    def test_committed_never_aborts(self):
+        scheduler, _ = run(
+            [
+                Begin("B"),
+                WriteItem("B", "x"),
+                Finish("B"),  # B committed
+                Begin("A"),
+                Read("A", "x"),  # reads committed data: no dependency
+            ]
+        )
+        assert scheduler.graph.state("B") is TxnState.COMMITTED
+        assert scheduler.dependents_of("B") == frozenset()
+
+
+class TestModelPolicing:
+    def test_atomic_write_rejected(self):
+        scheduler = MultiwriteScheduler()
+        scheduler.feed(Begin("T"))
+        with pytest.raises(InvalidStepError):
+            scheduler.feed(Write("T", {"x"}))
+
+    def test_ignored_after_abort(self):
+        scheduler, results = run(
+            [
+                Begin("A"),
+                Read("A", "x"),
+                Begin("B"),
+                WriteItem("B", "x"),
+                Read("B", "y"),
+                WriteItem("A", "y"),  # cycle: A aborts
+                Read("A", "z"),
+            ]
+        )
+        assert results[-1].decision is Decision.IGNORED

@@ -1,0 +1,181 @@
+"""Unit tests for the predeclared scheduler (Rules 1'-3', delays)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidStepError, SchedulerError
+from repro.model.status import AccessMode as M
+from repro.model.status import TxnState
+from repro.model.steps import Begin, BeginDeclared, Finish, Read, WriteItem
+from repro.scheduler.events import Decision
+from repro.scheduler.predeclared import PredeclaredScheduler
+
+
+def run(steps):
+    scheduler = PredeclaredScheduler()
+    results = scheduler.feed_many(steps)
+    return scheduler, results
+
+
+class TestRule1Prime:
+    def test_begin_collects_arcs_from_executed_conflicts(self):
+        scheduler, results = run(
+            [
+                BeginDeclared("A", {"x": M.WRITE}),
+                WriteItem("A", "x"),
+                BeginDeclared("B", {"x": M.READ}),
+            ]
+        )
+        assert results[-1].arcs_added == (("A", "B"),)
+
+    def test_begin_ignores_nonconflicting_history(self):
+        scheduler, results = run(
+            [
+                BeginDeclared("A", {"x": M.READ}),
+                Read("A", "x"),
+                BeginDeclared("B", {"x": M.READ}),  # read-read: no arc
+            ]
+        )
+        assert results[-1].arcs_added == ()
+
+    def test_plain_begin_rejected(self):
+        scheduler = PredeclaredScheduler()
+        with pytest.raises(InvalidStepError):
+            scheduler.feed(Begin("A"))
+
+
+class TestRules23Prime:
+    def test_arc_to_future_conflictor(self):
+        scheduler, results = run(
+            [
+                BeginDeclared("A", {"x": M.READ}),
+                BeginDeclared("B", {"x": M.WRITE}),
+                Read("A", "x"),
+            ]
+        )
+        assert results[-1].arcs_added == (("A", "B"),)
+
+    def test_no_arc_for_future_read_read(self):
+        scheduler, results = run(
+            [
+                BeginDeclared("A", {"x": M.READ}),
+                BeginDeclared("B", {"x": M.READ}),
+                Read("A", "x"),
+            ]
+        )
+        assert results[-1].arcs_added == ()
+
+    def test_undeclared_access_rejected(self):
+        scheduler, _ = run([BeginDeclared("A", {"x": M.READ})])
+        with pytest.raises(InvalidStepError):
+            scheduler.feed(Read("A", "y"))
+
+    def test_wrong_mode_rejected(self):
+        scheduler, _ = run([BeginDeclared("A", {"x": M.WRITE})])
+        with pytest.raises(InvalidStepError):
+            scheduler.feed(Read("A", "x"))
+
+    def test_repeated_access_rejected(self):
+        scheduler, _ = run([BeginDeclared("A", {"x": M.READ}), Read("A", "x")])
+        with pytest.raises(InvalidStepError):
+            scheduler.feed(Read("A", "x"))
+
+
+class TestDelays:
+    def _delay_setup(self):
+        """A reads x (arc A->B since B will write x); then B's write of y
+        would need arc B->A (A will read y) closing a cycle: delayed."""
+        return [
+            BeginDeclared("A", {"x": M.READ, "y": M.READ}),
+            BeginDeclared("B", {"x": M.WRITE, "y": M.WRITE}),
+            Read("A", "x"),  # arc A -> B
+            WriteItem("B", "y"),  # needs B -> A: cycle -> delay
+        ]
+
+    def test_cycle_causing_step_delayed(self):
+        scheduler, results = run(self._delay_setup())
+        assert results[-1].decision is Decision.DELAYED
+        assert results[-1].blocked_on == ("A",)
+        assert "B" in scheduler.waiting_transactions()
+
+    def test_delayed_step_released_when_blocker_executes(self):
+        steps = self._delay_setup() + [Read("A", "y")]
+        scheduler, results = run(steps)
+        released = results[-1].released
+        assert [str(s) for s in released] == ["wy(B)"]
+        assert not scheduler.waiting_transactions()
+
+    def test_program_order_behind_delayed_step(self):
+        steps = self._delay_setup() + [WriteItem("B", "x")]
+        scheduler, results = run(steps)
+        assert results[-1].decision is Decision.DELAYED
+        assert len(scheduler.waiting_transactions()["B"]) == 2
+
+    def test_whole_queue_drains_in_order(self):
+        steps = self._delay_setup() + [WriteItem("B", "x"), Read("A", "y")]
+        scheduler, results = run(steps)
+        assert [str(s) for s in results[-1].released] == ["wy(B)", "wx(B)"]
+
+    def test_executed_schedule_reflects_execution_order(self):
+        steps = self._delay_setup() + [Read("A", "y")]
+        scheduler, _ = run(steps)
+        executed = [str(s) for s in scheduler.executed_schedule()]
+        assert executed == ["rx(A)", "ry(A)", "wy(B)"]
+
+    def test_no_rejections_ever(self):
+        steps = self._delay_setup() + [
+            Read("A", "y"),
+            WriteItem("B", "x"),
+            Finish("A"),
+            Finish("B"),
+        ]
+        _, results = run(steps)
+        assert all(r.decision is not Decision.REJECTED for r in results)
+
+
+class TestCompletion:
+    def test_finish_commits(self):
+        scheduler, results = run(
+            [BeginDeclared("A", {"x": M.READ}), Read("A", "x"), Finish("A")]
+        )
+        assert scheduler.graph.state("A") is TxnState.COMMITTED
+        assert results[-1].committed == ("A",)
+
+    def test_finish_with_remaining_future_rejected(self):
+        scheduler, _ = run([BeginDeclared("A", {"x": M.READ})])
+        with pytest.raises(InvalidStepError):
+            scheduler.feed(Finish("A"))
+
+    def test_future_consumed_as_steps_execute(self):
+        scheduler, _ = run(
+            [BeginDeclared("A", {"x": M.READ, "y": M.WRITE}), Read("A", "x")]
+        )
+        assert scheduler.graph.info("A").future == {"y": M.WRITE}
+
+
+class TestConflictPairInvariant:
+    def test_every_executed_conflict_pair_has_an_arc(self):
+        """The §5 invariant: arcs appear at the first of two conflicting
+        steps (or at the later transaction's begin)."""
+        steps = [
+            BeginDeclared("A", {"x": M.WRITE, "z": M.READ}),
+            WriteItem("A", "x"),
+            BeginDeclared("B", {"x": M.READ, "y": M.WRITE}),
+            Read("B", "x"),
+            BeginDeclared("C", {"y": M.READ, "z": M.WRITE}),
+            Read("C", "y"),
+            WriteItem("B", "y"),
+            Read("A", "z"),
+            WriteItem("C", "z"),
+            Finish("A"),
+            Finish("B"),
+            Finish("C"),
+        ]
+        scheduler, results = run(steps)
+        graph = scheduler.graph
+        # Executed conflicts: A-w x before B-r x => A->B; C-r y before
+        # B-w y => C->B; A-r z before C-w z => A->C.
+        assert graph.has_arc("A", "B")
+        assert graph.has_arc("C", "B")
+        assert graph.has_arc("A", "C")

@@ -1,0 +1,229 @@
+"""Cross-scheduler property suite (hypothesis).
+
+The universal invariants of the paper's §2/§4/§5, checked on arbitrary
+generated streams:
+
+* every scheduler's accepted subschedule is conflict serializable;
+* the online conflict graph equals the offline conflict graph of the
+  accepted subschedule (for the basic scheduler without deletions);
+* the maintained transitive closure never drifts;
+* the predeclared scheduler records an arc for every pair of conflicting
+  executed steps, in execution order, and never aborts;
+* the multiwrite scheduler's reads-from bookkeeping matches an offline
+  reconstruction.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.analysis.serializability import (
+    conflict_graph_of,
+    is_conflict_serializable,
+)
+from repro.model.schedule import Schedule
+from repro.model.status import AccessMode
+from repro.model.steps import Read, Write, WriteItem
+from repro.scheduler.certifier import Certifier
+from repro.scheduler.conflict import ConflictGraphScheduler
+from repro.scheduler.events import Decision
+from repro.scheduler.locking import StrictTwoPhaseLocking
+from repro.scheduler.multiwrite import MultiwriteScheduler
+from repro.scheduler.predeclared import PredeclaredScheduler
+
+from tests.conftest import (
+    basic_step_streams,
+    multiwrite_step_streams,
+    predeclared_step_streams,
+)
+
+
+class TestBasicSchedulerProperties:
+    @given(basic_step_streams(max_txns=5, max_entities=3, max_steps=18))
+    @settings(max_examples=80, deadline=None)
+    def test_accepted_subschedule_always_csr(self, steps):
+        scheduler = ConflictGraphScheduler()
+        scheduler.feed_many(steps)
+        assert is_conflict_serializable(scheduler.accepted_subschedule())
+
+    @given(basic_step_streams(max_txns=5, max_entities=3, max_steps=18))
+    @settings(max_examples=80, deadline=None)
+    def test_online_graph_matches_offline(self, steps):
+        """CG(s) built by Rules 1-3 == conflict graph of the accepted
+        subschedule built from first principles."""
+        scheduler = ConflictGraphScheduler()
+        scheduler.feed_many(steps)
+        online = scheduler.graph
+        offline = conflict_graph_of(scheduler.accepted_subschedule())
+        assert online.nodes() == offline.nodes()
+        assert set(online.arcs()) == set(offline.arcs())
+
+    @given(basic_step_streams(max_txns=5, max_entities=3, max_steps=18))
+    @settings(max_examples=60, deadline=None)
+    def test_closure_never_drifts(self, steps):
+        scheduler = ConflictGraphScheduler()
+        scheduler.feed_many(steps)
+        scheduler.graph._closure.check_invariants()
+
+    @given(basic_step_streams(max_txns=4, max_entities=3, max_steps=14))
+    @settings(max_examples=60, deadline=None)
+    def test_access_payloads_match_accepted_steps(self, steps):
+        scheduler = ConflictGraphScheduler()
+        scheduler.feed_many(steps)
+        accepted = scheduler.accepted_subschedule()
+        expected: dict = {}
+        for step in accepted:
+            if isinstance(step, Read):
+                expected.setdefault(step.txn, {}).setdefault(
+                    step.entity, AccessMode.READ
+                )
+            elif isinstance(step, Write):
+                for entity in step.entities:
+                    expected.setdefault(step.txn, {})[entity] = AccessMode.WRITE
+        for txn in scheduler.graph:
+            assert scheduler.graph.info(txn).accesses == expected.get(txn, {})
+
+
+class TestCertifierProperties:
+    @given(basic_step_streams(max_txns=5, max_entities=3, max_steps=18))
+    @settings(max_examples=60, deadline=None)
+    def test_certifier_accepts_only_csr(self, steps):
+        scheduler = Certifier()
+        scheduler.feed_many(steps)
+        assert is_conflict_serializable(scheduler.accepted_subschedule())
+
+    @given(basic_step_streams(max_txns=5, max_entities=3, max_steps=18))
+    @settings(max_examples=60, deadline=None)
+    def test_certifier_graph_acyclic_and_completed_only(self, steps):
+        from repro.graphs.cycles import has_cycle
+
+        scheduler = Certifier()
+        scheduler.feed_many(steps)
+        assert not has_cycle(scheduler.graph.as_digraph())
+        assert scheduler.graph.completed_transactions() == scheduler.graph.nodes()
+
+
+class TestLockingProperties:
+    @given(basic_step_streams(max_txns=5, max_entities=3, max_steps=18))
+    @settings(max_examples=60, deadline=None)
+    def test_locking_executions_csr(self, steps):
+        scheduler = StrictTwoPhaseLocking()
+        scheduler.feed_many(steps)
+        assert is_conflict_serializable(scheduler.accepted_subschedule())
+
+    @given(basic_step_streams(max_txns=5, max_entities=3, max_steps=18))
+    @settings(max_examples=60, deadline=None)
+    def test_committed_transactions_hold_no_locks(self, steps):
+        scheduler = StrictTwoPhaseLocking()
+        scheduler.feed_many(steps)
+        for txn in scheduler.committed_transactions():
+            assert not scheduler.locks_held(txn)
+
+    @given(basic_step_streams(max_txns=5, max_entities=3, max_steps=18))
+    @settings(max_examples=60, deadline=None)
+    def test_no_phantom_waiters(self, steps):
+        """Nobody waits for a transaction that no longer holds locks."""
+        scheduler = StrictTwoPhaseLocking()
+        scheduler.feed_many(steps)
+        for txn, parked in scheduler.waiting_transactions().items():
+            assert parked
+            head = parked[0]
+            blockers = scheduler._blockers(head)
+            for blocker in blockers:
+                assert scheduler.locks_held(blocker)
+
+
+class TestMultiwriteProperties:
+    @given(multiwrite_step_streams(max_txns=5, max_entities=3, max_steps=20))
+    @settings(max_examples=80, deadline=None)
+    def test_accepted_subschedule_csr(self, steps):
+        scheduler = MultiwriteScheduler()
+        scheduler.feed_many(steps)
+        assert is_conflict_serializable(scheduler.accepted_subschedule())
+
+    @given(multiwrite_step_streams(max_txns=5, max_entities=3, max_steps=20))
+    @settings(max_examples=60, deadline=None)
+    def test_committed_depend_only_on_committed(self, steps):
+        scheduler = MultiwriteScheduler()
+        scheduler.feed_many(steps)
+        graph = scheduler.graph
+        for txn in graph.committed_transactions():
+            for dep in graph.info(txn).reads_from:
+                if dep in graph:
+                    assert graph.state(dep).value == "committed"
+
+    @given(multiwrite_step_streams(max_txns=5, max_entities=3, max_steps=20))
+    @settings(max_examples=60, deadline=None)
+    def test_reads_from_matches_offline_reconstruction(self, steps):
+        scheduler = MultiwriteScheduler()
+        results = scheduler.feed_many(steps)
+        graph = scheduler.graph
+        # Offline: replay accepted steps; a read of x depends on the last
+        # accepted writer of x iff that writer had not yet committed.
+        committed_at: dict = {}
+        last_writer: dict = {}
+        expected: dict = {}
+        commit_time: dict = {}
+        for index, result in enumerate(results):
+            if result.decision is not Decision.ACCEPTED:
+                # Aborts can retract earlier writes; rebuild conservatively
+                # by skipping streams with aborts (covered elsewhere).
+                if result.decision is Decision.REJECTED:
+                    return
+                continue
+            step = result.step
+            for txn in result.committed:
+                commit_time[txn] = index
+            if isinstance(step, WriteItem):
+                last_writer[step.entity] = (step.txn, index)
+            elif isinstance(step, Read):
+                writer = last_writer.get(step.entity)
+                if writer is not None and writer[0] != step.txn:
+                    writer_txn, _ = writer
+                    committed_before = (
+                        writer_txn in commit_time
+                        and commit_time[writer_txn] <= index
+                    )
+                    if not committed_before:
+                        expected.setdefault(step.txn, set()).add(writer_txn)
+        for txn in graph:
+            assert graph.info(txn).reads_from == expected.get(txn, set())
+
+
+class TestPredeclaredProperties:
+    @given(predeclared_step_streams(max_txns=5, max_entities=4, max_steps=22))
+    @settings(max_examples=80, deadline=None)
+    def test_never_rejects(self, steps):
+        scheduler = PredeclaredScheduler()
+        results = scheduler.feed_many(steps)
+        assert all(r.decision is not Decision.REJECTED for r in results)
+        assert not scheduler.aborted
+
+    @given(predeclared_step_streams(max_txns=5, max_entities=4, max_steps=22))
+    @settings(max_examples=80, deadline=None)
+    def test_executed_schedule_csr(self, steps):
+        scheduler = PredeclaredScheduler()
+        scheduler.feed_many(steps)
+        assert is_conflict_serializable(scheduler.executed_schedule())
+
+    @given(predeclared_step_streams(max_txns=5, max_entities=4, max_steps=22))
+    @settings(max_examples=80, deadline=None)
+    def test_every_executed_conflict_pair_has_ordered_arc(self, steps):
+        scheduler = PredeclaredScheduler()
+        scheduler.feed_many(steps)
+        offline = conflict_graph_of(scheduler.executed_schedule())
+        online = scheduler.graph
+        for tail, head in offline.arcs():
+            assert online.has_arc(tail, head), (
+                f"missing arc {tail}->{head}; executed="
+                f"{scheduler.executed_schedule()}"
+            )
+
+    @given(predeclared_step_streams(max_txns=5, max_entities=4, max_steps=22))
+    @settings(max_examples=60, deadline=None)
+    def test_graph_always_acyclic(self, steps):
+        from repro.graphs.cycles import has_cycle
+
+        scheduler = PredeclaredScheduler()
+        scheduler.feed_many(steps)
+        assert not has_cycle(scheduler.graph.as_digraph())

@@ -1,0 +1,140 @@
+"""Tests for workload generation (zipf, generator, traces, banking)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.model.schedule import Schedule
+from repro.model.status import AccessMode
+from repro.workloads.banking import BankingConfig, banking_specs, banking_stream
+from repro.workloads.generator import (
+    WorkloadConfig,
+    basic_specs,
+    basic_stream,
+    multiwrite_specs,
+    multiwrite_stream,
+    predeclared_specs,
+    predeclared_stream,
+)
+from repro.workloads.zipf import ZipfSampler
+
+
+class TestZipf:
+    def test_range(self):
+        sampler = ZipfSampler(10, s=1.2, seed=0)
+        assert all(0 <= sampler.sample() < 10 for _ in range(300))
+
+    def test_skew_concentrates_mass(self):
+        skewed = ZipfSampler(20, s=2.0, seed=1)
+        hits = sum(1 for _ in range(500) if skewed.sample() == 0)
+        assert hits > 200  # rank 0 dominates at s=2
+
+    def test_uniform_spreads(self):
+        uniform = ZipfSampler(5, s=0.0, seed=2)
+        seen = {uniform.sample() for _ in range(300)}
+        assert seen == set(range(5))
+
+    def test_distinct_sampling(self):
+        sampler = ZipfSampler(8, s=1.0, seed=3)
+        draw = sampler.sample_distinct(5)
+        assert len(draw) == len(set(draw)) == 5
+
+    def test_distinct_full_population(self):
+        sampler = ZipfSampler(4, s=3.0, seed=4)
+        assert sorted(sampler.sample_distinct(4)) == [0, 1, 2, 3]
+
+    def test_too_many_distinct(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(3, seed=0).sample_distinct(4)
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(0)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(3, s=-1)
+
+
+class TestWorkloadConfig:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(n_transactions=0)
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(write_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(min_accesses=3, max_accesses=2)
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(n_entities=2, max_accesses=3)
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(multiprogramming=0)
+
+
+class TestGenerators:
+    CONFIG = WorkloadConfig(
+        n_transactions=12, n_entities=6, seed=9, write_fraction=0.5
+    )
+
+    def test_basic_specs_deterministic(self):
+        assert basic_specs(self.CONFIG) == basic_specs(self.CONFIG)
+
+    def test_basic_specs_count_and_names(self):
+        specs = basic_specs(self.CONFIG)
+        assert len(specs) == 12
+        assert specs[0].txn == "T1" and specs[-1].txn == "T12"
+
+    def test_streams_validate_protocols(self):
+        basic_stream(self.CONFIG).validate_basic_model()
+
+    def test_multiwrite_specs_modes(self):
+        for spec in multiwrite_specs(self.CONFIG):
+            assert 1 <= len(spec.operations) <= 4
+            for mode, _entity in spec.operations:
+                assert isinstance(mode, AccessMode)
+
+    def test_predeclared_specs_distinct_entities(self):
+        for spec in predeclared_specs(self.CONFIG):
+            entities = [entity for _mode, entity in spec.operations]
+            assert len(entities) == len(set(entities))
+
+    def test_streams_contain_all_steps(self):
+        specs = multiwrite_specs(self.CONFIG)
+        stream = multiwrite_stream(self.CONFIG)
+        assert len(stream) == sum(len(spec) for spec in specs)
+
+    def test_predeclared_stream_deterministic(self):
+        assert list(predeclared_stream(self.CONFIG)) == list(
+            predeclared_stream(self.CONFIG)
+        )
+
+    def test_different_seeds_differ(self):
+        other = WorkloadConfig(
+            n_transactions=12, n_entities=6, seed=10, write_fraction=0.5
+        )
+        assert basic_stream(self.CONFIG) != basic_stream(other)
+
+
+class TestBanking:
+    def test_audits_inserted(self):
+        config = BankingConfig(n_transfers=20, audit_every=5, seed=1)
+        specs = banking_specs(config)
+        audits = [spec for spec in specs if spec.txn.startswith("AUDIT")]
+        assert len(audits) == 4
+        for audit in audits:
+            assert audit.writes == frozenset()
+            assert len(audit.reads) == config.audit_span
+
+    def test_transfers_read_what_they_write(self):
+        config = BankingConfig(n_transfers=15, audit_every=0, seed=2)
+        for spec in banking_specs(config):
+            assert spec.writes <= frozenset(spec.reads)
+
+    def test_stream_validates(self):
+        banking_stream(BankingConfig(seed=3)).validate_basic_model()
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            BankingConfig(n_accounts=1)
+        with pytest.raises(WorkloadError):
+            BankingConfig(audit_span=99)
+        with pytest.raises(WorkloadError):
+            BankingConfig(deposit_fraction=2.0)
