@@ -26,13 +26,18 @@ paper-to-module map.
 from repro.errors import (
     CycleError,
     DeletionError,
+    EngineError,
     GraphError,
+    IncompatiblePolicyError,
     InvalidStepError,
     ModelError,
     NotCompletedError,
+    RegistryError,
     ReproError,
     SchedulerError,
+    SnapshotError,
     TransactionStateError,
+    UnknownNameError,
     UnsafeDeletionError,
     WorkloadError,
 )
@@ -122,7 +127,27 @@ from repro.workloads import (
     predeclared_stream,
 )
 from repro.tracking import CurrencyTracker
-from repro.manager import GarbageCollectedScheduler, GcStats
+from repro.registry import (
+    compatible_policies,
+    create_policy,
+    create_scheduler,
+    policy_names,
+    register_policy,
+    register_scheduler,
+    scheduler_names,
+)
+from repro.engine import (
+    BatchResult,
+    CallbackObserver,
+    Engine,
+    EngineConfig,
+    EngineObserver,
+    GcStats,
+    StatsObserver,
+    SweepReport,
+)
+from repro.analysis.runner import MetricsObserver
+from repro.manager import GarbageCollectedScheduler
 from repro.io import (
     graph_from_json,
     graph_to_json,
@@ -146,6 +171,27 @@ __all__ = [
     "UnsafeDeletionError",
     "NotCompletedError",
     "WorkloadError",
+    "RegistryError",
+    "UnknownNameError",
+    "IncompatiblePolicyError",
+    "EngineError",
+    "SnapshotError",
+    # engine + registries
+    "Engine",
+    "EngineConfig",
+    "EngineObserver",
+    "CallbackObserver",
+    "StatsObserver",
+    "MetricsObserver",
+    "SweepReport",
+    "BatchResult",
+    "register_scheduler",
+    "register_policy",
+    "create_scheduler",
+    "create_policy",
+    "scheduler_names",
+    "policy_names",
+    "compatible_policies",
     # model
     "Entity",
     "EntityUniverse",

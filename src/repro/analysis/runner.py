@@ -1,60 +1,51 @@
-"""Drive a step stream through a scheduler with a deletion policy.
+"""Drive a step stream through the engine with metrics attached.
 
 This is the paper's §4 scheduling loop made concrete: *"when a new
 transaction step arrives, the function F is applied to the current graph
-giving a new graph G; then the set of nodes P(G) is removed."*  The runner
-additionally samples metrics after every (step, deletion) pair and can
-audit the final accepted subschedule for conflict serializability.
+giving a new graph G; then the set of nodes P(G) is removed."*  The heavy
+lifting lives in :class:`repro.engine.Engine`; this module contributes
+:class:`MetricsObserver` — the observer-based port of the old hard-coded
+metrics loop — and :func:`run_with_policy`, the one-call experiment entry
+point used by the CLI, the benchmarks, and the tests.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+from typing import Iterable, Optional, Union
 
+from repro import registry as _registry
 from repro.analysis.metrics import RunMetrics, Sample
 from repro.analysis.serializability import is_conflict_serializable
 from repro.core.policies import DeletionPolicy, NeverDeletePolicy
-from repro.errors import SchedulerError
-from repro.model.schedule import Schedule
+from repro.engine import Engine, EngineObserver, StepResult, SweepReport
+from repro.errors import SchedulerError, UnknownNameError
 from repro.model.steps import Step
 from repro.scheduler.base import SchedulerBase
 from repro.scheduler.events import Decision
 
-__all__ = ["run_with_policy"]
+__all__ = ["MetricsObserver", "run_with_policy"]
 
 
-def run_with_policy(
-    scheduler: SchedulerBase,
-    steps: Iterable[Step],
-    policy: Optional[DeletionPolicy] = None,
-    sample_every: int = 1,
-    audit_csr: bool = False,
-) -> RunMetrics:
-    """Feed *steps* to *scheduler*, applying *policy* after every step.
+class MetricsObserver(EngineObserver):
+    """Populate a :class:`RunMetrics` from engine events.
 
-    Parameters
-    ----------
-    scheduler:
-        A fresh scheduler instance (it is mutated).
-    steps:
-        The arriving step stream.
-    policy:
-        Deletion policy; default keeps everything.
-    sample_every:
-        Record a metrics sample every N steps (1 = always).
-    audit_csr:
-        After the run, assert the accepted subschedule is conflict
-        serializable (raises :class:`SchedulerError` otherwise) — the
-        Theorem 2 correctness audit.
-
-    Returns the populated :class:`~repro.analysis.metrics.RunMetrics`.
+    Decision counters update on every step; deletions and policy
+    invocations track the sweep events; a :class:`Sample` is recorded every
+    ``sample_every`` steps *after* the step's sweep (if any) has run, so
+    the series reflects the post-deletion graph exactly as the legacy
+    runner measured it.
     """
-    chosen_policy = policy if policy is not None else NeverDeletePolicy()
-    metrics = RunMetrics(
-        policy=chosen_policy.name, scheduler=type(scheduler).__name__
-    )
-    for index, step in enumerate(steps):
-        result = scheduler.feed(step)
+
+    def __init__(
+        self, metrics: Optional[RunMetrics] = None, sample_every: int = 1
+    ) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.metrics = metrics if metrics is not None else RunMetrics()
+        self.sample_every = sample_every
+
+    def on_step(self, engine: Engine, result: StepResult) -> None:
+        metrics = self.metrics
         if result.decision is Decision.ACCEPTED:
             metrics.accepted_steps += 1
         elif result.decision is Decision.REJECTED:
@@ -65,12 +56,18 @@ def run_with_policy(
             metrics.ignored_steps += 1
         metrics.aborted_transactions += len(result.aborted)
         metrics.committed_transactions += len(result.committed)
-        deleted = chosen_policy.apply(scheduler)
-        metrics.deleted_transactions += len(deleted)
-        metrics.policy_invocations += 1
-        if index % sample_every == 0:
-            graph = scheduler.graph
-            metrics.record_sample(
+
+    def on_sweep(self, engine: Engine, report: SweepReport) -> None:
+        self.metrics.policy_invocations += 1
+
+    def on_delete(self, engine: Engine, deleted, step_index: int) -> None:
+        self.metrics.deleted_transactions += len(deleted)
+
+    def on_step_end(self, engine: Engine, result: StepResult) -> None:
+        index = engine.step_index - 1
+        if index % self.sample_every == 0:
+            graph = engine.graph
+            self.metrics.record_sample(
                 Sample(
                     step_index=index,
                     graph_size=len(graph),
@@ -79,8 +76,83 @@ def run_with_policy(
                     active=len(graph.active_transactions()),
                 )
             )
+
+
+def run_with_policy(
+    scheduler: Union[SchedulerBase, str],
+    steps: Iterable[Step],
+    policy: Optional[Union[DeletionPolicy, str]] = None,
+    sample_every: int = 1,
+    audit_csr: bool = False,
+    *,
+    sweep_interval: int = 1,
+    engine: Optional[Engine] = None,
+) -> RunMetrics:
+    """Feed *steps* through an engine built from *scheduler* + *policy*.
+
+    Parameters
+    ----------
+    scheduler:
+        A fresh scheduler instance (mutated), or a registry name such as
+        ``"conflict-graph"`` / ``"predeclared"``.
+    steps:
+        The arriving step stream (any iterable; consumed lazily).
+    policy:
+        Deletion policy instance or registry name; default keeps
+        everything.  Name-based construction is model-checked against the
+        scheduler via :mod:`repro.registry`.
+    sample_every:
+        Record a metrics sample every N steps (1 = always).
+    audit_csr:
+        After the run, assert the accepted subschedule is conflict
+        serializable (raises :class:`SchedulerError` otherwise) — the
+        Theorem 2 correctness audit.
+    sweep_interval:
+        Invoke the deletion policy every N steps (1 = the classic
+        per-step cadence).
+    engine:
+        Adopt an existing engine instead of building one; *scheduler*,
+        *policy*, and *sweep_interval* are then ignored.
+
+    Returns the populated :class:`~repro.analysis.metrics.RunMetrics`.
+    """
+    if engine is None:
+        scheduler_name = scheduler if isinstance(scheduler, str) else None
+        policy_name = policy if isinstance(policy, str) else None
+        if scheduler_name is not None:
+            scheduler = _registry.create_scheduler(scheduler_name)
+        if policy_name is not None:
+            policy = _registry.create_policy(policy_name)
+        chosen_policy = policy if policy is not None else NeverDeletePolicy()
+        if scheduler_name is not None or policy_name is not None:
+            # A registry name opts into model validation; resolve the other
+            # side best-effort (custom unregistered types stay permissive,
+            # like Engine.from_parts) and reject cross-model pairings.
+            try:
+                scheduler_name = scheduler_name or _registry.scheduler_name_of(
+                    scheduler
+                )
+                policy_name = policy_name or _registry.policy_name_of(
+                    chosen_policy
+                )
+            except UnknownNameError:
+                pass
+            else:
+                _registry.check_compatible(scheduler_name, policy_name)
+        engine = Engine.from_parts(
+            scheduler, chosen_policy, sweep_interval=sweep_interval
+        )
+    metrics = RunMetrics(
+        policy=engine.policy.name, scheduler=type(engine.scheduler).__name__
+    )
+    observer = MetricsObserver(metrics, sample_every)
+    engine.subscribe(observer)
+    try:
+        engine.feed_batch(steps)
+    finally:
+        engine.unsubscribe(observer)
     if audit_csr:
-        accepted = scheduler.accepted_subschedule()
+        accepted = engine.accepted_subschedule()
         if not is_conflict_serializable(accepted):
             raise SchedulerError(
                 "accepted subschedule is not conflict serializable: "

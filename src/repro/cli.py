@@ -5,42 +5,34 @@ Commands
 ``demo``
     The Example 1 walkthrough (graph, conditions, witness divergence).
 ``run``
-    Stream a generated workload through a chosen scheduler + policy and
-    print the metrics table and graph-size series.
+    Stream a generated workload through a chosen scheduler + policy
+    (resolved via the :mod:`repro.registry` name registries) and print the
+    metrics table and graph-size series.  ``--sweep-interval`` batches the
+    deletion-policy invocations.
 ``compare``
     All applicable policies on one workload, one table.
 ``dump``
     Run a workload and print the final reduced graph (ascii, dot, or json).
 
-Every command is seeded and deterministic; ``--help`` on each shows its
-knobs.
+Scheduler and policy names come from the registries, so plugins registered
+via :func:`repro.registry.register_scheduler` / ``register_policy`` before
+calling :func:`main` are selectable too.  Every command is seeded and
+deterministic; ``--help`` on each shows its knobs.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
+from repro import registry as _registry
 from repro.analysis.report import ascii_table, format_series, rows_from_summaries
 from repro.analysis.runner import run_with_policy
 from repro.analysis.visualize import render_ascii, render_dot
-from repro.core.policies import (
-    DeletionPolicy,
-    EagerC1Policy,
-    EagerC3Policy,
-    EagerC4Policy,
-    Lemma1Policy,
-    NeverDeletePolicy,
-    NoncurrentPolicy,
-    OptimalPolicy,
-)
+from repro.engine import Engine, EngineConfig
+from repro.errors import EngineError, RegistryError
 from repro.io import graph_to_json
-from repro.scheduler.certifier import Certifier
-from repro.scheduler.conflict import ConflictGraphScheduler
-from repro.scheduler.locking import StrictTwoPhaseLocking
-from repro.scheduler.multiwrite import MultiwriteScheduler
-from repro.scheduler.predeclared import PredeclaredScheduler
 from repro.workloads.generator import (
     WorkloadConfig,
     basic_stream,
@@ -50,31 +42,19 @@ from repro.workloads.generator import (
 
 __all__ = ["main"]
 
-_SCHEDULERS: Dict[str, Callable] = {
-    "conflict": ConflictGraphScheduler,
-    "certifier": Certifier,
-    "2pl": StrictTwoPhaseLocking,
-    "multiwrite": MultiwriteScheduler,
-    "predeclared": PredeclaredScheduler,
-}
-
-_POLICIES: Dict[str, Callable[[], DeletionPolicy]] = {
-    "never": NeverDeletePolicy,
-    "lemma1": Lemma1Policy,
-    "noncurrent": NoncurrentPolicy,
-    "eager-c1": EagerC1Policy,
-    "optimal": OptimalPolicy,
-    "eager-c3": EagerC3Policy,
-    "eager-c4": EagerC4Policy,
-}
-
-_STREAMS = {
-    "conflict": basic_stream,
+# Which generated stream feeds which transaction model.
+_MODEL_STREAMS = {
+    "basic": basic_stream,
     "certifier": basic_stream,
-    "2pl": basic_stream,
+    "locking": basic_stream,
     "multiwrite": multiwrite_stream,
     "predeclared": predeclared_stream,
 }
+
+
+def _stream_for(scheduler_name: str):
+    model = _registry.schedulers.get(scheduler_name).model
+    return _MODEL_STREAMS[model]
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -86,6 +66,20 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--zipf", type=float, default=0.0,
                         help="entity skew (0 = uniform)")
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_engine_args(parser: argparse.ArgumentParser,
+                     default_policy: str) -> None:
+    parser.add_argument("--scheduler",
+                        choices=sorted(_registry.schedulers.all_names()),
+                        default="conflict-graph",
+                        help="scheduler registry name")
+    parser.add_argument("--policy",
+                        choices=sorted(_registry.policies.all_names()),
+                        default=default_policy,
+                        help="deletion-policy registry name")
+    parser.add_argument("--sweep-interval", type=int, default=1,
+                        help="invoke the deletion policy every N steps")
 
 
 def _config(args: argparse.Namespace) -> WorkloadConfig:
@@ -120,25 +114,54 @@ def _demo(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_engine(args: argparse.Namespace) -> Optional[Engine]:
+    """Engine from the parsed flags, or ``None`` after printing the error."""
+    try:
+        config = EngineConfig(
+            scheduler=args.scheduler,
+            policy=args.policy,
+            sweep_interval=args.sweep_interval,
+        )
+    except (EngineError, RegistryError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+    return Engine(config)
+
+
 def _run(args: argparse.Namespace) -> int:
-    scheduler = _SCHEDULERS[args.scheduler]()
-    stream = _STREAMS[args.scheduler](_config(args))
-    policy = _POLICIES[args.policy]()
-    metrics = run_with_policy(scheduler, stream, policy, audit_csr=not args.no_audit)
+    engine = _build_engine(args)
+    if engine is None:
+        return 2
+    stream = _stream_for(args.scheduler)(_config(args))
+    metrics = run_with_policy(
+        engine.scheduler, stream, audit_csr=not args.no_audit, engine=engine
+    )
     columns = list(metrics.summary())
     print(ascii_table(columns, [list(metrics.summary().values())]))
     print(format_series("graph size", metrics.series("graph_size")))
+    stats = engine.stats
+    print(
+        f"sweeps: {stats.policy_invocations} "
+        f"(interval {engine.sweep_interval}), "
+        f"deleted: {stats.deletions}, "
+        f"peak graph: {stats.peak_graph_size}"
+    )
     return 0
 
 
 def _compare(args: argparse.Namespace) -> int:
     config = _config(args)
     stream = basic_stream(config)
-    names = ["never", "lemma1", "noncurrent", "eager-c1"]
+    names = [
+        name
+        for name in _registry.compatible_policies("conflict-graph")
+        if name != "optimal"  # exponential; excluded from the default table
+    ]
     summaries = []
     for name in names:
         metrics = run_with_policy(
-            ConflictGraphScheduler(), stream, _POLICIES[name](), audit_csr=True
+            "conflict-graph", stream, name, audit_csr=True,
+            sweep_interval=args.sweep_interval,
         )
         summaries.append(metrics.summary())
     columns = ["policy", "accepted", "aborted_txns", "deleted_txns",
@@ -149,11 +172,12 @@ def _compare(args: argparse.Namespace) -> int:
 
 
 def _dump(args: argparse.Namespace) -> int:
-    scheduler = _SCHEDULERS[args.scheduler]()
-    stream = _STREAMS[args.scheduler](_config(args))
-    policy = _POLICIES[args.policy]()
-    run_with_policy(scheduler, stream, policy)
-    graph = scheduler.graph
+    engine = _build_engine(args)
+    if engine is None:
+        return 2
+    stream = _stream_for(args.scheduler)(_config(args))
+    engine.feed_batch(stream)
+    graph = engine.graph
     if args.format == "ascii":
         print(render_ascii(graph, title=f"final reduced graph ({args.scheduler})"))
     elif args.format == "dot":
@@ -173,24 +197,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("demo", help="Example 1 walkthrough").set_defaults(fn=_demo)
 
     run_parser = sub.add_parser("run", help="one scheduler + policy run")
-    run_parser.add_argument("--scheduler", choices=sorted(_SCHEDULERS),
-                            default="conflict")
-    run_parser.add_argument("--policy", choices=sorted(_POLICIES),
-                            default="eager-c1")
+    _add_engine_args(run_parser, default_policy="eager-c1")
     run_parser.add_argument("--no-audit", action="store_true",
                             help="skip the offline CSR audit")
     _add_workload_args(run_parser)
     run_parser.set_defaults(fn=_run)
 
     compare_parser = sub.add_parser("compare", help="policies side by side")
+    compare_parser.add_argument("--sweep-interval", type=int, default=1,
+                                help="invoke the deletion policy every N steps")
     _add_workload_args(compare_parser)
     compare_parser.set_defaults(fn=_compare)
 
     dump_parser = sub.add_parser("dump", help="print the final reduced graph")
-    dump_parser.add_argument("--scheduler", choices=sorted(_SCHEDULERS),
-                             default="conflict")
-    dump_parser.add_argument("--policy", choices=sorted(_POLICIES),
-                             default="never")
+    _add_engine_args(dump_parser, default_policy="never")
     dump_parser.add_argument("--format", choices=["ascii", "dot", "json"],
                              default="ascii")
     _add_workload_args(dump_parser)

@@ -1,0 +1,634 @@
+"""The unified engine façade: §4's scheduling loop as one configurable object.
+
+§4 defines the combined algorithm: *"A deletion policy together with F
+(Rules 1-3) specify the behavior of the scheduling algorithm ... when a new
+transaction step arrives, the function F is applied to the current graph
+giving a new graph G; then the set of nodes P(G) is removed."*  Everything
+in this repository that drives that loop — the CLI, the experiment runner,
+the (now deprecated) :class:`~repro.manager.GarbageCollectedScheduler` —
+goes through :class:`Engine`:
+
+* **Registries** — schedulers and policies are named strings resolved via
+  :mod:`repro.registry`, with model-compatibility validated when the
+  :class:`EngineConfig` is constructed (``eager-c4`` only pairs with
+  ``predeclared``, and so on).
+* **Event hooks** — observers subscribe to ``on_step``, ``on_abort``,
+  ``on_commit``, ``on_delete``, ``on_sweep`` (and ``on_step_end``), so
+  statistics, metric sampling, tracing, and validation are composable
+  subscribers instead of hard-coded fields.
+* **Batched sweeps** — ``sweep_interval=k`` invokes the deletion policy
+  once every *k* steps instead of after every step, amortizing the
+  policy's graph scan over the batch (the paper never requires a deletion
+  after *each* step; any interleaving of safe deletions is covered by
+  Theorem 2).  :meth:`Engine.feed_batch` drives a whole iterable lazily
+  and returns an aggregate :class:`BatchResult`.
+* **Checkpoint/restore** — :meth:`Engine.snapshot` captures the full loop
+  state (graph, currency, input log, variant-specific scheduler state,
+  statistics, sweep cadence) as a JSON-ready dict built on the
+  :mod:`repro.io` serializers; :meth:`Engine.restore` rebuilds a live
+  engine that continues exactly where the snapshot left off.
+
+>>> engine = Engine(scheduler="conflict-graph", policy="eager-c1",
+...                 sweep_interval=2, verify_c2=True)
+>>> from repro.workloads.traces import example1_schedule
+>>> batch = engine.feed_batch(example1_schedule())
+>>> batch.accepted, engine.stats.deletions >= 1
+(8, True)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro import registry as _registry
+from repro.core.policies import DeletionPolicy, NeverDeletePolicy
+from repro.core.set_conditions import can_delete_set
+from repro.errors import (
+    EngineError,
+    IncompatiblePolicyError,
+    SnapshotError,
+    UnknownNameError,
+    UnsafeDeletionError,
+)
+from repro.model.steps import Step, TxnId
+from repro.scheduler.base import SchedulerBase
+from repro.scheduler.events import Decision, StepResult
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "GcStats",
+    "EngineObserver",
+    "CallbackObserver",
+    "StatsObserver",
+    "SweepReport",
+    "BatchResult",
+    "EngineConfig",
+    "Engine",
+]
+
+SNAPSHOT_FORMAT = 1
+
+
+# ---------------------------------------------------------------------------
+# Statistics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GcStats:
+    """Running totals for one engine (né garbage-collected scheduler)."""
+
+    steps_fed: int = 0
+    deletions: int = 0
+    policy_invocations: int = 0
+    peak_graph_size: int = 0
+    peak_retained_completed: int = 0
+    deleted_ids: List[TxnId] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "steps_fed": self.steps_fed,
+            "deletions": self.deletions,
+            "policy_invocations": self.policy_invocations,
+            "peak_graph_size": self.peak_graph_size,
+            "peak_retained_completed": self.peak_retained_completed,
+            "deleted_ids": list(self.deleted_ids),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "GcStats":
+        return cls(
+            steps_fed=int(payload.get("steps_fed", 0)),
+            deletions=int(payload.get("deletions", 0)),
+            policy_invocations=int(payload.get("policy_invocations", 0)),
+            peak_graph_size=int(payload.get("peak_graph_size", 0)),
+            peak_retained_completed=int(
+                payload.get("peak_retained_completed", 0)
+            ),
+            deleted_ids=list(payload.get("deleted_ids", ())),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Events
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """One policy invocation: when it ran and what it selected."""
+
+    sweep_index: int
+    step_index: int
+    selected: Tuple[TxnId, ...]
+
+    @property
+    def deleted_anything(self) -> bool:
+        return bool(self.selected)
+
+
+class EngineObserver:
+    """Base observer: subclass and override the hooks you care about.
+
+    Hook firing order per fed step: ``on_step`` (scheduler outcome is in),
+    then ``on_abort``/``on_commit`` when the step aborted or committed
+    transactions, then — if the sweep cadence is due — ``on_delete`` (only
+    when the policy selected something) and ``on_sweep``, and finally
+    ``on_step_end`` once the step's full (step, deletion) pair is done.
+    """
+
+    def on_step(self, engine: "Engine", result: StepResult) -> None:
+        """A step was processed by the scheduler (before any sweep)."""
+
+    def on_abort(
+        self, engine: "Engine", result: StepResult, aborted: Tuple[TxnId, ...]
+    ) -> None:
+        """The step aborted one or more transactions (cascades included)."""
+
+    def on_commit(
+        self, engine: "Engine", result: StepResult, committed: Tuple[TxnId, ...]
+    ) -> None:
+        """The step committed one or more transactions."""
+
+    def on_delete(
+        self, engine: "Engine", deleted: Tuple[TxnId, ...], step_index: int
+    ) -> None:
+        """A sweep removed *deleted* from the graph (sorted order)."""
+
+    def on_sweep(self, engine: "Engine", report: SweepReport) -> None:
+        """The deletion policy was invoked (even if it selected nothing)."""
+
+    def on_step_end(self, engine: "Engine", result: StepResult) -> None:
+        """The step's full (step, deletion) pair is complete."""
+
+
+class CallbackObserver(EngineObserver):
+    """Adapt plain callables into an observer.
+
+    >>> deleted = []
+    >>> obs = CallbackObserver(on_delete=lambda e, ids, i: deleted.extend(ids))
+    """
+
+    def __init__(
+        self,
+        on_step: Optional[Callable] = None,
+        on_abort: Optional[Callable] = None,
+        on_commit: Optional[Callable] = None,
+        on_delete: Optional[Callable] = None,
+        on_sweep: Optional[Callable] = None,
+        on_step_end: Optional[Callable] = None,
+    ) -> None:
+        for name, fn in (
+            ("on_step", on_step),
+            ("on_abort", on_abort),
+            ("on_commit", on_commit),
+            ("on_delete", on_delete),
+            ("on_sweep", on_sweep),
+            ("on_step_end", on_step_end),
+        ):
+            if fn is not None:
+                setattr(self, name, fn)
+
+
+class StatsObserver(EngineObserver):
+    """Maintains :class:`GcStats` from engine events.
+
+    This is the observer-based port of the counters the old
+    ``GarbageCollectedScheduler`` kept as hard-coded fields; every engine
+    carries one so ``engine.stats`` is always available.
+    """
+
+    def __init__(self, stats: Optional[GcStats] = None) -> None:
+        self.stats = stats if stats is not None else GcStats()
+
+    def on_step(self, engine: "Engine", result: StepResult) -> None:
+        self.stats.steps_fed += 1
+
+    def on_sweep(self, engine: "Engine", report: SweepReport) -> None:
+        self.stats.policy_invocations += 1
+
+    def on_delete(
+        self, engine: "Engine", deleted: Tuple[TxnId, ...], step_index: int
+    ) -> None:
+        self.stats.deletions += len(deleted)
+        self.stats.deleted_ids.extend(deleted)
+
+    def on_step_end(self, engine: "Engine", result: StepResult) -> None:
+        # Peaks are measured after the (step, deletion) pair completes,
+        # matching the legacy GarbageCollectedScheduler semantics.
+        graph = engine.graph
+        self.stats.peak_graph_size = max(self.stats.peak_graph_size, len(graph))
+        self.stats.peak_retained_completed = max(
+            self.stats.peak_retained_completed,
+            len(graph.completed_transactions()),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Batch results
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Aggregate outcome of one :meth:`Engine.feed_batch` call."""
+
+    steps_fed: int
+    accepted: int
+    rejected: int
+    delayed: int
+    ignored: int
+    aborted: Tuple[TxnId, ...]
+    committed: Tuple[TxnId, ...]
+    deleted: Tuple[TxnId, ...]
+    sweeps: int
+    results: Tuple[StepResult, ...]
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "steps_fed": self.steps_fed,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "delayed": self.delayed,
+            "ignored": self.ignored,
+            "aborted_txns": len(self.aborted),
+            "committed_txns": len(self.committed),
+            "deleted_txns": len(self.deleted),
+            "sweeps": self.sweeps,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Configuration
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Declarative engine recipe: registry names plus loop knobs.
+
+    Names are resolved (aliases canonicalized) and the scheduler/policy
+    pairing is model-checked **at construction time**, so an invalid
+    configuration never produces a half-built engine.
+
+    >>> EngineConfig(scheduler="conflict", policy="eager-c1").scheduler
+    'conflict-graph'
+    """
+
+    scheduler: str = "conflict-graph"
+    policy: str = "never"
+    sweep_interval: int = 1
+    verify_c2: bool = False
+    scheduler_options: Dict[str, Any] = field(default_factory=dict)
+    policy_options: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "scheduler", _registry.schedulers.resolve(self.scheduler)
+        )
+        object.__setattr__(
+            self, "policy", _registry.policies.resolve(self.policy)
+        )
+        if not isinstance(self.sweep_interval, int) or self.sweep_interval < 1:
+            raise EngineError(
+                f"sweep_interval must be a positive integer, got "
+                f"{self.sweep_interval!r}"
+            )
+        _registry.check_compatible(self.scheduler, self.policy)
+        object.__setattr__(
+            self, "scheduler_options", dict(self.scheduler_options)
+        )
+        object.__setattr__(self, "policy_options", dict(self.policy_options))
+
+    def build_scheduler(self) -> SchedulerBase:
+        return _registry.create_scheduler(
+            self.scheduler, **self.scheduler_options
+        )
+
+    def build_policy(self) -> DeletionPolicy:
+        return _registry.create_policy(self.policy, **self.policy_options)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "scheduler": self.scheduler,
+            "policy": self.policy,
+            "sweep_interval": self.sweep_interval,
+            "verify_c2": self.verify_c2,
+            "scheduler_options": dict(self.scheduler_options),
+            "policy_options": dict(self.policy_options),
+        }
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+class Engine:
+    """§4's combined scheduling algorithm behind one stable API.
+
+    Construct from registry names (directly or via an
+    :class:`EngineConfig`)::
+
+        Engine(scheduler="predeclared", policy="eager-c4", sweep_interval=8)
+
+    or adopt pre-built instances (no registry validation — the caller
+    vouches for the pairing)::
+
+        Engine.from_parts(ConflictGraphScheduler(), EagerC1Policy())
+
+    Feed steps with :meth:`feed` / :meth:`feed_batch`; subscribe observers
+    with :meth:`subscribe`; checkpoint with :meth:`snapshot` /
+    :meth:`restore`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        *,
+        observers: Iterable[EngineObserver] = (),
+        **overrides: Any,
+    ) -> None:
+        if config is None:
+            config = EngineConfig(**overrides)
+        elif overrides:
+            config = dataclasses.replace(config, **overrides)
+        self._setup(
+            config,
+            config.build_scheduler(),
+            config.build_policy(),
+            config.sweep_interval,
+            config.verify_c2,
+            observers,
+        )
+
+    @classmethod
+    def from_parts(
+        cls,
+        scheduler: SchedulerBase,
+        policy: Optional[DeletionPolicy] = None,
+        *,
+        sweep_interval: int = 1,
+        verify_c2: bool = False,
+        observers: Iterable[EngineObserver] = (),
+    ) -> "Engine":
+        """Wrap pre-built scheduler/policy instances.
+
+        Registry compatibility validation is **skipped** — this is the
+        adoption path for custom (unregistered) components.  When both
+        types are registered, an equivalent :class:`EngineConfig` is
+        derived so :meth:`snapshot` works; note that constructor options
+        of the instances are not recoverable, so a restored engine gets
+        registry-default options.
+        """
+        chosen_policy = policy if policy is not None else NeverDeletePolicy()
+        if sweep_interval < 1:
+            raise EngineError(
+                f"sweep_interval must be a positive integer, got "
+                f"{sweep_interval!r}"
+            )
+        try:
+            config: Optional[EngineConfig] = EngineConfig(
+                scheduler=_registry.scheduler_name_of(scheduler),
+                policy=_registry.policy_name_of(chosen_policy),
+                sweep_interval=sweep_interval,
+                verify_c2=verify_c2,
+            )
+        except (UnknownNameError, IncompatiblePolicyError):
+            config = None
+        engine = cls.__new__(cls)
+        engine._setup(
+            config, scheduler, chosen_policy, sweep_interval, verify_c2,
+            observers,
+        )
+        return engine
+
+    def _setup(
+        self,
+        config: Optional[EngineConfig],
+        scheduler: SchedulerBase,
+        policy: DeletionPolicy,
+        sweep_interval: int,
+        verify_c2: bool,
+        observers: Iterable[EngineObserver],
+    ) -> None:
+        self.config = config
+        self.scheduler = scheduler
+        self.policy = policy
+        self.sweep_interval = sweep_interval
+        self.verify_c2 = verify_c2
+        self._stats_observer = StatsObserver()
+        self._observers: List[EngineObserver] = [self._stats_observer]
+        self._observers.extend(observers)
+        self._step_index = 0
+        self._steps_since_sweep = 0
+        self._sweeps_run = 0
+
+    # -- observers ---------------------------------------------------------------
+
+    def subscribe(self, observer: EngineObserver) -> EngineObserver:
+        """Attach *observer*; returns it (handy for inline construction)."""
+        self._observers.append(observer)
+        return observer
+
+    def unsubscribe(self, observer: EngineObserver) -> None:
+        self._observers.remove(observer)
+
+    def _emit(self, hook: str, *args: Any) -> None:
+        for observer in self._observers:
+            getattr(observer, hook)(self, *args)
+
+    # -- the §4 loop -------------------------------------------------------------
+
+    def feed(self, step: Step) -> StepResult:
+        """Apply F to the current graph; sweep when the cadence is due."""
+        result = self.scheduler.feed(step)
+        self._step_index += 1
+        self._steps_since_sweep += 1
+        self._emit("on_step", result)
+        if result.aborted:
+            self._emit("on_abort", result, result.aborted)
+        if result.committed:
+            self._emit("on_commit", result, result.committed)
+        if self._steps_since_sweep >= self.sweep_interval:
+            self.sweep()
+        self._emit("on_step_end", result)
+        return result
+
+    def feed_many(self, steps: Iterable[Step]) -> List[StepResult]:
+        """Feed steps lazily; returns the per-step results."""
+        return [self.feed(step) for step in steps]
+
+    def feed_batch(
+        self, steps: Iterable[Step], *, flush: bool = False
+    ) -> BatchResult:
+        """Feed a whole iterable lazily and aggregate the outcome.
+
+        Steps are pulled from *steps* one at a time (generators welcome;
+        nothing is materialized up front).  With ``flush=True`` a final
+        sweep runs after the last step even if the cadence is not due, so
+        the batch ends with the policy's verdict applied.
+        """
+        results: List[StepResult] = []
+        counts = {decision: 0 for decision in Decision}
+        aborted: List[TxnId] = []
+        committed: List[TxnId] = []
+        deleted_start = len(self.stats.deleted_ids)
+        sweeps_start = self._sweeps_run
+        for step in steps:
+            result = self.feed(step)
+            results.append(result)
+            counts[result.decision] += 1
+            aborted.extend(result.aborted)
+            committed.extend(result.committed)
+        if flush and self._steps_since_sweep:
+            self.sweep()
+        return BatchResult(
+            steps_fed=len(results),
+            accepted=counts[Decision.ACCEPTED],
+            rejected=counts[Decision.REJECTED],
+            delayed=counts[Decision.DELAYED],
+            ignored=counts[Decision.IGNORED],
+            aborted=tuple(aborted),
+            committed=tuple(committed),
+            deleted=tuple(self.stats.deleted_ids[deleted_start:]),
+            sweeps=self._sweeps_run - sweeps_start,
+            results=tuple(results),
+        )
+
+    def sweep(self) -> FrozenSet[TxnId]:
+        """Invoke the policy now and delete its selection; returns it.
+
+        Emits ``on_delete`` (when anything was selected) and ``on_sweep``.
+        Resets the batched-sweep cadence.
+        """
+        selected = self.policy.select(self.scheduler)
+        self._sweeps_run += 1
+        self._steps_since_sweep = 0
+        ordered = tuple(sorted(selected))
+        if ordered:
+            if self.verify_c2 and not can_delete_set(
+                self.scheduler.graph, selected
+            ):
+                raise UnsafeDeletionError(
+                    ordered,
+                    f"policy {self.policy.name!r} selected a C2-violating set",
+                )
+            self.scheduler.delete_transactions(ordered)
+            self._emit("on_delete", ordered, self._step_index)
+        self._emit("on_sweep", SweepReport(self._sweeps_run, self._step_index, ordered))
+        return frozenset(selected)
+
+    # -- views -------------------------------------------------------------------
+
+    @property
+    def stats(self) -> GcStats:
+        return self._stats_observer.stats
+
+    @property
+    def graph(self):
+        return self.scheduler.graph
+
+    @property
+    def currency(self):
+        return self.scheduler.currency
+
+    @property
+    def aborted(self):
+        return self.scheduler.aborted
+
+    @property
+    def step_index(self) -> int:
+        """Steps fed so far."""
+        return self._step_index
+
+    @property
+    def sweeps_run(self) -> int:
+        return self._sweeps_run
+
+    @property
+    def steps_since_sweep(self) -> int:
+        return self._steps_since_sweep
+
+    def accepted_subschedule(self):
+        return self.scheduler.accepted_subschedule()
+
+    def __repr__(self) -> str:
+        return (
+            f"Engine({type(self.scheduler).__name__}, "
+            f"policy={self.policy.name!r}, "
+            f"sweep_interval={self.sweep_interval}, "
+            f"steps={self._step_index}, deletions={self.stats.deletions})"
+        )
+
+    # -- checkpoint / restore ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready checkpoint of the whole loop.
+
+        Requires a registry-derived :class:`EngineConfig` (engines adopted
+        via :meth:`from_parts` with unregistered components cannot promise
+        a faithful rebuild and raise :class:`EngineError`).
+        """
+        if self.config is None:
+            raise EngineError(
+                "cannot snapshot an engine built from unregistered parts; "
+                "register the scheduler/policy types (repro.registry) first"
+            )
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "config": self.config.as_dict(),
+            "engine": {
+                "step_index": self._step_index,
+                "steps_since_sweep": self._steps_since_sweep,
+                "sweeps_run": self._sweeps_run,
+            },
+            "stats": self.stats.as_dict(),
+            "scheduler_state": self.scheduler.snapshot_state(),
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: Dict[str, Any],
+        *,
+        observers: Iterable[EngineObserver] = (),
+    ) -> "Engine":
+        """Rebuild a live engine from a :meth:`snapshot` payload.
+
+        The restored engine continues exactly where the snapshot left off:
+        same graph, currency, input log, scheduler-variant state, stats,
+        and sweep cadence.  *observers* are attached fresh (observers are
+        not serialized) and see only post-restore events.
+        """
+        if not isinstance(snapshot, dict):
+            raise SnapshotError(
+                f"engine snapshot must be a dict, got {type(snapshot).__name__}"
+            )
+        if snapshot.get("format") != SNAPSHOT_FORMAT:
+            raise SnapshotError(
+                f"unsupported engine snapshot format {snapshot.get('format')!r}"
+            )
+        try:
+            config = EngineConfig(**snapshot["config"])
+            engine = cls(config, observers=observers)
+            engine.scheduler.restore_state(snapshot["scheduler_state"])
+            counters = snapshot["engine"]
+            engine._step_index = int(counters["step_index"])
+            engine._steps_since_sweep = int(counters["steps_since_sweep"])
+            engine._sweeps_run = int(counters["sweeps_run"])
+            engine._stats_observer.stats = GcStats.from_dict(snapshot["stats"])
+        except (KeyError, TypeError) as exc:
+            raise SnapshotError(f"malformed engine snapshot: {exc}") from exc
+        return engine

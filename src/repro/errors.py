@@ -26,6 +26,11 @@ __all__ = [
     "NotCompletedError",
     "WorkloadError",
     "ReductionError",
+    "RegistryError",
+    "UnknownNameError",
+    "IncompatiblePolicyError",
+    "EngineError",
+    "SnapshotError",
 ]
 
 
@@ -139,3 +144,49 @@ class WorkloadError(ReproError):
 
 class ReductionError(ReproError):
     """An NP-completeness reduction received a malformed instance."""
+
+
+class RegistryError(ReproError):
+    """Misuse of the named-component registries (:mod:`repro.registry`)."""
+
+
+class UnknownNameError(RegistryError, KeyError):
+    """A registry lookup used a name nobody registered."""
+
+    def __init__(self, kind: str, name: object, known) -> None:
+        super().__init__(
+            f"unknown {kind} {name!r}; known {kind}s: {', '.join(sorted(known))}"
+        )
+        self.kind = kind
+        self.name = name
+        self.known = tuple(sorted(known))
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+class IncompatiblePolicyError(RegistryError):
+    """A scheduler/policy pairing whose models do not match.
+
+    The deletion conditions are model-specific (C1/C2 for the basic model,
+    C3 for multiwrite, C4 for predeclared), so pairing e.g. ``eager-c4``
+    with anything but the predeclared scheduler would silently apply the
+    wrong safety condition; the registries reject it at construction time.
+    """
+
+    def __init__(self, scheduler: str, policy: str, allowed) -> None:
+        super().__init__(
+            f"policy {policy!r} is not compatible with scheduler "
+            f"{scheduler!r}; compatible policies: {', '.join(sorted(allowed))}"
+        )
+        self.scheduler = scheduler
+        self.policy = policy
+        self.allowed = tuple(sorted(allowed))
+
+
+class EngineError(ReproError):
+    """The :class:`repro.engine.Engine` façade was misconfigured or misused."""
+
+
+class SnapshotError(EngineError):
+    """An engine snapshot is malformed, or restore hit unsupported state."""

@@ -29,6 +29,12 @@ __all__ = [
     "graph_from_dict",
     "graph_to_json",
     "graph_from_json",
+    "step_to_dict",
+    "step_from_dict",
+    "step_result_to_dict",
+    "step_result_from_dict",
+    "currency_to_dict",
+    "currency_from_dict",
     "schedule_to_list",
     "schedule_from_list",
 ]
@@ -121,39 +127,95 @@ _STEP_ENCODERS = {
 }
 
 
+def step_to_dict(step: Step) -> Dict[str, Any]:
+    """Encode one step as a small JSON-ready dict."""
+    encoder = _STEP_ENCODERS.get(type(step))
+    if encoder is None:
+        raise ModelError(f"cannot encode step kind {type(step).__name__}")
+    return encoder(step)
+
+
+def step_from_dict(item: Dict[str, Any]) -> Step:
+    """Inverse of :func:`step_to_dict`."""
+    kind = item.get("kind")
+    if kind == "begin":
+        return Begin(item["txn"])
+    if kind == "begin_declared":
+        return BeginDeclared(
+            item["txn"],
+            {e: AccessMode[m] for e, m in item["declared"].items()},
+        )
+    if kind == "read":
+        return Read(item["txn"], item["entity"])
+    if kind == "write":
+        return Write(item["txn"], frozenset(item["entities"]))
+    if kind == "write_item":
+        return WriteItem(item["txn"], item["entity"])
+    if kind == "finish":
+        return Finish(item["txn"])
+    raise ModelError(f"unknown step kind {kind!r}")
+
+
 def schedule_to_list(schedule: Schedule) -> List[Dict[str, Any]]:
     """Encode every step as a small dict."""
-    encoded = []
-    for step in schedule:
-        encoder = _STEP_ENCODERS.get(type(step))
-        if encoder is None:
-            raise ModelError(f"cannot encode step kind {type(step).__name__}")
-        encoded.append(encoder(step))
-    return encoded
+    return [step_to_dict(step) for step in schedule]
 
 
 def schedule_from_list(items: List[Dict[str, Any]]) -> Schedule:
     """Inverse of :func:`schedule_to_list`."""
-    steps: List[Step] = []
-    for item in items:
-        kind = item.get("kind")
-        if kind == "begin":
-            steps.append(Begin(item["txn"]))
-        elif kind == "begin_declared":
-            steps.append(
-                BeginDeclared(
-                    item["txn"],
-                    {e: AccessMode[m] for e, m in item["declared"].items()},
-                )
-            )
-        elif kind == "read":
-            steps.append(Read(item["txn"], item["entity"]))
-        elif kind == "write":
-            steps.append(Write(item["txn"], frozenset(item["entities"])))
-        elif kind == "write_item":
-            steps.append(WriteItem(item["txn"], item["entity"]))
-        elif kind == "finish":
-            steps.append(Finish(item["txn"]))
-        else:
-            raise ModelError(f"unknown step kind {kind!r}")
-    return Schedule(tuple(steps))
+    return Schedule(tuple(step_from_dict(item) for item in items))
+
+
+# ---------------------------------------------------------------------------
+# Step results and currency (engine checkpoints)
+# ---------------------------------------------------------------------------
+
+
+def step_result_to_dict(result) -> Dict[str, Any]:
+    """Encode a :class:`~repro.scheduler.events.StepResult`."""
+    return {
+        "step": step_to_dict(result.step),
+        "decision": result.decision.value,
+        "arcs_added": [list(arc) for arc in result.arcs_added],
+        "aborted": list(result.aborted),
+        "committed": list(result.committed),
+        "released": [step_to_dict(step) for step in result.released],
+        "blocked_on": list(result.blocked_on),
+    }
+
+
+def step_result_from_dict(item: Dict[str, Any]):
+    """Inverse of :func:`step_result_to_dict`."""
+    from repro.scheduler.events import Decision, StepResult
+
+    return StepResult(
+        step=step_from_dict(item["step"]),
+        decision=Decision(item["decision"]),
+        arcs_added=tuple(tuple(arc) for arc in item.get("arcs_added", ())),
+        aborted=tuple(item.get("aborted", ())),
+        committed=tuple(item.get("committed", ())),
+        released=tuple(step_from_dict(s) for s in item.get("released", ())),
+        blocked_on=tuple(item.get("blocked_on", ())),
+    )
+
+
+def currency_to_dict(tracker) -> Dict[str, Any]:
+    """Encode a :class:`~repro.tracking.CurrencyTracker`."""
+    return {
+        "last_writer": dict(sorted(tracker.last_writer.items())),
+        "readers_since_write": {
+            entity: sorted(readers)
+            for entity, readers in sorted(tracker.readers_since_write.items())
+        },
+    }
+
+
+def currency_from_dict(payload: Dict[str, Any]):
+    """Inverse of :func:`currency_to_dict`."""
+    from repro.tracking import CurrencyTracker
+
+    tracker = CurrencyTracker()
+    tracker.last_writer.update(payload.get("last_writer", {}))
+    for entity, readers in payload.get("readers_since_write", {}).items():
+        tracker.readers_since_write[entity] = set(readers)
+    return tracker

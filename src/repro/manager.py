@@ -1,75 +1,44 @@
-"""The reduced scheduler, packaged: scheduler + deletion policy + audit.
+"""Deprecated: the GC façade, now a thin shim over :mod:`repro.engine`.
 
-§4 defines the combined algorithm: *"A deletion policy together with F
-(Rules 1-3) specify the behavior of the scheduling algorithm ... when a new
-transaction step arrives, the function F is applied to the current graph
-giving a new graph G; then the set of nodes P(G) is removed."*
-
-:class:`GarbageCollectedScheduler` is that loop as a single adoptable
-object: feed steps, deletions happen automatically, statistics accumulate,
-and (optionally) every policy selection is re-checked against condition C2
-before it is applied — a belt-and-braces mode for policies you do not
-trust yet (Theorem 2: one unsafe deletion is enough to break correctness).
+:class:`GarbageCollectedScheduler` predates the unified
+:class:`~repro.engine.Engine` façade and survives only for backwards
+compatibility; new code should construct an ``Engine`` (directly, via
+:class:`~repro.engine.EngineConfig`, or with ``Engine.from_parts`` when it
+already holds scheduler/policy instances).  The shim preserves the old
+surface — ``feed``/``feed_many``, ``stats``, ``graph``, ``aborted``,
+``accepted_subschedule`` — by delegating every call to an internal engine
+with ``sweep_interval=1`` (the legacy per-step deletion cadence).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+import warnings
+from typing import Iterable, List, Optional
 
-from repro.core.policies import DeletionPolicy, NeverDeletePolicy
-from repro.core.set_conditions import can_delete_set
-from repro.errors import UnsafeDeletionError
-from repro.model.steps import Step, TxnId
+from repro.core.policies import DeletionPolicy
+from repro.engine import Engine, GcStats
+from repro.model.steps import Step
 from repro.scheduler.base import SchedulerBase
 from repro.scheduler.events import StepResult
 
 __all__ = ["GarbageCollectedScheduler", "GcStats"]
 
 
-@dataclass
-class GcStats:
-    """Running totals for one garbage-collected scheduler."""
-
-    steps_fed: int = 0
-    deletions: int = 0
-    policy_invocations: int = 0
-    peak_graph_size: int = 0
-    peak_retained_completed: int = 0
-    deleted_ids: List[TxnId] = field(default_factory=list)
-
-    def as_dict(self) -> Dict[str, object]:
-        return {
-            "steps_fed": self.steps_fed,
-            "deletions": self.deletions,
-            "policy_invocations": self.policy_invocations,
-            "peak_graph_size": self.peak_graph_size,
-            "peak_retained_completed": self.peak_retained_completed,
-        }
-
-
 class GarbageCollectedScheduler:
-    """A scheduler with a deletion policy wired into its step loop.
+    """Deprecated alias for the §4 loop; delegates to :class:`Engine`.
 
-    Parameters
-    ----------
-    scheduler:
-        Any :class:`~repro.scheduler.base.SchedulerBase` instance (it is
-        owned and mutated by this object from now on).
-    policy:
-        The deletion policy; defaults to keeping everything.
-    verify_c2:
-        When true, every policy selection is checked against condition C2
-        before deletion and an :class:`UnsafeDeletionError` is raised on a
-        violation.  C2 governs the basic model; leave this off for
-        multiwrite/predeclared schedulers, whose policies check C3/C4
-        internally.
+    Parameters match the historical signature: a scheduler instance, an
+    optional policy (defaults to keeping everything), and ``verify_c2`` to
+    re-check every selection against condition C2 before deletion.
 
+    >>> import warnings
     >>> from repro.scheduler.conflict import ConflictGraphScheduler
     >>> from repro.core.policies import EagerC1Policy
     >>> from repro.workloads.traces import example1_schedule
-    >>> gc = GarbageCollectedScheduler(ConflictGraphScheduler(),
-    ...                                EagerC1Policy(), verify_c2=True)
+    >>> with warnings.catch_warnings():
+    ...     warnings.simplefilter("ignore", DeprecationWarning)
+    ...     gc = GarbageCollectedScheduler(ConflictGraphScheduler(),
+    ...                                    EagerC1Policy(), verify_c2=True)
     >>> _ = gc.feed_many(example1_schedule())
     >>> len(gc.graph) < 3   # something was safely forgotten along the way
     True
@@ -81,52 +50,79 @@ class GarbageCollectedScheduler:
         policy: Optional[DeletionPolicy] = None,
         verify_c2: bool = False,
     ) -> None:
-        self.scheduler = scheduler
-        self.policy = policy if policy is not None else NeverDeletePolicy()
-        self.verify_c2 = verify_c2
-        self.stats = GcStats()
+        warnings.warn(
+            "GarbageCollectedScheduler is deprecated; use repro.engine.Engine "
+            "(e.g. Engine(scheduler='conflict-graph', policy='eager-c1') or "
+            "Engine.from_parts(scheduler, policy))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._engine = Engine.from_parts(
+            scheduler, policy, sweep_interval=1, verify_c2=verify_c2
+        )
 
     # -- the §4 loop -------------------------------------------------------------
 
     def feed(self, step: Step) -> StepResult:
         """Apply F to the current graph, then remove P(G)."""
-        result = self.scheduler.feed(step)
-        self.stats.steps_fed += 1
-        chosen = self.policy.select(self.scheduler)
-        self.stats.policy_invocations += 1
-        if chosen:
-            if self.verify_c2 and not can_delete_set(self.scheduler.graph, chosen):
-                raise UnsafeDeletionError(
-                    tuple(sorted(chosen)),
-                    f"policy {self.policy.name!r} selected a C2-violating set",
-                )
-            ordered = sorted(chosen)
-            self.scheduler.delete_transactions(ordered)
-            self.stats.deletions += len(ordered)
-            self.stats.deleted_ids.extend(ordered)
-        graph = self.scheduler.graph
-        self.stats.peak_graph_size = max(self.stats.peak_graph_size, len(graph))
-        self.stats.peak_retained_completed = max(
-            self.stats.peak_retained_completed,
-            len(graph.completed_transactions()),
-        )
-        return result
+        return self._engine.feed(step)
 
     def feed_many(self, steps: Iterable[Step]) -> List[StepResult]:
-        return [self.feed(step) for step in steps]
+        return self._engine.feed_many(steps)
 
     # -- façade ---------------------------------------------------------------------
 
     @property
+    def engine(self) -> Engine:
+        """The underlying :class:`Engine` (migration escape hatch)."""
+        return self._engine
+
+    # The historical class exposed these as plain mutable attributes;
+    # the setters keep old call sites (resetting stats between phases,
+    # toggling verification mid-run, swapping policies) working.
+
+    @property
+    def scheduler(self) -> SchedulerBase:
+        return self._engine.scheduler
+
+    @scheduler.setter
+    def scheduler(self, value: SchedulerBase) -> None:
+        self._engine.scheduler = value
+
+    @property
+    def policy(self) -> DeletionPolicy:
+        return self._engine.policy
+
+    @policy.setter
+    def policy(self, value: DeletionPolicy) -> None:
+        self._engine.policy = value
+
+    @property
+    def verify_c2(self) -> bool:
+        return self._engine.verify_c2
+
+    @verify_c2.setter
+    def verify_c2(self, value: bool) -> None:
+        self._engine.verify_c2 = value
+
+    @property
+    def stats(self) -> GcStats:
+        return self._engine.stats
+
+    @stats.setter
+    def stats(self, value: GcStats) -> None:
+        self._engine._stats_observer.stats = value
+
+    @property
     def graph(self):
-        return self.scheduler.graph
+        return self._engine.graph
 
     @property
     def aborted(self):
-        return self.scheduler.aborted
+        return self._engine.aborted
 
     def accepted_subschedule(self):
-        return self.scheduler.accepted_subschedule()
+        return self._engine.accepted_subschedule()
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,274 @@
+"""Named registries for schedulers and deletion policies.
+
+The paper's §4 algorithm is assembled from two pluggable parts — a
+transition function ``F`` (a scheduler) and a deletion policy ``P`` — and
+not every pairing is meaningful: the safety conditions are model-specific
+(C1/C2 govern the basic model, C3 the multiwrite model, C4 the predeclared
+model), so e.g. ``eager-c4`` must only ever run against the predeclared
+scheduler.  This module is the single place where that knowledge lives:
+
+* string-keyed factories for the built-in schedulers and policies (plus
+  back-compat aliases like ``"conflict"`` and ``"2pl"``);
+* per-entry *model* metadata used to validate scheduler/policy pairings at
+  :class:`~repro.engine.EngineConfig` construction time;
+* a plugin API (:func:`register_scheduler` / :func:`register_policy`) so
+  downstream code can add variants that the CLI, the engine, and the
+  experiment runner pick up by name.
+
+>>> create_scheduler("conflict-graph")          # doctest: +ELLIPSIS
+<repro.scheduler.conflict.ConflictGraphScheduler object at ...>
+>>> check_compatible("predeclared", "eager-c4")
+>>> check_compatible("conflict-graph", "eager-c4")
+... # doctest: +IGNORE_EXCEPTION_DETAIL
+Traceback (most recent call last):
+IncompatiblePolicyError: ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Tuple
+
+from repro.errors import IncompatiblePolicyError, RegistryError, UnknownNameError
+
+__all__ = [
+    "MODELS",
+    "SchedulerEntry",
+    "PolicyEntry",
+    "Registry",
+    "schedulers",
+    "policies",
+    "register_scheduler",
+    "register_policy",
+    "create_scheduler",
+    "create_policy",
+    "scheduler_names",
+    "policy_names",
+    "scheduler_name_of",
+    "policy_name_of",
+    "compatible_policies",
+    "check_compatible",
+]
+
+#: Transaction models a scheduler can implement.  ``basic`` is §2's
+#: atomic-final-write model; ``certifier`` and ``locking`` consume basic
+#: streams but expose different information to deletion policies (the
+#: certifier's graph holds no active transactions; strict 2PL keeps no
+#: graph at all), so they are distinct models for compatibility purposes.
+MODELS: FrozenSet[str] = frozenset(
+    {"basic", "certifier", "locking", "multiwrite", "predeclared"}
+)
+
+
+@dataclass(frozen=True)
+class SchedulerEntry:
+    """One registered scheduler: factory plus model metadata."""
+
+    name: str
+    factory: Callable[..., Any]
+    model: str
+    aliases: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class PolicyEntry:
+    """One registered deletion policy: factory plus the models whose
+    governing safety condition it applies."""
+
+    name: str
+    factory: Callable[..., Any]
+    models: FrozenSet[str]
+    aliases: Tuple[str, ...] = ()
+
+
+class Registry:
+    """A case-preserving name -> entry map with alias support."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, Any] = {}
+        self._aliases: Dict[str, str] = {}
+
+    def register(self, entry, *, replace: bool = False) -> None:
+        taken = set(self._entries) | set(self._aliases)
+        for name in (entry.name, *entry.aliases):
+            if name in taken and not replace:
+                raise RegistryError(
+                    f"{self.kind} name {name!r} is already registered "
+                    "(pass replace=True to override)"
+                )
+        self._entries[entry.name] = entry
+        for alias in entry.aliases:
+            self._aliases[alias] = entry.name
+
+    def resolve(self, name: str) -> str:
+        """Canonical name for *name* (which may be an alias)."""
+        if name in self._entries:
+            return name
+        if name in self._aliases:
+            return self._aliases[name]
+        raise UnknownNameError(self.kind, name, self.names())
+
+    def get(self, name: str):
+        return self._entries[self.resolve(name)]
+
+    def create(self, name: str, **options):
+        return self.get(name).factory(**options)
+
+    def names(self) -> Tuple[str, ...]:
+        """Canonical names, sorted (aliases excluded)."""
+        return tuple(sorted(self._entries))
+
+    def all_names(self) -> Tuple[str, ...]:
+        """Canonical names plus aliases, sorted."""
+        return tuple(sorted(set(self._entries) | set(self._aliases)))
+
+    def name_of(self, factory: Callable[..., Any]) -> str:
+        """Reverse lookup: the canonical name that registered *factory*."""
+        for name, entry in self._entries.items():
+            if entry.factory is factory:
+                return name
+        raise UnknownNameError(self.kind, getattr(factory, "__name__", factory),
+                               self.names())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries or name in self._aliases
+
+
+#: The process-wide registries the engine, CLI, and runner consult.
+schedulers = Registry("scheduler")
+policies = Registry("policy")
+
+
+def register_scheduler(
+    name: str,
+    factory: Callable[..., Any],
+    *,
+    model: str,
+    aliases: Iterable[str] = (),
+    replace: bool = False,
+) -> None:
+    """Add a scheduler factory under *name* (plugin API)."""
+    if model not in MODELS:
+        raise RegistryError(
+            f"unknown model {model!r}; known models: {', '.join(sorted(MODELS))}"
+        )
+    schedulers.register(
+        SchedulerEntry(name, factory, model, tuple(aliases)), replace=replace
+    )
+
+
+def register_policy(
+    name: str,
+    factory: Callable[..., Any],
+    *,
+    models: Iterable[str],
+    aliases: Iterable[str] = (),
+    replace: bool = False,
+) -> None:
+    """Add a deletion-policy factory under *name* (plugin API)."""
+    model_set = frozenset(models)
+    unknown = model_set - MODELS
+    if unknown:
+        raise RegistryError(
+            f"unknown models {sorted(unknown)}; known: {', '.join(sorted(MODELS))}"
+        )
+    policies.register(
+        PolicyEntry(name, factory, model_set, tuple(aliases)), replace=replace
+    )
+
+
+def create_scheduler(name: str, **options):
+    return schedulers.create(name, **options)
+
+
+def create_policy(name: str, **options):
+    return policies.create(name, **options)
+
+
+def scheduler_names() -> Tuple[str, ...]:
+    return schedulers.names()
+
+
+def policy_names() -> Tuple[str, ...]:
+    return policies.names()
+
+
+def scheduler_name_of(scheduler: Any) -> str:
+    """Canonical registry name of a scheduler instance's type."""
+    return schedulers.name_of(type(scheduler))
+
+
+def policy_name_of(policy: Any) -> str:
+    """Canonical registry name of a policy instance's type."""
+    return policies.name_of(type(policy))
+
+
+def compatible_policies(scheduler_name: str) -> Tuple[str, ...]:
+    """Canonical policy names applicable to *scheduler_name*'s model."""
+    model = schedulers.get(scheduler_name).model
+    return tuple(
+        name for name in policies.names() if model in policies.get(name).models
+    )
+
+
+def check_compatible(scheduler_name: str, policy_name: str) -> None:
+    """Raise :class:`IncompatiblePolicyError` on a model mismatch."""
+    scheduler_entry = schedulers.get(scheduler_name)
+    policy_entry = policies.get(policy_name)
+    if scheduler_entry.model not in policy_entry.models:
+        raise IncompatiblePolicyError(
+            scheduler_entry.name,
+            policy_entry.name,
+            compatible_policies(scheduler_entry.name),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Built-ins
+# ---------------------------------------------------------------------------
+
+
+def _register_builtins() -> None:
+    from repro.core.policies import (
+        EagerC1Policy,
+        EagerC3Policy,
+        EagerC4Policy,
+        Lemma1Policy,
+        NeverDeletePolicy,
+        NoncurrentPolicy,
+        OptimalPolicy,
+    )
+    from repro.scheduler.certifier import Certifier
+    from repro.scheduler.conflict import ConflictGraphScheduler
+    from repro.scheduler.locking import StrictTwoPhaseLocking
+    from repro.scheduler.multiwrite import MultiwriteScheduler
+    from repro.scheduler.predeclared import PredeclaredScheduler
+
+    register_scheduler(
+        "conflict-graph", ConflictGraphScheduler, model="basic",
+        aliases=("conflict",),
+    )
+    register_scheduler("certifier", Certifier, model="certifier")
+    register_scheduler(
+        "strict-2pl", StrictTwoPhaseLocking, model="locking", aliases=("2pl",)
+    )
+    register_scheduler("multiwrite", MultiwriteScheduler, model="multiwrite")
+    register_scheduler("predeclared", PredeclaredScheduler, model="predeclared")
+
+    register_policy("never", NeverDeletePolicy, models=MODELS)
+    # Lemma 1 is safe in every model (its docstring carries the argument),
+    # and on the graph-less 2PL baseline it is a harmless no-op.
+    register_policy("lemma1", Lemma1Policy, models=MODELS)
+    # Corollary 1 needs basic-model currency; the certifier's docstring
+    # derives why noncurrency stays sound there too.
+    register_policy(
+        "noncurrent", NoncurrentPolicy, models={"basic", "certifier"}
+    )
+    register_policy("eager-c1", EagerC1Policy, models={"basic"})
+    register_policy("optimal", OptimalPolicy, models={"basic"})
+    register_policy("eager-c3", EagerC3Policy, models={"multiwrite"})
+    register_policy("eager-c4", EagerC4Policy, models={"predeclared"})
+
+
+_register_builtins()

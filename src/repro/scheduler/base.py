@@ -18,10 +18,20 @@ recording helpers.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.reduced_graph import ReducedGraph
-from repro.errors import SchedulerError
+from repro.errors import SchedulerError, SnapshotError
+from repro.io import (
+    currency_from_dict,
+    currency_to_dict,
+    graph_from_dict,
+    graph_to_dict,
+    step_from_dict,
+    step_result_from_dict,
+    step_result_to_dict,
+    step_to_dict,
+)
 from repro.model.schedule import Schedule
 from repro.model.steps import Step, TxnId
 from repro.scheduler.events import Decision, StepResult
@@ -61,6 +71,12 @@ class SchedulerBase(ABC):
         return result
 
     def feed_many(self, steps: Iterable[Step]) -> List[StepResult]:
+        """Feed steps from *any* iterable, one at a time.
+
+        Contract (regression-tested): each step is pulled from the
+        iterable only after the previous one has been fully processed, so
+        generator workloads work without an intermediate input list.
+        """
         return [self.feed(step) for step in steps]
 
     def run(self, schedule: Schedule | Iterable[Step]) -> List[StepResult]:
@@ -120,6 +136,52 @@ class SchedulerBase(ABC):
     def delete_transactions(self, txns: Iterable[TxnId]) -> None:
         for txn in txns:
             self.delete_transaction(txn)
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """A JSON-ready dict of the complete scheduler state.
+
+        Captures the reduced graph (via the :mod:`repro.io` serializers),
+        the currency tracker, the raw input log, every recorded
+        :class:`StepResult`, the aborted set, and whatever variant-specific
+        state :meth:`_snapshot_extra` contributes (parked step queues, lock
+        tables, certification clocks, ...).
+        """
+        return {
+            "graph": graph_to_dict(self.graph),
+            "currency": currency_to_dict(self.currency),
+            "input_log": [step_to_dict(step) for step in self._input_log],
+            "results": [step_result_to_dict(r) for r in self._results],
+            "aborted": sorted(self._aborted),
+            "extra": self._snapshot_extra(),
+        }
+
+    def restore_state(self, payload: Dict[str, Any]) -> None:
+        """Inverse of :meth:`snapshot_state`; overwrites this instance."""
+        try:
+            self.graph = graph_from_dict(payload["graph"])
+            self.currency = currency_from_dict(payload["currency"])
+            self._input_log = [step_from_dict(d) for d in payload["input_log"]]
+            self._results = [
+                step_result_from_dict(d) for d in payload["results"]
+            ]
+            self._aborted = set(payload["aborted"])
+        except (KeyError, TypeError) as exc:
+            raise SnapshotError(f"malformed scheduler snapshot: {exc}") from exc
+        self._restore_extra(payload.get("extra") or {})
+
+    def _snapshot_extra(self) -> Dict[str, Any]:
+        """Variant-specific state; subclasses with state beyond the base
+        bookkeeping override both this and :meth:`_restore_extra`."""
+        return {}
+
+    def _restore_extra(self, extra: Dict[str, Any]) -> None:
+        if extra:
+            raise SnapshotError(
+                f"{type(self).__name__} cannot restore extra state "
+                f"{sorted(extra)}; snapshot was taken by a different variant?"
+            )
 
     # -- shared helpers for subclasses -------------------------------------------
 

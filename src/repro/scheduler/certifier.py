@@ -218,3 +218,30 @@ class Certifier(SchedulerBase):
 
     def running_transactions(self) -> frozenset:
         return frozenset(self._running)
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def _snapshot_extra(self):
+        return {
+            "clock": self._clock,
+            "cert_time": dict(sorted(self._cert_time.items())),
+            "running": [
+                {
+                    "txn": running.txn,
+                    "begun_at": running.begun_at,
+                    "first_read": dict(sorted(running.first_read.items())),
+                    "last_read": dict(sorted(running.last_read.items())),
+                }
+                for _, running in sorted(self._running.items())
+            ],
+        }
+
+    def _restore_extra(self, extra):
+        self._clock = extra["clock"]
+        self._cert_time = dict(extra["cert_time"])
+        self._running = {}
+        for item in extra["running"]:
+            running = _RunningTxn(item["txn"], item["begun_at"])
+            running.first_read.update(item["first_read"])
+            running.last_read.update(item["last_read"])
+            self._running[running.txn] = running

@@ -135,6 +135,49 @@ class StrictTwoPhaseLocking(SchedulerBase):
     def locks_held(self, txn: TxnId) -> Set[Entity]:
         return self._locks.held_by(txn)
 
+    # -- checkpointing ------------------------------------------------------------
+
+    def _snapshot_extra(self):
+        from repro.io import step_to_dict
+
+        return {
+            "shared": {
+                entity: sorted(holders)
+                for entity, holders in sorted(self._locks.shared.items())
+                if holders
+            },
+            "exclusive": dict(sorted(self._locks.exclusive.items())),
+            "pending": {
+                txn: [step_to_dict(step) for step in queue]
+                for txn, queue in sorted(self._pending.items())
+            },
+            "active": sorted(self._active),
+            "committed": list(self._committed),
+            "executed": [step_to_dict(step) for step in self._executed],
+            "waits_for": {
+                txn: sorted(blockers)
+                for txn, blockers in sorted(self._waits_for.items())
+            },
+        }
+
+    def _restore_extra(self, extra):
+        from repro.io import step_from_dict
+
+        self._locks = _LockTable()
+        for entity, holders in extra["shared"].items():
+            self._locks.shared[entity] = set(holders)
+        self._locks.exclusive.update(extra["exclusive"])
+        self._pending = {
+            txn: deque(step_from_dict(d) for d in items)
+            for txn, items in extra["pending"].items()
+        }
+        self._active = set(extra["active"])
+        self._committed = list(extra["committed"])
+        self._executed = [step_from_dict(d) for d in extra["executed"]]
+        self._waits_for = {
+            txn: set(blockers) for txn, blockers in extra["waits_for"].items()
+        }
+
     # -- driving -----------------------------------------------------------------
 
     def _process(self, step: Step) -> StepResult:

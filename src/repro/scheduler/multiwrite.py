@@ -170,6 +170,14 @@ class MultiwriteScheduler(SchedulerBase):
         committed = self._commit_ready()
         return StepResult(step, Decision.ACCEPTED, committed=tuple(committed))
 
+    # -- checkpointing ------------------------------------------------------------
+
+    def _snapshot_extra(self):
+        return {"last_writer": dict(sorted(self._last_writer.items()))}
+
+    def _restore_extra(self, extra):
+        self._last_writer = dict(extra["last_writer"])
+
     # -- commit / abort machinery ----------------------------------------------------
 
     def _commit_ready(self) -> List[TxnId]:

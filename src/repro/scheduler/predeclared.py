@@ -94,6 +94,28 @@ class PredeclaredScheduler(SchedulerBase):
 
         return Schedule(tuple(self._executed))
 
+    # -- checkpointing ------------------------------------------------------------
+
+    def _snapshot_extra(self):
+        from repro.io import step_to_dict
+
+        return {
+            "pending": {
+                txn: [step_to_dict(step) for step in queue]
+                for txn, queue in sorted(self._pending.items())
+            },
+            "executed": [step_to_dict(step) for step in self._executed],
+        }
+
+    def _restore_extra(self, extra):
+        from repro.io import step_from_dict
+
+        self._pending = {
+            txn: deque(step_from_dict(d) for d in items)
+            for txn, items in extra["pending"].items()
+        }
+        self._executed = [step_from_dict(d) for d in extra["executed"]]
+
     # -- driving --------------------------------------------------------------------
 
     def _process(self, step: Step) -> StepResult:

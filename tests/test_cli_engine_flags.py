@@ -1,0 +1,87 @@
+"""CLI smoke tests for the engine-era flags (registry names, sweeps)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+class TestRunFlags:
+    def test_predeclared_eager_c4_with_sweep_interval(self, capsys):
+        code = cli_main(
+            ["run", "--scheduler", "predeclared", "--policy", "eager-c4",
+             "--sweep-interval", "8", "--transactions", "12",
+             "--entities", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "graph size" in out
+        assert "interval 8" in out  # the sweep/stats line
+        assert "deleted:" in out
+
+    def test_canonical_and_alias_names(self, capsys):
+        for name in ["conflict-graph", "conflict"]:
+            assert cli_main(
+                ["run", "--scheduler", name, "--policy", "eager-c1",
+                 "--transactions", "8", "--entities", "4"]
+            ) == 0
+        assert cli_main(
+            ["run", "--scheduler", "strict-2pl", "--policy", "never",
+             "--transactions", "8", "--entities", "4"]
+        ) == 0
+
+    def test_incompatible_pair_rejected_with_exit_code(self, capsys):
+        code = cli_main(
+            ["run", "--scheduler", "conflict-graph", "--policy", "eager-c4",
+             "--transactions", "8", "--entities", "4"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "eager-c4" in err and "compatible" in err
+
+    def test_unknown_name_fails_argparse(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "--scheduler", "quantum"])
+
+    def test_sweep_interval_validation(self, capsys):
+        code = cli_main(
+            ["run", "--sweep-interval", "0", "--transactions", "8",
+             "--entities", "4"]
+        )
+        assert code == 2
+        assert "sweep_interval" in capsys.readouterr().err
+
+
+class TestSubprocessSmoke:
+    def test_python_dash_m_repro_run(self):
+        """The literal command from the issue: exit code and stats output."""
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "run",
+             "--scheduler", "predeclared", "--policy", "eager-c4",
+             "--sweep-interval", "8",
+             "--transactions", "12", "--entities", "5"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(SRC)},
+            cwd=str(REPO_ROOT),
+        )
+        assert result.returncode == 0, result.stderr
+        assert "accepted" in result.stdout      # metrics table header
+        assert "graph size" in result.stdout    # series line
+        assert "sweeps:" in result.stdout       # engine stats line
+
+    def test_compare_with_sweep_interval(self, capsys):
+        assert cli_main(
+            ["compare", "--sweep-interval", "4", "--transactions", "10",
+             "--entities", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "eager-c1" in out and "never" in out

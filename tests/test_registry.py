@@ -1,0 +1,166 @@
+"""The name registries: round trips, unknown names, model compatibility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import registry
+from repro.core.policies import DeletionPolicy
+from repro.engine import Engine, EngineConfig
+from repro.errors import (
+    EngineError,
+    IncompatiblePolicyError,
+    RegistryError,
+    ReproError,
+    UnknownNameError,
+)
+from repro.scheduler.base import SchedulerBase
+
+EXPECTED_SCHEDULERS = {
+    "conflict-graph", "certifier", "strict-2pl", "multiwrite", "predeclared",
+}
+EXPECTED_POLICIES = {
+    "never", "lemma1", "noncurrent", "eager-c1", "eager-c3", "eager-c4",
+    "optimal",
+}
+
+#: Every valid (scheduler, policy) pairing per the model-compat table.
+VALID_PAIRS = [
+    (scheduler, policy)
+    for scheduler in sorted(EXPECTED_SCHEDULERS)
+    for policy in registry.compatible_policies(scheduler)
+]
+
+INVALID_PAIRS = [
+    (scheduler, policy)
+    for scheduler in sorted(EXPECTED_SCHEDULERS)
+    for policy in sorted(EXPECTED_POLICIES)
+    if policy not in registry.compatible_policies(scheduler)
+]
+
+
+class TestBuiltins:
+    def test_all_builtin_names_present(self):
+        assert set(registry.scheduler_names()) == EXPECTED_SCHEDULERS
+        assert set(registry.policy_names()) == EXPECTED_POLICIES
+
+    def test_aliases_resolve_to_canonical(self):
+        assert registry.schedulers.resolve("conflict") == "conflict-graph"
+        assert registry.schedulers.resolve("2pl") == "strict-2pl"
+
+    def test_factories_build_real_instances(self):
+        for name in registry.scheduler_names():
+            assert isinstance(registry.create_scheduler(name), SchedulerBase)
+        for name in registry.policy_names():
+            assert isinstance(registry.create_policy(name), DeletionPolicy)
+
+    def test_reverse_lookup(self):
+        scheduler = registry.create_scheduler("predeclared")
+        assert registry.scheduler_name_of(scheduler) == "predeclared"
+        policy = registry.create_policy("eager-c4")
+        assert registry.policy_name_of(policy) == "eager-c4"
+
+
+class TestEngineConfigRoundTrip:
+    @pytest.mark.parametrize("scheduler,policy", VALID_PAIRS)
+    def test_every_valid_pair_constructs(self, scheduler, policy):
+        config = EngineConfig(scheduler=scheduler, policy=policy)
+        assert config.scheduler == scheduler
+        assert config.policy == policy
+        engine = Engine(config)
+        assert type(engine.scheduler) is registry.schedulers.get(scheduler).factory
+        assert type(engine.policy) is registry.policies.get(policy).factory
+
+    @pytest.mark.parametrize("scheduler,policy", INVALID_PAIRS)
+    def test_every_invalid_pair_rejected_at_construction(self, scheduler, policy):
+        with pytest.raises(IncompatiblePolicyError) as excinfo:
+            EngineConfig(scheduler=scheduler, policy=policy)
+        # The message names the offending pair and the allowed set.
+        assert policy in str(excinfo.value)
+        assert excinfo.value.allowed
+
+    def test_alias_canonicalized_in_config(self):
+        config = EngineConfig(scheduler="conflict", policy="eager-c1")
+        assert config.scheduler == "conflict-graph"
+
+
+class TestUnknownNames:
+    def test_unknown_scheduler(self):
+        with pytest.raises(UnknownNameError) as excinfo:
+            EngineConfig(scheduler="quantum", policy="never")
+        assert "quantum" in str(excinfo.value)
+        assert "conflict-graph" in str(excinfo.value)  # lists known names
+
+    def test_unknown_policy(self):
+        with pytest.raises(UnknownNameError):
+            EngineConfig(scheduler="conflict-graph", policy="yolo")
+
+    def test_unknown_name_is_a_repro_error(self):
+        # One except clause catches the whole family.
+        with pytest.raises(ReproError):
+            registry.create_scheduler("nope")
+        with pytest.raises(RegistryError):
+            registry.create_policy("nope")
+
+    def test_bad_sweep_interval(self):
+        with pytest.raises(EngineError):
+            EngineConfig(sweep_interval=0)
+        with pytest.raises(EngineError):
+            Engine(scheduler="conflict-graph", policy="never", sweep_interval=-3)
+
+
+class TestPluginApi:
+    def test_register_and_use_custom_pair(self):
+        from repro.core.policies import NeverDeletePolicy
+        from repro.scheduler.conflict import ConflictGraphScheduler
+
+        class TracingScheduler(ConflictGraphScheduler):
+            """A registered plugin variant."""
+
+        class KeepAllPolicy(NeverDeletePolicy):
+            name = "keep-all"
+
+        registry.register_scheduler(
+            "tracing", TracingScheduler, model="basic", aliases=("trace",)
+        )
+        registry.register_policy("keep-all", KeepAllPolicy, models={"basic"})
+        try:
+            engine = Engine(scheduler="trace", policy="keep-all")
+            assert isinstance(engine.scheduler, TracingScheduler)
+            assert "keep-all" in registry.compatible_policies("tracing")
+            with pytest.raises(RegistryError):
+                registry.register_scheduler(
+                    "tracing", TracingScheduler, model="basic"
+                )
+        finally:
+            # Leave the process-wide registries as we found them.
+            registry.schedulers._entries.pop("tracing", None)
+            registry.schedulers._aliases.pop("trace", None)
+            registry.policies._entries.pop("keep-all", None)
+
+    def test_register_rejects_unknown_model(self):
+        with pytest.raises(RegistryError):
+            registry.register_scheduler(
+                "weird", object, model="imaginary"
+            )
+        with pytest.raises(RegistryError):
+            registry.register_policy(
+                "weird", object, models={"basic", "imaginary"}
+            )
+
+
+class TestCompatibilityTable:
+    def test_model_specific_conditions_pinned(self):
+        """The safety conditions are model-specific (C1/C2 basic, C3
+        multiwrite, C4 predeclared); pin the table so a registry edit that
+        silently cross-wires them fails loudly."""
+        assert "eager-c4" in registry.compatible_policies("predeclared")
+        assert "eager-c4" not in registry.compatible_policies("conflict-graph")
+        assert "eager-c3" in registry.compatible_policies("multiwrite")
+        assert "eager-c3" not in registry.compatible_policies("predeclared")
+        assert "noncurrent" in registry.compatible_policies("certifier")
+        assert "eager-c1" not in registry.compatible_policies("certifier")
+        # never/lemma1 are safe everywhere.
+        for scheduler in EXPECTED_SCHEDULERS:
+            compatible = registry.compatible_policies(scheduler)
+            assert "never" in compatible and "lemma1" in compatible
