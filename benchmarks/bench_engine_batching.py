@@ -60,9 +60,11 @@ def _experiment():
     outcomes = {}
     for interval in INTERVALS:
         policy = TimedLemma1()
+        # skip_clean_sweeps off: E13 measures the pure interval
+        # amortization, so every cadence-due sweep must actually run.
         engine = Engine.from_parts(
             create_scheduler("conflict-graph"), policy,
-            sweep_interval=interval,
+            sweep_interval=interval, skip_clean_sweeps=False,
         )
         start = time.perf_counter()
         batch = engine.feed_batch(stream)

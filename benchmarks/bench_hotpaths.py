@@ -1,0 +1,403 @@
+"""E14 — copy-free hot paths: machine-readable perf trajectory.
+
+Measures the policy-evaluation stack after the copy-free rework (entity
+indexes, epoch-memoized tight queries, live-graph trial deletions,
+dirty-set sweeps) against the *legacy* formulations preserved in
+:mod:`repro.core.reference` (full graph copies, snapshot-per-query tight
+sets) — on the same graph states, asserting byte-identical selections.
+
+Emits ``benchmarks/results/BENCH_hotpaths.json``::
+
+    {
+      "format": 1,
+      "suite": "hotpaths",
+      "scale": "full" | "smoke",
+      "series": [
+        {"scheduler": ..., "policy": ..., "steps": N, "sweeps": N,
+         "policy_time_s": s, "legacy_policy_time_s": s, "speedup": x,
+         "selections_identical": true, "deletions": N, "peak_graph": N,
+         "engine_ops_per_sec": x, "engine_sweeps_skipped": N,
+         "policy_time_series_ms": [...], "legacy_time_series_ms": [...]},
+        ...
+      ]
+    }
+
+so future PRs can diff the perf trajectory mechanically.  Run directly
+(``python benchmarks/bench_hotpaths.py [--scale smoke]``), through the
+pytest-benchmark harness, or validate an existing payload with
+``--validate-only <path>``.
+
+Acceptance gate (full scale): ≥ 5x policy-time reduction for ``eager-c1``
+and ``eager-c4`` on the E9-style growth workloads (1k+ steps).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+if __name__ == "__main__":  # direct execution: make src/ importable
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    )
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from _common import once, write_result
+
+from repro.analysis.report import ascii_table
+from repro.core.policies import (
+    EagerC1Policy,
+    EagerC3Policy,
+    EagerC4Policy,
+    Lemma1Policy,
+    NoncurrentPolicy,
+)
+from repro.core.reference import (
+    legacy_select_eager_c1,
+    legacy_select_eager_c3,
+    legacy_select_eager_c4,
+    naive_noncurrent_transactions,
+)
+from repro.engine import Engine
+from repro.registry import create_scheduler
+from repro.workloads.generator import (
+    WorkloadConfig,
+    basic_stream,
+    multiwrite_stream,
+    predeclared_stream,
+)
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_hotpaths.json"
+
+SPEEDUP_GATE = {"eager-c1": 5.0, "eager-c4": 5.0}
+
+
+def _scale() -> str:
+    return os.environ.get("BENCH_HOTPATHS_SCALE", "full")
+
+
+def _workloads(scale: str) -> Dict[str, WorkloadConfig]:
+    """E9-style workloads.
+
+    ``growth`` is §1's motivating shape (no pruning keeps up; the graph
+    grows into the hundreds) — the eager-c1 series *evaluates* both policy
+    stacks on it without applying the selections, measuring exactly the
+    per-sweep evaluation cost §4 worries about.  ``longtxn`` keeps many
+    long-lived actives in flight so the applied eager-c4 trajectory
+    retains a meaningful graph.  ``multiwrite`` stays small (C3's abort
+    subset search is exponential in the actives).
+    """
+    if scale == "smoke":
+        return {
+            "growth": WorkloadConfig(
+                n_transactions=60, n_entities=10, multiprogramming=5,
+                write_fraction=0.4, zipf_s=0.7, max_accesses=3, seed=31,
+            ),
+            "longtxn": WorkloadConfig(
+                n_transactions=40, n_entities=10, multiprogramming=6,
+                write_fraction=0.3, min_accesses=3, max_accesses=5, seed=31,
+            ),
+            "multiwrite": WorkloadConfig(
+                n_transactions=24, n_entities=8, multiprogramming=4,
+                write_fraction=0.5, max_accesses=3, seed=31,
+            ),
+        }
+    return {
+        "growth": WorkloadConfig(
+            n_transactions=300, n_entities=14, multiprogramming=8,
+            write_fraction=0.4, zipf_s=0.7, max_accesses=4, seed=31,
+        ),
+        "longtxn": WorkloadConfig(
+            n_transactions=160, n_entities=14, multiprogramming=12,
+            write_fraction=0.3, min_accesses=5, max_accesses=8, seed=31,
+        ),
+        "multiwrite": WorkloadConfig(
+            n_transactions=80, n_entities=12, multiprogramming=4,
+            write_fraction=0.5, max_accesses=3, seed=31,
+        ),
+    }
+
+
+def _lockstep_case(
+    scheduler_name: str,
+    stream,
+    sweep_interval: int,
+    select_new: Callable,
+    select_legacy: Optional[Callable],
+    apply_deletions: bool = True,
+) -> Dict[str, object]:
+    """Replay one stream; at each sweep point time the optimized selection
+    against the legacy one on the *same* graph state.
+
+    ``apply_deletions=False`` is the growth-evaluation mode: both stacks
+    are timed on the unpruned (§1 growth) trajectory, selections still
+    compared for byte-identity but not applied.
+    """
+    scheduler = create_scheduler(scheduler_name)
+    new_series: List[float] = []
+    legacy_series: List[float] = []
+    identical = True
+    deletions = 0
+    peak = 0
+    steps = 0
+    for step in stream:
+        scheduler.feed(step)
+        steps += 1
+        peak = max(peak, len(scheduler.graph))
+        if steps % sweep_interval:
+            continue
+        if select_legacy is not None:
+            t0 = time.perf_counter()
+            legacy_selected = select_legacy(scheduler)
+            legacy_series.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        selected = select_new(scheduler)
+        new_series.append(time.perf_counter() - t0)
+        if select_legacy is not None and selected != legacy_selected:
+            identical = False
+        if apply_deletions:
+            scheduler.delete_transactions(sorted(selected))
+        deletions += len(selected)
+    return {
+        "steps": steps,
+        "sweeps": len(new_series),
+        "policy_time_s": round(sum(new_series), 6),
+        "legacy_policy_time_s": (
+            round(sum(legacy_series), 6) if legacy_series else None
+        ),
+        "selections_identical": identical,
+        "deletions": deletions,
+        "deletions_applied": apply_deletions,
+        "peak_graph": peak,
+        "policy_time_series_ms": [round(t * 1000, 4) for t in new_series],
+        "legacy_time_series_ms": [round(t * 1000, 4) for t in legacy_series],
+    }
+
+
+def _engine_throughput(
+    scheduler_name: str, policy, stream, sweep_interval: int
+) -> Dict[str, object]:
+    """End-to-end ops/sec through the Engine (dirty-set sweeps active)."""
+    engine = Engine.from_parts(
+        create_scheduler(scheduler_name), policy, sweep_interval=sweep_interval
+    )
+    start = time.perf_counter()
+    engine.feed_batch(stream)
+    wall = time.perf_counter() - start
+    return {
+        "engine_ops_per_sec": round(len(stream) / wall, 1) if wall else None,
+        "engine_sweeps_skipped": engine.sweeps_skipped,
+        "engine_sweeps_run": engine.sweeps_run,
+    }
+
+
+def _experiment() -> Dict[str, object]:
+    scale = _scale()
+    configs = _workloads(scale)
+    growth = basic_stream(configs["growth"])
+    predeclared = predeclared_stream(configs["longtxn"])
+    multiwrite = multiwrite_stream(configs["multiwrite"])
+    if scale == "full":
+        assert len(growth) >= 1000, len(growth)
+        assert len(predeclared) >= 1000, len(predeclared)
+
+    cases = [
+        # (scheduler, policy, stream, interval, new, legacy, apply)
+        (
+            "conflict-graph", "eager-c1", growth, 16,
+            lambda s: EagerC1Policy().select(s),
+            lambda s: legacy_select_eager_c1(s.graph),
+            False,  # growth-evaluation mode: the §1 unpruned trajectory
+        ),
+        (
+            "conflict-graph", "lemma1", growth, 8,
+            lambda s: Lemma1Policy().select(s),
+            None,
+            True,
+        ),
+        (
+            "conflict-graph", "noncurrent", growth, 8,
+            lambda s: NoncurrentPolicy().select(s),
+            lambda s: naive_noncurrent_transactions(s.currency, s.graph),
+            True,
+        ),
+        (
+            "predeclared", "eager-c4", predeclared, 8,
+            lambda s: EagerC4Policy().select(s),
+            lambda s: legacy_select_eager_c4(s.graph),
+            True,
+        ),
+        (
+            "multiwrite", "eager-c3", multiwrite, 4,
+            lambda s: EagerC3Policy(max_actives=10).select(s),
+            lambda s: legacy_select_eager_c3(s.graph, max_actives=10),
+            True,
+        ),
+    ]
+    policies_for_engine = {
+        "eager-c1": EagerC1Policy,
+        "lemma1": Lemma1Policy,
+        "noncurrent": NoncurrentPolicy,
+        "eager-c4": EagerC4Policy,
+        "eager-c3": lambda: EagerC3Policy(max_actives=10),
+    }
+    series = []
+    for scheduler_name, policy_name, stream, interval, new, legacy, apply in cases:
+        entry: Dict[str, object] = {
+            "scheduler": scheduler_name,
+            "policy": policy_name,
+            "sweep_interval": interval,
+        }
+        entry.update(
+            _lockstep_case(
+                scheduler_name, stream, interval, new, legacy,
+                apply_deletions=apply,
+            )
+        )
+        legacy_total = entry["legacy_policy_time_s"]
+        new_total = entry["policy_time_s"]
+        entry["speedup"] = (
+            round(legacy_total / new_total, 2)
+            if legacy_total and new_total
+            else None
+        )
+        entry.update(
+            _engine_throughput(
+                scheduler_name, policies_for_engine[policy_name](), stream,
+                interval,
+            )
+        )
+        series.append(entry)
+    return {
+        "format": 1,
+        "suite": "hotpaths",
+        "scale": scale,
+        "workloads": {
+            name: {
+                "n_transactions": cfg.n_transactions,
+                "n_entities": cfg.n_entities,
+                "multiprogramming": cfg.multiprogramming,
+                "zipf_s": cfg.zipf_s,
+                "seed": cfg.seed,
+            }
+            for name, cfg in configs.items()
+        },
+        "series": series,
+    }
+
+
+def validate_payload(payload: Dict[str, object]) -> None:
+    """Schema check for BENCH_hotpaths.json; raises ValueError on drift."""
+    for key in ("format", "suite", "scale", "workloads", "series"):
+        if key not in payload:
+            raise ValueError(f"missing top-level key {key!r}")
+    if payload["format"] != 1 or payload["suite"] != "hotpaths":
+        raise ValueError("wrong format/suite stamp")
+    series = payload["series"]
+    if not isinstance(series, list) or not series:
+        raise ValueError("series must be a non-empty list")
+    required = {
+        "scheduler": str,
+        "policy": str,
+        "sweep_interval": int,
+        "steps": int,
+        "sweeps": int,
+        "policy_time_s": (int, float),
+        "selections_identical": bool,
+        "deletions": int,
+        "peak_graph": int,
+        "policy_time_series_ms": list,
+        "legacy_time_series_ms": list,
+    }
+    for entry in series:
+        for key, kind in required.items():
+            if key not in entry:
+                raise ValueError(f"series entry missing {key!r}: {entry}")
+            if not isinstance(entry[key], kind):
+                raise ValueError(
+                    f"series entry field {key!r} has type "
+                    f"{type(entry[key]).__name__}"
+                )
+        if not entry["selections_identical"]:
+            raise ValueError(
+                f"optimized selection diverged from legacy for "
+                f"{entry['scheduler']}×{entry['policy']}"
+            )
+
+
+def _check_gates(payload: Dict[str, object]) -> None:
+    validate_payload(payload)
+    if payload["scale"] != "full":
+        return
+    for entry in payload["series"]:
+        gate = SPEEDUP_GATE.get(entry["policy"])
+        if gate is not None:
+            assert entry["speedup"] is not None and entry["speedup"] >= gate, (
+                f"{entry['policy']}: speedup {entry['speedup']} below the "
+                f"{gate}x acceptance gate"
+            )
+
+
+def _emit(payload: Dict[str, object]) -> None:
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    rows = [
+        [
+            e["scheduler"], e["policy"], e["steps"], e["sweeps"],
+            round(e["policy_time_s"] * 1000, 1),
+            (
+                round(e["legacy_policy_time_s"] * 1000, 1)
+                if e["legacy_policy_time_s"] is not None
+                else "-"
+            ),
+            e["speedup"] if e["speedup"] is not None else "-",
+            e["engine_ops_per_sec"],
+            e["engine_sweeps_skipped"],
+        ]
+        for e in payload["series"]
+    ]
+    table = ascii_table(
+        ["scheduler", "policy", "steps", "sweeps", "new_ms", "legacy_ms",
+         "speedup", "engine_ops/s", "skipped"],
+        rows,
+        title=f"E14: copy-free hot paths ({payload['scale']} scale)",
+    )
+    write_result("E14_hotpaths", table)
+
+
+def bench_hotpaths(benchmark):
+    """pytest-benchmark entry point."""
+    payload = once(benchmark, _experiment)
+    _check_gates(payload)
+    _emit(payload)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("full", "smoke"), default=None)
+    parser.add_argument(
+        "--validate-only", metavar="PATH",
+        help="validate an existing BENCH_hotpaths.json and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.validate_only:
+        validate_payload(json.loads(pathlib.Path(args.validate_only).read_text()))
+        print(f"{args.validate_only}: schema OK")
+        return 0
+    if args.scale:
+        os.environ["BENCH_HOTPATHS_SCALE"] = args.scale
+    payload = _experiment()
+    _check_gates(payload)
+    _emit(payload)
+    print(f"wrote {RESULTS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

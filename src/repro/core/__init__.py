@@ -12,6 +12,9 @@
 * :mod:`repro.core.predeclared_conditions` — condition C4 (Theorem 7) for
   predeclared transactions;
 * :mod:`repro.core.policies` — deletion policies (Theorem 2 framework);
+* :mod:`repro.core.dirty` — dirty-set tracking for incremental sweeps;
+* :mod:`repro.core.reference` — naive/legacy oracle formulations of the
+  hot-path queries and policies (property tests + perf baselines);
 * :mod:`repro.core.optimal` — the Theorem 5 optimization problem: exact and
   greedy maximum safe deletion sets;
 * :mod:`repro.core.witnesses` — constructive unsafety witnesses from the

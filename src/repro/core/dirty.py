@@ -1,0 +1,157 @@
+"""Dirty-set tracking for deletion sweeps (§4's cost argument, incremental).
+
+§4 argues a deletion policy earns its keep only when evaluating it is cheap
+relative to the growth it prevents.  Re-testing *every* completed
+transaction on every sweep is not cheap; re-testing only the ones whose
+condition status could have changed is.  :class:`DirtyTracker` maintains
+that set for the :class:`~repro.engine.Engine` from the step outcomes the
+engine already observes.
+
+Soundness invariant (the property tests replay it on randomized workloads
+across all five schedulers):
+
+    After a sweep, every completed transaction left in the graph fails its
+    single-deletion condition (the sweep ran to a fixed point / maximal
+    selection).  Deleting a completed transaction never flips another
+    transaction's condition from *false* to *true* (witness pools and
+    clause-2 coverage only shrink; active-predecessor sets are unchanged
+    because deleted nodes are completed and contraction preserves paths).
+    Therefore the next sweep only needs to re-test transactions affected
+    by an event that can flip false → true:
+
+    * a transaction completing — it becomes a candidate itself, stops
+      being an active predecessor of its descendants, becomes a C1/C3/C4
+      witness for candidates sharing an active ancestor with it, and opens
+      tight paths through itself;
+    * in the step-granularity models (predeclared, multiwrite), any
+      executed step — new arcs run *out of* the stepping transaction and
+      even an active transaction's executed access witnesses C4/C3, so
+      new witnesses can appear for every active ancestor of the stepper;
+    * an abort — an active predecessor vanished.  The node is already gone
+      from the graph when the engine learns of it, so the tracker goes
+      conservative and marks everything (aborts are rare).
+
+    In all non-abort cases the affected candidates lie in the completed
+    descendants of the stepping/completing transaction or of one of its
+    still-active ancestors — :func:`impacted_completed` collects exactly
+    that region from the maintained closure rows.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Set
+
+from repro.model.steps import TxnId
+
+__all__ = ["DirtyTracker", "impacted_completed"]
+
+
+def impacted_completed(graph, txn: TxnId) -> Set[TxnId]:
+    """Completed transactions whose deletion condition may have flipped to
+    *true* because *txn* just stepped or completed.
+
+    The over-approximated affected region: the completed descendants of
+    *txn* and of every still-active ancestor of *txn*, plus *txn* itself.
+    O(size of the region) — the ancestor/descendant rows are maintained by
+    the closure, no traversal happens.
+    """
+    if txn not in graph:
+        return set()
+    info = graph.info
+    region: Set[TxnId] = set(graph.descendants_view(txn))
+    for ancestor in graph.ancestors_view(txn):
+        if info(ancestor).state.is_active:
+            region |= graph.descendants_view(ancestor)
+    region.add(txn)
+    return {node for node in region if info(node).state.is_completed}
+
+
+class DirtyTracker:
+    """Accumulates the completed transactions a policy must re-examine.
+
+    ``granularity`` matches :attr:`DeletionPolicy.dirty_events`:
+    ``"completions"`` (basic model — only completions/aborts can flip a
+    condition) or ``"steps"`` (predeclared/multiwrite — any executed step
+    can).  :meth:`snapshot` yields the frozen dirty set (``None`` =
+    everything, the conservative state after construction, restore, or an
+    abort).
+    """
+
+    def __init__(self, granularity: str) -> None:
+        if granularity not in ("completions", "steps"):
+            raise ValueError(
+                f"unknown dirty granularity {granularity!r}; "
+                "expected 'completions' or 'steps'"
+            )
+        self.granularity = granularity
+        self._dirty: Set[TxnId] = set()
+        self._all_dirty = True  # conservative until the first sweep
+
+    # -- event intake -----------------------------------------------------------
+
+    def observe(self, graph, result) -> None:
+        """Fold one :class:`~repro.scheduler.events.StepResult` in."""
+        if self._all_dirty:
+            return
+        if result.aborted:
+            # The aborted nodes (and the region only they defined) are
+            # gone; be conservative.
+            self._all_dirty = True
+            self._dirty.clear()
+            return
+        steppers: Set[TxnId] = set(result.committed)
+        if self.granularity == "steps":
+            step = result.step
+            steppers.add(step.txn)
+            for released in result.released:
+                steppers.add(released.txn)
+        for txn in steppers:
+            self._dirty |= impacted_completed(graph, txn)
+
+    def mark_all(self) -> None:
+        """Forget everything known; the next sweep re-tests all."""
+        self._all_dirty = True
+        self._dirty.clear()
+
+    def mark(self, txns: Iterable[TxnId]) -> None:
+        if not self._all_dirty:
+            self._dirty.update(txns)
+
+    # -- sweep-side API ----------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True when a sweep can be skipped outright."""
+        return not self._all_dirty and not self._dirty
+
+    def snapshot(self) -> Optional[FrozenSet[TxnId]]:
+        """The dirty set to hand the policy (``None`` = no restriction)."""
+        if self._all_dirty:
+            return None
+        return frozenset(self._dirty)
+
+    def clear(self) -> None:
+        """The sweep consumed the set; start accumulating afresh."""
+        self._all_dirty = False
+        self._dirty.clear()
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "granularity": self.granularity,
+            "all_dirty": self._all_dirty,
+            "dirty": sorted(self._dirty),
+        }
+
+    @classmethod
+    def from_state(cls, payload: dict) -> "DirtyTracker":
+        tracker = cls(payload["granularity"])
+        tracker._all_dirty = bool(payload.get("all_dirty", True))
+        tracker._dirty = set(payload.get("dirty", ()))
+        return tracker
+
+    def __repr__(self) -> str:
+        if self._all_dirty:
+            return f"DirtyTracker({self.granularity!r}, ALL)"
+        return f"DirtyTracker({self.granularity!r}, {len(self._dirty)} dirty)"

@@ -27,8 +27,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.reduced_graph import ReducedGraph
 from repro.errors import DeletionError, NotCompletedError, UnknownTransactionError
-from repro.graphs.digraph import DiGraph
-from repro.graphs.paths import has_restricted_path, reachable_from
+from repro.graphs.paths import has_restricted_path_fn, reachable_from_fn
 from repro.model.entities import Entity
 from repro.model.status import AccessMode, TxnState
 from repro.model.steps import TxnId
@@ -63,19 +62,18 @@ class C3Violation:
         )
 
 
-def dependents_closure(
-    graph: ReducedGraph, aborted: Iterable[TxnId]
-) -> FrozenSet[TxnId]:
-    """``M⁺``: the aborted set plus everything transitively reading from it.
-
-    Dependencies are the ``reads_from`` edges recorded by the multiwrite
-    scheduler (``t.reads_from ∋ u`` means *t read a value u wrote before u
-    committed*).
-    """
+def _reverse_reads_from(graph: ReducedGraph) -> Dict[TxnId, Set[TxnId]]:
+    """``target -> direct dependents`` over the graph's reads_from edges."""
     reverse: Dict[TxnId, Set[TxnId]] = {}
     for node in graph:
         for target in graph.info(node).reads_from:
             reverse.setdefault(target, set()).add(node)
+    return reverse
+
+
+def _closure_over(
+    reverse: Dict[TxnId, Set[TxnId]], aborted: Iterable[TxnId]
+) -> FrozenSet[TxnId]:
     closure: Set[TxnId] = set(aborted)
     stack = list(closure)
     while stack:
@@ -87,35 +85,55 @@ def dependents_closure(
     return frozenset(closure)
 
 
+def dependents_closure(
+    graph: ReducedGraph, aborted: Iterable[TxnId]
+) -> FrozenSet[TxnId]:
+    """``M⁺``: the aborted set plus everything transitively reading from it.
+
+    Dependencies are the ``reads_from`` edges recorded by the multiwrite
+    scheduler (``t.reads_from ∋ u`` means *t read a value u wrote before u
+    committed*).
+    """
+    return _closure_over(_reverse_reads_from(graph), aborted)
+
+
 def _check_condition_for_subgraph(
     graph: ReducedGraph,
-    surviving: DiGraph,
+    removed: FrozenSet[TxnId],
     candidate: TxnId,
     accesses: Dict[Entity, AccessMode],
 ) -> Optional[Tuple[TxnId, Entity]]:
-    """Check C3's inner implication on ``G − M⁺`` (= *surviving*).
+    """Check C3's inner implication on ``G − M⁺`` (``M⁺`` = *removed*).
 
-    Returns a refuting (Tj, x) pair or ``None`` if the implication holds
-    for this abort choice.
+    The subgraph is never materialized: the searches run over the live
+    closure adjacency with *removed* filtered out.  Returns a refuting
+    (Tj, x) pair or ``None`` if the implication holds for this abort
+    choice.
     """
+    info = graph.info
     is_completed = (
-        lambda node: graph.info(node).state.is_completed
+        lambda node: info(node).state.is_completed
     )  # F or C: the FC-path predicate
+    view = graph.successors_view
+
+    def successors(node: TxnId):
+        return (nxt for nxt in view(node) if nxt not in removed)
+
     actives_alive = [
         node
-        for node in surviving
-        if node != candidate and graph.state(node).is_active
+        for node in graph.active_transactions()
+        if node != candidate and node not in removed
     ]
     for pred in sorted(actives_alive):
-        if not has_restricted_path(surviving, pred, candidate, via=is_completed):
+        if not has_restricted_path_fn(successors, pred, candidate, via=is_completed):
             continue
         # Second path: plain reachability, any node types.
-        reachable = reachable_from(surviving, pred)
+        reachable = reachable_from_fn(successors, pred)
         for entity in sorted(accesses):
             required = accesses[entity]
             witnessed = any(
                 other != candidate
-                and graph.info(other).accesses_at_least(entity, required)
+                and info(other).accesses_at_least(entity, required)
                 for other in reachable
             )
             if not witnessed:
@@ -152,19 +170,20 @@ def c3_violation_witness(
     accesses = dict(graph.info(candidate).accesses)
     if not accesses:
         return None
-    base = graph.as_digraph()
+    # One reverse-dependency map serves every abort-set closure below
+    # (the old code rebuilt it 2^|actives| times).
+    reverse = _reverse_reads_from(graph)
     for size in range(len(actives) + 1):
         for abort_set in itertools.combinations(actives, size):
-            closure = dependents_closure(graph, abort_set)
+            closure = _closure_over(reverse, abort_set)
             if candidate in closure:
                 # A committed transaction never depends on an active one;
                 # reaching here would mean corrupted reads_from data.
                 raise DeletionError(
                     f"committed {candidate!r} depends on active transactions"
                 )
-            surviving = base.subgraph_without(closure)
             refuted = _check_condition_for_subgraph(
-                graph, surviving, candidate, accesses
+                graph, closure, candidate, accesses
             )
             if refuted is not None:
                 pred, entity = refuted

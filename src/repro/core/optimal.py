@@ -78,14 +78,27 @@ class DeletionDemands:
         return True
 
 
-def compute_demands(graph: ReducedGraph) -> DeletionDemands:
+def compute_demands(
+    graph: ReducedGraph,
+    restrict: Optional[FrozenSet[TxnId]] = None,
+) -> DeletionDemands:
     """Build the demand/witness structure for *graph*.
 
     Witness sets are intersected with ``M``; demands already satisfied by a
     permanent (non-candidate) witness are dropped.  Candidates with an
     unsatisfiable demand (no witness at all) fail C1 and are excluded.
+
+    ``restrict`` limits which completed transactions are C1-tested (the
+    engine's dirty set): transactions outside it are assumed to still fail
+    C1, which is sound when the caller knows they failed at the last sweep
+    and no event since could have flipped them.  Witness pools are *not*
+    restricted — they come from the full graph either way.
     """
-    completed = sorted(graph.completed_transactions())
+    completed = sorted(
+        graph.completed_transactions()
+        if restrict is None
+        else graph.completed_transactions() & restrict
+    )
     # First pass: which completed transactions satisfy C1 at all?
     candidates = [
         txn for txn in completed if not c1_violations(graph, txn, first_only=True)
@@ -122,14 +135,16 @@ def compute_demands(graph: ReducedGraph) -> DeletionDemands:
 def greedy_safe_deletion_set(
     graph: ReducedGraph,
     priority: Optional[Sequence[TxnId]] = None,
+    restrict: Optional[FrozenSet[TxnId]] = None,
 ) -> FrozenSet[TxnId]:
     """A maximal (not maximum) safe deletion set, greedily.
 
     Candidates are tried in *priority* order (default: sorted ids); each is
     added if every demand — its own and the already-chosen members' — still
     keeps a witness outside the set.  The result always satisfies C2.
+    ``restrict`` is forwarded to :func:`compute_demands` (dirty-set sweeps).
     """
-    structure = compute_demands(graph)
+    structure = compute_demands(graph, restrict=restrict)
     order = list(priority) if priority is not None else list(structure.candidates)
     candidate_set = frozenset(structure.candidates)
     chosen: set[TxnId] = set()

@@ -9,24 +9,49 @@ is safe.
 
 Every policy here performs only safe deletions (each class documents why),
 so by Theorem 2 they are all *correct*; they differ in how much they prune
-and at what cost:
+and at what cost.  With the copy-free query stack (entity indexes, memoized
+tight-path sets, trial deletions on the live graph — see
+``repro.core.reduced_graph``) the costs per invocation are:
 
-============================  ==========================  ====================
+============================  ==========================  ============================================
 policy                        criterion                   cost per invocation
-============================  ==========================  ====================
+============================  ==========================  ============================================
 :class:`NeverDeletePolicy`    nothing                     O(1)
-:class:`Lemma1Policy`         no active predecessors      O(V·E) reachability
-:class:`NoncurrentPolicy`     Corollary 1 noncurrency     O(V) set lookups
-:class:`EagerC1Policy`        maximal greedy C2 subset    poly (demands)
-:class:`OptimalPolicy`        maximum C2 subset           exponential (Thm 5)
-:class:`EagerC4Policy`        repeated C4 (predeclared)   poly
-:class:`EagerC3Policy`        repeated C3 (multiwrite)    exp. in #active
-============================  ==========================  ====================
+:class:`Lemma1Policy`         no active predecessors      O(candidates) ancestor-set probes
+:class:`NoncurrentPolicy`     Corollary 1 noncurrency     O(completed) one set difference
+:class:`EagerC1Policy`        maximal greedy C2 subset    O(Σ tight sets of dirty candidates), no copy
+:class:`OptimalPolicy`        maximum C2 subset           exponential (Thm 5), demand build copy-free
+:class:`EagerC4Policy`        repeated C4 (predeclared)   poly; live-graph trial + undo log, no copy
+:class:`EagerC3Policy`        repeated C3 (multiwrite)    exp. in #active; subgraphs never materialized
+============================  ==========================  ============================================
 
 Policies are stateless and reusable; :meth:`DeletionPolicy.select` takes
 the scheduler (for its graph *and* its currency tracker) and returns the
 set of ids to remove — the runner then calls
 ``scheduler.delete_transactions(...)``.
+
+Sweep gating (consumed by :class:`repro.engine.Engine`)
+-------------------------------------------------------
+
+Two class attributes let the engine avoid invoking a policy that provably
+cannot select anything, and restrict re-examination to transactions whose
+condition status may actually have changed:
+
+* ``completion_gated`` — the policy's single-deletion condition can flip
+  from unsatisfied to satisfied only when a transaction completes or
+  aborts (true for every basic-model condition: new arcs only *add*
+  active predecessors, and an active transaction's executed accesses never
+  witness C1).  The engine skips the sweep when neither happened since the
+  last one.
+* ``dirty_events`` — ``"completions"`` or ``"steps"``: the policy accepts
+  a ``dirty`` keyword restricting which completed transactions it
+  re-examines.  Soundness argument (asserted by the randomized property
+  tests): every transaction the previous sweep left in the graph failed
+  its condition then, deletions themselves never flip another
+  transaction's condition from false to true, and the engine's
+  :class:`~repro.core.dirty.DirtyTracker` over-approximates every other
+  false→true trigger — so restricting the scan to the dirty set yields
+  byte-identical selections.
 """
 
 from __future__ import annotations
@@ -35,7 +60,6 @@ from abc import ABC, abstractmethod
 from typing import FrozenSet, Optional, Sequence
 
 from repro.core.conditions import (
-    can_delete,
     has_no_active_predecessors,
     noncurrent_transactions,
 )
@@ -63,9 +87,20 @@ class DeletionPolicy(ABC):
     #: Short name used in reports and benchmark tables.
     name: str = "abstract"
 
+    #: See the module docstring ("Sweep gating").  Conservative defaults:
+    #: a custom policy is always invoked with a full scan.
+    completion_gated: bool = False
+    dirty_events: Optional[str] = None
+
     @abstractmethod
-    def select(self, scheduler) -> FrozenSet[TxnId]:
-        """The set of transactions to delete from ``scheduler.graph`` now."""
+    def select(
+        self, scheduler, dirty: Optional[FrozenSet[TxnId]] = None
+    ) -> FrozenSet[TxnId]:
+        """The set of transactions to delete from ``scheduler.graph`` now.
+
+        ``dirty`` (only passed when :attr:`dirty_events` is set) restricts
+        which completed transactions are re-examined; ``None`` means all.
+        """
 
     def apply(self, scheduler) -> FrozenSet[TxnId]:
         """Select and immediately delete; returns what was removed."""
@@ -82,8 +117,9 @@ class NeverDeletePolicy(DeletionPolicy):
     motivates the paper (§1: "we cannot keep transactions indefinitely")."""
 
     name = "never"
+    completion_gated = True  # selects nothing either way
 
-    def select(self, scheduler) -> FrozenSet[TxnId]:
+    def select(self, scheduler, dirty=None) -> FrozenSet[TxnId]:
         return frozenset()
 
 
@@ -99,8 +135,11 @@ class Lemma1Policy(DeletionPolicy):
     """
 
     name = "lemma1"
+    # New arcs only add ancestors; actives disappear only by completing or
+    # aborting — in every model.
+    completion_gated = True
 
-    def select(self, scheduler) -> FrozenSet[TxnId]:
+    def select(self, scheduler, dirty=None) -> FrozenSet[TxnId]:
         graph = scheduler.graph
         eligible = []
         for txn in graph.completed_transactions():
@@ -126,8 +165,11 @@ class NoncurrentPolicy(DeletionPolicy):
     """
 
     name = "noncurrent"
+    # In the basic/certifier models currency is lost only at a write,
+    # which always completes (or certifies) its transaction.
+    completion_gated = True
 
-    def select(self, scheduler) -> FrozenSet[TxnId]:
+    def select(self, scheduler, dirty=None) -> FrozenSet[TxnId]:
         return noncurrent_transactions(scheduler.currency, scheduler.graph)
 
 
@@ -135,12 +177,19 @@ class EagerC1Policy(DeletionPolicy):
     """Delete a maximal greedy C2-safe subset every time (basic model)."""
 
     name = "eager-c1"
+    completion_gated = True
+    # Basic model: an active transaction's accesses never witness C1 and
+    # arcs only point *into* active transactions, so C1 status flips only
+    # at completions and aborts.
+    dirty_events = "completions"
 
     def __init__(self, priority: Optional[Sequence[TxnId]] = None) -> None:
         self._priority = priority
 
-    def select(self, scheduler) -> FrozenSet[TxnId]:
-        return greedy_safe_deletion_set(scheduler.graph, self._priority)
+    def select(self, scheduler, dirty=None) -> FrozenSet[TxnId]:
+        return greedy_safe_deletion_set(
+            scheduler.graph, self._priority, restrict=dirty
+        )
 
 
 class OptimalPolicy(DeletionPolicy):
@@ -151,11 +200,12 @@ class OptimalPolicy(DeletionPolicy):
     """
 
     name = "optimal"
+    completion_gated = True  # basic model, same argument as eager-c1
 
     def __init__(self, max_candidates: int = 30) -> None:
         self._max_candidates = max_candidates
 
-    def select(self, scheduler) -> FrozenSet[TxnId]:
+    def select(self, scheduler, dirty=None) -> FrozenSet[TxnId]:
         return maximum_safe_deletion_set(
             scheduler.graph, max_candidates=self._max_candidates
         )
@@ -165,23 +215,32 @@ class EagerC4Policy(DeletionPolicy):
     """Repeatedly delete any transaction C4 admits (predeclared model).
 
     Theorem 2 covers sequences of single safe deletions, so the selection
-    is computed by simulation on a copy: delete one admissible transaction,
-    re-evaluate, repeat to a fixed point.
+    is computed by simulation: delete one admissible transaction,
+    re-evaluate, repeat to a fixed point.  The simulation runs as a
+    *trial* on the live graph — deletions go on an undo log and are
+    reverted when the fixed point is reached, instead of copying the
+    whole graph per sweep.
     """
 
     name = "eager-c4"
+    # Predeclared arcs run *out of* the stepping transaction and executed
+    # accesses of actives do witness C4, so any step can flip C4 status.
+    dirty_events = "steps"
 
-    def select(self, scheduler) -> FrozenSet[TxnId]:
-        trial = scheduler.graph.copy()
+    def select(self, scheduler, dirty=None) -> FrozenSet[TxnId]:
+        graph = scheduler.graph
         chosen: set[TxnId] = set()
-        progress = True
-        while progress:
-            progress = False
-            for txn in sorted(trial.completed_transactions()):
-                if can_delete_predeclared(trial, txn):
-                    trial.delete(txn)
-                    chosen.add(txn)
-                    progress = True
+        with graph.trial_deletions():
+            progress = True
+            while progress:
+                progress = False
+                for txn in sorted(graph.completed_transactions()):
+                    if dirty is not None and txn not in dirty:
+                        continue
+                    if can_delete_predeclared(graph, txn):
+                        graph.delete(txn)
+                        chosen.add(txn)
+                        progress = True
         return frozenset(chosen)
 
 
@@ -190,23 +249,30 @@ class EagerC3Policy(DeletionPolicy):
 
     Each C3 test enumerates abort sets — exponential in the number of
     active transactions (Theorem 6 says that is unavoidable in general);
-    ``max_actives`` bounds the damage.
+    ``max_actives`` bounds the damage.  Like :class:`EagerC4Policy`, the
+    fixed point runs as a trial on the live graph (undo log, no copy).
     """
 
     name = "eager-c3"
+    dirty_events = "steps"
 
     def __init__(self, max_actives: int = 12) -> None:
         self._max_actives = max_actives
 
-    def select(self, scheduler) -> FrozenSet[TxnId]:
-        trial = scheduler.graph.copy()
+    def select(self, scheduler, dirty=None) -> FrozenSet[TxnId]:
+        graph = scheduler.graph
         chosen: set[TxnId] = set()
-        progress = True
-        while progress:
-            progress = False
-            for txn in sorted(trial.committed_transactions()):
-                if can_delete_multiwrite(trial, txn, max_actives=self._max_actives):
-                    trial.delete(txn)
-                    chosen.add(txn)
-                    progress = True
+        with graph.trial_deletions():
+            progress = True
+            while progress:
+                progress = False
+                for txn in sorted(graph.committed_transactions()):
+                    if dirty is not None and txn not in dirty:
+                        continue
+                    if can_delete_multiwrite(
+                        graph, txn, max_actives=self._max_actives
+                    ):
+                        graph.delete(txn)
+                        chosen.add(txn)
+                        progress = True
         return frozenset(chosen)

@@ -16,6 +16,26 @@ paper observes) with per-transaction payloads (:class:`TxnInfo`): lifecycle
 state, strongest executed access per entity, declared future accesses
 (predeclared model), and direct read-from dependencies (multiwrite model).
 
+Hot-path layers (the §4 cost argument: a deletion policy is only worth
+running if evaluating it is cheap relative to the growth it prevents):
+
+* **Inverted entity indexes** — ``entity -> {txn: strongest executed
+  mode}`` and ``entity -> {txn: declared future mode}``, maintained by
+  :meth:`record_access` / :meth:`consume_future` / :meth:`abort` /
+  :meth:`delete`, so :meth:`accessors_of` / :meth:`writers_of` /
+  :meth:`future_declarers_of` touch one bucket instead of scanning every
+  node.
+* **State-set indexes** — the active / completed / committed sets are
+  maintained incrementally, not recomputed by a full node scan.
+* **Copy-free tight-path queries** — :meth:`tight_predecessors` and
+  friends traverse the closure's adjacency directly (no
+  ``as_digraph()`` copy) and memoize per *mutation epoch*: the epoch
+  bumps on :meth:`add_arc` / :meth:`set_state` / :meth:`abort` /
+  :meth:`delete`, so repeated queries within one policy sweep are O(1).
+* **Trial deletions** — :meth:`trial_deletions` lets the eager policies
+  run their delete/re-evaluate fixed point on the *live* structure and
+  revert via an undo log, instead of copying the whole graph per sweep.
+
 Two distinct node-removal operations exist, and conflating them is the
 classic implementation bug this library is careful about:
 
@@ -29,17 +49,18 @@ classic implementation bug this library is careful about:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import (
+    GraphError,
     NotCompletedError,
     TransactionStateError,
     UnknownTransactionError,
 )
-from repro.graphs.closure import ClosureGraph
+from repro.graphs.closure import ClosureGraph, ContractionRecord
 from repro.graphs.digraph import DiGraph
-from repro.graphs.paths import restricted_predecessors, restricted_successors
 from repro.model.entities import Entity
 from repro.model.status import AccessMode, TxnState, at_least_as_strong
 from repro.model.steps import TxnId
@@ -75,10 +96,14 @@ class TxnInfo:
         mode = self.accesses.get(entity)
         return mode is not None and at_least_as_strong(mode, reference)
 
-    def record(self, entity: Entity, mode: AccessMode) -> None:
+    def record(self, entity: Entity, mode: AccessMode) -> bool:
+        """Strongest-wins merge; returns whether the entry changed (the
+        graph-level caller mirrors changes into its entity index)."""
         current = self.accesses.get(entity)
         if current is None or mode > current:
             self.accesses[entity] = mode
+            return True
+        return False
 
     def copy(self) -> "TxnInfo":
         return TxnInfo(
@@ -88,6 +113,21 @@ class TxnInfo:
             future=None if self.future is None else dict(self.future),
             reads_from=set(self.reads_from),
         )
+
+
+class _DeletionTrial:
+    """Context manager handle returned by :meth:`ReducedGraph.trial_deletions`."""
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: "ReducedGraph") -> None:
+        self._graph = graph
+
+    def __enter__(self) -> "ReducedGraph":
+        return self._graph
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._graph.rollback_trial()
 
 
 class ReducedGraph:
@@ -112,6 +152,23 @@ class ReducedGraph:
         self._info: Dict[TxnId, TxnInfo] = {}
         self._deleted: set[TxnId] = set()
         self._aborted: set[TxnId] = set()
+        # Inverted entity indexes: entity -> {txn: strongest mode}.
+        self._by_entity: Dict[Entity, Dict[TxnId, AccessMode]] = {}
+        self._future_by_entity: Dict[Entity, Dict[TxnId, AccessMode]] = {}
+        # State-set indexes (maintained by set_state/abort/delete).
+        self._active_set: set[TxnId] = set()
+        self._completed_set: set[TxnId] = set()
+        self._committed_set: set[TxnId] = set()
+        # Mutation epoch + memo cache for the tight-path queries.  The
+        # epoch bumps on every mutation that can change a tight set
+        # (arcs, states, node removal); the cache is cleared lazily.
+        self._epoch = 0
+        self._cache_epoch = -1
+        self._tight_cache: Dict[Tuple[str, TxnId], FrozenSet[TxnId]] = {}
+        # Undo log while a deletion trial is active (None otherwise).
+        self._trial: Optional[
+            List[Tuple[TxnId, TxnInfo, ContractionRecord]]
+        ] = None
 
     # -- membership and payloads -------------------------------------------
 
@@ -136,6 +193,21 @@ class ReducedGraph:
     def state(self, txn: TxnId) -> TxnState:
         return self.info(txn).state
 
+    @property
+    def mutation_epoch(self) -> int:
+        """Monotone counter of arc/state/membership mutations (cache key)."""
+        return self._epoch
+
+    def _bump(self) -> None:
+        self._epoch += 1
+
+    def _guard_trial(self, operation: str) -> None:
+        if self._trial is not None:
+            raise GraphError(
+                f"{operation} is not allowed during a deletion trial; only "
+                "delete() may run until rollback_trial()"
+            )
+
     def add_transaction(
         self,
         txn: TxnId,
@@ -144,6 +216,7 @@ class ReducedGraph:
     ) -> None:
         """Insert a node (Rule 1).  Re-adding an existing id is an error —
         transaction ids are unique for the lifetime of a schedule."""
+        self._guard_trial("add_transaction")
         if txn in self._info:
             raise TransactionStateError(f"transaction {txn!r} already present")
         if txn in self._deleted or txn in self._aborted:
@@ -151,18 +224,53 @@ class ReducedGraph:
                 f"transaction id {txn!r} was already used and removed"
             )
         self._closure.add_node(txn)
-        self._info[txn] = TxnInfo(
+        info = TxnInfo(
             txn=txn,
             state=state,
             future=None if declared is None else dict(declared),
         )
+        self._info[txn] = info
+        self._index_payload(txn, info)
+        self._bump()
+
+    def _index_payload(self, txn: TxnId, info: TxnInfo) -> None:
+        """(Re)register *info* in every index: state sets and the
+        executed/future entity buckets."""
+        self._index_state(txn, info.state)
+        for entity, mode in info.accesses.items():
+            self._by_entity.setdefault(entity, {})[txn] = mode
+        if info.future:
+            for entity, mode in info.future.items():
+                self._future_by_entity.setdefault(entity, {})[txn] = mode
+
+    def _index_state(self, txn: TxnId, state: TxnState) -> None:
+        if state.is_active:
+            self._active_set.add(txn)
+        if state.is_completed:
+            self._completed_set.add(txn)
+        if state is TxnState.COMMITTED:
+            self._committed_set.add(txn)
+
+    def _unindex_state(self, txn: TxnId) -> None:
+        self._active_set.discard(txn)
+        self._completed_set.discard(txn)
+        self._committed_set.discard(txn)
 
     def set_state(self, txn: TxnId, state: TxnState) -> None:
-        self.info(txn).state = state
+        self._guard_trial("set_state")
+        info = self.info(txn)
+        if info.state is state:
+            return
+        info.state = state
+        self._unindex_state(txn)
+        self._index_state(txn, state)
+        self._bump()
 
     def record_access(self, txn: TxnId, entity: Entity, mode: AccessMode) -> None:
         """Merge an executed access into the payload (strongest wins)."""
-        self.info(txn).record(entity, mode)
+        self._guard_trial("record_access")
+        if self.info(txn).record(entity, mode):
+            self._by_entity.setdefault(entity, {})[txn] = mode
 
     def consume_future(self, txn: TxnId, entity: Entity, mode: AccessMode) -> None:
         """Predeclared bookkeeping: an executed step uses up (part of) the
@@ -173,22 +281,47 @@ class ReducedGraph:
         entry is dropped; weaker executed steps leave the declaration in
         place (the strong access is still to come).
         """
+        self._guard_trial("consume_future")
         future = self.info(txn).future
         if future is None:
             return
         declared = future.get(entity)
         if declared is not None and mode >= declared:
             del future[entity]
+            self._drop_future_index(txn, entity)
 
     def clear_future(self, txn: TxnId) -> None:
         """Completion: no declared steps remain."""
+        self._guard_trial("clear_future")
         info = self.info(txn)
+        if info.future:
+            for entity in info.future:
+                self._drop_future_index(txn, entity)
         if info.future is not None:
             info.future = {}
+
+    def _drop_future_index(self, txn: TxnId, entity: Entity) -> None:
+        bucket = self._future_by_entity.get(entity)
+        if bucket is not None:
+            bucket.pop(txn, None)
+            if not bucket:
+                del self._future_by_entity[entity]
+
+    def _drop_entity_index(self, txn: TxnId, info: TxnInfo) -> None:
+        for entity in info.accesses:
+            bucket = self._by_entity.get(entity)
+            if bucket is not None:
+                bucket.pop(txn, None)
+                if not bucket:
+                    del self._by_entity[entity]
+        if info.future:
+            for entity in info.future:
+                self._drop_future_index(txn, entity)
 
     # -- arc structure -------------------------------------------------------
 
     def add_arc(self, tail: TxnId, head: TxnId) -> None:
+        self._guard_trial("add_arc")
         if tail not in self._info:
             raise UnknownTransactionError(tail)
         if head not in self._info:
@@ -196,6 +329,7 @@ class ReducedGraph:
         if self._closure.has_arc(tail, head):
             return
         self._closure.add_arc(tail, head)
+        self._bump()
 
     def has_arc(self, tail: TxnId, head: TxnId) -> bool:
         return self._closure.has_arc(tail, head)
@@ -223,6 +357,22 @@ class ReducedGraph:
         """All (not just tight) successors."""
         return self._closure.descendants(txn)
 
+    def successors_view(self, txn: TxnId):
+        """Internal successor set — read-only, no copy (hot paths)."""
+        return self._closure.successors_view(txn)
+
+    def predecessors_view(self, txn: TxnId):
+        """Internal predecessor set — read-only, no copy (hot paths)."""
+        return self._closure.predecessors_view(txn)
+
+    def ancestors_view(self, txn: TxnId):
+        """Internal ancestor set — read-only, no copy (hot paths)."""
+        return self._closure.ancestors_view(txn)
+
+    def descendants_view(self, txn: TxnId):
+        """Internal descendant set — read-only, no copy (hot paths)."""
+        return self._closure.descendants_view(txn)
+
     def would_close_cycle(self, tail: TxnId, head: TxnId) -> bool:
         return self._closure.would_close_cycle(tail, head)
 
@@ -242,22 +392,20 @@ class ReducedGraph:
     # -- transaction classification -------------------------------------------
 
     def active_transactions(self) -> FrozenSet[TxnId]:
-        return frozenset(
-            txn for txn, info in self._info.items() if info.state.is_active
-        )
+        return frozenset(self._active_set)
 
     def completed_transactions(self) -> FrozenSet[TxnId]:
         """Type F and C transactions (all completed ones)."""
-        return frozenset(
-            txn for txn, info in self._info.items() if info.state.is_completed
-        )
+        return frozenset(self._completed_set)
 
     def committed_transactions(self) -> FrozenSet[TxnId]:
-        return frozenset(
-            txn
-            for txn, info in self._info.items()
-            if info.state is TxnState.COMMITTED
-        )
+        return frozenset(self._committed_set)
+
+    def active_count(self) -> int:
+        return len(self._active_set)
+
+    def completed_count(self) -> int:
+        return len(self._completed_set)
 
     def is_completed(self, txn: TxnId) -> bool:
         return self.info(txn).state.is_completed
@@ -271,27 +419,80 @@ class ReducedGraph:
 
     # -- entity-indexed queries ------------------------------------------------
 
+    @staticmethod
+    def _filter_bucket(
+        bucket: Optional[Dict[TxnId, AccessMode]], at_least: AccessMode
+    ) -> FrozenSet[TxnId]:
+        if not bucket:
+            return frozenset()
+        if at_least is AccessMode.READ:  # READ is the weakest mode
+            return frozenset(bucket)
+        return frozenset(
+            txn
+            for txn, mode in bucket.items()
+            if at_least_as_strong(mode, at_least)
+        )
+
     def accessors_of(
         self,
         entity: Entity,
         at_least: AccessMode = AccessMode.READ,
     ) -> FrozenSet[TxnId]:
         """Transactions in the graph whose strongest executed access of
-        *entity* is ≥ ``at_least``."""
-        return frozenset(
-            txn
-            for txn, info in self._info.items()
-            if info.accesses_at_least(entity, at_least)
-        )
+        *entity* is ≥ ``at_least`` — one index bucket, no node scan."""
+        return self._filter_bucket(self._by_entity.get(entity), at_least)
 
     def writers_of(self, entity: Entity) -> FrozenSet[TxnId]:
         return self.accessors_of(entity, AccessMode.WRITE)
 
+    def future_declarers_of(
+        self,
+        entity: Entity,
+        at_least: AccessMode = AccessMode.READ,
+    ) -> FrozenSet[TxnId]:
+        """Transactions with a declared-but-unexecuted access of *entity*
+        of strength ≥ ``at_least`` (predeclared model index)."""
+        return self._filter_bucket(self._future_by_entity.get(entity), at_least)
+
     # -- tight / FC path queries -------------------------------------------------
 
-    def _completed_predicate(self):
+    def _cached(self, kind: str, txn: TxnId) -> Optional[FrozenSet[TxnId]]:
+        if self._cache_epoch != self._epoch:
+            self._tight_cache.clear()
+            self._cache_epoch = self._epoch
+            return None
+        return self._tight_cache.get((kind, txn))
+
+    def _tight_reach(self, start: TxnId, forward: bool) -> FrozenSet[TxnId]:
+        """BFS over the closure adjacency through completed intermediates.
+
+        Same contract as :func:`repro.graphs.paths.restricted_successors`
+        (or ``restricted_predecessors`` when ``forward`` is false), but
+        traverses the live adjacency sets — no ``as_digraph()`` copy.
+        """
+        if start not in self._info:
+            raise UnknownTransactionError(start)
+        closure = self._closure
+        adjacent = (
+            closure.successors_view if forward else closure.predecessors_view
+        )
         info = self._info
-        return lambda node: info[node].state.is_completed
+        result: set[TxnId] = set()
+        expandable: deque[TxnId] = deque()
+        for node in adjacent(start):
+            result.add(node)
+            if info[node].state.is_completed:
+                expandable.append(node)
+        expanded: set[TxnId] = set(expandable)
+        while expandable:
+            node = expandable.popleft()
+            for nxt in adjacent(node):
+                result.add(nxt)
+                if nxt not in expanded and info[nxt].state.is_completed:
+                    expanded.add(nxt)
+                    expandable.append(nxt)
+        result.discard(start)
+        return frozenset(result)
 
     def tight_predecessors(self, txn: TxnId) -> FrozenSet[TxnId]:
         """Nodes with a path into *txn* through completed intermediates.
@@ -300,40 +501,52 @@ class ReducedGraph:
         from Ti to Tj that uses only completed transactions as intermediate
         nodes."  In the multiwrite model completed = type F or C, so this
         doubles as the FC-path predecessor set.
+
+        Memoized per mutation epoch: repeated queries within one policy
+        sweep cost a dict lookup.
         """
-        return restricted_predecessors(
-            self._closure.as_digraph(), txn, self._completed_predicate()
-        )
+        cached = self._cached("tp", txn)
+        if cached is None:
+            cached = self._tight_reach(txn, forward=False)
+            self._tight_cache[("tp", txn)] = cached
+        return cached
 
     def tight_successors(self, txn: TxnId) -> FrozenSet[TxnId]:
-        return restricted_successors(
-            self._closure.as_digraph(), txn, self._completed_predicate()
-        )
+        cached = self._cached("ts", txn)
+        if cached is None:
+            cached = self._tight_reach(txn, forward=True)
+            self._tight_cache[("ts", txn)] = cached
+        return cached
 
     def active_tight_predecessors(self, txn: TxnId) -> FrozenSet[TxnId]:
         """The actives among the tight predecessors — C1's quantifier."""
-        return frozenset(
-            node
-            for node in self.tight_predecessors(txn)
-            if self._info[node].state.is_active
-        )
+        cached = self._cached("atp", txn)
+        if cached is None:
+            cached = self.tight_predecessors(txn) & self._active_set
+            self._tight_cache[("atp", txn)] = cached
+        return cached
 
     def completed_tight_successors(self, txn: TxnId) -> FrozenSet[TxnId]:
-        return frozenset(
-            node
-            for node in self.tight_successors(txn)
-            if self._info[node].state.is_completed
-        )
+        cached = self._cached("cts", txn)
+        if cached is None:
+            cached = self.tight_successors(txn) & self._completed_set
+            self._tight_cache[("cts", txn)] = cached
+        return cached
 
     # -- node removal ---------------------------------------------------------
 
     def abort(self, txn: TxnId) -> None:
         """Remove an aborted transaction: node + incident arcs, no bypass."""
+        self._guard_trial("abort")
         if txn not in self._info:
             raise UnknownTransactionError(txn)
+        info = self._info[txn]
         self._closure.remove_node_abort(txn)
         del self._info[txn]
         self._aborted.add(txn)
+        self._unindex_state(txn)
+        self._drop_entity_index(txn, info)
+        self._bump()
 
     def delete(self, txn: TxnId) -> None:
         """The removal operation ``D(G, txn)`` (§3): contract the node.
@@ -341,13 +554,23 @@ class ReducedGraph:
         Only completed transactions may be removed; in the multiwrite model
         the conditions further restrict deletion to *committed* ones, which
         the condition layer (not this structural method) enforces.
+
+        Inside a :meth:`trial_deletions` block the contraction is recorded
+        on an undo log and reverted by :meth:`rollback_trial`.
         """
         info = self.info(txn)
         if not info.state.is_completed:
             raise NotCompletedError(txn, info.state)
-        self._closure.contract(txn)
+        if self._trial is not None:
+            record = self._closure.contract_recording(txn)
+            self._trial.append((txn, info, record))
+        else:
+            self._closure.contract(txn)
         del self._info[txn]
         self._deleted.add(txn)
+        self._unindex_state(txn)
+        self._drop_entity_index(txn, info)
+        self._bump()
 
     def delete_set(self, txns: Iterable[TxnId]) -> None:
         """``D(G, N)``; §4: "the order of deletion of nodes in N is
@@ -355,19 +578,64 @@ class ReducedGraph:
         for txn in list(txns):
             self.delete(txn)
 
+    # -- trial deletions --------------------------------------------------------
+
+    def trial_deletions(self) -> _DeletionTrial:
+        """Run deletions on the live graph, then revert them all.
+
+        The eager fixed-point policies use this instead of copying the
+        whole graph per sweep::
+
+            with graph.trial_deletions():
+                ... graph.delete(txn) ...   # recorded on the undo log
+            # here every trial deletion has been reverted exactly
+
+        While a trial is active every *other* mutation raises
+        :class:`~repro.errors.GraphError` — a trial reasons about
+        deletions only.
+        """
+        self.begin_trial()
+        return _DeletionTrial(self)
+
+    def begin_trial(self) -> None:
+        if self._trial is not None:
+            raise GraphError("a deletion trial is already active")
+        self._trial = []
+
+    @property
+    def in_trial(self) -> bool:
+        return self._trial is not None
+
+    def rollback_trial(self) -> None:
+        """Revert every deletion since :meth:`begin_trial`, newest first."""
+        log = self._trial
+        if log is None:
+            raise GraphError("no deletion trial is active")
+        self._trial = None
+        for txn, info, record in reversed(log):
+            self._closure.uncontract(record)
+            self._info[txn] = info
+            self._deleted.discard(txn)
+            self._index_payload(txn, info)
+        self._bump()
+
     # -- copying ---------------------------------------------------------------
 
     def copy(self) -> "ReducedGraph":
+        """An independent deep copy by direct set cloning.
+
+        The closure is cloned row-by-row (no arc-by-arc re-propagation
+        through ``add_arc``) and the entity/state indexes are rebuilt from
+        the cloned payloads; ``check_invariants`` in the property tests
+        asserts the clone equals a closure rebuilt from scratch.
+        """
         clone = ReducedGraph()
-        digraph = self._closure.as_digraph()
-        for txn in digraph.nodes():
-            clone._closure.add_node(txn)
-        # Arc insertion order does not matter for an acyclic graph.
-        for tail, head in digraph.arcs():
-            clone._closure.add_arc(tail, head)
+        clone._closure = self._closure.copy()
         clone._info = {txn: info.copy() for txn, info in self._info.items()}
         clone._deleted = set(self._deleted)
         clone._aborted = set(self._aborted)
+        for txn, info in clone._info.items():
+            clone._index_payload(txn, info)
         return clone
 
     def reduced_by(self, txns: Iterable[TxnId]) -> "ReducedGraph":
@@ -376,10 +644,39 @@ class ReducedGraph:
         clone.delete_set(txns)
         return clone
 
+    # -- invariants (test helper) ------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert every index/cache layer agrees with a from-scratch scan."""
+        self._closure.check_invariants()
+        active = {t for t, i in self._info.items() if i.state.is_active}
+        completed = {t for t, i in self._info.items() if i.state.is_completed}
+        committed = {
+            t for t, i in self._info.items() if i.state is TxnState.COMMITTED
+        }
+        if active != self._active_set:
+            raise GraphError("active-set index drift")
+        if completed != self._completed_set:
+            raise GraphError("completed-set index drift")
+        if committed != self._committed_set:
+            raise GraphError("committed-set index drift")
+        by_entity: Dict[Entity, Dict[TxnId, AccessMode]] = {}
+        future_by_entity: Dict[Entity, Dict[TxnId, AccessMode]] = {}
+        for txn, info in self._info.items():
+            for entity, mode in info.accesses.items():
+                by_entity.setdefault(entity, {})[txn] = mode
+            if info.future:
+                for entity, mode in info.future.items():
+                    future_by_entity.setdefault(entity, {})[txn] = mode
+        if by_entity != self._by_entity:
+            raise GraphError("entity index drift")
+        if future_by_entity != self._future_by_entity:
+            raise GraphError("future-entity index drift")
+
     def __repr__(self) -> str:
         states = {
-            "A": len(self.active_transactions()),
-            "F/C": len(self.completed_transactions()),
+            "A": len(self._active_set),
+            "F/C": len(self._completed_set),
         }
         return (
             f"ReducedGraph(nodes={len(self)}, arcs={self.arc_count()}, "

@@ -22,6 +22,14 @@ goes through :class:`Engine`:
   after *each* step; any interleaving of safe deletions is covered by
   Theorem 2).  :meth:`Engine.feed_batch` drives a whole iterable lazily
   and returns an aggregate :class:`BatchResult`.
+* **Dirty-set sweeps** — between sweeps the engine tracks which completed
+  transactions' deletion-condition status could have changed (new arcs,
+  completions, aborts — via the step outcomes it already observes; see
+  :mod:`repro.core.dirty`).  A cadence-due sweep whose dirty set is empty
+  is skipped outright (``skip_clean_sweeps=False`` restores the classic
+  unconditional cadence), and dirty-consuming policies (``eager-c1``,
+  ``eager-c3``, ``eager-c4``) re-examine only the dirty transactions —
+  with selections provably identical to a full scan.
 * **Checkpoint/restore** — :meth:`Engine.snapshot` captures the full loop
   state (graph, currency, input log, variant-specific scheduler state,
   statistics, sweep cadence) as a JSON-ready dict built on the
@@ -52,6 +60,7 @@ from typing import (
 )
 
 from repro import registry as _registry
+from repro.core.dirty import DirtyTracker
 from repro.core.policies import DeletionPolicy, NeverDeletePolicy
 from repro.core.set_conditions import can_delete_set
 from repro.errors import (
@@ -290,6 +299,10 @@ class EngineConfig:
     policy: str = "never"
     sweep_interval: int = 1
     verify_c2: bool = False
+    #: Skip cadence sweeps that provably cannot select anything (see
+    #: "Dirty-set sweeps" in the Engine docstring).  Off = the classic
+    #: unconditional §4 cadence.
+    skip_clean_sweeps: bool = True
     scheduler_options: Dict[str, Any] = field(default_factory=dict)
     policy_options: Dict[str, Any] = field(default_factory=dict)
 
@@ -325,6 +338,7 @@ class EngineConfig:
             "policy": self.policy,
             "sweep_interval": self.sweep_interval,
             "verify_c2": self.verify_c2,
+            "skip_clean_sweeps": self.skip_clean_sweeps,
             "scheduler_options": dict(self.scheduler_options),
             "policy_options": dict(self.policy_options),
         }
@@ -371,6 +385,7 @@ class Engine:
             config.sweep_interval,
             config.verify_c2,
             observers,
+            skip_clean_sweeps=config.skip_clean_sweeps,
         )
 
     @classmethod
@@ -381,6 +396,7 @@ class Engine:
         *,
         sweep_interval: int = 1,
         verify_c2: bool = False,
+        skip_clean_sweeps: bool = True,
         observers: Iterable[EngineObserver] = (),
     ) -> "Engine":
         """Wrap pre-built scheduler/policy instances.
@@ -404,13 +420,14 @@ class Engine:
                 policy=_registry.policy_name_of(chosen_policy),
                 sweep_interval=sweep_interval,
                 verify_c2=verify_c2,
+                skip_clean_sweeps=skip_clean_sweeps,
             )
         except (UnknownNameError, IncompatiblePolicyError):
             config = None
         engine = cls.__new__(cls)
         engine._setup(
             config, scheduler, chosen_policy, sweep_interval, verify_c2,
-            observers,
+            observers, skip_clean_sweeps=skip_clean_sweeps,
         )
         return engine
 
@@ -422,18 +439,43 @@ class Engine:
         sweep_interval: int,
         verify_c2: bool,
         observers: Iterable[EngineObserver],
+        skip_clean_sweeps: bool = True,
     ) -> None:
         self.config = config
         self.scheduler = scheduler
         self.policy = policy
         self.sweep_interval = sweep_interval
         self.verify_c2 = verify_c2
+        self.skip_clean_sweeps = skip_clean_sweeps
         self._stats_observer = StatsObserver()
         self._observers: List[EngineObserver] = [self._stats_observer]
         self._observers.extend(observers)
         self._step_index = 0
         self._steps_since_sweep = 0
         self._sweeps_run = 0
+        self._sweeps_skipped = 0
+        # Sweep-gating state (see "Dirty-set sweeps" in the class
+        # docstring).  Conservative until the first sweep: the gate opens
+        # and the tracker starts ALL-dirty.
+        self._gate_policy: Optional[DeletionPolicy] = None
+        self._gate_open = True
+        self._dirty_tracker: Optional[DirtyTracker] = None
+        self._bind_policy()
+
+    def _bind_policy(self) -> None:
+        """(Re)derive gating state from the current policy.
+
+        Policies can be swapped mid-run (the legacy façade exposes a
+        setter), so binding is re-checked by identity on every feed/sweep;
+        a swap resets the gate and dirty tracker to their conservative
+        states.
+        """
+        if self._gate_policy is self.policy:
+            return
+        self._gate_policy = self.policy
+        self._gate_open = True
+        events = getattr(self.policy, "dirty_events", None)
+        self._dirty_tracker = DirtyTracker(events) if events else None
 
     # -- observers ---------------------------------------------------------------
 
@@ -453,18 +495,43 @@ class Engine:
 
     def feed(self, step: Step) -> StepResult:
         """Apply F to the current graph; sweep when the cadence is due."""
+        self._bind_policy()
         result = self.scheduler.feed(step)
         self._step_index += 1
         self._steps_since_sweep += 1
+        if result.committed or result.aborted:
+            self._gate_open = True
+        if self._dirty_tracker is not None:
+            self._dirty_tracker.observe(self.scheduler.graph, result)
         self._emit("on_step", result)
         if result.aborted:
             self._emit("on_abort", result, result.aborted)
         if result.committed:
             self._emit("on_commit", result, result.committed)
         if self._steps_since_sweep >= self.sweep_interval:
-            self.sweep()
+            if self.skip_clean_sweeps and self._sweep_is_clean():
+                # Nothing a policy could newly select: skip the invocation
+                # outright, keep the cadence.
+                self._steps_since_sweep = 0
+                self._sweeps_skipped += 1
+            else:
+                self.sweep()
         self._emit("on_step_end", result)
         return result
+
+    def _sweep_is_clean(self) -> bool:
+        """Can the due sweep be skipped without changing any selection?
+
+        * dirty-consuming policies: yes iff the dirty set is empty;
+        * completion-gated policies: yes iff no transaction completed or
+          aborted since the last sweep;
+        * anything else: never skipped.
+        """
+        if self._dirty_tracker is not None:
+            return self._dirty_tracker.is_empty
+        if getattr(self.policy, "completion_gated", False):
+            return not self._gate_open
+        return False
 
     def feed_many(self, steps: Iterable[Step]) -> List[StepResult]:
         """Feed steps lazily; returns the per-step results."""
@@ -511,9 +578,18 @@ class Engine:
         """Invoke the policy now and delete its selection; returns it.
 
         Emits ``on_delete`` (when anything was selected) and ``on_sweep``.
-        Resets the batched-sweep cadence.
+        Resets the batched-sweep cadence and consumes the gating state —
+        an explicit call always invokes the policy (no skip), with the
+        dirty set when the policy declares it consumes one.
         """
-        selected = self.policy.select(self.scheduler)
+        self._bind_policy()
+        if self._dirty_tracker is not None:
+            dirty = self._dirty_tracker.snapshot()
+            selected = self.policy.select(self.scheduler, dirty=dirty)
+            self._dirty_tracker.clear()
+        else:
+            selected = self.policy.select(self.scheduler)
+        self._gate_open = False
         self._sweeps_run += 1
         self._steps_since_sweep = 0
         ordered = tuple(sorted(selected))
@@ -558,6 +634,11 @@ class Engine:
         return self._sweeps_run
 
     @property
+    def sweeps_skipped(self) -> int:
+        """Cadence-due sweeps skipped because nothing could be selected."""
+        return self._sweeps_skipped
+
+    @property
     def steps_since_sweep(self) -> int:
         return self._steps_since_sweep
 
@@ -593,6 +674,13 @@ class Engine:
                 "step_index": self._step_index,
                 "steps_since_sweep": self._steps_since_sweep,
                 "sweeps_run": self._sweeps_run,
+                "sweeps_skipped": self._sweeps_skipped,
+                "gate_open": self._gate_open,
+                "dirty": (
+                    None
+                    if self._dirty_tracker is None
+                    else self._dirty_tracker.state_dict()
+                ),
             },
             "stats": self.stats.as_dict(),
             "scheduler_state": self.scheduler.snapshot_state(),
@@ -628,6 +716,11 @@ class Engine:
             engine._step_index = int(counters["step_index"])
             engine._steps_since_sweep = int(counters["steps_since_sweep"])
             engine._sweeps_run = int(counters["sweeps_run"])
+            engine._sweeps_skipped = int(counters.get("sweeps_skipped", 0))
+            engine._gate_open = bool(counters.get("gate_open", True))
+            dirty_state = counters.get("dirty")
+            if dirty_state is not None and engine._dirty_tracker is not None:
+                engine._dirty_tracker = DirtyTracker.from_state(dirty_state)
             engine._stats_observer.stats = GcStats.from_dict(snapshot["stats"])
         except (KeyError, TypeError) as exc:
             raise SnapshotError(f"malformed engine snapshot: {exc}") from exc

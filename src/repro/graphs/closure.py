@@ -25,14 +25,29 @@ recomputes the closure rows affected, which is the documented cost of aborts.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Set, Tuple
 
 from repro.errors import CycleError, GraphError, NodeNotFoundError
 from repro.graphs.digraph import DiGraph
 
-__all__ = ["ClosureGraph"]
+__all__ = ["ClosureGraph", "ContractionRecord"]
 
 Node = Hashable
+
+
+@dataclass
+class ContractionRecord:
+    """Everything :meth:`ClosureGraph.uncontract` needs to undo one
+    :meth:`ClosureGraph.contract` — the basis of trial deletions that run
+    on the live structure instead of a full graph copy."""
+
+    node: Node
+    successors: Set[Node]
+    predecessors: Set[Node]
+    descendants: Set[Node]
+    ancestors: Set[Node]
+    new_bypass_arcs: List[Tuple[Node, Node]]
 
 
 class ClosureGraph:
@@ -95,6 +110,26 @@ class ClosureGraph:
     def as_digraph(self) -> DiGraph:
         """A mutable copy of the underlying arc structure."""
         return self._graph.copy()
+
+    def successors_view(self, node: Node):
+        """Internal successor set — read-only, no copy (hot-path traversal)."""
+        return self._graph.successors_view(node)
+
+    def predecessors_view(self, node: Node):
+        """Internal predecessor set — read-only, no copy (hot-path traversal)."""
+        return self._graph.predecessors_view(node)
+
+    def descendants_view(self, node: Node):
+        """Internal closure row — read-only, no copy."""
+        if node not in self._desc:
+            raise NodeNotFoundError(node)
+        return self._desc[node]
+
+    def ancestors_view(self, node: Node):
+        """Internal closure column — read-only, no copy."""
+        if node not in self._anc:
+            raise NodeNotFoundError(node)
+        return self._anc[node]
 
     # -- closure queries -----------------------------------------------------
 
@@ -159,16 +194,75 @@ class ClosureGraph:
         Adds the bypass arcs (predecessor -> successor) in the arc structure
         so the plain graph equals ``D(G, node)``; the closure needs only
         row/column deletion because bypass arcs preserve reachability.
+
+        The closure update touches only the node's ancestors and
+        descendants (the only rows/columns mentioning it), not every set
+        in the graph.
         """
+        self._contract_impl(node, record=False)
+
+    def contract_recording(self, node: Node) -> ContractionRecord:
+        """Like :meth:`contract`, but returns a :class:`ContractionRecord`
+        that :meth:`uncontract` can replay backwards — the primitive the
+        eager deletion policies use to trial-delete on the live graph."""
+        record = self._contract_impl(node, record=True)
+        assert record is not None
+        return record
+
+    def _contract_impl(self, node: Node, record: bool):
         if node not in self._graph:
             raise NodeNotFoundError(node)
+        undo: ContractionRecord | None = None
+        if record:
+            preds = set(self._graph.predecessors_view(node))
+            succs = set(self._graph.successors_view(node))
+            undo = ContractionRecord(
+                node=node,
+                successors=succs,
+                predecessors=preds,
+                descendants=self._desc[node],
+                ancestors=self._anc[node],
+                new_bypass_arcs=[
+                    (tail, head)
+                    for tail in preds
+                    for head in succs
+                    if not self._graph.has_arc(tail, head)
+                ],
+            )
+        ancestors = self._anc[node]
+        descendants = self._desc[node]
         self._graph.contract(node)
         del self._desc[node]
         del self._anc[node]
-        for descendants in self._desc.values():
-            descendants.discard(node)
-        for ancestors in self._anc.values():
-            ancestors.discard(node)
+        for source in ancestors:
+            self._desc[source].discard(node)
+        for target in descendants:
+            self._anc[target].discard(node)
+        return undo
+
+    def uncontract(self, record: ContractionRecord) -> None:
+        """Exact inverse of :meth:`contract_recording` (most recent first).
+
+        Reinsertion is O(degree + closure row/column): the bypass arcs of
+        the contraction changed no reachability between other nodes, so
+        restoring the node's own row/column restores the whole closure.
+        """
+        node = record.node
+        if node in self._graph:
+            raise GraphError(f"cannot uncontract {node!r}: already present")
+        for tail, head in record.new_bypass_arcs:
+            self._graph.remove_arc(tail, head)
+        self._graph.add_node(node)
+        for head in record.successors:
+            self._graph.add_arc(node, head)
+        for tail in record.predecessors:
+            self._graph.add_arc(tail, node)
+        self._desc[node] = record.descendants
+        self._anc[node] = record.ancestors
+        for source in record.ancestors:
+            self._desc[source].add(node)
+        for target in record.descendants:
+            self._anc[target].add(node)
 
     def remove_node_abort(self, node: Node) -> None:
         """Remove a node with *abort* semantics (no bypass arcs).
@@ -180,22 +274,26 @@ class ClosureGraph:
         if node not in self._graph:
             raise NodeNotFoundError(node)
         affected_sources = set(self._anc[node])
+        ancestors = self._anc[node]
+        descendants = self._desc[node]
         self._graph.remove_node(node)
         del self._desc[node]
         del self._anc[node]
-        for descendants in self._desc.values():
-            descendants.discard(node)
-        for ancestors in self._anc.values():
-            ancestors.discard(node)
+        for source in ancestors:
+            self._desc[source].discard(node)
+        for target in descendants:
+            self._anc[target].discard(node)
         # Recompute descendant sets of every former ancestor (their old sets
-        # may contain nodes reachable only through the removed node), then
-        # rebuild the ancestor index for consistency.
+        # may contain nodes reachable only through the removed node), and
+        # patch the ancestor index only for targets that actually lost a
+        # source: removal never *adds* reachability, so the affected
+        # targets are exactly ``old - new`` per source — no full rebuild.
         for source in affected_sources:
-            self._desc[source] = self._bfs_descendants(source)
-        for target in self._anc:
-            self._anc[target] = {
-                source for source in self._desc if target in self._desc[source]
-            }
+            old = self._desc[source]
+            new = self._bfs_descendants(source)
+            self._desc[source] = new
+            for target in old - new:
+                self._anc[target].discard(source)
 
     def _bfs_descendants(self, source: Node) -> Set[Node]:
         seen: Set[Node] = set()
@@ -208,6 +306,19 @@ class ClosureGraph:
                     seen.add(nxt)
                     frontier.append(nxt)
         return seen
+
+    def copy(self) -> "ClosureGraph":
+        """An independent clone by direct set copying.
+
+        O(nodes + arcs + closure size) — no arc-by-arc re-propagation.
+        The property tests assert the result equals a closure rebuilt
+        through :meth:`add_arc` (via :meth:`check_invariants`).
+        """
+        clone = ClosureGraph.__new__(ClosureGraph)
+        clone._graph = self._graph.copy()
+        clone._desc = {node: set(row) for node, row in self._desc.items()}
+        clone._anc = {node: set(col) for node, col in self._anc.items()}
+        return clone
 
     def check_invariants(self) -> None:
         """Assert closure == recomputed closure (test helper)."""

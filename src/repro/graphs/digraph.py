@@ -166,6 +166,24 @@ class DiGraph:
             raise NodeNotFoundError(node)
         return frozenset(self._pred[node])
 
+    def successors_view(self, node: Node):
+        """The *internal* successor set of *node* — read-only by contract.
+
+        Hot-path traversals (tight-path queries, C3 subgraph searches) use
+        this to avoid the per-call frozenset copy of :meth:`successors`.
+        Callers must not mutate the returned set or hold it across graph
+        mutations.
+        """
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+        return self._succ[node]
+
+    def predecessors_view(self, node: Node):
+        """The *internal* predecessor set of *node* — read-only by contract."""
+        if node not in self._pred:
+            raise NodeNotFoundError(node)
+        return self._pred[node]
+
     def out_degree(self, node: Node) -> int:
         if node not in self._succ:
             raise NodeNotFoundError(node)

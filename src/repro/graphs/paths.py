@@ -27,8 +27,10 @@ from repro.graphs.digraph import DiGraph
 __all__ = [
     "has_path",
     "has_restricted_path",
+    "has_restricted_path_fn",
     "find_restricted_path",
     "reachable_from",
+    "reachable_from_fn",
     "reachable_to",
     "restricted_successors",
     "restricted_predecessors",
@@ -36,6 +38,11 @@ __all__ = [
 
 Node = Hashable
 NodePredicate = Callable[[Node], bool]
+#: Adjacency as a callable (node -> iterable of neighbors).  The ``_fn``
+#: helpers below take one of these instead of a materialized
+#: :class:`DiGraph`, so condition checkers can search induced subgraphs
+#: (e.g. C3's ``G − M⁺``) without copying the graph per query.
+AdjacencyFn = Callable[[Node], Iterable[Node]]
 
 
 def _check_node(graph: DiGraph, node: Node) -> None:
@@ -63,6 +70,24 @@ def reachable_from(graph: DiGraph, source: Node) -> FrozenSet[Node]:
     while frontier:
         node = frontier.popleft()
         for nxt in graph.successors(node):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return frozenset(seen)
+
+
+def reachable_from_fn(successors: AdjacencyFn, source: Node) -> FrozenSet[Node]:
+    """Like :func:`reachable_from`, but over a callable adjacency.
+
+    Used with filtered adjacencies (``lambda n: (s for s in view(n) if s
+    not in removed)``) to search an induced subgraph copy-free.
+    """
+    seen: set[Node] = set()
+    frontier = deque(successors(source))
+    seen.update(frontier)
+    while frontier:
+        node = frontier.popleft()
+        for nxt in successors(node):
             if nxt not in seen:
                 seen.add(nxt)
                 frontier.append(nxt)
@@ -117,6 +142,36 @@ def has_restricted_path(
     while frontier:
         node = frontier.popleft()
         for nxt in graph.successors(node):
+            if nxt == target:
+                return True
+            if nxt not in seen and via(nxt):
+                seen.add(nxt)
+                frontier.append(nxt)
+    return False
+
+
+def has_restricted_path_fn(
+    successors: AdjacencyFn,
+    source: Node,
+    target: Node,
+    via: NodePredicate,
+) -> bool:
+    """Like :func:`has_restricted_path`, but over a callable adjacency.
+
+    Same contract: intermediate nodes must satisfy ``via``, endpoints are
+    exempt, a direct arc always counts.
+    """
+    seen: set[Node] = set()
+    frontier: deque[Node] = deque()
+    for node in successors(source):
+        if node == target:
+            return True
+        if via(node) and node not in seen:
+            seen.add(node)
+            frontier.append(node)
+    while frontier:
+        node = frontier.popleft()
+        for nxt in successors(node):
             if nxt == target:
                 return True
             if nxt not in seen and via(nxt):

@@ -141,23 +141,26 @@ class Certifier(SchedulerBase):
     def _certification_arcs(
         self, running: _RunningTxn, step: Write
     ) -> Optional[List[Tuple[TxnId, TxnId]]]:
-        """Arcs to insert for *running*; ``None`` on an immediate 2-cycle."""
+        """Arcs to insert for *running*; ``None`` on an immediate 2-cycle.
+
+        Only transactions that actually accessed one of *running*'s
+        entities matter, so the scan iterates the graph's entity-index
+        buckets for the read set and write set — not every node.
+        """
         incoming: set[TxnId] = set()
         outgoing: set[TxnId] = set()
         txn = running.txn
-        for other in self.graph.nodes():
-            info = self.graph.info(other)
-            cert = self._cert_time.get(other, 0)
-            for entity, other_mode in info.accesses.items():
-                # other wrote entity; we read it.
-                if other_mode.is_write and entity in running.first_read:
-                    if running.first_read[entity] < cert:
-                        outgoing.add(other)  # we read the pre-image
-                    if running.last_read[entity] > cert:
-                        incoming.add(other)  # we read their installed value
-                # other accessed entity; we write it now: their step is past.
-                if entity in step.entities:
-                    incoming.add(other)
+        for entity, first_read in running.first_read.items():
+            # other wrote entity; we read it.
+            for other in self.graph.writers_of(entity):
+                cert = self._cert_time.get(other, 0)
+                if first_read < cert:
+                    outgoing.add(other)  # we read the pre-image
+                if running.last_read[entity] > cert:
+                    incoming.add(other)  # we read their installed value
+        for entity in step.entities:
+            # other accessed entity; we write it now: their step is past.
+            incoming.update(self.graph.accessors_of(entity))
         if incoming & outgoing:
             return None  # both directions against one transaction: 2-cycle
         arcs = [(other, txn) for other in sorted(incoming)]
@@ -168,25 +171,21 @@ class Certifier(SchedulerBase):
         """Would inserting the certification arcs close a cycle?
 
         Arcs mix heads and tails (into and out of the certifying node), so
-        the pairwise closure test is insufficient; a trial insertion on a
-        digraph snapshot decides.  A cycle not involving the new node is
-        impossible (the graph was acyclic), so the trial only needs the new
-        node's arcs.
+        the single-arc closure test is insufficient — but a cycle not
+        involving the new node is impossible (the graph was acyclic), so
+        any cycle must run ``txn -> o ->* i -> txn`` through one outgoing
+        head ``o`` and one incoming tail ``i``.  Each such pair is an O(1)
+        ``reaches`` probe on the maintained closure; no graph copy.
         """
-        from repro.graphs.cycles import has_cycle
-
-        trial = self.graph.as_digraph()
-        new_node = None
-        for tail, head in arcs:
-            for node in (tail, head):
-                if node not in trial:
-                    trial.add_node(node)
-                    new_node = node
-        for tail, head in arcs:
-            if not trial.has_arc(tail, head):
-                trial.add_arc(tail, head)
-        del new_node
-        return has_cycle(trial)
+        certifying = {t for t, _ in arcs} | {h for _, h in arcs}
+        certifying -= self.graph.nodes()
+        # All arcs are incident to the one node being certified.
+        incoming = [t for t, h in arcs if h in certifying]
+        outgoing = [h for t, h in arcs if t in certifying]
+        graph = self.graph
+        return any(
+            o == i or graph.reaches(o, i) for o in outgoing for i in incoming
+        )
 
     def accepted_subschedule(self):
         """Projection on the *certified* transactions.

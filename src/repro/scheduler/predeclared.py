@@ -46,7 +46,6 @@ from repro.model.steps import (
     Step,
     TxnId,
     WriteItem,
-    conflicting_modes,
 )
 from repro.scheduler.base import SchedulerBase
 from repro.scheduler.events import Decision, StepResult
@@ -136,28 +135,25 @@ class PredeclaredScheduler(SchedulerBase):
         declared = dict(step.declared)
         self.graph.add_transaction(step.txn, TxnState.ACTIVE, declared=declared)
         self._pending[step.txn] = deque()
-        arcs: List[Tuple[TxnId, TxnId]] = []
-        for other in self.graph.nodes():
-            if other == step.txn:
-                continue
-            if self._executed_conflicts_with_future(other, declared):
-                arcs.append((other, step.txn))
+        # Rule 1' arcs via the entity index: a declared WRITE conflicts with
+        # every executed access of the entity, a declared READ only with
+        # executed writes — no whole-graph scan.
+        conflictors: set[TxnId] = set()
+        for entity, future_mode in declared.items():
+            threshold = (
+                AccessMode.READ if future_mode.is_write else AccessMode.WRITE
+            )
+            conflictors.update(self.graph.accessors_of(entity, threshold))
+        conflictors.discard(step.txn)
+        arcs: List[Tuple[TxnId, TxnId]] = [
+            (other, step.txn) for other in sorted(conflictors)
+        ]
         for tail, head in arcs:
             self.graph.add_arc(tail, head)
         released = self._drain_pending()
         return StepResult(
             step, Decision.ACCEPTED, arcs_added=tuple(arcs), released=tuple(released)
         )
-
-    def _executed_conflicts_with_future(
-        self, other: TxnId, declared: Dict[Entity, AccessMode]
-    ) -> bool:
-        info = self.graph.info(other)
-        for entity, future_mode in declared.items():
-            executed = info.accesses.get(entity)
-            if executed is not None and conflicting_modes(executed, future_mode):
-                return True
-        return False
 
     # -- Rules 2' & 3' ----------------------------------------------------------------
 
@@ -189,18 +185,12 @@ class PredeclaredScheduler(SchedulerBase):
         if isinstance(step, Finish):
             return []
         mode = AccessMode.WRITE if isinstance(step, WriteItem) else AccessMode.READ
-        entity = step.entity
-        conflictors: List[TxnId] = []
-        for other in self.graph.nodes():
-            if other == step.txn:
-                continue
-            future = self.graph.info(other).future
-            if not future:
-                continue
-            future_mode = future.get(entity)
-            if future_mode is not None and conflicting_modes(future_mode, mode):
-                conflictors.append(other)
-        return conflictors
+        # A write conflicts with every declared future access of the
+        # entity; a read only with declared future writes.  One bucket of
+        # the future-entity index — no whole-graph scan.
+        threshold = AccessMode.READ if mode.is_write else AccessMode.WRITE
+        conflictors = self.graph.future_declarers_of(step.entity, threshold)
+        return sorted(other for other in conflictors if other != step.txn)
 
     def _try_execute(self, step: Step) -> Optional[Tuple[List[Tuple[TxnId, TxnId]], List[TxnId]]]:
         """Execute *step* if no required arc closes a cycle; else ``None``."""
