@@ -1,0 +1,494 @@
+"""E15 — steady-state throughput and closure memory on the bitset kernel.
+
+The paper's §1 motivation is a *long-running* scheduler: without deletion
+the conflict graph grows without bound and every per-step cost grows with
+it.  This experiment drives the engine through a large Zipf workload twice
+— deletion **on** (eager-c1, batched sweeps) and deletion **off** (the
+``never`` policy) — and records sustained ops/s over windows, peak closure
+bytes, and the interner's id-space footprint.  A third phase measures the
+representation itself: the same 10k-live-transaction closure is held in
+the bitset kernel and mirrored row-for-row into the set-based reference
+kernel, and actual byte sizes are compared (acceptance gate: the bitset
+closure is ≥2x smaller).  A fourth phase times closure-dominated kernel
+operations (snapshot ``copy()``, ``reaches`` probes) on both kernels.
+
+Emits machine-readable ``benchmarks/results/BENCH_steady_state.json``::
+
+    {
+      "format": 1,
+      "suite": "steady_state",
+      "scale": "full" | "smoke",
+      "throughput": [
+        {"policy": ..., "deletion": bool, "steps": N, "ops_per_sec": x,
+         "ops_per_sec_windows": [...], "peak_closure_bytes": N,
+         "peak_graph": N, "deletions": N, "interner_capacity": N,
+         "capped": bool, ...},
+        ...
+      ],
+      "memory_comparison": {"live_transactions": N, "bit_bytes": N,
+                            "set_bytes": N, "ratio": x, ...},
+      "kernel_ops": {...}
+    }
+
+so the repo-root perf trajectory can be diffed mechanically, like
+``BENCH_hotpaths.json``.  Run directly
+(``python benchmarks/bench_steady_state.py [--scale smoke]``), through the
+pytest-benchmark harness, or validate an existing payload with
+``--validate-only <path>``.
+
+Full-scale acceptance gates:
+
+* the deletion-on run sustains ≥ 50 000 steps;
+* peak closure memory at 10k live transactions is ≥ 2x smaller in the
+  bitset kernel than in the set-based kernel (measured, not estimated);
+* deletion-on sustained ops/s ≥ deletion-off (the point of the paper).
+
+The deletion-off run is **capped** (its per-step cost grows with the
+graph; an uncapped 50k-step run is exactly the pathology the paper tells
+us to avoid) — the cap is recorded in the payload, never silent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import random
+import sys
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+if __name__ == "__main__":  # direct execution: make src/ importable
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    )
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from _common import once, write_result
+
+from repro.analysis.report import ascii_table
+from repro.engine import Engine
+from repro.graphs.bitclosure import BitClosureGraph, iter_bits
+from repro.graphs.closure import ClosureGraph
+from repro.graphs.digraph import DiGraph
+from repro.workloads.generator import WorkloadConfig, basic_specs, basic_stream
+
+RESULTS_PATH = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_steady_state.json"
+)
+
+MEMORY_RATIO_GATE = 2.0
+MIN_FULL_STEPS = 50_000
+
+
+def _scale() -> str:
+    return os.environ.get("BENCH_STEADY_SCALE", "full")
+
+
+def _params(scale: str) -> Dict[str, Dict[str, object]]:
+    if scale == "smoke":
+        return {
+            "on": dict(n=500, entities=120, zipf=0.7, window=400, interval=16),
+            "off": dict(n=200, entities=80, zipf=0.7, window=200),
+            "memory": dict(n=700, entities=280, zipf=0.6),
+            "kernel": dict(n=300, entities=80, zipf=0.7, probes=20_000),
+        }
+    return {
+        "on": dict(n=14_000, entities=1_200, zipf=0.7, window=4_000, interval=32),
+        "off": dict(n=3_500, entities=1_200, zipf=0.7, window=1_500),
+        "memory": dict(n=10_000, entities=4_000, zipf=0.6),
+        "kernel": dict(n=2_000, entities=400, zipf=0.7, probes=200_000),
+    }
+
+
+def _workload(n: int, entities: int, zipf: float, max_accesses: int = 4):
+    return WorkloadConfig(
+        n_transactions=n,
+        n_entities=entities,
+        multiprogramming=8,
+        write_fraction=0.3,
+        max_accesses=max_accesses,
+        zipf_s=zipf,
+        seed=7,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Phase 1/2: engine throughput, deletion on vs off
+# ---------------------------------------------------------------------------
+
+
+def _engine_run(
+    config: WorkloadConfig,
+    policy: str,
+    window: int,
+    sweep_interval: int = 32,
+    capped: bool = False,
+    cap_reason: Optional[str] = None,
+) -> Dict[str, object]:
+    stream = basic_stream(config)
+    engine = Engine(
+        scheduler="conflict-graph", policy=policy, sweep_interval=sweep_interval
+    )
+    kernel = engine.graph.kernel
+    windows: List[float] = []
+    peak_closure = 0
+    sample_every = max(window // 4, 1)
+    steps = 0
+    window_start = time.perf_counter()
+    run_start = window_start
+    for step in stream:
+        engine.feed(step)
+        steps += 1
+        if steps % sample_every == 0:
+            peak_closure = max(peak_closure, kernel.memory_bytes())
+        if steps % window == 0:
+            now = time.perf_counter()
+            windows.append(round(window / (now - window_start), 1))
+            window_start = now
+    wall = time.perf_counter() - run_start
+    peak_closure = max(peak_closure, kernel.memory_bytes())
+    return {
+        "policy": policy,
+        "deletion": policy != "never",
+        "steps": steps,
+        "wall_s": round(wall, 3),
+        "ops_per_sec": round(steps / wall, 1) if wall else None,
+        "window_steps": window,
+        "ops_per_sec_windows": windows,
+        "peak_closure_bytes": peak_closure,
+        "final_closure_bytes": kernel.memory_bytes(),
+        "peak_graph": engine.stats.peak_graph_size,
+        "final_live": len(engine.graph),
+        "deletions": engine.stats.deletions,
+        "sweeps_run": engine.sweeps_run,
+        "sweeps_skipped": engine.sweeps_skipped,
+        "interner_capacity": kernel.interner.capacity,
+        "capped": capped,
+        "cap_reason": cap_reason,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Phase 3: closure memory at 10k live transactions, bit vs set kernel
+# ---------------------------------------------------------------------------
+
+
+def _conflict_arcs(specs) -> Iterator[Tuple[str, str]]:
+    """Serial-order conflict arcs of a basic workload: every earlier
+    accessor conflicting with a later transaction points at it (the arcs a
+    conflict-graph scheduler would insert for the serial interleaving)."""
+    readers: Dict[str, List[str]] = {}
+    writers: Dict[str, List[str]] = {}
+    for spec in specs:
+        txn = spec.txn
+        seen = set()
+        for entity in spec.reads:
+            if entity in seen:
+                continue
+            seen.add(entity)
+            for writer in writers.get(entity, ()):
+                yield (writer, txn)
+            readers.setdefault(entity, []).append(txn)
+        for entity in spec.writes:
+            for writer in writers.get(entity, ()):
+                yield (writer, txn)
+            for reader in readers.get(entity, ()):
+                if reader != txn:
+                    yield (reader, txn)
+            writers.setdefault(entity, []).append(txn)
+
+
+def _build_bit_closure(config: WorkloadConfig) -> Tuple[BitClosureGraph, float]:
+    specs = basic_specs(config)
+    start = time.perf_counter()
+    kernel = BitClosureGraph()
+    for spec in specs:
+        kernel.add_node(spec.txn)
+    for tail, head in _conflict_arcs(specs):
+        if not kernel.has_arc(tail, head):
+            kernel.add_arc(tail, head)
+    return kernel, time.perf_counter() - start
+
+
+def _mirror_to_set_kernel(bit: BitClosureGraph) -> Tuple[ClosureGraph, float]:
+    """The *same* closure content held in the set-based reference kernel.
+
+    Rows are installed directly (building through the reference kernel's
+    ``add_arc`` propagation at this size is the quadratic cost this PR
+    removed); this measures representation bytes on identical content.
+    """
+    start = time.perf_counter()
+    mirror = ClosureGraph.__new__(ClosureGraph)
+    mirror._graph = DiGraph()
+    mirror._desc = {}
+    mirror._anc = {}
+    mirror._mutations = 0
+    for node in bit.nodes():
+        mirror._graph.add_node(node)
+    for tail, head in bit.arcs():
+        mirror._graph.add_arc(tail, head)
+    for index in iter_bits(bit.live_mask):
+        node = bit.node_of(index)
+        mirror._desc[node] = set(bit.nodes_of_mask(bit.desc_row(index)))
+        mirror._anc[node] = set(bit.nodes_of_mask(bit.anc_row(index)))
+    return mirror, time.perf_counter() - start
+
+
+def _memory_comparison(config: WorkloadConfig) -> Dict[str, object]:
+    bit, build_s = _build_bit_closure(config)
+    mirror, mirror_s = _mirror_to_set_kernel(bit)
+    bit_bytes = bit.memory_bytes()
+    set_bytes = mirror.memory_bytes()
+    pairs = sum(
+        bit.desc_row(index).bit_count() for index in iter_bits(bit.live_mask)
+    )
+    return {
+        "live_transactions": len(bit),
+        "arcs": bit.arc_count(),
+        "closure_pairs": pairs,
+        "bit_bytes": bit_bytes,
+        "set_bytes": set_bytes,
+        "ratio": round(set_bytes / bit_bytes, 2) if bit_bytes else None,
+        "bit_build_s": round(build_s, 3),
+        "mirror_s": round(mirror_s, 3),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Phase 4: closure-dominated kernel operations, bit vs set kernel
+# ---------------------------------------------------------------------------
+
+
+def _kernel_ops(config: WorkloadConfig, probes: int) -> Dict[str, object]:
+    specs = basic_specs(config)
+    arcs = list(dict.fromkeys(_conflict_arcs(specs)))
+    bit, ref = BitClosureGraph(), ClosureGraph()
+    for spec in specs:
+        bit.add_node(spec.txn)
+        ref.add_node(spec.txn)
+    for tail, head in arcs:
+        bit.add_arc(tail, head)
+        ref.add_arc(tail, head)
+    nodes = [spec.txn for spec in specs]
+    rng = random.Random(3)
+    pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(probes)]
+    start = time.perf_counter()
+    bit_hits = sum(bit.reaches(a, b) for a, b in pairs)
+    bit_probe_s = time.perf_counter() - start
+    start = time.perf_counter()
+    ref_hits = sum(ref.reaches(a, b) for a, b in pairs)
+    ref_probe_s = time.perf_counter() - start
+    assert bit_hits == ref_hits  # both kernels answer identically
+    rounds = 5
+    start = time.perf_counter()
+    for _ in range(rounds):
+        bit.copy()
+    bit_copy_s = (time.perf_counter() - start) / rounds
+    start = time.perf_counter()
+    for _ in range(rounds):
+        ref.copy()
+    ref_copy_s = (time.perf_counter() - start) / rounds
+    return {
+        "nodes": len(nodes),
+        "arcs": len(arcs),
+        "reaches_probes": probes,
+        "bit_probe_s": round(bit_probe_s, 4),
+        "set_probe_s": round(ref_probe_s, 4),
+        "bit_copy_ms": round(bit_copy_s * 1000, 3),
+        "set_copy_ms": round(ref_copy_s * 1000, 3),
+        "copy_speedup": (
+            round(ref_copy_s / bit_copy_s, 1) if bit_copy_s else None
+        ),
+        "bit_bytes": bit.memory_bytes(),
+        "set_bytes": ref.memory_bytes(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+
+def _experiment() -> Dict[str, object]:
+    scale = _scale()
+    params = _params(scale)
+    on = params["on"]
+    off = params["off"]
+    throughput = [
+        _engine_run(
+            _workload(on["n"], on["entities"], on["zipf"]),
+            policy="eager-c1",
+            window=on["window"],
+            sweep_interval=on["interval"],
+        ),
+        _engine_run(
+            _workload(off["n"], off["entities"], off["zipf"]),
+            policy="never",
+            window=off["window"],
+            capped=True,
+            cap_reason=(
+                "per-step cost grows with the unpruned graph (the §1 "
+                "pathology); the run is truncated, not representative of a "
+                "sustainable configuration"
+            ),
+        ),
+    ]
+    memory_cfg = params["memory"]
+    kernel_cfg = params["kernel"]
+    return {
+        "format": 1,
+        "suite": "steady_state",
+        "scale": scale,
+        "throughput": throughput,
+        "memory_comparison": _memory_comparison(
+            _workload(
+                memory_cfg["n"],
+                memory_cfg["entities"],
+                memory_cfg["zipf"],
+                max_accesses=2,
+            )
+        ),
+        "kernel_ops": _kernel_ops(
+            _workload(kernel_cfg["n"], kernel_cfg["entities"], kernel_cfg["zipf"], 3),
+            probes=kernel_cfg["probes"],
+        ),
+        "gates": {
+            "min_full_steps": MIN_FULL_STEPS,
+            "memory_ratio_gate": MEMORY_RATIO_GATE,
+        },
+    }
+
+
+def validate_payload(payload: Dict[str, object]) -> None:
+    """Schema check for BENCH_steady_state.json; raises ValueError on drift."""
+    for key in ("format", "suite", "scale", "throughput", "memory_comparison",
+                "kernel_ops", "gates"):
+        if key not in payload:
+            raise ValueError(f"missing top-level key {key!r}")
+    if payload["format"] != 1 or payload["suite"] != "steady_state":
+        raise ValueError("wrong format/suite stamp")
+    throughput = payload["throughput"]
+    if not isinstance(throughput, list) or len(throughput) != 2:
+        raise ValueError("throughput must list the deletion-on and -off runs")
+    required = {
+        "policy": str,
+        "deletion": bool,
+        "steps": int,
+        "ops_per_sec": (int, float),
+        "ops_per_sec_windows": list,
+        "peak_closure_bytes": int,
+        "peak_graph": int,
+        "deletions": int,
+        "interner_capacity": int,
+        "capped": bool,
+    }
+    for entry in throughput:
+        for key, kind in required.items():
+            if key not in entry:
+                raise ValueError(f"throughput entry missing {key!r}: {entry}")
+            if not isinstance(entry[key], kind):
+                raise ValueError(
+                    f"throughput field {key!r} has type "
+                    f"{type(entry[key]).__name__}"
+                )
+        if entry["capped"] and not entry.get("cap_reason"):
+            raise ValueError("a capped run must record its cap_reason")
+    memory = payload["memory_comparison"]
+    for key in ("live_transactions", "bit_bytes", "set_bytes", "ratio"):
+        if key not in memory:
+            raise ValueError(f"memory_comparison missing {key!r}")
+    if not isinstance(memory["ratio"], (int, float)):
+        raise ValueError("memory_comparison ratio must be numeric")
+
+
+def _check_gates(payload: Dict[str, object]) -> None:
+    validate_payload(payload)
+    if payload["scale"] != "full":
+        return
+    on, off = payload["throughput"]
+    assert on["deletion"] and not off["deletion"]
+    assert on["steps"] >= MIN_FULL_STEPS, (
+        f"deletion-on run fed {on['steps']} steps, below the "
+        f"{MIN_FULL_STEPS} gate"
+    )
+    assert on["ops_per_sec"] >= off["ops_per_sec"], (
+        "deletion-on throughput fell below deletion-off"
+    )
+    memory = payload["memory_comparison"]
+    assert memory["live_transactions"] >= 10_000
+    assert memory["ratio"] >= MEMORY_RATIO_GATE, (
+        f"closure memory ratio {memory['ratio']} below the "
+        f"{MEMORY_RATIO_GATE}x gate at {memory['live_transactions']} live "
+        "transactions"
+    )
+
+
+def _emit(payload: Dict[str, object]) -> None:
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    rows = [
+        [
+            entry["policy"],
+            "on" if entry["deletion"] else "off",
+            entry["steps"],
+            entry["ops_per_sec"],
+            round(entry["peak_closure_bytes"] / 1e6, 2),
+            entry["peak_graph"],
+            entry["deletions"],
+            entry["interner_capacity"],
+            "yes" if entry["capped"] else "no",
+        ]
+        for entry in payload["throughput"]
+    ]
+    table = ascii_table(
+        ["policy", "deletion", "steps", "ops/s", "peak_closure_MB",
+         "peak_graph", "deletions", "id_capacity", "capped"],
+        rows,
+        title=f"E15: steady-state throughput ({payload['scale']} scale)",
+    )
+    memory = payload["memory_comparison"]
+    table += (
+        f"\nclosure memory at {memory['live_transactions']} live txns: "
+        f"bit={memory['bit_bytes'] / 1e6:.1f}MB "
+        f"set={memory['set_bytes'] / 1e6:.1f}MB "
+        f"ratio={memory['ratio']}x\n"
+        f"kernel copy speedup: {payload['kernel_ops']['copy_speedup']}x "
+        f"({payload['kernel_ops']['set_copy_ms']}ms -> "
+        f"{payload['kernel_ops']['bit_copy_ms']}ms)"
+    )
+    write_result("E15_steady_state", table)
+
+
+def bench_steady_state(benchmark):
+    """pytest-benchmark entry point."""
+    payload = once(benchmark, _experiment)
+    _check_gates(payload)
+    _emit(payload)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("full", "smoke"), default=None)
+    parser.add_argument(
+        "--validate-only", metavar="PATH",
+        help="validate an existing BENCH_steady_state.json and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.validate_only:
+        validate_payload(json.loads(pathlib.Path(args.validate_only).read_text()))
+        print(f"{args.validate_only}: schema OK")
+        return 0
+    if args.scale:
+        os.environ["BENCH_STEADY_SCALE"] = args.scale
+    payload = _experiment()
+    _check_gates(payload)
+    _emit(payload)
+    print(f"wrote {RESULTS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -59,7 +59,7 @@ from repro.model import (
     WriteItem,
     serial_schedule,
 )
-from repro.graphs import ClosureGraph, DiGraph
+from repro.graphs import BitClosureGraph, ClosureGraph, DiGraph, NodeInterner
 from repro.core import (
     DeletionPolicy,
     EagerC1Policy,
@@ -212,6 +212,8 @@ __all__ = [
     # graphs
     "DiGraph",
     "ClosureGraph",
+    "BitClosureGraph",
+    "NodeInterner",
     # core
     "ReducedGraph",
     "TxnInfo",

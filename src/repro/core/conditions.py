@@ -82,12 +82,10 @@ def has_no_active_predecessors(graph: ReducedGraph, txn: TxnId) -> bool:
     predecessors, so a completed transaction with no active predecessors
     has a frozen predecessor set and can never join a cycle.  Sufficient
     but not necessary for deletability (Example 1's ``T2`` fails it yet is
-    deletable).
+    deletable).  One AND on the maintained ancestor row and active mask.
     """
     _require_completed(graph, txn)
-    return not any(
-        graph.state(pred).is_active for pred in graph.ancestors(txn)
-    )
+    return not (graph.ancestors_mask(txn) & graph.active_mask)
 
 
 def c1_violations(
@@ -108,16 +106,19 @@ def c1_violations(
     accesses = graph.info(candidate).accesses
     if not accesses:
         return violations  # no entities: C1 vacuously true
-    active_preds = graph.active_tight_predecessors(candidate)
-    for pred in sorted(active_preds):
-        successors = graph.completed_tight_successors(pred) - {candidate}
-        for entity in sorted(accesses):
+    candidate_bit = graph.bit_of(candidate)
+    active_preds = graph.active_tight_predecessors_mask(candidate)
+    entities = sorted(accesses)
+    for pred in sorted(graph.unmask(active_preds)):
+        # Completed tight successors of the predecessor, minus the
+        # candidate; each entity's coverage test is then a single AND
+        # against the entity's accessor mask.
+        successors = (
+            graph.completed_tight_successors_mask(pred) & ~candidate_bit
+        )
+        for entity in entities:
             required = accesses[entity]
-            covered = any(
-                graph.info(witness).accesses_at_least(entity, required)
-                for witness in successors
-            )
-            if not covered:
+            if not (graph.accessors_mask(entity, required) & successors):
                 violations.append(
                     C1Violation(candidate, pred, entity, required)
                 )

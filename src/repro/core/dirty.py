@@ -41,6 +41,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterable, Optional, Set
 
+from repro.graphs.bitclosure import iter_bits
 from repro.model.steps import TxnId
 
 __all__ = ["DirtyTracker", "impacted_completed"]
@@ -52,18 +53,16 @@ def impacted_completed(graph, txn: TxnId) -> Set[TxnId]:
 
     The over-approximated affected region: the completed descendants of
     *txn* and of every still-active ancestor of *txn*, plus *txn* itself.
-    O(size of the region) — the ancestor/descendant rows are maintained by
-    the closure, no traversal happens.
+    O(active ancestors) big-int ORs — the ancestor/descendant rows are
+    maintained by the closure as masks, no traversal happens.
     """
     if txn not in graph:
         return set()
-    info = graph.info
-    region: Set[TxnId] = set(graph.descendants_view(txn))
-    for ancestor in graph.ancestors_view(txn):
-        if info(ancestor).state.is_active:
-            region |= graph.descendants_view(ancestor)
-    region.add(txn)
-    return {node for node in region if info(node).state.is_completed}
+    kernel = graph.kernel
+    region = graph.descendants_mask(txn) | graph.bit_of(txn)
+    for ancestor_id in iter_bits(graph.ancestors_mask(txn) & graph.active_mask):
+        region |= kernel.desc_row(ancestor_id)
+    return set(graph.unmask(region & graph.completed_mask))
 
 
 class DirtyTracker:

@@ -27,7 +27,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.reduced_graph import ReducedGraph
 from repro.errors import DeletionError, NotCompletedError, UnknownTransactionError
-from repro.graphs.paths import has_restricted_path_fn, reachable_from_fn
+from repro.graphs.paths import has_restricted_path_mask, reachable_mask
 from repro.model.entities import Entity
 from repro.model.status import AccessMode, TxnState
 from repro.model.steps import TxnId
@@ -105,38 +105,34 @@ def _check_condition_for_subgraph(
 ) -> Optional[Tuple[TxnId, Entity]]:
     """Check C3's inner implication on ``G − M⁺`` (``M⁺`` = *removed*).
 
-    The subgraph is never materialized: the searches run over the live
-    closure adjacency with *removed* filtered out.  Returns a refuting
-    (Tj, x) pair or ``None`` if the implication holds for this abort
-    choice.
+    The subgraph is never materialized: the searches run as mask BFS over
+    the live closure adjacency rows with the *removed* bits masked out
+    (``row & allowed``), and each entity's witness test is one AND against
+    the entity's accessor mask.  Returns a refuting (Tj, x) pair or
+    ``None`` if the implication holds for this abort choice.
     """
-    info = graph.info
-    is_completed = (
-        lambda node: info(node).state.is_completed
-    )  # F or C: the FC-path predicate
-    view = graph.successors_view
+    kernel = graph.kernel
+    allowed = ~graph.mask_of(removed)
+    candidate_bit = graph.bit_of(candidate)
+    via_mask = graph.completed_mask & allowed  # F or C: the FC predicate
+    succ = kernel.succ_row
 
-    def successors(node: TxnId):
-        return (nxt for nxt in view(node) if nxt not in removed)
+    def row(index: int) -> int:
+        return succ(index) & allowed
 
-    actives_alive = [
-        node
-        for node in graph.active_transactions()
-        if node != candidate and node not in removed
-    ]
-    for pred in sorted(actives_alive):
-        if not has_restricted_path_fn(successors, pred, candidate, via=is_completed):
+    actives_alive = (
+        graph.active_mask & allowed & ~candidate_bit
+    )
+    entities = sorted(accesses)
+    for pred in sorted(graph.unmask(actives_alive)):
+        pred_id = graph.id_of(pred)
+        if not has_restricted_path_mask(row, pred_id, candidate_bit, via_mask):
             continue
         # Second path: plain reachability, any node types.
-        reachable = reachable_from_fn(successors, pred)
-        for entity in sorted(accesses):
+        reachable = reachable_mask(row, pred_id) & ~candidate_bit
+        for entity in entities:
             required = accesses[entity]
-            witnessed = any(
-                other != candidate
-                and info(other).accesses_at_least(entity, required)
-                for other in reachable
-            )
-            if not witnessed:
+            if not (graph.accessors_mask(entity, required) & reachable):
                 return (pred, entity)
     return None
 

@@ -104,30 +104,32 @@ def compute_demands(
         txn for txn in completed if not c1_violations(graph, txn, first_only=True)
     ]
     candidate_set = frozenset(candidates)
+    candidate_mask = graph.mask_of(candidates)
     demands: Dict[TxnId, Tuple[FrozenSet[TxnId], ...]] = {}
-    successor_cache: Dict[TxnId, FrozenSet[TxnId]] = {}
+    successor_cache: Dict[TxnId, int] = {}
     for member in candidates:
         accesses = graph.info(member).accesses
+        member_bit = graph.bit_of(member)
         member_demands: List[FrozenSet[TxnId]] = []
-        for pred in sorted(graph.active_tight_predecessors(member)):
+        for pred in sorted(
+            graph.unmask(graph.active_tight_predecessors_mask(member))
+        ):
             if pred not in successor_cache:
-                successor_cache[pred] = graph.completed_tight_successors(pred)
-            pool = successor_cache[pred] - {member}
+                successor_cache[pred] = (
+                    graph.completed_tight_successors_mask(pred)
+                )
+            pool = successor_cache[pred] & ~member_bit
             for entity in sorted(accesses):
                 required = accesses[entity]
-                witnesses = frozenset(
-                    witness
-                    for witness in pool
-                    if graph.info(witness).accesses_at_least(entity, required)
-                )
-                if not witnesses:
+                witness_mask = graph.accessors_mask(entity, required) & pool
+                if not witness_mask:
                     raise DeletionError(
                         f"demand of C1-approved candidate {member!r} has no "
                         "witnesses; C1 computation is inconsistent"
                     )
-                if witnesses - candidate_set:
+                if witness_mask & ~candidate_mask:
                     continue  # permanently witnessed; no constraint
-                member_demands.append(witnesses)
+                member_demands.append(frozenset(graph.unmask(witness_mask)))
         demands[member] = tuple(member_demands)
     return DeletionDemands(tuple(candidates), demands)
 

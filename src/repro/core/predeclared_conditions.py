@@ -92,18 +92,19 @@ def _clause2_uncovered(
 ) -> Optional[Entity]:
     """First future access of *pred* not covered by a successor ≠ exclude;
     ``None`` means clause 2 holds (pred behaves as completed w.r.t. the
-    deletion of *exclude*)."""
+    deletion of *exclude*).
+
+    Mask-native: the successor pool is the predecessor's closure row with
+    the candidate's bit cleared, and each entity's coverage test is one
+    AND against the entity's accessor mask.
+    """
     future = graph.info(pred).future or {}
     if not future:
         return None
-    successors = graph.descendants(pred) - {exclude}
+    successors = graph.descendants_mask(pred) & ~graph.bit_of(exclude)
     for entity in sorted(future):
         future_mode = future[entity]
-        covered = any(
-            graph.info(successor).accesses_at_least(entity, future_mode)
-            for successor in successors
-        )
-        if not covered:
+        if not (graph.accessors_mask(entity, future_mode) & successors):
             return entity
     return None
 
@@ -129,10 +130,9 @@ def c4_violations(
     _require_completed(graph, candidate)
     violations: List[C4Violation] = []
     accesses = graph.info(candidate).accesses
+    candidate_bit = graph.bit_of(candidate)
     active_preds = sorted(
-        pred
-        for pred in graph.ancestors(candidate)
-        if graph.state(pred).is_active
+        graph.unmask(graph.ancestors_mask(candidate) & graph.active_mask)
     )
     for pred in active_preds:
         uncovered = _clause2_uncovered(graph, pred, candidate)
@@ -150,14 +150,12 @@ def c4_violations(
         # x.)  Without this refinement the Theorem 7 necessity gadget
         # fails to diverge exactly in these cases, as our randomized
         # lockstep search discovered; see DESIGN.md §3.
-        witnesses = (graph.descendants(pred) | {pred}) - {candidate}
+        witnesses = (
+            graph.descendants_mask(pred) | graph.bit_of(pred)
+        ) & ~candidate_bit
         for entity in sorted(accesses):
             required = accesses[entity]
-            clause1 = any(
-                graph.info(witness).accesses_at_least(entity, required)
-                for witness in witnesses
-            )
-            if not clause1:
+            if not (graph.accessors_mask(entity, required) & witnesses):
                 violations.append(
                     C4Violation(candidate, pred, entity, required, uncovered)
                 )

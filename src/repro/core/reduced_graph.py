@@ -10,27 +10,36 @@ A *reduced graph* of a schedule ``p`` (§4) is any graph ``G`` such that:
 
 The conflict graph ``CG(p)`` is the reduced graph with no removals
 performed.  :class:`ReducedGraph` couples the arc structure (a
-:class:`~repro.graphs.closure.ClosureGraph`, so cycle pre-tests are O(1) and
+:class:`~repro.graphs.bitclosure.BitClosureGraph`: interned dense node
+ids, big-int bitmask closure rows — cycle pre-tests are O(1) bit tests and
 removal really is "deleting the node from the transitive closure" as the
-paper observes) with per-transaction payloads (:class:`TxnInfo`): lifecycle
-state, strongest executed access per entity, declared future accesses
-(predeclared model), and direct read-from dependencies (multiwrite model).
+paper observes, here a masked row patch) with per-transaction payloads
+(:class:`TxnInfo`): lifecycle state, strongest executed access per entity,
+declared future accesses (predeclared model), and direct read-from
+dependencies (multiwrite model).  The object-set
+:class:`~repro.graphs.closure.ClosureGraph` kernel remains in the tree as
+the reference oracle (``repro.core.reference``); the property tests assert
+row-for-row equivalence between the two across all five schedulers.
 
 Hot-path layers (the §4 cost argument: a deletion policy is only worth
 running if evaluating it is cheap relative to the growth it prevents):
 
-* **Inverted entity indexes** — ``entity -> {txn: strongest executed
-  mode}`` and ``entity -> {txn: declared future mode}``, maintained by
+* **Inverted entity indexes, as masks** — per entity, one bitmask of the
+  transactions that executed any access of it and one of those that wrote
+  it (likewise for declared-future accesses), maintained by
   :meth:`record_access` / :meth:`consume_future` / :meth:`abort` /
-  :meth:`delete`, so :meth:`accessors_of` / :meth:`writers_of` /
-  :meth:`future_declarers_of` touch one bucket instead of scanning every
-  node.
-* **State-set indexes** — the active / completed / committed sets are
-  maintained incrementally, not recomputed by a full node scan.
+  :meth:`delete`.  :meth:`accessors_of` / :meth:`writers_of` /
+  :meth:`future_declarers_of` read one mask, and the condition checkers'
+  witness probes ("does any transaction in this set access ``x`` at least
+  this strongly?") collapse to a single AND via :meth:`accessors_mask`.
+* **State-set masks** — the active / completed / committed sets are
+  bitmasks maintained incrementally (:meth:`active_mask` and friends);
+  "the actives among the tight predecessors" is one AND.
 * **Copy-free tight-path queries** — :meth:`tight_predecessors` and
-  friends traverse the closure's adjacency directly (no
-  ``as_digraph()`` copy) and memoize per *mutation epoch*: the epoch
-  bumps on :meth:`add_arc` / :meth:`set_state` / :meth:`abort` /
+  friends run a frontier-as-mask BFS over the closure's adjacency rows
+  restricted to :meth:`completed_mask` (no ``as_digraph()`` copy, no
+  per-neighbor predicate calls) and memoize per *mutation epoch*: the
+  epoch bumps on :meth:`add_arc` / :meth:`set_state` / :meth:`abort` /
   :meth:`delete`, so repeated queries within one policy sweep are O(1).
 * **Trial deletions** — :meth:`trial_deletions` lets the eager policies
   run their delete/re-evaluate fixed point on the *live* structure and
@@ -49,7 +58,6 @@ classic implementation bug this library is careful about:
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
@@ -59,8 +67,13 @@ from repro.errors import (
     TransactionStateError,
     UnknownTransactionError,
 )
-from repro.graphs.closure import ClosureGraph, ContractionRecord
+from repro.graphs.bitclosure import (
+    BitClosureGraph,
+    BitContractionRecord,
+    iter_bits,
+)
 from repro.graphs.digraph import DiGraph
+from repro.graphs.paths import restricted_reach_mask
 from repro.model.entities import Entity
 from repro.model.status import AccessMode, TxnState, at_least_as_strong
 from repro.model.steps import TxnId
@@ -148,26 +161,31 @@ class ReducedGraph:
     """
 
     def __init__(self) -> None:
-        self._closure = ClosureGraph()
+        self._closure = BitClosureGraph()
         self._info: Dict[TxnId, TxnInfo] = {}
         self._deleted: set[TxnId] = set()
         self._aborted: set[TxnId] = set()
-        # Inverted entity indexes: entity -> {txn: strongest mode}.
-        self._by_entity: Dict[Entity, Dict[TxnId, AccessMode]] = {}
-        self._future_by_entity: Dict[Entity, Dict[TxnId, AccessMode]] = {}
-        # State-set indexes (maintained by set_state/abort/delete).
-        self._active_set: set[TxnId] = set()
-        self._completed_set: set[TxnId] = set()
-        self._committed_set: set[TxnId] = set()
+        # Inverted entity indexes, as masks: per entity, the transactions
+        # with any executed access and those with an executed write
+        # (likewise for declared futures).  With two access modes the
+        # (mask, write-mask) pair answers every ≥-strength query.
+        self._entity_any: Dict[Entity, int] = {}
+        self._entity_write: Dict[Entity, int] = {}
+        self._future_any: Dict[Entity, int] = {}
+        self._future_write: Dict[Entity, int] = {}
+        # State-set masks (maintained by set_state/abort/delete).
+        self._active_bits = 0
+        self._completed_bits = 0
+        self._committed_bits = 0
         # Mutation epoch + memo cache for the tight-path queries.  The
         # epoch bumps on every mutation that can change a tight set
         # (arcs, states, node removal); the cache is cleared lazily.
         self._epoch = 0
         self._cache_epoch = -1
-        self._tight_cache: Dict[Tuple[str, TxnId], FrozenSet[TxnId]] = {}
+        self._tight_cache: Dict[Tuple[str, TxnId], int] = {}
         # Undo log while a deletion trial is active (None otherwise).
         self._trial: Optional[
-            List[Tuple[TxnId, TxnInfo, ContractionRecord]]
+            List[Tuple[TxnId, TxnInfo, BitContractionRecord]]
         ] = None
 
     # -- membership and payloads -------------------------------------------
@@ -200,6 +218,80 @@ class ReducedGraph:
 
     def _bump(self) -> None:
         self._epoch += 1
+
+    # -- mask-native API ----------------------------------------------------
+    #
+    # The bitset kernel assigns every transaction a dense id; sets of
+    # transactions are big-int masks (bit i set = the transaction with id
+    # i is a member).  The condition checkers work in this representation
+    # and convert to transaction ids only at the API boundary.
+
+    @property
+    def kernel(self) -> BitClosureGraph:
+        """The bitset closure kernel (read-only use: row lookups for mask
+        BFS in the condition checkers)."""
+        return self._closure
+
+    @property
+    def active_mask(self) -> int:
+        return self._active_bits
+
+    @property
+    def completed_mask(self) -> int:
+        return self._completed_bits
+
+    @property
+    def committed_mask(self) -> int:
+        return self._committed_bits
+
+    @property
+    def live_mask(self) -> int:
+        return self._closure.live_mask
+
+    def id_of(self, txn: TxnId) -> int:
+        """The dense kernel id of *txn*."""
+        return self._closure.id_of(txn)
+
+    def bit_of(self, txn: TxnId) -> int:
+        """``1 << id_of(txn)``."""
+        return self._closure.bit_of(txn)
+
+    def mask_of(self, txns: Iterable[TxnId]) -> int:
+        return self._closure.mask_of(txns)
+
+    def unmask(self, mask: int) -> List[TxnId]:
+        """The transactions whose bits are set in *mask* (id order; sort
+        the result when deterministic txn order matters)."""
+        return self._closure.nodes_of_mask(mask)
+
+    def accessors_mask(
+        self, entity: Entity, at_least: AccessMode = AccessMode.READ
+    ) -> int:
+        """Mask of transactions whose strongest executed access of
+        *entity* is ≥ ``at_least`` — the one-AND witness probe."""
+        index = (
+            self._entity_write
+            if at_least is AccessMode.WRITE
+            else self._entity_any
+        )
+        return index.get(entity, 0)
+
+    def future_declarers_mask(
+        self, entity: Entity, at_least: AccessMode = AccessMode.READ
+    ) -> int:
+        index = (
+            self._future_write
+            if at_least is AccessMode.WRITE
+            else self._future_any
+        )
+        return index.get(entity, 0)
+
+    def descendants_mask(self, txn: TxnId) -> int:
+        """Closure row of *txn* as a mask."""
+        return self._closure.descendants_mask(txn)
+
+    def ancestors_mask(self, txn: TxnId) -> int:
+        return self._closure.ancestors_mask(txn)
 
     def _guard_trial(self, operation: str) -> None:
         if self._trial is not None:
@@ -234,27 +326,45 @@ class ReducedGraph:
         self._bump()
 
     def _index_payload(self, txn: TxnId, info: TxnInfo) -> None:
-        """(Re)register *info* in every index: state sets and the
-        executed/future entity buckets."""
-        self._index_state(txn, info.state)
+        """(Re)register *info* in every index: state masks and the
+        executed/future entity masks."""
+        bit = self._closure.bit_of(txn)
+        self._index_state(bit, info.state)
+        entity_any, entity_write = self._entity_any, self._entity_write
         for entity, mode in info.accesses.items():
-            self._by_entity.setdefault(entity, {})[txn] = mode
+            entity_any[entity] = entity_any.get(entity, 0) | bit
+            if mode is AccessMode.WRITE:
+                entity_write[entity] = entity_write.get(entity, 0) | bit
         if info.future:
+            future_any, future_write = self._future_any, self._future_write
             for entity, mode in info.future.items():
-                self._future_by_entity.setdefault(entity, {})[txn] = mode
+                future_any[entity] = future_any.get(entity, 0) | bit
+                if mode is AccessMode.WRITE:
+                    future_write[entity] = future_write.get(entity, 0) | bit
 
-    def _index_state(self, txn: TxnId, state: TxnState) -> None:
+    def _index_state(self, bit: int, state: TxnState) -> None:
         if state.is_active:
-            self._active_set.add(txn)
+            self._active_bits |= bit
         if state.is_completed:
-            self._completed_set.add(txn)
+            self._completed_bits |= bit
         if state is TxnState.COMMITTED:
-            self._committed_set.add(txn)
+            self._committed_bits |= bit
 
-    def _unindex_state(self, txn: TxnId) -> None:
-        self._active_set.discard(txn)
-        self._completed_set.discard(txn)
-        self._committed_set.discard(txn)
+    def _unindex_state(self, bit: int) -> None:
+        not_bit = ~bit
+        self._active_bits &= not_bit
+        self._completed_bits &= not_bit
+        self._committed_bits &= not_bit
+
+    @staticmethod
+    def _mask_discard(index: Dict[Entity, int], entity: Entity, bit: int) -> None:
+        mask = index.get(entity)
+        if mask is not None:
+            mask &= ~bit
+            if mask:
+                index[entity] = mask
+            else:
+                del index[entity]
 
     def set_state(self, txn: TxnId, state: TxnState) -> None:
         self._guard_trial("set_state")
@@ -262,15 +372,21 @@ class ReducedGraph:
         if info.state is state:
             return
         info.state = state
-        self._unindex_state(txn)
-        self._index_state(txn, state)
+        bit = self._closure.bit_of(txn)
+        self._unindex_state(bit)
+        self._index_state(bit, state)
         self._bump()
 
     def record_access(self, txn: TxnId, entity: Entity, mode: AccessMode) -> None:
         """Merge an executed access into the payload (strongest wins)."""
         self._guard_trial("record_access")
         if self.info(txn).record(entity, mode):
-            self._by_entity.setdefault(entity, {})[txn] = mode
+            bit = self._closure.bit_of(txn)
+            self._entity_any[entity] = self._entity_any.get(entity, 0) | bit
+            if mode is AccessMode.WRITE:
+                self._entity_write[entity] = (
+                    self._entity_write.get(entity, 0) | bit
+                )
 
     def consume_future(self, txn: TxnId, entity: Entity, mode: AccessMode) -> None:
         """Predeclared bookkeeping: an executed step uses up (part of) the
@@ -288,35 +404,30 @@ class ReducedGraph:
         declared = future.get(entity)
         if declared is not None and mode >= declared:
             del future[entity]
-            self._drop_future_index(txn, entity)
+            self._drop_future_index(self._closure.bit_of(txn), entity)
 
     def clear_future(self, txn: TxnId) -> None:
         """Completion: no declared steps remain."""
         self._guard_trial("clear_future")
         info = self.info(txn)
         if info.future:
+            bit = self._closure.bit_of(txn)
             for entity in info.future:
-                self._drop_future_index(txn, entity)
+                self._drop_future_index(bit, entity)
         if info.future is not None:
             info.future = {}
 
-    def _drop_future_index(self, txn: TxnId, entity: Entity) -> None:
-        bucket = self._future_by_entity.get(entity)
-        if bucket is not None:
-            bucket.pop(txn, None)
-            if not bucket:
-                del self._future_by_entity[entity]
+    def _drop_future_index(self, bit: int, entity: Entity) -> None:
+        self._mask_discard(self._future_any, entity, bit)
+        self._mask_discard(self._future_write, entity, bit)
 
-    def _drop_entity_index(self, txn: TxnId, info: TxnInfo) -> None:
+    def _drop_entity_index(self, bit: int, info: TxnInfo) -> None:
         for entity in info.accesses:
-            bucket = self._by_entity.get(entity)
-            if bucket is not None:
-                bucket.pop(txn, None)
-                if not bucket:
-                    del self._by_entity[entity]
+            self._mask_discard(self._entity_any, entity, bit)
+            self._mask_discard(self._entity_write, entity, bit)
         if info.future:
             for entity in info.future:
-                self._drop_future_index(txn, entity)
+                self._drop_future_index(bit, entity)
 
     # -- arc structure -------------------------------------------------------
 
@@ -392,20 +503,20 @@ class ReducedGraph:
     # -- transaction classification -------------------------------------------
 
     def active_transactions(self) -> FrozenSet[TxnId]:
-        return frozenset(self._active_set)
+        return frozenset(self._closure.nodes_of_mask(self._active_bits))
 
     def completed_transactions(self) -> FrozenSet[TxnId]:
         """Type F and C transactions (all completed ones)."""
-        return frozenset(self._completed_set)
+        return frozenset(self._closure.nodes_of_mask(self._completed_bits))
 
     def committed_transactions(self) -> FrozenSet[TxnId]:
-        return frozenset(self._committed_set)
+        return frozenset(self._closure.nodes_of_mask(self._committed_bits))
 
     def active_count(self) -> int:
-        return len(self._active_set)
+        return self._active_bits.bit_count()
 
     def completed_count(self) -> int:
-        return len(self._completed_set)
+        return self._completed_bits.bit_count()
 
     def is_completed(self, txn: TxnId) -> bool:
         return self.info(txn).state.is_completed
@@ -419,28 +530,16 @@ class ReducedGraph:
 
     # -- entity-indexed queries ------------------------------------------------
 
-    @staticmethod
-    def _filter_bucket(
-        bucket: Optional[Dict[TxnId, AccessMode]], at_least: AccessMode
-    ) -> FrozenSet[TxnId]:
-        if not bucket:
-            return frozenset()
-        if at_least is AccessMode.READ:  # READ is the weakest mode
-            return frozenset(bucket)
-        return frozenset(
-            txn
-            for txn, mode in bucket.items()
-            if at_least_as_strong(mode, at_least)
-        )
-
     def accessors_of(
         self,
         entity: Entity,
         at_least: AccessMode = AccessMode.READ,
     ) -> FrozenSet[TxnId]:
         """Transactions in the graph whose strongest executed access of
-        *entity* is ≥ ``at_least`` — one index bucket, no node scan."""
-        return self._filter_bucket(self._by_entity.get(entity), at_least)
+        *entity* is ≥ ``at_least`` — one index mask, no node scan."""
+        return frozenset(
+            self._closure.nodes_of_mask(self.accessors_mask(entity, at_least))
+        )
 
     def writers_of(self, entity: Entity) -> FrozenSet[TxnId]:
         return self.accessors_of(entity, AccessMode.WRITE)
@@ -452,47 +551,61 @@ class ReducedGraph:
     ) -> FrozenSet[TxnId]:
         """Transactions with a declared-but-unexecuted access of *entity*
         of strength ≥ ``at_least`` (predeclared model index)."""
-        return self._filter_bucket(self._future_by_entity.get(entity), at_least)
+        return frozenset(
+            self._closure.nodes_of_mask(
+                self.future_declarers_mask(entity, at_least)
+            )
+        )
 
     # -- tight / FC path queries -------------------------------------------------
 
-    def _cached(self, kind: str, txn: TxnId) -> Optional[FrozenSet[TxnId]]:
+    def _cached_mask(self, kind: str, txn: TxnId) -> Optional[int]:
         if self._cache_epoch != self._epoch:
             self._tight_cache.clear()
             self._cache_epoch = self._epoch
             return None
         return self._tight_cache.get((kind, txn))
 
-    def _tight_reach(self, start: TxnId, forward: bool) -> FrozenSet[TxnId]:
-        """BFS over the closure adjacency through completed intermediates.
+    def tight_predecessors_mask(self, txn: TxnId) -> int:
+        """Mask of nodes with a path into *txn* through completed
+        intermediates — frontier-as-mask BFS over the closure's
+        predecessor rows restricted to :meth:`completed_mask`.
 
-        Same contract as :func:`repro.graphs.paths.restricted_successors`
-        (or ``restricted_predecessors`` when ``forward`` is false), but
-        traverses the live adjacency sets — no ``as_digraph()`` copy.
+        Memoized per mutation epoch: repeated queries within one policy
+        sweep cost a dict lookup.
         """
-        if start not in self._info:
-            raise UnknownTransactionError(start)
-        closure = self._closure
-        adjacent = (
-            closure.successors_view if forward else closure.predecessors_view
-        )
-        info = self._info
-        result: set[TxnId] = set()
-        expandable: deque[TxnId] = deque()
-        for node in adjacent(start):
-            result.add(node)
-            if info[node].state.is_completed:
-                expandable.append(node)
-        expanded: set[TxnId] = set(expandable)
-        while expandable:
-            node = expandable.popleft()
-            for nxt in adjacent(node):
-                result.add(nxt)
-                if nxt not in expanded and info[nxt].state.is_completed:
-                    expanded.add(nxt)
-                    expandable.append(nxt)
-        result.discard(start)
-        return frozenset(result)
+        cached = self._cached_mask("tp", txn)
+        if cached is None:
+            if txn not in self._info:
+                raise UnknownTransactionError(txn)
+            cached = restricted_reach_mask(
+                self._closure.pred_row,
+                self._closure.id_of(txn),
+                self._completed_bits,
+            )
+            self._tight_cache[("tp", txn)] = cached
+        return cached
+
+    def tight_successors_mask(self, txn: TxnId) -> int:
+        cached = self._cached_mask("ts", txn)
+        if cached is None:
+            if txn not in self._info:
+                raise UnknownTransactionError(txn)
+            cached = restricted_reach_mask(
+                self._closure.succ_row,
+                self._closure.id_of(txn),
+                self._completed_bits,
+            )
+            self._tight_cache[("ts", txn)] = cached
+        return cached
+
+    def active_tight_predecessors_mask(self, txn: TxnId) -> int:
+        """The actives among the tight predecessors — C1's quantifier,
+        one AND on the maintained masks."""
+        return self.tight_predecessors_mask(txn) & self._active_bits
+
+    def completed_tight_successors_mask(self, txn: TxnId) -> int:
+        return self.tight_successors_mask(txn) & self._completed_bits
 
     def tight_predecessors(self, txn: TxnId) -> FrozenSet[TxnId]:
         """Nodes with a path into *txn* through completed intermediates.
@@ -501,37 +614,30 @@ class ReducedGraph:
         from Ti to Tj that uses only completed transactions as intermediate
         nodes."  In the multiwrite model completed = type F or C, so this
         doubles as the FC-path predecessor set.
-
-        Memoized per mutation epoch: repeated queries within one policy
-        sweep cost a dict lookup.
         """
-        cached = self._cached("tp", txn)
-        if cached is None:
-            cached = self._tight_reach(txn, forward=False)
-            self._tight_cache[("tp", txn)] = cached
-        return cached
+        return frozenset(
+            self._closure.nodes_of_mask(self.tight_predecessors_mask(txn))
+        )
 
     def tight_successors(self, txn: TxnId) -> FrozenSet[TxnId]:
-        cached = self._cached("ts", txn)
-        if cached is None:
-            cached = self._tight_reach(txn, forward=True)
-            self._tight_cache[("ts", txn)] = cached
-        return cached
+        return frozenset(
+            self._closure.nodes_of_mask(self.tight_successors_mask(txn))
+        )
 
     def active_tight_predecessors(self, txn: TxnId) -> FrozenSet[TxnId]:
         """The actives among the tight predecessors — C1's quantifier."""
-        cached = self._cached("atp", txn)
-        if cached is None:
-            cached = self.tight_predecessors(txn) & self._active_set
-            self._tight_cache[("atp", txn)] = cached
-        return cached
+        return frozenset(
+            self._closure.nodes_of_mask(
+                self.active_tight_predecessors_mask(txn)
+            )
+        )
 
     def completed_tight_successors(self, txn: TxnId) -> FrozenSet[TxnId]:
-        cached = self._cached("cts", txn)
-        if cached is None:
-            cached = self.tight_successors(txn) & self._completed_set
-            self._tight_cache[("cts", txn)] = cached
-        return cached
+        return frozenset(
+            self._closure.nodes_of_mask(
+                self.completed_tight_successors_mask(txn)
+            )
+        )
 
     # -- node removal ---------------------------------------------------------
 
@@ -541,11 +647,12 @@ class ReducedGraph:
         if txn not in self._info:
             raise UnknownTransactionError(txn)
         info = self._info[txn]
+        bit = self._closure.bit_of(txn)  # before the id is recycled
         self._closure.remove_node_abort(txn)
         del self._info[txn]
         self._aborted.add(txn)
-        self._unindex_state(txn)
-        self._drop_entity_index(txn, info)
+        self._unindex_state(bit)
+        self._drop_entity_index(bit, info)
         self._bump()
 
     def delete(self, txn: TxnId) -> None:
@@ -561,6 +668,7 @@ class ReducedGraph:
         info = self.info(txn)
         if not info.state.is_completed:
             raise NotCompletedError(txn, info.state)
+        bit = self._closure.bit_of(txn)  # before the id is recycled
         if self._trial is not None:
             record = self._closure.contract_recording(txn)
             self._trial.append((txn, info, record))
@@ -568,8 +676,8 @@ class ReducedGraph:
             self._closure.contract(txn)
         del self._info[txn]
         self._deleted.add(txn)
-        self._unindex_state(txn)
-        self._drop_entity_index(txn, info)
+        self._unindex_state(bit)
+        self._drop_entity_index(bit, info)
         self._bump()
 
     def delete_set(self, txns: Iterable[TxnId]) -> None:
@@ -624,11 +732,15 @@ class ReducedGraph:
     def copy(self) -> "ReducedGraph":
         """An independent deep copy by direct set cloning.
 
+        Not allowed mid-trial: a copy taken then would freeze trial
+        deletions as permanent and clone detached (leaked) interner slots.
+
         The closure is cloned row-by-row (no arc-by-arc re-propagation
         through ``add_arc``) and the entity/state indexes are rebuilt from
         the cloned payloads; ``check_invariants`` in the property tests
         asserts the clone equals a closure rebuilt from scratch.
         """
+        self._guard_trial("copy")
         clone = ReducedGraph()
         clone._closure = self._closure.copy()
         clone._info = {txn: info.copy() for txn, info in self._info.items()}
@@ -649,34 +761,47 @@ class ReducedGraph:
     def check_invariants(self) -> None:
         """Assert every index/cache layer agrees with a from-scratch scan."""
         self._closure.check_invariants()
-        active = {t for t, i in self._info.items() if i.state.is_active}
-        completed = {t for t, i in self._info.items() if i.state.is_completed}
-        committed = {
-            t for t, i in self._info.items() if i.state is TxnState.COMMITTED
-        }
-        if active != self._active_set:
-            raise GraphError("active-set index drift")
-        if completed != self._completed_set:
-            raise GraphError("completed-set index drift")
-        if committed != self._committed_set:
-            raise GraphError("committed-set index drift")
-        by_entity: Dict[Entity, Dict[TxnId, AccessMode]] = {}
-        future_by_entity: Dict[Entity, Dict[TxnId, AccessMode]] = {}
+        if set(self._info) != set(self._closure.nodes()):
+            raise GraphError("payload/kernel membership drift")
+        active = completed = committed = 0
+        entity_any: Dict[Entity, int] = {}
+        entity_write: Dict[Entity, int] = {}
+        future_any: Dict[Entity, int] = {}
+        future_write: Dict[Entity, int] = {}
         for txn, info in self._info.items():
+            bit = self._closure.bit_of(txn)
+            if info.state.is_active:
+                active |= bit
+            if info.state.is_completed:
+                completed |= bit
+            if info.state is TxnState.COMMITTED:
+                committed |= bit
             for entity, mode in info.accesses.items():
-                by_entity.setdefault(entity, {})[txn] = mode
+                entity_any[entity] = entity_any.get(entity, 0) | bit
+                if mode is AccessMode.WRITE:
+                    entity_write[entity] = entity_write.get(entity, 0) | bit
             if info.future:
                 for entity, mode in info.future.items():
-                    future_by_entity.setdefault(entity, {})[txn] = mode
-        if by_entity != self._by_entity:
-            raise GraphError("entity index drift")
-        if future_by_entity != self._future_by_entity:
-            raise GraphError("future-entity index drift")
+                    future_any[entity] = future_any.get(entity, 0) | bit
+                    if mode is AccessMode.WRITE:
+                        future_write[entity] = (
+                            future_write.get(entity, 0) | bit
+                        )
+        if active != self._active_bits:
+            raise GraphError("active-mask index drift")
+        if completed != self._completed_bits:
+            raise GraphError("completed-mask index drift")
+        if committed != self._committed_bits:
+            raise GraphError("committed-mask index drift")
+        if entity_any != self._entity_any or entity_write != self._entity_write:
+            raise GraphError("entity mask index drift")
+        if future_any != self._future_any or future_write != self._future_write:
+            raise GraphError("future-entity mask index drift")
 
     def __repr__(self) -> str:
         states = {
-            "A": len(self._active_set),
-            "F/C": len(self._completed_set),
+            "A": self._active_bits.bit_count(),
+            "F/C": self._completed_bits.bit_count(),
         }
         return (
             f"ReducedGraph(nodes={len(self)}, arcs={self.arc_count()}, "

@@ -14,6 +14,14 @@ those straightforward formulations alive:
 This is deliberately *slow* analysis/oracle code — the ``as_digraph()`` /
 ``copy()`` calls here are the whole point; never import it from a
 scheduler or policy hot path.
+
+The object-set :class:`~repro.graphs.closure.ClosureGraph` lives on here
+as the **reference closure kernel** (exported as
+:data:`ReferenceClosureGraph`): the production stack runs on the bitset
+kernel (:class:`~repro.graphs.bitclosure.BitClosureGraph`), and
+:func:`reference_closure_of` rebuilds an independent set-based closure
+from a live graph's plain arcs so the property tests can compare the two
+row for row.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from repro.core.optimal import greedy_safe_deletion_set
 from repro.core.predeclared_conditions import can_delete_predeclared
 from repro.core.reduced_graph import ReducedGraph
 from repro.errors import DeletionError, NotCompletedError, UnknownTransactionError
+from repro.graphs.closure import ClosureGraph as ReferenceClosureGraph
 from repro.graphs.paths import (
     has_restricted_path,
     reachable_from,
@@ -36,6 +45,8 @@ from repro.model.steps import TxnId
 from repro.tracking import CurrencyTracker
 
 __all__ = [
+    "ReferenceClosureGraph",
+    "reference_closure_of",
     "naive_tight_predecessors",
     "naive_tight_successors",
     "naive_active_tight_predecessors",
@@ -57,6 +68,21 @@ __all__ = [
 
 def _completed_predicate(graph: ReducedGraph):
     return lambda node: graph.info(node).state.is_completed
+
+
+def reference_closure_of(graph: ReducedGraph) -> ReferenceClosureGraph:
+    """An independent set-based closure over *graph*'s plain arcs.
+
+    Built arc by arc through the reference kernel's own ``add_arc``
+    propagation — nothing is copied from the bitset kernel's closure rows,
+    so comparing the two row for row is a genuine cross-check.
+    """
+    mirror = ReferenceClosureGraph()
+    for txn in graph.nodes():
+        mirror.add_node(txn)
+    for tail, head in graph.arcs():
+        mirror.add_arc(tail, head)
+    return mirror
 
 
 def naive_tight_predecessors(graph: ReducedGraph, txn: TxnId) -> FrozenSet[TxnId]:
@@ -149,7 +175,10 @@ class NaiveGraphView:
 
     Implements exactly the surface :func:`repro.core.optimal.compute_demands`
     and :func:`repro.core.conditions.c1_violations` touch, so the greedy
-    machinery can run unchanged at pre-optimization cost.
+    machinery can run unchanged at pre-optimization cost.  The mask-valued
+    queries borrow the live graph's id assignment (ids are representation,
+    not state) but compute their *contents* naively: tight sets from
+    per-call snapshots, accessor masks from full node scans.
     """
 
     def __init__(self, graph: ReducedGraph) -> None:
@@ -176,6 +205,28 @@ class NaiveGraphView:
 
     def completed_tight_successors(self, txn: TxnId) -> FrozenSet[TxnId]:
         return naive_completed_tight_successors(self._graph, txn)
+
+    # -- mask surface (naive contents over the live id assignment) ---------
+
+    def bit_of(self, txn: TxnId) -> int:
+        return self._graph.bit_of(txn)
+
+    def mask_of(self, txns) -> int:
+        return self._graph.mask_of(txns)
+
+    def unmask(self, mask: int):
+        return self._graph.unmask(mask)
+
+    def accessors_mask(
+        self, entity: Entity, at_least: AccessMode = AccessMode.READ
+    ) -> int:
+        return self._graph.mask_of(naive_accessors_of(self._graph, entity, at_least))
+
+    def active_tight_predecessors_mask(self, txn: TxnId) -> int:
+        return self._graph.mask_of(self.active_tight_predecessors(txn))
+
+    def completed_tight_successors_mask(self, txn: TxnId) -> int:
+        return self._graph.mask_of(self.completed_tight_successors(txn))
 
 
 def legacy_select_eager_c1(

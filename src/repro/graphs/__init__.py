@@ -15,11 +15,17 @@ is used only by the test suite as an independent cross-check):
   maintains its transitive closure incrementally, mirroring the paper's
   remark that with a maintained closure "removing a transaction is
   equivalent to simply deleting the corresponding node and incident edges
-  from the transitive closure".
+  from the transitive closure".  Kept as the *reference kernel*;
+* :mod:`repro.graphs.bitclosure` — :class:`BitClosureGraph`, the
+  production kernel: the same structure over interned dense node ids
+  (:class:`NodeInterner`, with id recycling) and big-int bitmask closure
+  rows, so arc propagation, reachability probes, and removals are
+  word-parallel integer operations.
 """
 
 from repro.graphs.digraph import DiGraph
 from repro.graphs.closure import ClosureGraph
+from repro.graphs.bitclosure import BitClosureGraph, NodeInterner, iter_bits
 from repro.graphs.cycles import (
     find_cycle,
     has_cycle,
@@ -38,6 +44,9 @@ from repro.graphs.paths import (
 __all__ = [
     "DiGraph",
     "ClosureGraph",
+    "BitClosureGraph",
+    "NodeInterner",
+    "iter_bits",
     "has_cycle",
     "find_cycle",
     "topological_order",

@@ -1,0 +1,826 @@
+"""The bitset closure kernel: interned node ids + big-int reachability rows.
+
+:class:`~repro.graphs.closure.ClosureGraph` stores the maintained transitive
+closure as ``Dict[Node, Set[Node]]`` — every :meth:`add_arc` propagation,
+tight-path probe, and snapshot pays per-element hashing and
+O(n)-words-per-row memory.  This module is the same data structure with the
+representation the paper's §3 cost argument deserves:
+
+* a :class:`NodeInterner` assigns each node a **dense integer id**; ids freed
+  by deletions/aborts go on a free list and are recycled, so a long-running
+  engine that keeps deleting completed transactions (the whole point of the
+  paper) never grows its id space beyond the peak number of *live* nodes;
+* :class:`BitClosureGraph` keeps successor/predecessor adjacency **and**
+  the descendant/ancestor closure rows as Python big-int bitmasks indexed
+  by id.  The hot operations become word-parallel:
+
+  - ``add_arc(u, v)`` propagation is ``row |= targets_mask`` over the
+    ancestor ids of ``u`` — one big-int OR per affected row instead of a
+    per-element ``set.update``;
+  - ``reaches(u, v)`` is a single shift-and-mask bit test;
+  - ``contract`` / ``remove_node_abort`` are masked row patches
+    (``row &= ~bit``) over exactly the affected rows;
+  - ``copy()`` and snapshots clone O(n) machine integers.
+
+The class keeps the full object-keyed API of ``ClosureGraph`` (nodes are
+arbitrary hashable objects, typically transaction ids) *plus* a mask-native
+API (``succ_row`` / ``desc_row`` / ``mask_of`` / ``nodes_of_mask``) that
+:class:`~repro.core.reduced_graph.ReducedGraph` and the condition checkers
+use directly.  ``ClosureGraph`` itself remains in the tree as the reference
+kernel: the property tests assert row-for-row equivalence between the two
+on randomized op sequences and on full scheduler runs.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.errors import CycleError, GraphError, NodeNotFoundError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.paths import reachable_mask
+
+__all__ = [
+    "NodeInterner",
+    "BitClosureGraph",
+    "BitContractionRecord",
+    "iter_bits",
+]
+
+Node = Hashable
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of *mask*, lowest first."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class NodeInterner:
+    """Dense integer ids for hashable nodes, with a free list.
+
+    Ids are assigned sequentially; :meth:`release` returns an id to the
+    free list, from which :meth:`intern` recycles (LIFO) before growing the
+    id space.  :meth:`detach` / :meth:`reattach` unbind a node *without*
+    freeing its slot — the trial-deletion primitive: a recorded contraction
+    keeps its slot reserved so the undo reinstalls the exact same id (and
+    therefore the exact same bit in every mask that references it).
+    """
+
+    __slots__ = ("_ids", "_slots", "_free")
+
+    def __init__(self) -> None:
+        self._ids: Dict[Node, int] = {}
+        #: Slot ``i`` holds the node with id ``i`` (``None`` = free/detached).
+        self._slots: List[Optional[Node]] = []
+        self._free: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._ids
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._ids)
+
+    @property
+    def capacity(self) -> int:
+        """Total slots ever allocated (= peak live nodes, thanks to the
+        free list — the recycling property the tests pin)."""
+        return len(self._slots)
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def id_of(self, node: Node) -> int:
+        try:
+            return self._ids[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def node_of(self, index: int) -> Node:
+        if 0 <= index < len(self._slots):
+            node = self._slots[index]
+            if node is not None:
+                return node
+        raise NodeNotFoundError(f"id {index}")
+
+    def intern(self, node: Node) -> int:
+        """Assign an id (recycling freed ones) — the node must be new."""
+        if node in self._ids:
+            raise GraphError(f"node {node!r} is already interned")
+        if self._free:
+            index = self._free.pop()
+            self._slots[index] = node
+        else:
+            index = len(self._slots)
+            self._slots.append(node)
+        self._ids[node] = index
+        return index
+
+    def release(self, node: Node) -> int:
+        """Unbind *node* and put its id on the free list."""
+        index = self._ids.pop(node)
+        self._slots[index] = None
+        self._free.append(index)
+        return index
+
+    def detach(self, node: Node) -> int:
+        """Unbind *node* but keep its slot reserved (not recyclable)."""
+        index = self._ids.pop(node)
+        self._slots[index] = None
+        return index
+
+    def reattach(self, node: Node, index: int) -> None:
+        """Re-bind *node* to the slot :meth:`detach` reserved for it."""
+        if node in self._ids:
+            raise GraphError(f"node {node!r} is already interned")
+        if not (0 <= index < len(self._slots)) or self._slots[index] is not None:
+            raise GraphError(f"slot {index} is not reserved for reattachment")
+        self._slots[index] = node
+        self._ids[node] = index
+
+    def copy(self) -> "NodeInterner":
+        clone = NodeInterner.__new__(NodeInterner)
+        clone._ids = dict(self._ids)
+        clone._slots = list(self._slots)
+        clone._free = list(self._free)
+        return clone
+
+
+@dataclass(frozen=True)
+class BitContractionRecord:
+    """Undo record of one :meth:`BitClosureGraph.contract_recording`.
+
+    All row snapshots are immutable big-ints, so — unlike the reference
+    kernel's :class:`~repro.graphs.closure.ContractionRecord`, which
+    aliases live sets — the record cannot be corrupted in place.  The
+    ordering contract is still enforced: ``mutation_stamp`` pins the
+    kernel state the record was taken in, and :meth:`BitClosureGraph.uncontract`
+    refuses to replay a record out of most-recent-first order or across
+    interleaved mutations (the node's saved closure rows would be stale).
+    """
+
+    node: Node
+    index: int
+    successors_mask: int
+    predecessors_mask: int
+    descendants_mask: int
+    ancestors_mask: int
+    #: ``(tail_id, heads_mask)`` of bypass arcs the contraction created.
+    new_bypass: Tuple[Tuple[int, int], ...]
+    mutation_stamp: int
+
+
+class BitClosureGraph:
+    """DAG + maintained transitive closure over big-int bitmask rows.
+
+    Drop-in replacement for :class:`~repro.graphs.closure.ClosureGraph`
+    (same object-keyed API and exception behavior) with a mask-native API
+    on top.  The graph must stay acyclic; :meth:`add_arc` raises
+    :class:`CycleError` when the arc would close a cycle.
+
+    >>> g = BitClosureGraph()
+    >>> for n in "abc": g.add_node(n)
+    >>> g.add_arc("a", "b"); g.add_arc("b", "c")
+    >>> g.reaches("a", "c")
+    True
+    >>> g.would_close_cycle("c", "a")
+    True
+    >>> g.contract("b")
+    >>> g.reaches("a", "c"), g.has_arc("a", "c")
+    (True, True)
+    """
+
+    __slots__ = (
+        "_interner",
+        "_succ",
+        "_pred",
+        "_desc",
+        "_anc",
+        "_live",
+        "_arc_count",
+        "_mutations",
+    )
+
+    def __init__(self) -> None:
+        self._interner = NodeInterner()
+        # Parallel to the interner slots; free slots hold 0 rows.
+        self._succ: List[int] = []
+        self._pred: List[int] = []
+        self._desc: List[int] = []
+        self._anc: List[int] = []
+        self._live = 0  # mask of live ids
+        self._arc_count = 0
+        # Monotone mutation counter; pins contraction records (see
+        # uncontract) so stale closure rows can never be reinstalled.
+        self._mutations = 0
+
+    # -- id / mask API -------------------------------------------------------
+
+    @property
+    def interner(self) -> NodeInterner:
+        return self._interner
+
+    @property
+    def live_mask(self) -> int:
+        """Mask with one bit per live node."""
+        return self._live
+
+    def id_of(self, node: Node) -> int:
+        return self._interner.id_of(node)
+
+    def node_of(self, index: int) -> Node:
+        return self._interner.node_of(index)
+
+    def bit_of(self, node: Node) -> int:
+        return 1 << self._interner.id_of(node)
+
+    def mask_of(self, nodes: Iterable[Node]) -> int:
+        """OR of the bits of *nodes* (each must be live)."""
+        ids = self._interner._ids
+        mask = 0
+        for node in nodes:
+            try:
+                mask |= 1 << ids[node]
+            except KeyError:
+                raise NodeNotFoundError(node) from None
+        return mask
+
+    def nodes_of_mask(self, mask: int) -> List[Node]:
+        """The nodes whose bits are set in *mask*, in id order."""
+        node_of = self._interner._slots
+        return [node_of[i] for i in iter_bits(mask)]
+
+    def succ_row(self, index: int) -> int:
+        """Successor adjacency of id *index* as a mask (no bounds check —
+        callers iterate bits of live masks)."""
+        return self._succ[index]
+
+    def pred_row(self, index: int) -> int:
+        return self._pred[index]
+
+    def desc_row(self, index: int) -> int:
+        """Closure row: everything reachable from id *index*."""
+        return self._desc[index]
+
+    def anc_row(self, index: int) -> int:
+        return self._anc[index]
+
+    def descendants_mask(self, node: Node) -> int:
+        return self._desc[self._interner.id_of(node)]
+
+    def ancestors_mask(self, node: Node) -> int:
+        return self._anc[self._interner.id_of(node)]
+
+    def successors_mask(self, node: Node) -> int:
+        return self._succ[self._interner.id_of(node)]
+
+    def predecessors_mask(self, node: Node) -> int:
+        return self._pred[self._interner.id_of(node)]
+
+    # -- plain graph façade --------------------------------------------------
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._interner
+
+    def __len__(self) -> int:
+        return len(self._interner)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._interner)
+
+    def nodes(self) -> FrozenSet[Node]:
+        return frozenset(self._interner)
+
+    def arcs(self) -> Iterator[Tuple[Node, Node]]:
+        node_of = self._interner._slots
+        for tail in iter_bits(self._live):
+            row = self._succ[tail]
+            if row:
+                tail_node = node_of[tail]
+                for head in iter_bits(row):
+                    yield (tail_node, node_of[head])
+
+    def arc_count(self) -> int:
+        return self._arc_count
+
+    def has_arc(self, tail: Node, head: Node) -> bool:
+        interner = self._interner
+        if tail not in interner or head not in interner:
+            return False
+        return bool(self._succ[interner.id_of(tail)] >> interner.id_of(head) & 1)
+
+    def successors(self, node: Node) -> FrozenSet[Node]:
+        return frozenset(self.nodes_of_mask(self.successors_mask(node)))
+
+    def predecessors(self, node: Node) -> FrozenSet[Node]:
+        return frozenset(self.nodes_of_mask(self.predecessors_mask(node)))
+
+    # With mask rows there is nothing mutable to alias, so the *_view
+    # methods (kept for API compatibility with the reference kernel)
+    # return the same fresh frozensets as their copying counterparts.
+    # Hot paths use the mask API instead.
+    successors_view = successors
+    predecessors_view = predecessors
+
+    def descendants_view(self, node: Node) -> FrozenSet[Node]:
+        return self.descendants(node)
+
+    def ancestors_view(self, node: Node) -> FrozenSet[Node]:
+        return self.ancestors(node)
+
+    def as_digraph(self) -> DiGraph:
+        """A mutable copy of the underlying arc structure."""
+        graph = DiGraph()
+        node_of = self._interner._slots
+        for i in iter_bits(self._live):
+            graph.add_node(node_of[i])
+        for tail, head in self.arcs():
+            graph.add_arc(tail, head)
+        return graph
+
+    # -- closure queries -----------------------------------------------------
+
+    def reaches(self, source: Node, target: Node) -> bool:
+        """``True`` iff a nonempty path ``source ->* target`` exists."""
+        interner = self._interner
+        return bool(
+            self._desc[interner.id_of(source)] >> interner.id_of(target) & 1
+        )
+
+    def descendants(self, node: Node) -> FrozenSet[Node]:
+        return frozenset(self.nodes_of_mask(self.descendants_mask(node)))
+
+    def ancestors(self, node: Node) -> FrozenSet[Node]:
+        return frozenset(self.nodes_of_mask(self.ancestors_mask(node)))
+
+    def would_close_cycle(self, tail: Node, head: Node) -> bool:
+        """O(1) cycle pre-test for arc ``tail -> head``."""
+        if tail == head:
+            return True
+        return self.reaches(head, tail)
+
+    # -- mutations -----------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        if node in self._interner:
+            return
+        index = self._interner.intern(node)
+        if index == len(self._succ):
+            self._succ.append(0)
+            self._pred.append(0)
+            self._desc.append(0)
+            self._anc.append(0)
+        # A recycled slot's rows were zeroed on release.
+        self._live |= 1 << index
+        self._mutations += 1
+
+    def add_arc(self, tail: Node, head: Node) -> None:
+        """Insert ``tail -> head``; raises :class:`CycleError` on a cycle."""
+        interner = self._interner
+        if tail not in interner:
+            raise NodeNotFoundError(tail)
+        if head not in interner:
+            raise NodeNotFoundError(head)
+        if tail == head:
+            raise GraphError(f"self-loop rejected: {tail!r}")
+        it = interner.id_of(tail)
+        ih = interner.id_of(head)
+        tail_bit = 1 << it
+        head_bit = 1 << ih
+        desc = self._desc
+        if desc[ih] & tail_bit:
+            raise CycleError(f"arc {tail!r} -> {head!r} would close a cycle")
+        if not (self._succ[it] & head_bit):
+            self._succ[it] |= head_bit
+            self._pred[ih] |= tail_bit
+            self._arc_count += 1
+        self._mutations += 1
+        if desc[it] & head_bit:
+            return  # reachability unchanged
+        # Every ancestor-or-self of tail now reaches every descendant-or-
+        # self of head: one bulk OR per affected row.
+        anc = self._anc
+        sources = anc[it] | tail_bit
+        targets = desc[ih] | head_bit
+        m = sources
+        while m:
+            low = m & -m
+            m ^= low
+            desc[low.bit_length() - 1] |= targets
+        m = targets
+        while m:
+            low = m & -m
+            m ^= low
+            anc[low.bit_length() - 1] |= sources
+    def contract(self, node: Node) -> None:
+        """Remove a node the paper's way: masked row/column deletion.
+
+        Bypass arcs (predecessor -> successor) keep the plain graph equal
+        to ``D(G, node)``; the closure needs only ``row &= ~bit`` patches
+        on the node's ancestors and descendants.
+        """
+        self._contract_impl(node, record=False)
+
+    def contract_recording(self, node: Node) -> BitContractionRecord:
+        """Like :meth:`contract`, but returns a :class:`BitContractionRecord`
+        for :meth:`uncontract` — the trial-deletion primitive.  The node's
+        id slot stays reserved until the undo, so the restored node gets
+        its exact bit back."""
+        record = self._contract_impl(node, record=True)
+        assert record is not None
+        return record
+
+    def _contract_impl(
+        self, node: Node, record: bool
+    ) -> Optional[BitContractionRecord]:
+        interner = self._interner
+        if node not in interner:
+            raise NodeNotFoundError(node)
+        index = interner.id_of(node)
+        bit = 1 << index
+        succ, pred = self._succ, self._pred
+        desc, anc = self._desc, self._anc
+        succs = succ[index]
+        preds = pred[index]
+        if succs & preds:
+            raise CycleError(f"cannot contract {node!r}: it lies on a 2-cycle")
+        self._arc_count -= succs.bit_count() + preds.bit_count()
+        bypass: List[Tuple[int, int]] = []
+        not_bit = ~bit
+        # Bypass every predecessor to every successor; drop incident arcs.
+        m = preds
+        while m:
+            low = m & -m
+            m ^= low
+            tail = low.bit_length() - 1
+            added = succs & ~succ[tail]
+            if added:
+                if record:
+                    bypass.append((tail, added))
+                succ[tail] |= added
+                self._arc_count += added.bit_count()
+                heads = added
+                while heads:
+                    hlow = heads & -heads
+                    heads ^= hlow
+                    pred[hlow.bit_length() - 1] |= low
+            succ[tail] &= not_bit
+        m = succs
+        while m:
+            low = m & -m
+            m ^= low
+            pred[low.bit_length() - 1] &= not_bit
+        # Closure: drop the node's column from its ancestors' rows and its
+        # row from its descendants' columns — nothing else changes.
+        m = anc[index]
+        while m:
+            low = m & -m
+            m ^= low
+            desc[low.bit_length() - 1] &= not_bit
+        m = desc[index]
+        while m:
+            low = m & -m
+            m ^= low
+            anc[low.bit_length() - 1] &= not_bit
+        undo: Optional[BitContractionRecord] = None
+        self._mutations += 1
+        if record:
+            undo = BitContractionRecord(
+                node=node,
+                index=index,
+                successors_mask=succs,
+                predecessors_mask=preds,
+                descendants_mask=desc[index],
+                ancestors_mask=anc[index],
+                new_bypass=tuple(bypass),
+                mutation_stamp=self._mutations,
+            )
+            interner.detach(node)
+        else:
+            interner.release(node)
+        succ[index] = pred[index] = 0
+        desc[index] = anc[index] = 0
+        self._live &= not_bit
+        return undo
+
+    def uncontract(self, record: BitContractionRecord) -> None:
+        """Exact inverse of :meth:`contract_recording`.
+
+        Records must be replayed **most-recent-first with no interleaved
+        mutation** — the saved closure rows describe the graph as it was
+        at contraction time, so replaying them against any other state
+        would silently corrupt the closure.  The kernel enforces the
+        contract: a stale record raises :class:`GraphError`.
+        """
+        if record.mutation_stamp != self._mutations:
+            raise GraphError(
+                f"cannot uncontract {record.node!r}: the graph was mutated "
+                "since this contraction was recorded (undo records must be "
+                "replayed most-recent-first, with no interleaved mutation)"
+            )
+        node, index = record.node, record.index
+        if node in self._interner:
+            raise GraphError(f"cannot uncontract {node!r}: already present")
+        self._interner.reattach(node, index)
+        bit = 1 << index
+        succ, pred = self._succ, self._pred
+        desc, anc = self._desc, self._anc
+        for tail, added in record.new_bypass:
+            succ[tail] &= ~added
+            self._arc_count -= added.bit_count()
+            heads = added
+            tail_clear = ~(1 << tail)
+            while heads:
+                low = heads & -heads
+                heads ^= low
+                pred[low.bit_length() - 1] &= tail_clear
+        succ[index] = record.successors_mask
+        pred[index] = record.predecessors_mask
+        desc[index] = record.descendants_mask
+        anc[index] = record.ancestors_mask
+        self._arc_count += (
+            record.successors_mask.bit_count()
+            + record.predecessors_mask.bit_count()
+        )
+        m = record.predecessors_mask
+        while m:
+            low = m & -m
+            m ^= low
+            succ[low.bit_length() - 1] |= bit
+        m = record.successors_mask
+        while m:
+            low = m & -m
+            m ^= low
+            pred[low.bit_length() - 1] |= bit
+        m = record.ancestors_mask
+        while m:
+            low = m & -m
+            m ^= low
+            desc[low.bit_length() - 1] |= bit
+        m = record.descendants_mask
+        while m:
+            low = m & -m
+            m ^= low
+            anc[low.bit_length() - 1] |= bit
+        self._live |= bit
+        self._mutations = record.mutation_stamp - 1
+
+    def remove_node_abort(self, node: Node) -> None:
+        """Remove a node with *abort* semantics (no bypass arcs).
+
+        Reachability through the node is genuinely lost; the descendant
+        rows of its former ancestors are recomputed by mask BFS, and the
+        ancestor columns are patched only where a row actually shrank.
+        """
+        interner = self._interner
+        if node not in interner:
+            raise NodeNotFoundError(node)
+        index = interner.id_of(node)
+        bit = 1 << index
+        not_bit = ~bit
+        succ, pred = self._succ, self._pred
+        desc, anc = self._desc, self._anc
+        affected_sources = anc[index]
+        self._arc_count -= succ[index].bit_count() + pred[index].bit_count()
+        m = succ[index]
+        while m:
+            low = m & -m
+            m ^= low
+            pred[low.bit_length() - 1] &= not_bit
+        m = pred[index]
+        while m:
+            low = m & -m
+            m ^= low
+            succ[low.bit_length() - 1] &= not_bit
+        m = affected_sources
+        while m:
+            low = m & -m
+            m ^= low
+            desc[low.bit_length() - 1] &= not_bit
+        m = desc[index]
+        while m:
+            low = m & -m
+            m ^= low
+            anc[low.bit_length() - 1] &= not_bit
+        interner.release(node)
+        succ[index] = pred[index] = 0
+        desc[index] = anc[index] = 0
+        self._live &= not_bit
+        self._mutations += 1
+        # Recompute each former ancestor's row (it may have reached nodes
+        # only through the removed one); patch the ancestor index for the
+        # targets that actually lost this source.
+        m = affected_sources
+        while m:
+            low = m & -m
+            m ^= low
+            source = low.bit_length() - 1
+            old = desc[source]
+            new = self._bfs_desc_mask(source)
+            desc[source] = new
+            lost = old & ~new
+            source_clear = ~(1 << source)
+            while lost:
+                llow = lost & -lost
+                lost ^= llow
+                anc[llow.bit_length() - 1] &= source_clear
+
+    def _bfs_desc_mask(self, index: int) -> int:
+        """Reachable-from set of id *index* as a mask (frontier-as-mask BFS)."""
+        return reachable_mask(self._succ.__getitem__, index)
+
+    # -- whole-kernel helpers ------------------------------------------------
+
+    def copy(self) -> "BitClosureGraph":
+        """An independent clone: O(n) list-of-ints copies."""
+        clone = BitClosureGraph.__new__(BitClosureGraph)
+        clone._interner = self._interner.copy()
+        clone._succ = list(self._succ)
+        clone._pred = list(self._pred)
+        clone._desc = list(self._desc)
+        clone._anc = list(self._anc)
+        clone._live = self._live
+        clone._arc_count = self._arc_count
+        clone._mutations = self._mutations
+        return clone
+
+    def memory_bytes(self) -> int:
+        """Actual bytes held by the closure rows (``sys.getsizeof`` of the
+        row ints + list slots) — the measured quantity of E15's kernel
+        memory comparison."""
+        total = sys.getsizeof(self._desc) + sys.getsizeof(self._anc)
+        for row in self._desc:
+            total += sys.getsizeof(row)
+        for row in self._anc:
+            total += sys.getsizeof(row)
+        return total
+
+    # -- serialization -------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-ready kernel state: interner layout + hex-encoded rows.
+
+        Bit-exact: slot order, free-list order, and every mask round-trip
+        through :meth:`from_state_dict` unchanged, so snapshots restore
+        the identical id assignment (and therefore identical masks
+        everywhere ids leaked into caller state).
+        """
+        return {
+            "slots": list(self._interner._slots),
+            "free": list(self._interner._free),
+            "succ": [format(row, "x") for row in self._succ],
+            "desc": [format(row, "x") for row in self._desc],
+            "arc_count": self._arc_count,
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: Dict[str, Any]) -> "BitClosureGraph":
+        """Rebuild a kernel from :meth:`state_dict` output.
+
+        The predecessor/ancestor columns are transposes of the serialized
+        successor/descendant rows and are rebuilt in O(arcs + closure)
+        bit iterations.  Structural validity is checked (snapshots get
+        hand-edited in post-mortems): the free list must name exactly the
+        empty slots, rows may only reference live bits, free slots must
+        carry zero rows, no row may claim self-reachability (a cycle),
+        and every row must contain its adjacency — a malformed payload
+        raises :class:`GraphError` instead of loading a silently corrupt
+        graph.  (Full row-vs-BFS verification remains available via
+        :meth:`check_invariants`.)
+        """
+        kernel = cls()
+        interner = kernel._interner
+        slots = list(payload["slots"])
+        interner._slots = slots
+        interner._free = [int(i) for i in payload["free"]]
+        interner._ids = {
+            node: index for index, node in enumerate(slots) if node is not None
+        }
+        empty_slots = {
+            index for index, node in enumerate(slots) if node is None
+        }
+        if (
+            len(interner._free) != len(empty_slots)
+            or set(interner._free) != empty_slots
+        ):
+            raise GraphError(
+                "kernel state free list does not exactly cover the empty "
+                "slots"
+            )
+        n = len(slots)
+        kernel._succ = [int(row, 16) for row in payload["succ"]]
+        kernel._desc = [int(row, 16) for row in payload["desc"]]
+        if len(kernel._succ) != n or len(kernel._desc) != n:
+            raise GraphError("kernel state rows do not match the slot count")
+        kernel._pred = [0] * n
+        kernel._anc = [0] * n
+        live = 0
+        for index in interner._ids.values():
+            live |= 1 << index
+        kernel._live = live
+        dead = ~live
+        arc_total = 0
+        for index in range(n):
+            succ_row, desc_row = kernel._succ[index], kernel._desc[index]
+            arc_total += succ_row.bit_count()
+            bit = 1 << index
+            if not (live & bit):
+                if succ_row or desc_row:
+                    raise GraphError(
+                        f"kernel state free slot {index} has nonzero rows"
+                    )
+                continue
+            if (succ_row | desc_row) & dead:
+                raise GraphError(
+                    f"kernel state rows of slot {index} reference dead bits"
+                )
+            if desc_row & bit:
+                raise GraphError(
+                    f"kernel state row of slot {index} closes a cycle"
+                )
+            if succ_row & ~desc_row:
+                raise GraphError(
+                    f"kernel state closure row of slot {index} misses its "
+                    "own adjacency"
+                )
+        if int(payload["arc_count"]) != arc_total:
+            raise GraphError(
+                f"kernel state arc_count {payload['arc_count']!r} disagrees "
+                f"with the serialized rows ({arc_total} arcs)"
+            )
+        for index in range(n):
+            bit = 1 << index
+            m = kernel._succ[index]
+            while m:
+                low = m & -m
+                m ^= low
+                kernel._pred[low.bit_length() - 1] |= bit
+            m = kernel._desc[index]
+            while m:
+                low = m & -m
+                m ^= low
+                kernel._anc[low.bit_length() - 1] |= bit
+        kernel._arc_count = arc_total
+        return kernel
+
+    # -- invariants (test helper) --------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert rows == recomputed reachability and columns == transpose."""
+        live = self._live
+        ids = set(self._interner._ids.values())
+        if live != sum(1 << i for i in ids):
+            raise GraphError("live mask disagrees with the interner")
+        arc_total = 0
+        for index in range(len(self._succ)):
+            bit = 1 << index
+            if not (live & bit):
+                if self._succ[index] or self._pred[index] or self._desc[
+                    index
+                ] or self._anc[index]:
+                    raise GraphError(f"free slot {index} has nonzero rows")
+                continue
+            if (self._succ[index] | self._pred[index]) & ~live:
+                raise GraphError(f"adjacency of id {index} references dead bits")
+            arc_total += self._succ[index].bit_count()
+            actual = self._bfs_desc_mask(index)
+            if actual != self._desc[index]:
+                raise GraphError(
+                    f"closure drift at {self.node_of(index)!r}: stored "
+                    f"{self._desc[index]:x}, actual {actual:x}"
+                )
+        if arc_total != self._arc_count:
+            raise GraphError("arc_count drift")
+        for index in iter_bits(live):
+            bit = 1 << index
+            expected_anc = 0
+            for other in iter_bits(live):
+                if self._desc[other] & bit:
+                    expected_anc |= 1 << other
+            if expected_anc != self._anc[index]:
+                raise GraphError(
+                    f"ancestor column drift at {self.node_of(index)!r}"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"BitClosureGraph(nodes={len(self)}, arcs={self._arc_count}, "
+            f"capacity={self._interner.capacity})"
+        )

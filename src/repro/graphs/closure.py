@@ -40,7 +40,20 @@ Node = Hashable
 class ContractionRecord:
     """Everything :meth:`ClosureGraph.uncontract` needs to undo one
     :meth:`ClosureGraph.contract` — the basis of trial deletions that run
-    on the live structure instead of a full graph copy."""
+    on the live structure instead of a full graph copy.
+
+    .. warning:: **Aliasing contract.**  ``descendants`` and ``ancestors``
+       alias the contracted node's live ``_desc``/``_anc`` sets (no copy —
+       that O(row) saving is the point of trial deletions), and
+       :meth:`ClosureGraph.uncontract` re-installs them as the live rows.
+       Records are therefore only valid when replayed **most-recent-first
+       with no interleaved mutation**: any other use would re-install rows
+       describing a graph that no longer exists.  The kernel enforces this
+       via ``mutation_stamp`` — replaying a stale or out-of-order record
+       raises :class:`~repro.errors.GraphError` instead of silently
+       corrupting the closure (regression-tested in
+       ``tests/test_bitclosure_kernel.py``).
+    """
 
     node: Node
     successors: Set[Node]
@@ -48,6 +61,9 @@ class ContractionRecord:
     descendants: Set[Node]
     ancestors: Set[Node]
     new_bypass_arcs: List[Tuple[Node, Node]]
+    #: Kernel mutation counter at recording time (see the aliasing
+    #: contract above).
+    mutation_stamp: int = 0
 
 
 class ClosureGraph:
@@ -69,7 +85,7 @@ class ClosureGraph:
     (True, True)
     """
 
-    __slots__ = ("_graph", "_desc", "_anc")
+    __slots__ = ("_graph", "_desc", "_anc", "_mutations")
 
     def __init__(self) -> None:
         self._graph = DiGraph()
@@ -77,6 +93,9 @@ class ClosureGraph:
         self._desc: Dict[Node, Set[Node]] = {}
         # _anc[u]: nodes that reach u by a nonempty path.
         self._anc: Dict[Node, Set[Node]] = {}
+        # Monotone mutation counter pinning ContractionRecords (see the
+        # aliasing contract on ContractionRecord).
+        self._mutations = 0
 
     # -- plain graph façade --------------------------------------------------
 
@@ -165,6 +184,7 @@ class ClosureGraph:
         self._graph.add_node(node)
         self._desc[node] = set()
         self._anc[node] = set()
+        self._mutations += 1
 
     def add_arc(self, tail: Node, head: Node) -> None:
         """Insert ``tail -> head``; raises :class:`CycleError` on a cycle."""
@@ -177,6 +197,7 @@ class ClosureGraph:
         if self.reaches(head, tail):
             raise CycleError(f"arc {tail!r} -> {head!r} would close a cycle")
         self._graph.add_arc(tail, head)
+        self._mutations += 1
         if head in self._desc[tail]:
             return  # reachability unchanged
         # Every ancestor-or-self of tail now reaches every descendant-or-self
@@ -228,6 +249,7 @@ class ClosureGraph:
                     for head in succs
                     if not self._graph.has_arc(tail, head)
                 ],
+                mutation_stamp=self._mutations + 1,
             )
         ancestors = self._anc[node]
         descendants = self._desc[node]
@@ -238,6 +260,7 @@ class ClosureGraph:
             self._desc[source].discard(node)
         for target in descendants:
             self._anc[target].discard(node)
+        self._mutations += 1
         return undo
 
     def uncontract(self, record: ContractionRecord) -> None:
@@ -246,8 +269,19 @@ class ClosureGraph:
         Reinsertion is O(degree + closure row/column): the bypass arcs of
         the contraction changed no reachability between other nodes, so
         restoring the node's own row/column restores the whole closure.
+
+        Enforces the :class:`ContractionRecord` aliasing contract: a
+        record replayed out of most-recent-first order, or after any
+        interleaved mutation, raises :class:`GraphError` — re-installing
+        its aliased row/column sets would silently corrupt the closure.
         """
         node = record.node
+        if record.mutation_stamp != self._mutations:
+            raise GraphError(
+                f"cannot uncontract {node!r}: the graph was mutated since "
+                "this contraction was recorded (records must be replayed "
+                "most-recent-first, with no interleaved mutation)"
+            )
         if node in self._graph:
             raise GraphError(f"cannot uncontract {node!r}: already present")
         for tail, head in record.new_bypass_arcs:
@@ -263,6 +297,7 @@ class ClosureGraph:
             self._desc[source].add(node)
         for target in record.descendants:
             self._anc[target].add(node)
+        self._mutations = record.mutation_stamp - 1
 
     def remove_node_abort(self, node: Node) -> None:
         """Remove a node with *abort* semantics (no bypass arcs).
@@ -276,6 +311,7 @@ class ClosureGraph:
         affected_sources = set(self._anc[node])
         ancestors = self._anc[node]
         descendants = self._desc[node]
+        self._mutations += 1
         self._graph.remove_node(node)
         del self._desc[node]
         del self._anc[node]
@@ -296,12 +332,14 @@ class ClosureGraph:
                 self._anc[target].discard(source)
 
     def _bfs_descendants(self, source: Node) -> Set[Node]:
-        seen: Set[Node] = set()
-        frontier = list(self._graph.successors(source))
-        seen.update(frontier)
+        # successors_view, not successors: the abort path calls this per
+        # affected ancestor and a frozenset copy per visited node is pure
+        # waste (the traversal never mutates or holds the sets).
+        seen: Set[Node] = set(self._graph.successors_view(source))
+        frontier = list(seen)
         while frontier:
             node = frontier.pop()
-            for nxt in self._graph.successors(node):
+            for nxt in self._graph.successors_view(node):
                 if nxt not in seen:
                     seen.add(nxt)
                     frontier.append(nxt)
@@ -318,7 +356,21 @@ class ClosureGraph:
         clone._graph = self._graph.copy()
         clone._desc = {node: set(row) for node, row in self._desc.items()}
         clone._anc = {node: set(col) for node, col in self._anc.items()}
+        clone._mutations = self._mutations
         return clone
+
+    def memory_bytes(self) -> int:
+        """Actual bytes held by the closure rows (``sys.getsizeof`` of the
+        sets + dict slots; element objects are shared and not counted) —
+        the set-kernel side of E15's memory comparison."""
+        import sys
+
+        total = sys.getsizeof(self._desc) + sys.getsizeof(self._anc)
+        for row in self._desc.values():
+            total += sys.getsizeof(row)
+        for col in self._anc.values():
+            total += sys.getsizeof(col)
+        return total
 
     def check_invariants(self) -> None:
         """Assert closure == recomputed closure (test helper)."""

@@ -28,12 +28,15 @@ __all__ = [
     "has_path",
     "has_restricted_path",
     "has_restricted_path_fn",
+    "has_restricted_path_mask",
     "find_restricted_path",
     "reachable_from",
     "reachable_from_fn",
+    "reachable_mask",
     "reachable_to",
     "restricted_successors",
     "restricted_predecessors",
+    "restricted_reach_mask",
 ]
 
 Node = Hashable
@@ -43,6 +46,16 @@ NodePredicate = Callable[[Node], bool]
 #: :class:`DiGraph`, so condition checkers can search induced subgraphs
 #: (e.g. C3's ``G − M⁺``) without copying the graph per query.
 AdjacencyFn = Callable[[Node], Iterable[Node]]
+#: Adjacency as a bitmask row lookup (dense node id -> neighbor mask) —
+#: the :class:`~repro.graphs.bitclosure.BitClosureGraph` representation.
+#: The ``_mask`` helpers below run the same searches as their ``_fn``
+#: counterparts but with the frontier, visited set, and node predicate all
+#: held as big-int masks, so each expansion is a handful of word-parallel
+#: integer operations instead of a per-neighbor Python loop.  Callers
+#: restrict the search to an induced subgraph (C3's ``G − M⁺``) by
+#: composing the row lookup with an ``allowed_mask``:
+#: ``lambda i: kernel.succ_row(i) & allowed_mask``.
+RowFn = Callable[[int], int]
 
 
 def _check_node(graph: DiGraph, node: Node) -> None:
@@ -178,6 +191,77 @@ def has_restricted_path_fn(
                 seen.add(nxt)
                 frontier.append(nxt)
     return False
+
+
+def reachable_mask(row: RowFn, source_id: int) -> int:
+    """All ids reachable from *source_id* by a nonempty path, as a mask.
+
+    Mask counterpart of :func:`reachable_from_fn`: the frontier is itself
+    a mask, so each step expands one id with a single ``row | seen``
+    update rather than a per-neighbor loop.
+    """
+    seen = row(source_id)
+    frontier = seen
+    while frontier:
+        low = frontier & -frontier
+        frontier ^= low
+        new = row(low.bit_length() - 1) & ~seen
+        seen |= new
+        frontier |= new
+    return seen
+
+
+def has_restricted_path_mask(
+    row: RowFn,
+    source_id: int,
+    target_bit: int,
+    via_mask: int,
+) -> bool:
+    """Is there a path from *source_id* to the node of *target_bit* whose
+    intermediates all lie in *via_mask*?
+
+    Mask counterpart of :func:`has_restricted_path_fn` — endpoints exempt,
+    a direct arc always counts.  ``via_mask`` plays the ``via`` predicate
+    (one AND instead of one call per neighbor).
+    """
+    first = row(source_id)
+    if first & target_bit:
+        return True
+    frontier = first & via_mask
+    seen = frontier
+    while frontier:
+        low = frontier & -frontier
+        frontier ^= low
+        r = row(low.bit_length() - 1)
+        if r & target_bit:
+            return True
+        new = r & via_mask & ~seen
+        seen |= new
+        frontier |= new
+    return False
+
+
+def restricted_reach_mask(row: RowFn, source_id: int, via_mask: int) -> int:
+    """All ids reachable from *source_id* via intermediates in *via_mask*.
+
+    Mask counterpart of :func:`restricted_successors` (tight successors
+    when ``via_mask`` is the completed set; run it over the predecessor
+    rows for :func:`restricted_predecessors`).  Reached nodes need not be
+    in ``via_mask``; only *expansion* is restricted to it.  The source bit
+    is excluded from the result.
+    """
+    result = row(source_id)
+    frontier = result & via_mask
+    expanded = frontier
+    while frontier:
+        low = frontier & -frontier
+        frontier ^= low
+        r = row(low.bit_length() - 1)
+        result |= r
+        new = r & via_mask & ~expanded
+        expanded |= new
+        frontier |= new
+    return result & ~(1 << source_id)
 
 
 def find_restricted_path(

@@ -3,6 +3,17 @@
 For debugging sessions, regression fixtures, and crash post-mortems: dump
 the scheduler's current reduced graph (arc structure + payloads + deletion
 bookkeeping) or a step stream, reload them bit-identically later.
+
+Graph format history:
+
+* **format 1** — nodes + arcs only; loading replays every arc through
+  ``add_arc`` (closure re-propagation).  Still accepted on read.
+* **format 2** (current) — additionally carries the bitset kernel state
+  (:meth:`~repro.graphs.bitclosure.BitClosureGraph.state_dict`): the
+  interner's slot/free-list layout and the successor/descendant rows as
+  hex-encoded bitmasks.  Loading restores the kernel directly — no
+  re-propagation — and is *bit-exact*: the restored graph has the same id
+  assignment, the same free list, and therefore the same masks everywhere.
 """
 
 from __future__ import annotations
@@ -10,8 +21,9 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List
 
-from repro.core.reduced_graph import ReducedGraph
+from repro.core.reduced_graph import ReducedGraph, TxnInfo
 from repro.errors import ModelError
+from repro.graphs.bitclosure import BitClosureGraph
 from repro.model.schedule import Schedule
 from repro.model.status import AccessMode, TxnState
 from repro.model.steps import (
@@ -39,11 +51,27 @@ __all__ = [
     "schedule_from_list",
 ]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_LEGACY_FORMAT_VERSION = 1
 
 
 def graph_to_dict(graph: ReducedGraph) -> Dict[str, Any]:
-    """A JSON-ready dict capturing the whole reduced graph."""
+    """A JSON-ready dict capturing the whole reduced graph.
+
+    Format 2: the ``closure`` section carries the bitset kernel state
+    (interner layout + hex mask rows) so :func:`graph_from_dict` restores
+    without re-propagating the closure; ``arcs`` stays in the payload for
+    human audit and cross-checks.
+
+    Not allowed while a deletion trial is open: the payload would record
+    the to-be-rolled-back deletions as permanent and serialize their
+    detached interner slots as leaked capacity.
+    """
+    if graph.in_trial:
+        raise ModelError(
+            "cannot serialize a reduced graph during a deletion trial; "
+            "finish rollback_trial() first"
+        )
     nodes = []
     for txn in sorted(graph.nodes()):
         info = graph.info(txn)
@@ -68,32 +96,71 @@ def graph_to_dict(graph: ReducedGraph) -> Dict[str, Any]:
         "arcs": sorted(graph.arcs()),
         "deleted": sorted(graph.deleted_transactions()),
         "aborted": sorted(graph.aborted_transactions()),
+        "closure": graph.kernel.state_dict(),
     }
 
 
+def _node_info_from_dict(node: Dict[str, Any]) -> TxnInfo:
+    future = node.get("future")
+    return TxnInfo(
+        txn=node["txn"],
+        state=TxnState(node["state"]),
+        accesses={
+            entity: AccessMode[mode]
+            for entity, mode in node["accesses"].items()
+        },
+        future=(
+            None
+            if future is None
+            else {e: AccessMode[m] for e, m in future.items()}
+        ),
+        reads_from=set(node.get("reads_from", ())),
+    )
+
+
 def graph_from_dict(payload: Dict[str, Any]) -> ReducedGraph:
-    """Inverse of :func:`graph_to_dict`."""
-    if payload.get("format") != _FORMAT_VERSION:
-        raise ModelError(
-            f"unsupported graph format {payload.get('format')!r}"
-        )
-    graph = ReducedGraph()
-    for node in payload["nodes"]:
-        future = node.get("future")
-        graph.add_transaction(
-            node["txn"],
-            TxnState(node["state"]),
-            declared=(
-                None
-                if future is None
-                else {e: AccessMode[m] for e, m in future.items()}
-            ),
-        )
-        for entity, mode in node["accesses"].items():
-            graph.record_access(node["txn"], entity, AccessMode[mode])
-        graph.info(node["txn"]).reads_from.update(node.get("reads_from", ()))
-    for tail, head in payload["arcs"]:
-        graph.add_arc(tail, head)
+    """Inverse of :func:`graph_to_dict`.
+
+    Accepts both format 2 (bit-exact kernel restore) and the legacy
+    format 1 (arc-by-arc closure rebuild), so old snapshots still load.
+    """
+    version = payload.get("format")
+    if version == _FORMAT_VERSION:
+        graph = ReducedGraph()
+        graph._closure = BitClosureGraph.from_state_dict(payload["closure"])
+        for node in payload["nodes"]:
+            info = _node_info_from_dict(node)
+            if info.txn not in graph._closure:
+                raise ModelError(
+                    f"graph payload node {info.txn!r} missing from the "
+                    "serialized closure kernel"
+                )
+            graph._info[info.txn] = info
+            graph._index_payload(info.txn, info)
+        if len(graph._info) != len(graph._closure):
+            raise ModelError(
+                "serialized closure kernel carries nodes without payloads"
+            )
+    elif version == _LEGACY_FORMAT_VERSION:
+        graph = ReducedGraph()
+        for node in payload["nodes"]:
+            future = node.get("future")
+            graph.add_transaction(
+                node["txn"],
+                TxnState(node["state"]),
+                declared=(
+                    None
+                    if future is None
+                    else {e: AccessMode[m] for e, m in future.items()}
+                ),
+            )
+            for entity, mode in node["accesses"].items():
+                graph.record_access(node["txn"], entity, AccessMode[mode])
+            graph.info(node["txn"]).reads_from.update(node.get("reads_from", ()))
+        for tail, head in payload["arcs"]:
+            graph.add_arc(tail, head)
+    else:
+        raise ModelError(f"unsupported graph format {version!r}")
     # Deletion/abort bookkeeping: restore so id-reuse protection survives
     # a round trip.
     graph._deleted.update(payload.get("deleted", ()))

@@ -174,8 +174,10 @@ class Certifier(SchedulerBase):
         the single-arc closure test is insufficient — but a cycle not
         involving the new node is impossible (the graph was acyclic), so
         any cycle must run ``txn -> o ->* i -> txn`` through one outgoing
-        head ``o`` and one incoming tail ``i``.  Each such pair is an O(1)
-        ``reaches`` probe on the maintained closure; no graph copy.
+        head ``o`` and one incoming tail ``i``.  With the bitset kernel
+        the whole ``o ->* i`` probe family collapses to one AND per
+        outgoing head: does ``o``'s closure row (or ``o`` itself) hit the
+        mask of incoming tails?  No graph copy, no per-pair loop.
         """
         certifying = {t for t, _ in arcs} | {h for _, h in arcs}
         certifying -= self.graph.nodes()
@@ -183,8 +185,10 @@ class Certifier(SchedulerBase):
         incoming = [t for t, h in arcs if h in certifying]
         outgoing = [h for t, h in arcs if t in certifying]
         graph = self.graph
+        incoming_mask = graph.mask_of(incoming)
         return any(
-            o == i or graph.reaches(o, i) for o in outgoing for i in incoming
+            (graph.descendants_mask(o) | graph.bit_of(o)) & incoming_mask
+            for o in outgoing
         )
 
     def accepted_subschedule(self):

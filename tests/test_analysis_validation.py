@@ -31,10 +31,15 @@ class TestValidator:
 
     def test_missing_conflict_arc_detected(self):
         graph = example1_graph()
-        graph._closure._graph.remove_arc("T1", "T2")  # corrupt deliberately
-        # Rebuild closure caches coherently enough for the validator.
-        graph._closure._desc["T1"].discard("T2")
-        graph._closure._anc["T2"].discard("T1")
+        kernel = graph._closure
+        i1, i2 = kernel.id_of("T1"), kernel.id_of("T2")
+        # Corrupt deliberately: drop the T1 -> T2 arc from the kernel rows,
+        # keeping the closure caches coherent enough for the validator.
+        kernel._succ[i1] &= ~(1 << i2)
+        kernel._pred[i2] &= ~(1 << i1)
+        kernel._arc_count -= 1
+        kernel._desc[i1] &= ~(1 << i2)
+        kernel._anc[i2] &= ~(1 << i1)
         with pytest.raises(GraphError):
             validate_reduced_graph(graph, example1_schedule())
 

@@ -1,0 +1,376 @@
+"""Property tests for the bitset closure kernel.
+
+Three layers of evidence that :class:`BitClosureGraph` is a faithful (and
+recycling) replacement for the set-based reference kernel:
+
+* **Op-sequence equivalence** — hypothesis drives randomized interleavings
+  of add_node / add_arc / contract / abort / trial-contract+undo through
+  both kernels and compares nodes, arcs, and every closure row after every
+  operation.
+* **Snapshot exactness** — ``state_dict`` → ``from_state_dict`` round-trips
+  the kernel bit for bit, including the interner's slot layout and
+  free-list order.
+* **The aliasing/ordering contract** — contraction records replayed out of
+  most-recent-first order, or across interleaved mutations, raise
+  :class:`GraphError` in *both* kernels instead of silently corrupting the
+  closure (the regression the old aliasing ``ContractionRecord`` invited).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CycleError, GraphError, NodeNotFoundError
+from repro.graphs.bitclosure import BitClosureGraph, NodeInterner, iter_bits
+from repro.graphs.closure import ClosureGraph
+
+
+def _assert_kernels_equal(bit: BitClosureGraph, ref: ClosureGraph) -> None:
+    assert bit.nodes() == ref.nodes()
+    assert sorted(bit.arcs()) == sorted(ref.arcs())
+    assert bit.arc_count() == ref.arc_count()
+    for node in ref.nodes():
+        assert bit.descendants(node) == ref.descendants(node)
+        assert bit.ancestors(node) == ref.ancestors(node)
+        assert bit.successors(node) == ref.successors(node)
+        assert bit.predecessors(node) == ref.predecessors(node)
+
+
+#: One randomized operation: (kind selector, node pick, node pick).
+_OPS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=99),
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=0, max_value=30),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestOpSequenceEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_OPS)
+    def test_random_ops_match_reference(self, ops):
+        bit, ref = BitClosureGraph(), ClosureGraph()
+        nodes: list = []
+        fresh = 0
+        for kind, pick_a, pick_b in ops:
+            if kind < 30 or len(nodes) < 3:
+                name = f"n{fresh}"
+                fresh += 1
+                bit.add_node(name)
+                ref.add_node(name)
+                nodes.append(name)
+            elif kind < 75:
+                tail = nodes[pick_a % len(nodes)]
+                head = nodes[pick_b % len(nodes)]
+                outcomes = []
+                for kernel in (ref, bit):
+                    try:
+                        kernel.add_arc(tail, head)
+                        outcomes.append("ok")
+                    except CycleError:
+                        outcomes.append("cycle")
+                    except GraphError:
+                        outcomes.append("loop")
+                assert outcomes[0] == outcomes[1]
+            elif kind < 88:
+                victim = nodes[pick_a % len(nodes)]
+                bit.contract(victim)
+                ref.contract(victim)
+                nodes.remove(victim)
+            else:
+                victim = nodes[pick_a % len(nodes)]
+                bit.remove_node_abort(victim)
+                ref.remove_node_abort(victim)
+                nodes.remove(victim)
+            _assert_kernels_equal(bit, ref)
+        bit.check_invariants()
+        ref.check_invariants()
+
+    @settings(max_examples=25, deadline=None)
+    @given(ops=_OPS, trial_picks=st.lists(st.integers(0, 30), max_size=6))
+    def test_trial_contract_and_lifo_undo(self, ops, trial_picks):
+        bit, ref = BitClosureGraph(), ClosureGraph()
+        nodes: list = []
+        fresh = 0
+        for kind, pick_a, pick_b in ops:
+            if kind < 40 or len(nodes) < 3:
+                name = f"n{fresh}"
+                fresh += 1
+                bit.add_node(name)
+                ref.add_node(name)
+                nodes.append(name)
+            else:
+                tail = nodes[pick_a % len(nodes)]
+                head = nodes[pick_b % len(nodes)]
+                try:
+                    ref.add_arc(tail, head)
+                except (CycleError, GraphError):
+                    continue
+                bit.add_arc(tail, head)
+        before = bit.state_dict()
+        victims = []
+        for pick in trial_picks:
+            remaining = [n for n in nodes if n not in victims]
+            if not remaining:
+                break
+            victims.append(remaining[pick % len(remaining)])
+        records = [(v, bit.contract_recording(v)) for v in victims]
+        for victim, _record in records:
+            ref.contract(victim)
+        _assert_kernels_equal(bit, ref)
+        for _victim, record in reversed(records):
+            bit.uncontract(record)
+        # The undo restores the kernel bit for bit — same id layout, same
+        # rows, same free list.
+        assert bit.state_dict() == before
+        bit.check_invariants()
+
+
+class TestSnapshotExactness:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=_OPS)
+    def test_state_dict_round_trips_bit_exactly(self, ops):
+        bit = BitClosureGraph()
+        nodes: list = []
+        fresh = 0
+        for kind, pick_a, pick_b in ops:
+            if kind < 35 or len(nodes) < 3:
+                name = f"n{fresh}"
+                fresh += 1
+                bit.add_node(name)
+                nodes.append(name)
+            elif kind < 80:
+                try:
+                    bit.add_arc(
+                        nodes[pick_a % len(nodes)], nodes[pick_b % len(nodes)]
+                    )
+                except (CycleError, GraphError):
+                    pass
+            else:
+                victim = nodes[pick_a % len(nodes)]
+                if kind % 2:
+                    bit.contract(victim)
+                else:
+                    bit.remove_node_abort(victim)
+                nodes.remove(victim)
+        state = bit.state_dict()
+        restored = BitClosureGraph.from_state_dict(state)
+        assert restored.state_dict() == state
+        restored.check_invariants()
+        _assert_kernels_equal(
+            restored,
+            _reference_from(bit),
+        )
+        # Ids (and therefore all masks) are preserved exactly.
+        for node in bit.nodes():
+            assert restored.id_of(node) == bit.id_of(node)
+        assert restored.live_mask == bit.live_mask
+
+
+def _reference_from(bit: BitClosureGraph) -> ClosureGraph:
+    ref = ClosureGraph()
+    for node in bit.nodes():
+        ref.add_node(node)
+    for tail, head in bit.arcs():
+        ref.add_arc(tail, head)
+    return ref
+
+
+class TestMalformedStateRejected:
+    """from_state_dict validates structure instead of loading a silently
+    corrupt kernel (snapshots get hand-edited in post-mortems)."""
+
+    @staticmethod
+    def _sample_state():
+        g = BitClosureGraph()
+        for n in "abcd":
+            g.add_node(n)
+        g.add_arc("a", "b")
+        g.add_arc("b", "c")
+        g.contract("d")  # one genuinely free slot
+        return g.state_dict()
+
+    def test_valid_state_loads(self):
+        BitClosureGraph.from_state_dict(self._sample_state()).check_invariants()
+
+    def test_free_list_naming_occupied_slot_rejected(self):
+        state = self._sample_state()
+        state["free"] = [0]  # slot 0 holds "a"
+        with pytest.raises(GraphError):
+            BitClosureGraph.from_state_dict(state)
+
+    def test_incomplete_free_list_rejected(self):
+        state = self._sample_state()
+        state["free"] = []  # the contracted slot is empty but unlisted
+        with pytest.raises(GraphError):
+            BitClosureGraph.from_state_dict(state)
+
+    def test_row_referencing_dead_bit_rejected(self):
+        state = self._sample_state()
+        dead = state["free"][0]
+        row = int(state["desc"][0], 16) | (1 << dead)
+        state["desc"][0] = format(row, "x")
+        with pytest.raises(GraphError):
+            BitClosureGraph.from_state_dict(state)
+
+    def test_self_reaching_row_rejected(self):
+        state = self._sample_state()
+        row = int(state["desc"][0], 16) | 1  # slot 0 "reaches" itself
+        state["desc"][0] = format(row, "x")
+        with pytest.raises(GraphError):
+            BitClosureGraph.from_state_dict(state)
+
+    def test_closure_missing_adjacency_rejected(self):
+        state = self._sample_state()
+        state["desc"][0] = "0"  # a -> b arc exists but desc says nothing
+        with pytest.raises(GraphError):
+            BitClosureGraph.from_state_dict(state)
+
+    def test_truncated_rows_rejected(self):
+        state = self._sample_state()
+        state["succ"] = state["succ"][:-1]
+        with pytest.raises(GraphError):
+            BitClosureGraph.from_state_dict(state)
+
+    def test_duplicate_free_entries_rejected(self):
+        g = BitClosureGraph()
+        for n in "abcd":
+            g.add_node(n)
+        g.contract("c")
+        g.contract("d")  # two genuinely free slots
+        state = g.state_dict()
+        free = state["free"]
+        state["free"] = [free[0], free[0]]  # one listed twice, one omitted
+        with pytest.raises(GraphError):
+            BitClosureGraph.from_state_dict(state)
+
+    def test_wrong_arc_count_rejected(self):
+        state = self._sample_state()
+        state["arc_count"] = 99
+        with pytest.raises(GraphError):
+            BitClosureGraph.from_state_dict(state)
+
+
+class TestInternerRecycling:
+    def test_ids_are_recycled_lifo(self):
+        interner = NodeInterner()
+        assert interner.intern("a") == 0
+        assert interner.intern("b") == 1
+        assert interner.intern("c") == 2
+        interner.release("b")
+        interner.release("a")
+        assert interner.capacity == 3
+        # LIFO: the most recently freed slot is handed out first.
+        assert interner.intern("d") == 0
+        assert interner.intern("e") == 1
+        assert interner.intern("f") == 3
+        assert interner.capacity == 4
+
+    def test_reattach_requires_reserved_slot(self):
+        interner = NodeInterner()
+        interner.intern("a")
+        index = interner.detach("a")
+        with pytest.raises(GraphError):
+            interner.reattach("a", index + 5)
+        interner.reattach("a", index)
+        assert interner.id_of("a") == index
+        with pytest.raises(GraphError):
+            interner.reattach("a", index)
+
+    def test_kernel_capacity_tracks_peak_live_not_history(self):
+        bit = BitClosureGraph()
+        for wave in range(50):
+            names = [f"w{wave}_{i}" for i in range(10)]
+            for name in names:
+                bit.add_node(name)
+            for tail, head in zip(names, names[1:]):
+                bit.add_arc(tail, head)
+            for name in names:
+                bit.contract(name)
+        # 500 nodes passed through; the id space never grew past one wave.
+        assert len(bit) == 0
+        assert bit.interner.capacity <= 10
+        bit.check_invariants()
+
+    def test_missing_nodes_raise(self):
+        bit = BitClosureGraph()
+        bit.add_node("a")
+        with pytest.raises(NodeNotFoundError):
+            bit.id_of("ghost")
+        with pytest.raises(NodeNotFoundError):
+            bit.mask_of(["a", "ghost"])
+        with pytest.raises(NodeNotFoundError):
+            bit.descendants("ghost")
+        with pytest.raises(NodeNotFoundError):
+            bit.contract("ghost")
+
+
+class TestIterBits:
+    def test_iter_bits_matches_binary(self):
+        mask = 0b1011001
+        assert list(iter_bits(mask)) == [0, 3, 4, 6]
+        assert list(iter_bits(0)) == []
+        assert list(iter_bits(1 << 200)) == [200]
+
+
+class TestContractionOrderingContract:
+    """Satellite: the undo most-recent-first / no-interleaved-mutation
+    contract, enforced in both kernels.
+
+    Under the old aliasing ``ContractionRecord`` these sequences silently
+    corrupted the closure (the record re-installed rows describing a graph
+    that no longer existed); now they raise :class:`GraphError`.
+    """
+
+    @pytest.mark.parametrize("kernel_cls", [ClosureGraph, BitClosureGraph])
+    def test_interleaved_mutation_rejected(self, kernel_cls):
+        g = kernel_cls()
+        for n in "abcd":
+            g.add_node(n)
+        g.add_arc("a", "b")
+        g.add_arc("b", "c")
+        record = g.contract_recording("b")
+        # Interleaved mutation: "a" gains a new descendant the record's
+        # saved rows know nothing about.
+        g.add_arc("a", "d")
+        with pytest.raises(GraphError):
+            g.uncontract(record)
+
+    @pytest.mark.parametrize("kernel_cls", [ClosureGraph, BitClosureGraph])
+    def test_out_of_order_undo_rejected(self, kernel_cls):
+        g = kernel_cls()
+        for n in "abcd":
+            g.add_node(n)
+        g.add_arc("a", "b")
+        g.add_arc("b", "c")
+        g.add_arc("c", "d")
+        first = g.contract_recording("b")
+        second = g.contract_recording("c")
+        with pytest.raises(GraphError):
+            g.uncontract(first)  # not most-recent-first
+        g.uncontract(second)
+        g.uncontract(first)
+        g.check_invariants()
+        assert g.reaches("a", "d")
+
+    def test_old_aliasing_would_have_corrupted(self):
+        """Documents *why* the contract exists: replaying a stale record
+        produces closure rows that disagree with a recomputation."""
+        g = ClosureGraph()
+        for n in "abcd":
+            g.add_node(n)
+        g.add_arc("a", "b")
+        g.add_arc("b", "c")
+        record = g.contract_recording("b")
+        # Reachability grows past the recorded rows: c -> d.
+        g.add_arc("c", "d")
+        # Force the replay past the guard, the way the old kernel behaved.
+        record.mutation_stamp = g._mutations
+        g.uncontract(record)
+        with pytest.raises(GraphError):
+            g.check_invariants()  # "b" reaches d but its stored row says {c}
