@@ -1,0 +1,72 @@
+"""Validate BENCH_*.json payloads against their suites' schemas.
+
+One entry point for what used to be three copy-pasted CI steps: each
+benchmark module owns its ``validate_payload`` function; this helper
+auto-detects the suite from the payload's ``suite`` stamp and dispatches.
+
+    python benchmarks/validate_bench.py results/BENCH_hotpaths.json ...
+
+Exits nonzero on the first schema violation (drift in an emitted payload
+must fail the job, not silently pass an empty artifact along).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from typing import Callable, Dict, List, Optional
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+
+def _validators() -> Dict[str, Callable[[dict], None]]:
+    import bench_hotpaths
+    import bench_shard_scale
+    import bench_steady_state
+
+    return {
+        "hotpaths": bench_hotpaths.validate_payload,
+        "steady_state": bench_steady_state.validate_payload,
+        "shard_scale": bench_shard_scale.validate_payload,
+    }
+
+
+def validate_file(path: pathlib.Path) -> str:
+    """Validate one payload; returns its suite name, raises on drift."""
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: payload must be a JSON object")
+    suite = payload.get("suite")
+    validators = _validators()
+    validator = validators.get(suite)
+    if validator is None:
+        raise ValueError(
+            f"{path}: unknown suite {suite!r}; known: "
+            f"{', '.join(sorted(validators))}"
+        )
+    validator(payload)
+    return suite
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    paths = [pathlib.Path(arg) for arg in (argv or sys.argv[1:])]
+    if not paths:
+        print("usage: validate_bench.py BENCH_x.json [BENCH_y.json ...]",
+              file=sys.stderr)
+        return 2
+    for path in paths:
+        try:
+            suite = validate_file(path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"FAIL {path}: {exc}", file=sys.stderr)
+            return 1
+        print(f"OK   {path} (suite: {suite})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

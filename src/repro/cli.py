@@ -30,8 +30,8 @@ from repro import registry as _registry
 from repro.analysis.report import ascii_table, format_series, rows_from_summaries
 from repro.analysis.runner import run_with_policy
 from repro.analysis.visualize import render_ascii, render_dot
-from repro.engine import Engine, EngineConfig
-from repro.errors import EngineError, RegistryError
+from repro.engine import Engine, EngineConfig, ShardedEngine, build_engine
+from repro.errors import EngineError, RegistryError, SchedulerError
 from repro.io import graph_to_json
 from repro.workloads.generator import (
     WorkloadConfig,
@@ -53,8 +53,7 @@ _MODEL_STREAMS = {
 
 
 def _stream_for(scheduler_name: str):
-    model = _registry.schedulers.get(scheduler_name).model
-    return _MODEL_STREAMS[model]
+    return _MODEL_STREAMS[_registry.scheduler_model(scheduler_name)]
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -65,6 +64,12 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--write-fraction", type=float, default=0.4)
     parser.add_argument("--zipf", type=float, default=0.0,
                         help="entity skew (0 = uniform)")
+    parser.add_argument("--partitions", type=int, default=1,
+                        help="split the entity space into N disjoint "
+                             "namespaces (sharding workloads)")
+    parser.add_argument("--cross-fraction", type=float, default=0.0,
+                        help="probability a transaction also touches a "
+                             "foreign partition (forces shard merges)")
     parser.add_argument("--seed", type=int, default=0)
 
 
@@ -80,6 +85,9 @@ def _add_engine_args(parser: argparse.ArgumentParser,
                         help="deletion-policy registry name")
     parser.add_argument("--sweep-interval", type=int, default=1,
                         help="invoke the deletion policy every N steps")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="partition the engine into K footprint-routed "
+                             "shards (1 = monolithic)")
 
 
 def _config(args: argparse.Namespace) -> WorkloadConfig:
@@ -89,7 +97,12 @@ def _config(args: argparse.Namespace) -> WorkloadConfig:
         multiprogramming=args.mpl,
         write_fraction=args.write_fraction,
         zipf_s=args.zipf,
-        max_accesses=min(4, args.entities),
+        # Clamp to the per-partition entity pool but never below 1, so a
+        # partitions > entities mistake reaches WorkloadConfig's clearer
+        # per-partition validation error instead of an accesses-range one.
+        max_accesses=max(1, min(4, args.entities // max(args.partitions, 1))),
+        partitions=args.partitions,
+        cross_fraction=args.cross_fraction,
         seed=args.seed,
     )
 
@@ -114,24 +127,57 @@ def _demo(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_engine(args: argparse.Namespace) -> Optional[Engine]:
-    """Engine from the parsed flags, or ``None`` after printing the error."""
+def _build_engine(args: argparse.Namespace):
+    """Engine (or sharded engine) from the parsed flags, or ``None`` after
+    printing the error."""
     try:
         config = EngineConfig(
             scheduler=args.scheduler,
             policy=args.policy,
             sweep_interval=args.sweep_interval,
         )
+        return build_engine(config, shards=getattr(args, "shards", 1))
     except (EngineError, RegistryError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return None
-    return Engine(config)
+
+
+def _run_sharded(args: argparse.Namespace, engine: ShardedEngine) -> int:
+    from repro.analysis.serializability import is_conflict_serializable
+
+    stream = _stream_for(args.scheduler)(_config(args))
+    batch = engine.feed_batch(stream, flush=True)
+    if not args.no_audit and not is_conflict_serializable(
+        engine.accepted_subschedule()
+    ):
+        raise SchedulerError(
+            "accepted subschedule is not conflict serializable"
+        )
+    summary = batch.summary()
+    print(ascii_table(list(summary), [list(summary.values())]))
+    rows = engine.shard_report()
+    print(ascii_table(
+        ["shard", "steps_fed", "live", "peak_graph", "deletions",
+         "sweeps_run", "sweeps_skipped", "closure_bytes", "id_capacity"],
+        [[row[key] for key in row] for row in rows],
+        title=f"{engine.shard_count} shards "
+              f"(migrations: {engine.migrations}, "
+              f"merges: {engine.router.merges})",
+    ))
+    stats = engine.stats
+    print(
+        f"deleted: {stats.deletions}, peak total graph: "
+        f"{stats.peak_graph_size}, migrations: {engine.migrations}"
+    )
+    return 0
 
 
 def _run(args: argparse.Namespace) -> int:
     engine = _build_engine(args)
     if engine is None:
         return 2
+    if isinstance(engine, ShardedEngine):
+        return _run_sharded(args, engine)
     stream = _stream_for(args.scheduler)(_config(args))
     metrics = run_with_policy(
         engine.scheduler, stream, audit_csr=not args.no_audit, engine=engine
@@ -176,14 +222,39 @@ def _dump(args: argparse.Namespace) -> int:
     if engine is None:
         return 2
     stream = _stream_for(args.scheduler)(_config(args))
-    engine.feed_batch(stream)
-    graph = engine.graph
-    if args.format == "ascii":
-        print(render_ascii(graph, title=f"final reduced graph ({args.scheduler})"))
-    elif args.format == "dot":
-        print(render_dot(graph))
+    if isinstance(engine, ShardedEngine):
+        engine.feed_batch(stream, flush=False)
+        engine.flush_pending()
+        graphs = [
+            (f"shard {index}", graph)
+            for index, graph in enumerate(engine.graphs())
+        ]
     else:
-        print(graph_to_json(graph))
+        engine.feed_batch(stream)
+        graphs = [(args.scheduler, engine.graph)]
+    if args.format == "json":
+        # Always exactly one parseable document: the monolithic payload
+        # unchanged, or one object holding every shard's payload.
+        if len(graphs) == 1:
+            print(graph_to_json(graphs[0][1]))
+        else:
+            import json as _json
+
+            from repro.io import graph_to_dict
+
+            print(_json.dumps(
+                {
+                    "shards": [graph_to_dict(graph) for _, graph in graphs],
+                },
+                indent=2,
+                sort_keys=True,
+            ))
+        return 0
+    for title, graph in graphs:
+        if args.format == "ascii":
+            print(render_ascii(graph, title=f"final reduced graph ({title})"))
+        else:
+            print(render_dot(graph))
     return 0
 
 

@@ -27,9 +27,22 @@ across all five schedulers):
       executed step — new arcs run *out of* the stepping transaction and
       even an active transaction's executed access witnesses C4/C3, so
       new witnesses can appear for every active ancestor of the stepper;
-    * an abort — an active predecessor vanished.  The node is already gone
-      from the graph when the engine learns of it, so the tracker goes
-      conservative and marks everything (aborts are rare).
+    * an abort — an active predecessor vanished (and, in the multiwrite
+      model, whole FC-paths through cascade victims with it).  The nodes
+      are already gone from the graph by the time the engine's observer
+      runs, so the *graph* captures each victim's impacted region at
+      removal time (:meth:`~repro.core.reduced_graph.ReducedGraph.abort`
+      with abort-impact tracking enabled — the engine enables it whenever
+      a dirty tracker is active) and the tracker drains that accumulator
+      instead of resetting to all-dirty.  Every candidate an abort can
+      flip false→true lies in some victim's region: shedding an active
+      predecessor helps only its (tight/plain) completed descendants, and
+      a cut FC-path passes through a victim whose region — computed while
+      the path's surviving intermediates are still present — contains the
+      candidate.  Witness pools and entity masks only *shrink* on abort,
+      which can flip conditions true→false but never false→true.  When no
+      accumulator is available (standalone use, pre-enable aborts) the
+      tracker still falls back to marking everything.
 
     In all non-abort cases the affected candidates lie in the completed
     descendants of the stepping/completing transaction or of one of its
@@ -90,13 +103,18 @@ class DirtyTracker:
 
     def observe(self, graph, result) -> None:
         """Fold one :class:`~repro.scheduler.events.StepResult` in."""
-        if self._all_dirty:
-            return
         if result.aborted:
-            # The aborted nodes (and the region only they defined) are
-            # gone; be conservative.
-            self._all_dirty = True
-            self._dirty.clear()
+            # Drain the graph's abort-impact accumulator even when we are
+            # already all-dirty (it must not pile up between sweeps).
+            consume = getattr(graph, "consume_abort_impact", None)
+            region = consume() if consume is not None else None
+            if region is None:
+                # No accumulator (standalone graph / tracking never
+                # enabled): fall back to the conservative reset.
+                self.mark_all()
+            elif not self._all_dirty:
+                self._dirty |= region
+        if self._all_dirty:
             return
         steppers: Set[TxnId] = set(result.committed)
         if self.granularity == "steps":

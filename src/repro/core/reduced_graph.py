@@ -187,6 +187,11 @@ class ReducedGraph:
         self._trial: Optional[
             List[Tuple[TxnId, TxnInfo, BitContractionRecord]]
         ] = None
+        # Abort-impact accumulator (None = tracking off).  When enabled,
+        # abort() captures the aborting transaction's impacted completed
+        # region *before* removal — the engine's DirtyTracker consumes it
+        # so an abort dirties only its region instead of everything.
+        self._abort_impact: Optional[set[TxnId]] = None
 
     # -- membership and payloads -------------------------------------------
 
@@ -641,12 +646,49 @@ class ReducedGraph:
 
     # -- node removal ---------------------------------------------------------
 
+    def enable_abort_impact(self) -> None:
+        """Start capturing abort-impact regions (idempotent).
+
+        The engine turns this on whenever a dirty-consuming deletion
+        policy is active; standalone graph users never pay for it.
+        """
+        if self._abort_impact is None:
+            self._abort_impact = set()
+
+    def consume_abort_impact(self) -> Optional[set[TxnId]]:
+        """Drain the accumulated abort-impact region.
+
+        ``None`` means tracking was never enabled (callers must fall back
+        to a conservative mark-all); otherwise the returned set names the
+        completed transactions whose deletion condition may have flipped
+        to *true* because of aborts since the last drain (some may since
+        have left the graph — stale ids are harmless over-approximation).
+        """
+        if self._abort_impact is None:
+            return None
+        region = self._abort_impact
+        self._abort_impact = set()
+        return region
+
     def abort(self, txn: TxnId) -> None:
         """Remove an aborted transaction: node + incident arcs, no bypass."""
         self._guard_trial("abort")
         if txn not in self._info:
             raise UnknownTransactionError(txn)
         info = self._info[txn]
+        if self._abort_impact is not None:
+            # Captured on the pre-removal graph: the completed descendants
+            # of the aborting transaction (its loss can cut FC-paths and
+            # shed active-predecessor obligations) and of its still-active
+            # ancestors — the same over-approximated region a step or
+            # completion dirties.  For a cascade, each victim's region is
+            # captured at its own removal; any candidate affected by the
+            # cascade is a descendant of the *last* victim on its path,
+            # whose region is computed while that path's non-victim
+            # intermediates are still present.
+            from repro.core.dirty import impacted_completed
+
+            self._abort_impact |= impacted_completed(self, txn)
         bit = self._closure.bit_of(txn)  # before the id is recycled
         self._closure.remove_node_abort(txn)
         del self._info[txn]
@@ -755,6 +797,60 @@ class ReducedGraph:
         clone = self.copy()
         clone.delete_set(txns)
         return clone
+
+    # -- group extraction / installation (shard migration) -----------------------
+
+    def extract_subgraph(self, txns: Iterable[TxnId]) -> Dict[str, object]:
+        """Remove a footprint group and return an installable payload.
+
+        The group must be closed under arcs (no arc crosses its boundary)
+        — which an entity-footprint group always is, since every arc
+        source shares an entity with its head.  The payload carries the
+        live :class:`TxnInfo` objects and the kernel's relative closure
+        rows (:meth:`BitClosureGraph.extract_nodes`); transactions not
+        present in the graph (already deleted/aborted, or never begun
+        here) are skipped.  Deletion/abort bookkeeping stays behind: those
+        ids can never be re-added anywhere.
+        """
+        self._guard_trial("extract_subgraph")
+        order = sorted(t for t in set(txns) if t in self._info)
+        bits = {txn: self._closure.bit_of(txn) for txn in order}
+        kernel_part = self._closure.extract_nodes(order)
+        infos: List[TxnInfo] = []
+        for txn in order:
+            info = self._info.pop(txn)
+            infos.append(info)
+            bit = bits[txn]
+            self._unindex_state(bit)
+            self._drop_entity_index(bit, info)
+        self._bump()
+        return {"infos": infos, "kernel": kernel_part}
+
+    def install_subgraph(self, payload: Dict[str, object]) -> None:
+        """Inverse of :meth:`extract_subgraph`, into *this* graph.
+
+        Node ids are re-interned here (fresh bits); closure rows are
+        installed by bit translation, payload indexes are rebuilt from
+        the moved :class:`TxnInfo` objects.
+        """
+        self._guard_trial("install_subgraph")
+        infos: List[TxnInfo] = payload["infos"]  # type: ignore[assignment]
+        for info in infos:
+            if info.txn in self._info:
+                raise TransactionStateError(
+                    f"install_subgraph: transaction {info.txn!r} already "
+                    "present"
+                )
+            if info.txn in self._deleted or info.txn in self._aborted:
+                raise TransactionStateError(
+                    f"install_subgraph: transaction id {info.txn!r} was "
+                    "already used and removed here"
+                )
+        self._closure.install_nodes(payload["kernel"])
+        for info in infos:
+            self._info[info.txn] = info
+            self._index_payload(info.txn, info)
+        self._bump()
 
     # -- invariants (test helper) ------------------------------------------------
 

@@ -67,15 +67,19 @@ from repro.errors import (
     EngineError,
     IncompatiblePolicyError,
     SnapshotError,
+    TransactionStateError,
     UnknownNameError,
     UnsafeDeletionError,
 )
-from repro.model.steps import Step, TxnId
+from repro.model.schedule import Schedule
+from repro.model.steps import Begin, BeginDeclared, Step, TxnId
 from repro.scheduler.base import SchedulerBase
 from repro.scheduler.events import Decision, StepResult
+from repro.sharding import FootprintRouter, Migration, footprint_of, migrate_group
 
 __all__ = [
     "SNAPSHOT_FORMAT",
+    "SHARDED_SNAPSHOT_FORMAT",
     "GcStats",
     "EngineObserver",
     "CallbackObserver",
@@ -84,9 +88,23 @@ __all__ = [
     "BatchResult",
     "EngineConfig",
     "Engine",
+    "ShardedEngine",
+    "build_engine",
 ]
 
 SNAPSHOT_FORMAT = 1
+SHARDED_SNAPSHOT_FORMAT = 1
+SHARDED_SNAPSHOT_KIND = "sharded-engine"
+
+#: Observer hook names, in firing order within one step.
+_HOOK_NAMES = (
+    "on_step",
+    "on_abort",
+    "on_commit",
+    "on_delete",
+    "on_sweep",
+    "on_step_end",
+)
 
 
 # ---------------------------------------------------------------------------
@@ -235,13 +253,15 @@ class StatsObserver(EngineObserver):
 
     def on_step_end(self, engine: "Engine", result: StepResult) -> None:
         # Peaks are measured after the (step, deletion) pair completes,
-        # matching the legacy GarbageCollectedScheduler semantics.
+        # matching the legacy GarbageCollectedScheduler semantics.  The
+        # completed count comes from the maintained state mask (one
+        # bit_count), not a per-step frozenset materialization.
         graph = engine.graph
-        self.stats.peak_graph_size = max(self.stats.peak_graph_size, len(graph))
-        self.stats.peak_retained_completed = max(
-            self.stats.peak_retained_completed,
-            len(graph.completed_transactions()),
-        )
+        if len(graph) > self.stats.peak_graph_size:
+            self.stats.peak_graph_size = len(graph)
+        completed = graph.completed_count()
+        if completed > self.stats.peak_retained_completed:
+            self.stats.peak_retained_completed = completed
 
 
 # ---------------------------------------------------------------------------
@@ -450,6 +470,7 @@ class Engine:
         self._stats_observer = StatsObserver()
         self._observers: List[EngineObserver] = [self._stats_observer]
         self._observers.extend(observers)
+        self._rebuild_hooks()
         self._step_index = 0
         self._steps_since_sweep = 0
         self._sweeps_run = 0
@@ -480,22 +501,54 @@ class Engine:
     # -- observers ---------------------------------------------------------------
 
     def subscribe(self, observer: EngineObserver) -> EngineObserver:
-        """Attach *observer*; returns it (handy for inline construction)."""
+        """Attach *observer*; returns it (handy for inline construction).
+
+        Hook handlers are snapshotted per subscription: only hooks an
+        observer actually overrides (or was given as callables) are
+        dispatched, so an unobserved hook costs one empty-list test per
+        step instead of a getattr loop.  After monkey-patching an
+        already-attached observer's hooks, unsubscribe it and subscribe
+        it again (subscribing twice dispatches its hooks twice).
+        """
         self._observers.append(observer)
+        self._rebuild_hooks()
         return observer
 
     def unsubscribe(self, observer: EngineObserver) -> None:
         self._observers.remove(observer)
+        self._rebuild_hooks()
+
+    def _rebuild_hooks(self) -> None:
+        """Per-hook handler lists, skipping base-class no-op definitions."""
+        hooks: Dict[str, List[Callable]] = {name: [] for name in _HOOK_NAMES}
+        for observer in self._observers:
+            for name in _HOOK_NAMES:
+                handler = getattr(observer, name)
+                # Bound methods expose the underlying function; plain
+                # callables (CallbackObserver instance attributes) count
+                # as overrides by construction.
+                func = getattr(handler, "__func__", handler)
+                if func is not getattr(EngineObserver, name):
+                    hooks[name].append(handler)
+        self._hooks = hooks
 
     def _emit(self, hook: str, *args: Any) -> None:
-        for observer in self._observers:
-            getattr(observer, hook)(self, *args)
+        handlers = self._hooks[hook]
+        if not handlers:
+            return
+        for handler in handlers:
+            handler(self, *args)
 
     # -- the §4 loop -------------------------------------------------------------
 
     def feed(self, step: Step) -> StepResult:
         """Apply F to the current graph; sweep when the cadence is due."""
         self._bind_policy()
+        if self._dirty_tracker is not None:
+            # Asserted per step (not per bind) because restore_state can
+            # swap the graph object underneath us; an attribute check +
+            # set is nanoseconds next to the step itself.
+            self.scheduler.graph.enable_abort_impact()
         result = self.scheduler.feed(step)
         self._step_index += 1
         self._steps_since_sweep += 1
@@ -605,6 +658,21 @@ class Engine:
             self._emit("on_delete", ordered, self._step_index)
         self._emit("on_sweep", SweepReport(self._sweeps_run, self._step_index, ordered))
         return frozenset(selected)
+
+    def note_migration_in(self, txns: Iterable[TxnId]) -> None:
+        """A shard migration moved *txns* into this engine's scheduler.
+
+        Migration changes nothing semantic (the moved group's subgraph is
+        bit-identical), but any dirtiness the *source* engine was still
+        holding for these transactions must not be lost — so they are
+        conservatively marked dirty here and the completion gate opens.
+        Over-marking never changes a selection (the policy just re-tests
+        a condition that is still false).
+        """
+        self._bind_policy()
+        self._gate_open = True
+        if self._dirty_tracker is not None:
+            self._dirty_tracker.mark(txns)
 
     # -- views -------------------------------------------------------------------
 
@@ -725,3 +793,555 @@ class Engine:
         except (KeyError, TypeError) as exc:
             raise SnapshotError(f"malformed engine snapshot: {exc}") from exc
         return engine
+
+
+# ---------------------------------------------------------------------------
+# The sharded engine
+# ---------------------------------------------------------------------------
+
+
+class ShardedEngine:
+    """K independent §4 loops behind one feed API, partitioned by footprint.
+
+    Every model's arc/lock/certification rules only ever relate
+    transactions that share an entity, so the maintained graph of any run
+    is the disjoint union of its *entity-footprint groups* (connected
+    components of the transaction-touches-entity bipartite graph).  A
+    :class:`~repro.sharding.FootprintRouter` tracks those groups with a
+    union-find and pins each to one of *K* shards; every shard owns a full
+    :class:`Engine` — its own scheduler, reduced graph, bit kernel,
+    deletion policy, and :class:`~repro.core.dirty.DirtyTracker` — and
+    every step is fed to its group's shard.  Decisions, aborts, deletions,
+    and the (union) live graph are **identical** to a monolithic engine fed
+    the same stream (the lockstep property tests replay this across all
+    five schedulers); what changes is cost: each shard's mask operations,
+    sweeps, and C3 abort-set enumerations are bounded by the *shard's*
+    live size, not the system's.
+
+    Cross-group traffic is handled by **migration**: a step that touches
+    entities of two groups merges them (union-find), and when the groups
+    live on different shards the smaller group's live transactions move
+    into the larger group's shard via the kernel's snapshot/patch
+    machinery (:meth:`BitClosureGraph.extract_nodes` /
+    ``install_nodes``) — closure rows travel as relative masks, nothing is
+    re-propagated.
+
+    Routing details worth knowing:
+
+    * A plain ``Begin`` carries no footprint, so it is **deferred**: the
+      engine answers ``ACCEPTED`` immediately (a BEGIN never fails and an
+      isolated active node influences no decision and no deletion
+      condition in any model) and feeds the buffered BEGIN to the resolved
+      shard right before the transaction's first footprint-bearing step.
+      ``BeginDeclared`` routes immediately on its declared set.  Call
+      :meth:`flush_pending` (``feed_batch(flush=True)`` does) to
+      materialize transactions that never took a step.
+    * Steps of already-aborted transactions are answered ``IGNORED`` at
+      the router, exactly like a monolithic scheduler's input filter.
+    * The certifier's logical clock is re-synced to the global step
+      counter before every feed (:meth:`SchedulerBase.sync_clock`), so
+      its timestamp comparisons survive migrations.
+    * Two registry policies carry graph-*global* caps and therefore are
+      not perfectly shard-equivalent: ``optimal`` bounds its exact search
+      by the whole graph's candidate count, and ``eager-c3``'s
+      ``max_actives`` guard counts the whole graph's actives — a monolith
+      may refuse a C3 check (``DeletionError``) that a shard, seeing only
+      its group's actives, happily runs.  Selections that *do* run are
+      identical; only the guard trip points differ.  Every other
+      registered policy decomposes over groups exactly.
+
+    Per-shard sweep cadence counts the shard's own steps; with the default
+    ``sweep_interval=1`` the deletion sets are step-for-step identical to
+    the monolith's.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        *,
+        shards: int = 2,
+        observers: Iterable[EngineObserver] = (),
+        **overrides: Any,
+    ) -> None:
+        if config is None:
+            config = EngineConfig(**overrides)
+        elif overrides:
+            config = dataclasses.replace(config, **overrides)
+        if not isinstance(shards, int) or shards < 1:
+            raise EngineError(
+                f"shards must be a positive integer, got {shards!r}"
+            )
+        self.config = config
+        self.shard_count = shards
+        self._router = FootprintRouter(shards)
+        self._deleted_ids: List[TxnId] = []
+        # Id-reuse tombstones: a deleted transaction's graph-level
+        # tombstone stays on the shard that deleted it and does not
+        # migrate with its group, so the router enforces the monolith's
+        # "ids are never reused" rule itself.  (Grows with deletions,
+        # exactly like the monolithic graph's _deleted set.)
+        self._deleted_set: set[TxnId] = set()
+        self._engines: List[Engine] = [
+            Engine(config, observers=[self._make_collector()])
+            for _ in range(shards)
+        ]
+        self._aborted: set[TxnId] = set()
+        self._pending_begin: Dict[TxnId, Step] = {}
+        # One StepResult per fed step, in arrival order — the global
+        # record (each result carries its step, so no separate input log
+        # is kept; per-shard schedulers log only their own traffic).
+        self._results: List[StepResult] = []
+        self._steps_fed = 0
+        self._ticks = 0
+        # System-wide totals, maintained incrementally: per-shard
+        # contributions are refreshed only for the shard that was just
+        # fed/swept/migrated-into, so per-step cost stays bounded by that
+        # shard's size, not the system's.
+        self._shard_live = [0] * shards
+        self._shard_completed = [0] * shards
+        self._live_total = 0
+        self._completed_total = 0
+        self._peak_live_total = 0
+        self._peak_completed_total = 0
+        self._extra_observers: List[EngineObserver] = []
+        for observer in observers:
+            self.subscribe(observer)
+
+    def _make_collector(self) -> EngineObserver:
+        """The internal per-shard observer: global deletion order + router
+        live-set maintenance."""
+
+        def on_delete(_engine: Engine, deleted, _step_index: int) -> None:
+            self._deleted_ids.extend(deleted)
+            self._deleted_set.update(deleted)
+            for txn in deleted:
+                self._router.on_txn_removed(txn)
+
+        return CallbackObserver(on_delete=on_delete)
+
+    # -- observers ---------------------------------------------------------------
+
+    def subscribe(self, observer: EngineObserver) -> EngineObserver:
+        """Attach *observer* to every shard engine.
+
+        Hooks fire with the owning *shard* engine as the ``engine``
+        argument; each fed step fires on exactly one shard, so global
+        counters (steps, aborts, commits, deletions) aggregate correctly.
+        """
+        for engine in self._engines:
+            engine.subscribe(observer)
+        self._extra_observers.append(observer)
+        return observer
+
+    def unsubscribe(self, observer: EngineObserver) -> None:
+        for engine in self._engines:
+            engine.unsubscribe(observer)
+        self._extra_observers.remove(observer)
+
+    # -- the routed §4 loop -------------------------------------------------------
+
+    def feed(self, step: Step) -> StepResult:
+        """Route one step to its footprint group's shard and feed it."""
+        if step.txn in self._aborted:
+            result = StepResult(step, Decision.IGNORED)
+        else:
+            result = self._route_and_feed(step)
+        self._steps_fed += 1
+        self._results.append(result)
+        if result.aborted:
+            self._aborted.update(result.aborted)
+            for txn in result.aborted:
+                self._router.on_txn_removed(txn)
+                self._pending_begin.pop(txn, None)
+        return result
+
+    def _refresh_shard_totals(self, shard_index: int) -> None:
+        """Re-measure one shard's contribution to the system-wide totals
+        and advance the peaks — O(that shard's live size)."""
+        graph = self._engines[shard_index].graph
+        live = len(graph)
+        completed = graph.completed_count()
+        self._live_total += live - self._shard_live[shard_index]
+        self._completed_total += completed - self._shard_completed[shard_index]
+        self._shard_live[shard_index] = live
+        self._shard_completed[shard_index] = completed
+        if self._live_total > self._peak_live_total:
+            self._peak_live_total = self._live_total
+        if self._completed_total > self._peak_completed_total:
+            self._peak_completed_total = self._completed_total
+
+    def _route_and_feed(self, step: Step) -> StepResult:
+        txn = step.txn
+        if isinstance(step, (Begin, BeginDeclared)) and txn in self._deleted_set:
+            # The deleting shard's graph holds the tombstone, but the
+            # group may since have migrated elsewhere; enforce the
+            # monolith's id-reuse rule here so the error is identical.
+            raise TransactionStateError(
+                f"transaction id {txn!r} was already used and removed"
+            )
+        entities = footprint_of(step)
+        if (
+            isinstance(step, (Begin, BeginDeclared))
+            and not entities
+            and txn not in self._pending_begin
+            and not self._router.knows_txn(txn)
+        ):
+            self._pending_begin[txn] = step
+            return StepResult(step, Decision.ACCEPTED)
+        shard = self._resolve(txn, entities)
+        pending = self._pending_begin.pop(txn, None)
+        if pending is not None:
+            self._feed_shard(shard, pending)
+        return self._feed_shard(shard, step)
+
+    def _feed_shard(self, shard_index: int, step: Step) -> StepResult:
+        """One scheduler feed = one globally unique logical tick.
+
+        Every shard feed gets its own strictly increasing tick, so
+        timestamp-comparing schedulers (the certifier) never stamp two
+        events — even on different shards — with the same value; the
+        stamp order is exactly the global feed order.
+        """
+        self._ticks += 1
+        engine = self._engines[shard_index]
+        engine.scheduler.sync_clock(self._ticks)
+        result = engine.feed(step)
+        self._refresh_shard_totals(shard_index)
+        return result
+
+    def _resolve(self, txn: TxnId, entities) -> int:
+        shard, migrations = self._router.assign(txn, entities)
+        for migration in migrations:
+            self._execute_migration(migration)
+        return shard
+
+    def _execute_migration(self, migration: Migration) -> None:
+        source = self._engines[migration.source]
+        target = self._engines[migration.target]
+        migrate_group(source.scheduler, target.scheduler, migration)
+        moved_completed = [
+            txn
+            for txn in migration.txns
+            if txn in target.graph and target.graph.is_completed(txn)
+        ]
+        target.note_migration_in(moved_completed)
+        self._refresh_shard_totals(migration.source)
+        self._refresh_shard_totals(migration.target)
+
+    def flush_pending(self) -> int:
+        """Materialize deferred BEGINs that never took a footprint step.
+
+        Behaviorally invisible (an isolated active node affects nothing),
+        but it makes the union of shard graphs node-identical to a
+        monolithic run's graph.  Returns how many were flushed.
+        """
+        flushed = 0
+        for txn in sorted(self._pending_begin):
+            step = self._pending_begin.pop(txn)
+            shard = self._resolve(txn, frozenset())
+            self._feed_shard(shard, step)
+            flushed += 1
+        return flushed
+
+    def feed_many(self, steps: Iterable[Step]) -> List[StepResult]:
+        return [self.feed(step) for step in steps]
+
+    def feed_batch(
+        self, steps: Iterable[Step], *, flush: bool = False
+    ) -> BatchResult:
+        """Feed a whole iterable lazily; aggregate across shards.
+
+        ``flush=True`` additionally materializes pending BEGINs and runs a
+        final sweep on every shard with steps since its last sweep.
+        """
+        results: List[StepResult] = []
+        counts = {decision: 0 for decision in Decision}
+        aborted: List[TxnId] = []
+        committed: List[TxnId] = []
+        deleted_start = len(self._deleted_ids)
+        sweeps_start = sum(engine.sweeps_run for engine in self._engines)
+        for step in steps:
+            result = self.feed(step)
+            results.append(result)
+            counts[result.decision] += 1
+            aborted.extend(result.aborted)
+            committed.extend(result.committed)
+        if flush:
+            self.flush_pending()
+            for index, engine in enumerate(self._engines):
+                if engine.steps_since_sweep:
+                    engine.sweep()
+                    self._refresh_shard_totals(index)
+        return BatchResult(
+            steps_fed=len(results),
+            accepted=counts[Decision.ACCEPTED],
+            rejected=counts[Decision.REJECTED],
+            delayed=counts[Decision.DELAYED],
+            ignored=counts[Decision.IGNORED],
+            aborted=tuple(aborted),
+            committed=tuple(committed),
+            deleted=tuple(self._deleted_ids[deleted_start:]),
+            sweeps=sum(e.sweeps_run for e in self._engines) - sweeps_start,
+            results=tuple(results),
+        )
+
+    def sweep(self) -> FrozenSet[TxnId]:
+        """Invoke every shard's policy now; union of the selections."""
+        selected: set[TxnId] = set()
+        for index, engine in enumerate(self._engines):
+            selected |= engine.sweep()
+            self._refresh_shard_totals(index)
+        return frozenset(selected)
+
+    # -- views -------------------------------------------------------------------
+
+    @property
+    def shards(self) -> Tuple[Engine, ...]:
+        return tuple(self._engines)
+
+    @property
+    def router(self) -> FootprintRouter:
+        return self._router
+
+    @property
+    def stats(self) -> GcStats:
+        """Merged statistics: global counters plus per-shard sums.
+
+        ``peak_graph_size`` / ``peak_retained_completed`` are peaks of the
+        system-wide totals (refreshed after every shard feed); per-shard
+        peaks live on ``engine.shards[i].stats``.  Because footprint-less
+        BEGINs are deferred, idle not-yet-materialized transactions are
+        not counted — a monolithic engine's peak can exceed the sharded
+        one by the number of concurrently pending BEGINs.
+        """
+        merged = GcStats(
+            steps_fed=self._steps_fed,
+            deletions=len(self._deleted_ids),
+            peak_graph_size=self._peak_live_total,
+            peak_retained_completed=self._peak_completed_total,
+            deleted_ids=list(self._deleted_ids),
+        )
+        for engine in self._engines:
+            merged.policy_invocations += engine.stats.policy_invocations
+        return merged
+
+    @property
+    def policy(self) -> DeletionPolicy:
+        return self._engines[0].policy
+
+    @property
+    def scheduler(self) -> SchedulerBase:
+        """Shard 0's scheduler (for type/name introspection only)."""
+        return self._engines[0].scheduler
+
+    @property
+    def aborted(self) -> FrozenSet[TxnId]:
+        return frozenset(self._aborted)
+
+    @property
+    def step_index(self) -> int:
+        return self._steps_fed
+
+    @property
+    def sweeps_run(self) -> int:
+        return sum(engine.sweeps_run for engine in self._engines)
+
+    @property
+    def sweeps_skipped(self) -> int:
+        return sum(engine.sweeps_skipped for engine in self._engines)
+
+    @property
+    def migrations(self) -> int:
+        return self._router.migrations
+
+    @property
+    def pending_begins(self) -> Tuple[TxnId, ...]:
+        return tuple(sorted(self._pending_begin))
+
+    def graphs(self):
+        """The per-shard reduced graphs, shard order."""
+        return [engine.graph for engine in self._engines]
+
+    def live_transactions(self) -> FrozenSet[TxnId]:
+        """Union of the shard graphs' nodes (pending BEGINs excluded)."""
+        live: set[TxnId] = set()
+        for engine in self._engines:
+            live |= engine.graph.nodes()
+        return frozenset(live)
+
+    def shard_of(self, txn: TxnId) -> Optional[int]:
+        return self._router.shard_of_txn(txn)
+
+    def accepted_subschedule(self) -> Schedule:
+        """The global accepted subschedule, reconstructed from the per-step
+        results (per-shard logs only see their own traffic)."""
+        from repro.scheduler.certifier import Certifier
+
+        if isinstance(self._engines[0].scheduler, Certifier):
+            committed: set[TxnId] = set()
+            for engine in self._engines:
+                committed |= engine.graph.committed_transactions()
+            return Schedule(
+                tuple(result.step for result in self._results)
+            ).projection(committed)
+        delaying = hasattr(self._engines[0].scheduler, "waiting_transactions")
+        executed: List[Step] = []
+        for result in self._results:
+            if result.decision is Decision.ACCEPTED and not (
+                delaying and isinstance(result.step, (Begin, BeginDeclared))
+            ):
+                executed.append(result.step)
+            executed.extend(result.released)
+        return Schedule(tuple(executed)).accepted_subschedule(self._aborted)
+
+    def shard_report(self) -> List[Dict[str, object]]:
+        """Per-shard load/health rows (benchmarks and the CLI table)."""
+        rows = []
+        for index, engine in enumerate(self._engines):
+            stats = engine.stats
+            rows.append(
+                {
+                    "shard": index,
+                    "steps_fed": stats.steps_fed,
+                    "live": len(engine.graph),
+                    "peak_graph": stats.peak_graph_size,
+                    "deletions": stats.deletions,
+                    "sweeps_run": engine.sweeps_run,
+                    "sweeps_skipped": engine.sweeps_skipped,
+                    "closure_bytes": engine.graph.kernel.memory_bytes(),
+                    "id_capacity": engine.graph.kernel.interner.capacity,
+                }
+            )
+        return rows
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedEngine(shards={self.shard_count}, "
+            f"policy={self.policy.name!r}, steps={self._steps_fed}, "
+            f"deletions={len(self._deleted_ids)}, "
+            f"migrations={self._router.migrations})"
+        )
+
+    # -- checkpoint / restore ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready checkpoint of the whole sharded loop.
+
+        Format-versioned and bit-exact: every shard's engine snapshot
+        (kernel layout included), the router's union-find forest and
+        shard assignments as they stand, deferred BEGINs, the global
+        per-step result log (one result per fed step; each result carries
+        its step, so no separate global input log exists — though each
+        shard's own scheduler log still records the traffic it processed,
+        as any scheduler does), and the merged counters.  Restore followed
+        by re-snapshot yields an identical payload.
+        """
+        from repro.io import step_result_to_dict, step_to_dict
+
+        return {
+            "format": SHARDED_SNAPSHOT_FORMAT,
+            "kind": SHARDED_SNAPSHOT_KIND,
+            "config": self.config.as_dict(),
+            "shard_count": self.shard_count,
+            "shards": [engine.snapshot() for engine in self._engines],
+            "router": self._router.state_dict(),
+            "pending": [
+                step_to_dict(self._pending_begin[txn])
+                for txn in sorted(self._pending_begin)
+            ],
+            "aborted": sorted(self._aborted),
+            "deleted_ids": list(self._deleted_ids),
+            "engine": {
+                "steps_fed": self._steps_fed,
+                "ticks": self._ticks,
+                "peak_live_total": self._peak_live_total,
+                "peak_completed_total": self._peak_completed_total,
+            },
+            "results": [step_result_to_dict(r) for r in self._results],
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: Dict[str, Any],
+        *,
+        observers: Iterable[EngineObserver] = (),
+    ) -> "ShardedEngine":
+        """Rebuild a live sharded engine from a :meth:`snapshot` payload."""
+        from repro.io import step_from_dict, step_result_from_dict
+
+        if not isinstance(snapshot, dict):
+            raise SnapshotError(
+                "sharded snapshot must be a dict, got "
+                f"{type(snapshot).__name__}"
+            )
+        if (
+            snapshot.get("format") != SHARDED_SNAPSHOT_FORMAT
+            or snapshot.get("kind") != SHARDED_SNAPSHOT_KIND
+        ):
+            raise SnapshotError(
+                f"unsupported sharded snapshot stamp "
+                f"(format={snapshot.get('format')!r}, "
+                f"kind={snapshot.get('kind')!r})"
+            )
+        try:
+            engine = cls.__new__(cls)
+            engine.config = EngineConfig(**snapshot["config"])
+            engine.shard_count = int(snapshot["shard_count"])
+            engine._router = FootprintRouter.from_state(snapshot["router"])
+            engine._deleted_ids = list(snapshot.get("deleted_ids", ()))
+            engine._deleted_set = set(engine._deleted_ids)
+            engine._aborted = set(snapshot.get("aborted", ()))
+            engine._pending_begin = {}
+            for item in snapshot.get("pending", ()):
+                step = step_from_dict(item)
+                engine._pending_begin[step.txn] = step
+            engine._engines = [
+                Engine.restore(shard, observers=[engine._make_collector()])
+                for shard in snapshot["shards"]
+            ]
+            if len(engine._engines) != engine.shard_count:
+                raise SnapshotError(
+                    "sharded snapshot shard_count disagrees with the "
+                    "serialized shard list"
+                )
+            counters = snapshot["engine"]
+            engine._steps_fed = int(counters["steps_fed"])
+            engine._ticks = int(counters["ticks"])
+            engine._shard_live = [len(e.graph) for e in engine._engines]
+            engine._shard_completed = [
+                e.graph.completed_count() for e in engine._engines
+            ]
+            engine._live_total = sum(engine._shard_live)
+            engine._completed_total = sum(engine._shard_completed)
+            engine._peak_live_total = int(counters["peak_live_total"])
+            engine._peak_completed_total = int(
+                counters["peak_completed_total"]
+            )
+            engine._results = [
+                step_result_from_dict(d) for d in snapshot["results"]
+            ]
+            engine._extra_observers = []
+        except (KeyError, TypeError) as exc:
+            raise SnapshotError(
+                f"malformed sharded snapshot: {exc}"
+            ) from exc
+        for observer in observers:
+            engine.subscribe(observer)
+        return engine
+
+
+def build_engine(
+    config: Optional[EngineConfig] = None,
+    *,
+    shards: int = 1,
+    observers: Iterable[EngineObserver] = (),
+    **overrides: Any,
+):
+    """``shards == 1`` builds a plain :class:`Engine`, else a
+    :class:`ShardedEngine` — the CLI's ``--shards`` entry point."""
+    if shards == 1:
+        return Engine(config, observers=observers, **overrides)
+    return ShardedEngine(
+        config, shards=shards, observers=observers, **overrides
+    )

@@ -646,6 +646,103 @@ class BitClosureGraph:
         """Reachable-from set of id *index* as a mask (frontier-as-mask BFS)."""
         return reachable_mask(self._succ.__getitem__, index)
 
+    # -- group extraction / installation (shard migration) -------------------
+
+    def extract_nodes(self, order: List[Node]) -> Dict[str, Any]:
+        """Remove a reachability-closed node group; return its rows.
+
+        *order* must be closed under reachability in both directions (no
+        arc crosses the group boundary) — exactly the property an entity-
+        footprint group has, since arcs only ever connect transactions
+        sharing an entity.  The returned payload carries the successor and
+        closure rows as masks **relative to the list order**, so
+        :meth:`install_nodes` on another kernel re-installs them by pure
+        bit translation — the snapshot/patch half-pair of shard migration;
+        nothing is re-propagated through :meth:`add_arc`.
+
+        Removal of a closed group is cheap: no other node's row can
+        reference the group, so the group's slots are simply zeroed and
+        released.
+        """
+        if len(set(order)) != len(order):
+            raise GraphError("extract_nodes: duplicate nodes in the group")
+        ids = [self._interner.id_of(node) for node in order]
+        rel_of = {index: position for position, index in enumerate(ids)}
+        group_mask = 0
+        for index in ids:
+            group_mask |= 1 << index
+        outside = ~group_mask
+
+        def translate(mask: int) -> int:
+            out = 0
+            for index in iter_bits(mask):
+                out |= 1 << rel_of[index]
+            return out
+
+        succ_rows: List[int] = []
+        desc_rows: List[int] = []
+        moved_arcs = 0
+        for index in ids:
+            if (
+                self._succ[index]
+                | self._pred[index]
+                | self._desc[index]
+                | self._anc[index]
+            ) & outside:
+                raise GraphError(
+                    f"extract_nodes: arcs of {self.node_of(index)!r} cross "
+                    "the group boundary"
+                )
+            succ_rows.append(translate(self._succ[index]))
+            desc_rows.append(translate(self._desc[index]))
+            moved_arcs += self._succ[index].bit_count()
+        for node, index in zip(order, ids):
+            self._interner.release(node)
+            self._succ[index] = self._pred[index] = 0
+            self._desc[index] = self._anc[index] = 0
+        self._live &= outside
+        self._arc_count -= moved_arcs
+        self._mutations += 1
+        return {"nodes": list(order), "succ": succ_rows, "desc": desc_rows}
+
+    def install_nodes(self, payload: Dict[str, Any]) -> None:
+        """Patch half of shard migration: intern the extracted nodes here
+        and install their closure rows directly (plus the transposed
+        predecessor/ancestor columns) — no arc-by-arc re-propagation."""
+        nodes = payload["nodes"]
+        for node in nodes:
+            if node in self._interner:
+                raise GraphError(
+                    f"install_nodes: node {node!r} is already present"
+                )
+        new_ids: List[int] = []
+        for node in nodes:
+            self.add_node(node)
+            new_ids.append(self._interner.id_of(node))
+
+        def translate(rel: int) -> int:
+            out = 0
+            for position in iter_bits(rel):
+                out |= 1 << new_ids[position]
+            return out
+
+        succ, pred = self._succ, self._pred
+        desc, anc = self._desc, self._anc
+        added_arcs = 0
+        for position, index in enumerate(new_ids):
+            succ_row = translate(payload["succ"][position])
+            desc_row = translate(payload["desc"][position])
+            succ[index] = succ_row
+            desc[index] = desc_row
+            added_arcs += succ_row.bit_count()
+            bit = 1 << index
+            for head in iter_bits(succ_row):
+                pred[head] |= bit
+            for target in iter_bits(desc_row):
+                anc[target] |= bit
+        self._arc_count += added_arcs
+        self._mutations += 1
+
     # -- whole-kernel helpers ------------------------------------------------
 
     def copy(self) -> "BitClosureGraph":

@@ -49,6 +49,9 @@ __all__ = [
     "currency_from_dict",
     "schedule_to_list",
     "schedule_from_list",
+    "engine_snapshot_to_json",
+    "engine_snapshot_from_json",
+    "restore_engine",
 ]
 
 _FORMAT_VERSION = 2
@@ -264,6 +267,38 @@ def step_result_from_dict(item: Dict[str, Any]):
         released=tuple(step_from_dict(s) for s in item.get("released", ())),
         blocked_on=tuple(item.get("blocked_on", ())),
     )
+
+
+def engine_snapshot_to_json(payload: Dict[str, Any], indent: int = 2) -> str:
+    """Stable JSON text for an engine or sharded-engine snapshot.
+
+    Key-sorted so that bit-exact snapshots are byte-identical texts — the
+    property the checkpoint round-trip tests diff on.
+    """
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def engine_snapshot_from_json(text: str) -> Dict[str, Any]:
+    payload = json.loads(text)
+    if not isinstance(payload, dict):
+        raise ModelError("engine snapshot JSON must decode to an object")
+    return payload
+
+
+def restore_engine(payload: Dict[str, Any]):
+    """Rebuild a live engine from any snapshot payload.
+
+    Dispatches on the payload's format stamp: sharded-engine snapshots
+    (``kind == "sharded-engine"``) rebuild a
+    :class:`~repro.engine.ShardedEngine`, anything else goes through
+    :class:`~repro.engine.Engine.restore` (which validates its own format
+    version).
+    """
+    from repro.engine import SHARDED_SNAPSHOT_KIND, Engine, ShardedEngine
+
+    if isinstance(payload, dict) and payload.get("kind") == SHARDED_SNAPSHOT_KIND:
+        return ShardedEngine.restore(payload)
+    return Engine.restore(payload)
 
 
 def currency_to_dict(tracker) -> Dict[str, Any]:

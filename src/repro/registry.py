@@ -44,6 +44,7 @@ __all__ = [
     "create_policy",
     "scheduler_names",
     "policy_names",
+    "scheduler_model",
     "scheduler_name_of",
     "policy_name_of",
     "compatible_policies",
@@ -192,6 +193,16 @@ def scheduler_names() -> Tuple[str, ...]:
 
 def policy_names() -> Tuple[str, ...]:
     return policies.names()
+
+
+def scheduler_model(name: str) -> str:
+    """The transaction model a registered scheduler implements.
+
+    The CLI uses it to pick the matching workload stream; the sharded
+    engine's docs use it to state which policies decompose over footprint
+    groups.  Accepts aliases.
+    """
+    return schedulers.get(name).model
 
 
 def scheduler_name_of(scheduler: Any) -> str:

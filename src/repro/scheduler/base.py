@@ -32,6 +32,7 @@ from repro.io import (
     step_result_to_dict,
     step_to_dict,
 )
+from repro.model.entities import Entity
 from repro.model.schedule import Schedule
 from repro.model.steps import Step, TxnId
 from repro.scheduler.events import Decision, StepResult
@@ -181,6 +182,63 @@ class SchedulerBase(ABC):
             raise SnapshotError(
                 f"{type(self).__name__} cannot restore extra state "
                 f"{sorted(extra)}; snapshot was taken by a different variant?"
+            )
+
+    # -- shard migration ----------------------------------------------------------
+
+    def sync_clock(self, tick: int) -> None:
+        """Advance any internal logical clock to at least *tick*.
+
+        A sharded engine calls this with its global step counter before
+        every feed, so schedulers whose decisions compare event
+        timestamps (the certifier) stay order-consistent with a
+        monolithic run even when groups migrate between shards.  The base
+        scheduler keeps no clock; this is a no-op.
+        """
+
+    def extract_group(
+        self, txns: Iterable[TxnId], entities: Iterable[Entity]
+    ) -> Dict[str, Any]:
+        """Remove one footprint group's state and return it for absorption.
+
+        The counterpart of :meth:`absorb_group`; together they implement
+        shard migration (see :mod:`repro.sharding`).  Moves the group's
+        graph nodes (closure rows via the bit kernel's snapshot/patch
+        pair), the currency rows of the group's entities, and whatever
+        variant-specific state :meth:`_extract_extra_group` contributes
+        (parked step queues, lock-table rows, certification times, ...).
+        The input/result logs stay behind: they are arrival history of
+        *this* scheduler, consulted only by views, never by decisions.
+
+        The returned payload holds **live objects** — it is an in-process
+        handoff, not a serialization format (snapshots are).
+        """
+        txn_set = set(txns)
+        entity_set = set(entities)
+        return {
+            "graph": self.graph.extract_subgraph(txn_set),
+            "currency": self.currency.extract(entity_set),
+            "extra": self._extract_extra_group(txn_set, entity_set),
+        }
+
+    def absorb_group(self, payload: Dict[str, Any]) -> None:
+        """Install a group extracted from another scheduler of this type."""
+        self.graph.install_subgraph(payload["graph"])
+        self.currency.absorb(payload["currency"])
+        self._absorb_extra_group(payload["extra"])
+
+    def _extract_extra_group(
+        self, txns: set, entities: set
+    ) -> Dict[str, Any]:
+        """Variant-specific migration state; override in pairs with
+        :meth:`_absorb_extra_group`."""
+        return {}
+
+    def _absorb_extra_group(self, extra: Dict[str, Any]) -> None:
+        if extra:
+            raise SchedulerError(
+                f"{type(self).__name__} cannot absorb extra group state "
+                f"{sorted(extra)}; was it extracted by a different variant?"
             )
 
     # -- shared helpers for subclasses -------------------------------------------

@@ -222,6 +222,38 @@ class Certifier(SchedulerBase):
     def running_transactions(self) -> frozenset:
         return frozenset(self._running)
 
+    # -- shard migration ------------------------------------------------------------
+
+    def sync_clock(self, tick: int) -> None:
+        """Keep certification timestamps order-consistent across shards.
+
+        All comparisons (`read time` vs `cert time`) happen between
+        transactions sharing an entity — i.e. within one footprint group —
+        so any clock that is monotone in the *global* arrival order makes
+        a sharded run decide exactly like a monolithic one, even after a
+        group migrates between shards with different local step counts.
+        """
+        if tick > self._clock:
+            self._clock = tick
+
+    def _extract_extra_group(self, txns, entities):
+        return {
+            "running": {
+                txn: self._running.pop(txn)
+                for txn in sorted(txns)
+                if txn in self._running
+            },
+            "cert_time": {
+                txn: self._cert_time.pop(txn)
+                for txn in sorted(txns)
+                if txn in self._cert_time
+            },
+        }
+
+    def _absorb_extra_group(self, extra):
+        self._running.update(extra["running"])
+        self._cert_time.update(extra["cert_time"])
+
     # -- checkpointing ------------------------------------------------------------
 
     def _snapshot_extra(self):

@@ -93,9 +93,11 @@ class ConflictGraphScheduler(SchedulerBase):
         return StepResult(step, Decision.ACCEPTED, arcs_added=tuple(arcs))
 
     def _read_arcs(self, txn: TxnId, entity: str) -> List[Tuple[TxnId, TxnId]]:
+        # Sorted so the reported arc order is independent of interner id
+        # layout (a sharded shard's ids differ from a monolith's).
         return [
             (writer, txn)
-            for writer in self.graph.writers_of(entity)
+            for writer in sorted(self.graph.writers_of(entity))
             if writer != txn and not self.graph.has_arc(writer, txn)
         ]
 
@@ -125,7 +127,7 @@ class ConflictGraphScheduler(SchedulerBase):
         arcs: List[Tuple[TxnId, TxnId]] = []
         seen: set[TxnId] = set()
         for entity in sorted(entities):
-            for other in self.graph.accessors_of(entity, AccessMode.READ):
+            for other in sorted(self.graph.accessors_of(entity, AccessMode.READ)):
                 if other != txn and other not in seen:
                     seen.add(other)
                     if not self.graph.has_arc(other, txn):

@@ -135,6 +135,51 @@ class StrictTwoPhaseLocking(SchedulerBase):
     def locks_held(self, txn: TxnId) -> Set[Entity]:
         return self._locks.held_by(txn)
 
+    # -- shard migration ------------------------------------------------------------
+
+    def _extract_extra_group(self, txns, entities):
+        # The whole variant state is entity- or transaction-keyed: lock
+        # rows follow the entities; queues, activity, and waits-for edges
+        # follow the transactions.  Waits-for edges never cross a
+        # footprint group (a blocker holds a lock on a shared entity), so
+        # deadlock detection stays complete after the move.
+        shared = {
+            entity: self._locks.shared.pop(entity)
+            for entity in sorted(entities)
+            if entity in self._locks.shared
+        }
+        exclusive = {
+            entity: self._locks.exclusive.pop(entity)
+            for entity in sorted(entities)
+            if entity in self._locks.exclusive
+        }
+        pending = {
+            txn: self._pending.pop(txn)
+            for txn in sorted(txns)
+            if txn in self._pending
+        }
+        active = sorted(self._active & set(txns))
+        self._active -= set(active)
+        waits_for = {
+            txn: self._waits_for.pop(txn)
+            for txn in sorted(txns)
+            if txn in self._waits_for
+        }
+        return {
+            "shared": shared,
+            "exclusive": exclusive,
+            "pending": pending,
+            "active": active,
+            "waits_for": waits_for,
+        }
+
+    def _absorb_extra_group(self, extra):
+        self._locks.shared.update(extra["shared"])
+        self._locks.exclusive.update(extra["exclusive"])
+        self._pending.update(extra["pending"])
+        self._active.update(extra["active"])
+        self._waits_for.update(extra["waits_for"])
+
     # -- checkpointing ------------------------------------------------------------
 
     def _snapshot_extra(self):

@@ -125,9 +125,11 @@ class MultiwriteScheduler(SchedulerBase):
 
     def _on_read(self, step: Read) -> StepResult:
         self._require_known_active(step.txn)
+        # Sorted so the reported arc order is independent of interner id
+        # layout (a sharded shard's ids differ from a monolith's).
         arcs = [
             (writer, step.txn)
-            for writer in self.graph.writers_of(step.entity)
+            for writer in sorted(self.graph.writers_of(step.entity))
             if writer != step.txn and not self.graph.has_arc(writer, step.txn)
         ]
         if self.graph.would_arcs_close_cycle(arcs):
@@ -152,7 +154,9 @@ class MultiwriteScheduler(SchedulerBase):
         self._require_known_active(step.txn)
         arcs = [
             (other, step.txn)
-            for other in self.graph.accessors_of(step.entity, AccessMode.READ)
+            for other in sorted(
+                self.graph.accessors_of(step.entity, AccessMode.READ)
+            )
             if other != step.txn and not self.graph.has_arc(other, step.txn)
         ]
         if self.graph.would_arcs_close_cycle(arcs):
@@ -169,6 +173,23 @@ class MultiwriteScheduler(SchedulerBase):
         self.graph.set_state(step.txn, TxnState.FINISHED)
         committed = self._commit_ready()
         return StepResult(step, Decision.ACCEPTED, committed=tuple(committed))
+
+    # -- shard migration ------------------------------------------------------------
+
+    def _extract_extra_group(self, txns, entities):
+        # Dirty-read dependencies (TxnInfo.reads_from) travel inside the
+        # graph payload; the only loose per-entity state is the
+        # last-writer mark each entity's next dirty read consults.
+        return {
+            "last_writer": {
+                entity: self._last_writer.pop(entity)
+                for entity in sorted(entities)
+                if entity in self._last_writer
+            }
+        }
+
+    def _absorb_extra_group(self, extra):
+        self._last_writer.update(extra["last_writer"])
 
     # -- checkpointing ------------------------------------------------------------
 

@@ -93,6 +93,25 @@ class PredeclaredScheduler(SchedulerBase):
 
         return Schedule(tuple(self._executed))
 
+    # -- shard migration ------------------------------------------------------------
+
+    def _extract_extra_group(self, txns, entities):
+        # Parked steps must follow their transaction: they are retried
+        # after every executed step of the *shard that owns the group*,
+        # and their blockers (declared future conflictors) are group-local
+        # by construction.  Declared futures themselves live in the graph
+        # payload (TxnInfo.future) and travel with it.
+        return {
+            "pending": {
+                txn: self._pending.pop(txn)
+                for txn in sorted(txns)
+                if txn in self._pending
+            }
+        }
+
+    def _absorb_extra_group(self, extra):
+        self._pending.update(extra["pending"])
+
     # -- checkpointing ------------------------------------------------------------
 
     def _snapshot_extra(self):

@@ -63,6 +63,27 @@ class CurrencyTracker:
         for readers in self.readers_since_write.values():
             readers.discard(txn)
 
+    def extract(self, entities) -> "CurrencyTracker":
+        """Remove and return the tracking rows of *entities*.
+
+        Shard migration: currency is per-entity state, so a footprint
+        group's rows move with the group — the part tracker feeds
+        :meth:`absorb` on the target shard's tracker.
+        """
+        part = CurrencyTracker()
+        for entity in entities:
+            if entity in self.last_writer:
+                part.last_writer[entity] = self.last_writer.pop(entity)
+            readers = self.readers_since_write.pop(entity, None)
+            if readers is not None:
+                part.readers_since_write[entity] = readers
+        return part
+
+    def absorb(self, part: "CurrencyTracker") -> None:
+        """Merge rows produced by :meth:`extract` (disjoint entity sets)."""
+        self.last_writer.update(part.last_writer)
+        self.readers_since_write.update(part.readers_since_write)
+
     def current_transactions(self) -> FrozenSet[TxnId]:
         current: Set[TxnId] = set(self.last_writer.values())
         for readers in self.readers_since_write.values():

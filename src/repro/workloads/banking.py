@@ -30,6 +30,14 @@ class BankingConfig:
     ``audit_every`` inserts one full-scan audit after that many update
     transactions (0 disables audits); ``audit_span`` is how many accounts
     an audit reads.
+
+    **Partition skew** (the sharding benchmarks' knob): ``partitions > 1``
+    splits the accounts into that many disjoint branches; updates and
+    audits stay inside their home branch (round-robin by index) except
+    that, with probability ``cross_fraction``, a transfer's destination is
+    drawn from a *foreign* branch — an inter-branch transfer that forces
+    footprint groups to merge.  ``partitions=1`` reproduces the pre-knob
+    streams byte-identically.
     """
 
     n_accounts: int = 16
@@ -40,14 +48,31 @@ class BankingConfig:
     zipf_s: float = 0.8
     multiprogramming: int = 5
     seed: int = 0
+    partitions: int = 1
+    cross_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_accounts < 2:
             raise WorkloadError("need at least two accounts to transfer")
         if not (0 <= self.deposit_fraction <= 1):
             raise WorkloadError("deposit_fraction must lie in [0, 1]")
-        if self.audit_span > self.n_accounts:
-            raise WorkloadError("audit_span exceeds the number of accounts")
+        if self.partitions < 1:
+            raise WorkloadError("partitions must be >= 1")
+        if not (0 <= self.cross_fraction <= 1):
+            raise WorkloadError("cross_fraction must lie in [0, 1]")
+        per_partition = self.n_accounts // self.partitions
+        if per_partition < 2:
+            raise WorkloadError(
+                "each partition needs at least two accounts to transfer"
+            )
+        if self.audit_span > per_partition:
+            raise WorkloadError(
+                "audit_span exceeds the number of accounts per partition"
+            )
+
+    @property
+    def accounts_per_partition(self) -> int:
+        return self.n_accounts // self.partitions
 
 
 def _account(rank: int) -> str:
@@ -57,18 +82,42 @@ def _account(rank: int) -> str:
 def banking_specs(config: BankingConfig) -> List[TransactionSpec]:
     """Transfers/deposits (read-then-write) plus periodic audit scans."""
     rng = random.Random(config.seed)
-    sampler = ZipfSampler(config.n_accounts, config.zipf_s, seed=config.seed + 1)
+    per = config.accounts_per_partition
+    if config.partitions == 1:
+        samplers = [
+            ZipfSampler(config.n_accounts, config.zipf_s, seed=config.seed + 1)
+        ]
+    else:
+        samplers = [
+            ZipfSampler(per, config.zipf_s, seed=config.seed + 1 + p)
+            for p in range(config.partitions)
+        ]
     specs: List[TransactionSpec] = []
     audits = 0
     for index in range(config.n_transfers):
         name = f"U{index + 1}"
+        home = index % config.partitions
+        base = home * per
+        sampler = samplers[home]
         if rng.random() < config.deposit_fraction:
-            account = _account(sampler.sample())
+            account = _account(base + sampler.sample())
             specs.append(
                 TransactionSpec(name, (account,), frozenset({account}))
             )
         else:
-            src, dst = (_account(rank) for rank in sampler.sample_distinct(2))
+            src, dst = (
+                _account(base + rank) for rank in sampler.sample_distinct(2)
+            )
+            if (
+                config.partitions > 1
+                and config.cross_fraction
+                and rng.random() < config.cross_fraction
+            ):
+                # Inter-branch transfer: destination from a foreign branch.
+                foreign = (home + 1 + rng.randrange(config.partitions - 1)) % (
+                    config.partitions
+                )
+                dst = _account(foreign * per + samplers[foreign].sample())
             specs.append(
                 TransactionSpec(name, (src, dst), frozenset({src, dst}))
             )
@@ -78,7 +127,7 @@ def banking_specs(config: BankingConfig) -> List[TransactionSpec]:
             specs.append(
                 TransactionSpec(
                     f"AUDIT{audits}",
-                    tuple(_account(rank) for rank in span),
+                    tuple(_account(base + rank) for rank in span),
                     frozenset(),
                 )
             )

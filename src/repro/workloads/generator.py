@@ -41,6 +41,15 @@ class WorkloadConfig:
     ``multiprogramming`` caps how many transactions are in flight at once
     in the interleaved stream — the paper's parameter ``a`` in the ``a·e``
     bound.
+
+    **Partition skew** (the sharding benchmarks' knob): ``partitions > 1``
+    splits the entity space into that many disjoint namespaces
+    (``p<k>e<rank>``); each transaction draws its accesses from its home
+    partition (round-robin by index), and with probability
+    ``cross_fraction`` it additionally touches one entity of a *foreign*
+    partition — the traffic that forces footprint groups to merge across
+    shards.  ``partitions=1`` (the default) is byte-identical to the
+    pre-knob generator for every seed.
     """
 
     n_transactions: int = 20
@@ -51,6 +60,8 @@ class WorkloadConfig:
     zipf_s: float = 0.0
     multiprogramming: int = 4
     seed: int = 0
+    partitions: int = 1
+    cross_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_transactions <= 0 or self.n_entities <= 0:
@@ -66,19 +77,56 @@ class WorkloadConfig:
             )
         if self.multiprogramming < 1:
             raise WorkloadError("multiprogramming must be >= 1")
+        if self.partitions < 1:
+            raise WorkloadError("partitions must be >= 1")
+        if not (0 <= self.cross_fraction <= 1):
+            raise WorkloadError("cross_fraction must lie in [0, 1]")
+        if self.partitions > 1:
+            per_partition = self.n_entities // self.partitions
+            if per_partition < self.max_accesses:
+                raise WorkloadError(
+                    f"{self.n_entities} entities over {self.partitions} "
+                    f"partitions leaves {per_partition} per partition, "
+                    f"fewer than max_accesses={self.max_accesses}"
+                )
+
+    @property
+    def entities_per_partition(self) -> int:
+        return self.n_entities // self.partitions
 
 
-def _entity_name(rank: int) -> str:
-    return f"e{rank}"
+def _entity_name(config: WorkloadConfig, partition: int, rank: int) -> str:
+    if config.partitions == 1:
+        return f"e{rank}"
+    return f"p{partition}e{rank}"
+
+
+def _samplers(config: WorkloadConfig) -> List[ZipfSampler]:
+    """One entity sampler per partition (exactly the legacy sampler when
+    ``partitions == 1``, so old seeds reproduce byte-identically)."""
+    if config.partitions == 1:
+        return [
+            ZipfSampler(config.n_entities, config.zipf_s, seed=config.seed + 1)
+        ]
+    return [
+        ZipfSampler(
+            config.entities_per_partition,
+            config.zipf_s,
+            seed=config.seed + 1 + partition,
+        )
+        for partition in range(config.partitions)
+    ]
 
 
 def _draw_accesses(
     config: WorkloadConfig,
     rng: random.Random,
-    sampler: ZipfSampler,
+    samplers: List[ZipfSampler],
+    index: int,
 ) -> List[Tuple[AccessMode, str]]:
+    home = index % config.partitions
     count = rng.randint(config.min_accesses, config.max_accesses)
-    ranks = sampler.sample_distinct(count)
+    ranks = samplers[home].sample_distinct(count)
     accesses: List[Tuple[AccessMode, str]] = []
     for rank in ranks:
         mode = (
@@ -86,7 +134,24 @@ def _draw_accesses(
             if rng.random() < config.write_fraction
             else AccessMode.READ
         )
-        accesses.append((mode, _entity_name(rank)))
+        accesses.append((mode, _entity_name(config, home, rank)))
+    if (
+        config.partitions > 1
+        and config.cross_fraction
+        and rng.random() < config.cross_fraction
+    ):
+        # One foreign-partition access: the cross-shard traffic knob.
+        foreign = (home + 1 + rng.randrange(config.partitions - 1)) % (
+            config.partitions
+        )
+        mode = (
+            AccessMode.WRITE
+            if rng.random() < config.write_fraction
+            else AccessMode.READ
+        )
+        accesses.append(
+            (mode, _entity_name(config, foreign, samplers[foreign].sample()))
+        )
     rng.shuffle(accesses)
     return accesses
 
@@ -95,10 +160,10 @@ def basic_specs(config: WorkloadConfig) -> List[TransactionSpec]:
     """Basic-model specs: the drawn writes all land in the final atomic
     write; the reads come first (the model's required shape)."""
     rng = random.Random(config.seed)
-    sampler = ZipfSampler(config.n_entities, config.zipf_s, seed=config.seed + 1)
+    samplers = _samplers(config)
     specs: List[TransactionSpec] = []
     for index in range(config.n_transactions):
-        accesses = _draw_accesses(config, rng, sampler)
+        accesses = _draw_accesses(config, rng, samplers, index)
         reads = tuple(e for mode, e in accesses if not mode.is_write)
         writes = frozenset(e for mode, e in accesses if mode.is_write)
         specs.append(TransactionSpec(f"T{index + 1}", reads, writes))
@@ -107,10 +172,10 @@ def basic_specs(config: WorkloadConfig) -> List[TransactionSpec]:
 
 def multiwrite_specs(config: WorkloadConfig) -> List[MultiwriteTransactionSpec]:
     rng = random.Random(config.seed)
-    sampler = ZipfSampler(config.n_entities, config.zipf_s, seed=config.seed + 1)
+    samplers = _samplers(config)
     return [
         MultiwriteTransactionSpec(
-            f"T{index + 1}", tuple(_draw_accesses(config, rng, sampler))
+            f"T{index + 1}", tuple(_draw_accesses(config, rng, samplers, index))
         )
         for index in range(config.n_transactions)
     ]
@@ -118,10 +183,10 @@ def multiwrite_specs(config: WorkloadConfig) -> List[MultiwriteTransactionSpec]:
 
 def predeclared_specs(config: WorkloadConfig) -> List[PredeclaredTransactionSpec]:
     rng = random.Random(config.seed)
-    sampler = ZipfSampler(config.n_entities, config.zipf_s, seed=config.seed + 1)
+    samplers = _samplers(config)
     return [
         PredeclaredTransactionSpec(
-            f"T{index + 1}", tuple(_draw_accesses(config, rng, sampler))
+            f"T{index + 1}", tuple(_draw_accesses(config, rng, samplers, index))
         )
         for index in range(config.n_transactions)
     ]

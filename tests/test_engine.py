@@ -318,3 +318,52 @@ class TestStats:
         engine = Engine(config, sweep_interval=5)
         assert engine.sweep_interval == 5
         assert engine.config.policy == "never"
+
+
+class TestHookDispatchLists:
+    """The _emit fast path: hooks nobody overrides are never dispatched."""
+
+    def test_unoverridden_hooks_have_empty_handler_lists(self):
+        engine = Engine(scheduler="conflict-graph", policy="never")
+        # The built-in StatsObserver does not observe aborts or commits.
+        assert engine._hooks["on_abort"] == []
+        assert engine._hooks["on_commit"] == []
+        assert engine._hooks["on_step"] != []
+        assert engine._hooks["on_step_end"] != []
+
+    def test_subscribe_and_unsubscribe_rebuild_the_lists(self):
+        engine = Engine(scheduler="conflict-graph", policy="never")
+        seen = []
+        observer = CallbackObserver(
+            on_commit=lambda e, result, committed: seen.extend(committed)
+        )
+        engine.subscribe(observer)
+        assert len(engine._hooks["on_commit"]) == 1
+        assert engine._hooks["on_abort"] == []  # still nobody
+        engine.feed(Begin("T1"))
+        engine.feed(Write("T1", {"x"}))
+        assert seen == ["T1"]
+        engine.unsubscribe(observer)
+        assert engine._hooks["on_commit"] == []
+        engine.feed(Begin("T2"))
+        engine.feed(Write("T2", {"y"}))
+        assert seen == ["T1"]  # no further dispatch
+
+    def test_subclass_overrides_are_detected(self):
+        class AbortWatcher(EngineObserver):
+            def __init__(self):
+                self.aborts = []
+
+            def on_abort(self, engine, result, aborted):
+                self.aborts.extend(aborted)
+
+        watcher = AbortWatcher()
+        engine = Engine(
+            scheduler="conflict-graph", policy="never", observers=[watcher]
+        )
+        assert len(engine._hooks["on_abort"]) == 1
+        for step in (Begin("T1"), Read("T1", "x"),
+                     Begin("T2"), Read("T2", "x"), Write("T2", {"x"})):
+            engine.feed(step)
+        engine.feed(Write("T1", {"x"}))  # cycle: T1 aborts
+        assert watcher.aborts == ["T1"]
