@@ -8,17 +8,32 @@ pytest captures stdout.
 
 from __future__ import annotations
 
+import json
 import pathlib
+
+from repro.io import atomic_write_text
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def write_result(name: str, text: str) -> None:
-    """Persist (and echo) one experiment's regenerated table."""
+    """Persist (and echo) one experiment's regenerated table.
+
+    Atomic (tmp file + ``os.replace``): an interrupted benchmark never
+    tears a previously captured artifact.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
-    path.write_text(text + "\n")
+    atomic_write_text(path, text + "\n", fsync=False)
     print(f"\n[{name}]\n{text}")
+
+
+def write_json_result(path: pathlib.Path, payload) -> None:
+    """Atomically persist a machine-readable BENCH_*.json payload."""
+    path.parent.mkdir(exist_ok=True)
+    atomic_write_text(
+        path, json.dumps(payload, indent=2, sort_keys=True) + "\n", fsync=False
+    )
 
 
 def once(benchmark, fn):

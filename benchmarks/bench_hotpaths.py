@@ -46,7 +46,7 @@ if __name__ == "__main__":  # direct execution: make src/ importable
     )
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-from _common import once, write_result
+from _common import once, write_json_result, write_result
 
 from repro.analysis.report import ascii_table
 from repro.core.policies import (
@@ -343,8 +343,7 @@ def _check_gates(payload: Dict[str, object]) -> None:
 
 
 def _emit(payload: Dict[str, object]) -> None:
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    write_json_result(RESULTS_PATH, payload)
     rows = [
         [
             e["scheduler"], e["policy"], e["steps"], e["sweeps"],

@@ -64,7 +64,7 @@ if __name__ == "__main__":  # direct execution: make src/ importable
     )
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-from _common import once, write_result
+from _common import once, write_json_result, write_result
 
 from repro.analysis.report import ascii_table
 from repro.engine import Engine
@@ -425,8 +425,7 @@ def _check_gates(payload: Dict[str, object]) -> None:
 
 
 def _emit(payload: Dict[str, object]) -> None:
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    write_json_result(RESULTS_PATH, payload)
     rows = [
         [
             entry["policy"],

@@ -24,6 +24,7 @@ sys.path.insert(
 
 
 def _validators() -> Dict[str, Callable[[dict], None]]:
+    import bench_durability
     import bench_hotpaths
     import bench_shard_scale
     import bench_steady_state
@@ -32,6 +33,7 @@ def _validators() -> Dict[str, Callable[[dict], None]]:
         "hotpaths": bench_hotpaths.validate_payload,
         "steady_state": bench_steady_state.validate_payload,
         "shard_scale": bench_shard_scale.validate_payload,
+        "durability": bench_durability.validate_payload,
     }
 
 

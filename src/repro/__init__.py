@@ -26,12 +26,14 @@ paper-to-module map.
 from repro.errors import (
     CycleError,
     DeletionError,
+    DurabilityError,
     EngineError,
     GraphError,
     IncompatiblePolicyError,
     InvalidStepError,
     ModelError,
     NotCompletedError,
+    RecoveryError,
     RegistryError,
     ReproError,
     SchedulerError,
@@ -39,6 +41,7 @@ from repro.errors import (
     TransactionStateError,
     UnknownNameError,
     UnsafeDeletionError,
+    WalCorruptionError,
     WorkloadError,
 )
 from repro.model import (
@@ -146,6 +149,7 @@ from repro.engine import (
     StatsObserver,
     SweepReport,
 )
+from repro.durability import DurableEngine, RecoveryInfo, recover
 from repro.analysis.runner import MetricsObserver
 from repro.manager import GarbageCollectedScheduler
 from repro.io import (
@@ -176,9 +180,15 @@ __all__ = [
     "IncompatiblePolicyError",
     "EngineError",
     "SnapshotError",
+    "DurabilityError",
+    "WalCorruptionError",
+    "RecoveryError",
     # engine + registries
     "Engine",
     "EngineConfig",
+    "DurableEngine",
+    "RecoveryInfo",
+    "recover",
     "EngineObserver",
     "CallbackObserver",
     "StatsObserver",

@@ -8,11 +8,19 @@ Commands
     Stream a generated workload through a chosen scheduler + policy
     (resolved via the :mod:`repro.registry` name registries) and print the
     metrics table and graph-size series.  ``--sweep-interval`` batches the
-    deletion-policy invocations.
+    deletion-policy invocations.  ``--wal-dir`` makes the run crash-safe:
+    every step is write-ahead logged and checkpointed every
+    ``--checkpoint-interval`` steps (see ``recover``).
+``recover``
+    Rebuild a crashed ``--wal-dir`` run: load the latest checkpoint chain,
+    replay the WAL tail (tolerating a torn final record), and print the
+    recovered engine's state.
 ``compare``
     All applicable policies on one workload, one table.
 ``dump``
-    Run a workload and print the final reduced graph (ascii, dot, or json).
+    Run a workload and print the final reduced graph (ascii, dot, or
+    json); ``--output FILE`` writes it atomically instead (a crash mid-
+    write never tears an existing file).
 
 Scheduler and policy names come from the registries, so plugins registered
 via :func:`repro.registry.register_scheduler` / ``register_policy`` before
@@ -74,7 +82,8 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_engine_args(parser: argparse.ArgumentParser,
-                     default_policy: str) -> None:
+                     default_policy: str,
+                     include_wal: bool = True) -> None:
     parser.add_argument("--scheduler",
                         choices=sorted(_registry.schedulers.all_names()),
                         default="conflict-graph",
@@ -88,6 +97,14 @@ def _add_engine_args(parser: argparse.ArgumentParser,
     parser.add_argument("--shards", type=int, default=1,
                         help="partition the engine into K footprint-routed "
                              "shards (1 = monolithic)")
+    if include_wal:
+        parser.add_argument("--wal-dir", default=None,
+                            help="write-ahead log directory: makes the run "
+                                 "crash-safe (recover with 'repro recover')")
+        parser.add_argument("--checkpoint-interval", type=int, default=64,
+                            help="take an incremental checkpoint every N "
+                                 "WAL records (0 = never; only with "
+                                 "--wal-dir)")
 
 
 def _config(args: argparse.Namespace) -> WorkloadConfig:
@@ -172,7 +189,80 @@ def _run_sharded(args: argparse.Namespace, engine: ShardedEngine) -> int:
     return 0
 
 
+def _run_durable(args: argparse.Namespace) -> int:
+    """Crash-safe run: every step WAL-logged, checkpoints on cadence."""
+    from repro.durability import DurableEngine
+
+    try:
+        config = EngineConfig(
+            scheduler=args.scheduler,
+            policy=args.policy,
+            sweep_interval=args.sweep_interval,
+        )
+        durable = DurableEngine(
+            config,
+            wal_dir=args.wal_dir,
+            shards=args.shards,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+    except (EngineError, RegistryError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stream = _stream_for(args.scheduler)(_config(args))
+    with durable:
+        batch = durable.feed_batch(stream, flush=args.shards > 1)
+        durable.checkpoint()
+        summary = batch.summary()
+        print(ascii_table(list(summary), [list(summary.values())]))
+        stats = durable.stats
+        print(
+            f"wal: {durable.seq} records, checkpointed through seq "
+            f"{durable.last_checkpoint_seq} "
+            f"(interval {durable.checkpoint_interval}), "
+            f"deleted: {stats.deletions}, peak graph: {stats.peak_graph_size}"
+        )
+        print(f"recover with: repro recover --wal-dir {args.wal_dir}")
+    return 0
+
+
+def _recover(args: argparse.Namespace) -> int:
+    from repro.durability import recover
+    from repro.errors import DurabilityError
+    from repro.io import atomic_write_text, engine_snapshot_to_json
+
+    try:
+        durable = recover(args.wal_dir)
+    except DurabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    info = durable.recovery_info
+    stats = durable.stats
+    rows = [[
+        info.checkpoint_seq, info.checkpoints_loaded, info.replayed_steps,
+        info.replayed_controls, info.torn_records_dropped,
+        stats.steps_fed, stats.deletions,
+    ]]
+    print(ascii_table(
+        ["checkpoint_seq", "checkpoints", "replayed_steps",
+         "replayed_controls", "torn_dropped", "steps_fed", "deletions"],
+        rows,
+        title=f"recovered {args.wal_dir}",
+    ))
+    if info.repaired_segments:
+        print(f"repaired torn segments: {', '.join(info.repaired_segments)}")
+    if args.snapshot_out:
+        atomic_write_text(
+            args.snapshot_out,
+            engine_snapshot_to_json(durable.engine.snapshot()) + "\n",
+        )
+        print(f"wrote snapshot to {args.snapshot_out}")
+    durable.close(checkpoint=args.checkpoint)
+    return 0
+
+
 def _run(args: argparse.Namespace) -> int:
+    if args.wal_dir is not None:
+        return _run_durable(args)
     engine = _build_engine(args)
     if engine is None:
         return 2
@@ -236,25 +326,38 @@ def _dump(args: argparse.Namespace) -> int:
         # Always exactly one parseable document: the monolithic payload
         # unchanged, or one object holding every shard's payload.
         if len(graphs) == 1:
-            print(graph_to_json(graphs[0][1]))
+            text = graph_to_json(graphs[0][1])
         else:
             import json as _json
 
             from repro.io import graph_to_dict
 
-            print(_json.dumps(
+            text = _json.dumps(
                 {
                     "shards": [graph_to_dict(graph) for _, graph in graphs],
                 },
                 indent=2,
                 sort_keys=True,
-            ))
-        return 0
-    for title, graph in graphs:
-        if args.format == "ascii":
-            print(render_ascii(graph, title=f"final reduced graph ({title})"))
-        else:
-            print(render_dot(graph))
+            )
+    else:
+        parts = []
+        for title, graph in graphs:
+            if args.format == "ascii":
+                parts.append(
+                    render_ascii(graph, title=f"final reduced graph ({title})")
+                )
+            else:
+                parts.append(render_dot(graph))
+        text = "\n".join(parts)
+    if args.output:
+        # Atomic: a crash mid-dump must never tear a previous dump at the
+        # same path (tmp file in the same directory + os.replace + fsync).
+        from repro.io import atomic_write_text
+
+        atomic_write_text(args.output, text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
     return 0
 
 
@@ -281,11 +384,30 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.set_defaults(fn=_compare)
 
     dump_parser = sub.add_parser("dump", help="print the final reduced graph")
-    _add_engine_args(dump_parser, default_policy="never")
+    # No --wal-dir here: dump replays a generated workload read-only and
+    # would silently ignore it.
+    _add_engine_args(dump_parser, default_policy="never", include_wal=False)
     dump_parser.add_argument("--format", choices=["ascii", "dot", "json"],
                              default="ascii")
+    dump_parser.add_argument("--output", default=None,
+                             help="write to FILE (atomically) instead of "
+                                  "stdout")
     _add_workload_args(dump_parser)
     dump_parser.set_defaults(fn=_dump)
+
+    recover_parser = sub.add_parser(
+        "recover", help="recover a crashed --wal-dir run"
+    )
+    recover_parser.add_argument("--wal-dir", required=True,
+                                help="the write-ahead log directory")
+    recover_parser.add_argument("--snapshot-out", default=None,
+                                help="atomically write the recovered "
+                                     "engine's full snapshot JSON to FILE")
+    recover_parser.add_argument("--checkpoint", action="store_true",
+                                help="take a fresh checkpoint after "
+                                     "recovery (truncates the replayed "
+                                     "WAL tail)")
+    recover_parser.set_defaults(fn=_recover)
     return parser
 
 

@@ -723,12 +723,17 @@ class Engine:
 
     # -- checkpoint / restore ------------------------------------------------------
 
-    def snapshot(self) -> Dict[str, Any]:
+    def snapshot(self, *, include_logs: bool = True) -> Dict[str, Any]:
         """A JSON-ready checkpoint of the whole loop.
 
         Requires a registry-derived :class:`EngineConfig` (engines adopted
         via :meth:`from_parts` with unregistered components cannot promise
         a faithful rebuild and raise :class:`EngineError`).
+
+        ``include_logs=False`` omits the history-sized log sections (see
+        :meth:`SchedulerBase.snapshot_state`); such a payload is **not**
+        restorable on its own — the durability layer persists the log
+        tails as checkpoint deltas and splices them back before restore.
         """
         if self.config is None:
             raise EngineError(
@@ -751,7 +756,9 @@ class Engine:
                 ),
             },
             "stats": self.stats.as_dict(),
-            "scheduler_state": self.scheduler.snapshot_state(),
+            "scheduler_state": self.scheduler.snapshot_state(
+                include_logs=include_logs
+            ),
         }
 
     @classmethod
@@ -790,8 +797,15 @@ class Engine:
             if dirty_state is not None and engine._dirty_tracker is not None:
                 engine._dirty_tracker = DirtyTracker.from_state(dirty_state)
             engine._stats_observer.stats = GcStats.from_dict(snapshot["stats"])
-        except (KeyError, TypeError) as exc:
+        except (KeyError, ValueError, TypeError) as exc:
             raise SnapshotError(f"malformed engine snapshot: {exc}") from exc
+        if engine._dirty_tracker is not None:
+            # restore_state swapped in a freshly deserialized graph whose
+            # abort-impact accumulator is off; re-enable it eagerly so a
+            # post-restore abort feeds the tracker the same impacted
+            # region an uninterrupted run would have captured, instead of
+            # silently degrading to the conservative mark_all reset.
+            engine.scheduler.graph.enable_abort_impact()
         return engine
 
 
@@ -1067,11 +1081,7 @@ class ShardedEngine:
             aborted.extend(result.aborted)
             committed.extend(result.committed)
         if flush:
-            self.flush_pending()
-            for index, engine in enumerate(self._engines):
-                if engine.steps_since_sweep:
-                    engine.sweep()
-                    self._refresh_shard_totals(index)
+            self.flush_and_sweep()
         return BatchResult(
             steps_fed=len(results),
             accepted=counts[Decision.ACCEPTED],
@@ -1084,6 +1094,16 @@ class ShardedEngine:
             sweeps=sum(e.sweeps_run for e in self._engines) - sweeps_start,
             results=tuple(results),
         )
+
+    def flush_and_sweep(self) -> None:
+        """Materialize pending BEGINs, then sweep every shard that has
+        fed steps since its last sweep (the ``feed_batch(flush=True)``
+        epilogue, exposed so the durability layer can replay it)."""
+        self.flush_pending()
+        for index, engine in enumerate(self._engines):
+            if engine.steps_since_sweep:
+                engine.sweep()
+                self._refresh_shard_totals(index)
 
     def sweep(self) -> FrozenSet[TxnId]:
         """Invoke every shard's policy now; union of the selections."""
@@ -1224,7 +1244,7 @@ class ShardedEngine:
 
     # -- checkpoint / restore ------------------------------------------------------
 
-    def snapshot(self) -> Dict[str, Any]:
+    def snapshot(self, *, include_logs: bool = True) -> Dict[str, Any]:
         """A JSON-ready checkpoint of the whole sharded loop.
 
         Format-versioned and bit-exact: every shard's engine snapshot
@@ -1235,30 +1255,47 @@ class ShardedEngine:
         shard's own scheduler log still records the traffic it processed,
         as any scheduler does), and the merged counters.  Restore followed
         by re-snapshot yields an identical payload.
+
+        ``include_logs=False`` omits the global result log and the
+        per-shard scheduler logs (replaced by length markers) — the
+        durability layer's incremental-checkpoint core; not restorable
+        until the logs are spliced back in.
         """
         from repro.io import step_result_to_dict, step_to_dict
 
-        return {
+        payload = {
             "format": SHARDED_SNAPSHOT_FORMAT,
             "kind": SHARDED_SNAPSHOT_KIND,
             "config": self.config.as_dict(),
             "shard_count": self.shard_count,
-            "shards": [engine.snapshot() for engine in self._engines],
+            "shards": [
+                engine.snapshot(include_logs=include_logs)
+                for engine in self._engines
+            ],
             "router": self._router.state_dict(),
             "pending": [
                 step_to_dict(self._pending_begin[txn])
                 for txn in sorted(self._pending_begin)
             ],
             "aborted": sorted(self._aborted),
-            "deleted_ids": list(self._deleted_ids),
             "engine": {
                 "steps_fed": self._steps_fed,
                 "ticks": self._ticks,
                 "peak_live_total": self._peak_live_total,
                 "peak_completed_total": self._peak_completed_total,
             },
-            "results": [step_result_to_dict(r) for r in self._results],
         }
+        if include_logs:
+            payload["deleted_ids"] = list(self._deleted_ids)
+            payload["results"] = [
+                step_result_to_dict(r) for r in self._results
+            ]
+        else:
+            # Both grow with history, not live state; incremental
+            # checkpoints reconstruct them from their delta chain.
+            payload["deleted_ids_len"] = len(self._deleted_ids)
+            payload["results_len"] = len(self._results)
+        return payload
 
     @classmethod
     def restore(
@@ -1322,7 +1359,7 @@ class ShardedEngine:
                 step_result_from_dict(d) for d in snapshot["results"]
             ]
             engine._extra_observers = []
-        except (KeyError, TypeError) as exc:
+        except (KeyError, ValueError, TypeError) as exc:
             raise SnapshotError(
                 f"malformed sharded snapshot: {exc}"
             ) from exc
@@ -1336,10 +1373,32 @@ def build_engine(
     *,
     shards: int = 1,
     observers: Iterable[EngineObserver] = (),
+    wal_dir: Optional[str] = None,
+    checkpoint_interval: int = 64,
+    sync: str = "checkpoint",
     **overrides: Any,
 ):
     """``shards == 1`` builds a plain :class:`Engine`, else a
-    :class:`ShardedEngine` — the CLI's ``--shards`` entry point."""
+    :class:`ShardedEngine` — the CLI's ``--shards`` entry point.
+
+    With ``wal_dir`` set, the engine is wrapped in a
+    :class:`~repro.durability.DurableEngine`: every fed step is appended
+    to an on-disk write-ahead log and a checkpoint is taken every
+    *checkpoint_interval* steps, so a crash loses at most the torn final
+    record (see :func:`repro.durability.recover`).
+    """
+    if wal_dir is not None:
+        from repro.durability import DurableEngine
+
+        return DurableEngine(
+            config,
+            wal_dir=wal_dir,
+            shards=shards,
+            checkpoint_interval=checkpoint_interval,
+            sync=sync,
+            observers=observers,
+            **overrides,
+        )
     if shards == 1:
         return Engine(config, observers=observers, **overrides)
     return ShardedEngine(

@@ -31,6 +31,9 @@ __all__ = [
     "IncompatiblePolicyError",
     "EngineError",
     "SnapshotError",
+    "DurabilityError",
+    "WalCorruptionError",
+    "RecoveryError",
 ]
 
 
@@ -190,3 +193,27 @@ class EngineError(ReproError):
 
 class SnapshotError(EngineError):
     """An engine snapshot is malformed, or restore hit unsupported state."""
+
+
+class DurabilityError(EngineError):
+    """The durability subsystem (:mod:`repro.durability`) was misused —
+    e.g. opening a fresh WAL over an existing one, or checkpointing a
+    closed engine."""
+
+
+class WalCorruptionError(DurabilityError):
+    """A write-ahead-log segment holds an unreadable record that is *not*
+    the torn final record of a crashed append.
+
+    A torn tail (the one record a crash mid-append can legally produce) is
+    repaired and skipped by recovery; anything else — an unparsable record
+    in the middle of a segment, a gap in the sequence numbers — means the
+    log itself is damaged and recovery must stop rather than silently
+    resurrect a different history.
+    """
+
+
+class RecoveryError(DurabilityError):
+    """Recovery cannot proceed: missing/invalid manifest, or a corrupt
+    checkpoint in the chain (as opposed to a torn WAL tail, which is
+    tolerated)."""

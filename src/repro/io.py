@@ -19,7 +19,9 @@ Graph format history:
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+import os
+import tempfile
+from typing import Any, Dict, List, Optional
 
 from repro.core.reduced_graph import ReducedGraph, TxnInfo
 from repro.errors import ModelError
@@ -52,19 +54,95 @@ __all__ = [
     "engine_snapshot_to_json",
     "engine_snapshot_from_json",
     "restore_engine",
+    "atomic_write_text",
+    "atomic_write_json",
+    "WAL_RECORD_FORMAT",
+    "wal_record_to_line",
+    "wal_record_from_line",
 ]
 
 _FORMAT_VERSION = 2
 _LEGACY_FORMAT_VERSION = 1
 
 
-def graph_to_dict(graph: ReducedGraph) -> Dict[str, Any]:
+# ---------------------------------------------------------------------------
+# Atomic file writes
+# ---------------------------------------------------------------------------
+
+
+def atomic_write_text(path, text: str, *, fsync: bool = True) -> None:
+    """Write *text* to *path* so a crash never leaves a torn file.
+
+    The content goes to a temporary file in the **same directory** (so the
+    final rename cannot cross filesystems), is flushed — and fsync'd when
+    *fsync* is true — and is then moved over *path* with :func:`os.replace`,
+    which is atomic on POSIX: readers see either the complete old content
+    or the complete new content, never a prefix.  With *fsync* the parent
+    directory is synced too, so the rename itself survives a power loss.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".tmp-", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            # mkstemp creates 0600 files; give the published file the
+            # ordinary umask-governed mode so overwriting a shared
+            # artifact does not silently revoke other readers.
+            umask = os.umask(0)
+            os.umask(umask)
+            os.fchmod(handle.fileno(), 0o666 & ~umask)
+            handle.write(text)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+
+def atomic_write_json(
+    path, payload, *, indent: Optional[int] = 2, fsync: bool = True
+) -> None:
+    """Atomic, key-sorted JSON dump (see :func:`atomic_write_text`).
+
+    ``indent=None`` writes compact single-line JSON without key sorting —
+    the cheap mode the durability layer uses for checkpoint files, where
+    write latency sits on the feed path and nobody diffs the bytes.
+    """
+    if indent is None:
+        text = json.dumps(payload, separators=(",", ":"))
+    else:
+        text = json.dumps(payload, indent=indent, sort_keys=True)
+    atomic_write_text(path, text + "\n", fsync=fsync)
+
+
+def graph_to_dict(
+    graph: ReducedGraph, *, include_deleted: bool = True
+) -> Dict[str, Any]:
     """A JSON-ready dict capturing the whole reduced graph.
 
     Format 2: the ``closure`` section carries the bitset kernel state
     (interner layout + hex mask rows) so :func:`graph_from_dict` restores
     without re-propagating the closure; ``arcs`` stays in the payload for
     human audit and cross-checks.
+
+    ``include_deleted=False`` omits the ``deleted`` tombstone list — the
+    one section that grows with *history* rather than live state (O(d
+    log d) to build).  The durability layer's incremental checkpoints
+    reconstruct it from their delta chain; such a payload is not loadable
+    until the list is spliced back.
 
     Not allowed while a deletion trial is open: the payload would record
     the to-be-rolled-back deletions as permanent and serialize their
@@ -93,14 +171,16 @@ def graph_to_dict(graph: ReducedGraph) -> Dict[str, Any]:
                 "reads_from": sorted(info.reads_from),
             }
         )
-    return {
+    payload = {
         "format": _FORMAT_VERSION,
         "nodes": nodes,
         "arcs": sorted(graph.arcs()),
-        "deleted": sorted(graph.deleted_transactions()),
         "aborted": sorted(graph.aborted_transactions()),
         "closure": graph.kernel.state_dict(),
     }
+    if include_deleted:
+        payload["deleted"] = sorted(graph.deleted_transactions())
+    return payload
 
 
 def _node_info_from_dict(node: Dict[str, Any]) -> TxnInfo:
@@ -121,53 +201,82 @@ def _node_info_from_dict(node: Dict[str, Any]) -> TxnInfo:
     )
 
 
+def _require_section(payload: Dict[str, Any], key: str, what: str):
+    """Fetch a required payload section or raise a *named* ModelError.
+
+    Recovery relies on these names to tell a torn tail record (skippable)
+    from a corrupt checkpoint (abort): a raw ``KeyError('nodes')`` says
+    nothing, ``"graph payload is missing the 'nodes' section"`` does.
+    """
+    if not isinstance(payload, dict):
+        raise ModelError(
+            f"{what} must be a JSON object, got {type(payload).__name__}"
+        )
+    if key not in payload:
+        raise ModelError(f"{what} is missing the {key!r} section")
+    return payload[key]
+
+
 def graph_from_dict(payload: Dict[str, Any]) -> ReducedGraph:
     """Inverse of :func:`graph_to_dict`.
 
     Accepts both format 2 (bit-exact kernel restore) and the legacy
     format 1 (arc-by-arc closure rebuild), so old snapshots still load.
+    Truncated or type-mangled payloads raise :class:`ModelError` naming
+    the missing/invalid section instead of surfacing a raw ``KeyError``.
     """
-    version = payload.get("format")
-    if version == _FORMAT_VERSION:
-        graph = ReducedGraph()
-        graph._closure = BitClosureGraph.from_state_dict(payload["closure"])
-        for node in payload["nodes"]:
-            info = _node_info_from_dict(node)
-            if info.txn not in graph._closure:
+    version = _require_section(payload, "format", "graph payload")
+    try:
+        if version == _FORMAT_VERSION:
+            closure_state = _require_section(payload, "closure", "graph payload")
+            nodes = _require_section(payload, "nodes", "graph payload")
+            graph = ReducedGraph()
+            graph._closure = BitClosureGraph.from_state_dict(closure_state)
+            for node in nodes:
+                info = _node_info_from_dict(node)
+                if info.txn not in graph._closure:
+                    raise ModelError(
+                        f"graph payload node {info.txn!r} missing from the "
+                        "serialized closure kernel"
+                    )
+                graph._info[info.txn] = info
+                graph._index_payload(info.txn, info)
+            if len(graph._info) != len(graph._closure):
                 raise ModelError(
-                    f"graph payload node {info.txn!r} missing from the "
-                    "serialized closure kernel"
+                    "serialized closure kernel carries nodes without payloads"
                 )
-            graph._info[info.txn] = info
-            graph._index_payload(info.txn, info)
-        if len(graph._info) != len(graph._closure):
-            raise ModelError(
-                "serialized closure kernel carries nodes without payloads"
-            )
-    elif version == _LEGACY_FORMAT_VERSION:
-        graph = ReducedGraph()
-        for node in payload["nodes"]:
-            future = node.get("future")
-            graph.add_transaction(
-                node["txn"],
-                TxnState(node["state"]),
-                declared=(
-                    None
-                    if future is None
-                    else {e: AccessMode[m] for e, m in future.items()}
-                ),
-            )
-            for entity, mode in node["accesses"].items():
-                graph.record_access(node["txn"], entity, AccessMode[mode])
-            graph.info(node["txn"]).reads_from.update(node.get("reads_from", ()))
-        for tail, head in payload["arcs"]:
-            graph.add_arc(tail, head)
-    else:
-        raise ModelError(f"unsupported graph format {version!r}")
-    # Deletion/abort bookkeeping: restore so id-reuse protection survives
-    # a round trip.
-    graph._deleted.update(payload.get("deleted", ()))
-    graph._aborted.update(payload.get("aborted", ()))
+        elif version == _LEGACY_FORMAT_VERSION:
+            graph = ReducedGraph()
+            for node in _require_section(payload, "nodes", "graph payload"):
+                future = node.get("future")
+                graph.add_transaction(
+                    node["txn"],
+                    TxnState(node["state"]),
+                    declared=(
+                        None
+                        if future is None
+                        else {e: AccessMode[m] for e, m in future.items()}
+                    ),
+                )
+                for entity, mode in node["accesses"].items():
+                    graph.record_access(node["txn"], entity, AccessMode[mode])
+                graph.info(node["txn"]).reads_from.update(
+                    node.get("reads_from", ())
+                )
+            for tail, head in _require_section(payload, "arcs", "graph payload"):
+                graph.add_arc(tail, head)
+        else:
+            raise ModelError(f"unsupported graph format {version!r}")
+        # Deletion/abort bookkeeping: restore so id-reuse protection
+        # survives a round trip.
+        graph._deleted.update(payload.get("deleted", ()))
+        graph._aborted.update(payload.get("aborted", ()))
+    except ModelError:
+        raise
+    except (KeyError, ValueError, TypeError, AttributeError) as exc:
+        raise ModelError(
+            f"graph payload has an invalid section: {exc!r}"
+        ) from exc
     return graph
 
 
@@ -176,7 +285,13 @@ def graph_to_json(graph: ReducedGraph, indent: int = 2) -> str:
 
 
 def graph_from_json(text: str) -> ReducedGraph:
-    return graph_from_dict(json.loads(text))
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ModelError(
+            f"graph JSON is truncated or not valid JSON: {exc}"
+        ) from exc
+    return graph_from_dict(payload)
 
 
 # ---------------------------------------------------------------------------
@@ -206,23 +321,33 @@ def step_to_dict(step: Step) -> Dict[str, Any]:
 
 
 def step_from_dict(item: Dict[str, Any]) -> Step:
-    """Inverse of :func:`step_to_dict`."""
-    kind = item.get("kind")
-    if kind == "begin":
-        return Begin(item["txn"])
-    if kind == "begin_declared":
-        return BeginDeclared(
-            item["txn"],
-            {e: AccessMode[m] for e, m in item["declared"].items()},
-        )
-    if kind == "read":
-        return Read(item["txn"], item["entity"])
-    if kind == "write":
-        return Write(item["txn"], frozenset(item["entities"]))
-    if kind == "write_item":
-        return WriteItem(item["txn"], item["entity"])
-    if kind == "finish":
-        return Finish(item["txn"])
+    """Inverse of :func:`step_to_dict`.
+
+    Raises :class:`ModelError` (naming the offending field) on truncated
+    or type-mangled payloads — never a raw ``KeyError``.
+    """
+    kind = _require_section(item, "kind", "step payload")
+    try:
+        if kind == "begin":
+            return Begin(item["txn"])
+        if kind == "begin_declared":
+            return BeginDeclared(
+                item["txn"],
+                {e: AccessMode[m] for e, m in item["declared"].items()},
+            )
+        if kind == "read":
+            return Read(item["txn"], item["entity"])
+        if kind == "write":
+            return Write(item["txn"], frozenset(item["entities"]))
+        if kind == "write_item":
+            return WriteItem(item["txn"], item["entity"])
+        if kind == "finish":
+            return Finish(item["txn"])
+    except (KeyError, ValueError, TypeError, AttributeError) as exc:
+        raise ModelError(
+            f"step payload of kind {kind!r} has a missing or invalid "
+            f"field: {exc!r}"
+        ) from exc
     raise ModelError(f"unknown step kind {kind!r}")
 
 
@@ -258,15 +383,100 @@ def step_result_from_dict(item: Dict[str, Any]):
     """Inverse of :func:`step_result_to_dict`."""
     from repro.scheduler.events import Decision, StepResult
 
-    return StepResult(
-        step=step_from_dict(item["step"]),
-        decision=Decision(item["decision"]),
-        arcs_added=tuple(tuple(arc) for arc in item.get("arcs_added", ())),
-        aborted=tuple(item.get("aborted", ())),
-        committed=tuple(item.get("committed", ())),
-        released=tuple(step_from_dict(s) for s in item.get("released", ())),
-        blocked_on=tuple(item.get("blocked_on", ())),
-    )
+    step = _require_section(item, "step", "step-result payload")
+    decision = _require_section(item, "decision", "step-result payload")
+    try:
+        return StepResult(
+            step=step_from_dict(step),
+            decision=Decision(decision),
+            arcs_added=tuple(tuple(arc) for arc in item.get("arcs_added", ())),
+            aborted=tuple(item.get("aborted", ())),
+            committed=tuple(item.get("committed", ())),
+            released=tuple(step_from_dict(s) for s in item.get("released", ())),
+            blocked_on=tuple(item.get("blocked_on", ())),
+        )
+    except ModelError:
+        raise
+    except (ValueError, TypeError) as exc:
+        raise ModelError(
+            f"step-result payload has an invalid section: {exc!r}"
+        ) from exc
+
+
+# ---------------------------------------------------------------------------
+# Write-ahead-log records
+# ---------------------------------------------------------------------------
+
+#: Version stamp carried by every WAL record (see :mod:`repro.durability`).
+WAL_RECORD_FORMAT = 1
+
+#: Control operations a WAL may record besides fed steps (state mutations
+#: the durable engine exposes outside the per-step loop).
+_WAL_CONTROL_OPS = frozenset({"sweep", "flush", "flush_pending"})
+
+
+def wal_record_to_line(seq: int, step=None, *, control: str = None) -> str:
+    """Encode one WAL record as a compact single-line JSON document.
+
+    A record is either a fed step (``step=...``) or a control operation
+    (``control="sweep" | "flush" | "flush_pending"``) — exactly one of the
+    two.  Lines never contain raw newlines (compact separators, ASCII-safe
+    ``json.dumps``), so one line on disk is one record and a torn tail is
+    detectable as an unparsable final line.
+    """
+    if (step is None) == (control is None):
+        raise ModelError(
+            "a WAL record encodes exactly one of a step or a control op"
+        )
+    record: Dict[str, Any] = {"format": WAL_RECORD_FORMAT, "seq": seq}
+    if step is not None:
+        record["step"] = step_to_dict(step)
+    else:
+        if control not in _WAL_CONTROL_OPS:
+            raise ModelError(
+                f"unknown WAL control op {control!r}; known: "
+                f"{', '.join(sorted(_WAL_CONTROL_OPS))}"
+            )
+        record["control"] = control
+    return json.dumps(record, separators=(",", ":"), sort_keys=True)
+
+
+def wal_record_from_line(line: str):
+    """Decode and strictly validate one WAL line.
+
+    Returns ``(seq, step_or_None, control_or_None)``.  Any malformation —
+    invalid JSON, wrong format stamp, bad sequence number, missing or
+    mangled payload — raises :class:`ModelError` naming the problem; the
+    *caller* (recovery) decides whether the failing record is a tolerable
+    torn tail or log corruption.
+    """
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ModelError(f"WAL record is not valid JSON: {exc}") from exc
+    if not isinstance(record, dict):
+        raise ModelError(
+            f"WAL record must be a JSON object, got {type(record).__name__}"
+        )
+    if record.get("format") != WAL_RECORD_FORMAT:
+        raise ModelError(
+            f"unsupported WAL record format {record.get('format')!r}"
+        )
+    seq = _require_section(record, "seq", "WAL record")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 1:
+        raise ModelError(f"WAL record seq must be a positive integer, got {seq!r}")
+    has_step = "step" in record
+    has_control = "control" in record
+    if has_step == has_control:
+        raise ModelError(
+            "WAL record must carry exactly one of 'step' or 'control'"
+        )
+    if has_step:
+        return seq, step_from_dict(record["step"]), None
+    control = record["control"]
+    if control not in _WAL_CONTROL_OPS:
+        raise ModelError(f"unknown WAL control op {control!r}")
+    return seq, None, control
 
 
 def engine_snapshot_to_json(payload: Dict[str, Any], indent: int = 2) -> str:
@@ -279,7 +489,12 @@ def engine_snapshot_to_json(payload: Dict[str, Any], indent: int = 2) -> str:
 
 
 def engine_snapshot_from_json(text: str) -> Dict[str, Any]:
-    payload = json.loads(text)
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ModelError(
+            f"engine snapshot JSON is truncated or not valid JSON: {exc}"
+        ) from exc
     if not isinstance(payload, dict):
         raise ModelError("engine snapshot JSON must decode to an object")
     return payload

@@ -140,7 +140,7 @@ class SchedulerBase(ABC):
 
     # -- checkpointing ------------------------------------------------------------
 
-    def snapshot_state(self) -> Dict[str, Any]:
+    def snapshot_state(self, *, include_logs: bool = True) -> Dict[str, Any]:
         """A JSON-ready dict of the complete scheduler state.
 
         Captures the reduced graph (via the :mod:`repro.io` serializers),
@@ -148,15 +148,32 @@ class SchedulerBase(ABC):
         :class:`StepResult`, the aborted set, and whatever variant-specific
         state :meth:`_snapshot_extra` contributes (parked step queues, lock
         tables, certification clocks, ...).
+
+        ``include_logs=False`` omits the input log and result list —
+        the sections whose size grows with history rather than with live
+        state — and records only their length (``log_len``).  The
+        durability layer uses this for *incremental* checkpoints: it
+        persists the log tail separately as per-checkpoint deltas and
+        splices the full logs back in before :meth:`restore_state`, which
+        always expects a complete payload.
         """
-        return {
-            "graph": graph_to_dict(self.graph),
+        state = {
+            "graph": graph_to_dict(self.graph, include_deleted=include_logs),
             "currency": currency_to_dict(self.currency),
-            "input_log": [step_to_dict(step) for step in self._input_log],
-            "results": [step_result_to_dict(r) for r in self._results],
             "aborted": sorted(self._aborted),
             "extra": self._snapshot_extra(),
         }
+        if include_logs:
+            state["input_log"] = [step_to_dict(s) for s in self._input_log]
+            state["results"] = [step_result_to_dict(r) for r in self._results]
+        else:
+            # The two logs can differ in length: feed() records the step
+            # in the input log *before* _process, which may raise without
+            # producing a result.  Both lengths are needed to validate a
+            # spliced reconstruction.
+            state["log_len"] = len(self._results)
+            state["input_len"] = len(self._input_log)
+        return state
 
     def restore_state(self, payload: Dict[str, Any]) -> None:
         """Inverse of :meth:`snapshot_state`; overwrites this instance."""
@@ -168,7 +185,7 @@ class SchedulerBase(ABC):
                 step_result_from_dict(d) for d in payload["results"]
             ]
             self._aborted = set(payload["aborted"])
-        except (KeyError, TypeError) as exc:
+        except (KeyError, ValueError, TypeError) as exc:
             raise SnapshotError(f"malformed scheduler snapshot: {exc}") from exc
         self._restore_extra(payload.get("extra") or {})
 

@@ -188,6 +188,23 @@ class FootprintRouter:
             return None
         return self._root_shard.get(self._uf.find(key))
 
+    def peek_shard_of_txn(self, txn: TxnId) -> Optional[int]:
+        """Like :meth:`shard_of_txn`, but **mutation-free**.
+
+        :meth:`UnionFind.find` path-compresses, so even a read-only query
+        reshapes the forest — harmless for routing, fatal for the
+        durability layer, whose WAL bookkeeping must leave the router's
+        :meth:`state_dict` byte-identical to an un-instrumented run.  This
+        walks the parent chain without rewriting it.
+        """
+        key = (_TXN, txn)
+        parent = self._uf._parent
+        if key not in parent:
+            return None
+        while parent[key] != key:
+            key = parent[key]
+        return self._root_shard.get(key)
+
     def shard_of_entity(self, entity: Entity) -> Optional[int]:
         key = (_ENTITY, entity)
         if key not in self._uf:

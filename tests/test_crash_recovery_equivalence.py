@@ -1,0 +1,201 @@
+"""Crash-injection recovery equivalence (the durability soundness gate).
+
+The durability layer's whole promise is that a crash costs nothing but
+the torn final record: recover() must rebuild *exactly* the engine an
+uninterrupted run would have produced over the same logged prefix.  This
+suite replays that promise empirically: a durable engine is killed
+between two arbitrary steps (hypothesis-chosen cut point, optionally
+with a torn record appended to simulate the crash landing mid-append),
+recovered, driven to the end of the stream, and compared against an
+oracle engine that never crashed —
+
+* **byte-identical snapshots** (`engine_snapshot_to_json` of both
+  engines compares the full serialized state: graph kernel rows and
+  interner layout, currency, input/result logs, scheduler-variant extra
+  state, GcStats, sweep cadence, router forest in sharded mode),
+* identical accepted subschedules,
+* identical deletion sets (order included) and abort sets,
+
+across **all five schedulers** with their canonical deletion policies
+and ``shards ∈ {1, 4}``.
+
+CI refuses to pass if this module is skipped (same guard as the kernel
+and sharding equivalence suites): it is the safety net under the
+durability layer.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.durability import DurableEngine, recover
+from repro.engine import build_engine
+from repro.io import engine_snapshot_to_json
+from repro.workloads.generator import (
+    WorkloadConfig,
+    basic_stream,
+    multiwrite_stream,
+    predeclared_stream,
+)
+
+#: (scheduler, canonical policy, stream factory) — all five schedulers.
+CASES = [
+    ("conflict-graph", "eager-c1", basic_stream),
+    ("certifier", "noncurrent", basic_stream),
+    ("strict-2pl", "lemma1", basic_stream),
+    ("multiwrite", "eager-c3", multiwrite_stream),
+    ("predeclared", "eager-c4", predeclared_stream),
+]
+
+SHARD_COUNTS = [1, 4]
+
+
+def _workload(seed: int) -> WorkloadConfig:
+    return WorkloadConfig(
+        n_transactions=40,
+        n_entities=14,
+        multiprogramming=5,
+        write_fraction=0.5,
+        max_accesses=3,
+        zipf_s=0.4,
+        seed=seed,
+        partitions=4,
+        cross_fraction=0.25,
+    )
+
+
+def _fingerprint(engine):
+    """Everything the acceptance gate names, plus the full snapshot."""
+    return {
+        "snapshot": engine_snapshot_to_json(engine.snapshot()),
+        "accepted": [str(s) for s in engine.accepted_subschedule()],
+        "deleted": list(engine.stats.deleted_ids),
+        "aborted": sorted(engine.aborted),
+        "stats": engine.stats.as_dict(),
+    }
+
+
+def _kernel_rows(engine, shards):
+    """Closure kernel state (interner layout + hex rows) per shard."""
+    graphs = engine.graphs() if shards > 1 else [engine.graph]
+    return [graph.kernel.state_dict() for graph in graphs]
+
+
+def _assert_crash_recovery(
+    scheduler, policy, streamer, seed, cut_fraction, shards,
+    checkpoint_interval, tear_tail,
+):
+    stream = list(streamer(_workload(seed)))
+    cut = max(0, min(len(stream) - 1, int(len(stream) * cut_fraction)))
+    wal_dir = pathlib.Path(tempfile.mkdtemp(prefix="repro-crash-")) / "wal"
+    try:
+        durable = DurableEngine(
+            scheduler=scheduler, policy=policy, wal_dir=wal_dir,
+            shards=shards, checkpoint_interval=checkpoint_interval,
+        )
+        for step in stream[:cut]:
+            durable.feed(step)
+        # Crash: the process dies between two steps — nothing is closed,
+        # no final checkpoint is taken.  Optionally the crash lands
+        # mid-append: a torn record trails the most recent segment.
+        torn_appended = 0
+        if tear_tail:
+            # The segment of the current epoch may not exist yet (a crash
+            # landing exactly on a checkpoint boundary truncated them all).
+            segments = sorted(
+                (wal_dir / "segments").iterdir(),
+                key=lambda p: p.stat().st_mtime,
+            )
+            if segments:
+                with open(segments[-1], "a", encoding="utf-8") as handle:
+                    handle.write('{"format":1,"seq":424242,"step":{"ki')
+                torn_appended = 1
+        recovered = recover(wal_dir)
+        assert recovered.recovery_info.torn_records_dropped == torn_appended
+        for step in stream[cut:]:
+            recovered.feed(step)
+
+        oracle = build_engine(
+            None, shards=shards, scheduler=scheduler, policy=policy
+        )
+        for step in stream:
+            oracle.feed(step)
+
+        inner = recovered.engine
+        assert _kernel_rows(inner, shards) == _kernel_rows(oracle, shards), (
+            f"{scheduler}/{policy} K={shards} cut={cut}: kernel rows diverged"
+        )
+        assert _fingerprint(inner) == _fingerprint(oracle), (
+            f"{scheduler}/{policy} K={shards} cut={cut} "
+            f"interval={checkpoint_interval}: recovery diverged"
+        )
+        recovered.close()
+    finally:
+        shutil.rmtree(wal_dir.parent, ignore_errors=True)
+
+
+class TestCrashRecoveryAllSchedulers:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize(
+        "scheduler,policy,streamer",
+        CASES,
+        ids=[f"{s}-{p}" for s, p, _ in CASES],
+    )
+    def test_mid_stream_crash(self, scheduler, policy, streamer, shards):
+        _assert_crash_recovery(
+            scheduler, policy, streamer, seed=13, cut_fraction=0.6,
+            shards=shards, checkpoint_interval=16, tear_tail=False,
+        )
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize(
+        "scheduler,policy,streamer",
+        CASES,
+        ids=[f"{s}-{p}" for s, p, _ in CASES],
+    )
+    def test_mid_stream_crash_with_torn_tail(
+        self, scheduler, policy, streamer, shards
+    ):
+        _assert_crash_recovery(
+            scheduler, policy, streamer, seed=21, cut_fraction=0.45,
+            shards=shards, checkpoint_interval=16, tear_tail=True,
+        )
+
+    @pytest.mark.parametrize(
+        "cut_fraction", [0.0, 0.02, 0.99],
+        ids=["before-first-step", "before-first-checkpoint", "at-last-step"],
+    )
+    def test_boundary_cut_points(self, cut_fraction):
+        _assert_crash_recovery(
+            "conflict-graph", "eager-c1", basic_stream, seed=5,
+            cut_fraction=cut_fraction, shards=4, checkpoint_interval=16,
+            tear_tail=False,
+        )
+
+
+class TestCrashRecoveryHypothesis:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        cut_fraction=st.floats(min_value=0.0, max_value=1.0),
+        shards=st.sampled_from(SHARD_COUNTS),
+        case=st.sampled_from(range(len(CASES))),
+        checkpoint_interval=st.sampled_from([0, 8, 64]),
+        tear_tail=st.booleans(),
+    )
+    def test_randomized_crash_point(
+        self, seed, cut_fraction, shards, case, checkpoint_interval, tear_tail
+    ):
+        """Kill the durable engine between two arbitrary steps; recovery
+        must be byte-identical to the uninterrupted oracle."""
+        scheduler, policy, streamer = CASES[case]
+        _assert_crash_recovery(
+            scheduler, policy, streamer, seed, cut_fraction, shards,
+            checkpoint_interval, tear_tail,
+        )
