@@ -1,0 +1,423 @@
+"""E18 — serving front-end: wire overhead, tenant scale-out, audit tails.
+
+PR 6 turned the library into a service (:mod:`repro.server`): tenants
+behind an asyncio TCP server, line/JSON protocol, bounded write queues
+with admission control, and a read path that answers between queue
+drains.  This experiment prices that layer:
+
+1. **wire_overhead** — the same banking stream fed to one tenant over
+   the wire (chunked ``feed_batch`` messages) vs in-process
+   ``Engine.feed_batch``.  Acceptance gate: **wire wall-clock ≤ 2x
+   in-process** — the protocol must cost codecs and syscalls, not change
+   the complexity class.
+2. **multi_tenant** — the same per-tenant stream across 8 tenants fed
+   concurrently from 8 connections.  Tenants are independent engines on
+   one event loop, so aggregate ops/s should hold near the single-tenant
+   rate (cooperative yielding shares the loop; no cross-tenant locks).
+3. **audit_latency** — a writer saturates one tenant with back-to-back
+   batches while a second connection issues audit lookups; records
+   p50/p99 audit latency.  Gate: every audit completed during active
+   write pressure (reads never starve behind the write queue).
+
+Emits machine-readable ``benchmarks/results/BENCH_serving.json``
+(schema-checked by ``validate_payload`` / ``benchmarks/validate_bench.py``).
+``validate_metrics`` checks the server's ``/metrics`` JSON the same way —
+the CI smoke job feeds a workload over the wire, dumps ``repro request
+metrics --output``, and validates it through ``validate_bench.py``.
+Run directly (``python benchmarks/bench_serving.py [--scale smoke]``),
+through pytest-benchmark, or validate existing payloads with
+``--validate-only`` / ``--validate-metrics``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import pathlib
+import sys
+import time
+from typing import Dict, List, Optional
+
+if __name__ == "__main__":  # direct execution: make src/ importable
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    )
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from _common import once, write_json_result, write_result
+
+from repro.analysis.report import ascii_table
+from repro.client import AsyncServingClient
+from repro.engine import build_engine
+from repro.server import ReproServer
+from repro.workloads.banking import BankingConfig, banking_stream
+
+RESULTS_PATH = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_serving.json"
+)
+
+TENANTS = 8
+CHUNK = 512
+OVERHEAD_GATE = 2.0
+
+ENGINE_KWARGS = dict(scheduler="conflict-graph", policy="noncurrent",
+                     sweep_interval=4)
+
+
+def _scale() -> str:
+    return os.environ.get("BENCH_SERVING", "full")
+
+
+def _params(scale: str) -> Dict[str, int]:
+    if scale == "smoke":
+        return dict(transfers=600, accounts=96, audit_samples=100,
+                    saturation_transfers=1_500)
+    return dict(transfers=8_000, accounts=512, audit_samples=400,
+                saturation_transfers=20_000)
+
+
+def _stream(transfers: int, accounts: int, seed: int) -> List[object]:
+    return list(banking_stream(BankingConfig(
+        n_accounts=accounts,
+        n_transfers=transfers,
+        deposit_fraction=0.7,
+        audit_every=0,
+        zipf_s=0.3,
+        multiprogramming=8,
+        seed=seed,
+    )))
+
+
+async def _feed_over_wire(client, tenant: str, steps: List[object]) -> int:
+    fed = 0
+    for start in range(0, len(steps), CHUNK):
+        summary = await client.feed_batch(tenant, steps[start:start + CHUNK])
+        fed += summary["count"]
+    return fed
+
+
+async def _wire_overhead(params: Dict[str, int]) -> Dict[str, object]:
+    steps = _stream(params["transfers"], params["accounts"], seed=11)
+
+    inproc = build_engine(**ENGINE_KWARGS)
+    started = time.perf_counter()
+    batch = inproc.feed_batch(steps)
+    inproc_seconds = time.perf_counter() - started
+    assert batch.steps_fed == len(steps)
+
+    server = ReproServer(max_queue_depth=4 * CHUNK, yield_every=64)
+    host, port = await server.start()
+    try:
+        async with await AsyncServingClient.connect(host, port) as client:
+            await client.create_tenant("solo", **ENGINE_KWARGS)
+            started = time.perf_counter()
+            fed = await _feed_over_wire(client, "solo", steps)
+            wire_seconds = time.perf_counter() - started
+            assert fed == len(steps)
+            served = await client.query("solo", "stats")
+            assert served["steps_fed"] == batch.steps_fed
+            assert served["deleted_ids"] == list(inproc.stats.deleted_ids), (
+                "served run must delete exactly what the in-process run did"
+            )
+    finally:
+        await server.close()
+
+    return {
+        "steps": len(steps),
+        "inproc_ops_per_sec": round(len(steps) / inproc_seconds, 1),
+        "wire_ops_per_sec": round(len(steps) / wire_seconds, 1),
+        "overhead_x": round(wire_seconds / inproc_seconds, 3),
+        "chunk": CHUNK,
+    }
+
+
+async def _multi_tenant(params: Dict[str, int]) -> Dict[str, object]:
+    per_tenant = _params(_scale())["transfers"] // 2
+    streams = {
+        f"tenant{i}": _stream(per_tenant, params["accounts"], seed=20 + i)
+        for i in range(TENANTS)
+    }
+    server = ReproServer(max_queue_depth=4 * CHUNK, yield_every=64)
+    host, port = await server.start()
+    try:
+        admin = await AsyncServingClient.connect(host, port)
+        for name in streams:
+            await admin.create_tenant(name, **ENGINE_KWARGS)
+
+        # Single-tenant reference rate on this event loop.
+        started = time.perf_counter()
+        await _feed_over_wire(admin, "tenant0", streams["tenant0"])
+        single_seconds = time.perf_counter() - started
+        single_ops = len(streams["tenant0"]) / single_seconds
+
+        clients = [
+            await AsyncServingClient.connect(host, port)
+            for _ in range(TENANTS - 1)
+        ]
+        started = time.perf_counter()
+        fed = await asyncio.gather(*(
+            _feed_over_wire(client, name, streams[name])
+            for client, name in zip(clients, list(streams)[1:])
+        ))
+        wall = time.perf_counter() - started
+        total_steps = sum(fed)
+        for client in clients:
+            await client.close()
+        metrics = await admin.metrics()
+        await admin.close()
+    finally:
+        await server.close()
+
+    aggregate_ops = total_steps / wall
+    return {
+        "tenants": TENANTS,
+        "concurrent_streams": TENANTS - 1,
+        "steps_per_tenant": len(streams["tenant1"]),
+        "total_steps": total_steps,
+        "single_tenant_ops_per_sec": round(single_ops, 1),
+        "aggregate_ops_per_sec": round(aggregate_ops, 1),
+        "aggregate_vs_single_x": round(aggregate_ops / single_ops, 3),
+        "server_steps_served": sum(
+            entry["steps_served"] for entry in metrics["tenants"].values()
+        ),
+    }
+
+
+async def _audit_latency(params: Dict[str, int]) -> Dict[str, object]:
+    steps = _stream(params["saturation_transfers"], params["accounts"],
+                    seed=31)
+    server = ReproServer(max_queue_depth=1 << 20, yield_every=32)
+    host, port = await server.start()
+    samples_ms: List[float] = []
+    during_writes = 0
+    try:
+        writer = await AsyncServingClient.connect(host, port)
+        reader = await AsyncServingClient.connect(host, port)
+        await writer.create_tenant("hot", **ENGINE_KWARGS)
+        await writer.feed_batch("hot", steps[:3])  # seed an auditable txn
+        seed_txn = steps[0].txn
+        writing = asyncio.Event()
+        writing.set()
+
+        async def _saturate() -> None:
+            try:
+                await _feed_over_wire(writer, "hot", steps[3:])
+            finally:
+                writing.clear()
+
+        async def _probe() -> None:
+            while len(samples_ms) < params["audit_samples"] and writing.is_set():
+                started = time.perf_counter()
+                record = await reader.audit("hot", seed_txn)
+                samples_ms.append((time.perf_counter() - started) * 1e3)
+                assert record["status"] in ("live", "deleted")
+
+        write_task = asyncio.create_task(_saturate())
+        await _probe()
+        during_writes = len(samples_ms)  # all probes ran while writing
+        await write_task
+        await writer.close()
+        await reader.close()
+    finally:
+        await server.close()
+
+    ranked = sorted(samples_ms)
+
+    def _pct(p: float) -> float:
+        return round(ranked[min(len(ranked) - 1, int(p * len(ranked)))], 3)
+
+    return {
+        "samples": len(samples_ms),
+        "samples_during_writes": during_writes,
+        "p50_ms": _pct(0.50),
+        "p99_ms": _pct(0.99),
+        "max_ms": round(ranked[-1], 3),
+    }
+
+
+def _experiment() -> Dict[str, object]:
+    async def _run() -> Dict[str, object]:
+        params = _params(_scale())
+        wire = await _wire_overhead(params)
+        multi = await _multi_tenant(params)
+        audit = await _audit_latency(params)
+        return {
+            "format": 1,
+            "suite": "serving",
+            "scale": _scale(),
+            "wire_overhead": wire,
+            "multi_tenant": multi,
+            "audit_latency": audit,
+            "gates": {
+                "wire_overhead_max_x": OVERHEAD_GATE,
+                "wire_overhead_x": wire["overhead_x"],
+                "audit_reads_during_saturation": audit[
+                    "samples_during_writes"
+                ],
+            },
+        }
+
+    return asyncio.run(_run())
+
+
+def _check_gates(payload: Dict[str, object]) -> None:
+    wire = payload["wire_overhead"]
+    assert wire["overhead_x"] <= OVERHEAD_GATE, (
+        f"serving a stream over the wire cost {wire['overhead_x']}x the "
+        f"in-process feed (gate {OVERHEAD_GATE}x)"
+    )
+    audit = payload["audit_latency"]
+    assert audit["samples_during_writes"] > 0, (
+        "no audit read completed while the write stream was active — "
+        "the read path starved behind the write queue"
+    )
+
+
+def validate_payload(payload: Dict[str, object]) -> None:
+    """Schema check for BENCH_serving.json; raises ValueError on drift."""
+    for key in ("format", "suite", "scale", "wire_overhead", "multi_tenant",
+                "audit_latency", "gates"):
+        if key not in payload:
+            raise ValueError(f"missing top-level key {key!r}")
+    if payload["format"] != 1 or payload["suite"] != "serving":
+        raise ValueError("wrong format/suite stamp")
+    wire = payload["wire_overhead"]
+    for key in ("steps", "inproc_ops_per_sec", "wire_ops_per_sec",
+                "overhead_x", "chunk"):
+        if not isinstance(wire.get(key), (int, float)):
+            raise ValueError(f"wire_overhead.{key} must be numeric")
+    if wire["overhead_x"] > OVERHEAD_GATE:
+        raise ValueError(
+            f"wire overhead {wire['overhead_x']}x exceeds the "
+            f"{OVERHEAD_GATE}x gate"
+        )
+    multi = payload["multi_tenant"]
+    for key in ("tenants", "total_steps", "single_tenant_ops_per_sec",
+                "aggregate_ops_per_sec", "aggregate_vs_single_x"):
+        if not isinstance(multi.get(key), (int, float)):
+            raise ValueError(f"multi_tenant.{key} must be numeric")
+    if multi["tenants"] != TENANTS:
+        raise ValueError(f"multi_tenant must cover {TENANTS} tenants")
+    audit = payload["audit_latency"]
+    for key in ("samples", "samples_during_writes", "p50_ms", "p99_ms",
+                "max_ms"):
+        if not isinstance(audit.get(key), (int, float)):
+            raise ValueError(f"audit_latency.{key} must be numeric")
+    if audit["samples_during_writes"] < 1:
+        raise ValueError("audit_latency recorded no reads under saturation")
+    if audit["p99_ms"] < audit["p50_ms"]:
+        raise ValueError("audit latency percentiles are not monotone")
+
+
+def validate_metrics(payload: Dict[str, object]) -> None:
+    """Schema check for a server ``/metrics`` dump (suite
+    ``serving_metrics``); raises ValueError on drift."""
+    for key in ("format", "suite", "server", "tenants"):
+        if key not in payload:
+            raise ValueError(f"missing top-level key {key!r}")
+    if payload["suite"] != "serving_metrics":
+        raise ValueError("wrong suite stamp")
+    server = payload["server"]
+    for key in ("tenants", "connections", "max_queue_depth", "yield_every"):
+        if not isinstance(server.get(key), int):
+            raise ValueError(f"server.{key} must be an integer")
+    tenants = payload["tenants"]
+    if not isinstance(tenants, dict):
+        raise ValueError("tenants must be an object keyed by tenant name")
+    if len(tenants) != server["tenants"]:
+        raise ValueError("server.tenants gauge disagrees with tenant map")
+    for name, entry in tenants.items():
+        for key in ("queue_depth", "admissions_rejected", "steps_served",
+                    "batches_served", "audits_served", "reads_served",
+                    "sweeps_run"):
+            if not isinstance(entry.get(key), int):
+                raise ValueError(f"tenants[{name!r}].{key} must be an integer")
+        engine = entry.get("engine")
+        if not isinstance(engine, dict):
+            raise ValueError(f"tenants[{name!r}].engine must be an object")
+        for key in ("steps_fed", "deletions", "policy_invocations",
+                    "peak_graph_size", "live", "deleted"):
+            if not isinstance(engine.get(key), int):
+                raise ValueError(
+                    f"tenants[{name!r}].engine.{key} must be an integer"
+                )
+        if entry["steps_served"] > engine["steps_fed"]:
+            raise ValueError(
+                f"tenants[{name!r}] served more steps than its engine fed"
+            )
+
+
+def _emit(payload: Dict[str, object]) -> None:
+    write_json_result(RESULTS_PATH, payload)
+    wire = payload["wire_overhead"]
+    multi = payload["multi_tenant"]
+    audit = payload["audit_latency"]
+    table = ascii_table(
+        ["phase", "steps", "ops/s", "vs_baseline"],
+        [
+            ["inproc feed_batch", wire["steps"],
+             wire["inproc_ops_per_sec"], "1.0x"],
+            ["wire feed_batch", wire["steps"], wire["wire_ops_per_sec"],
+             f"{wire['overhead_x']}x time"],
+            [f"{multi['concurrent_streams']} concurrent tenants",
+             multi["total_steps"], multi["aggregate_ops_per_sec"],
+             f"{multi['aggregate_vs_single_x']}x single"],
+        ],
+        title=(
+            f"E18: serving front-end ({payload['scale']} scale) — wire "
+            f"overhead gate ≤{OVERHEAD_GATE}x"
+        ),
+    )
+    table += (
+        f"\naudit latency under write saturation: p50 {audit['p50_ms']}ms, "
+        f"p99 {audit['p99_ms']}ms, max {audit['max_ms']}ms "
+        f"({audit['samples_during_writes']} reads answered mid-stream)"
+    )
+    write_result("E18_serving", table)
+
+
+def bench_serving(benchmark):
+    """pytest-benchmark entry point."""
+    payload = once(benchmark, _experiment)
+    _check_gates(payload)
+    _emit(payload)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("full", "smoke"), default=None)
+    parser.add_argument(
+        "--validate-only", metavar="PATH",
+        help="validate an existing BENCH_serving.json and exit",
+    )
+    parser.add_argument(
+        "--validate-metrics", metavar="PATH",
+        help="validate a server /metrics JSON dump and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.validate_only:
+        validate_payload(
+            json.loads(pathlib.Path(args.validate_only).read_text())
+        )
+        print(f"{args.validate_only}: schema OK")
+        return 0
+    if args.validate_metrics:
+        validate_metrics(
+            json.loads(pathlib.Path(args.validate_metrics).read_text())
+        )
+        print(f"{args.validate_metrics}: metrics schema OK")
+        return 0
+    if args.scale:
+        os.environ["BENCH_SERVING"] = args.scale
+    payload = _experiment()
+    _check_gates(payload)
+    _emit(payload)
+    print(f"wrote {RESULTS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

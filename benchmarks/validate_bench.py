@@ -26,6 +26,7 @@ sys.path.insert(
 def _validators() -> Dict[str, Callable[[dict], None]]:
     import bench_durability
     import bench_hotpaths
+    import bench_serving
     import bench_shard_scale
     import bench_steady_state
 
@@ -34,6 +35,8 @@ def _validators() -> Dict[str, Callable[[dict], None]]:
         "steady_state": bench_steady_state.validate_payload,
         "shard_scale": bench_shard_scale.validate_payload,
         "durability": bench_durability.validate_payload,
+        "serving": bench_serving.validate_payload,
+        "serving_metrics": bench_serving.validate_metrics,
     }
 
 

@@ -33,13 +33,18 @@ from repro.errors import (
     InvalidStepError,
     ModelError,
     NotCompletedError,
+    ProtocolError,
     RecoveryError,
     RegistryError,
     ReproError,
+    RequestRejectedError,
     SchedulerError,
+    ServingError,
     SnapshotError,
+    TenantSaturatedError,
     TransactionStateError,
     UnknownNameError,
+    UnknownTenantError,
     UnsafeDeletionError,
     WalCorruptionError,
     WorkloadError,
@@ -140,16 +145,21 @@ from repro.registry import (
     scheduler_names,
 )
 from repro.engine import (
+    AuditRecord,
     BatchResult,
     CallbackObserver,
     Engine,
     EngineConfig,
     EngineObserver,
     GcStats,
+    ShardedEngine,
     StatsObserver,
     SweepReport,
+    build_engine,
 )
-from repro.durability import DurableEngine, RecoveryInfo, recover
+from repro.durability import DurableEngine, RecoveryInfo, open_durable, recover
+from repro.server import ReproServer
+from repro.client import AsyncServingClient, ServingClient
 from repro.analysis.runner import MetricsObserver
 from repro.manager import GarbageCollectedScheduler
 from repro.io import (
@@ -183,12 +193,25 @@ __all__ = [
     "DurabilityError",
     "WalCorruptionError",
     "RecoveryError",
+    "ServingError",
+    "ProtocolError",
+    "UnknownTenantError",
+    "RequestRejectedError",
+    "TenantSaturatedError",
     # engine + registries
     "Engine",
+    "ShardedEngine",
     "EngineConfig",
+    "build_engine",
+    "AuditRecord",
     "DurableEngine",
     "RecoveryInfo",
     "recover",
+    "open_durable",
+    # serving
+    "ReproServer",
+    "ServingClient",
+    "AsyncServingClient",
     "EngineObserver",
     "CallbackObserver",
     "StatsObserver",

@@ -17,6 +17,15 @@ Commands
     recovered engine's state.
 ``compare``
     All applicable policies on one workload, one table.
+``serve``
+    Start the multi-tenant asyncio serving front-end
+    (:mod:`repro.server`): line/JSON protocol over TCP, bounded
+    per-tenant write queues with admission control, audit/metrics reads.
+    ``--tenant NAME SCHEDULER POLICY`` (repeatable) pre-creates tenants.
+``request``
+    One client call against a running server: ``ping``, ``create``,
+    ``open``, ``close``, ``tenants``, ``feed-workload``, ``audit``,
+    ``query``, ``sweep``, ``metrics``.
 ``dump``
     Run a workload and print the final reduced graph (ascii, dot, or
     json); ``--output FILE`` writes it atomically instead (a crash mid-
@@ -361,6 +370,100 @@ def _dump(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve(args: argparse.Namespace) -> int:
+    """Run the serving front-end until interrupted."""
+    import asyncio
+
+    from repro.server import ReproServer
+
+    server = ReproServer(
+        args.host,
+        args.port,
+        max_queue_depth=args.queue_depth,
+        yield_every=args.yield_every,
+    )
+    for name, scheduler, policy in args.tenant or ():
+        server.create_tenant(name, scheduler=scheduler, policy=policy)
+
+    async def _main() -> None:
+        host, port = await server.start()
+        # Parseable by scripts that bind --port 0 and need the real port.
+        print(f"serving on {host}:{port}", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _request(args: argparse.Namespace) -> int:
+    """One client call against a running server (see ``--help``)."""
+    import json as _json
+
+    from repro.client import ServingClient
+    from repro.errors import ReproError, ServingError
+    from repro.workloads.banking import BankingConfig, banking_stream
+
+    try:
+        client = ServingClient(args.host, args.port)
+    except OSError as exc:
+        print(f"error: cannot connect to {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        verb = args.verb
+        if verb == "ping":
+            payload = client.ping()
+        elif verb == "create":
+            payload = client.create_tenant(
+                args.tenant,
+                scheduler=args.scheduler,
+                policy=args.policy,
+                **({"shards": args.shards} if args.shards != 1 else {}),
+                **({"wal_dir": args.wal_dir} if args.wal_dir else {}),
+            )
+        elif verb == "open":
+            payload = client.open_tenant(args.tenant, args.wal_dir)
+        elif verb == "close":
+            payload = client.close_tenant(args.tenant)
+        elif verb == "tenants":
+            payload = {"tenants": client.tenants()}
+        elif verb == "feed-workload":
+            stream = banking_stream(BankingConfig(
+                n_accounts=args.accounts,
+                n_transfers=args.transfers,
+                seed=args.seed,
+            ))
+            payload = client.feed_all(args.tenant, stream, chunk=args.chunk)
+        elif verb == "audit":
+            payload = client.audit(args.tenant, args.txn)
+        elif verb == "query":
+            payload = {args.what: client.query(args.tenant, args.what)}
+        elif verb == "sweep":
+            payload = {"deleted": client.sweep(args.tenant)}
+        else:  # metrics
+            payload = client.metrics()
+        text = _json.dumps(payload, indent=2, sort_keys=True)
+        if getattr(args, "output", None):
+            from repro.io import atomic_write_text
+
+            atomic_write_text(args.output, text + "\n")
+            print(f"wrote {args.output}")
+        else:
+            print(text)
+        return 0
+    except (ReproError, ServingError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -408,6 +511,73 @@ def build_parser() -> argparse.ArgumentParser:
                                      "recovery (truncates the replayed "
                                      "WAL tail)")
     recover_parser.set_defaults(fn=_recover)
+
+    serve_parser = sub.add_parser(
+        "serve", help="start the multi-tenant serving front-end"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=7453,
+                              help="TCP port (0 = pick a free one; the "
+                                   "bound port is printed on startup)")
+    serve_parser.add_argument("--queue-depth", type=int, default=4096,
+                              help="per-tenant write backlog bound in steps "
+                                   "(admission control rejects past it)")
+    serve_parser.add_argument("--yield-every", type=int, default=64,
+                              help="cooperatively yield the event loop "
+                                   "every N fed steps")
+    serve_parser.add_argument("--tenant", nargs=3, action="append",
+                              metavar=("NAME", "SCHEDULER", "POLICY"),
+                              help="pre-create a tenant (repeatable)")
+    serve_parser.set_defaults(fn=_serve)
+
+    request_parser = sub.add_parser(
+        "request", help="one client call against a running server"
+    )
+    request_parser.add_argument("--host", default="127.0.0.1")
+    request_parser.add_argument("--port", type=int, default=7453)
+    request_sub = request_parser.add_subparsers(dest="verb", required=True)
+
+    def _verb(name: str, *, tenant: bool = False, help: str = ""):
+        verb_parser = request_sub.add_parser(name, help=help)
+        if tenant:
+            verb_parser.add_argument("tenant", help="tenant name")
+        verb_parser.set_defaults(fn=_request, verb=name)
+        return verb_parser
+
+    _verb("ping", help="server liveness + tenant count")
+    create_verb = _verb("create", tenant=True, help="create a tenant")
+    create_verb.add_argument("--scheduler", default="conflict-graph",
+                             choices=sorted(_registry.schedulers.all_names()))
+    create_verb.add_argument("--policy", default="eager-c1",
+                             choices=sorted(_registry.policies.all_names()))
+    create_verb.add_argument("--shards", type=int, default=1)
+    create_verb.add_argument("--wal-dir", default=None,
+                             help="make the tenant durable (recovers an "
+                                  "existing directory)")
+    open_verb = _verb("open", tenant=True,
+                      help="open a tenant from an existing WAL directory")
+    open_verb.add_argument("--wal-dir", required=True)
+    _verb("close", tenant=True, help="drain, checkpoint, release a tenant")
+    _verb("tenants", help="list hosted tenants")
+    feed_verb = _verb("feed-workload", tenant=True,
+                      help="stream a banking workload over the wire "
+                           "(honors admission-control backpressure)")
+    feed_verb.add_argument("--accounts", type=int, default=64)
+    feed_verb.add_argument("--transfers", type=int, default=200)
+    feed_verb.add_argument("--seed", type=int, default=0)
+    feed_verb.add_argument("--chunk", type=int, default=256,
+                           help="steps per feed_batch message")
+    audit_verb = _verb("audit", tenant=True,
+                       help="per-transaction audit lookup")
+    audit_verb.add_argument("txn", help="transaction id")
+    query_verb = _verb("query", tenant=True, help="read-path query")
+    query_verb.add_argument("what", choices=["accepted", "live", "deleted",
+                                             "aborted", "stats"])
+    _verb("sweep", tenant=True, help="run the deletion policy now")
+    metrics_verb = _verb("metrics", help="the /metrics JSON surface")
+    metrics_verb.add_argument("--output", default=None,
+                              help="write the JSON to FILE (atomically) "
+                                   "instead of stdout")
     return parser
 
 

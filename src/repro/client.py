@@ -1,0 +1,315 @@
+"""Thin clients for the serving front-end (:mod:`repro.server`).
+
+Two flavors over the same newline-delimited JSON protocol:
+
+* :class:`AsyncServingClient` — for asyncio callers (one reader/writer
+  pair, requests issued sequentially on the connection);
+* :class:`ServingClient` — a blocking facade that owns a private event
+  loop, for the CLI, benchmarks, and tests that drive the server from
+  synchronous code (or from another thread entirely).
+
+Error responses are raised as the matching :mod:`repro.errors` types:
+``saturated`` becomes :class:`TenantSaturatedError` (carrying the
+server's ``retry_after`` hint), ``unknown_tenant`` becomes
+:class:`UnknownTenantError`, and everything else surfaces as
+:class:`RequestRejectedError` with the machine-readable ``code``.
+:meth:`feed_all` shows the intended backpressure loop: chunk, submit,
+sleep ``retry_after`` on saturation, resubmit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import (
+    ProtocolError,
+    RequestRejectedError,
+    ServingError,
+    TenantSaturatedError,
+    UnknownTenantError,
+)
+from repro.io import (
+    step_result_from_dict,
+    step_to_dict,
+    wire_message_from_line,
+    wire_message_to_line,
+)
+from repro.server import MAX_LINE_BYTES
+
+__all__ = ["AsyncServingClient", "ServingClient"]
+
+
+def _raise_for_error(response: Dict[str, Any]) -> Dict[str, Any]:
+    if response.get("ok"):
+        return response
+    error = response.get("error") or {}
+    code = error.get("code", "error")
+    message = error.get("message", "request failed")
+    if code == "saturated":
+        exc = TenantSaturatedError(message, float(error.get("retry_after", 0.0)))
+        raise exc
+    if code == "unknown_tenant":
+        raise UnknownTenantError(error.get("tenant", message))
+    raise RequestRejectedError(code, message)
+
+
+class AsyncServingClient:
+    """One connection to a :class:`~repro.server.ReproServer`.
+
+    Use as an async context manager::
+
+        async with await AsyncServingClient.connect(host, port) as client:
+            await client.create_tenant("acme", scheduler="conflict-graph",
+                                       policy="eager-c1")
+            await client.feed("acme", Begin("T1"))
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncServingClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES
+        )
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "AsyncServingClient":
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    # -- raw protocol -------------------------------------------------------
+
+    async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one message, await the matching response, raise on error."""
+        self._next_id += 1
+        request_id = self._next_id
+        message = dict(payload)
+        message["id"] = request_id
+        self._writer.write(
+            wire_message_to_line(message).encode("utf-8") + b"\n"
+        )
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ServingError("server closed the connection")
+        response = wire_message_from_line(line.decode("utf-8"))
+        if response.get("id") not in (None, request_id):
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id!r}"
+            )
+        return _raise_for_error(response)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def ping(self) -> Dict[str, Any]:
+        return await self.request({"op": "ping"})
+
+    async def catalog(self) -> Dict[str, Any]:
+        return (await self.request({"op": "catalog"}))["catalog"]
+
+    async def create_tenant(self, tenant: str, **kwargs: Any) -> Dict[str, Any]:
+        request: Dict[str, Any] = {"op": "create", "tenant": tenant}
+        for key in ("wal_dir", "shards", "checkpoint_interval", "sync"):
+            if key in kwargs:
+                request[key] = kwargs.pop(key)
+        if kwargs:
+            request["config"] = kwargs
+        return await self.request(request)
+
+    async def open_tenant(self, tenant: str, wal_dir: str) -> Dict[str, Any]:
+        return await self.request(
+            {"op": "open", "tenant": tenant, "wal_dir": wal_dir}
+        )
+
+    async def close_tenant(self, tenant: str) -> Dict[str, Any]:
+        return await self.request({"op": "close", "tenant": tenant})
+
+    async def tenants(self) -> List[Dict[str, Any]]:
+        return (await self.request({"op": "tenants"}))["tenants"]
+
+    # -- write path ---------------------------------------------------------
+
+    async def feed(self, tenant: str, step) -> Any:
+        response = await self.request(
+            {"op": "feed", "tenant": tenant, "step": step_to_dict(step)}
+        )
+        return step_result_from_dict(response["result"])
+
+    async def feed_batch(
+        self, tenant: str, steps: Iterable[Any], *, results: bool = False
+    ) -> Dict[str, Any]:
+        response = await self.request(
+            {
+                "op": "feed_batch",
+                "tenant": tenant,
+                "steps": [step_to_dict(step) for step in steps],
+                "results": bool(results),
+            }
+        )
+        if results:
+            response["results"] = [
+                step_result_from_dict(item) for item in response["results"]
+            ]
+        return response
+
+    async def feed_all(
+        self,
+        tenant: str,
+        steps: Iterable[Any],
+        *,
+        chunk: int = 256,
+        max_retries: int = 64,
+    ) -> Dict[str, int]:
+        """Feed everything, honoring backpressure: on ``saturated``,
+        sleep the server's ``retry_after`` hint and resubmit the chunk."""
+        totals = {"count": 0, "accepted": 0, "rejected": 0, "delayed": 0,
+                  "ignored": 0, "retries": 0}
+        buffer: List[Any] = []
+
+        async def _flush() -> None:
+            for attempt in range(max_retries + 1):
+                try:
+                    summary = await self.feed_batch(tenant, buffer)
+                except TenantSaturatedError as exc:
+                    if attempt == max_retries:
+                        raise
+                    totals["retries"] += 1
+                    await asyncio.sleep(max(exc.retry_after, 1e-4))
+                else:
+                    for key in ("count", "accepted", "rejected", "delayed",
+                                "ignored"):
+                        totals[key] += summary[key]
+                    buffer.clear()
+                    return
+
+        for step in steps:
+            buffer.append(step)
+            if len(buffer) >= chunk:
+                await _flush()
+        if buffer:
+            await _flush()
+        return totals
+
+    async def sweep(self, tenant: str) -> List[Any]:
+        return (await self.request({"op": "sweep", "tenant": tenant}))["deleted"]
+
+    async def flush_pending(self, tenant: str) -> int:
+        return (
+            await self.request({"op": "flush_pending", "tenant": tenant})
+        )["flushed"]
+
+    # -- read path ----------------------------------------------------------
+
+    async def audit(self, tenant: str, txn: Any) -> Dict[str, Any]:
+        return (
+            await self.request({"op": "audit", "tenant": tenant, "txn": txn})
+        )["audit"]
+
+    async def query(self, tenant: str, what: str) -> Any:
+        return (
+            await self.request({"op": "query", "tenant": tenant, "what": what})
+        )[what]
+
+    async def metrics(self) -> Dict[str, Any]:
+        return (await self.request({"op": "metrics"}))["metrics"]
+
+
+class ServingClient:
+    """Blocking facade over :class:`AsyncServingClient`.
+
+    Owns a private event loop, so it works from plain synchronous code
+    and from threads that are not running asyncio — but must *not* be
+    called from inside a coroutine (use the async client there).
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._client: Optional[AsyncServingClient] = None
+        self._client = self._run(AsyncServingClient.connect(host, port))
+
+    def _run(self, coroutine):
+        return self._loop.run_until_complete(coroutine)
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._run(self._client.close())
+            self._client = None
+        self._loop.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        return self._run(self._client.request(payload))
+
+    def ping(self) -> Dict[str, Any]:
+        return self._run(self._client.ping())
+
+    def catalog(self) -> Dict[str, Any]:
+        return self._run(self._client.catalog())
+
+    def create_tenant(self, tenant: str, **kwargs: Any) -> Dict[str, Any]:
+        return self._run(self._client.create_tenant(tenant, **kwargs))
+
+    def open_tenant(self, tenant: str, wal_dir: str) -> Dict[str, Any]:
+        return self._run(self._client.open_tenant(tenant, wal_dir))
+
+    def close_tenant(self, tenant: str) -> Dict[str, Any]:
+        return self._run(self._client.close_tenant(tenant))
+
+    def tenants(self) -> List[Dict[str, Any]]:
+        return self._run(self._client.tenants())
+
+    def feed(self, tenant: str, step) -> Any:
+        return self._run(self._client.feed(tenant, step))
+
+    def feed_batch(
+        self, tenant: str, steps: Iterable[Any], *, results: bool = False
+    ) -> Dict[str, Any]:
+        return self._run(
+            self._client.feed_batch(tenant, list(steps), results=results)
+        )
+
+    def feed_all(
+        self, tenant: str, steps: Iterable[Any], *, chunk: int = 256,
+        max_retries: int = 64,
+    ) -> Dict[str, int]:
+        return self._run(
+            self._client.feed_all(
+                tenant, list(steps), chunk=chunk, max_retries=max_retries
+            )
+        )
+
+    def sweep(self, tenant: str) -> List[Any]:
+        return self._run(self._client.sweep(tenant))
+
+    def flush_pending(self, tenant: str) -> int:
+        return self._run(self._client.flush_pending(tenant))
+
+    def audit(self, tenant: str, txn: Any) -> Dict[str, Any]:
+        return self._run(self._client.audit(tenant, txn))
+
+    def query(self, tenant: str, what: str) -> Any:
+        return self._run(self._client.query(tenant, what))
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._run(self._client.metrics())

@@ -530,8 +530,16 @@ class ReducedGraph:
         """Ids removed by :meth:`delete` so far (bookkeeping only)."""
         return frozenset(self._deleted)
 
+    def is_deleted(self, txn: TxnId) -> bool:
+        """Membership test against the tombstone set (no copy)."""
+        return txn in self._deleted
+
     def aborted_transactions(self) -> FrozenSet[TxnId]:
         return frozenset(self._aborted)
+
+    def is_aborted(self, txn: TxnId) -> bool:
+        """Membership test against the aborted set (no copy)."""
+        return txn in self._aborted
 
     # -- entity-indexed queries ------------------------------------------------
 

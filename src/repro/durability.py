@@ -88,6 +88,7 @@ __all__ = [
     "DurableEngine",
     "RecoveryInfo",
     "recover",
+    "open_durable",
 ]
 
 MANIFEST_FORMAT = 1
@@ -1112,3 +1113,63 @@ def recover(
     for observer in observers:
         engine._inner.subscribe(observer)
     return engine
+
+
+def open_durable(
+    wal_dir,
+    config: Optional[EngineConfig] = None,
+    *,
+    shards: Optional[int] = None,
+    checkpoint_interval: Optional[int] = None,
+    sync: Optional[str] = None,
+    observers: Iterable[EngineObserver] = (),
+    **overrides: Any,
+) -> DurableEngine:
+    """Open *wal_dir* whether or not it already holds a durable engine.
+
+    The serving layer's create-or-recover entry point: if *wal_dir*
+    carries a manifest, the engine is rebuilt with :func:`recover` (and a
+    ``config``/``shards`` explicitly passed here must match what the
+    manifest records — a mismatch raises :class:`DurabilityError` rather
+    than silently serving a different configuration); otherwise a fresh
+    :class:`DurableEngine` is created with the given configuration.
+    """
+    wal_path = pathlib.Path(wal_dir)
+    manifest_path = wal_path / MANIFEST_NAME
+    if manifest_path.exists():
+        engine = recover(
+            wal_path,
+            observers=observers,
+            checkpoint_interval=checkpoint_interval,
+            sync=sync,
+        )
+        if shards is not None and engine.shard_count != shards:
+            engine.close()
+            raise DurabilityError(
+                f"wal_dir {str(wal_path)!r} was created with "
+                f"shards={engine.shard_count}, but open_durable was "
+                f"asked for shards={shards}"
+            )
+        if config is not None or overrides:
+            want = config if config is not None else EngineConfig()
+            if overrides:
+                want = dataclasses.replace(want, **overrides)
+            have = engine.config
+            if dataclasses.asdict(want) != dataclasses.asdict(have):
+                engine.close()
+                raise DurabilityError(
+                    f"wal_dir {str(wal_path)!r} records config {have!r}, "
+                    f"which differs from the requested {want!r}"
+                )
+        return engine
+    return DurableEngine(
+        config,
+        wal_dir=wal_path,
+        shards=1 if shards is None else shards,
+        checkpoint_interval=(
+            64 if checkpoint_interval is None else checkpoint_interval
+        ),
+        sync="checkpoint" if sync is None else sync,
+        observers=observers,
+        **overrides,
+    )

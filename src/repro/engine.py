@@ -80,6 +80,7 @@ from repro.sharding import FootprintRouter, Migration, footprint_of, migrate_gro
 __all__ = [
     "SNAPSHOT_FORMAT",
     "SHARDED_SNAPSHOT_FORMAT",
+    "AuditRecord",
     "GcStats",
     "EngineObserver",
     "CallbackObserver",
@@ -163,6 +164,49 @@ class SweepReport:
     @property
     def deleted_anything(self) -> bool:
         return bool(self.selected)
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One transaction's fate, answered from a single accessor.
+
+    The serving read path (and any post-deletion auditor) needs "what
+    happened to T?" answered without cross-referencing the live graph,
+    the tombstone set, the aborted set, and the deletion log by hand —
+    :meth:`Engine.audit` / :meth:`ShardedEngine.audit` collapse those
+    four structures into one record.
+
+    ``status`` is one of:
+
+    * ``"live"`` — still in the maintained graph (``state`` carries the
+      fine-grained ACTIVE/FINISHED/COMMITTED value);
+    * ``"deleted"`` — completed and then removed by a deletion policy;
+      the graph keeps only its id-reuse tombstone.  ``deleted_at`` is the
+      step index (engine-local logical tick in sharded engines) of the
+      sweep that removed it;
+    * ``"aborted"`` — rejected or cascade-aborted; its steps are ignored;
+    * ``"unknown"`` — never seen (or seen before a restore; see below).
+
+    ``accepted_at`` is the step index at which the transaction's BEGIN
+    was accepted.  Acceptance positions and deletion ticks are runtime
+    bookkeeping, not part of the checkpoint format: a restored engine
+    reports ``None`` for events that predate the restore.
+    """
+
+    txn: TxnId
+    status: str
+    state: Optional[str] = None
+    accepted_at: Optional[int] = None
+    deleted_at: Optional[int] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "txn": self.txn,
+            "status": self.status,
+            "state": self.state,
+            "accepted_at": self.accepted_at,
+            "deleted_at": self.deleted_at,
+        }
 
 
 class EngineObserver:
@@ -475,6 +519,10 @@ class Engine:
         self._steps_since_sweep = 0
         self._sweeps_run = 0
         self._sweeps_skipped = 0
+        # Audit bookkeeping (process-lifetime, not serialized): when each
+        # transaction's BEGIN was accepted and when a sweep deleted it.
+        self._accept_pos: Dict[TxnId, int] = {}
+        self._deletion_ticks: Dict[TxnId, int] = {}
         # Sweep-gating state (see "Dirty-set sweeps" in the class
         # docstring).  Conservative until the first sweep: the gate opens
         # and the tracker starts ALL-dirty.
@@ -552,6 +600,12 @@ class Engine:
         result = self.scheduler.feed(step)
         self._step_index += 1
         self._steps_since_sweep += 1
+        if (
+            result.accepted
+            and isinstance(step, (Begin, BeginDeclared))
+            and step.txn not in self._accept_pos
+        ):
+            self._accept_pos[step.txn] = self._step_index
         if result.committed or result.aborted:
             self._gate_open = True
         if self._dirty_tracker is not None:
@@ -655,6 +709,8 @@ class Engine:
                     f"policy {self.policy.name!r} selected a C2-violating set",
                 )
             self.scheduler.delete_transactions(ordered)
+            for txn in ordered:
+                self._deletion_ticks[txn] = self._step_index
             self._emit("on_delete", ordered, self._step_index)
         self._emit("on_sweep", SweepReport(self._sweeps_run, self._step_index, ordered))
         return frozenset(selected)
@@ -712,6 +768,41 @@ class Engine:
 
     def accepted_subschedule(self):
         return self.scheduler.accepted_subschedule()
+
+    def live_transactions(self) -> FrozenSet[TxnId]:
+        """Nodes of the maintained graph (mirrors :class:`ShardedEngine`)."""
+        return self.scheduler.graph.nodes()
+
+    def deleted_transactions(self) -> FrozenSet[TxnId]:
+        """Ids removed by sweeps so far (the graph's tombstone set)."""
+        return self.scheduler.graph.deleted_transactions()
+
+    def audit(self, txn: TxnId) -> AuditRecord:
+        """One transaction's fate — see :class:`AuditRecord`.
+
+        Answers "was it accepted, is it still retained, when was it
+        deleted" from the live graph, the tombstone set, and the aborted
+        set in one call; the serving read path exposes it per tenant.
+        """
+        graph = self.scheduler.graph
+        accepted_at = self._accept_pos.get(txn)
+        if txn in graph:
+            return AuditRecord(
+                txn,
+                "live",
+                state=graph.state(txn).value,
+                accepted_at=accepted_at,
+            )
+        if graph.is_deleted(txn):
+            return AuditRecord(
+                txn,
+                "deleted",
+                accepted_at=accepted_at,
+                deleted_at=self._deletion_ticks.get(txn),
+            )
+        if txn in self.scheduler.aborted or graph.is_aborted(txn):
+            return AuditRecord(txn, "aborted", accepted_at=accepted_at)
+        return AuditRecord(txn, "unknown")
 
     def __repr__(self) -> str:
         return (
@@ -889,6 +980,11 @@ class ShardedEngine:
         self.shard_count = shards
         self._router = FootprintRouter(shards)
         self._deleted_ids: List[TxnId] = []
+        # Audit bookkeeping (process-lifetime, not serialized; see
+        # Engine).  Deletion ticks are stamped with the global logical
+        # tick current when the owning shard's sweep fired.
+        self._accept_pos: Dict[TxnId, int] = {}
+        self._deletion_ticks: Dict[TxnId, int] = {}
         # Id-reuse tombstones: a deleted transaction's graph-level
         # tombstone stays on the shard that deleted it and does not
         # migrate with its group, so the router enforces the monolith's
@@ -930,6 +1026,7 @@ class ShardedEngine:
             self._deleted_set.update(deleted)
             for txn in deleted:
                 self._router.on_txn_removed(txn)
+                self._deletion_ticks[txn] = self._ticks
 
         return CallbackObserver(on_delete=on_delete)
 
@@ -961,6 +1058,12 @@ class ShardedEngine:
         else:
             result = self._route_and_feed(step)
         self._steps_fed += 1
+        if (
+            result.accepted
+            and isinstance(step, (Begin, BeginDeclared))
+            and step.txn not in self._accept_pos
+        ):
+            self._accept_pos[step.txn] = self._steps_fed
         self._results.append(result)
         if result.aborted:
             self._aborted.update(result.aborted)
@@ -1189,6 +1292,43 @@ class ShardedEngine:
             live |= engine.graph.nodes()
         return frozenset(live)
 
+    def deleted_transactions(self) -> FrozenSet[TxnId]:
+        """Ids removed by any shard's sweeps (the global tombstone set)."""
+        return frozenset(self._deleted_set)
+
+    def audit(self, txn: TxnId) -> AuditRecord:
+        """One transaction's fate across all shards — see
+        :class:`AuditRecord`.
+
+        Deferred (footprint-less) BEGINs report as live actives: the
+        router accepted them, they just have no graph node yet.
+        """
+        accepted_at = self._accept_pos.get(txn)
+        if txn in self._deleted_set:
+            return AuditRecord(
+                txn,
+                "deleted",
+                accepted_at=accepted_at,
+                deleted_at=self._deletion_ticks.get(txn),
+            )
+        if txn in self._pending_begin:
+            from repro.model.status import TxnState
+
+            return AuditRecord(
+                txn, "live", state=TxnState.ACTIVE.value, accepted_at=accepted_at
+            )
+        for engine in self._engines:
+            if txn in engine.graph:
+                return AuditRecord(
+                    txn,
+                    "live",
+                    state=engine.graph.state(txn).value,
+                    accepted_at=accepted_at,
+                )
+        if txn in self._aborted:
+            return AuditRecord(txn, "aborted", accepted_at=accepted_at)
+        return AuditRecord(txn, "unknown")
+
     def shard_of(self, txn: TxnId) -> Optional[int]:
         return self._router.shard_of_txn(txn)
 
@@ -1328,6 +1468,8 @@ class ShardedEngine:
             engine._router = FootprintRouter.from_state(snapshot["router"])
             engine._deleted_ids = list(snapshot.get("deleted_ids", ()))
             engine._deleted_set = set(engine._deleted_ids)
+            engine._accept_pos = {}
+            engine._deletion_ticks = {}
             engine._aborted = set(snapshot.get("aborted", ()))
             engine._pending_begin = {}
             for item in snapshot.get("pending", ()):
@@ -1368,14 +1510,21 @@ class ShardedEngine:
         return engine
 
 
+#: Keyword arguments :func:`build_engine` itself consumes (everything else
+#: must be an :class:`EngineConfig` field).
+_BUILDER_KWARGS = frozenset(
+    {"shards", "observers", "wal_dir", "checkpoint_interval", "sync"}
+)
+
+
 def build_engine(
     config: Optional[EngineConfig] = None,
     *,
     shards: int = 1,
     observers: Iterable[EngineObserver] = (),
     wal_dir: Optional[str] = None,
-    checkpoint_interval: int = 64,
-    sync: str = "checkpoint",
+    checkpoint_interval: Optional[int] = None,
+    sync: Optional[str] = None,
     **overrides: Any,
 ):
     """``shards == 1`` builds a plain :class:`Engine`, else a
@@ -1384,9 +1533,31 @@ def build_engine(
     With ``wal_dir`` set, the engine is wrapped in a
     :class:`~repro.durability.DurableEngine`: every fed step is appended
     to an on-disk write-ahead log and a checkpoint is taken every
-    *checkpoint_interval* steps, so a crash loses at most the torn final
-    record (see :func:`repro.durability.recover`).
+    *checkpoint_interval* steps (default 64), so a crash loses at most
+    the torn final record (see :func:`repro.durability.recover`).
+
+    Keyword arguments are validated eagerly: an unknown key raises
+    :class:`ValueError` naming it (with a did-you-mean hint), and the
+    durability-only knobs (``checkpoint_interval``, ``sync``) raise when
+    passed without ``wal_dir`` — a misspelled or misplaced ``wal_dir``
+    must never silently yield a non-durable engine.
     """
+    config_fields = {f.name for f in dataclasses.fields(EngineConfig)}
+    unknown = sorted(set(overrides) - config_fields)
+    if unknown:
+        import difflib
+
+        known = sorted(config_fields | _BUILDER_KWARGS)
+        hints = []
+        for key in unknown:
+            close = difflib.get_close_matches(key, known, n=1)
+            hints.append(
+                f"{key!r}" + (f" (did you mean {close[0]!r}?)" if close else "")
+            )
+        raise ValueError(
+            f"build_engine() got unknown keyword argument(s) "
+            f"{', '.join(hints)}; known keywords: {', '.join(known)}"
+        )
     if wal_dir is not None:
         from repro.durability import DurableEngine
 
@@ -1394,10 +1565,18 @@ def build_engine(
             config,
             wal_dir=wal_dir,
             shards=shards,
-            checkpoint_interval=checkpoint_interval,
-            sync=sync,
+            checkpoint_interval=(
+                64 if checkpoint_interval is None else checkpoint_interval
+            ),
+            sync="checkpoint" if sync is None else sync,
             observers=observers,
             **overrides,
+        )
+    if checkpoint_interval is not None or sync is not None:
+        raise ValueError(
+            "checkpoint_interval/sync configure the write-ahead log and "
+            "require wal_dir=...; without it the run would silently be "
+            "non-durable"
         )
     if shards == 1:
         return Engine(config, observers=observers, **overrides)

@@ -34,6 +34,11 @@ __all__ = [
     "DurabilityError",
     "WalCorruptionError",
     "RecoveryError",
+    "ServingError",
+    "ProtocolError",
+    "UnknownTenantError",
+    "RequestRejectedError",
+    "TenantSaturatedError",
 ]
 
 
@@ -217,3 +222,50 @@ class RecoveryError(DurabilityError):
     """Recovery cannot proceed: missing/invalid manifest, or a corrupt
     checkpoint in the chain (as opposed to a torn WAL tail, which is
     tolerated)."""
+
+
+class ServingError(ReproError):
+    """Base class for the serving layer (:mod:`repro.server` /
+    :mod:`repro.client`)."""
+
+
+class ProtocolError(ServingError):
+    """A wire message was malformed: not JSON, not an object, missing the
+    ``op`` field, or carrying fields of the wrong shape."""
+
+
+class UnknownTenantError(ServingError, KeyError):
+    """A request addressed a tenant the server does not host."""
+
+    def __init__(self, tenant: object) -> None:
+        super().__init__(f"unknown tenant: {tenant!r}")
+        self.tenant = tenant
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+class RequestRejectedError(ServingError):
+    """The server refused a request with a structured error response.
+
+    Carries the machine-readable ``code`` from the wire (e.g.
+    ``"saturated"``, ``"unknown_tenant"``, ``"bad_request"``) so clients
+    can branch without parsing the human-readable message.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class TenantSaturatedError(RequestRejectedError):
+    """Admission control rejected a write: the tenant's queue is full.
+
+    ``retry_after`` is the server's estimate (seconds) of when capacity
+    will free up, derived from the tenant's recent drain rate.
+    """
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__("saturated", message)
+        self.retry_after = retry_after

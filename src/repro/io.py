@@ -59,6 +59,9 @@ __all__ = [
     "WAL_RECORD_FORMAT",
     "wal_record_to_line",
     "wal_record_from_line",
+    "WIRE_FORMAT",
+    "wire_message_to_line",
+    "wire_message_from_line",
 ]
 
 _FORMAT_VERSION = 2
@@ -477,6 +480,58 @@ def wal_record_from_line(line: str):
     if control not in _WAL_CONTROL_OPS:
         raise ModelError(f"unknown WAL control op {control!r}")
     return seq, None, control
+
+
+# ---------------------------------------------------------------------------
+# Wire messages (the serving layer's line/JSON protocol)
+# ---------------------------------------------------------------------------
+
+#: Version stamp carried by every wire message (see :mod:`repro.server`).
+WIRE_FORMAT = 1
+
+
+def wire_message_to_line(payload: Dict[str, Any]) -> str:
+    """Encode one wire message as a compact single-line JSON document.
+
+    The serving protocol is newline-delimited JSON: one line, one message.
+    Compact separators and ASCII-safe :func:`json.dumps` guarantee the
+    encoded text never contains a raw newline; key-sorting makes encoded
+    messages canonical (byte-identical for equal payloads), which the
+    serving equivalence tests diff on.  The ``format`` stamp is added
+    here so callers never forget it.
+    """
+    if not isinstance(payload, dict):
+        raise ModelError(
+            f"wire message must be a JSON object, got {type(payload).__name__}"
+        )
+    record = dict(payload)
+    record.setdefault("format", WIRE_FORMAT)
+    try:
+        return json.dumps(record, separators=(",", ":"), sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise ModelError(f"wire message is not JSON-serializable: {exc}") from exc
+
+
+def wire_message_from_line(line: str) -> Dict[str, Any]:
+    """Decode and validate one wire line into a message dict.
+
+    Raises :class:`ModelError` on invalid JSON, a non-object payload, or
+    an unsupported ``format`` stamp — the server turns these into
+    structured ``bad_request`` error responses rather than dropping the
+    connection.
+    """
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ModelError(f"wire message is not valid JSON: {exc}") from exc
+    if not isinstance(record, dict):
+        raise ModelError(
+            f"wire message must be a JSON object, got {type(record).__name__}"
+        )
+    fmt = record.get("format", WIRE_FORMAT)
+    if fmt != WIRE_FORMAT:
+        raise ModelError(f"unsupported wire message format {fmt!r}")
+    return record
 
 
 def engine_snapshot_to_json(payload: Dict[str, Any], indent: int = 2) -> str:

@@ -49,6 +49,7 @@ __all__ = [
     "policy_name_of",
     "compatible_policies",
     "check_compatible",
+    "catalog",
 ]
 
 #: Transaction models a scheduler can implement.  ``basic`` is §2's
@@ -221,6 +222,33 @@ def compatible_policies(scheduler_name: str) -> Tuple[str, ...]:
     return tuple(
         name for name in policies.names() if model in policies.get(name).models
     )
+
+
+def catalog() -> Dict[str, Any]:
+    """JSON-ready inventory of everything registered.
+
+    The serving layer's ``catalog`` op returns this verbatim so remote
+    clients can discover schedulers, their models, and the policies each
+    pairing admits without importing the library.
+    """
+    return {
+        "models": sorted(MODELS),
+        "schedulers": {
+            name: {
+                "model": schedulers.get(name).model,
+                "aliases": sorted(schedulers.get(name).aliases),
+                "policies": list(compatible_policies(name)),
+            }
+            for name in schedulers.names()
+        },
+        "policies": {
+            name: {
+                "models": sorted(policies.get(name).models),
+                "aliases": sorted(policies.get(name).aliases),
+            }
+            for name in policies.names()
+        },
+    }
 
 
 def check_compatible(scheduler_name: str, policy_name: str) -> None:

@@ -1,0 +1,645 @@
+"""Multi-tenant asyncio serving front-end.
+
+Turns the in-process engine library into an online service: a single
+asyncio TCP server hosts many *tenants*, each an independent engine built
+through :func:`repro.engine.build_engine` (so ``shards=`` and ``wal_dir=``
+tenants serve unchanged), speaking a newline-delimited JSON protocol
+(:mod:`repro.io` wire codecs — one line is one message both ways).
+
+Concurrency model
+-----------------
+Everything runs on one event loop; engines are plain synchronous objects
+and are **never** shared across loops or threads.
+
+* **Write path.**  Each tenant owns a bounded :class:`asyncio.Queue` and a
+  single worker coroutine.  ``feed`` / ``feed_batch`` requests enqueue a
+  work item and await its future; the worker drains items in FIFO order,
+  feeding steps synchronously and awaiting ``asyncio.sleep(0)`` every
+  ``yield_every`` steps so one hot tenant cannot starve the loop (or the
+  read path) during a large batch.  Per-tenant order is total — exactly
+  the serial step stream the paper's scheduler model assumes.
+* **Admission control.**  The queue bound is measured in *steps*, not
+  items.  A write that would push a tenant's backlog past
+  ``max_queue_depth`` is rejected immediately with a structured
+  ``saturated`` error carrying ``retry_after`` — the backlog divided by an
+  exponential moving average of the tenant's recent drain rate — instead
+  of blocking the connection (a hang is indistinguishable from an outage
+  to a remote caller).
+* **Read path.**  Audit lookups, subschedule/tombstone queries, and
+  metrics are answered inline in the connection handler, *not* through the
+  queue.  The worker only mutates an engine between awaits and every
+  ``engine.feed`` call leaves the engine in a consistent state, so a read
+  scheduled between drain chunks always observes a step boundary — reads
+  stay fresh and latency-bounded even while the write queue is saturated.
+
+Durability
+----------
+A tenant created with ``wal_dir`` (or opened with the ``open`` op) runs a
+:class:`~repro.durability.DurableEngine` via
+:func:`~repro.durability.open_durable`: opening an existing directory
+recovers the logged history before serving, and ``close`` checkpoints
+before releasing the tenant.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import registry as _registry
+from repro.durability import DurableEngine, open_durable
+from repro.engine import build_engine
+from repro.errors import (
+    ModelError,
+    ProtocolError,
+    ReproError,
+    RequestRejectedError,
+    ServingError,
+    TenantSaturatedError,
+    UnknownTenantError,
+)
+from repro.io import (
+    WIRE_FORMAT,
+    schedule_to_list,
+    step_from_dict,
+    step_result_to_dict,
+    wire_message_from_line,
+    wire_message_to_line,
+)
+
+__all__ = ["ReproServer", "TenantCounters", "serve"]
+
+#: Bytes allowed in one wire line (bounds a feed_batch message; asyncio's
+#: default 64 KiB readline limit is far too small for real batches).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: Seed for a tenant's per-step drain-time EMA before any batch has been
+#: measured — pessimistic enough that early retry hints are not zero.
+_EMA_SEED_SECONDS = 50e-6
+_EMA_ALPHA = 0.2
+
+
+@dataclass
+class TenantCounters:
+    """Serving-side counters for one tenant (engine stats live on the
+    engine; these count what the *server* did on its behalf)."""
+
+    steps_served: int = 0
+    batches_served: int = 0
+    admissions_rejected: int = 0
+    audits_served: int = 0
+    reads_served: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class _WorkItem:
+    """One queued unit of per-tenant serialized work."""
+
+    kind: str  # "feed" | "sweep" | "flush_pending" | "stop"
+    steps: List[Any] = field(default_factory=list)
+    future: Optional[asyncio.Future] = None
+
+
+class _Tenant:
+    """One hosted engine: queue, worker task, counters, drain-rate EMA."""
+
+    def __init__(self, name: str, engine, *, wal_dir: Optional[str]) -> None:
+        self.name = name
+        self.engine = engine
+        self.wal_dir = wal_dir
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.pending_steps = 0
+        self.counters = TenantCounters()
+        self.ema_step_seconds = _EMA_SEED_SECONDS
+        self.worker: Optional[asyncio.Task] = None
+        self.closed = False
+
+    @property
+    def durable(self) -> bool:
+        return isinstance(self.engine, DurableEngine)
+
+    def retry_after(self) -> float:
+        """Estimated seconds until the current backlog drains."""
+        return round(self.pending_steps * self.ema_step_seconds, 6)
+
+
+class ReproServer:
+    """The multi-tenant asyncio TCP server.
+
+    >>> server = ReproServer(max_queue_depth=1024)
+    >>> server.create_tenant("acme", scheduler="conflict-graph",
+    ...                      policy="eager-c1")          # doctest: +SKIP
+    >>> host, port = await server.start()                # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_queue_depth: int = 4096,
+        yield_every: int = 64,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ServingError("max_queue_depth must be >= 1")
+        if yield_every < 1:
+            raise ServingError("yield_every must be >= 1")
+        self.host = host
+        self.port = port
+        self.max_queue_depth = max_queue_depth
+        self.yield_every = yield_every
+        self._tenants: Dict[str, _Tenant] = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections = 0
+
+    # -- tenant lifecycle ---------------------------------------------------
+
+    def create_tenant(
+        self,
+        name: str,
+        *,
+        wal_dir: Optional[str] = None,
+        shards: int = 1,
+        checkpoint_interval: Optional[int] = None,
+        sync: Optional[str] = None,
+        **config: Any,
+    ):
+        """Create (or, for an existing ``wal_dir``, recover) a tenant.
+
+        Engine construction goes through :func:`build_engine` /
+        :func:`open_durable`, so every engine flavor — monolithic,
+        sharded, durable — serves identically.
+        """
+        if not name or not isinstance(name, str):
+            raise ServingError(f"tenant name must be a non-empty string, got {name!r}")
+        if name in self._tenants:
+            raise ServingError(f"tenant {name!r} already exists")
+        if wal_dir is not None:
+            engine = open_durable(
+                wal_dir,
+                shards=shards,
+                checkpoint_interval=checkpoint_interval,
+                sync=sync,
+                **config,
+            )
+        else:
+            engine = build_engine(
+                shards=shards,
+                checkpoint_interval=checkpoint_interval,
+                sync=sync,
+                **config,
+            )
+        tenant = _Tenant(name, engine, wal_dir=wal_dir)
+        self._tenants[name] = tenant
+        self._ensure_worker(tenant)
+        return tenant
+
+    def _ensure_worker(self, tenant: _Tenant) -> None:
+        """Start the tenant's worker task (lazily when no loop is running
+        yet — tenants may be created before ``asyncio.run``)."""
+        if tenant.worker is not None:
+            return
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return  # started later, from start()/submit() inside the loop
+        tenant.worker = loop.create_task(
+            self._drain(tenant), name=f"repro-tenant-{tenant.name}"
+        )
+
+    def open_tenant(self, name: str, wal_dir: str):
+        """Open *name* from an existing WAL directory (lazy recovery)."""
+        if name in self._tenants:
+            raise ServingError(f"tenant {name!r} already exists")
+        return self.create_tenant(name, wal_dir=wal_dir)
+
+    async def close_tenant(self, name: str) -> None:
+        """Drain the tenant's queue, checkpoint if durable, release it."""
+        tenant = self._get(name)
+        self._ensure_worker(tenant)
+        tenant.closed = True
+        tenant.queue.put_nowait(_WorkItem("stop"))
+        if tenant.worker is not None:
+            await tenant.worker
+        if tenant.durable:
+            tenant.engine.close(checkpoint=True)
+        del self._tenants[name]
+
+    def tenants(self) -> List[Dict[str, Any]]:
+        return [self._tenant_info(t) for t in self._tenants.values()]
+
+    def _get(self, name: Any) -> _Tenant:
+        tenant = self._tenants.get(name)
+        if tenant is None or tenant.closed:
+            raise UnknownTenantError(name)
+        return tenant
+
+    def _tenant_info(self, tenant: _Tenant) -> Dict[str, Any]:
+        return {
+            "tenant": tenant.name,
+            "durable": tenant.durable,
+            "wal_dir": tenant.wal_dir,
+            "queue_depth": tenant.pending_steps,
+            "retry_after": tenant.retry_after(),
+            **tenant.counters.as_dict(),
+        }
+
+    # -- write path ---------------------------------------------------------
+
+    def _admit(self, tenant: _Tenant, n_steps: int) -> None:
+        if n_steps > self.max_queue_depth:
+            # No amount of waiting admits this batch — saying "retry later"
+            # would send the client into a futile retry loop.
+            tenant.counters.admissions_rejected += 1
+            raise RequestRejectedError(
+                "too_large",
+                f"batch of {n_steps} steps exceeds max_queue_depth="
+                f"{self.max_queue_depth}; split it into smaller batches",
+            )
+        if tenant.pending_steps + n_steps > self.max_queue_depth:
+            tenant.counters.admissions_rejected += 1
+            raise TenantSaturatedError(
+                f"tenant {tenant.name!r} queue is full "
+                f"({tenant.pending_steps}/{self.max_queue_depth} steps "
+                f"pending, {n_steps} offered)",
+                retry_after=tenant.retry_after(),
+            )
+
+    async def submit(self, name: str, steps: List[Any]) -> List[Any]:
+        """Enqueue *steps* for *name* and await their StepResults.
+
+        Raises :class:`TenantSaturatedError` instead of blocking when the
+        tenant's backlog would exceed ``max_queue_depth``.
+        """
+        tenant = self._get(name)
+        self._ensure_worker(tenant)
+        self._admit(tenant, len(steps))
+        future = asyncio.get_running_loop().create_future()
+        tenant.pending_steps += len(steps)
+        tenant.queue.put_nowait(_WorkItem("feed", list(steps), future))
+        return await future
+
+    async def submit_control(self, name: str, kind: str) -> Any:
+        """Enqueue a control op ("sweep" / "flush_pending") — serialized
+        with the write stream, so it lands at a well-defined position."""
+        tenant = self._get(name)
+        self._ensure_worker(tenant)
+        future = asyncio.get_running_loop().create_future()
+        tenant.queue.put_nowait(_WorkItem(kind, [], future))
+        return await future
+
+    async def _drain(self, tenant: _Tenant) -> None:
+        """The per-tenant worker: FIFO over the queue, cooperative yields."""
+        while True:
+            item = await tenant.queue.get()
+            try:
+                if item.kind == "stop":
+                    return
+                if item.kind == "sweep":
+                    outcome: Any = sorted(tenant.engine.sweep())
+                elif item.kind == "flush_pending":
+                    flush = getattr(tenant.engine, "flush_pending", None)
+                    outcome = 0 if flush is None else flush()
+                else:
+                    outcome = await self._feed_steps(tenant, item.steps)
+            except BaseException as exc:  # delivered to the caller, not lost
+                if item.future is not None and not item.future.done():
+                    item.future.set_exception(exc)
+                if not isinstance(exc, Exception):
+                    raise
+            else:
+                if item.future is not None and not item.future.done():
+                    item.future.set_result(outcome)
+            finally:
+                tenant.queue.task_done()
+
+    async def _feed_steps(self, tenant: _Tenant, steps: List[Any]) -> List[Any]:
+        results: List[Any] = []
+        started = time.perf_counter()
+        try:
+            for index, step in enumerate(steps):
+                results.append(tenant.engine.feed(step))
+                tenant.counters.steps_served += 1
+                if (index + 1) % self.yield_every == 0:
+                    await asyncio.sleep(0)
+        finally:
+            done = len(results)
+            tenant.pending_steps -= len(steps)
+            if done:
+                per_step = (time.perf_counter() - started) / done
+                tenant.ema_step_seconds = (
+                    (1 - _EMA_ALPHA) * tenant.ema_step_seconds
+                    + _EMA_ALPHA * per_step
+                )
+            tenant.counters.batches_served += 1
+        return results
+
+    # -- read path ----------------------------------------------------------
+
+    def audit(self, name: str, txn: Any) -> Dict[str, Any]:
+        tenant = self._get(name)
+        tenant.counters.audits_served += 1
+        return tenant.engine.audit(txn).as_dict()
+
+    def query(self, name: str, what: str) -> Any:
+        tenant = self._get(name)
+        tenant.counters.reads_served += 1
+        engine = tenant.engine
+        if what == "accepted":
+            return schedule_to_list(engine.accepted_subschedule())
+        if what == "live":
+            return sorted(engine.live_transactions())
+        if what == "deleted":
+            return sorted(engine.deleted_transactions())
+        if what == "aborted":
+            return sorted(engine.aborted)
+        if what == "stats":
+            return dataclasses.asdict(engine.stats)
+        raise ProtocolError(
+            f"unknown query {what!r}; known: accepted, live, deleted, "
+            "aborted, stats"
+        )
+
+    def metrics(self) -> Dict[str, Any]:
+        """The ``/metrics`` surface: server gauges + per-tenant counters
+        + each engine's :class:`~repro.engine.GcStats` totals."""
+        tenants: Dict[str, Any] = {}
+        for tenant in self._tenants.values():
+            stats = tenant.engine.stats
+            tenants[tenant.name] = {
+                **self._tenant_info(tenant),
+                "sweeps_run": tenant.engine.sweeps_run,
+                "engine": {
+                    "steps_fed": stats.steps_fed,
+                    "deletions": stats.deletions,
+                    "policy_invocations": stats.policy_invocations,
+                    "peak_graph_size": stats.peak_graph_size,
+                    "peak_retained_completed": stats.peak_retained_completed,
+                    "live": len(tenant.engine.live_transactions()),
+                    "deleted": len(tenant.engine.deleted_transactions()),
+                },
+            }
+        return {
+            "format": WIRE_FORMAT,
+            "suite": "serving_metrics",
+            "server": {
+                "tenants": len(self._tenants),
+                "connections": self._connections,
+                "max_queue_depth": self.max_queue_depth,
+                "yield_every": self.yield_every,
+            },
+            "tenants": tenants,
+        }
+
+    # -- wire ---------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port)."""
+        for tenant in self._tenants.values():
+            self._ensure_worker(tenant)
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting, drain workers, checkpoint durable tenants."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for name in list(self._tenants):
+            await self.close_tenant(name)
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections += 1
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(
+                        writer,
+                        _error_payload(
+                            None, "bad_request",
+                            f"wire line exceeds {MAX_LINE_BYTES} bytes",
+                        ),
+                    )
+                    break
+                if not line:
+                    break
+                response = await self._dispatch_line(line)
+                await self._send(writer, response)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter, payload: Dict) -> None:
+        writer.write(wire_message_to_line(payload).encode("utf-8") + b"\n")
+        await writer.drain()
+
+    async def _dispatch_line(self, line: bytes) -> Dict[str, Any]:
+        request_id = None
+        try:
+            request = wire_message_from_line(line.decode("utf-8"))
+            request_id = request.get("id")
+            return await self._dispatch(request)
+        except TenantSaturatedError as exc:
+            payload = _error_payload(request_id, exc.code, exc.message)
+            payload["error"]["retry_after"] = exc.retry_after
+            return payload
+        except RequestRejectedError as exc:
+            return _error_payload(request_id, exc.code, exc.message)
+        except UnknownTenantError as exc:
+            payload = _error_payload(request_id, "unknown_tenant", str(exc))
+            payload["error"]["tenant"] = exc.tenant
+            return payload
+        except (ModelError, ProtocolError, KeyError, TypeError) as exc:
+            # Malformed wire traffic: undecodable lines, bad step dicts,
+            # missing fields.  Structured response, connection survives.
+            return _error_payload(request_id, "bad_request", _exc_message(exc))
+        except ReproError as exc:
+            return _error_payload(
+                request_id, getattr(exc, "code", type(exc).__name__), str(exc)
+            )
+        except Exception as exc:  # noqa: BLE001 — never drop the connection
+            return _error_payload(
+                request_id, "internal", f"{type(exc).__name__}: {exc}"
+            )
+
+    async def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op")
+        if not isinstance(op, str):
+            raise ProtocolError("wire message carries no 'op' string")
+        handler = getattr(self, f"_op_{op.replace('-', '_')}", None)
+        if handler is None:
+            raise ProtocolError(f"unknown op {op!r}")
+        payload = await handler(request)
+        payload.setdefault("ok", True)
+        if request.get("id") is not None:
+            payload["id"] = request["id"]
+        return payload
+
+    # -- op handlers (one per protocol verb) --------------------------------
+
+    async def _op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"server": "repro", "tenants": len(self._tenants)}
+
+    async def _op_catalog(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"catalog": _registry.catalog()}
+
+    async def _op_create(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        config = request.get("config", {})
+        if not isinstance(config, dict):
+            raise ProtocolError("'config' must be an object of engine kwargs")
+        tenant = self.create_tenant(
+            _require_tenant(request),
+            wal_dir=request.get("wal_dir"),
+            shards=int(request.get("shards", 1)),
+            checkpoint_interval=request.get("checkpoint_interval"),
+            sync=request.get("sync"),
+            **config,
+        )
+        return {"tenant": tenant.name, "durable": tenant.durable}
+
+    async def _op_open(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        wal_dir = request.get("wal_dir")
+        if not isinstance(wal_dir, str) or not wal_dir:
+            raise ProtocolError("'open' requires a 'wal_dir' string")
+        tenant = self.open_tenant(_require_tenant(request), wal_dir)
+        info = tenant.engine.recovery_info
+        return {
+            "tenant": tenant.name,
+            "recovered_steps": 0 if info is None else info.replayed_steps,
+        }
+
+    async def _op_close(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        name = _require_tenant(request)
+        self._get(name)  # raise before enqueueing the stop
+        await self.close_tenant(name)
+        return {"tenant": name, "closed": True}
+
+    async def _op_tenants(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"tenants": self.tenants()}
+
+    async def _op_feed(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        step = step_from_dict(_require(request, "step"))
+        results = await self.submit(_require_tenant(request), [step])
+        return {"result": step_result_to_dict(results[0])}
+
+    async def _op_feed_batch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        raw = _require(request, "steps")
+        if not isinstance(raw, list):
+            raise ProtocolError("'steps' must be a list of step objects")
+        steps = [step_from_dict(item) for item in raw]
+        results = await self.submit(_require_tenant(request), steps)
+        counts: Dict[str, int] = {}
+        for result in results:
+            key = result.decision.value
+            counts[key] = counts.get(key, 0) + 1
+        payload: Dict[str, Any] = {
+            "count": len(results),
+            "accepted": counts.get("accepted", 0),
+            "rejected": counts.get("rejected", 0),
+            "delayed": counts.get("delayed", 0),
+            "ignored": counts.get("ignored", 0),
+            "aborted": sorted({t for r in results for t in r.aborted}),
+            "committed": sorted({t for r in results for t in r.committed}),
+        }
+        if request.get("results"):
+            payload["results"] = [step_result_to_dict(r) for r in results]
+        return payload
+
+    async def _op_sweep(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        deleted = await self.submit_control(_require_tenant(request), "sweep")
+        return {"deleted": deleted}
+
+    async def _op_flush_pending(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        flushed = await self.submit_control(
+            _require_tenant(request), "flush_pending"
+        )
+        return {"flushed": flushed}
+
+    async def _op_audit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        txn = _require(request, "txn")
+        return {"audit": self.audit(_require_tenant(request), txn)}
+
+    async def _op_query(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        what = _require(request, "what")
+        return {what: self.query(_require_tenant(request), what)}
+
+    async def _op_metrics(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"metrics": self.metrics()}
+
+
+def _require(request: Dict[str, Any], key: str) -> Any:
+    if key not in request:
+        raise ProtocolError(f"request is missing the {key!r} field")
+    return request[key]
+
+
+def _require_tenant(request: Dict[str, Any]) -> str:
+    tenant = _require(request, "tenant")
+    if not isinstance(tenant, str) or not tenant:
+        raise ProtocolError(f"'tenant' must be a non-empty string, got {tenant!r}")
+    return tenant
+
+
+def _exc_message(exc: BaseException) -> str:
+    # KeyError repr()s its message; everything else str()s cleanly.
+    return exc.args[0] if isinstance(exc, KeyError) and exc.args else str(exc)
+
+
+def _error_payload(request_id: Any, code: str, message: str) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload
+
+
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    max_queue_depth: int = 4096,
+    yield_every: int = 64,
+    tenants: Dict[str, Dict[str, Any]] = (),
+) -> ReproServer:
+    """Convenience: build, pre-create *tenants*, and start a server.
+
+    *tenants* maps tenant name to ``create_tenant`` keyword arguments.
+    The caller owns the returned server (``await server.serve_forever()``
+    or ``await server.close()``).
+    """
+    server = ReproServer(
+        host, port, max_queue_depth=max_queue_depth, yield_every=yield_every
+    )
+    for name, kwargs in dict(tenants or {}).items():
+        server.create_tenant(name, **kwargs)
+    await server.start()
+    return server

@@ -1,0 +1,177 @@
+"""Served-vs-standalone lockstep equivalence (the serving soundness gate).
+
+The serving layer must be a *transport*, not a semantics layer: a step
+stream fed to a tenant over the wire must produce exactly the results the
+same stream produces when fed to a standalone engine in-process.  This
+module drives one server hosting several tenants — different schedulers,
+policies, and shard counts — with **interleaved** feeds (round-robin
+across tenants, so per-tenant queue serialization is actually exercised)
+plus audit reads between writes, and asserts
+
+* identical per-step :class:`StepResult`s, round-tripped through the wire
+  codecs (same style as ``test_sharding_equivalence.py``),
+* identical audit records at interleaved read points,
+* identical accepted subschedules, live/deleted/aborted sets, and stats,
+* **byte-identical** engine snapshots (the served engine serialized via
+  ``engine_snapshot_to_json`` equals the standalone engine's bytes).
+
+CI refuses to pass if this module is skipped (same guard as the kernel
+and sharding equivalence suites).
+
+No pytest-asyncio in the image: each test spins its own loop via
+``asyncio.run`` inside a plain test function.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.client import AsyncServingClient
+from repro.engine import build_engine
+from repro.io import engine_snapshot_to_json, schedule_to_list
+from repro.server import ReproServer
+from repro.workloads.generator import (
+    WorkloadConfig,
+    basic_stream,
+    multiwrite_stream,
+    predeclared_stream,
+)
+
+#: (tenant name, engine kwargs, stream factory) — one tenant per scheduler
+#: family, plus a sharded tenant so the sharded write path serves too.
+TENANTS = [
+    ("conflict", dict(scheduler="conflict-graph", policy="eager-c1"),
+     basic_stream),
+    ("certifier", dict(scheduler="certifier", policy="noncurrent"),
+     basic_stream),
+    ("locking", dict(scheduler="strict-2pl", policy="lemma1"), basic_stream),
+    ("multiwrite", dict(scheduler="multiwrite", policy="eager-c3"),
+     multiwrite_stream),
+    ("predeclared", dict(scheduler="predeclared", policy="eager-c4"),
+     predeclared_stream),
+    ("sharded", dict(scheduler="conflict-graph", policy="eager-c1", shards=2),
+     basic_stream),
+]
+
+#: Audit this often while writing, so reads interleave with feeds.
+_AUDIT_EVERY = 7
+
+
+def _workload(seed: int) -> WorkloadConfig:
+    return WorkloadConfig(
+        n_transactions=30,
+        n_entities=12,
+        multiprogramming=4,
+        write_fraction=0.5,
+        max_accesses=3,
+        seed=seed,
+        partitions=2,
+        cross_fraction=0.2,
+    )
+
+
+async def _drive(seed: int) -> None:
+    server = ReproServer(max_queue_depth=4096, yield_every=16)
+    host, port = await server.start()
+    standalones = {}
+    streams = {}
+    try:
+        async with await AsyncServingClient.connect(host, port) as client:
+            for name, kwargs, streamer in TENANTS:
+                await client.create_tenant(name, **kwargs)
+                standalones[name] = build_engine(**kwargs)
+                streams[name] = list(streamer(_workload(seed)))
+
+            # Round-robin interleave: tenant A's step i, tenant B's step i,
+            # ... so the per-tenant queues serve concurrently-arriving
+            # traffic, with audit reads every few writes.
+            longest = max(len(s) for s in streams.values())
+            for index in range(longest):
+                for name, _kwargs, _streamer in TENANTS:
+                    stream = streams[name]
+                    if index >= len(stream):
+                        continue
+                    step = stream[index]
+                    expected = standalones[name].feed(step)
+                    actual = await client.feed(name, step)
+                    assert actual == expected, (
+                        f"{name} diverged at step {index} ({step}): "
+                        f"{actual} != {expected}"
+                    )
+                    if index % _AUDIT_EVERY == 0:
+                        txn = step.txn
+                        served = await client.audit(name, txn)
+                        local = standalones[name].audit(txn).as_dict()
+                        assert served == local, (
+                            f"{name} audit({txn!r}) diverged: "
+                            f"{served} != {local}"
+                        )
+
+            for name, kwargs, _streamer in TENANTS:
+                engine = standalones[name]
+                if kwargs.get("shards", 1) > 1:
+                    await client.flush_pending(name)
+                    engine.flush_pending()
+                assert await client.query(name, "accepted") == (
+                    schedule_to_list(engine.accepted_subschedule())
+                )
+                assert await client.query(name, "live") == sorted(
+                    engine.live_transactions()
+                )
+                assert await client.query(name, "deleted") == sorted(
+                    engine.deleted_transactions()
+                )
+                assert await client.query(name, "aborted") == sorted(
+                    engine.aborted
+                )
+                served_stats = await client.query(name, "stats")
+                assert served_stats["steps_fed"] == engine.stats.steps_fed
+                assert served_stats["deleted_ids"] == list(
+                    engine.stats.deleted_ids
+                )
+                # The strong claim: the served engine *is* the standalone
+                # engine — snapshots byte-identical.
+                served_engine = server._tenants[name].engine
+                assert engine_snapshot_to_json(served_engine.snapshot()) == (
+                    engine_snapshot_to_json(engine.snapshot())
+                ), f"{name}: served snapshot differs from standalone"
+    finally:
+        await server.close()
+
+
+class TestServedLockstep:
+    @pytest.mark.parametrize("seed", [3, 17, 42])
+    def test_interleaved_multitenant_lockstep(self, seed):
+        asyncio.run(_drive(seed))
+
+
+class TestBatchedLockstep:
+    """feed_batch over the wire equals in-process feed_batch."""
+
+    def test_feed_batch_summary_and_results(self):
+        async def _run() -> None:
+            server = ReproServer()
+            host, port = await server.start()
+            try:
+                async with await AsyncServingClient.connect(host, port) as c:
+                    await c.create_tenant(
+                        "t", scheduler="conflict-graph", policy="noncurrent"
+                    )
+                    engine = build_engine(
+                        scheduler="conflict-graph", policy="noncurrent"
+                    )
+                    steps = list(basic_stream(_workload(seed=9)))
+                    expected = engine.feed_batch(steps)
+                    summary = await c.feed_batch("t", steps, results=True)
+                    assert summary["count"] == expected.steps_fed
+                    assert summary["accepted"] == expected.accepted
+                    assert summary["rejected"] == expected.rejected
+                    assert summary["delayed"] == expected.delayed
+                    assert summary["ignored"] == expected.ignored
+                    assert tuple(summary["results"]) == expected.results
+            finally:
+                await server.close()
+
+        asyncio.run(_run())
