@@ -1,0 +1,405 @@
+"""E19 — chaos drill: availability, MTTR, and zero write loss under faults.
+
+PR 7 made failures schedulable (:mod:`repro.faults`) and tenants
+self-healing (:mod:`repro.server`): a worker crash demotes the tenant to
+degraded read-only service while a supervised recovery task rebuilds the
+engine from its WAL with bounded exponential backoff.  This experiment
+prices that machinery end to end with a **fixed-seed fault plan** against
+a live server:
+
+1. A writer drives a banking stream through
+   :meth:`~repro.client.AsyncServingClient.feed_resumable` while the
+   plan crashes the tenant worker several times (the first recovery
+   attempt of the first two outages is made to fail too, widening the
+   degraded windows) and drops a client connection mid-run.
+2. A reader hammers audit/query reads throughout, bucketed by the
+   tenant state it observed — measuring **read availability** overall
+   and inside the degraded windows specifically.
+3. After the dust settles the drill ends the way every drill should: a
+   **successful audit of a deleted transaction on the recovered
+   tenant**, and a cold :func:`~repro.durability.recover` of the WAL
+   compared byte-for-byte against a fault-free oracle.
+
+Acceptance gates: **zero write loss** (every step of the stream is in
+the recovered state exactly once — `wal_seq == len(stream)` and the
+snapshot equals the oracle's), **read availability ≥ 99 %**, and the
+post-recovery audit answering ``deleted``.  MTTR is reported from the
+supervisor's own downtime accounting.
+
+Emits ``benchmarks/results/BENCH_faults.json`` (schema-checked by
+``validate_payload`` / ``benchmarks/validate_bench.py``).  Run directly
+(``python benchmarks/bench_faults.py [--scale smoke]``), through
+pytest-benchmark, or validate an existing payload with
+``--validate-only``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import pathlib
+import shutil
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+if __name__ == "__main__":  # direct execution: make src/ importable
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    )
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from _common import once, write_json_result, write_result
+
+from repro.analysis.report import ascii_table
+from repro.client import AsyncServingClient
+from repro.durability import recover
+from repro.engine import build_engine
+from repro.errors import ReproError, ServingError
+from repro.faults import FaultPlan, FaultSpec
+from repro.io import engine_snapshot_to_json
+from repro.server import ReproServer
+from repro.workloads.banking import BankingConfig, banking_stream
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_faults.json"
+
+AVAILABILITY_GATE = 0.99
+WRITE_LOSS_GATE = 0
+CHUNK = 16
+
+ENGINE_KWARGS = dict(scheduler="conflict-graph", policy="eager-c1")
+
+
+def _scale() -> str:
+    return os.environ.get("BENCH_FAULTS", "full")
+
+
+def _params(scale: str) -> Dict[str, object]:
+    if scale == "smoke":
+        return dict(
+            transfers=400, accounts=64,
+            worker_crashes=(3, 9),
+            recover_failures=(1, 3),
+            connection_drops=(40,),
+        )
+    return dict(
+        transfers=4_000, accounts=256,
+        worker_crashes=(4, 40, 96, 160),
+        recover_failures=(1, 4),
+        connection_drops=(60, 400),
+    )
+
+
+def _stream(params: Dict[str, object]) -> List[object]:
+    return list(banking_stream(BankingConfig(
+        n_accounts=int(params["accounts"]),
+        n_transfers=int(params["transfers"]),
+        deposit_fraction=0.7,
+        audit_every=0,
+        zipf_s=0.3,
+        multiprogramming=8,
+        seed=19,
+    )))
+
+
+def _plan(params: Dict[str, object]) -> FaultPlan:
+    faults = [
+        FaultSpec(site="server.worker", at=at, kind="crash")
+        for at in params["worker_crashes"]
+    ]
+    faults += [
+        FaultSpec(site="recover.start", at=at, kind="io_error")
+        for at in params["recover_failures"]
+    ]
+    faults += [
+        FaultSpec(site="server.connection", at=at, kind="drop")
+        for at in params["connection_drops"]
+    ]
+    return FaultPlan(faults, seed=19)
+
+
+def _fingerprint(engine) -> str:
+    return engine_snapshot_to_json(engine.snapshot())
+
+
+async def _drill(params: Dict[str, object], wal_dir: pathlib.Path):
+    stream = _stream(params)
+    server = ReproServer(
+        fault_plan=_plan(params),
+        recover_backoff=0.02, recover_backoff_cap=0.2,
+        recover_max_attempts=10,
+        max_queue_depth=1 << 16,
+    )
+    host, port = await server.start()
+    reads = {
+        "serving": {"attempts": 0, "answered": 0},
+        "degraded": {"attempts": 0, "answered": 0},
+        "recovering": {"attempts": 0, "answered": 0},
+    }
+    try:
+        writer = await AsyncServingClient.connect(host, port, timeout=30.0)
+        reader = await AsyncServingClient.connect(host, port, timeout=30.0)
+        await writer.create_tenant(
+            "drill", wal_dir=str(wal_dir), checkpoint_interval=64,
+            **ENGINE_KWARGS,
+        )
+        # Seed an auditable transaction before the chaos starts (the
+        # first worker crash is scheduled at item >= 3).
+        await writer.feed_batch("drill", stream[:3])
+        seed_txn = stream[0].txn
+        writing = asyncio.Event()
+        writing.set()
+
+        async def _write() -> Dict[str, int]:
+            try:
+                return await writer.feed_resumable(
+                    "drill", stream[3:], chunk=CHUNK, max_retries=64,
+                    backoff=0.005, backoff_cap=0.1,
+                )
+            finally:
+                writing.clear()
+
+        async def _read() -> None:
+            while writing.is_set():
+                try:
+                    state = (await reader.tenant_info("drill"))["state"]
+                except (ServingError, ReproError):
+                    state = "degraded"  # info itself failed: count it
+                    reads[state]["attempts"] += 1
+                    continue
+                bucket = reads.get(state)
+                if bucket is None:
+                    continue
+                bucket["attempts"] += 1
+                try:
+                    record = await reader.audit("drill", seed_txn)
+                    assert record["status"] in (
+                        "live", "completed", "deleted", "aborted"
+                    )
+                    bucket["answered"] += 1
+                except (ServingError, ReproError):
+                    pass
+                await asyncio.sleep(0.002)
+
+        started = time.perf_counter()
+        totals, _ = await asyncio.gather(_write(), _read())
+        wall = time.perf_counter() - started
+
+        # Settle: the tenant must end the drill serving.
+        for _ in range(600):
+            info = await writer.tenant_info("drill")
+            if info["state"] == "serving":
+                break
+            await asyncio.sleep(0.01)
+        assert info["state"] == "serving", info
+
+        # The drill's closing ceremony: audit a deleted transaction on
+        # the recovered tenant, over the wire.
+        deleted = await reader.query("drill", "deleted")
+        audit_deleted_ok = False
+        if deleted:
+            record = await reader.audit("drill", deleted[0])
+            audit_deleted_ok = record["status"] == "deleted"
+
+        await writer.close_tenant("drill")
+        await writer.close()
+        await reader.close()
+    finally:
+        await server.close()
+
+    oracle = build_engine(None, **ENGINE_KWARGS)
+    for step in stream:
+        oracle.feed(step)
+    check = recover(wal_dir)
+    try:
+        snapshot_identical = _fingerprint(check) == _fingerprint(oracle)
+        write_loss = len(stream) - check.seq
+    finally:
+        check.close()
+
+    attempts = sum(b["attempts"] for b in reads.values())
+    answered = sum(b["answered"] for b in reads.values())
+    degraded_window = {
+        "attempts": (
+            reads["degraded"]["attempts"] + reads["recovering"]["attempts"]
+        ),
+        "answered": (
+            reads["degraded"]["answered"] + reads["recovering"]["answered"]
+        ),
+    }
+    downtime = float(info["downtime_seconds"])
+    recoveries = int(info["recoveries"])
+    return {
+        "steps": len(stream),
+        "wall_seconds": round(wall, 3),
+        "demotions": int(info["demotions"]),
+        "recoveries": recoveries,
+        "recover_attempts": int(info["recover_attempts"]),
+        "downtime_seconds": round(downtime, 4),
+        "mttr_seconds": round(downtime / recoveries, 4) if recoveries else 0.0,
+        "client_retries": int(totals["retries"]),
+        "client_resynced": int(totals["resynced"]),
+        "read_attempts": attempts,
+        "read_answered": answered,
+        "read_availability": (
+            round(answered / attempts, 4) if attempts else 1.0
+        ),
+        "degraded_window_reads": degraded_window,
+        "write_loss": int(write_loss),
+        "snapshot_identical": bool(snapshot_identical),
+        "audit_deleted_ok": bool(audit_deleted_ok),
+    }
+
+
+def _experiment() -> Dict[str, object]:
+    params = _params(_scale())
+    wal_root = pathlib.Path(tempfile.mkdtemp(prefix="repro-e19-"))
+    try:
+        drill = asyncio.run(_drill(params, wal_root / "wal"))
+    finally:
+        shutil.rmtree(wal_root, ignore_errors=True)
+    return {
+        "format": 1,
+        "suite": "faults",
+        "scale": _scale(),
+        "fault_plan": _plan(params).as_dict(),
+        "chaos_drill": drill,
+        "gates": {
+            "write_loss_max": WRITE_LOSS_GATE,
+            "write_loss": drill["write_loss"],
+            "read_availability_min": AVAILABILITY_GATE,
+            "read_availability": drill["read_availability"],
+            "snapshot_identical": drill["snapshot_identical"],
+            "audit_deleted_ok": drill["audit_deleted_ok"],
+        },
+    }
+
+
+def _check_gates(payload: Dict[str, object]) -> None:
+    drill = payload["chaos_drill"]
+    assert drill["write_loss"] <= WRITE_LOSS_GATE, (
+        f"{drill['write_loss']} acknowledged writes missing from the "
+        f"recovered WAL (gate: {WRITE_LOSS_GATE})"
+    )
+    assert drill["snapshot_identical"], (
+        "recovered tenant state diverged from the fault-free oracle"
+    )
+    assert drill["read_availability"] >= AVAILABILITY_GATE, (
+        f"read availability {drill['read_availability']} under chaos is "
+        f"below the {AVAILABILITY_GATE} gate"
+    )
+    assert drill["audit_deleted_ok"], (
+        "the drill could not audit a deleted transaction on the "
+        "recovered tenant"
+    )
+    assert drill["demotions"] >= 1 and drill["recoveries"] >= 1, (
+        "the fault plan never demoted the tenant — the drill measured "
+        "nothing"
+    )
+
+
+def validate_payload(payload: Dict[str, object]) -> None:
+    """Schema check for BENCH_faults.json; raises ValueError on drift."""
+    for key in ("format", "suite", "scale", "fault_plan", "chaos_drill",
+                "gates"):
+        if key not in payload:
+            raise ValueError(f"missing top-level key {key!r}")
+    if payload["format"] != 1 or payload["suite"] != "faults":
+        raise ValueError("wrong format/suite stamp")
+    plan = payload["fault_plan"]
+    if not isinstance(plan, dict) or not isinstance(plan.get("faults"), list):
+        raise ValueError("fault_plan must carry a 'faults' list")
+    if not plan["faults"]:
+        raise ValueError("the drill's fault plan is empty")
+    drill = payload["chaos_drill"]
+    for key in ("steps", "demotions", "recoveries", "recover_attempts",
+                "downtime_seconds", "mttr_seconds", "read_attempts",
+                "read_answered", "read_availability", "write_loss"):
+        if not isinstance(drill.get(key), (int, float)):
+            raise ValueError(f"chaos_drill.{key} must be numeric")
+    for key in ("snapshot_identical", "audit_deleted_ok"):
+        if not isinstance(drill.get(key), bool):
+            raise ValueError(f"chaos_drill.{key} must be a boolean")
+    if drill["write_loss"] > WRITE_LOSS_GATE:
+        raise ValueError(
+            f"write loss {drill['write_loss']} exceeds the gate "
+            f"({WRITE_LOSS_GATE})"
+        )
+    if drill["read_availability"] < AVAILABILITY_GATE:
+        raise ValueError(
+            f"read availability {drill['read_availability']} is below "
+            f"the {AVAILABILITY_GATE} gate"
+        )
+    if not drill["snapshot_identical"]:
+        raise ValueError("recovered snapshot diverged from the oracle")
+    if not drill["audit_deleted_ok"]:
+        raise ValueError("post-recovery audit of a deleted txn failed")
+    if drill["demotions"] < 1 or drill["recoveries"] < 1:
+        raise ValueError("the drill recorded no demotion/recovery cycle")
+    if drill["read_answered"] > drill["read_attempts"]:
+        raise ValueError("more reads answered than attempted")
+
+
+def _emit(payload: Dict[str, object]) -> None:
+    write_json_result(RESULTS_PATH, payload)
+    drill = payload["chaos_drill"]
+    window = drill["degraded_window_reads"]
+    table = ascii_table(
+        ["metric", "value", "gate"],
+        [
+            ["steps driven", drill["steps"], "-"],
+            ["demotions / recoveries",
+             f"{drill['demotions']} / {drill['recoveries']}", ">=1"],
+            ["MTTR (s)", drill["mttr_seconds"], "-"],
+            ["read availability", drill["read_availability"],
+             f">={AVAILABILITY_GATE}"],
+            ["reads in degraded windows",
+             f"{window['answered']}/{window['attempts']}", "-"],
+            ["write loss", drill["write_loss"], f"<={WRITE_LOSS_GATE}"],
+            ["snapshot == oracle", drill["snapshot_identical"], "True"],
+            ["audit deleted after heal", drill["audit_deleted_ok"], "True"],
+        ],
+        title=(
+            f"E19: chaos drill ({payload['scale']} scale) — "
+            f"self-healing tenants under a fixed-seed fault plan"
+        ),
+    )
+    write_result("E19_faults", table)
+
+
+def bench_faults(benchmark):
+    """pytest-benchmark entry point."""
+    payload = once(benchmark, _experiment)
+    _check_gates(payload)
+    _emit(payload)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("full", "smoke"), default=None)
+    parser.add_argument(
+        "--validate-only", metavar="PATH",
+        help="validate an existing BENCH_faults.json and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.validate_only:
+        validate_payload(
+            json.loads(pathlib.Path(args.validate_only).read_text())
+        )
+        print(f"{args.validate_only}: schema OK")
+        return 0
+    if args.scale:
+        os.environ["BENCH_FAULTS"] = args.scale
+    payload = _experiment()
+    _check_gates(payload)
+    _emit(payload)
+    print(f"wrote {RESULTS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -330,10 +330,34 @@ def validate_metrics(payload: Dict[str, object]) -> None:
     for name, entry in tenants.items():
         for key in ("queue_depth", "admissions_rejected", "steps_served",
                     "batches_served", "audits_served", "reads_served",
-                    "sweeps_run"):
+                    "demotions", "recoveries", "recover_attempts"):
             if not isinstance(entry.get(key), int):
                 raise ValueError(f"tenants[{name!r}].{key} must be an integer")
+        if entry.get("state") not in ("serving", "degraded", "recovering"):
+            raise ValueError(
+                f"tenants[{name!r}].state must be one of "
+                f"serving/degraded/recovering"
+            )
+        if not isinstance(entry.get("downtime_seconds"), (int, float)):
+            raise ValueError(
+                f"tenants[{name!r}].downtime_seconds must be numeric"
+            )
+        # A degraded tenant whose in-memory engine is unreachable reports
+        # engine=None / sweeps_run=None — the outage must not blind the
+        # metrics surface, but it may blank these two sections.
+        if entry.get("sweeps_run") is not None and not isinstance(
+            entry.get("sweeps_run"), int
+        ):
+            raise ValueError(
+                f"tenants[{name!r}].sweeps_run must be an integer or null"
+            )
         engine = entry.get("engine")
+        if engine is None:
+            if entry["state"] == "serving":
+                raise ValueError(
+                    f"tenants[{name!r}] is serving but reports no engine"
+                )
+            continue
         if not isinstance(engine, dict):
             raise ValueError(f"tenants[{name!r}].engine must be an object")
         for key in ("steps_fed", "deletions", "policy_invocations",

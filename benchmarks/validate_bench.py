@@ -25,6 +25,7 @@ sys.path.insert(
 
 def _validators() -> Dict[str, Callable[[dict], None]]:
     import bench_durability
+    import bench_faults
     import bench_hotpaths
     import bench_serving
     import bench_shard_scale
@@ -37,6 +38,7 @@ def _validators() -> Dict[str, Callable[[dict], None]]:
         "durability": bench_durability.validate_payload,
         "serving": bench_serving.validate_payload,
         "serving_metrics": bench_serving.validate_metrics,
+        "faults": bench_faults.validate_payload,
     }
 
 

@@ -24,6 +24,7 @@ paper-to-module map.
 """
 
 from repro.errors import (
+    ConnectionDroppedError,
     CycleError,
     DeletionError,
     DurabilityError,
@@ -38,15 +39,19 @@ from repro.errors import (
     RegistryError,
     ReproError,
     RequestRejectedError,
+    RequestTimeoutError,
+    RetriesExhaustedError,
     SchedulerError,
     ServingError,
     SnapshotError,
+    TenantDegradedError,
     TenantSaturatedError,
     TransactionStateError,
     UnknownNameError,
     UnknownTenantError,
     UnsafeDeletionError,
     WalCorruptionError,
+    WalLockedError,
     WorkloadError,
 )
 from repro.model import (
@@ -158,6 +163,7 @@ from repro.engine import (
     build_engine,
 )
 from repro.durability import DurableEngine, RecoveryInfo, open_durable, recover
+from repro.faults import FaultPlan, FaultSpec, FaultyIO, InjectedFault, StorageIO
 from repro.server import ReproServer
 from repro.client import AsyncServingClient, ServingClient
 from repro.analysis.runner import MetricsObserver
@@ -193,11 +199,16 @@ __all__ = [
     "DurabilityError",
     "WalCorruptionError",
     "RecoveryError",
+    "WalLockedError",
     "ServingError",
     "ProtocolError",
     "UnknownTenantError",
     "RequestRejectedError",
     "TenantSaturatedError",
+    "TenantDegradedError",
+    "ConnectionDroppedError",
+    "RequestTimeoutError",
+    "RetriesExhaustedError",
     # engine + registries
     "Engine",
     "ShardedEngine",
@@ -208,6 +219,12 @@ __all__ = [
     "RecoveryInfo",
     "recover",
     "open_durable",
+    # fault injection
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyIO",
+    "InjectedFault",
+    "StorageIO",
     # serving
     "ReproServer",
     "ServingClient",

@@ -376,11 +376,21 @@ def _serve(args: argparse.Namespace) -> int:
 
     from repro.server import ReproServer
 
+    fault_plan = None
+    if getattr(args, "fault_plan", None):
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.load(args.fault_plan)
+
     server = ReproServer(
         args.host,
         args.port,
         max_queue_depth=args.queue_depth,
         yield_every=args.yield_every,
+        fault_plan=fault_plan,
+        recover_max_attempts=args.recover_max_attempts,
+        recover_backoff=args.recover_backoff,
+        recover_backoff_cap=args.recover_backoff_cap,
     )
     for name, scheduler, policy in args.tenant or ():
         server.create_tenant(name, scheduler=scheduler, policy=policy)
@@ -525,6 +535,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--yield-every", type=int, default=64,
                               help="cooperatively yield the event loop "
                                    "every N fed steps")
+    serve_parser.add_argument("--fault-plan", default=None,
+                              help="JSON fault-plan file (repro.faults."
+                                   "FaultPlan.dump) injected into storage "
+                                   "I/O and workers — chaos drills only")
+    serve_parser.add_argument("--recover-max-attempts", type=int, default=6,
+                              help="recovery attempts per demotion before a "
+                                   "tenant is declared permanently degraded")
+    serve_parser.add_argument("--recover-backoff", type=float, default=0.05,
+                              help="initial recovery backoff (seconds)")
+    serve_parser.add_argument("--recover-backoff-cap", type=float, default=2.0,
+                              help="max recovery backoff (seconds)")
     serve_parser.add_argument("--tenant", nargs=3, action="append",
                               metavar=("NAME", "SCHEDULER", "POLICY"),
                               help="pre-create a tenant (repeatable)")

@@ -10,22 +10,44 @@ Two flavors over the same newline-delimited JSON protocol:
 
 Error responses are raised as the matching :mod:`repro.errors` types:
 ``saturated`` becomes :class:`TenantSaturatedError` (carrying the
-server's ``retry_after`` hint), ``unknown_tenant`` becomes
+server's ``retry_after`` hint), ``degraded`` becomes
+:class:`TenantDegradedError`, ``unknown_tenant`` becomes
 :class:`UnknownTenantError`, and everything else surfaces as
 :class:`RequestRejectedError` with the machine-readable ``code``.
-:meth:`feed_all` shows the intended backpressure loop: chunk, submit,
-sleep ``retry_after`` on saturation, resubmit.
+
+Fault tolerance (added with the chaos work):
+
+* every request can carry a **deadline** (``timeout=``, or a client-wide
+  default) — a silent server raises :class:`RequestTimeoutError` and the
+  connection is marked dirty, so the next request reconnects;
+* a dropped connection raises :class:`ConnectionDroppedError`; requests
+  flagged ``idempotent`` (all the read verbs) transparently reconnect
+  and retry once, write verbs surface the drop because their outcome is
+  indeterminate;
+* :meth:`feed_all` retries ``saturated``/``degraded`` rejections with
+  capped exponential backoff + jitter and raises
+  :class:`RetriesExhaustedError` (carrying the partial totals) when the
+  budget runs out;
+* :meth:`feed_resumable` survives mid-batch connection drops and tenant
+  demotions by polling ``tenant_info`` until the tenant serves again and
+  resuming from the durable ``wal_seq`` watermark (single-writer
+  assumption: nobody else feeds the tenant concurrently).
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 from typing import Any, Dict, Iterable, List, Optional
 
 from repro.errors import (
+    ConnectionDroppedError,
     ProtocolError,
     RequestRejectedError,
+    RequestTimeoutError,
+    RetriesExhaustedError,
     ServingError,
+    TenantDegradedError,
     TenantSaturatedError,
     UnknownTenantError,
 )
@@ -49,6 +71,12 @@ def _raise_for_error(response: Dict[str, Any]) -> Dict[str, Any]:
     if code == "saturated":
         exc = TenantSaturatedError(message, float(error.get("retry_after", 0.0)))
         raise exc
+    if code == "degraded":
+        raise TenantDegradedError(
+            message,
+            retry_after=float(error.get("retry_after", 0.0)),
+            exhausted=bool(error.get("exhausted", False)),
+        )
     if code == "unknown_tenant":
         raise UnknownTenantError(error.get("tenant", message))
     raise RequestRejectedError(code, message)
@@ -66,24 +94,39 @@ class AsyncServingClient:
     """
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout: Optional[float] = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
+        self._host = host
+        self._port = port
+        self._timeout = timeout
         self._next_id = 0
+        self._dirty = False
+        self._rng = random.Random(0xB0FF)
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "AsyncServingClient":
+    async def connect(
+        cls, host: str, port: int, *, timeout: Optional[float] = None
+    ) -> "AsyncServingClient":
+        """Open a connection.  *timeout* becomes the per-request default
+        deadline (``None`` = wait forever, the pre-chaos behavior)."""
         reader, writer = await asyncio.open_connection(
             host, port, limit=MAX_LINE_BYTES
         )
-        return cls(reader, writer)
+        return cls(reader, writer, host=host, port=port, timeout=timeout)
 
     async def close(self) -> None:
         self._writer.close()
         try:
             await self._writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError):
+        except (ConnectionResetError, BrokenPipeError, OSError):
             pass
 
     async def __aenter__(self) -> "AsyncServingClient":
@@ -94,34 +137,91 @@ class AsyncServingClient:
 
     # -- raw protocol -------------------------------------------------------
 
-    async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one message, await the matching response, raise on error."""
-        self._next_id += 1
-        request_id = self._next_id
-        message = dict(payload)
-        message["id"] = request_id
+    async def _reconnect(self) -> None:
+        await self.close()
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port, limit=MAX_LINE_BYTES
+        )
+        self._dirty = False
+
+    async def _roundtrip(self, message: Dict[str, Any]) -> Dict[str, Any]:
         self._writer.write(
             wire_message_to_line(message).encode("utf-8") + b"\n"
         )
         await self._writer.drain()
         line = await self._reader.readline()
         if not line:
-            raise ServingError("server closed the connection")
-        response = wire_message_from_line(line.decode("utf-8"))
-        if response.get("id") not in (None, request_id):
-            raise ProtocolError(
-                f"response id {response.get('id')!r} does not match "
-                f"request id {request_id!r}"
-            )
-        return _raise_for_error(response)
+            raise ConnectionDroppedError("server closed the connection")
+        return wire_message_from_line(line.decode("utf-8"))
+
+    async def request(
+        self,
+        payload: Dict[str, Any],
+        *,
+        timeout: Optional[float] = None,
+        idempotent: bool = False,
+    ) -> Dict[str, Any]:
+        """Send one message, await the matching response, raise on error.
+
+        A connection known to be dirty (a previous request timed out or
+        the socket dropped mid-flight) is transparently re-opened before
+        sending — stale bytes from the dead exchange can never be
+        misread as this request's response.  *idempotent* requests are
+        retried once across a fresh connection after a drop; writes are
+        not, because the server may have applied them (the caller
+        resolves the indeterminacy — see :meth:`feed_resumable`).
+        """
+        if timeout is None:
+            timeout = self._timeout
+        attempts = 2 if idempotent and self._host is not None else 1
+        for attempt in range(attempts):
+            if self._dirty:
+                if self._host is None:
+                    raise ConnectionDroppedError(
+                        "connection is dirty and the client has no "
+                        "(host, port) to reconnect with"
+                    )
+                await self._reconnect()
+            self._next_id += 1
+            request_id = self._next_id
+            message = dict(payload)
+            message["id"] = request_id
+            try:
+                if timeout is not None:
+                    response = await asyncio.wait_for(
+                        self._roundtrip(message), timeout
+                    )
+                else:
+                    response = await self._roundtrip(message)
+            except asyncio.TimeoutError:
+                self._dirty = True
+                raise RequestTimeoutError(
+                    f"no response to {payload.get('op')!r} within {timeout}s"
+                ) from None
+            except (ConnectionDroppedError, OSError) as exc:
+                self._dirty = True
+                if attempt + 1 < attempts:
+                    continue
+                raise ConnectionDroppedError(
+                    f"connection dropped during {payload.get('op')!r}: {exc}"
+                ) from exc
+            if response.get("id") not in (None, request_id):
+                raise ProtocolError(
+                    f"response id {response.get('id')!r} does not match "
+                    f"request id {request_id!r}"
+                )
+            return _raise_for_error(response)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # -- lifecycle ----------------------------------------------------------
 
     async def ping(self) -> Dict[str, Any]:
-        return await self.request({"op": "ping"})
+        return await self.request({"op": "ping"}, idempotent=True)
 
     async def catalog(self) -> Dict[str, Any]:
-        return (await self.request({"op": "catalog"}))["catalog"]
+        return (await self.request({"op": "catalog"}, idempotent=True))[
+            "catalog"
+        ]
 
     async def create_tenant(self, tenant: str, **kwargs: Any) -> Dict[str, Any]:
         request: Dict[str, Any] = {"op": "create", "tenant": tenant}
@@ -141,7 +241,19 @@ class AsyncServingClient:
         return await self.request({"op": "close", "tenant": tenant})
 
     async def tenants(self) -> List[Dict[str, Any]]:
-        return (await self.request({"op": "tenants"}))["tenants"]
+        return (await self.request({"op": "tenants"}, idempotent=True))[
+            "tenants"
+        ]
+
+    async def tenant_info(self, tenant: str) -> Dict[str, Any]:
+        """One tenant's info dict (state, counters, ``wal_seq`` durable
+        watermark when serving, …) — the resume anchor for
+        :meth:`feed_resumable`."""
+        return (
+            await self.request(
+                {"op": "tenant", "tenant": tenant}, idempotent=True
+            )
+        )["info"]
 
     # -- write path ---------------------------------------------------------
 
@@ -168,6 +280,12 @@ class AsyncServingClient:
             ]
         return response
 
+    def _retry_pause(self, hint: float, delay: float, cap: float) -> float:
+        """Backoff for one retry: at least the server's hint, at most
+        the cap, with multiplicative jitter in [0.5, 1.5)."""
+        pause = max(float(hint), min(delay, cap), 1e-4)
+        return pause * (0.5 + self._rng.random())
+
     async def feed_all(
         self,
         tenant: str,
@@ -175,22 +293,46 @@ class AsyncServingClient:
         *,
         chunk: int = 256,
         max_retries: int = 64,
+        backoff: float = 0.01,
+        backoff_cap: float = 1.0,
     ) -> Dict[str, int]:
-        """Feed everything, honoring backpressure: on ``saturated``,
-        sleep the server's ``retry_after`` hint and resubmit the chunk."""
+        """Feed everything, honoring backpressure and outages: a
+        ``saturated`` or ``degraded`` rejection is retried with capped
+        exponential backoff + jitter (never below the server's
+        ``retry_after`` hint).  The retry budget is *bounded*: when it
+        runs out — or the server says recovery is permanently exhausted —
+        a :class:`RetriesExhaustedError` carrying the partial totals is
+        raised instead of looping forever.  A dropped connection is NOT
+        retried here (the batch outcome is indeterminate); use
+        :meth:`feed_resumable` for that.
+        """
         totals = {"count": 0, "accepted": 0, "rejected": 0, "delayed": 0,
                   "ignored": 0, "retries": 0}
         buffer: List[Any] = []
 
         async def _flush() -> None:
+            delay = backoff
             for attempt in range(max_retries + 1):
                 try:
                     summary = await self.feed_batch(tenant, buffer)
-                except TenantSaturatedError as exc:
-                    if attempt == max_retries:
-                        raise
+                except (TenantSaturatedError, TenantDegradedError) as exc:
+                    exhausted = bool(getattr(exc, "exhausted", False))
+                    if exhausted or attempt == max_retries:
+                        raise RetriesExhaustedError(
+                            f"gave up feeding tenant {tenant!r} after "
+                            f"{attempt + 1} attempt(s): {exc}",
+                            attempts=attempt + 1,
+                            fed=totals["count"],
+                            totals=dict(totals),
+                        ) from exc
                     totals["retries"] += 1
-                    await asyncio.sleep(max(exc.retry_after, 1e-4))
+                    await asyncio.sleep(
+                        self._retry_pause(
+                            getattr(exc, "retry_after", 0.0), delay,
+                            backoff_cap,
+                        )
+                    )
+                    delay = min(delay * 2, backoff_cap)
                 else:
                     for key in ("count", "accepted", "rejected", "delayed",
                                 "ignored"):
@@ -206,6 +348,125 @@ class AsyncServingClient:
             await _flush()
         return totals
 
+    async def _await_serving(
+        self,
+        tenant: str,
+        *,
+        max_polls: int,
+        backoff: float,
+        backoff_cap: float,
+    ) -> Dict[str, Any]:
+        """Poll ``tenant_info`` until the tenant serves again; returns
+        the serving info dict (with its ``wal_seq`` watermark)."""
+        delay = backoff
+        for poll in range(max_polls):
+            try:
+                info = await self.tenant_info(tenant)
+            except (ConnectionDroppedError, RequestTimeoutError):
+                info = None
+            if info is not None:
+                if info.get("state") == "serving":
+                    return info
+                if info.get("recovery_exhausted"):
+                    raise RetriesExhaustedError(
+                        f"tenant {tenant!r} exhausted its recovery budget "
+                        f"({info.get('last_error')})",
+                        attempts=poll + 1,
+                    )
+            await asyncio.sleep(self._retry_pause(0.0, delay, backoff_cap))
+            delay = min(delay * 2, backoff_cap)
+        raise RetriesExhaustedError(
+            f"tenant {tenant!r} did not return to serving within "
+            f"{max_polls} polls",
+            attempts=max_polls,
+        )
+
+    async def feed_resumable(
+        self,
+        tenant: str,
+        steps: Iterable[Any],
+        *,
+        chunk: int = 256,
+        max_retries: int = 16,
+        max_polls: int = 200,
+        backoff: float = 0.01,
+        backoff_cap: float = 1.0,
+    ) -> Dict[str, int]:
+        """Feed a *durable* tenant to completion across connection drops,
+        worker crashes, and demotions.
+
+        The durable ``wal_seq`` watermark is the acknowledgment ground
+        truth: the delta from the starting watermark counts exactly how
+        many of *our* steps the server made durable (single-writer
+        assumption).  After any indeterminate failure the client waits
+        for the tenant to serve again, re-reads the watermark, and
+        resumes from the first step not yet on disk — so no acknowledged
+        (or even durably-applied) step is ever re-fed, and no step is
+        skipped.
+        """
+        stream = list(steps)
+        info = await self._await_serving(
+            tenant, max_polls=max_polls, backoff=backoff,
+            backoff_cap=backoff_cap,
+        )
+        base = info.get("wal_seq")
+        if base is None:
+            raise ServingError(
+                f"feed_resumable needs a durable tenant; {tenant!r} "
+                "reports no wal_seq watermark"
+            )
+        totals = {"count": 0, "accepted": 0, "rejected": 0, "delayed": 0,
+                  "ignored": 0, "retries": 0, "resynced": 0}
+        fed = 0
+        failures = 0
+        while fed < len(stream):
+            batch = stream[fed : fed + chunk]
+            try:
+                summary = await self.feed_batch(tenant, batch)
+            except (
+                TenantSaturatedError,
+                TenantDegradedError,
+                ConnectionDroppedError,
+                RequestTimeoutError,
+            ) as exc:
+                if bool(getattr(exc, "exhausted", False)):
+                    raise RetriesExhaustedError(
+                        f"tenant {tenant!r} is permanently degraded: {exc}",
+                        attempts=failures + 1, fed=fed, totals=dict(totals),
+                    ) from exc
+                failures += 1
+                if failures > max_retries:
+                    raise RetriesExhaustedError(
+                        f"gave up feeding tenant {tenant!r} after "
+                        f"{failures} failure(s): {exc}",
+                        attempts=failures, fed=fed, totals=dict(totals),
+                    ) from exc
+                totals["retries"] += 1
+                await asyncio.sleep(
+                    self._retry_pause(
+                        getattr(exc, "retry_after", 0.0),
+                        backoff * (2 ** min(failures, 16)),
+                        backoff_cap,
+                    )
+                )
+                info = await self._await_serving(
+                    tenant, max_polls=max_polls, backoff=backoff,
+                    backoff_cap=backoff_cap,
+                )
+                durable = int(info["wal_seq"]) - int(base)
+                if durable > fed:
+                    # Steps whose acknowledgment we lost are on disk;
+                    # account them as resynced, never re-feed them.
+                    totals["resynced"] += durable - fed
+                    fed = durable
+                continue
+            failures = 0
+            fed += len(batch)
+            for key in ("count", "accepted", "rejected", "delayed",
+                        "ignored"):
+                totals[key] += summary[key]
+        return totals
+
     async def sweep(self, tenant: str) -> List[Any]:
         return (await self.request({"op": "sweep", "tenant": tenant}))["deleted"]
 
@@ -218,16 +479,23 @@ class AsyncServingClient:
 
     async def audit(self, tenant: str, txn: Any) -> Dict[str, Any]:
         return (
-            await self.request({"op": "audit", "tenant": tenant, "txn": txn})
+            await self.request(
+                {"op": "audit", "tenant": tenant, "txn": txn}, idempotent=True
+            )
         )["audit"]
 
     async def query(self, tenant: str, what: str) -> Any:
         return (
-            await self.request({"op": "query", "tenant": tenant, "what": what})
+            await self.request(
+                {"op": "query", "tenant": tenant, "what": what},
+                idempotent=True,
+            )
         )[what]
 
     async def metrics(self) -> Dict[str, Any]:
-        return (await self.request({"op": "metrics"}))["metrics"]
+        return (await self.request({"op": "metrics"}, idempotent=True))[
+            "metrics"
+        ]
 
 
 class ServingClient:
@@ -238,10 +506,14 @@ class ServingClient:
     called from inside a coroutine (use the async client there).
     """
 
-    def __init__(self, host: str, port: int) -> None:
+    def __init__(
+        self, host: str, port: int, *, timeout: Optional[float] = None
+    ) -> None:
         self._loop = asyncio.new_event_loop()
         self._client: Optional[AsyncServingClient] = None
-        self._client = self._run(AsyncServingClient.connect(host, port))
+        self._client = self._run(
+            AsyncServingClient.connect(host, port, timeout=timeout)
+        )
 
     def _run(self, coroutine):
         return self._loop.run_until_complete(coroutine)
@@ -279,6 +551,9 @@ class ServingClient:
     def tenants(self) -> List[Dict[str, Any]]:
         return self._run(self._client.tenants())
 
+    def tenant_info(self, tenant: str) -> Dict[str, Any]:
+        return self._run(self._client.tenant_info(tenant))
+
     def feed(self, tenant: str, step) -> Any:
         return self._run(self._client.feed(tenant, step))
 
@@ -291,11 +566,26 @@ class ServingClient:
 
     def feed_all(
         self, tenant: str, steps: Iterable[Any], *, chunk: int = 256,
-        max_retries: int = 64,
+        max_retries: int = 64, backoff: float = 0.01,
+        backoff_cap: float = 1.0,
     ) -> Dict[str, int]:
         return self._run(
             self._client.feed_all(
-                tenant, list(steps), chunk=chunk, max_retries=max_retries
+                tenant, list(steps), chunk=chunk, max_retries=max_retries,
+                backoff=backoff, backoff_cap=backoff_cap,
+            )
+        )
+
+    def feed_resumable(
+        self, tenant: str, steps: Iterable[Any], *, chunk: int = 256,
+        max_retries: int = 16, max_polls: int = 200, backoff: float = 0.01,
+        backoff_cap: float = 1.0,
+    ) -> Dict[str, int]:
+        return self._run(
+            self._client.feed_resumable(
+                tenant, list(steps), chunk=chunk, max_retries=max_retries,
+                max_polls=max_polls, backoff=backoff,
+                backoff_cap=backoff_cap,
             )
         )
 

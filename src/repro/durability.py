@@ -69,7 +69,9 @@ from repro.errors import (
     RecoveryError,
     ReproError,
     WalCorruptionError,
+    WalLockedError,
 )
+from repro.faults import StorageIO
 from repro.io import (
     atomic_write_json,
     restore_engine,
@@ -102,8 +104,13 @@ _CHECKPOINTS_DIR = "checkpoints"
 _SEGMENT_SUFFIX = ".wal"
 _ENGINE_STREAM = "engine"
 _ROUTER_STREAM = "router"
+LOCK_NAME = "LOCK"
 
 _SYNC_MODES = ("checkpoint", "always")
+
+#: Shared passthrough shim — every engine without an explicit ``io``
+#: routes storage calls through this (one method hop, no allocation).
+_DEFAULT_IO = StorageIO()
 
 
 def _segment_name(epoch: int, stream: str) -> str:
@@ -175,6 +182,83 @@ def _step_record_line(seq: int, step: Step) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Exclusive writer lock
+# ---------------------------------------------------------------------------
+
+
+def _pid_alive(pid: int) -> bool:
+    if not isinstance(pid, int) or pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    return True
+
+
+class _WalLock:
+    """Exclusive advisory lock: one live writer per ``wal_dir``.
+
+    Two engines appending to the same log would interleave sequence
+    numbers and corrupt the segment order, so every open — fresh or via
+    :func:`recover` — creates a ``LOCK`` file with ``O_CREAT|O_EXCL``
+    recording the owner's PID.  A second open finds the file and raises
+    :class:`~repro.errors.WalLockedError` while the recorded PID is
+    alive; locks left by *dead* processes (a crash never releases) and
+    torn/unreadable lock files are stale and reclaimed in place.
+    """
+
+    def __init__(self, path: pathlib.Path, pid: int) -> None:
+        self.path = path
+        self.pid = pid
+        self._released = False
+
+    @classmethod
+    def acquire(cls, wal_path: pathlib.Path) -> "_WalLock":
+        path = pathlib.Path(wal_path) / LOCK_NAME
+        owner: Optional[int] = None
+        for _attempt in range(3):
+            try:
+                fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+            except FileExistsError:
+                owner = cls._owner_pid(path)
+                if owner is not None and _pid_alive(owner):
+                    raise WalLockedError(wal_path, owner)
+                # Stale (dead owner) or torn (unreadable): reclaim.
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
+                continue
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(_json.dumps({"pid": os.getpid()}) + "\n")
+            return cls(path, os.getpid())
+        # Three reclaim attempts lost the race every time: something is
+        # recreating the lock faster than we can claim it.
+        raise WalLockedError(wal_path, owner if owner is not None else -1)
+
+    @staticmethod
+    def _owner_pid(path: pathlib.Path) -> Optional[int]:
+        try:
+            payload = _json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        pid = payload.get("pid") if isinstance(payload, dict) else None
+        return pid if isinstance(pid, int) else None
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
 # Segment writer
 # ---------------------------------------------------------------------------
 
@@ -187,9 +271,13 @@ class _WalWriter:
     fsync per record (power-loss durability).
     """
 
-    def __init__(self, directory: pathlib.Path, *, sync_always: bool) -> None:
+    def __init__(
+        self, directory: pathlib.Path, *, sync_always: bool,
+        io: StorageIO = _DEFAULT_IO,
+    ) -> None:
         self._dir = directory
         self._sync_always = sync_always
+        self._io = io
         self._epoch = 0
         self._files: Dict[str, Any] = {}
 
@@ -205,20 +293,15 @@ class _WalWriter:
         handle = self._files.get(stream)
         if handle is None:
             path = self._dir / _segment_name(self._epoch, stream)
-            handle = open(path, "a", encoding="utf-8")
+            # Power-loss durability needs the new segment's directory
+            # entry on disk too, not just its records.
+            handle = self._io.open_append(
+                path, self._dir, fsync_dir=self._sync_always
+            )
             self._files[stream] = handle
-            if self._sync_always:
-                # Power-loss durability needs the new segment's directory
-                # entry on disk too, not just its records.
-                dir_fd = os.open(self._dir, os.O_RDONLY)
-                try:
-                    os.fsync(dir_fd)
-                finally:
-                    os.close(dir_fd)
-        handle.write(line + "\n")
-        handle.flush()
+        self._io.append_line(handle, line)
         if self._sync_always:
-            os.fsync(handle.fileno())
+            self._io.fsync(handle)
 
     def roll(self, new_epoch: int) -> None:
         """Close the current epoch's files and start a new epoch."""
@@ -238,8 +321,14 @@ class _WalWriter:
         return removed
 
     def close(self) -> None:
+        # Exception-tolerant: close() runs on demotion paths where the
+        # storage below may be actively failing — a handle that cannot
+        # flush must not keep the lock held or the engine half-open.
         for handle in self._files.values():
-            handle.close()
+            try:
+                handle.close()
+            except OSError:
+                pass
         self._files.clear()
 
 
@@ -357,6 +446,7 @@ class DurableEngine:
         checkpoint_interval: int = 64,
         sync: str = "checkpoint",
         observers: Iterable[EngineObserver] = (),
+        io: Optional[StorageIO] = None,
         **overrides: Any,
     ) -> None:
         if config is None:
@@ -393,6 +483,7 @@ class DurableEngine:
             cursors=self._fresh_cursors(inner),
             recovery_info=None,
             write_manifest=True,
+            io=io,
         )
 
     # -- construction plumbing ---------------------------------------------------
@@ -423,6 +514,8 @@ class DurableEngine:
         recovery_info: Optional[RecoveryInfo],
         write_manifest: bool,
         last_checkpoint_path: Optional[pathlib.Path] = None,
+        io: Optional[StorageIO] = None,
+        lock: Optional[_WalLock] = None,
     ) -> None:
         self._inner = inner
         self._sharded = isinstance(inner, ShardedEngine)
@@ -441,25 +534,36 @@ class DurableEngine:
         self._cursors = cursors
         self.recovery_info = recovery_info
         self._closed = False
+        self._poisoned = False
+        self._io = io if io is not None else _DEFAULT_IO
         segments = wal_path / _SEGMENTS_DIR
         checkpoints = wal_path / _CHECKPOINTS_DIR
         segments.mkdir(parents=True, exist_ok=True)
         checkpoints.mkdir(parents=True, exist_ok=True)
         self._checkpoints_dir = checkpoints
-        self._wal = _WalWriter(segments, sync_always=(sync == "always"))
-        self._wal.set_epoch(epoch)
-        if write_manifest:
-            atomic_write_json(
-                wal_path / MANIFEST_NAME,
-                {
-                    "format": MANIFEST_FORMAT,
-                    "kind": MANIFEST_KIND,
-                    "config": config.as_dict(),
-                    "shards": shards,
-                    "checkpoint_interval": checkpoint_interval,
-                    "sync": sync,
-                },
+        if lock is None:
+            lock = _WalLock.acquire(wal_path)
+        self._lock = lock
+        try:
+            self._wal = _WalWriter(
+                segments, sync_always=(sync == "always"), io=self._io
             )
+            self._wal.set_epoch(epoch)
+            if write_manifest:
+                atomic_write_json(
+                    wal_path / MANIFEST_NAME,
+                    {
+                        "format": MANIFEST_FORMAT,
+                        "kind": MANIFEST_KIND,
+                        "config": config.as_dict(),
+                        "shards": shards,
+                        "checkpoint_interval": checkpoint_interval,
+                        "sync": sync,
+                    },
+                )
+        except BaseException:
+            lock.release()
+            raise
 
     # -- delegation ---------------------------------------------------------------
 
@@ -497,6 +601,12 @@ class DurableEngine:
     def _require_open(self) -> None:
         if self._closed:
             raise DurabilityError("this durable engine has been closed")
+        if self._poisoned:
+            raise DurabilityError(
+                "this durable engine hit a storage fault mid-append; "
+                "close it and recover() the wal_dir (appending past a "
+                "torn record would corrupt the log)"
+            )
 
     def _stream_for(self, step: Step) -> str:
         if not self._sharded:
@@ -512,17 +622,27 @@ class DurableEngine:
         """WAL-append *step*, apply it, checkpoint when the cadence is due."""
         self._require_open()
         seq = self._seq + 1
-        self._wal.append(self._stream_for(step), _step_record_line(seq, step))
+        self._append(self._stream_for(step), _step_record_line(seq, step))
         self._seq = seq
         result = self._inner.feed(step)
         self._maybe_checkpoint()
         return result
 
+    def _append(self, stream: str, line: str) -> None:
+        """One WAL append; a failure poisons the engine (the segment may
+        now end in a torn record — appending more would bury it mid-file
+        where recovery rightly refuses to repair)."""
+        try:
+            self._wal.append(stream, line)
+        except BaseException:
+            self._poisoned = True
+            raise
+
     def _log_control(self, op: str) -> None:
         self._require_open()
         seq = self._seq + 1
         stream = _ROUTER_STREAM if self._sharded else _ENGINE_STREAM
-        self._wal.append(stream, wal_record_to_line(seq, control=op))
+        self._append(stream, wal_record_to_line(seq, control=op))
         self._seq = seq
 
     def _maybe_checkpoint(self) -> None:
@@ -707,7 +827,20 @@ class DurableEngine:
             "delta": delta,
         }
         path = self._checkpoints_dir / _checkpoint_name(seq)
-        atomic_write_json(path, payload, indent=None)
+        try:
+            self._io.write_checkpoint(
+                path, _json.dumps(payload, separators=(",", ":")) + "\n"
+            )
+        except BaseException:
+            if path.exists():
+                # The rename published the checkpoint but a later stage
+                # (the directory fsync) failed: disk now disagrees with
+                # the in-memory chain state, and continuing would write
+                # the next checkpoint with a stale prev_seq — a broken
+                # chain.  Poison: close + recover() resolves it (the
+                # published file simply becomes the latest link).
+                self._poisoned = True
+            raise
         # The checkpoint is durable: advance the chain, roll the epoch,
         # delete the WAL prefix it covers, and strip the now-superseded
         # predecessor down to its delta (recovery only ever restores the
@@ -747,13 +880,43 @@ class DurableEngine:
         atomic_write_json(previous, payload, indent=None, fsync=False)
 
     def close(self, *, checkpoint: bool = False) -> None:
-        """Close the WAL files (optionally after a final checkpoint)."""
+        """Close the WAL files (optionally after a final checkpoint).
+
+        The file handles are closed and the writer lock released even
+        when the final checkpoint raises — a close on a failing disk
+        must still surrender the directory so :func:`recover` can take
+        over.
+        """
         if self._closed:
             return
-        if checkpoint:
-            self.checkpoint()
-        self._wal.close()
+        try:
+            if checkpoint and not self._poisoned:
+                self.checkpoint()
+        finally:
+            self._closed = True
+            self._wal.close()
+            if self._lock is not None:
+                self._lock.release()
+                self._lock = None
+
+    def simulate_crash(self) -> None:
+        """Abandon the engine the way a process kill would.
+
+        Drops the segment file handles and the writer lock **without**
+        checkpointing or truncating anything.  Every append was already
+        flushed, so the on-disk state after this call is byte-identical
+        to a real mid-run crash; the lock is released because a dead
+        PID's stale lock is reclaimed by :func:`recover` anyway (in
+        process, holding it would just block the test's own recovery).
+        Crash-injection suites use this between "kill" and ``recover``.
+        """
+        if self._closed:
+            return
         self._closed = True
+        self._wal.close()
+        if self._lock is not None:
+            self._lock.release()
+            self._lock = None
 
     def __enter__(self) -> "DurableEngine":
         return self
@@ -926,6 +1089,7 @@ def recover(
     observers: Iterable[EngineObserver] = (),
     checkpoint_interval: Optional[int] = None,
     sync: Optional[str] = None,
+    io: Optional[StorageIO] = None,
 ) -> DurableEngine:
     """Rebuild a live :class:`DurableEngine` from a crashed ``wal_dir``.
 
@@ -936,8 +1100,16 @@ def recover(
     logging where the crash left off.  The result is byte-identical to an
     uninterrupted run over the same logged prefix.  *observers* are
     attached **after** replay, so they see only post-recovery events.
+
+    The exclusive writer lock is taken before the directory is read (a
+    live writer would mutate segments under the scan) and released again
+    if recovery fails; pass *io* to route the resumed engine's storage
+    calls — and this recovery's repairs — through a custom
+    :class:`~repro.faults.StorageIO` shim.
     """
     wal_path = pathlib.Path(wal_dir)
+    storage = io if io is not None else _DEFAULT_IO
+    storage.check("recover.start")
     manifest = _load_manifest(wal_path)
     shards = int(manifest["shards"])
     try:
@@ -945,6 +1117,33 @@ def recover(
     except (TypeError, ReproError) as exc:
         raise RecoveryError(f"WAL manifest config is invalid: {exc}") from exc
 
+    lock = _WalLock.acquire(wal_path)
+    try:
+        return _recover_locked(
+            wal_path, manifest, config, shards,
+            observers=observers,
+            checkpoint_interval=checkpoint_interval,
+            sync=sync,
+            storage=storage,
+            lock=lock,
+        )
+    except BaseException:
+        lock.release()
+        raise
+
+
+def _recover_locked(
+    wal_path: pathlib.Path,
+    manifest: Dict[str, Any],
+    config: EngineConfig,
+    shards: int,
+    *,
+    observers: Iterable[EngineObserver],
+    checkpoint_interval: Optional[int],
+    sync: Optional[str],
+    storage: StorageIO,
+    lock: _WalLock,
+) -> DurableEngine:
     chain = _load_checkpoint_chain(wal_path / _CHECKPOINTS_DIR)
     results_chain: List[Dict[str, Any]] = []
     input_chain: List[Dict[str, Any]] = []
@@ -1074,7 +1273,7 @@ def recover(
     # recovery of the same directory sees only complete records.
     repaired: List[str] = []
     for path, offset in repairs:
-        os.truncate(path, offset)
+        storage.truncate(path, offset)
         repaired.append(path.name)
 
     max_seq = tail[-1][0] if tail else checkpoint_seq
@@ -1109,6 +1308,8 @@ def recover(
         ),
         write_manifest=False,
         last_checkpoint_path=latest_path,
+        io=storage,
+        lock=lock,
     )
     for observer in observers:
         engine._inner.subscribe(observer)
@@ -1123,6 +1324,7 @@ def open_durable(
     checkpoint_interval: Optional[int] = None,
     sync: Optional[str] = None,
     observers: Iterable[EngineObserver] = (),
+    io: Optional[StorageIO] = None,
     **overrides: Any,
 ) -> DurableEngine:
     """Open *wal_dir* whether or not it already holds a durable engine.
@@ -1142,6 +1344,7 @@ def open_durable(
             observers=observers,
             checkpoint_interval=checkpoint_interval,
             sync=sync,
+            io=io,
         )
         if shards is not None and engine.shard_count != shards:
             engine.close()
@@ -1171,5 +1374,6 @@ def open_durable(
         ),
         sync="checkpoint" if sync is None else sync,
         observers=observers,
+        io=io,
         **overrides,
     )

@@ -34,11 +34,16 @@ __all__ = [
     "DurabilityError",
     "WalCorruptionError",
     "RecoveryError",
+    "WalLockedError",
     "ServingError",
     "ProtocolError",
     "UnknownTenantError",
     "RequestRejectedError",
     "TenantSaturatedError",
+    "TenantDegradedError",
+    "ConnectionDroppedError",
+    "RequestTimeoutError",
+    "RetriesExhaustedError",
 ]
 
 
@@ -224,6 +229,25 @@ class RecoveryError(DurabilityError):
     tolerated)."""
 
 
+class WalLockedError(DurabilityError):
+    """Another live process holds the exclusive lock on this ``wal_dir``.
+
+    Two writers appending to the same log would interleave sequence
+    numbers and corrupt the segment order, so opening (or recovering) a
+    locked directory refuses up front.  Locks left behind by *dead*
+    processes are reclaimed automatically — this error always names a
+    PID that is still running.
+    """
+
+    def __init__(self, wal_dir: object, pid: int) -> None:
+        super().__init__(
+            f"wal_dir {str(wal_dir)!r} is locked by live process {pid}; "
+            "a WAL accepts exactly one writer at a time"
+        )
+        self.wal_dir = str(wal_dir)
+        self.pid = pid
+
+
 class ServingError(ReproError):
     """Base class for the serving layer (:mod:`repro.server` /
     :mod:`repro.client`)."""
@@ -269,3 +293,64 @@ class TenantSaturatedError(RequestRejectedError):
     def __init__(self, message: str, retry_after: float) -> None:
         super().__init__("saturated", message)
         self.retry_after = retry_after
+
+
+class TenantDegradedError(RequestRejectedError):
+    """A write was rejected because the tenant is degraded or recovering.
+
+    The tenant's worker hit an infrastructure failure (storage fault,
+    engine invariant violation); reads — audit, query, metrics — are
+    still answered from the last consistent state, but writes are
+    refused until recovery completes.  ``retry_after`` estimates when
+    the next recovery attempt lands; ``exhausted`` is True once the
+    recovery attempt budget is spent (the tenant will not heal on its
+    own — an operator must intervene).
+    """
+
+    def __init__(
+        self, message: str, *, retry_after: float = 0.0,
+        exhausted: bool = False,
+    ) -> None:
+        super().__init__("degraded", message)
+        self.retry_after = retry_after
+        self.exhausted = exhausted
+
+
+class ConnectionDroppedError(ServingError):
+    """The server connection died mid-request.
+
+    For idempotent reads the client retries transparently; for writes it
+    surfaces this error because the request's outcome is *indeterminate*
+    — the server may or may not have applied it.  Callers resolve the
+    ambiguity with :meth:`AsyncServingClient.feed_resumable`, which
+    consults the tenant's durable ``wal_seq`` instead of guessing.
+    """
+
+
+class RequestTimeoutError(ServingError):
+    """A request exceeded the client's per-request deadline.
+
+    The connection is treated as poisoned (the late response would
+    desynchronize the request/response stream) and is re-established
+    before the next request.  Like a dropped connection, a timed-out
+    write has an indeterminate outcome.
+    """
+
+
+class RetriesExhaustedError(ServingError):
+    """A bounded retry loop gave up.
+
+    Carries what was durably achieved before surrender: ``attempts``
+    (retries consumed), ``fed`` (steps known applied), and ``totals``
+    (the partial per-decision summary), so callers can resume instead of
+    restarting from scratch.
+    """
+
+    def __init__(
+        self, message: str, *, attempts: int, fed: int = 0,
+        totals: object = None,
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.fed = fed
+        self.totals = totals

@@ -1,0 +1,505 @@
+"""Deterministic, seed-driven fault injection for the storage and
+serving stack.
+
+The durability layer (PR 5) and the serving layer (PR 6) each promise to
+survive a specific catalogue of failures — torn appends, failed fsyncs,
+full disks, crashed workers, dropped connections.  This module makes
+those failures *schedulable*: a :class:`FaultPlan` is an explicit list
+of :class:`FaultSpec` entries, each saying "the Nth time execution
+reaches *site*, fail in *this* way".  The same plan always produces the
+same failure sequence, so a chaos run that finds a divergence is a
+reproducible test case, not an anecdote.
+
+Fault sites
+-----------
+Storage sites are reached through an injectable :class:`StorageIO` shim
+that :mod:`repro.durability` calls for every WAL/checkpoint operation
+(the default shim is a transparent passthrough with zero per-call
+overhead beyond one method hop).  Serving sites are checked by
+:class:`repro.server.ReproServer` itself.
+
+=====================  =======================================  ==========================
+site                   reached on                               kinds
+=====================  =======================================  ==========================
+``wal.open``           opening a segment file for append        io_error, delay
+``wal.append``         appending one WAL record                 io_error, enospc, torn_write, delay
+``wal.fsync``          fsync of a segment (``sync="always"``)   io_error, delay
+``dir.fsync``          directory fsync after publish/create     io_error
+``checkpoint.write``   writing a checkpoint tmp file            io_error, enospc, torn_write, delay
+``checkpoint.replace`` renaming the tmp over the final name     io_error
+``recover.start``      entry of :func:`repro.durability.recover`  io_error, delay
+``server.worker``      a tenant worker picking up a work item   crash
+``server.connection``  the server reading a request line        drop
+=====================  =======================================  ==========================
+
+Failure semantics follow the real syscalls they imitate:
+
+* ``torn_write`` on ``wal.append`` writes a *prefix* of the record and
+  then raises — exactly the artifact recovery's torn-tail repair exists
+  for.  On ``checkpoint.write`` the torn bytes land only in the tmp
+  file, which is never renamed (the atomic-write contract).
+* ``checkpoint.replace`` failure leaves a complete-but-unpublished tmp
+  file behind, like a crash between write and rename.
+* ``dir.fsync`` failure publishes the rename without syncing the parent
+  directory first — the file is visible but its durability is not yet
+  guaranteed.
+* ``enospc`` / ``io_error`` raise :class:`InjectedIOError` (an
+  :class:`OSError` with the matching errno), indistinguishable to the
+  caller from the kernel saying it.
+
+Determinism: per-site occurrence counters are the only state, guarded by
+a lock so the shim can be shared across the event loop and recovery
+executor threads.  ``FaultPlan.generate(seed)`` derives a pseudo-random
+plan from a seed (the chaos equivalence suite feeds it
+hypothesis-chosen seeds); plans round-trip through JSON for
+``repro serve --fault-plan``.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import json
+import os
+import pathlib
+import random
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "FAULT_PLAN_FORMAT",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyIO",
+    "InjectedFault",
+    "InjectedIOError",
+    "StorageIO",
+]
+
+FAULT_PLAN_FORMAT = 1
+FAULT_PLAN_KIND = "fault-plan"
+
+#: site -> kinds legal at that site (see the module docstring table).
+FAULT_SITES: Dict[str, Tuple[str, ...]] = {
+    "wal.open": ("io_error", "delay"),
+    "wal.append": ("io_error", "enospc", "torn_write", "delay"),
+    "wal.fsync": ("io_error", "delay"),
+    "dir.fsync": ("io_error",),
+    "checkpoint.write": ("io_error", "enospc", "torn_write", "delay"),
+    "checkpoint.replace": ("io_error",),
+    "recover.start": ("io_error", "delay"),
+    "server.worker": ("crash",),
+    "server.connection": ("drop",),
+}
+
+_ERRNO_FOR_KIND = {
+    "io_error": _errno.EIO,
+    "enospc": _errno.ENOSPC,
+    "torn_write": _errno.EIO,
+}
+
+
+class InjectedFault(ReproError):
+    """A scheduled non-I/O fault fired (worker crash, connection drop)."""
+
+    def __init__(self, site: str, kind: str, occurrence: int) -> None:
+        super().__init__(
+            f"injected fault: {kind} at {site} (occurrence {occurrence})"
+        )
+        self.site = site
+        self.kind = kind
+        self.occurrence = occurrence
+
+
+class InjectedIOError(OSError):
+    """A scheduled storage fault fired, dressed as the OS would raise it.
+
+    Subclasses :class:`OSError` so the code under test cannot tell it
+    from a genuine kernel error — fault handling must not depend on
+    recognizing the injector.
+    """
+
+    def __init__(self, site: str, kind: str, occurrence: int) -> None:
+        code = _ERRNO_FOR_KIND.get(kind, _errno.EIO)
+        super().__init__(
+            code,
+            f"injected {kind} at {site} (occurrence {occurrence})",
+        )
+        self.site = site
+        self.kind = kind
+        self.occurrence = occurrence
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: the *at*-th time *site* is reached, do *kind*.
+
+    ``at`` counts occurrences from 1.  ``seconds`` parameterizes
+    ``delay`` faults; ``keep`` parameterizes ``torn_write`` (how many
+    bytes of the record survive — defaults to roughly half).
+    """
+
+    site: str
+    at: int
+    kind: str
+    seconds: float = 0.0
+    keep: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise ReproError(
+                f"unknown fault site {self.site!r}; known: "
+                f"{', '.join(sorted(FAULT_SITES))}"
+            )
+        if self.kind not in FAULT_SITES[self.site]:
+            raise ReproError(
+                f"fault kind {self.kind!r} is not legal at site "
+                f"{self.site!r}; legal kinds: "
+                f"{', '.join(FAULT_SITES[self.site])}"
+            )
+        if not isinstance(self.at, int) or self.at < 1:
+            raise ReproError(
+                f"fault occurrence 'at' must be an integer >= 1, got "
+                f"{self.at!r}"
+            )
+        if self.seconds < 0:
+            raise ReproError(f"fault delay must be >= 0, got {self.seconds!r}")
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "site": self.site, "at": self.at, "kind": self.kind,
+        }
+        if self.seconds:
+            payload["seconds"] = self.seconds
+        if self.keep is not None:
+            payload["keep"] = self.keep
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultSpec":
+        if not isinstance(payload, dict):
+            raise ReproError(f"fault spec must be an object, got {payload!r}")
+        unknown = set(payload) - {"site", "at", "kind", "seconds", "keep"}
+        if unknown:
+            raise ReproError(
+                f"fault spec carries unknown fields: {sorted(unknown)}"
+            )
+        try:
+            return cls(
+                site=payload["site"],
+                at=int(payload["at"]),
+                kind=payload["kind"],
+                seconds=float(payload.get("seconds", 0.0)),
+                keep=payload.get("keep"),
+            )
+        except KeyError as exc:
+            raise ReproError(
+                f"fault spec is missing the {exc.args[0]!r} field"
+            ) from exc
+
+
+class FaultPlan:
+    """An ordered catalogue of scheduled faults with per-site counters.
+
+    Thread-safe: ``fire`` is called from the event loop, from recovery
+    executor threads, and from benchmark drivers sharing one plan.
+    ``fired`` records every fault that actually triggered, in order —
+    the post-mortem of a chaos run.
+    """
+
+    def __init__(
+        self, faults: Iterable[FaultSpec] = (), *, seed: Optional[int] = None
+    ) -> None:
+        self.faults: List[FaultSpec] = list(faults)
+        self.seed = seed
+        self._counts: Dict[str, int] = {}
+        self._by_site: Dict[str, Dict[int, List[FaultSpec]]] = {}
+        for spec in self.faults:
+            self._by_site.setdefault(spec.site, {}).setdefault(
+                spec.at, []
+            ).append(spec)
+        self._lock = threading.Lock()
+        self.fired: List[Tuple[str, int, FaultSpec]] = []
+
+    def fire(self, site: str) -> List[FaultSpec]:
+        """Count one occurrence of *site*; return the specs due now."""
+        with self._lock:
+            count = self._counts.get(site, 0) + 1
+            self._counts[site] = count
+            due = self._by_site.get(site, {}).get(count, [])
+            for spec in due:
+                self.fired.append((site, count, spec))
+            return list(due)
+
+    def occurrences(self, site: str) -> int:
+        with self._lock:
+            return self._counts.get(site, 0)
+
+    def reset(self) -> None:
+        """Zero the occurrence counters (replay the same plan again)."""
+        with self._lock:
+            self._counts.clear()
+            self.fired.clear()
+
+    # -- serialization ------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "format": FAULT_PLAN_FORMAT,
+            "kind": FAULT_PLAN_KIND,
+            "faults": [spec.as_dict() for spec in self.faults],
+        }
+        if self.seed is not None:
+            payload["seed"] = self.seed
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise ReproError(f"fault plan must be an object, got {payload!r}")
+        if (
+            payload.get("format") != FAULT_PLAN_FORMAT
+            or payload.get("kind") != FAULT_PLAN_KIND
+        ):
+            raise ReproError(
+                f"unsupported fault-plan stamp (format="
+                f"{payload.get('format')!r}, kind={payload.get('kind')!r})"
+            )
+        faults = payload.get("faults")
+        if not isinstance(faults, list):
+            raise ReproError("fault plan carries no 'faults' list")
+        return cls(
+            [FaultSpec.from_dict(item) for item in faults],
+            seed=payload.get("seed"),
+        )
+
+    def dump(self, path) -> None:
+        pathlib.Path(path).write_text(
+            json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def load(cls, path) -> "FaultPlan":
+        try:
+            payload = json.loads(pathlib.Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(f"cannot load fault plan {path!r}: {exc}") from exc
+        return cls.from_dict(payload)
+
+    # -- generation ---------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        *,
+        n_faults: int = 4,
+        horizon: int = 200,
+        sites: Optional[Sequence[str]] = None,
+        max_delay: float = 0.0,
+    ) -> "FaultPlan":
+        """Derive a pseudo-random plan from *seed* (deterministically).
+
+        Faults are spread over occurrence slots ``1..horizon`` at the
+        chosen *sites* (default: every storage site — serving sites are
+        opted into explicitly, because a generated worker crash is only
+        meaningful under a supervising server).  ``max_delay > 0``
+        allows ``delay`` kinds, bounded by that many seconds.
+        """
+        rng = random.Random(seed)
+        if sites is None:
+            sites = [s for s in FAULT_SITES if not s.startswith("server.")]
+        specs: List[FaultSpec] = []
+        taken: set = set()
+        for _ in range(n_faults):
+            site = rng.choice(list(sites))
+            kinds = [
+                k for k in FAULT_SITES[site]
+                if (k != "delay" or max_delay > 0)
+            ]
+            if not kinds:
+                continue
+            kind = rng.choice(kinds)
+            at = rng.randint(1, horizon)
+            if (site, at) in taken:
+                continue  # one fault per (site, occurrence) slot
+            taken.add((site, at))
+            seconds = (
+                round(rng.uniform(0.0, max_delay), 4)
+                if kind == "delay" else 0.0
+            )
+            specs.append(FaultSpec(site=site, at=at, kind=kind, seconds=seconds))
+        specs.sort(key=lambda s: (s.site, s.at))
+        return cls(specs, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# The storage shim
+# ---------------------------------------------------------------------------
+
+
+class StorageIO:
+    """Passthrough storage operations the durability layer routes through.
+
+    Subclass (see :class:`FaultyIO`) to interpose on any site.  The
+    methods mirror exactly what :mod:`repro.durability` needs — open an
+    append handle, append one line, fsync file/directory, truncate,
+    atomically publish a JSON file — nothing more, so the shim surface
+    stays auditable.
+    """
+
+    def check(self, site: str) -> None:
+        """Hook: called once per occurrence of every non-write site."""
+
+    def open_append(self, path, directory, *, fsync_dir: bool):
+        self.check("wal.open")
+        handle = open(path, "a", encoding="utf-8")
+        try:
+            if fsync_dir:
+                self.fsync_dir(directory)
+        except BaseException:
+            handle.close()
+            raise
+        return handle
+
+    def append_line(self, handle, line: str) -> None:
+        self.check("wal.append")
+        handle.write(line + "\n")
+        handle.flush()
+
+    def fsync(self, handle) -> None:
+        self.check("wal.fsync")
+        os.fsync(handle.fileno())
+
+    def fsync_dir(self, directory) -> None:
+        self.check("dir.fsync")
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+    def truncate(self, path, length: int) -> None:
+        os.truncate(path, length)
+
+    def write_checkpoint(self, path, text: str, *, fsync: bool = True) -> None:
+        """Atomic tmp + fsync + rename + dir-fsync publish of *text*."""
+        path = os.fspath(path)
+        directory = os.path.dirname(path) or "."
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=os.path.basename(path) + ".tmp-", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                umask = os.umask(0)
+                os.umask(umask)
+                os.fchmod(handle.fileno(), 0o666 & ~umask)
+                self._checkpoint_write(handle, text, fsync=fsync)
+            self._checkpoint_replace(tmp_path, path)
+        except BaseException:
+            # A failed *write* never leaves a tmp file; a failed
+            # *replace* deliberately does (the crashed-between-write-
+            # and-rename artifact recovery must shrug off).
+            keep_tmp = getattr(self, "_keep_tmp_on_replace_failure", False)
+            self._keep_tmp_on_replace_failure = False
+            if os.path.exists(tmp_path) and not keep_tmp:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+            raise
+        if fsync:
+            self.fsync_dir(directory)
+
+    # split out so FaultyIO can inject at each stage
+    def _checkpoint_write(self, handle, text: str, *, fsync: bool) -> None:
+        handle.write(text)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+
+    def _checkpoint_replace(self, tmp_path: str, path: str) -> None:
+        os.replace(tmp_path, path)
+
+
+class FaultyIO(StorageIO):
+    """A :class:`StorageIO` that consults a :class:`FaultPlan`.
+
+    Shared safely across engines and threads; one plan's counters see
+    every operation routed through this shim, in order.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._keep_tmp_on_replace_failure = False
+
+    # -- generic sites ------------------------------------------------------
+
+    def check(self, site: str) -> None:
+        for spec in self.plan.fire(site):
+            self._apply(spec)
+
+    def _apply(self, spec: FaultSpec) -> None:
+        if spec.kind == "delay":
+            time.sleep(spec.seconds)
+            return
+        occurrence = self.plan.occurrences(spec.site)
+        if spec.kind in ("io_error", "enospc", "torn_write"):
+            raise InjectedIOError(spec.site, spec.kind, occurrence)
+        raise InjectedFault(spec.site, spec.kind, occurrence)
+
+    # -- write sites with partial-effect semantics --------------------------
+
+    def append_line(self, handle, line: str) -> None:
+        due = self.plan.fire("wal.append")
+        for spec in due:
+            if spec.kind == "torn_write":
+                keep = (
+                    spec.keep
+                    if spec.keep is not None
+                    else max(1, len(line) // 2)
+                )
+                handle.write(line[:keep])
+                handle.flush()
+                raise InjectedIOError(
+                    spec.site, spec.kind, self.plan.occurrences(spec.site)
+                )
+            self._apply(spec)
+        handle.write(line + "\n")
+        handle.flush()
+
+    def _checkpoint_write(self, handle, text: str, *, fsync: bool) -> None:
+        due = self.plan.fire("checkpoint.write")
+        for spec in due:
+            if spec.kind == "torn_write":
+                keep = (
+                    spec.keep
+                    if spec.keep is not None
+                    else max(1, len(text) // 2)
+                )
+                handle.write(text[:keep])
+                handle.flush()
+                raise InjectedIOError(
+                    spec.site, spec.kind, self.plan.occurrences(spec.site)
+                )
+            self._apply(spec)
+        handle.write(text)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+
+    def _checkpoint_replace(self, tmp_path: str, path: str) -> None:
+        due = self.plan.fire("checkpoint.replace")
+        for spec in due:
+            # The complete tmp file stays behind: the on-disk state of a
+            # crash between write and rename (write_checkpoint clears
+            # the flag while handling the raise).
+            self._keep_tmp_on_replace_failure = True
+            self._apply(spec)
+        os.replace(tmp_path, path)

@@ -39,28 +39,56 @@ A tenant created with ``wal_dir`` (or opened with the ``open`` op) runs a
 :func:`~repro.durability.open_durable`: opening an existing directory
 recovers the logged history before serving, and ``close`` checkpoints
 before releasing the tenant.
+
+Self-healing
+------------
+Tenant workers are *supervised*.  A model-level error (a rejected step,
+an unsafe sweep) is the engine speaking and is delivered to the caller;
+an **infrastructure** failure — a storage ``OSError``, a
+:class:`~repro.errors.DurabilityError`, any unexpected exception —
+demotes the tenant to a read-only ``degraded`` state instead of killing
+it: queued writes fail with a structured ``degraded`` error (the write
+was *not* acknowledged), while audit/query/metrics keep answering from
+the last consistent state.  Durable tenants then heal themselves: a
+recovery task replays the WAL in an executor thread (reads stay live),
+retrying with exponential backoff and jitter under a bounded attempt
+budget (``serving → degraded → recovering → serving``); once the budget
+is spent the tenant stays degraded with ``exhausted`` flagged for the
+operator.  Non-durable tenants have no log to heal from and degrade
+permanently.
+
+Chaos drills: construct the server with a
+:class:`~repro.faults.FaultPlan` (``repro serve --fault-plan``) and the
+scheduled storage faults, worker crashes, and connection drops fire
+deterministically — the chaos equivalence suite drives exactly this
+path.
 """
 
 from __future__ import annotations
 
 import asyncio
 import dataclasses
+import functools
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro import registry as _registry
-from repro.durability import DurableEngine, open_durable
+from repro.durability import DurableEngine, open_durable, recover
 from repro.engine import build_engine
 from repro.errors import (
+    DurabilityError,
     ModelError,
     ProtocolError,
     ReproError,
     RequestRejectedError,
     ServingError,
+    TenantDegradedError,
     TenantSaturatedError,
     UnknownTenantError,
 )
+from repro.faults import FaultPlan, FaultyIO, InjectedFault
 from repro.io import (
     WIRE_FORMAT,
     schedule_to_list,
@@ -80,6 +108,20 @@ MAX_LINE_BYTES = 8 * 1024 * 1024
 #: measured — pessimistic enough that early retry hints are not zero.
 _EMA_SEED_SECONDS = 50e-6
 _EMA_ALPHA = 0.2
+
+
+def _close_engine_quietly(future) -> None:
+    """Done-callback for an abandoned in-executor ``recover()``.
+
+    A cancelled ``_heal`` cannot stop the executor thread mid-recovery;
+    if that thread later *succeeds*, the engine it built holds the WAL
+    lock with no owner.  This callback closes it so the lock frees."""
+    if future.cancelled() or future.exception() is not None:
+        return
+    try:
+        future.result().close()
+    except Exception:
+        pass
 
 
 @dataclass
@@ -107,7 +149,9 @@ class _WorkItem:
 
 
 class _Tenant:
-    """One hosted engine: queue, worker task, counters, drain-rate EMA."""
+    """One hosted engine: queue, worker task, counters, drain-rate EMA,
+    and the supervision state machine
+    (``serving → degraded → recovering → serving``)."""
 
     def __init__(self, name: str, engine, *, wal_dir: Optional[str]) -> None:
         self.name = name
@@ -119,6 +163,17 @@ class _Tenant:
         self.ema_step_seconds = _EMA_SEED_SECONDS
         self.worker: Optional[asyncio.Task] = None
         self.closed = False
+        # -- supervision state ------------------------------------------
+        self.state = "serving"  # serving | degraded | recovering
+        self.last_error: Optional[str] = None
+        self.demotions = 0
+        self.recoveries = 0
+        self.recover_attempts = 0
+        self.recovery_exhausted = False
+        self.recovery_task: Optional[asyncio.Task] = None
+        self.demoted_at: Optional[float] = None
+        self.downtime_seconds = 0.0
+        self.next_retry_at = 0.0
 
     @property
     def durable(self) -> bool:
@@ -127,6 +182,10 @@ class _Tenant:
     def retry_after(self) -> float:
         """Estimated seconds until the current backlog drains."""
         return round(self.pending_steps * self.ema_step_seconds, 6)
+
+    def degraded_retry_after(self) -> float:
+        """Seconds until the next recovery attempt may land."""
+        return round(max(self.next_retry_at - time.monotonic(), 0.05), 6)
 
 
 class ReproServer:
@@ -145,15 +204,34 @@ class ReproServer:
         *,
         max_queue_depth: int = 4096,
         yield_every: int = 64,
+        fault_plan: Optional[FaultPlan] = None,
+        recover_max_attempts: int = 6,
+        recover_backoff: float = 0.05,
+        recover_backoff_cap: float = 2.0,
     ) -> None:
         if max_queue_depth < 1:
             raise ServingError("max_queue_depth must be >= 1")
         if yield_every < 1:
             raise ServingError("yield_every must be >= 1")
+        if recover_max_attempts < 1:
+            raise ServingError("recover_max_attempts must be >= 1")
+        if recover_backoff <= 0 or recover_backoff_cap < recover_backoff:
+            raise ServingError(
+                "recover_backoff must be > 0 and <= recover_backoff_cap"
+            )
         self.host = host
         self.port = port
         self.max_queue_depth = max_queue_depth
         self.yield_every = yield_every
+        self.fault_plan = fault_plan
+        self.recover_max_attempts = recover_max_attempts
+        self.recover_backoff = recover_backoff
+        self.recover_backoff_cap = recover_backoff_cap
+        #: One shared shim: the plan's occurrence counters must see every
+        #: storage call of every tenant, in order.
+        self._io = FaultyIO(fault_plan) if fault_plan is not None else None
+        #: Deterministic jitter source (seeded so drills replay exactly).
+        self._rng = random.Random(0xC0FFEE)
         self._tenants: Dict[str, _Tenant] = {}
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections = 0
@@ -186,6 +264,7 @@ class ReproServer:
                 shards=shards,
                 checkpoint_interval=checkpoint_interval,
                 sync=sync,
+                io=self._io,
                 **config,
             )
         else:
@@ -195,9 +274,21 @@ class ReproServer:
                 sync=sync,
                 **config,
             )
+        # The engine exists before the name is registered, and a failure
+        # after registration deregisters — a half-open tenant must never
+        # occupy a name that can neither be used nor re-created.
         tenant = _Tenant(name, engine, wal_dir=wal_dir)
         self._tenants[name] = tenant
-        self._ensure_worker(tenant)
+        try:
+            self._ensure_worker(tenant)
+        except BaseException:
+            self._tenants.pop(name, None)
+            if tenant.durable:
+                try:
+                    engine.close()
+                except Exception:
+                    pass
+            raise
         return tenant
 
     def _ensure_worker(self, tenant: _Tenant) -> None:
@@ -220,16 +311,35 @@ class ReproServer:
         return self.create_tenant(name, wal_dir=wal_dir)
 
     async def close_tenant(self, name: str) -> None:
-        """Drain the tenant's queue, checkpoint if durable, release it."""
+        """Drain the tenant's queue, checkpoint if durable, release it.
+
+        The name leaves the registry even when the final checkpoint (or
+        the drain) raises — a failed close must not leave a tenant that
+        can neither be used nor re-created.
+        """
         tenant = self._get(name)
-        self._ensure_worker(tenant)
         tenant.closed = True
-        tenant.queue.put_nowait(_WorkItem("stop"))
-        if tenant.worker is not None:
-            await tenant.worker
-        if tenant.durable:
-            tenant.engine.close(checkpoint=True)
-        del self._tenants[name]
+        try:
+            task = tenant.recovery_task
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                tenant.recovery_task = None
+            if tenant.state == "serving":
+                self._ensure_worker(tenant)
+                if tenant.worker is not None:
+                    tenant.queue.put_nowait(_WorkItem("stop"))
+                    await tenant.worker
+            if tenant.durable:
+                # A degraded tenant's engine is already closed (and a
+                # poisoned WAL must not be checkpointed) — close() is
+                # idempotent either way.
+                tenant.engine.close(checkpoint=tenant.state == "serving")
+        finally:
+            self._tenants.pop(name, None)
 
     def tenants(self) -> List[Dict[str, Any]]:
         return [self._tenant_info(t) for t in self._tenants.values()]
@@ -241,16 +351,41 @@ class ReproServer:
         return tenant
 
     def _tenant_info(self, tenant: _Tenant) -> Dict[str, Any]:
-        return {
+        info: Dict[str, Any] = {
             "tenant": tenant.name,
+            "state": tenant.state,
             "durable": tenant.durable,
             "wal_dir": tenant.wal_dir,
             "queue_depth": tenant.pending_steps,
             "retry_after": tenant.retry_after(),
+            "demotions": tenant.demotions,
+            "recoveries": tenant.recoveries,
+            "recover_attempts": tenant.recover_attempts,
+            "recovery_exhausted": tenant.recovery_exhausted,
+            "downtime_seconds": round(tenant.downtime_seconds, 6),
+            "last_error": tenant.last_error,
             **tenant.counters.as_dict(),
         }
+        if tenant.durable:
+            # The durable sequence number is ground truth for "what was
+            # acknowledged" — but only once recovery has settled; while
+            # degraded the in-memory seq may run ahead of the log.
+            info["wal_seq"] = (
+                tenant.engine.seq if tenant.state == "serving" else None
+            )
+        return info
 
     # -- write path ---------------------------------------------------------
+
+    def _require_writable(self, tenant: _Tenant) -> None:
+        if tenant.state != "serving":
+            detail = f" ({tenant.last_error})" if tenant.last_error else ""
+            raise TenantDegradedError(
+                f"tenant {tenant.name!r} is {tenant.state}{detail}; "
+                "writes are rejected until recovery completes",
+                retry_after=tenant.degraded_retry_after(),
+                exhausted=tenant.recovery_exhausted,
+            )
 
     def _admit(self, tenant: _Tenant, n_steps: int) -> None:
         if n_steps > self.max_queue_depth:
@@ -278,6 +413,7 @@ class ReproServer:
         tenant's backlog would exceed ``max_queue_depth``.
         """
         tenant = self._get(name)
+        self._require_writable(tenant)
         self._ensure_worker(tenant)
         self._admit(tenant, len(steps))
         future = asyncio.get_running_loop().create_future()
@@ -289,18 +425,32 @@ class ReproServer:
         """Enqueue a control op ("sweep" / "flush_pending") — serialized
         with the write stream, so it lands at a well-defined position."""
         tenant = self._get(name)
+        self._require_writable(tenant)
         self._ensure_worker(tenant)
         future = asyncio.get_running_loop().create_future()
         tenant.queue.put_nowait(_WorkItem(kind, [], future))
         return await future
 
     async def _drain(self, tenant: _Tenant) -> None:
-        """The per-tenant worker: FIFO over the queue, cooperative yields."""
+        """The per-tenant worker: FIFO over the queue, cooperative yields.
+
+        Supervised: a model-level :class:`ReproError` is the engine
+        answering and goes to the caller; an *infrastructure* failure
+        (storage fault, unexpected exception) demotes the tenant —
+        the caller gets a ``degraded`` error saying the write was NOT
+        acknowledged, and the worker exits in favor of recovery.
+        """
         while True:
             item = await tenant.queue.get()
+            demote_cause: Optional[BaseException] = None
             try:
                 if item.kind == "stop":
                     return
+                if self._io is not None:
+                    # The "server.worker" fault site: a scheduled crash
+                    # fires at an item boundary, before any step of this
+                    # item is applied.
+                    self._io.check("server.worker")
                 if item.kind == "sweep":
                     outcome: Any = sorted(tenant.engine.sweep())
                 elif item.kind == "flush_pending":
@@ -308,16 +458,131 @@ class ReproServer:
                     outcome = 0 if flush is None else flush()
                 else:
                     outcome = await self._feed_steps(tenant, item.steps)
-            except BaseException as exc:  # delivered to the caller, not lost
+            except asyncio.CancelledError:
                 if item.future is not None and not item.future.done():
-                    item.future.set_exception(exc)
-                if not isinstance(exc, Exception):
-                    raise
+                    item.future.cancel()
+                raise
+            except BaseException as exc:
+                if self._is_infra_failure(exc):
+                    demote_cause = exc
+                    if item.future is not None and not item.future.done():
+                        item.future.set_exception(
+                            TenantDegradedError(
+                                f"tenant {tenant.name!r} worker hit "
+                                f"{type(exc).__name__}: {exc}; the write "
+                                "was not acknowledged",
+                                retry_after=self.recover_backoff,
+                            )
+                        )
+                else:  # delivered to the caller, not lost
+                    if item.future is not None and not item.future.done():
+                        item.future.set_exception(exc)
+                    if not isinstance(exc, Exception):
+                        raise
             else:
                 if item.future is not None and not item.future.done():
                     item.future.set_result(outcome)
             finally:
                 tenant.queue.task_done()
+            if demote_cause is not None:
+                self._demote(tenant, demote_cause)
+                return
+
+    @staticmethod
+    def _is_infra_failure(exc: BaseException) -> bool:
+        """Storage faults, durability misuse, injected crashes, and any
+        exception outside the library's own hierarchy demote the tenant;
+        the rest (rejected steps, unsafe sweeps …) are model answers."""
+        if isinstance(exc, (DurabilityError, InjectedFault)):
+            return True
+        return not isinstance(exc, ReproError)
+
+    def _demote(self, tenant: _Tenant, cause: BaseException) -> None:
+        """Enter ``degraded``: fail the backlog (none of it was
+        acknowledged), close the engine's storage so the WAL lock is
+        surrendered, and — for durable tenants — start the healing task.
+        Reads keep answering throughout: the wrapped engine's in-memory
+        state is intact and consistent at a step boundary."""
+        tenant.state = "degraded"
+        tenant.demotions += 1
+        tenant.demoted_at = time.monotonic()
+        tenant.last_error = f"{type(cause).__name__}: {cause}"
+        tenant.worker = None
+        backlog_error = TenantDegradedError(
+            f"tenant {tenant.name!r} degraded ({tenant.last_error}); "
+            "this queued write was not acknowledged",
+            retry_after=self.recover_backoff,
+        )
+        while not tenant.queue.empty():
+            item = tenant.queue.get_nowait()
+            if item.future is not None and not item.future.done():
+                item.future.set_exception(backlog_error)
+            tenant.queue.task_done()
+        tenant.pending_steps = 0
+        if tenant.durable:
+            try:
+                tenant.engine.close()
+            except Exception:
+                pass  # the storage below may still be failing
+            tenant.recovery_task = asyncio.get_running_loop().create_task(
+                self._heal(tenant), name=f"repro-heal-{tenant.name}"
+            )
+        else:
+            # No WAL, nothing to replay: degraded until an operator acts.
+            tenant.recovery_exhausted = True
+
+    async def _heal(self, tenant: _Tenant) -> None:
+        """Crash-loop recovery with exponential backoff and a bounded
+        attempt budget.  ``recover()`` runs in the default executor so
+        the event loop keeps serving reads (this tenant's included —
+        they answer from the pre-crash in-memory state) while the WAL
+        replays."""
+        loop = asyncio.get_running_loop()
+        delay = self.recover_backoff
+        attempts = 0
+        while not tenant.closed:
+            attempts += 1
+            tenant.recover_attempts += 1
+            tenant.state = "recovering"
+            future = loop.run_in_executor(
+                None,
+                functools.partial(recover, tenant.wal_dir, io=self._io),
+            )
+            try:
+                engine = await asyncio.shield(future)
+            except asyncio.CancelledError:
+                # close_tenant cancelled us mid-recovery; the executor
+                # thread cannot be stopped — close its engine (and free
+                # the WAL lock) whenever it does finish.
+                future.add_done_callback(_close_engine_quietly)
+                raise
+            except Exception as exc:
+                tenant.state = "degraded"
+                tenant.last_error = f"{type(exc).__name__}: {exc}"
+                if attempts >= self.recover_max_attempts:
+                    tenant.recovery_exhausted = True
+                    tenant.recovery_task = None
+                    return
+                pause = min(delay, self.recover_backoff_cap)
+                pause *= 0.5 + self._rng.random()  # jitter in [0.5, 1.5)
+                tenant.next_retry_at = time.monotonic() + pause
+                delay *= 2
+                await asyncio.sleep(pause)
+            else:
+                if tenant.closed:
+                    engine.close()
+                    return
+                tenant.engine = engine
+                tenant.state = "serving"
+                tenant.recoveries += 1
+                if tenant.demoted_at is not None:
+                    tenant.downtime_seconds += (
+                        time.monotonic() - tenant.demoted_at
+                    )
+                    tenant.demoted_at = None
+                tenant.recovery_task = None
+                self._ensure_worker(tenant)
+                return
 
     async def _feed_steps(self, tenant: _Tenant, steps: List[Any]) -> List[Any]:
         results: List[Any] = []
@@ -368,14 +633,16 @@ class ReproServer:
 
     def metrics(self) -> Dict[str, Any]:
         """The ``/metrics`` surface: server gauges + per-tenant counters
-        + each engine's :class:`~repro.engine.GcStats` totals."""
+        + each engine's :class:`~repro.engine.GcStats` totals.
+
+        Degraded tenants stay on the board: their engine section reads
+        from the last consistent in-memory state (or ``None`` if even
+        that is unreachable) — an outage must not blind the operator."""
         tenants: Dict[str, Any] = {}
         for tenant in self._tenants.values():
-            stats = tenant.engine.stats
-            tenants[tenant.name] = {
-                **self._tenant_info(tenant),
-                "sweeps_run": tenant.engine.sweeps_run,
-                "engine": {
+            try:
+                stats = tenant.engine.stats
+                engine_section: Optional[Dict[str, Any]] = {
                     "steps_fed": stats.steps_fed,
                     "deletions": stats.deletions,
                     "policy_invocations": stats.policy_invocations,
@@ -383,7 +650,15 @@ class ReproServer:
                     "peak_retained_completed": stats.peak_retained_completed,
                     "live": len(tenant.engine.live_transactions()),
                     "deleted": len(tenant.engine.deleted_transactions()),
-                },
+                }
+                sweeps_run = tenant.engine.sweeps_run
+            except Exception:
+                engine_section = None
+                sweeps_run = None
+            tenants[tenant.name] = {
+                **self._tenant_info(tenant),
+                "sweeps_run": sweeps_run,
+                "engine": engine_section,
             }
         return {
             "format": WIRE_FORMAT,
@@ -444,6 +719,16 @@ class ReproServer:
                     break
                 if not line:
                     break
+                if self._io is not None:
+                    # The "server.connection" fault site: a scheduled
+                    # drop kills the transport before dispatch, so the
+                    # request is never applied (the client sees a dead
+                    # socket, exactly like a mid-flight network cut).
+                    try:
+                        self._io.check("server.connection")
+                    except (InjectedFault, OSError):
+                        writer.transport.abort()
+                        return
                 response = await self._dispatch_line(line)
                 await self._send(writer, response)
         except (ConnectionResetError, BrokenPipeError):
@@ -454,6 +739,11 @@ class ReproServer:
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
+                pass
+            except asyncio.CancelledError:
+                # An aborted transport (injected connection drop) can
+                # surface the close-waiter's cancellation here; the
+                # socket is already dead, so there is nothing to await.
                 pass
 
     async def _send(self, writer: asyncio.StreamWriter, payload: Dict) -> None:
@@ -469,6 +759,11 @@ class ReproServer:
         except TenantSaturatedError as exc:
             payload = _error_payload(request_id, exc.code, exc.message)
             payload["error"]["retry_after"] = exc.retry_after
+            return payload
+        except TenantDegradedError as exc:
+            payload = _error_payload(request_id, exc.code, exc.message)
+            payload["error"]["retry_after"] = exc.retry_after
+            payload["error"]["exhausted"] = exc.exhausted
             return payload
         except RequestRejectedError as exc:
             return _error_payload(request_id, exc.code, exc.message)
@@ -543,6 +838,9 @@ class ReproServer:
 
     async def _op_tenants(self, request: Dict[str, Any]) -> Dict[str, Any]:
         return {"tenants": self.tenants()}
+
+    async def _op_tenant(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"info": self._tenant_info(self._get(_require_tenant(request)))}
 
     async def _op_feed(self, request: Dict[str, Any]) -> Dict[str, Any]:
         step = step_from_dict(_require(request, "step"))
@@ -629,6 +927,10 @@ async def serve(
     max_queue_depth: int = 4096,
     yield_every: int = 64,
     tenants: Dict[str, Dict[str, Any]] = (),
+    fault_plan: Optional[FaultPlan] = None,
+    recover_max_attempts: int = 6,
+    recover_backoff: float = 0.05,
+    recover_backoff_cap: float = 2.0,
 ) -> ReproServer:
     """Convenience: build, pre-create *tenants*, and start a server.
 
@@ -637,7 +939,14 @@ async def serve(
     or ``await server.close()``).
     """
     server = ReproServer(
-        host, port, max_queue_depth=max_queue_depth, yield_every=yield_every
+        host,
+        port,
+        max_queue_depth=max_queue_depth,
+        yield_every=yield_every,
+        fault_plan=fault_plan,
+        recover_max_attempts=recover_max_attempts,
+        recover_backoff=recover_backoff,
+        recover_backoff_cap=recover_backoff_cap,
     )
     for name, kwargs in dict(tenants or {}).items():
         server.create_tenant(name, **kwargs)

@@ -1,0 +1,442 @@
+"""Chaos equivalence: scheduled faults must never change the answer.
+
+The chaos-readiness gate (CI refuses to pass if this module is skipped,
+like the kernel/sharding/crash equivalence suites).  Two layers:
+
+**Storage chaos** — a :class:`~repro.faults.FaultPlan` generated from a
+(hypothesis-chosen) seed is injected into a durable engine's storage
+I/O.  The driver plays an ordinary workload; every time a fault fires it
+does what a supervisor would — abandons the engine mid-flight
+(``simulate_crash``) and ``recover()``s the directory — then resolves
+the *indeterminate outcome* the honest way: the step is re-fed only if
+the recovered ``seq`` shows it never reached the log.  At the end the
+engine must be **byte-identical** to an oracle that ran the same stream
+with no faults at all, across all five schedulers and ``shards ∈ {1,4}``
+— no acknowledged write lost, no step applied twice, no divergence.
+
+**Serving chaos** — the same plans aimed at a live
+:class:`~repro.server.ReproServer`: worker crashes demote the tenant,
+reads keep answering from the degraded engine while writes are rejected
+with structured ``degraded`` errors, supervised recovery brings the
+tenant back, and :meth:`~repro.client.AsyncServingClient.feed_resumable`
+drives the full stream to completion across crashes and connection
+drops using the durable ``wal_seq`` watermark.  Client-side fault
+handling (reconnect-on-drop for idempotent reads, per-request deadlines,
+bounded retry budgets) is pinned here too.
+
+No pytest-asyncio in the image: server tests run ``asyncio.run``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import shutil
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.client import AsyncServingClient
+from repro.durability import DurableEngine, recover
+from repro.engine import build_engine
+from repro.errors import (
+    ConnectionDroppedError,
+    DurabilityError,
+    RequestTimeoutError,
+    RetriesExhaustedError,
+    TenantDegradedError,
+)
+from repro.faults import FaultPlan, FaultSpec, FaultyIO, InjectedIOError
+from repro.io import engine_snapshot_to_json
+from repro.server import ReproServer
+from repro.workloads.generator import (
+    WorkloadConfig,
+    basic_stream,
+    multiwrite_stream,
+    predeclared_stream,
+)
+
+#: (scheduler, canonical policy, stream factory) — all five schedulers.
+CASES = [
+    ("conflict-graph", "eager-c1", basic_stream),
+    ("certifier", "noncurrent", basic_stream),
+    ("strict-2pl", "lemma1", basic_stream),
+    ("multiwrite", "eager-c3", multiwrite_stream),
+    ("predeclared", "eager-c4", predeclared_stream),
+]
+
+SHARD_COUNTS = [1, 4]
+
+
+def _workload(seed: int) -> WorkloadConfig:
+    return WorkloadConfig(
+        n_transactions=40,
+        n_entities=14,
+        multiprogramming=5,
+        write_fraction=0.5,
+        max_accesses=3,
+        zipf_s=0.4,
+        seed=seed,
+        partitions=4,
+        cross_fraction=0.25,
+    )
+
+
+def _fingerprint(engine):
+    return {
+        "snapshot": engine_snapshot_to_json(engine.snapshot()),
+        "accepted": [str(s) for s in engine.accepted_subschedule()],
+        "deleted": list(engine.stats.deleted_ids),
+        "aborted": sorted(engine.aborted),
+    }
+
+
+def _oracle(scheduler, policy, shards, stream):
+    oracle = build_engine(
+        None, shards=shards, scheduler=scheduler, policy=policy
+    )
+    for step in stream:
+        oracle.feed(step)
+    return oracle
+
+
+# ---------------------------------------------------------------------------
+# Storage chaos
+# ---------------------------------------------------------------------------
+
+
+def _recover_until_it_sticks(wal_dir, io):
+    """recover() may itself hit scheduled faults; a supervisor retries.
+    Fault plans are finite, so this terminates."""
+    while True:
+        try:
+            return recover(wal_dir, io=io)
+        except (InjectedIOError, OSError):
+            continue
+
+
+def _run_storage_chaos(scheduler, policy, streamer, shards, fault_seed,
+                       n_faults, checkpoint_interval):
+    stream = list(streamer(_workload(fault_seed % 1000)))
+    plan = FaultPlan.generate(
+        fault_seed, n_faults=n_faults, horizon=max(1, len(stream))
+    )
+    io = FaultyIO(plan)
+    wal_dir = pathlib.Path(tempfile.mkdtemp(prefix="repro-chaos-")) / "wal"
+    try:
+        durable = DurableEngine(
+            scheduler=scheduler, policy=policy, wal_dir=wal_dir,
+            shards=shards, checkpoint_interval=checkpoint_interval, io=io,
+        )
+        crashes = 0
+        index = 0
+        while index < len(stream):
+            expected = durable.seq + 1
+            try:
+                durable.feed(stream[index])
+            except (OSError, DurabilityError):
+                # A fault fired somewhere in the feed. Crash + recover,
+                # then resolve the indeterminate outcome from the log:
+                # the step is re-fed only if its record never landed.
+                crashes += 1
+                durable.simulate_crash()
+                durable = _recover_until_it_sticks(wal_dir, io)
+                if durable.seq >= expected:
+                    index += 1
+                continue
+            index += 1
+        fingerprint = _fingerprint(durable.engine)
+        durable.close()
+        oracle = _oracle(scheduler, policy, shards, stream)
+        assert fingerprint == _fingerprint(oracle), (
+            f"{scheduler}/{policy} K={shards} fault_seed={fault_seed}: "
+            f"chaos run diverged from the fault-free oracle "
+            f"({crashes} crashes, fired={plan.fired})"
+        )
+        # One final cold recovery: the directory the chaos run left
+        # behind is itself a clean, recoverable log.
+        final = recover(wal_dir)
+        assert _fingerprint(final.engine) == fingerprint
+        final.close()
+    finally:
+        shutil.rmtree(wal_dir.parent, ignore_errors=True)
+
+
+class TestStorageChaosAllSchedulers:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize(
+        "scheduler,policy,streamer",
+        CASES,
+        ids=[f"{s}-{p}" for s, p, _ in CASES],
+    )
+    def test_fixed_plan_equivalence(self, scheduler, policy, streamer, shards):
+        _run_storage_chaos(
+            scheduler, policy, streamer, shards,
+            fault_seed=1986, n_faults=6, checkpoint_interval=16,
+        )
+
+    def test_dense_fault_plan_single_scheduler(self):
+        """Many faults against one engine: most feeds end in a crash."""
+        _run_storage_chaos(
+            "conflict-graph", "eager-c1", basic_stream, shards=4,
+            fault_seed=7, n_faults=24, checkpoint_interval=8,
+        )
+
+
+class TestStorageChaosHypothesis:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        fault_seed=st.integers(min_value=0, max_value=2**16),
+        shards=st.sampled_from(SHARD_COUNTS),
+        case=st.sampled_from(range(len(CASES))),
+        n_faults=st.integers(min_value=1, max_value=12),
+        checkpoint_interval=st.sampled_from([0, 8, 32]),
+    )
+    def test_randomized_fault_plans(
+        self, fault_seed, shards, case, n_faults, checkpoint_interval
+    ):
+        scheduler, policy, streamer = CASES[case]
+        _run_storage_chaos(
+            scheduler, policy, streamer, shards, fault_seed, n_faults,
+            checkpoint_interval,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Serving chaos
+# ---------------------------------------------------------------------------
+
+
+def _steps(stream_seed: int = 31, n: int = 60):
+    return list(basic_stream(_workload(stream_seed)))[:n]
+
+
+async def _poll_until_serving(client, tenant, *, budget=400):
+    for _ in range(budget):
+        info = await client.tenant_info(tenant)
+        if info["state"] == "serving":
+            return info
+        await asyncio.sleep(0.01)
+    raise AssertionError(f"tenant {tenant!r} never returned to serving")
+
+
+class TestServingChaos:
+    def test_degraded_tenant_serves_reads_rejects_writes_then_heals(
+        self, tmp_path
+    ):
+        async def _run() -> None:
+            plan = FaultPlan([
+                # The second work item crashes the worker; the first two
+                # recovery attempts fail too, widening the degraded
+                # window enough to observe it deterministically.
+                FaultSpec(site="server.worker", at=2, kind="crash"),
+                FaultSpec(site="recover.start", at=1, kind="io_error"),
+                FaultSpec(site="recover.start", at=2, kind="io_error"),
+            ])
+            server = ReproServer(
+                fault_plan=plan, recover_backoff=0.05,
+                recover_backoff_cap=0.2, recover_max_attempts=10,
+            )
+            host, port = await server.start()
+            try:
+                async with await AsyncServingClient.connect(host, port) as c:
+                    await c.create_tenant(
+                        "t", wal_dir=str(tmp_path / "wal"),
+                        scheduler="conflict-graph", policy="eager-c1",
+                        checkpoint_interval=16,
+                    )
+                    batch1 = _steps()[:12]
+                    await c.feed_batch("t", batch1)
+                    with pytest.raises(TenantDegradedError) as info:
+                        await c.feed_batch("t", _steps()[12:24])
+                    assert info.value.code == "degraded"
+                    assert info.value.retry_after > 0
+                    # The degraded window: reads still answer (served
+                    # from the last consistent in-memory state) ...
+                    audit = await c.audit("t", batch1[0].txn)
+                    assert audit["status"] in (
+                        "live", "completed", "deleted", "aborted"
+                    )
+                    assert isinstance(await c.query("t", "deleted"), list)
+                    metrics = await c.metrics()
+                    assert metrics["tenants"]["t"]["state"] in (
+                        "degraded", "recovering", "serving"
+                    )
+                    # ... and unacknowledged writes are refused with the
+                    # structured error, not silently dropped or hung.
+                    with pytest.raises(TenantDegradedError):
+                        await c.feed_batch("t", _steps()[12:24])
+                    info = await _poll_until_serving(c, "t")
+                    assert info["demotions"] == 1
+                    assert info["recoveries"] == 1
+                    assert info["recover_attempts"] >= 3  # two injected failures
+                    assert info["wal_seq"] == len(batch1)
+                    # Healed: the write path works again.
+                    await c.feed_batch("t", _steps()[12:24])
+            finally:
+                await server.close()
+            # Supervision never lost an acknowledged write: the final
+            # state equals an oracle fed exactly the acknowledged batches.
+            check = recover(tmp_path / "wal")
+            oracle = _oracle(
+                "conflict-graph", "eager-c1", 1,
+                _steps()[:12] + _steps()[12:24],
+            )
+            assert _fingerprint(check.engine) == _fingerprint(oracle)
+            check.close()
+
+        asyncio.run(_run())
+
+    def test_feed_resumable_survives_crashes_drops_and_torn_writes(
+        self, tmp_path
+    ):
+        async def _run() -> None:
+            stream = _steps(stream_seed=37, n=80)
+            plan = FaultPlan([
+                FaultSpec(site="server.worker", at=3, kind="crash"),
+                FaultSpec(site="wal.append", at=29, kind="torn_write"),
+                FaultSpec(site="server.worker", at=11, kind="crash"),
+                FaultSpec(site="server.connection", at=9, kind="drop"),
+            ])
+            server = ReproServer(
+                fault_plan=plan, recover_backoff=0.01,
+                recover_backoff_cap=0.05, recover_max_attempts=10,
+            )
+            host, port = await server.start()
+            try:
+                async with await AsyncServingClient.connect(
+                    host, port, timeout=10.0
+                ) as c:
+                    await c.create_tenant(
+                        "t", wal_dir=str(tmp_path / "wal"),
+                        scheduler="conflict-graph", policy="eager-c1",
+                        checkpoint_interval=16,
+                    )
+                    totals = await c.feed_resumable(
+                        "t", stream, chunk=8, backoff=0.005,
+                        backoff_cap=0.05, max_retries=32,
+                    )
+                    # Every step was either summarized to us or resynced
+                    # from the durable watermark — none lost, none fed
+                    # twice.
+                    assert totals["count"] + totals["resynced"] == len(stream)
+                    info = await _poll_until_serving(c, "t")
+                    assert info["wal_seq"] == len(stream)
+                    assert info["demotions"] >= 1
+            finally:
+                await server.close()
+            check = recover(tmp_path / "wal")
+            oracle = _oracle("conflict-graph", "eager-c1", 1, stream)
+            assert _fingerprint(check.engine) == _fingerprint(oracle)
+            check.close()
+
+        asyncio.run(_run())
+
+    def test_recovery_budget_exhaustion_is_terminal_and_loud(self, tmp_path):
+        async def _run() -> None:
+            plan = FaultPlan(
+                [FaultSpec(site="server.worker", at=2, kind="crash")]
+                + [
+                    FaultSpec(site="recover.start", at=i, kind="io_error")
+                    for i in range(1, 9)
+                ]
+            )
+            server = ReproServer(
+                fault_plan=plan, recover_backoff=0.005,
+                recover_backoff_cap=0.02, recover_max_attempts=3,
+            )
+            host, port = await server.start()
+            try:
+                async with await AsyncServingClient.connect(host, port) as c:
+                    await c.create_tenant(
+                        "t", wal_dir=str(tmp_path / "wal"),
+                        scheduler="conflict-graph", policy="eager-c1",
+                    )
+                    await c.feed_batch("t", _steps()[:6])
+                    with pytest.raises(TenantDegradedError):
+                        await c.feed_batch("t", _steps()[6:12])
+                    # Wait for the supervisor to burn its budget.
+                    for _ in range(400):
+                        info = await c.tenant_info("t")
+                        if info["recovery_exhausted"]:
+                            break
+                        await asyncio.sleep(0.01)
+                    assert info["recovery_exhausted"]
+                    assert info["state"] == "degraded"
+                    assert info["recover_attempts"] == 3
+                    # feed_all bails out immediately on a terminal
+                    # degradation instead of burning its retry budget.
+                    with pytest.raises(RetriesExhaustedError) as err:
+                        await c.feed_all("t", _steps()[6:12], max_retries=50)
+                    assert err.value.attempts == 1
+                    # Reads still answer even in the terminal state.
+                    assert isinstance(await c.query("t", "live"), list)
+            finally:
+                await server.close()
+
+        asyncio.run(_run())
+
+
+class TestClientFaultHandling:
+    def test_idempotent_reads_reconnect_after_drop(self, tmp_path):
+        async def _run() -> None:
+            plan = FaultPlan([
+                FaultSpec(site="server.connection", at=3, kind="drop"),
+            ])
+            server = ReproServer(fault_plan=plan)
+            host, port = await server.start()
+            try:
+                async with await AsyncServingClient.connect(host, port) as c:
+                    await c.ping()      # occurrence 1
+                    await c.metrics()   # occurrence 2
+                    # occurrence 3 drops the transport mid-request; an
+                    # idempotent read transparently reconnects + retries.
+                    assert (await c.ping())["server"] == "repro"
+            finally:
+                await server.close()
+
+        asyncio.run(_run())
+
+    def test_write_drop_surfaces_as_connection_error(self, tmp_path):
+        async def _run() -> None:
+            plan = FaultPlan([
+                FaultSpec(site="server.connection", at=2, kind="drop"),
+            ])
+            server = ReproServer(fault_plan=plan)
+            host, port = await server.start()
+            try:
+                async with await AsyncServingClient.connect(host, port) as c:
+                    await c.create_tenant(
+                        "t", scheduler="conflict-graph", policy="eager-c1"
+                    )
+                    # The write's outcome is indeterminate: it must NOT
+                    # be silently retried.
+                    with pytest.raises(ConnectionDroppedError):
+                        await c.feed_batch("t", _steps()[:6])
+                    # The connection heals for the next request.
+                    assert (await c.ping())["tenants"] == 1
+            finally:
+                await server.close()
+
+        asyncio.run(_run())
+
+    def test_request_deadline_raises_timeout(self):
+        async def _run() -> None:
+            async def _black_hole(reader, writer):
+                await reader.read(-1)  # swallow everything, answer nothing
+
+            silent = await asyncio.start_server(_black_hole, "127.0.0.1", 0)
+            host, port = silent.sockets[0].getsockname()[:2]
+            try:
+                async with await AsyncServingClient.connect(
+                    host, port, timeout=0.1
+                ) as c:
+                    with pytest.raises(RequestTimeoutError):
+                        await c.ping()
+            finally:
+                silent.close()
+                await silent.wait_closed()
+
+        asyncio.run(_run())

@@ -101,9 +101,12 @@ def _assert_crash_recovery(
         )
         for step in stream[:cut]:
             durable.feed(step)
-        # Crash: the process dies between two steps — nothing is closed,
-        # no final checkpoint is taken.  Optionally the crash lands
-        # mid-append: a torn record trails the most recent segment.
+        # Crash: the process dies between two steps — no checkpoint, no
+        # truncation (simulate_crash drops the handles and the writer
+        # lock exactly as a kill would leave them).  Optionally the
+        # crash lands mid-append: a torn record trails the most recent
+        # segment.
+        durable.simulate_crash()
         torn_appended = 0
         if tear_tail:
             # The segment of the current epoch may not exist yet (a crash

@@ -336,6 +336,7 @@ class TestDurableEngine:
             feed_both(step)
         # crash AFTER a checkpoint covered the raising step
         assert durable.last_checkpoint_seq >= 11
+        durable.simulate_crash()
         recovered = recover(wal_a)
         assert engine_snapshot_to_json(
             recovered.engine.snapshot()
@@ -356,6 +357,7 @@ class TestDurableEngine:
         stream = _stream()
         durable = _durable(tmp_path)
         durable.feed_many(stream[:20])
+        durable.simulate_crash()
         resumed = recover(tmp_path / "wal")
         resumed.feed_many(stream[20:40])
         resumed.close()
@@ -371,6 +373,7 @@ class TestDurableEngine:
         durable.sweep()  # explicit out-of-cadence sweep, logged
         deletions = durable.stats.deletions
         assert deletions > 0
+        durable.simulate_crash()
         recovered = recover(tmp_path / "wal")
         assert recovered.stats.deletions == deletions
         assert recovered.recovery_info.replayed_controls == 1
@@ -436,6 +439,7 @@ class TestRecoveryFailures:
         durable.flush_and_sweep()
         deletions = durable.stats.deletions
         assert deletions > 0
+        durable.simulate_crash()
         recovered = recover(tmp_path / "wal")
         assert recovered.stats.deletions == deletions
         assert recovered.recovery_info.replayed_controls == 1
