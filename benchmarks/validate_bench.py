@@ -27,6 +27,7 @@ def _validators() -> Dict[str, Callable[[dict], None]]:
     import bench_durability
     import bench_faults
     import bench_hotpaths
+    import bench_replication
     import bench_serving
     import bench_shard_scale
     import bench_steady_state
@@ -39,6 +40,7 @@ def _validators() -> Dict[str, Callable[[dict], None]]:
         "serving": bench_serving.validate_payload,
         "serving_metrics": bench_serving.validate_metrics,
         "faults": bench_faults.validate_payload,
+        "replication": bench_replication.validate_payload,
     }
 
 

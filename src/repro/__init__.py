@@ -34,8 +34,11 @@ from repro.errors import (
     InvalidStepError,
     ModelError,
     NotCompletedError,
+    NotPrimaryError,
+    PromotionError,
     ProtocolError,
     RecoveryError,
+    ReplicaLaggingError,
     RegistryError,
     ReproError,
     RequestRejectedError,
@@ -163,6 +166,7 @@ from repro.engine import (
     build_engine,
 )
 from repro.durability import DurableEngine, RecoveryInfo, open_durable, recover
+from repro.replication import ReplicaLag, WalFollower, read_promotions
 from repro.faults import FaultPlan, FaultSpec, FaultyIO, InjectedFault, StorageIO
 from repro.server import ReproServer
 from repro.client import AsyncServingClient, ServingClient
@@ -200,6 +204,9 @@ __all__ = [
     "WalCorruptionError",
     "RecoveryError",
     "WalLockedError",
+    "PromotionError",
+    "NotPrimaryError",
+    "ReplicaLaggingError",
     "ServingError",
     "ProtocolError",
     "UnknownTenantError",
@@ -219,6 +226,10 @@ __all__ = [
     "RecoveryInfo",
     "recover",
     "open_durable",
+    # replication
+    "WalFollower",
+    "ReplicaLag",
+    "read_promotions",
     # fault injection
     "FaultPlan",
     "FaultSpec",

@@ -21,11 +21,15 @@ Commands
     Start the multi-tenant asyncio serving front-end
     (:mod:`repro.server`): line/JSON protocol over TCP, bounded
     per-tenant write queues with admission control, audit/metrics reads.
-    ``--tenant NAME SCHEDULER POLICY`` (repeatable) pre-creates tenants.
+    ``--tenant NAME SCHEDULER POLICY`` (repeatable) pre-creates tenants;
+    ``--replica NAME WAL_DIR`` (repeatable) hosts WAL-follower read
+    replicas, auto-promoted on primary recovery exhaustion unless
+    ``--no-auto-promote``.
 ``request``
-    One client call against a running server: ``ping``, ``create``,
-    ``open``, ``close``, ``tenants``, ``feed-workload``, ``audit``,
-    ``query``, ``sweep``, ``metrics``.
+    One client call against a running server: ``ping``, ``create``
+    (``--replica-of`` for a follower), ``open``, ``close``, ``tenants``,
+    ``feed-workload``, ``audit``/``query`` (``--max-lag`` bounds replica
+    staleness), ``sweep``, ``promote``, ``metrics``.
 ``dump``
     Run a workload and print the final reduced graph (ascii, dot, or
     json); ``--output FILE`` writes it atomically instead (a crash mid-
@@ -391,9 +395,13 @@ def _serve(args: argparse.Namespace) -> int:
         recover_max_attempts=args.recover_max_attempts,
         recover_backoff=args.recover_backoff,
         recover_backoff_cap=args.recover_backoff_cap,
+        replica_poll_interval=args.replica_poll_interval,
+        auto_promote=not args.no_auto_promote,
     )
     for name, scheduler, policy in args.tenant or ():
         server.create_tenant(name, scheduler=scheduler, policy=policy)
+    for name, wal_dir in args.replica or ():
+        server.create_tenant(name, replica_of=wal_dir)
 
     async def _main() -> None:
         host, port = await server.start()
@@ -430,13 +438,18 @@ def _request(args: argparse.Namespace) -> int:
         if verb == "ping":
             payload = client.ping()
         elif verb == "create":
-            payload = client.create_tenant(
-                args.tenant,
-                scheduler=args.scheduler,
-                policy=args.policy,
-                **({"shards": args.shards} if args.shards != 1 else {}),
-                **({"wal_dir": args.wal_dir} if args.wal_dir else {}),
-            )
+            if args.replica_of:
+                payload = client.create_tenant(
+                    args.tenant, replica_of=args.replica_of
+                )
+            else:
+                payload = client.create_tenant(
+                    args.tenant,
+                    scheduler=args.scheduler,
+                    policy=args.policy,
+                    **({"shards": args.shards} if args.shards != 1 else {}),
+                    **({"wal_dir": args.wal_dir} if args.wal_dir else {}),
+                )
         elif verb == "open":
             payload = client.open_tenant(args.tenant, args.wal_dir)
         elif verb == "close":
@@ -451,11 +464,15 @@ def _request(args: argparse.Namespace) -> int:
             ))
             payload = client.feed_all(args.tenant, stream, chunk=args.chunk)
         elif verb == "audit":
-            payload = client.audit(args.tenant, args.txn)
+            payload = client.audit(args.tenant, args.txn,
+                                   max_lag=args.max_lag)
         elif verb == "query":
-            payload = {args.what: client.query(args.tenant, args.what)}
+            payload = {args.what: client.query(args.tenant, args.what,
+                                               max_lag=args.max_lag)}
         elif verb == "sweep":
             payload = {"deleted": client.sweep(args.tenant)}
+        elif verb == "promote":
+            payload = client.promote(args.tenant)
         else:  # metrics
             payload = client.metrics()
         text = _json.dumps(payload, indent=2, sort_keys=True)
@@ -546,6 +563,17 @@ def build_parser() -> argparse.ArgumentParser:
                               help="initial recovery backoff (seconds)")
     serve_parser.add_argument("--recover-backoff-cap", type=float, default=2.0,
                               help="max recovery backoff (seconds)")
+    serve_parser.add_argument("--replica-poll-interval", type=float,
+                              default=0.02,
+                              help="seconds between follower WAL polls")
+    serve_parser.add_argument("--no-auto-promote", action="store_true",
+                              help="disable supervisor-driven promotion of "
+                                   "the freshest replica when a primary "
+                                   "exhausts its recovery budget")
+    serve_parser.add_argument("--replica", nargs=2, action="append",
+                              metavar=("NAME", "WAL_DIR"),
+                              help="host a follower tenant tailing the "
+                                   "primary WAL at WAL_DIR (repeatable)")
     serve_parser.add_argument("--tenant", nargs=3, action="append",
                               metavar=("NAME", "SCHEDULER", "POLICY"),
                               help="pre-create a tenant (repeatable)")
@@ -575,6 +603,10 @@ def build_parser() -> argparse.ArgumentParser:
     create_verb.add_argument("--wal-dir", default=None,
                              help="make the tenant durable (recovers an "
                                   "existing directory)")
+    create_verb.add_argument("--replica-of", default=None,
+                             help="create a read-only follower tailing the "
+                                  "primary WAL at this directory (mutually "
+                                  "exclusive with the other options)")
     open_verb = _verb("open", tenant=True,
                       help="open a tenant from an existing WAL directory")
     open_verb.add_argument("--wal-dir", required=True)
@@ -591,10 +623,19 @@ def build_parser() -> argparse.ArgumentParser:
     audit_verb = _verb("audit", tenant=True,
                        help="per-transaction audit lookup")
     audit_verb.add_argument("txn", help="transaction id")
+    audit_verb.add_argument("--max-lag", type=int, default=None,
+                            help="replica reads only: reject with "
+                                 "replica_lagging when the follower is more "
+                                 "than this many WAL records behind")
     query_verb = _verb("query", tenant=True, help="read-path query")
     query_verb.add_argument("what", choices=["accepted", "live", "deleted",
                                              "aborted", "stats"])
+    query_verb.add_argument("--max-lag", type=int, default=None,
+                            help="replica reads only: lag bound in WAL "
+                                 "records")
     _verb("sweep", tenant=True, help="run the deletion policy now")
+    _verb("promote", tenant=True,
+          help="promote a follower tenant to writable primary")
     metrics_verb = _verb("metrics", help="the /metrics JSON surface")
     metrics_verb.add_argument("--output", default=None,
                               help="write the JSON to FILE (atomically) "

@@ -32,6 +32,25 @@ Fault tolerance (added with the chaos work):
   demotions by polling ``tenant_info`` until the tenant serves again and
   resuming from the durable ``wal_seq`` watermark (single-writer
   assumption: nobody else feeds the tenant concurrently).
+
+Replication awareness (added with the replica work):
+
+* writes against a replica surface as :class:`NotPrimaryError` (carrying
+  the primary's ``wal_dir``), and a ``max_lag``-guarded read that finds
+  the replica too far behind raises :class:`ReplicaLaggingError`;
+* :meth:`route_reads` registers a per-tenant read replica; ``audit`` /
+  ``query`` with ``prefer_replica=True`` try the replica first and fall
+  back to the primary when the replica is lagging or gone;
+* :meth:`promote` flips a follower tenant into a writable primary, and
+  ``feed_resumable(..., failover_to=...)`` uses it to keep a write
+  stream going when the primary's recovery budget is exhausted: promote
+  the named replica (tolerating a concurrent server-side
+  auto-promotion) and resume against it from the same ``wal_seq``
+  watermark — the replica tails the same WAL, so the acknowledgment
+  arithmetic is unchanged;
+* server ``retry_after`` hints are **clamped** at the configured backoff
+  cap before sleeping (a confused or adversarial server cannot park the
+  client), and the clamp count is surfaced in the feed totals.
 """
 
 from __future__ import annotations
@@ -42,7 +61,9 @@ from typing import Any, Dict, Iterable, List, Optional
 
 from repro.errors import (
     ConnectionDroppedError,
+    NotPrimaryError,
     ProtocolError,
+    ReplicaLaggingError,
     RequestRejectedError,
     RequestTimeoutError,
     RetriesExhaustedError,
@@ -79,6 +100,18 @@ def _raise_for_error(response: Dict[str, Any]) -> Dict[str, Any]:
         )
     if code == "unknown_tenant":
         raise UnknownTenantError(error.get("tenant", message))
+    if code == "not_primary":
+        raise NotPrimaryError(
+            message, primary_wal_dir=str(error.get("primary_wal_dir", ""))
+        )
+    if code == "replica_lagging":
+        raise ReplicaLaggingError(
+            message,
+            lag_seq=int(error.get("lag_seq", 0)),
+            lag_seconds=float(error.get("lag_seconds", 0.0)),
+            max_lag=int(error.get("max_lag", 0)),
+            retry_after=float(error.get("retry_after", 0.0)),
+        )
     raise RequestRejectedError(code, message)
 
 
@@ -110,6 +143,9 @@ class AsyncServingClient:
         self._next_id = 0
         self._dirty = False
         self._rng = random.Random(0xB0FF)
+        self._read_routes: Dict[str, str] = {}
+        self.clamped_hints = 0
+        self.replica_fallbacks = 0
 
     @classmethod
     async def connect(
@@ -225,7 +261,8 @@ class AsyncServingClient:
 
     async def create_tenant(self, tenant: str, **kwargs: Any) -> Dict[str, Any]:
         request: Dict[str, Any] = {"op": "create", "tenant": tenant}
-        for key in ("wal_dir", "shards", "checkpoint_interval", "sync"):
+        for key in ("wal_dir", "shards", "checkpoint_interval", "sync",
+                    "replica_of"):
             if key in kwargs:
                 request[key] = kwargs.pop(key)
         if kwargs:
@@ -282,8 +319,19 @@ class AsyncServingClient:
 
     def _retry_pause(self, hint: float, delay: float, cap: float) -> float:
         """Backoff for one retry: at least the server's hint, at most
-        the cap, with multiplicative jitter in [0.5, 1.5)."""
-        pause = max(float(hint), min(delay, cap), 1e-4)
+        the cap, with multiplicative jitter in [0.5, 1.5).
+
+        The server's ``retry_after`` hint is advisory, not binding: a
+        hint above the configured cap is clamped to the cap (and
+        counted in :attr:`clamped_hints`), so a confused — or
+        adversarial — server can never park the client for longer than
+        the caller budgeted.
+        """
+        hint = float(hint)
+        if hint > cap:
+            hint = cap
+            self.clamped_hints += 1
+        pause = max(hint, min(delay, cap), 1e-4)
         return pause * (0.5 + self._rng.random())
 
     async def feed_all(
@@ -307,7 +355,8 @@ class AsyncServingClient:
         :meth:`feed_resumable` for that.
         """
         totals = {"count": 0, "accepted": 0, "rejected": 0, "delayed": 0,
-                  "ignored": 0, "retries": 0}
+                  "ignored": 0, "retries": 0, "clamped": 0}
+        clamp_base = self.clamped_hints
         buffer: List[Any] = []
 
         async def _flush() -> None:
@@ -332,6 +381,7 @@ class AsyncServingClient:
                             backoff_cap,
                         )
                     )
+                    totals["clamped"] = self.clamped_hints - clamp_base
                     delay = min(delay * 2, backoff_cap)
                 else:
                     for key in ("count", "accepted", "rejected", "delayed",
@@ -391,6 +441,7 @@ class AsyncServingClient:
         max_polls: int = 200,
         backoff: float = 0.01,
         backoff_cap: float = 1.0,
+        failover_to: Optional[str] = None,
     ) -> Dict[str, int]:
         """Feed a *durable* tenant to completion across connection drops,
         worker crashes, and demotions.
@@ -403,20 +454,47 @@ class AsyncServingClient:
         resumes from the first step not yet on disk — so no acknowledged
         (or even durably-applied) step is ever re-fed, and no step is
         skipped.
+
+        *failover_to* names a replica tenant (tailing the same WAL) to
+        promote and switch to if the primary's recovery budget is ever
+        exhausted.  Promotion is idempotent on the server, so a race
+        with supervisor-driven auto-promotion is harmless.  The starting
+        watermark stays valid across the switch — promotion appends no
+        WAL records — so the resume arithmetic is unchanged.
         """
         stream = list(steps)
-        info = await self._await_serving(
-            tenant, max_polls=max_polls, backoff=backoff,
-            backoff_cap=backoff_cap,
-        )
+        failed_over = False
+        totals = {"count": 0, "accepted": 0, "rejected": 0, "delayed": 0,
+                  "ignored": 0, "retries": 0, "resynced": 0, "clamped": 0,
+                  "failovers": 0}
+        clamp_base = self.clamped_hints
+
+        async def _serving_info() -> Dict[str, Any]:
+            nonlocal tenant, failed_over
+            try:
+                return await self._await_serving(
+                    tenant, max_polls=max_polls, backoff=backoff,
+                    backoff_cap=backoff_cap,
+                )
+            except RetriesExhaustedError:
+                if failover_to is None or failed_over:
+                    raise
+                failed_over = True
+                totals["failovers"] += 1
+                tenant = failover_to
+                await self.promote(tenant)
+                return await self._await_serving(
+                    tenant, max_polls=max_polls, backoff=backoff,
+                    backoff_cap=backoff_cap,
+                )
+
+        info = await _serving_info()
         base = info.get("wal_seq")
         if base is None:
             raise ServingError(
                 f"feed_resumable needs a durable tenant; {tenant!r} "
                 "reports no wal_seq watermark"
             )
-        totals = {"count": 0, "accepted": 0, "rejected": 0, "delayed": 0,
-                  "ignored": 0, "retries": 0, "resynced": 0}
         fed = 0
         failures = 0
         while fed < len(stream):
@@ -429,7 +507,8 @@ class AsyncServingClient:
                 ConnectionDroppedError,
                 RequestTimeoutError,
             ) as exc:
-                if bool(getattr(exc, "exhausted", False)):
+                exhausted = bool(getattr(exc, "exhausted", False))
+                if exhausted and (failover_to is None or failed_over):
                     raise RetriesExhaustedError(
                         f"tenant {tenant!r} is permanently degraded: {exc}",
                         attempts=failures + 1, fed=fed, totals=dict(totals),
@@ -442,17 +521,16 @@ class AsyncServingClient:
                         attempts=failures, fed=fed, totals=dict(totals),
                     ) from exc
                 totals["retries"] += 1
-                await asyncio.sleep(
-                    self._retry_pause(
-                        getattr(exc, "retry_after", 0.0),
-                        backoff * (2 ** min(failures, 16)),
-                        backoff_cap,
+                if not exhausted:
+                    await asyncio.sleep(
+                        self._retry_pause(
+                            getattr(exc, "retry_after", 0.0),
+                            backoff * (2 ** min(failures, 16)),
+                            backoff_cap,
+                        )
                     )
-                )
-                info = await self._await_serving(
-                    tenant, max_polls=max_polls, backoff=backoff,
-                    backoff_cap=backoff_cap,
-                )
+                    totals["clamped"] = self.clamped_hints - clamp_base
+                info = await _serving_info()
                 durable = int(info["wal_seq"]) - int(base)
                 if durable > fed:
                     # Steps whose acknowledgment we lost are on disk;
@@ -475,22 +553,83 @@ class AsyncServingClient:
             await self.request({"op": "flush_pending", "tenant": tenant})
         )["flushed"]
 
+    # -- replication --------------------------------------------------------
+
+    async def promote(self, tenant: str) -> Dict[str, Any]:
+        """Promote a follower tenant to writable primary (idempotent:
+        an already-primary tenant answers ``already_primary`` instead of
+        erroring)."""
+        return await self.request({"op": "promote", "tenant": tenant})
+
+    def route_reads(self, tenant: str, replica: Optional[str]) -> None:
+        """Register *replica* as the preferred read target for *tenant*.
+
+        Reads issued with ``prefer_replica=True`` try the replica first
+        and fall back to the primary when the replica is lagging past
+        the caller's ``max_lag`` bound or is not being served.  Pass
+        ``None`` to clear the route.
+        """
+        if replica is None:
+            self._read_routes.pop(tenant, None)
+        else:
+            self._read_routes[tenant] = replica
+
     # -- read path ----------------------------------------------------------
 
-    async def audit(self, tenant: str, txn: Any) -> Dict[str, Any]:
-        return (
-            await self.request(
-                {"op": "audit", "tenant": tenant, "txn": txn}, idempotent=True
-            )
-        )["audit"]
+    async def _routed_read(
+        self,
+        tenant: str,
+        request: Dict[str, Any],
+        *,
+        max_lag: Optional[int],
+        prefer_replica: bool,
+    ) -> Dict[str, Any]:
+        request = dict(request)
+        if max_lag is not None:
+            request["max_lag"] = int(max_lag)
+        replica = self._read_routes.get(tenant) if prefer_replica else None
+        if replica is not None:
+            try:
+                return await self.request(
+                    dict(request, tenant=replica), idempotent=True
+                )
+            except (ReplicaLaggingError, UnknownTenantError,
+                    TenantDegradedError):
+                self.replica_fallbacks += 1
+            # Fall back to the primary with no lag bound: it IS the
+            # freshness ground truth the bound is measured against.
+            request.pop("max_lag", None)
+        return await self.request(
+            dict(request, tenant=tenant), idempotent=True
+        )
 
-    async def query(self, tenant: str, what: str) -> Any:
-        return (
-            await self.request(
-                {"op": "query", "tenant": tenant, "what": what},
-                idempotent=True,
-            )
-        )[what]
+    async def audit(
+        self,
+        tenant: str,
+        txn: Any,
+        *,
+        max_lag: Optional[int] = None,
+        prefer_replica: bool = False,
+    ) -> Dict[str, Any]:
+        response = await self._routed_read(
+            tenant, {"op": "audit", "txn": txn},
+            max_lag=max_lag, prefer_replica=prefer_replica,
+        )
+        return response["audit"]
+
+    async def query(
+        self,
+        tenant: str,
+        what: str,
+        *,
+        max_lag: Optional[int] = None,
+        prefer_replica: bool = False,
+    ) -> Any:
+        response = await self._routed_read(
+            tenant, {"op": "query", "what": what},
+            max_lag=max_lag, prefer_replica=prefer_replica,
+        )
+        return response[what]
 
     async def metrics(self) -> Dict[str, Any]:
         return (await self.request({"op": "metrics"}, idempotent=True))[
@@ -579,13 +718,13 @@ class ServingClient:
     def feed_resumable(
         self, tenant: str, steps: Iterable[Any], *, chunk: int = 256,
         max_retries: int = 16, max_polls: int = 200, backoff: float = 0.01,
-        backoff_cap: float = 1.0,
+        backoff_cap: float = 1.0, failover_to: Optional[str] = None,
     ) -> Dict[str, int]:
         return self._run(
             self._client.feed_resumable(
                 tenant, list(steps), chunk=chunk, max_retries=max_retries,
                 max_polls=max_polls, backoff=backoff,
-                backoff_cap=backoff_cap,
+                backoff_cap=backoff_cap, failover_to=failover_to,
             )
         )
 
@@ -595,11 +734,39 @@ class ServingClient:
     def flush_pending(self, tenant: str) -> int:
         return self._run(self._client.flush_pending(tenant))
 
-    def audit(self, tenant: str, txn: Any) -> Dict[str, Any]:
-        return self._run(self._client.audit(tenant, txn))
+    def promote(self, tenant: str) -> Dict[str, Any]:
+        return self._run(self._client.promote(tenant))
 
-    def query(self, tenant: str, what: str) -> Any:
-        return self._run(self._client.query(tenant, what))
+    def route_reads(self, tenant: str, replica: Optional[str]) -> None:
+        self._client.route_reads(tenant, replica)
+
+    def audit(
+        self, tenant: str, txn: Any, *, max_lag: Optional[int] = None,
+        prefer_replica: bool = False,
+    ) -> Dict[str, Any]:
+        return self._run(
+            self._client.audit(
+                tenant, txn, max_lag=max_lag, prefer_replica=prefer_replica
+            )
+        )
+
+    def query(
+        self, tenant: str, what: str, *, max_lag: Optional[int] = None,
+        prefer_replica: bool = False,
+    ) -> Any:
+        return self._run(
+            self._client.query(
+                tenant, what, max_lag=max_lag, prefer_replica=prefer_replica
+            )
+        )
 
     def metrics(self) -> Dict[str, Any]:
         return self._run(self._client.metrics())
+
+    @property
+    def clamped_hints(self) -> int:
+        return self._client.clamped_hints
+
+    @property
+    def replica_fallbacks(self) -> int:
+        return self._client.replica_fallbacks

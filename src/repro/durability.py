@@ -207,7 +207,19 @@ class _WalLock:
     recording the owner's PID.  A second open finds the file and raises
     :class:`~repro.errors.WalLockedError` while the recorded PID is
     alive; locks left by *dead* processes (a crash never releases) and
-    torn/unreadable lock files are stale and reclaimed in place.
+    torn/unreadable lock files are stale and reclaimed atomically.
+
+    Reclaim protocol: the lock file itself is **never** unlinked by a
+    non-owner (two openers observing the same dead PID could otherwise
+    both unlink — and the second unlink can destroy the first opener's
+    freshly-won lock).  Instead, a PID-stamped ``LOCK.claim`` file
+    created with ``O_CREAT|O_EXCL`` serializes reclaimers; the winner
+    re-verifies the recorded owner is still dead *under the claim*,
+    publishes itself with an atomic ``os.replace(claim, LOCK)``, and
+    re-reads the lock after publish to confirm ownership.  Losers see a
+    live claimer (or a live new owner) and raise
+    :class:`~repro.errors.WalLockedError` — exactly one process ever
+    acquires.
     """
 
     def __init__(self, path: pathlib.Path, pid: int) -> None:
@@ -218,8 +230,10 @@ class _WalLock:
     @classmethod
     def acquire(cls, wal_path: pathlib.Path) -> "_WalLock":
         path = pathlib.Path(wal_path) / LOCK_NAME
+        claim = path.with_name(LOCK_NAME + ".claim")
+        pid = os.getpid()
         owner: Optional[int] = None
-        for _attempt in range(3):
+        for _attempt in range(6):
             try:
                 fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
             except FileExistsError:
@@ -227,17 +241,66 @@ class _WalLock:
                 if owner is not None and _pid_alive(owner):
                     raise WalLockedError(wal_path, owner)
                 # Stale (dead owner) or torn (unreadable): reclaim.
-                try:
-                    path.unlink()
-                except FileNotFoundError:
-                    pass
+                lock = cls._reclaim_stale(wal_path, path, claim, pid)
+                if lock is not None:
+                    return lock
                 continue
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(_json.dumps({"pid": os.getpid()}) + "\n")
-            return cls(path, os.getpid())
-        # Three reclaim attempts lost the race every time: something is
-        # recreating the lock faster than we can claim it.
+                handle.write(_json.dumps({"pid": pid}) + "\n")
+            return cls(path, pid)
+        # Repeated reclaim attempts lost the race every time: something
+        # is recreating the lock faster than we can claim it.
         raise WalLockedError(wal_path, owner if owner is not None else -1)
+
+    @classmethod
+    def _reclaim_stale(
+        cls,
+        wal_path: pathlib.Path,
+        path: pathlib.Path,
+        claim: pathlib.Path,
+        pid: int,
+    ) -> Optional["_WalLock"]:
+        """One atomic reclaim attempt; the lock on success, ``None`` to
+        re-run the acquire loop (the stale lock vanished or the publish
+        was contended away)."""
+        try:
+            fd = os.open(claim, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            claimer = cls._owner_pid(claim)
+            if claimer is not None and _pid_alive(claimer):
+                # A live reclaimer is mid-publish; it owns the outcome.
+                raise WalLockedError(wal_path, claimer)
+            # The claimer died mid-reclaim: clear its claim and retry.
+            # (Deleting a *fresh* claim here is benign — its live owner
+            # re-verifies the lock under the claim and after publish.)
+            try:
+                claim.unlink()
+            except FileNotFoundError:
+                pass
+            return None
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(_json.dumps({"pid": pid}) + "\n")
+        try:
+            # Re-verify under the claim: the owner may have changed
+            # between the stale read and winning the claim.
+            owner = cls._owner_pid(path)
+            if owner is not None and _pid_alive(owner):
+                raise WalLockedError(wal_path, owner)
+            if not path.exists():
+                return None  # released outright; retry the O_EXCL create
+            os.replace(claim, path)
+        except FileNotFoundError:
+            return None  # our claim was swept by a racing cleanup; retry
+        finally:
+            try:
+                claim.unlink()  # no-op when the replace consumed it
+            except OSError:
+                pass
+        # Post-publish verification: only return owned if the lock file
+        # really records us (paranoia against exotic interleavings).
+        if cls._owner_pid(path) == pid:
+            return cls(path, pid)
+        return None
 
     @staticmethod
     def _owner_pid(path: pathlib.Path) -> Optional[int]:
@@ -1132,18 +1195,33 @@ def recover(
         raise
 
 
-def _recover_locked(
-    wal_path: pathlib.Path,
-    manifest: Dict[str, Any],
-    config: EngineConfig,
-    shards: int,
-    *,
-    observers: Iterable[EngineObserver],
-    checkpoint_interval: Optional[int],
-    sync: Optional[str],
-    storage: StorageIO,
-    lock: _WalLock,
-) -> DurableEngine:
+@dataclass
+class _ChainState:
+    """Everything one checkpoint-chain restore yields.
+
+    Shared between :func:`recover` and the replication follower
+    (:mod:`repro.replication`): both need the same strictly-validated
+    chain walk, delta splice, freshly-restored engine, and cursor
+    bookkeeping — recovery wraps it in a :class:`DurableEngine`, the
+    follower adopts it as its new live state.
+    """
+
+    chain: List[Tuple[Dict[str, Any], pathlib.Path]]
+    checkpoint_seq: int
+    epoch: int  # next WAL epoch hint (latest checkpoint's + 1, or 0)
+    inner: Any  # restored engine (or a fresh build when no chain)
+    cursors: _Cursors
+    latest_path: Optional[pathlib.Path]
+
+
+def _restore_from_chain(
+    wal_path: pathlib.Path, config: EngineConfig, shards: int
+) -> _ChainState:
+    """Load + validate the checkpoint chain and restore an engine from it.
+
+    Raises :class:`~repro.errors.RecoveryError` on any chain damage; an
+    empty chain yields a fresh engine at seq 0.
+    """
     chain = _load_checkpoint_chain(wal_path / _CHECKPOINTS_DIR)
     results_chain: List[Dict[str, Any]] = []
     input_chain: List[Dict[str, Any]] = []
@@ -1227,6 +1305,61 @@ def _recover_locked(
         checkpoint_seq = 0
         epoch = 0
         inner = build_engine(config, shards=shards)
+    return _ChainState(
+        chain=chain,
+        checkpoint_seq=checkpoint_seq,
+        epoch=epoch,
+        inner=inner,
+        cursors=cursors,
+        latest_path=latest_path,
+    )
+
+
+def _replay_record(inner, sharded: bool, step, control) -> Optional[bool]:
+    """Apply one WAL record to *inner* exactly as recovery does.
+
+    Returns ``True`` when a step was applied, ``None`` when a step was
+    rejected by the engine, and ``False`` for a control record.  A
+    :class:`~repro.errors.ReproError` raised by the engine is the
+    deterministic re-raise of an error the original run also hit (a
+    rejected step mutates nothing) and is swallowed, exactly as the
+    original caller's error path did.
+    """
+    try:
+        if step is not None:
+            inner.feed(step)
+            return True
+        if control == "sweep":
+            inner.sweep()
+        elif control == "flush":
+            _apply_flush(inner, sharded)
+        elif control == "flush_pending" and sharded:
+            inner.flush_pending()
+    except ReproError:
+        if step is not None:
+            return None
+    return False
+
+
+def _recover_locked(
+    wal_path: pathlib.Path,
+    manifest: Dict[str, Any],
+    config: EngineConfig,
+    shards: int,
+    *,
+    observers: Iterable[EngineObserver],
+    checkpoint_interval: Optional[int],
+    sync: Optional[str],
+    storage: StorageIO,
+    lock: _WalLock,
+) -> DurableEngine:
+    state = _restore_from_chain(wal_path, config, shards)
+    checkpoint_seq = state.checkpoint_seq
+    epoch = state.epoch
+    inner = state.inner
+    cursors = state.cursors
+    chain = state.chain
+    latest_path = state.latest_path
 
     records, torn, repairs = _scan_segments(wal_path / _SEGMENTS_DIR)
     if torn > 1:
@@ -1251,23 +1384,11 @@ def _recover_locked(
     sharded = isinstance(inner, ShardedEngine)
     replayed_steps = replayed_controls = 0
     for _seq, step, control in tail:
-        try:
-            if step is not None:
-                inner.feed(step)
-                replayed_steps += 1
-            else:
-                replayed_controls += 1
-                if control == "sweep":
-                    inner.sweep()
-                elif control == "flush":
-                    _apply_flush(inner, sharded)
-                elif control == "flush_pending" and sharded:
-                    inner.flush_pending()
-        except ReproError:
-            # Deterministic re-raise of an error the original run also
-            # hit (a rejected step mutates nothing); replay continues
-            # exactly as the original caller did.
-            continue
+        outcome = _replay_record(inner, sharded, step, control)
+        if outcome is True:
+            replayed_steps += 1
+        elif outcome is False:
+            replayed_controls += 1
 
     # Validation passed: repair the torn tails in place so a future
     # recovery of the same directory sees only complete records.

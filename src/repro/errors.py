@@ -35,12 +35,15 @@ __all__ = [
     "WalCorruptionError",
     "RecoveryError",
     "WalLockedError",
+    "PromotionError",
     "ServingError",
     "ProtocolError",
     "UnknownTenantError",
     "RequestRejectedError",
     "TenantSaturatedError",
     "TenantDegradedError",
+    "NotPrimaryError",
+    "ReplicaLaggingError",
     "ConnectionDroppedError",
     "RequestTimeoutError",
     "RetriesExhaustedError",
@@ -248,6 +251,19 @@ class WalLockedError(DurabilityError):
         self.pid = pid
 
 
+class PromotionError(DurabilityError):
+    """Promoting a follower to primary failed its safety checks.
+
+    Raised by :meth:`repro.replication.WalFollower.promote` when the
+    sealed log cannot be brought to a verified state — e.g. the
+    follower's replayed snapshot disagrees byte-for-byte with an
+    independent restore of the same log (the watermark verification), or
+    the follower was already promoted/closed.  The WAL lock is released
+    on the way out; the directory itself is untouched and can still be
+    :func:`~repro.durability.recover`-ed.
+    """
+
+
 class ServingError(ReproError):
     """Base class for the serving layer (:mod:`repro.server` /
     :mod:`repro.client`)."""
@@ -314,6 +330,40 @@ class TenantDegradedError(RequestRejectedError):
         super().__init__("degraded", message)
         self.retry_after = retry_after
         self.exhausted = exhausted
+
+
+class NotPrimaryError(RequestRejectedError):
+    """A write was addressed to a read-only follower tenant.
+
+    Follower tenants (``replica_of``) answer reads only; every mutating
+    op is redirected with this structured ``not_primary`` error carrying
+    the primary's ``wal_dir`` so the caller can re-route (or ask for a
+    ``promote`` if the primary is gone).
+    """
+
+    def __init__(self, message: str, *, primary_wal_dir: str = "") -> None:
+        super().__init__("not_primary", message)
+        self.primary_wal_dir = primary_wal_dir
+
+
+class ReplicaLaggingError(RequestRejectedError):
+    """A lag-bounded read found the replica too far behind the primary.
+
+    Raised when a read carries ``max_lag`` and the follower's current
+    ``lag_seq`` exceeds it.  ``retry_after`` estimates when the next
+    tail poll lands; the caller can retry here, relax ``max_lag``, or
+    fall back to the primary.
+    """
+
+    def __init__(
+        self, message: str, *, lag_seq: int = 0, lag_seconds: float = 0.0,
+        max_lag: int = 0, retry_after: float = 0.0,
+    ) -> None:
+        super().__init__("replica_lagging", message)
+        self.lag_seq = lag_seq
+        self.lag_seconds = lag_seconds
+        self.max_lag = max_lag
+        self.retry_after = retry_after
 
 
 class ConnectionDroppedError(ServingError):

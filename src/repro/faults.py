@@ -30,6 +30,9 @@ site                   reached on                               kinds
 ``recover.start``      entry of :func:`repro.durability.recover`  io_error, delay
 ``server.worker``      a tenant worker picking up a work item   crash
 ``server.connection``  the server reading a request line        drop
+``follower.read``      a WAL follower scanning for new records  io_error, delay
+``follower.apply``     a follower applying one tailed record    io_error, crash, delay
+``promote.seal``       entry of follower-to-primary promotion   io_error, delay
 =====================  =======================================  ==========================
 
 Failure semantics follow the real syscalls they imitate:
@@ -95,6 +98,9 @@ FAULT_SITES: Dict[str, Tuple[str, ...]] = {
     "recover.start": ("io_error", "delay"),
     "server.worker": ("crash",),
     "server.connection": ("drop",),
+    "follower.read": ("io_error", "delay"),
+    "follower.apply": ("io_error", "crash", "delay"),
+    "promote.seal": ("io_error", "delay"),
 }
 
 _ERRNO_FOR_KIND = {
@@ -307,14 +313,20 @@ class FaultPlan:
         """Derive a pseudo-random plan from *seed* (deterministically).
 
         Faults are spread over occurrence slots ``1..horizon`` at the
-        chosen *sites* (default: every storage site — serving sites are
-        opted into explicitly, because a generated worker crash is only
-        meaningful under a supervising server).  ``max_delay > 0``
-        allows ``delay`` kinds, bounded by that many seconds.
+        chosen *sites* (default: every storage site — serving sites and
+        the replication sites are opted into explicitly, because a
+        generated worker crash or follower fault is only meaningful
+        under a supervising server / live follower, and keeping the
+        default list stable preserves seed-to-plan determinism across
+        releases).  ``max_delay > 0`` allows ``delay`` kinds, bounded by
+        that many seconds.
         """
         rng = random.Random(seed)
         if sites is None:
-            sites = [s for s in FAULT_SITES if not s.startswith("server.")]
+            excluded = ("server.", "follower.", "promote.")
+            sites = [
+                s for s in FAULT_SITES if not s.startswith(excluded)
+            ]
         specs: List[FaultSpec] = []
         taken: set = set()
         for _ in range(n_faults):

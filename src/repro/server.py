@@ -57,11 +57,29 @@ is spent the tenant stays degraded with ``exhausted`` flagged for the
 operator.  Non-durable tenants have no log to heal from and degrade
 permanently.
 
+Read replicas & failover
+------------------------
+A tenant created with ``replica_of`` hosts **no writer**: it wraps a
+:class:`~repro.replication.WalFollower` tailing another engine's
+``wal_dir`` (typically a primary hosted by another server process) and
+answers audit/query/metrics reads from the continuously-replayed
+follower engine.  Every read response carries a ``replica`` stamp
+(``lag_seq`` / ``lag_seconds`` / ``wal_seq``), reads may pass
+``max_lag`` to get a structured ``replica_lagging`` refusal instead of a
+stale answer, and every write is refused with a structured
+``not_primary`` redirect naming the primary's ``wal_dir``.  The
+``promote`` op seals the tail and flips the replica into a writable
+primary (refused with ``primary_alive`` while the real primary still
+holds the WAL lock); when a *primary* tenant exhausts its recovery
+budget, the supervisor automatically promotes its most caught-up
+replica (``auto_promote``), so acknowledged writes keep a home without
+operator action.
+
 Chaos drills: construct the server with a
 :class:`~repro.faults.FaultPlan` (``repro serve --fault-plan``) and the
-scheduled storage faults, worker crashes, and connection drops fire
-deterministically — the chaos equivalence suite drives exactly this
-path.
+scheduled storage faults, worker crashes, connection drops, and
+follower-tail faults fire deterministically — the chaos equivalence
+suite drives exactly this path.
 """
 
 from __future__ import annotations
@@ -80,15 +98,19 @@ from repro.engine import build_engine
 from repro.errors import (
     DurabilityError,
     ModelError,
+    NotPrimaryError,
     ProtocolError,
+    ReplicaLaggingError,
     ReproError,
     RequestRejectedError,
     ServingError,
     TenantDegradedError,
     TenantSaturatedError,
     UnknownTenantError,
+    WalLockedError,
 )
 from repro.faults import FaultPlan, FaultyIO, InjectedFault
+from repro.replication import WalFollower
 from repro.io import (
     WIRE_FORMAT,
     schedule_to_list,
@@ -153,10 +175,24 @@ class _Tenant:
     and the supervision state machine
     (``serving → degraded → recovering → serving``)."""
 
-    def __init__(self, name: str, engine, *, wal_dir: Optional[str]) -> None:
+    def __init__(
+        self,
+        name: str,
+        engine,
+        *,
+        wal_dir: Optional[str],
+        follower: Optional[WalFollower] = None,
+        replica_of: Optional[str] = None,
+    ) -> None:
         self.name = name
-        self.engine = engine
+        self._engine = engine
         self.wal_dir = wal_dir
+        # -- replication ------------------------------------------------
+        self.follower = follower
+        self.replica_of = replica_of
+        self.role = "replica" if follower is not None else "primary"
+        self.tail_task: Optional[asyncio.Task] = None
+        self.promotions = 0
         self.queue: asyncio.Queue = asyncio.Queue()
         self.pending_steps = 0
         self.counters = TenantCounters()
@@ -174,6 +210,18 @@ class _Tenant:
         self.demoted_at: Optional[float] = None
         self.downtime_seconds = 0.0
         self.next_retry_at = 0.0
+
+    @property
+    def engine(self):
+        """The tenant's live engine — the follower's replayed engine for
+        replicas, the writable (durable or in-memory) engine otherwise."""
+        if self.follower is not None:
+            return self.follower.engine
+        return self._engine
+
+    @engine.setter
+    def engine(self, engine) -> None:
+        self._engine = engine
 
     @property
     def durable(self) -> bool:
@@ -208,6 +256,8 @@ class ReproServer:
         recover_max_attempts: int = 6,
         recover_backoff: float = 0.05,
         recover_backoff_cap: float = 2.0,
+        replica_poll_interval: float = 0.02,
+        auto_promote: bool = True,
     ) -> None:
         if max_queue_depth < 1:
             raise ServingError("max_queue_depth must be >= 1")
@@ -219,6 +269,8 @@ class ReproServer:
             raise ServingError(
                 "recover_backoff must be > 0 and <= recover_backoff_cap"
             )
+        if replica_poll_interval <= 0:
+            raise ServingError("replica_poll_interval must be > 0")
         self.host = host
         self.port = port
         self.max_queue_depth = max_queue_depth
@@ -227,6 +279,8 @@ class ReproServer:
         self.recover_max_attempts = recover_max_attempts
         self.recover_backoff = recover_backoff
         self.recover_backoff_cap = recover_backoff_cap
+        self.replica_poll_interval = replica_poll_interval
+        self.auto_promote = auto_promote
         #: One shared shim: the plan's occurrence counters must see every
         #: storage call of every tenant, in order.
         self._io = FaultyIO(fault_plan) if fault_plan is not None else None
@@ -243,6 +297,7 @@ class ReproServer:
         name: str,
         *,
         wal_dir: Optional[str] = None,
+        replica_of: Optional[str] = None,
         shards: int = 1,
         checkpoint_interval: Optional[int] = None,
         sync: Optional[str] = None,
@@ -252,12 +307,37 @@ class ReproServer:
 
         Engine construction goes through :func:`build_engine` /
         :func:`open_durable`, so every engine flavor — monolithic,
-        sharded, durable — serves identically.
+        sharded, durable — serves identically.  ``replica_of`` instead
+        hosts a read-only :class:`~repro.replication.WalFollower` of
+        another engine's ``wal_dir`` (which must already hold a
+        manifest); it is mutually exclusive with every engine-shaping
+        argument — a replica's configuration *is* the primary's.
         """
         if not name or not isinstance(name, str):
             raise ServingError(f"tenant name must be a non-empty string, got {name!r}")
         if name in self._tenants:
             raise ServingError(f"tenant {name!r} already exists")
+        if replica_of is not None:
+            if wal_dir is not None or shards != 1 or config \
+                    or checkpoint_interval is not None or sync is not None:
+                raise ServingError(
+                    "replica_of is mutually exclusive with wal_dir/shards/"
+                    "checkpoint_interval/sync/engine config: a replica "
+                    "inherits everything from the primary's manifest"
+                )
+            follower = WalFollower(replica_of, io=self._io)
+            tenant = _Tenant(
+                name, None, wal_dir=replica_of,
+                follower=follower, replica_of=replica_of,
+            )
+            self._tenants[name] = tenant
+            try:
+                self._ensure_tail(tenant)
+            except BaseException:
+                self._tenants.pop(name, None)
+                follower.close()
+                raise
+            return tenant
         if wal_dir is not None:
             engine = open_durable(
                 wal_dir,
@@ -304,6 +384,177 @@ class ReproServer:
             self._drain(tenant), name=f"repro-tenant-{tenant.name}"
         )
 
+    def _ensure_runner(self, tenant: _Tenant) -> None:
+        """Start whichever background task the tenant's role needs."""
+        if tenant.follower is not None:
+            self._ensure_tail(tenant)
+        else:
+            self._ensure_worker(tenant)
+
+    def _ensure_tail(self, tenant: _Tenant) -> None:
+        """Start the replica's tail task (lazily, like `_ensure_worker`)."""
+        if tenant.tail_task is not None:
+            return
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return  # started later, from start() inside the loop
+        tenant.tail_task = loop.create_task(
+            self._tail(tenant), name=f"repro-tail-{tenant.name}"
+        )
+
+    async def _tail(self, tenant: _Tenant) -> None:
+        """The replica's poll loop: ingest the primary's WAL continuously.
+
+        Polls run **inline on the event loop** — reads answer from the
+        same follower engine, so moving the replay to an executor thread
+        would race them.  A poll failure (injected fault, corruption
+        observed mid-truncation, storage error) degrades the tenant and
+        rebuilds the follower from the chain after a capped backoff;
+        reads keep answering from the last consistent state throughout.
+        """
+        delay = self.recover_backoff
+        while not tenant.closed and tenant.follower is not None:
+            try:
+                tenant.follower.poll()
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                tenant.state = "degraded"
+                tenant.demotions += 1
+                tenant.demoted_at = time.monotonic()
+                tenant.last_error = f"{type(exc).__name__}: {exc}"
+                pause = min(delay, self.recover_backoff_cap)
+                pause *= 0.5 + self._rng.random()
+                tenant.next_retry_at = time.monotonic() + pause
+                delay *= 2
+                await asyncio.sleep(pause)
+                if tenant.closed or tenant.follower is None:
+                    return
+                try:
+                    # Re-adopt from scratch: construction restores the
+                    # checkpoint chain, which clears any partial-tail
+                    # confusion the failure left behind.
+                    tenant.follower = WalFollower(
+                        tenant.replica_of, io=self._io
+                    )
+                except Exception as rebuild_exc:
+                    tenant.last_error = (
+                        f"{type(rebuild_exc).__name__}: {rebuild_exc}"
+                    )
+                    continue
+                tenant.state = "serving"
+                tenant.recoveries += 1
+                if tenant.demoted_at is not None:
+                    tenant.downtime_seconds += (
+                        time.monotonic() - tenant.demoted_at
+                    )
+                    tenant.demoted_at = None
+                delay = self.recover_backoff
+                continue
+            await asyncio.sleep(self.replica_poll_interval)
+
+    async def promote_tenant(self, name: str) -> Dict[str, Any]:
+        """Flip a replica tenant into a writable primary.
+
+        Idempotent: promoting a tenant that is already a primary reports
+        ``already_primary`` instead of failing, so a client retrying a
+        failover never errors on its own success.  While the real
+        primary still holds the WAL lock the promotion is refused with a
+        structured ``primary_alive`` error and the replica resumes
+        tailing; any other failure resumes tailing too and reports
+        ``promotion_failed``.
+        """
+        tenant = self._get(name)
+        if tenant.follower is None:
+            return {
+                "tenant": name, "promoted": False, "already_primary": True,
+            }
+        task = tenant.tail_task
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+            tenant.tail_task = None
+        follower = tenant.follower
+        try:
+            # Inline on the loop: promote replays into the same engine
+            # concurrent reads answer from, so it must not run in a
+            # thread.  The tail is already nearly drained by the poll
+            # loop — the sealed catch-up is cheap.
+            engine = follower.promote()
+        except WalLockedError as exc:
+            self._ensure_tail(tenant)
+            raise RequestRejectedError(
+                "primary_alive",
+                f"cannot promote {name!r}: {exc}",
+            ) from exc
+        except (ReproError, OSError) as exc:
+            tenant.state = "degraded"
+            tenant.last_error = f"{type(exc).__name__}: {exc}"
+            if not follower.closed:
+                self._ensure_tail(tenant)
+            raise RequestRejectedError(
+                "promotion_failed",
+                f"promoting {name!r} failed: {type(exc).__name__}: {exc}",
+            ) from exc
+        tenant.follower = None
+        tenant.engine = engine
+        tenant.role = "primary"
+        tenant.promotions += 1
+        tenant.state = "serving"
+        tenant.recovery_exhausted = False
+        self._ensure_worker(tenant)
+        return {
+            "tenant": name,
+            "promoted": True,
+            "wal_seq": engine.seq,
+            "wal_dir": tenant.wal_dir,
+        }
+
+    def _spawn_auto_promote(self, failed: _Tenant) -> None:
+        """Schedule promotion of *failed*'s most caught-up replica.
+
+        Called when a durable primary exhausts its recovery budget: its
+        engine is closed and the WAL lock surrendered, so a replica of
+        the same directory can seal the log and take over.  The most
+        advanced watermark wins (it loses the least).
+        """
+        import os.path
+
+        if not self.auto_promote or failed.wal_dir is None:
+            return
+        failed_dir = os.path.abspath(str(failed.wal_dir))
+        target: Optional[_Tenant] = None
+        for tenant in self._tenants.values():
+            if (
+                tenant.follower is not None
+                and not tenant.closed
+                and tenant.replica_of is not None
+                and os.path.abspath(str(tenant.replica_of)) == failed_dir
+            ):
+                if (
+                    target is None
+                    or tenant.follower.wal_seq > target.follower.wal_seq
+                ):
+                    target = tenant
+        if target is None:
+            return
+        name = target.name
+        asyncio.get_running_loop().create_task(
+            self._auto_promote(name), name=f"repro-promote-{name}"
+        )
+
+    async def _auto_promote(self, name: str) -> None:
+        try:
+            await self.promote_tenant(name)
+        except ReproError:
+            # promote_tenant already restarted tailing and recorded the
+            # cause on the tenant; the operator sees it in tenant_info.
+            pass
+
     def open_tenant(self, name: str, wal_dir: str):
         """Open *name* from an existing WAL directory (lazy recovery)."""
         if name in self._tenants:
@@ -320,15 +571,18 @@ class ReproServer:
         tenant = self._get(name)
         tenant.closed = True
         try:
-            task = tenant.recovery_task
-            if task is not None:
-                task.cancel()
-                try:
-                    await task
-                except asyncio.CancelledError:
-                    pass
-                tenant.recovery_task = None
-            if tenant.state == "serving":
+            for attr in ("recovery_task", "tail_task"):
+                task = getattr(tenant, attr)
+                if task is not None:
+                    task.cancel()
+                    try:
+                        await task
+                    except asyncio.CancelledError:
+                        pass
+                    setattr(tenant, attr, None)
+            if tenant.follower is not None:
+                tenant.follower.close()
+            elif tenant.state == "serving":
                 self._ensure_worker(tenant)
                 if tenant.worker is not None:
                     tenant.queue.put_nowait(_WorkItem("stop"))
@@ -354,6 +608,7 @@ class ReproServer:
         info: Dict[str, Any] = {
             "tenant": tenant.name,
             "state": tenant.state,
+            "role": tenant.role,
             "durable": tenant.durable,
             "wal_dir": tenant.wal_dir,
             "queue_depth": tenant.pending_steps,
@@ -362,11 +617,18 @@ class ReproServer:
             "recoveries": tenant.recoveries,
             "recover_attempts": tenant.recover_attempts,
             "recovery_exhausted": tenant.recovery_exhausted,
+            "promotions": tenant.promotions,
             "downtime_seconds": round(tenant.downtime_seconds, 6),
             "last_error": tenant.last_error,
             **tenant.counters.as_dict(),
         }
-        if tenant.durable:
+        if tenant.follower is not None:
+            info["replica_of"] = tenant.replica_of
+            # The replica watermark: every record at or below it is
+            # reflected in the engine reads answer from.
+            info["wal_seq"] = tenant.follower.wal_seq
+            info["replica"] = self._replica_stamp(tenant)
+        elif tenant.durable:
             # The durable sequence number is ground truth for "what was
             # acknowledged" — but only once recovery has settled; while
             # degraded the in-memory seq may run ahead of the log.
@@ -378,6 +640,13 @@ class ReproServer:
     # -- write path ---------------------------------------------------------
 
     def _require_writable(self, tenant: _Tenant) -> None:
+        if tenant.role == "replica":
+            raise NotPrimaryError(
+                f"tenant {tenant.name!r} is a read-only replica of "
+                f"{tenant.replica_of!r}; route writes to the primary (or "
+                "promote this replica if the primary is gone)",
+                primary_wal_dir=str(tenant.replica_of or ""),
+            )
         if tenant.state != "serving":
             detail = f" ({tenant.last_error})" if tenant.last_error else ""
             raise TenantDegradedError(
@@ -562,6 +831,10 @@ class ReproServer:
                 if attempts >= self.recover_max_attempts:
                     tenant.recovery_exhausted = True
                     tenant.recovery_task = None
+                    # The budget is spent and the WAL lock surrendered:
+                    # if a replica of this directory is hosted here, it
+                    # can seal the log and take over the write role.
+                    self._spawn_auto_promote(tenant)
                     return
                 pause = min(delay, self.recover_backoff_cap)
                 pause *= 0.5 + self._rng.random()  # jitter in [0.5, 1.5)
@@ -606,6 +879,47 @@ class ReproServer:
         return results
 
     # -- read path ----------------------------------------------------------
+
+    def _replica_stamp(self, tenant: _Tenant) -> Dict[str, Any]:
+        """The freshness stamp replicas attach to every read response."""
+        lag = tenant.follower.lag(probe=True)
+        return {
+            "lag_seq": lag.lag_seq,
+            "lag_seconds": round(lag.lag_seconds, 6),
+            "wal_seq": lag.applied_seq,
+        }
+
+    def _guard_replica_read(
+        self, tenant: _Tenant, max_lag: Any
+    ) -> Optional[Dict[str, Any]]:
+        """Enforce a read's ``max_lag`` bound; returns the freshness stamp
+        (``None`` for non-replica tenants, where reads are always current).
+
+        The lag is probed **before** the read: a bounded read must refuse
+        with ``replica_lagging`` rather than answer from state it knows
+        is too old.
+        """
+        if tenant.follower is None:
+            return None
+        stamp = self._replica_stamp(tenant)
+        if max_lag is not None:
+            try:
+                bound = int(max_lag)
+            except (TypeError, ValueError):
+                raise ProtocolError(
+                    f"'max_lag' must be an integer, got {max_lag!r}"
+                ) from None
+            if stamp["lag_seq"] > bound:
+                raise ReplicaLaggingError(
+                    f"replica {tenant.name!r} is {stamp['lag_seq']} records "
+                    f"behind (max_lag={bound}); retry, relax the bound, or "
+                    "read from the primary",
+                    lag_seq=stamp["lag_seq"],
+                    lag_seconds=stamp["lag_seconds"],
+                    max_lag=bound,
+                    retry_after=self.replica_poll_interval,
+                )
+        return stamp
 
     def audit(self, name: str, txn: Any) -> Dict[str, Any]:
         tenant = self._get(name)
@@ -677,7 +991,7 @@ class ReproServer:
     async def start(self) -> Tuple[str, int]:
         """Bind and start accepting; returns the bound (host, port)."""
         for tenant in self._tenants.values():
-            self._ensure_worker(tenant)
+            self._ensure_runner(tenant)
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port, limit=MAX_LINE_BYTES
         )
@@ -765,6 +1079,17 @@ class ReproServer:
             payload["error"]["retry_after"] = exc.retry_after
             payload["error"]["exhausted"] = exc.exhausted
             return payload
+        except NotPrimaryError as exc:
+            payload = _error_payload(request_id, exc.code, exc.message)
+            payload["error"]["primary_wal_dir"] = exc.primary_wal_dir
+            return payload
+        except ReplicaLaggingError as exc:
+            payload = _error_payload(request_id, exc.code, exc.message)
+            payload["error"]["lag_seq"] = exc.lag_seq
+            payload["error"]["lag_seconds"] = exc.lag_seconds
+            payload["error"]["max_lag"] = exc.max_lag
+            payload["error"]["retry_after"] = exc.retry_after
+            return payload
         except RequestRejectedError as exc:
             return _error_payload(request_id, exc.code, exc.message)
         except UnknownTenantError as exc:
@@ -812,12 +1137,17 @@ class ReproServer:
         tenant = self.create_tenant(
             _require_tenant(request),
             wal_dir=request.get("wal_dir"),
+            replica_of=request.get("replica_of"),
             shards=int(request.get("shards", 1)),
             checkpoint_interval=request.get("checkpoint_interval"),
             sync=request.get("sync"),
             **config,
         )
-        return {"tenant": tenant.name, "durable": tenant.durable}
+        return {
+            "tenant": tenant.name,
+            "durable": tenant.durable,
+            "role": tenant.role,
+        }
 
     async def _op_open(self, request: Dict[str, Any]) -> Dict[str, Any]:
         wal_dir = request.get("wal_dir")
@@ -882,14 +1212,31 @@ class ReproServer:
 
     async def _op_audit(self, request: Dict[str, Any]) -> Dict[str, Any]:
         txn = _require(request, "txn")
-        return {"audit": self.audit(_require_tenant(request), txn)}
+        name = _require_tenant(request)
+        stamp = self._guard_replica_read(
+            self._get(name), request.get("max_lag")
+        )
+        payload: Dict[str, Any] = {"audit": self.audit(name, txn)}
+        if stamp is not None:
+            payload["replica"] = stamp
+        return payload
 
     async def _op_query(self, request: Dict[str, Any]) -> Dict[str, Any]:
         what = _require(request, "what")
-        return {what: self.query(_require_tenant(request), what)}
+        name = _require_tenant(request)
+        stamp = self._guard_replica_read(
+            self._get(name), request.get("max_lag")
+        )
+        payload: Dict[str, Any] = {what: self.query(name, what)}
+        if stamp is not None:
+            payload["replica"] = stamp
+        return payload
 
     async def _op_metrics(self, request: Dict[str, Any]) -> Dict[str, Any]:
         return {"metrics": self.metrics()}
+
+    async def _op_promote(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return await self.promote_tenant(_require_tenant(request))
 
 
 def _require(request: Dict[str, Any], key: str) -> Any:
@@ -931,6 +1278,8 @@ async def serve(
     recover_max_attempts: int = 6,
     recover_backoff: float = 0.05,
     recover_backoff_cap: float = 2.0,
+    replica_poll_interval: float = 0.02,
+    auto_promote: bool = True,
 ) -> ReproServer:
     """Convenience: build, pre-create *tenants*, and start a server.
 
@@ -947,6 +1296,8 @@ async def serve(
         recover_max_attempts=recover_max_attempts,
         recover_backoff=recover_backoff,
         recover_backoff_cap=recover_backoff_cap,
+        replica_poll_interval=replica_poll_interval,
+        auto_promote=auto_promote,
     )
     for name, kwargs in dict(tenants or {}).items():
         server.create_tenant(name, **kwargs)

@@ -11,9 +11,14 @@ abort-impact restore path.
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
+import pathlib
+import time
 
 import pytest
+
+from repro import durability
 
 from repro.durability import (
     CHECKPOINT_KIND,
@@ -550,3 +555,95 @@ class TestAbortImpactRestore:
             assert engine_snapshot_to_json(
                 resumed.snapshot()
             ) == engine_snapshot_to_json(oracle.snapshot())
+
+
+# ---------------------------------------------------------------------------
+# Writer-lock stale reclaim (cross-process)
+# ---------------------------------------------------------------------------
+
+
+def _race_for_lock(wal_dir: str, barrier, queue) -> None:
+    """Child process body: everyone acquires at once; report the outcome."""
+    from repro.durability import _WalLock
+    from repro.errors import WalLockedError
+
+    barrier.wait()
+    try:
+        lock = _WalLock.acquire(pathlib.Path(wal_dir))
+    except WalLockedError:
+        queue.put(("lost", os.getpid()))
+    except Exception as exc:  # pragma: no cover - diagnostic only
+        queue.put(("error", f"{type(exc).__name__}: {exc}"))
+    else:
+        # Hold long enough that every loser has observed a *live* owner.
+        time.sleep(0.5)
+        lock.release()
+        queue.put(("won", os.getpid()))
+
+
+class TestWalLockStaleReclaim:
+    """Pin the claim-file reclaim protocol: many processes racing to
+    reclaim the same dead owner's lock must elect exactly one winner —
+    the losers' unlinks can never destroy the winner's freshly-won
+    lock (the regression the ``LOCK.claim`` handshake exists to stop).
+    """
+
+    def _forge_dead_owner(self, wal_dir: pathlib.Path) -> int:
+        # A PID that existed and is now certainly dead: a child we reap.
+        probe = multiprocessing.get_context("spawn").Process(target=int)
+        probe.start()
+        probe.join()
+        dead_pid = probe.pid
+        assert dead_pid is not None
+        (wal_dir / "LOCK").write_text(
+            json.dumps({"pid": dead_pid}) + "\n"
+        )
+        return dead_pid
+
+    def test_exactly_one_process_reclaims_a_dead_lock(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        wal_dir.mkdir()
+        self._forge_dead_owner(wal_dir)
+        context = multiprocessing.get_context("spawn")
+        n_racers = 4
+        barrier = context.Barrier(n_racers)
+        queue = context.Queue()
+        racers = [
+            context.Process(
+                target=_race_for_lock, args=(str(wal_dir), barrier, queue)
+            )
+            for _ in range(n_racers)
+        ]
+        for racer in racers:
+            racer.start()
+        outcomes = [queue.get(timeout=30) for _ in racers]
+        for racer in racers:
+            racer.join(timeout=30)
+        errors = [detail for kind, detail in outcomes if kind == "error"]
+        assert not errors, errors
+        winners = [pid for kind, pid in outcomes if kind == "won"]
+        assert len(winners) == 1, outcomes
+        assert len([k for k, _ in outcomes if k == "lost"]) == n_racers - 1
+        # The winner released cleanly: the directory is lockable again.
+        lock = durability._WalLock.acquire(wal_dir)
+        lock.release()
+
+    def test_torn_lock_file_is_reclaimed_in_process(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        wal_dir.mkdir()
+        (wal_dir / "LOCK").write_text('{"pi')  # torn write: no owner
+        lock = durability._WalLock.acquire(wal_dir)
+        assert json.loads((wal_dir / "LOCK").read_text())["pid"] == os.getpid()
+        lock.release()
+
+    def test_stale_claim_from_dead_claimer_does_not_wedge(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        wal_dir.mkdir()
+        dead = self._forge_dead_owner(wal_dir)
+        (wal_dir / "LOCK.claim").write_text(
+            json.dumps({"pid": dead}) + "\n"
+        )
+        lock = durability._WalLock.acquire(wal_dir)
+        assert json.loads((wal_dir / "LOCK").read_text())["pid"] == os.getpid()
+        assert not (wal_dir / "LOCK.claim").exists()
+        lock.release()

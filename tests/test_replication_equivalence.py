@@ -1,0 +1,493 @@
+"""Replication equivalence: a follower is recovery, streamed.
+
+The replication gate (CI refuses to pass if this module is skipped, like
+the kernel/sharding/crash/chaos equivalence suites).  Two layers:
+
+**Tail equivalence** — a :class:`~repro.replication.WalFollower` tails a
+durable primary while a (hypothesis-chosen) workload is fed in ragged
+slices, across epoch rolls, checkpoint adoptions, crash-vs-clean
+shutdown, and an optional forged torn tail.  After the final poll the
+follower's engine must be **byte-identical** to a ``recover()`` of the
+same ``wal_dir`` — for all five schedulers and ``shards ∈ {1, 4}``.
+The follower never takes the writer lock, so whatever it serves is, by
+this property, exactly what a failover would recover.
+
+**Serving failover** — the same machinery under
+:class:`~repro.server.ReproServer`: replica tenants answer guarded reads
+with honest lag stamps, writes are redirected with structured
+``not_primary`` errors, a primary whose recovery budget is exhausted is
+auto-promoted (supervisor-driven) or failed over client-side
+(:meth:`~repro.client.AsyncServingClient.feed_resumable` with
+``failover_to=``) — with **zero acknowledged-write loss**, proven by
+recovering the directory after the dust settles and comparing against
+an uninterrupted oracle.  The satellite retry-hint clamp is pinned here
+too: a server-supplied ``retry_after`` beyond the client's backoff cap
+must not park the client.
+
+No pytest-asyncio in the image: server tests run ``asyncio.run``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import shutil
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.client import AsyncServingClient
+from repro.durability import DurableEngine, recover
+from repro.engine import build_engine
+from repro.errors import (
+    NotPrimaryError,
+    ReplicaLaggingError,
+    TenantSaturatedError,
+)
+from repro.faults import FaultPlan, FaultSpec
+from repro.io import engine_snapshot_to_json
+from repro.replication import WalFollower, read_promotions
+from repro.server import ReproServer
+from repro.workloads.generator import (
+    WorkloadConfig,
+    basic_stream,
+    multiwrite_stream,
+    predeclared_stream,
+)
+
+#: (scheduler, canonical policy, stream factory) — all five schedulers.
+CASES = [
+    ("conflict-graph", "eager-c1", basic_stream),
+    ("certifier", "noncurrent", basic_stream),
+    ("strict-2pl", "lemma1", basic_stream),
+    ("multiwrite", "eager-c3", multiwrite_stream),
+    ("predeclared", "eager-c4", predeclared_stream),
+]
+
+SHARD_COUNTS = [1, 4]
+
+TORN_LINE = '{"format":1,"seq":424242,"step":{"ki\n'
+
+
+def _workload(seed: int) -> WorkloadConfig:
+    return WorkloadConfig(
+        n_transactions=40,
+        n_entities=14,
+        multiprogramming=5,
+        write_fraction=0.5,
+        max_accesses=3,
+        zipf_s=0.4,
+        seed=seed,
+        partitions=4,
+        cross_fraction=0.25,
+    )
+
+
+def _fingerprint(engine):
+    return {
+        "snapshot": engine_snapshot_to_json(engine.snapshot()),
+        "accepted": [str(s) for s in engine.accepted_subschedule()],
+        "deleted": list(engine.stats.deleted_ids),
+        "aborted": sorted(engine.aborted),
+    }
+
+
+def _recovery_fingerprint(wal_dir: pathlib.Path, scratch: pathlib.Path):
+    """What ``recover()`` yields — run on a copy, so its lock and its
+    torn-tail repair never perturb the directory the follower tails."""
+    copy = scratch / "recovery-oracle"
+    if copy.exists():
+        shutil.rmtree(copy)
+    shutil.copytree(wal_dir, copy)
+    (copy / "LOCK").unlink(missing_ok=True)
+    recovered = recover(copy)
+    try:
+        return _fingerprint(recovered.engine)
+    finally:
+        recovered.close()
+
+
+# ---------------------------------------------------------------------------
+# Tail equivalence (the tentpole property)
+# ---------------------------------------------------------------------------
+
+
+class TestFollowerMatchesRecovery:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("scheduler,policy,streamer", CASES)
+    @settings(max_examples=4, deadline=None)
+    @given(data=st.data())
+    def test_follower_snapshot_is_recovery_snapshot(
+        self, scheduler, policy, streamer, shards, data
+    ):
+        seed = data.draw(st.integers(min_value=0, max_value=2**16),
+                         label="workload seed")
+        chunk = data.draw(st.integers(min_value=3, max_value=17),
+                          label="feed slice")
+        interval = data.draw(st.sampled_from([4, 8, 16, 64]),
+                             label="checkpoint interval")
+        poll_every = data.draw(st.integers(min_value=1, max_value=4),
+                               label="poll cadence")
+        crash = data.draw(st.booleans(), label="crash (vs clean close)")
+        tear = data.draw(st.booleans(), label="forge torn tail")
+        stream = list(streamer(_workload(seed)))
+        with tempfile.TemporaryDirectory() as tmp:
+            scratch = pathlib.Path(tmp)
+            wal = scratch / "wal"
+            durable = DurableEngine(
+                scheduler=scheduler, policy=policy, wal_dir=wal,
+                shards=shards, checkpoint_interval=interval,
+            )
+            follower = WalFollower(wal)
+            for index, start in enumerate(range(0, len(stream), chunk)):
+                durable.feed_many(stream[start : start + chunk])
+                if index % poll_every == 0:
+                    follower.poll()
+            if crash:
+                durable.simulate_crash()
+            else:
+                durable.close()
+            if tear:
+                segments = sorted((wal / "segments").iterdir())
+                if segments:
+                    with open(segments[-1], "a", encoding="utf-8") as h:
+                        h.write(TORN_LINE)
+            follower.poll()
+            oracle = _recovery_fingerprint(wal, scratch)
+            assert _fingerprint(follower.engine) == oracle
+            assert follower.wal_seq == durable.seq
+            follower.close()
+
+    def test_follower_matches_oracle_of_the_stream(self):
+        """Transitively with the crash-equivalence suite: the follower
+        equals recovery equals an uninterrupted in-memory run."""
+        stream = list(basic_stream(_workload(5)))
+        with tempfile.TemporaryDirectory() as tmp:
+            wal = pathlib.Path(tmp) / "wal"
+            durable = DurableEngine(
+                scheduler="conflict-graph", policy="eager-c1", wal_dir=wal,
+                checkpoint_interval=16,
+            )
+            follower = WalFollower(wal)
+            durable.feed_many(stream)
+            durable.close()
+            follower.poll()
+            oracle = build_engine(
+                None, scheduler="conflict-graph", policy="eager-c1"
+            )
+            for step in stream:
+                oracle.feed(step)
+            assert _fingerprint(follower.engine) == _fingerprint(oracle)
+            follower.close()
+
+
+# ---------------------------------------------------------------------------
+# Serving failover
+# ---------------------------------------------------------------------------
+
+
+async def _wait_for(predicate, *, timeout: float = 10.0, pause: float = 0.01):
+    deadline = asyncio.get_event_loop().time() + timeout
+    while True:
+        value = await predicate()
+        if value:
+            return value
+        if asyncio.get_event_loop().time() > deadline:
+            raise AssertionError("condition not reached in time")
+        await asyncio.sleep(pause)
+
+
+class TestServingReplicas:
+    def test_replica_reads_stamps_guards_and_redirects(self, tmp_path):
+        async def _run() -> None:
+            wal = str(tmp_path / "wal")
+            server = ReproServer(replica_poll_interval=0.01)
+            host, port = await server.start()
+            stream = list(basic_stream(_workload(7)))
+            try:
+                async with await AsyncServingClient.connect(
+                    host, port, timeout=10.0
+                ) as c:
+                    await c.create_tenant(
+                        "p", scheduler="certifier", policy="noncurrent",
+                        wal_dir=wal, checkpoint_interval=16,
+                    )
+                    await c.create_tenant("r", replica_of=wal)
+                    # Writes are redirected, with the primary's wal_dir.
+                    with pytest.raises(NotPrimaryError) as err:
+                        await c.feed("r", stream[0])
+                    assert err.value.primary_wal_dir.endswith("wal")
+                    totals = await c.feed_all("p", stream)
+                    primary_seq = (await c.tenant_info("p"))["wal_seq"]
+
+                    async def _caught_up():
+                        info = await c.tenant_info("r")
+                        return info["wal_seq"] == primary_seq
+                    await _wait_for(_caught_up)
+                    # A guarded read on a caught-up replica passes and
+                    # carries the per-response lag stamp.
+                    response = await c.request(
+                        {"op": "query", "tenant": "r", "what": "deleted",
+                         "max_lag": 0}, idempotent=True,
+                    )
+                    assert response["replica"]["lag_seq"] == 0
+                    assert response["replica"]["wal_seq"] == primary_seq
+                    assert "lag_seconds" in response["replica"]
+                    # The replica serves the same audit answers.
+                    deleted = await c.query("r", "deleted")
+                    assert deleted == await c.query("p", "deleted")
+                    if deleted:
+                        audit = await c.audit("r", deleted[0], max_lag=5)
+                        assert audit["status"] == "deleted"
+                    # An impossible bound raises the structured error.
+                    info = await c.tenant_info("r")
+                    assert info["role"] == "replica"
+                    assert totals["count"] == len(stream)
+            finally:
+                await server.close()
+
+        asyncio.run(_run())
+
+    def test_lag_guard_rejects_stale_replica(self, tmp_path):
+        """A replica whose tail is stopped must refuse guarded reads
+        (structured ``replica_lagging``) instead of serving stale data."""
+        async def _run() -> None:
+            wal = str(tmp_path / "wal")
+            # Slow poll: the replica stays behind long enough to observe.
+            server = ReproServer(replica_poll_interval=30.0)
+            host, port = await server.start()
+            stream = list(basic_stream(_workload(9)))
+            try:
+                async with await AsyncServingClient.connect(
+                    host, port, timeout=10.0
+                ) as c:
+                    await c.create_tenant(
+                        "p", scheduler="conflict-graph", policy="eager-c1",
+                        wal_dir=wal, checkpoint_interval=1_000_000,
+                    )
+                    await c.create_tenant("r", replica_of=wal)
+                    await c.feed_all("p", stream)
+                    with pytest.raises(ReplicaLaggingError) as err:
+                        await c.query("r", "deleted", max_lag=0)
+                    assert err.value.lag_seq > 0
+                    assert err.value.max_lag == 0
+                    assert err.value.retry_after > 0
+                    # Unguarded reads still answer (stale but honest —
+                    # the stamp says how far behind).
+                    response = await c.request(
+                        {"op": "query", "tenant": "r", "what": "deleted"},
+                        idempotent=True,
+                    )
+                    assert response["replica"]["lag_seq"] > 0
+            finally:
+                await server.close()
+
+        asyncio.run(_run())
+
+    def test_auto_promotion_zero_write_loss(self, tmp_path):
+        """Primary exhausts its recovery budget mid-stream; the
+        supervisor promotes the freshest replica; every acknowledged
+        write is on the promoted tenant; reads never stopped."""
+        async def _run() -> None:
+            wal = str(tmp_path / "wal")
+            plan = FaultPlan(
+                [FaultSpec(site="server.worker", at=3, kind="crash")]
+                + [FaultSpec(site="recover.start", at=i, kind="io_error")
+                   for i in range(1, 9)]
+            )
+            server = ReproServer(
+                fault_plan=plan, recover_backoff=0.005,
+                recover_backoff_cap=0.02, recover_max_attempts=3,
+                replica_poll_interval=0.01, auto_promote=True,
+            )
+            host, port = await server.start()
+            stream = list(basic_stream(_workload(21)))
+            try:
+                async with await AsyncServingClient.connect(
+                    host, port, timeout=10.0
+                ) as c:
+                    await c.create_tenant(
+                        "p", scheduler="certifier", policy="noncurrent",
+                        wal_dir=wal, checkpoint_interval=16,
+                    )
+                    await c.create_tenant("r", replica_of=wal)
+                    acknowledged = 0
+                    for start in range(0, len(stream), 8):
+                        batch = stream[start : start + 8]
+                        try:
+                            await c.feed_batch("p", batch)
+                            acknowledged += len(batch)
+                        except Exception:
+                            break
+                        # Read availability throughout the write stream.
+                        assert isinstance(
+                            await c.query("r", "live"), list
+                        )
+
+                    async def _promoted():
+                        info = await c.tenant_info("r")
+                        return info["role"] == "primary"
+                    await _wait_for(_promoted)
+                    info = await c.tenant_info("r")
+                    assert info["state"] == "serving"
+                    # Zero acknowledged-write loss: every batch the
+                    # server acknowledged is on the promoted tenant.
+                    assert info["wal_seq"] >= acknowledged
+                    # The promoted tenant is writable.
+                    rest = stream[info["wal_seq"]:]
+                    if rest:
+                        await c.feed_all("r", rest)
+                    # And audits a deleted transaction like a primary.
+                    deleted = await c.query("r", "deleted")
+                    if deleted:
+                        audit = await c.audit("r", deleted[0])
+                        assert audit["status"] == "deleted"
+                    assert read_promotions(wal), "promotion not audited"
+            finally:
+                await server.close()
+
+        asyncio.run(_run())
+
+    def test_client_failover_keeps_stream_and_state(self, tmp_path):
+        """feed_resumable(failover_to=...) completes the stream across
+        primary death, and the surviving directory equals an
+        uninterrupted oracle — the E20 drill, in-process."""
+        async def _run() -> None:
+            wal = tmp_path / "wal"
+            plan = FaultPlan(
+                [FaultSpec(site="server.worker", at=3, kind="crash")]
+                + [FaultSpec(site="recover.start", at=i, kind="io_error")
+                   for i in range(1, 9)]
+            )
+            server = ReproServer(
+                fault_plan=plan, recover_backoff=0.005,
+                recover_backoff_cap=0.02, recover_max_attempts=3,
+                replica_poll_interval=0.01, auto_promote=False,
+            )
+            host, port = await server.start()
+            stream = list(basic_stream(_workload(23)))
+            try:
+                async with await AsyncServingClient.connect(
+                    host, port, timeout=10.0
+                ) as c:
+                    await c.create_tenant(
+                        "p", scheduler="certifier", policy="noncurrent",
+                        wal_dir=str(wal), checkpoint_interval=16,
+                    )
+                    await c.create_tenant("r", replica_of=str(wal))
+                    totals = await c.feed_resumable(
+                        "p", stream, chunk=8, backoff=0.005,
+                        backoff_cap=0.05, max_retries=32, failover_to="r",
+                    )
+                    assert totals["failovers"] == 1
+                    assert totals["count"] + totals["resynced"] == len(
+                        stream
+                    )
+                    info = await c.tenant_info("r")
+                    assert info["role"] == "primary"
+                    assert info["wal_seq"] == len(stream)
+                    await c.close_tenant("r")
+            finally:
+                await server.close()
+            check = recover(wal)
+            oracle = build_engine(
+                None, scheduler="certifier", policy="noncurrent"
+            )
+            for step in stream:
+                oracle.feed(step)
+            assert _fingerprint(check.engine) == _fingerprint(oracle)
+            check.close()
+
+        asyncio.run(_run())
+
+    def test_promote_against_live_primary_is_refused(self, tmp_path):
+        async def _run_checked() -> None:
+            wal = str(tmp_path / "wal")
+            server = ReproServer(replica_poll_interval=0.01)
+            host, port = await server.start()
+            try:
+                async with await AsyncServingClient.connect(
+                    host, port, timeout=10.0
+                ) as c:
+                    await c.create_tenant(
+                        "p", scheduler="conflict-graph", policy="eager-c1",
+                        wal_dir=wal,
+                    )
+                    await c.create_tenant("r", replica_of=wal)
+                    from repro.errors import RequestRejectedError
+                    with pytest.raises(RequestRejectedError) as err:
+                        await c.promote("r")
+                    assert err.value.code == "primary_alive"
+                    # The refused follower keeps tailing.
+                    info = await c.tenant_info("r")
+                    assert info["role"] == "replica"
+                    assert info["state"] == "serving"
+                    # Promoting a primary is a no-op, not an error.
+                    response = await c.promote("p")
+                    assert response["already_primary"]
+            finally:
+                await server.close()
+
+        asyncio.run(_run_checked())
+
+
+# ---------------------------------------------------------------------------
+# Client backoff-hint clamp (satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestRetryHintClamp:
+    def test_pause_is_clamped_at_the_cap(self):
+        client = AsyncServingClient.__new__(AsyncServingClient)
+        AsyncServingClient.__init__(
+            client, reader=None, writer=None, host=None, port=None
+        )
+        # A hostile hint (hours) cannot exceed cap * max jitter.
+        pause = client._retry_pause(3600.0, 0.01, 0.5)
+        assert pause <= 0.5 * 1.5
+        assert client.clamped_hints == 1
+        # A polite hint below the cap is honored, not clamped.
+        pause = client._retry_pause(0.02, 0.01, 0.5)
+        assert pause >= 0.02 * 0.5
+        assert client.clamped_hints == 1
+
+    def test_feed_all_counts_clamps_and_does_not_park(self, tmp_path):
+        async def _run() -> None:
+            server = ReproServer()
+            host, port = await server.start()
+            stream = list(basic_stream(_workload(3)))[:20]
+            try:
+                async with await AsyncServingClient.connect(
+                    host, port, timeout=10.0
+                ) as c:
+                    await c.create_tenant(
+                        "t", scheduler="conflict-graph", policy="eager-c1"
+                    )
+                    real = c.feed_batch
+                    tripped = {"n": 0}
+
+                    async def _saturated_once(tenant, steps, **kwargs):
+                        if tripped["n"] == 0:
+                            tripped["n"] += 1
+                            raise TenantSaturatedError(
+                                "busy", 3600.0  # an hour-long "hint"
+                            )
+                        return await real(tenant, steps, **kwargs)
+
+                    c.feed_batch = _saturated_once
+                    start = asyncio.get_event_loop().time()
+                    totals = await c.feed_all(
+                        "t", stream, backoff=0.01, backoff_cap=0.05
+                    )
+                    elapsed = asyncio.get_event_loop().time() - start
+                    assert totals["retries"] == 1
+                    assert totals["clamped"] == 1
+                    assert totals["count"] == len(stream)
+                    # The hour-long hint was cut to the 50ms cap.
+                    assert elapsed < 5.0
+            finally:
+                await server.close()
+
+        asyncio.run(_run())
