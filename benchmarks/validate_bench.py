@@ -31,6 +31,14 @@ def _validators() -> Dict[str, Callable[[dict], None]]:
     import bench_serving
     import bench_shard_scale
     import bench_steady_state
+    from repro.lint.report import validate_payload as _lint_problems
+
+    def _lint(payload: dict) -> None:
+        # The lint validator reports a problem list instead of raising;
+        # adapt it to this module's raise-on-drift convention.
+        problems = _lint_problems(payload)
+        if problems:
+            raise ValueError("; ".join(problems))
 
     return {
         "hotpaths": bench_hotpaths.validate_payload,
@@ -41,6 +49,7 @@ def _validators() -> Dict[str, Callable[[dict], None]]:
         "serving_metrics": bench_serving.validate_metrics,
         "faults": bench_faults.validate_payload,
         "replication": bench_replication.validate_payload,
+        "lint": _lint,
     }
 
 

@@ -34,6 +34,13 @@ Commands
     Run a workload and print the final reduced graph (ascii, dot, or
     json); ``--output FILE`` writes it atomically instead (a crash mid-
     write never tears an existing file).
+``lint``
+    Static invariant analysis (:mod:`repro.lint`): parse the source tree
+    with ``ast`` and enforce the repo's standing contracts (StorageIO
+    syscall boundary, snapshot completeness, epoch bumps, determinism,
+    non-blocking coroutines, fault-site coverage).  ``--json`` emits the
+    machine report ``validate_bench.py`` schema-checks; exit 1 on any
+    non-baseline finding, so CI can gate on it.
 
 Scheduler and policy names come from the registries, so plugins registered
 via :func:`repro.registry.register_scheduler` / ``register_policy`` before
@@ -524,6 +531,14 @@ def build_parser() -> argparse.ArgumentParser:
                                   "stdout")
     _add_workload_args(dump_parser)
     dump_parser.set_defaults(fn=_dump)
+
+    lint_parser = sub.add_parser(
+        "lint", help="static invariant analysis of the source tree"
+    )
+    from repro.lint.cli import add_lint_arguments, run as _lint_run
+
+    add_lint_arguments(lint_parser)
+    lint_parser.set_defaults(fn=_lint_run)
 
     recover_parser = sub.add_parser(
         "recover", help="recover a crashed --wal-dir run"

@@ -400,6 +400,23 @@ class StorageIO:
     def truncate(self, path, length: int) -> None:
         os.truncate(path, length)
 
+    # Read-side passthroughs (WAL tailing).  Deliberately no check()
+    # site of their own: reads never mutate, the poll loop is already
+    # gated by "follower.read", and adding a site here would shift the
+    # occurrence arithmetic of every existing fault plan.
+
+    def read_bytes(self, path) -> bytes:
+        """Whole-file read, routed through the shim so followers can be
+        fault-injected without monkeypatching pathlib."""
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def read_tail(self, path, offset: int) -> bytes:
+        """Read from byte *offset* to EOF (the probe's cheap tail window)."""
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            return handle.read()
+
     def write_checkpoint(self, path, text: str, *, fsync: bool = True) -> None:
         """Atomic tmp + fsync + rename + dir-fsync publish of *text*."""
         path = os.fspath(path)

@@ -222,14 +222,17 @@ class BitClosureGraph:
         self._interner = NodeInterner()
         # Parallel to the interner slots; free slots hold 0 rows.
         self._succ: List[int] = []
-        self._pred: List[int] = []
+        self._pred: List[int] = []  # transpose of _succ  # lint: ephemeral
         self._desc: List[int] = []
-        self._anc: List[int] = []
-        self._live = 0  # mask of live ids
+        self._anc: List[int] = []  # transpose of _desc  # lint: ephemeral
+        # Mask of live ids; derivable from the interner's slot layout.
+        self._live = 0  # lint: ephemeral
         self._arc_count = 0
         # Monotone mutation counter; pins contraction records (see
         # uncontract) so stale closure rows can never be reinstalled.
-        self._mutations = 0
+        # Process-local: a restored kernel restarts it at zero, which is
+        # safe because contraction records never cross a snapshot.
+        self._mutations = 0  # lint: ephemeral
 
     # -- id / mask API -------------------------------------------------------
 

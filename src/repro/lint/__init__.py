@@ -1,0 +1,53 @@
+"""Static invariant analysis for the repro codebase (``repro lint``).
+
+An AST-based analyzer that machine-checks the contracts past PRs staked
+correctness on: syscalls behind the injectable :class:`~repro.faults.
+StorageIO` boundary, snapshot field completeness, mutation-epoch bumps,
+engine-core determinism, non-blocking coroutines, and fault-site catalog
+coverage.  See DESIGN.md §2.12 for the rule table and semantics.
+"""
+
+from repro.lint.baseline import (
+    BASELINE_FORMAT,
+    BASELINE_KIND,
+    load_baseline,
+    partition_findings,
+    write_baseline,
+)
+from repro.lint.framework import (
+    Finding,
+    LintRun,
+    Rule,
+    SourceUnit,
+    load_units,
+    run_rules,
+)
+from repro.lint.report import (
+    REPORT_FORMAT,
+    REPORT_SUITE,
+    render_text,
+    report_payload,
+    validate_payload,
+)
+from repro.lint.rules import all_rules, rule_ids
+
+__all__ = [
+    "BASELINE_FORMAT",
+    "BASELINE_KIND",
+    "Finding",
+    "LintRun",
+    "REPORT_FORMAT",
+    "REPORT_SUITE",
+    "Rule",
+    "SourceUnit",
+    "all_rules",
+    "load_baseline",
+    "load_units",
+    "partition_findings",
+    "render_text",
+    "report_payload",
+    "rule_ids",
+    "run_rules",
+    "validate_payload",
+    "write_baseline",
+]

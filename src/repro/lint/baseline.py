@@ -1,0 +1,122 @@
+"""Baseline store: accepted pre-existing findings.
+
+A baseline lets the analyzer be adopted on a tree that is not yet clean:
+known findings are recorded once (fingerprint + human-readable context)
+and stop failing CI, while anything *new* still does.  The shipped tree
+lints clean, so the committed baseline is empty — it exists so future
+refactors have the escape hatch, and so `--write-baseline` has a
+documented format.
+
+Fingerprints come from :attr:`repro.lint.framework.Finding.fingerprint`
+and exclude line numbers, so a baseline survives unrelated edits that
+shift code around.  The context fields (path/scope/message) are for the
+human diffing the file, not for matching.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import ModelError
+from repro.io import atomic_write_json
+from repro.lint.framework import Finding
+
+__all__ = [
+    "BASELINE_FORMAT",
+    "BASELINE_KIND",
+    "load_baseline",
+    "partition_findings",
+    "write_baseline",
+]
+
+BASELINE_FORMAT = 1
+BASELINE_KIND = "lint-baseline"
+
+
+def load_baseline(path) -> Set[str]:
+    """Accepted fingerprints from *path*; empty set if the file is absent.
+
+    A malformed baseline raises :class:`~repro.errors.ModelError` — a
+    silently ignored baseline would resurface every accepted finding and
+    fail CI with noise that looks like regressions.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return set()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ModelError(f"lint baseline {path} is unreadable: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("kind") != BASELINE_KIND:
+        raise ModelError(
+            f"lint baseline {path} is not a {BASELINE_KIND!r} document"
+        )
+    if payload.get("format") != BASELINE_FORMAT:
+        raise ModelError(
+            f"lint baseline {path} has unsupported format "
+            f"{payload.get('format')!r} (expected {BASELINE_FORMAT})"
+        )
+    entries = payload.get("findings", [])
+    if not isinstance(entries, list):
+        raise ModelError(f"lint baseline {path}: 'findings' must be a list")
+    fingerprints: Set[str] = set()
+    for entry in entries:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise ModelError(
+                f"lint baseline {path}: every finding entry needs a "
+                f"'fingerprint' field"
+            )
+        fingerprints.add(str(entry["fingerprint"]))
+    return fingerprints
+
+
+def write_baseline(path, findings: Iterable[Finding]) -> int:
+    """Accept *findings* into the baseline at *path* (atomic write).
+
+    Entries carry the finding context alongside the fingerprint so the
+    committed file reviews like prose, and are sorted for stable diffs.
+    Returns the number of entries written.
+    """
+    entries: List[Dict[str, object]] = []
+    seen: Set[str] = set()
+    for finding in sorted(
+        findings, key=lambda f: (f.rule, f.path, f.scope, f.message)
+    ):
+        if finding.fingerprint in seen:
+            continue
+        seen.add(finding.fingerprint)
+        entries.append(
+            {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "scope": finding.scope,
+                "message": finding.message,
+            }
+        )
+    atomic_write_json(
+        path,
+        {
+            "kind": BASELINE_KIND,
+            "format": BASELINE_FORMAT,
+            "findings": entries,
+        },
+        fsync=False,
+    )
+    return len(entries)
+
+
+def partition_findings(
+    findings: Iterable[Finding], accepted: Set[str]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into ``(new, baselined)`` against *accepted*."""
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        if finding.fingerprint in accepted:
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined

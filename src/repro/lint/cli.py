@@ -1,0 +1,170 @@
+"""CLI driver for the invariant analyzer (``repro lint``).
+
+Exit codes are the CI contract:
+
+* ``0`` — clean: zero non-baseline findings.
+* ``1`` — at least one *new* finding (not baselined, not pragma'd).
+* ``2`` — usage or environment error (unknown rule, unreadable tree,
+  malformed baseline).
+
+The default scan root is the installed ``repro`` package source and the
+default baseline is ``lint-baseline.json`` at the repo root; both are
+overridable so tests and out-of-tree checkouts can point anywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+import repro
+from repro.errors import ModelError
+from repro.io import atomic_write_json
+from repro.lint.baseline import (
+    load_baseline,
+    partition_findings,
+    write_baseline,
+)
+from repro.lint.framework import Rule, load_units, run_rules
+from repro.lint.report import render_text, report_payload
+from repro.lint.rules import all_rules
+
+__all__ = ["add_lint_arguments", "default_baseline", "default_root", "run"]
+
+
+def default_root() -> pathlib.Path:
+    """The installed ``repro`` package source tree."""
+    return pathlib.Path(repro.__file__).resolve().parent
+
+
+def default_baseline() -> pathlib.Path:
+    """``lint-baseline.json`` at the repo root (two levels above repro/)."""
+    return default_root().parent.parent / "lint-baseline.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to scan (default: the installed "
+             "repro package source)",
+    )
+    parser.add_argument(
+        "--rule", action="append", default=None, metavar="RULE",
+        help="run only this rule (repeatable; see --list-rules)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print each rule's id, rationale, scoped paths, and "
+             "blessed implementation sites, then exit",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report to stdout",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the JSON report to FILE (atomically) as well",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file of accepted findings (default: "
+             "lint-baseline.json at the repo root)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline: every finding counts as new",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept the current findings into the baseline file "
+             "and exit clean",
+    )
+
+
+def _select_rules(names: Optional[Sequence[str]]) -> List[Rule]:
+    """Resolve ``--rule`` names, with did-you-mean on typos."""
+    rules = all_rules()
+    if not names:
+        return rules
+    by_id = {rule.id: rule for rule in rules}
+    selected: List[Rule] = []
+    for name in names:
+        rule = by_id.get(name)
+        if rule is None:
+            close = difflib.get_close_matches(name, sorted(by_id), n=1)
+            hint = f" (did you mean {close[0]!r}?)" if close else ""
+            raise ModelError(
+                f"unknown lint rule {name!r}{hint}; known rules: "
+                f"{', '.join(sorted(by_id))}"
+            )
+        if rule not in selected:
+            selected.append(rule)
+    return selected
+
+
+def _print_rules(rules: List[Rule]) -> None:
+    for rule in rules:
+        print(f"{rule.id}: {rule.title}")
+        print(f"    rationale: {rule.rationale}")
+        if rule.project_wide:
+            print("    scope: whole project")
+        else:
+            print(f"    scope: {', '.join(rule.paths)}")
+        if rule.blessed:
+            print(f"    blessed sites: {', '.join(rule.blessed)}")
+        print()
+
+
+def run(args: argparse.Namespace) -> int:
+    try:
+        rules = _select_rules(args.rule)
+    except ModelError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.list_rules:
+        _print_rules(rules)
+        return 0
+
+    roots = [pathlib.Path(p) for p in args.paths] or [default_root()]
+    for root in roots:
+        if not root.exists():
+            print(f"error: no such path: {root}", file=sys.stderr)
+            return 2
+    try:
+        units = [unit for root in roots for unit in load_units(root)]
+    except (OSError, SyntaxError) as exc:
+        print(f"error: cannot load source tree: {exc}", file=sys.stderr)
+        return 2
+    scan_root = roots[0] if roots[0].is_dir() else roots[0].parent
+    lint_run = run_rules(units, rules, root=scan_root)
+
+    baseline_path = pathlib.Path(args.baseline) if args.baseline \
+        else default_baseline()
+    if args.write_baseline:
+        count = write_baseline(baseline_path, lint_run.findings)
+        print(f"wrote {count} accepted finding(s) to {baseline_path}")
+        return 0
+    try:
+        accepted = set() if args.no_baseline else load_baseline(baseline_path)
+    except ModelError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    new, baselined = partition_findings(lint_run.findings, accepted)
+
+    payload = report_payload(
+        lint_run, rules,
+        root=str(scan_root),
+        new=new, baselined=baselined,
+    )
+    if args.output:
+        atomic_write_json(args.output, payload, fsync=False)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_text(lint_run, rules, new=new, baselined=baselined))
+    return 1 if new else 0

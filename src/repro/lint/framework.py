@@ -1,0 +1,280 @@
+"""AST rule framework for :mod:`repro.lint`.
+
+The analyzer is deliberately small: a :class:`SourceUnit` wraps one
+parsed Python file (source text, ``ast`` tree, and the ``# lint:``
+pragmas scanned from its comments), a :class:`Rule` inspects units and
+yields :class:`Finding` records, and :func:`run_rules` drives every rule
+over every unit, applying pragma suppression so the result is exactly
+the set of findings the tree has *not* explicitly accepted.
+
+Pragmas
+-------
+Two comment directives are recognized, on the flagged line itself or on
+a comment-only line directly above it:
+
+``# lint: allow(rule-id[, rule-id...])``
+    Suppress the named rules' findings on this line.  Use for
+    deliberate, documented exceptions (put the *why* in prose next to
+    the pragma — a bare pragma is a code smell the reviewer should
+    reject).
+
+``# lint: ephemeral``
+    Only meaningful on an attribute assignment inside ``__init__``:
+    declares the attribute process-local or derived, exempting it from
+    the ``snapshot-completeness`` rule.
+
+Fingerprints
+------------
+Findings are identified by a content fingerprint (rule id, file path,
+enclosing scope, message) that deliberately excludes the line number, so
+a committed baseline survives unrelated edits that shift lines.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import hashlib
+import io
+import pathlib
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Finding",
+    "LintRun",
+    "Rule",
+    "SourceUnit",
+    "call_name",
+    "iter_python_files",
+    "load_units",
+    "run_rules",
+    "scope_map",
+]
+
+_PRAGMA_RE = re.compile(
+    r"lint:\s*(?:allow\(\s*(?P<rules>[^)]*?)\s*\)|(?P<ephemeral>ephemeral))"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one place in one file."""
+
+    rule: str
+    path: str
+    line: int
+    scope: str
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-independent identity used by the baseline store."""
+        digest = hashlib.sha256(
+            f"{self.rule}|{self.path}|{self.scope}|{self.message}".encode()
+        )
+        return digest.hexdigest()[:16]
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _scan_pragmas(text: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> directives (rule ids to allow, or 'ephemeral').
+
+    A directive on a comment-only line also covers the next line, so
+    long statements can carry their pragma above instead of trailing.
+    """
+    directives: Dict[int, set] = {}
+    lines = text.splitlines()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(token.string)
+            if match is None:
+                continue
+            if match.group("ephemeral"):
+                entries = {"ephemeral"}
+            else:
+                entries = {
+                    name.strip()
+                    for name in match.group("rules").split(",")
+                    if name.strip()
+                }
+            line = token.start[0]
+            directives.setdefault(line, set()).update(entries)
+            source_line = (
+                lines[line - 1] if line - 1 < len(lines) else ""
+            )
+            if source_line.lstrip().startswith("#"):
+                # Comment-only line: the pragma governs the next line.
+                directives.setdefault(line + 1, set()).update(entries)
+    except tokenize.TokenError:
+        pass  # partial file; the ast parse will have raised already
+    return {line: frozenset(entries) for line, entries in directives.items()}
+
+
+class SourceUnit:
+    """One parsed Python file plus its pragma table."""
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path.replace("\\", "/")
+        self.text = text
+        self.tree = ast.parse(text, filename=self.path)
+        self._pragmas = _scan_pragmas(text)
+
+    @classmethod
+    def from_path(cls, file_path, rel_path: str) -> "SourceUnit":
+        text = pathlib.Path(file_path).read_text(encoding="utf-8")
+        return cls(rel_path, text)
+
+    def directives(self, line: int) -> FrozenSet[str]:
+        return self._pragmas.get(line, frozenset())
+
+    def allows(self, rule_id: str, line: int) -> bool:
+        return rule_id in self.directives(line)
+
+    def is_ephemeral(self, line: int) -> bool:
+        return "ephemeral" in self.directives(line)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SourceUnit({self.path!r})"
+
+
+def scope_map(tree: ast.AST) -> Dict[int, str]:
+    """Map ``id(node)`` -> dotted enclosing scope ("ClassA.method")."""
+    scopes: Dict[int, str] = {}
+
+    def visit(node: ast.AST, stack: Tuple[str, ...]) -> None:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            stack = stack + (node.name,)
+        scopes[id(node)] = ".".join(stack) or "<module>"
+        for child in ast.iter_child_nodes(node):
+            visit(child, stack)
+
+    visit(tree, ())
+    return scopes
+
+
+def call_name(node: ast.Call) -> str:
+    """Dotted name of a call target ('os.fsync', 'open', 'path.open')."""
+    parts: List[str] = []
+    target = node.func
+    while isinstance(target, ast.Attribute):
+        parts.append(target.attr)
+        target = target.value
+    if isinstance(target, ast.Name):
+        parts.append(target.id)
+    elif not parts:
+        return ""
+    return ".".join(reversed(parts))
+
+
+class Rule:
+    """One named invariant check.
+
+    Subclasses set the metadata class attributes and implement either
+    :meth:`check` (per-unit rules) or :meth:`check_project` (rules that
+    need to see every unit at once, like the fault-site catalog
+    cross-reference).
+    """
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+    #: fnmatch patterns (posix, relative to the scan root) the rule runs on.
+    paths: Tuple[str, ...] = ("*.py",)
+    #: files allowed to implement the guarded primitive directly.
+    blessed: Tuple[str, ...] = ()
+    project_wide: bool = False
+
+    def applies(self, rel_path: str) -> bool:
+        rel = rel_path.replace("\\", "/")
+        if any(fnmatch.fnmatch(rel, pattern) for pattern in self.blessed):
+            return False
+        return any(fnmatch.fnmatch(rel, pattern) for pattern in self.paths)
+
+    def check(self, unit: SourceUnit) -> Iterator[Finding]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def check_project(
+        self, units: List[SourceUnit], root: Optional[pathlib.Path]
+    ) -> Iterator[Finding]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "id": self.id,
+            "title": self.title,
+            "rationale": self.rationale,
+            "paths": list(self.paths),
+            "blessed": list(self.blessed),
+        }
+
+
+@dataclass
+class LintRun:
+    """The outcome of one analyzer pass (before baseline partitioning)."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files: int = 0
+
+
+def iter_python_files(root) -> Iterator[Tuple[pathlib.Path, str]]:
+    """Yield ``(absolute_path, rel_path)`` for every .py under *root*."""
+    root = pathlib.Path(root)
+    if root.is_file():
+        yield root, root.name
+        return
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        yield path, path.relative_to(root).as_posix()
+
+
+def load_units(root) -> List[SourceUnit]:
+    return [
+        SourceUnit.from_path(path, rel)
+        for path, rel in iter_python_files(root)
+    ]
+
+
+def run_rules(
+    units: Iterable[SourceUnit],
+    rules: Iterable[Rule],
+    *,
+    root: Optional[pathlib.Path] = None,
+) -> LintRun:
+    """Run every rule over every applicable unit.
+
+    Findings on lines carrying a matching ``# lint: allow(...)`` pragma
+    are moved to :attr:`LintRun.suppressed` instead of being dropped, so
+    the report can account for every accepted exception.
+    """
+    units = list(units)
+    by_path = {unit.path: unit for unit in units}
+    run = LintRun(files=len(units))
+    for rule in rules:
+        raw: List[Finding] = []
+        if rule.project_wide:
+            raw.extend(rule.check_project(units, root))
+        else:
+            for unit in units:
+                if rule.applies(unit.path):
+                    raw.extend(rule.check(unit))
+        for finding in raw:
+            unit = by_path.get(finding.path)
+            if unit is not None and unit.allows(finding.rule, finding.line):
+                run.suppressed.append(finding)
+            else:
+                run.findings.append(finding)
+    run.findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    run.suppressed.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return run

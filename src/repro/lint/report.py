@@ -1,0 +1,237 @@
+"""JSON report emitter + strict validator for ``repro lint --json``.
+
+The report is the machine surface CI gates on: ``counts.new`` is the
+exit-code driver, ``findings[*].baselined`` distinguishes accepted debt
+from regressions, and ``rules`` documents what was checked (so a report
+with a rule silently missing is detectable).  ``validate_payload`` is
+wired into ``benchmarks/validate_bench.py`` under the ``lint`` suite and
+recomputes every fingerprint, so a hand-edited report fails validation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.lint.framework import Finding, LintRun, Rule
+
+__all__ = [
+    "REPORT_FORMAT",
+    "REPORT_SUITE",
+    "render_text",
+    "report_payload",
+    "validate_payload",
+]
+
+REPORT_FORMAT = 1
+REPORT_SUITE = "lint"
+
+
+def report_payload(
+    run: LintRun,
+    rules: Iterable[Rule],
+    *,
+    root: str,
+    new: List[Finding],
+    baselined: List[Finding],
+) -> Dict[str, object]:
+    """The ``repro lint --json`` document (see module docstring)."""
+    rules = list(rules)
+    baselined_prints = {finding.fingerprint for finding in baselined}
+
+    def encode(finding: Finding) -> Dict[str, object]:
+        return {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "scope": finding.scope,
+            "message": finding.message,
+            "fingerprint": finding.fingerprint,
+            "baselined": finding.fingerprint in baselined_prints,
+        }
+
+    return {
+        "suite": REPORT_SUITE,
+        "format": REPORT_FORMAT,
+        "root": root,
+        "counts": {
+            "files": run.files,
+            "findings": len(run.findings),
+            "new": len(new),
+            "baselined": len(baselined),
+            "suppressed": len(run.suppressed),
+            "rules": len(rules),
+        },
+        "rules": [rule.describe() for rule in rules],
+        "findings": [encode(finding) for finding in run.findings],
+        "clean": not new,
+    }
+
+
+def render_text(
+    run: LintRun,
+    rules: Iterable[Rule],
+    *,
+    new: List[Finding],
+    baselined: List[Finding],
+) -> str:
+    """The human-facing report: findings first, then the one-line verdict."""
+    lines: List[str] = []
+    baselined_prints = {finding.fingerprint for finding in baselined}
+    for finding in run.findings:
+        marker = " (baselined)" if finding.fingerprint in baselined_prints \
+            else ""
+        lines.append(finding.render() + marker)
+    if lines:
+        lines.append("")
+    rule_count = len(list(rules))
+    summary = (
+        f"checked {run.files} files against {rule_count} rules: "
+        f"{len(new)} new finding(s), {len(baselined)} baselined, "
+        f"{len(run.suppressed)} pragma-suppressed"
+    )
+    lines.append(summary)
+    lines.append("clean" if not new else "FAILED (new findings)")
+    return "\n".join(lines)
+
+
+def _fail(message: str) -> List[str]:
+    return [message]
+
+
+def validate_payload(payload: object) -> List[str]:
+    """Schema-check a lint report; returns problems (empty = valid).
+
+    Beyond shape checks, every finding's fingerprint is *recomputed* from
+    its content fields — a report whose findings were edited after the
+    fact fails here, which is the property the CI artifact relies on.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return _fail("lint report must be a JSON object")
+    if payload.get("suite") != REPORT_SUITE:
+        problems.append(
+            f"suite must be {REPORT_SUITE!r}, got {payload.get('suite')!r}"
+        )
+    if payload.get("format") != REPORT_FORMAT:
+        problems.append(
+            f"format must be {REPORT_FORMAT}, got {payload.get('format')!r}"
+        )
+    if not isinstance(payload.get("root"), str) or not payload.get("root"):
+        problems.append("root must be a non-empty string")
+
+    counts = payload.get("counts")
+    if not isinstance(counts, dict):
+        problems.append("counts must be an object")
+        counts = {}
+    for key in ("files", "findings", "new", "baselined", "suppressed",
+                "rules"):
+        value = counts.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            problems.append(
+                f"counts.{key} must be a non-negative integer, got {value!r}"
+            )
+
+    rules = payload.get("rules")
+    if not isinstance(rules, list) or not rules:
+        problems.append("rules must be a non-empty list")
+        rules = []
+    rule_ids = set()
+    for index, rule in enumerate(rules):
+        if not isinstance(rule, dict):
+            problems.append(f"rules[{index}] must be an object")
+            continue
+        for key in ("id", "title", "rationale"):
+            if not isinstance(rule.get(key), str) or not rule.get(key):
+                problems.append(
+                    f"rules[{index}].{key} must be a non-empty string"
+                )
+        for key in ("paths", "blessed"):
+            if not isinstance(rule.get(key), list):
+                problems.append(f"rules[{index}].{key} must be a list")
+        if isinstance(rule.get("id"), str):
+            rule_ids.add(rule["id"])
+    if isinstance(counts.get("rules"), int) and len(rules) != counts["rules"]:
+        problems.append(
+            f"counts.rules ({counts.get('rules')!r}) does not match the "
+            f"rules list length ({len(rules)})"
+        )
+
+    findings = payload.get("findings")
+    if not isinstance(findings, list):
+        problems.append("findings must be a list")
+        findings = []
+    new_count = 0
+    baselined_count = 0
+    for index, item in enumerate(findings):
+        if not isinstance(item, dict):
+            problems.append(f"findings[{index}] must be an object")
+            continue
+        for key in ("rule", "path", "scope", "message", "fingerprint"):
+            if not isinstance(item.get(key), str) or not item.get(key):
+                problems.append(
+                    f"findings[{index}].{key} must be a non-empty string"
+                )
+        line = item.get("line")
+        if not isinstance(line, int) or isinstance(line, bool) or line < 1:
+            problems.append(
+                f"findings[{index}].line must be a positive integer"
+            )
+        if not isinstance(item.get("baselined"), bool):
+            problems.append(f"findings[{index}].baselined must be a boolean")
+        elif item["baselined"]:
+            baselined_count += 1
+        else:
+            new_count += 1
+        if rule_ids and isinstance(item.get("rule"), str) and (
+            item["rule"] not in rule_ids
+        ):
+            problems.append(
+                f"findings[{index}].rule {item['rule']!r} is not in the "
+                f"report's rules list"
+            )
+        if all(
+            isinstance(item.get(key), str)
+            for key in ("rule", "path", "scope", "message", "fingerprint")
+        ) and isinstance(line, int) and not isinstance(line, bool):
+            expected = Finding(
+                rule=item["rule"],
+                path=item["path"],
+                line=line,
+                scope=item["scope"],
+                message=item["message"],
+            ).fingerprint
+            if item["fingerprint"] != expected:
+                problems.append(
+                    f"findings[{index}].fingerprint {item['fingerprint']!r} "
+                    f"does not match the finding content (expected "
+                    f"{expected!r})"
+                )
+    if isinstance(counts.get("findings"), int) and (
+        len(findings) != counts["findings"]
+    ):
+        problems.append(
+            f"counts.findings ({counts.get('findings')!r}) does not match "
+            f"the findings list length ({len(findings)})"
+        )
+    if isinstance(counts.get("new"), int) and new_count != counts["new"]:
+        problems.append(
+            f"counts.new ({counts.get('new')!r}) does not match the "
+            f"non-baselined findings ({new_count})"
+        )
+    if isinstance(counts.get("baselined"), int) and (
+        baselined_count != counts["baselined"]
+    ):
+        problems.append(
+            f"counts.baselined ({counts.get('baselined')!r}) does not match "
+            f"the baselined findings ({baselined_count})"
+        )
+
+    clean = payload.get("clean")
+    if not isinstance(clean, bool):
+        problems.append("clean must be a boolean")
+    elif clean != (new_count == 0):
+        problems.append(
+            f"clean ({clean}) contradicts the new-finding count "
+            f"({new_count})"
+        )
+    return problems

@@ -274,7 +274,7 @@ class WalFollower:
             seen.add(path.name)
             offset = self._offsets.get(path.name, 0)
             try:
-                data = path.read_bytes()
+                data = self._io.read_bytes(path)
             except FileNotFoundError:
                 continue  # truncated away mid-listing; next poll adopts
             if len(data) < offset:
@@ -416,6 +416,10 @@ class WalFollower:
     def _update_clock(self) -> None:
         if self._visible_seq > self._applied_seq:
             if self._behind_since is None:
+                # Lag telemetry only: this wall-clock stamp feeds the
+                # human-facing lag_seconds metric and never influences
+                # which records get applied, so replica state stays
+                # deterministic.  # lint: allow(determinism)
                 self._behind_since = time.monotonic()
         else:
             self._behind_since = None
@@ -431,9 +435,9 @@ class WalFollower:
         for path in self._segment_paths():
             try:
                 size = path.stat().st_size
-                with path.open("rb") as handle:
-                    handle.seek(max(0, size - _PROBE_TAIL_BYTES))
-                    data = handle.read()
+                data = self._io.read_tail(
+                    path, max(0, size - _PROBE_TAIL_BYTES)
+                )
             except OSError:
                 continue
             lines = data.split(b"\n")[:-1]  # drop any trailing fragment
@@ -458,6 +462,7 @@ class WalFollower:
             self._update_clock()
         lag_seq = max(0, self._visible_seq - self._applied_seq)
         if lag_seq and self._behind_since is not None:
+            # Telemetry, not state (see _update_clock).  # lint: allow(determinism)
             lag_seconds = max(0.0, time.monotonic() - self._behind_since)
         else:
             lag_seconds = 0.0
@@ -631,6 +636,10 @@ class WalFollower:
                 "checkpoint_seq": checkpoint_seq,
                 "epoch": epoch,
                 "pid": os.getpid(),
+                # Deliberately out-of-band: PROMOTIONS.json is a forensic
+                # audit trail read by humans after a failover, never by
+                # recovery or replay, so a wall-clock stamp here cannot
+                # make replicas diverge.  # lint: allow(determinism)
                 "promoted_at": time.time(),
             }
         )
